@@ -1,0 +1,18 @@
+//! # raven-bench
+//!
+//! Experiment harnesses reproducing every table and figure of the Raven paper
+//! (§2 and §7) at laptop scale, plus Criterion micro-benchmarks of the hot
+//! paths. Each `fig*`/`table*` binary in `src/bin/` prints the same rows or
+//! series the paper reports; EXPERIMENTS.md maps them to the original
+//! figures and records paper-vs-measured shapes.
+//!
+//! Scales are deliberately small (tens of thousands of rows instead of the
+//! paper's hundreds of millions) so every harness finishes in seconds on one
+//! core; the *relative* behaviour — which configuration wins and by roughly
+//! what factor — is what the reproduction targets.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::*;
+pub use workload::*;

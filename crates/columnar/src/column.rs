@@ -1,0 +1,368 @@
+//! Typed columns: contiguous vectors of scalars plus vectorized kernels
+//! (take, filter, slice, concat) used by the relational executor.
+
+use crate::error::{ColumnarError, Result};
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A typed column of values.
+///
+/// Missing data is represented in-band (`NaN` / empty string), see the crate
+/// documentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Float64(Vec<f64>),
+    Int64(Vec<i64>),
+    Utf8(Vec<String>),
+    Boolean(Vec<bool>),
+}
+
+/// Shared column handle. Batches hold `Arc<Column>` so projections and
+/// zero-copy re-use across operators avoid cloning the data.
+pub type ColumnRef = Arc<Column>;
+
+impl Column {
+    /// Data type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Float64(_) => DataType::Float64,
+            Column::Int64(_) => DataType::Int64,
+            Column::Utf8(_) => DataType::Utf8,
+            Column::Boolean(_) => DataType::Boolean,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float64(v) => v.len(),
+            Column::Int64(v) => v.len(),
+            Column::Utf8(v) => v.len(),
+            Column::Boolean(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at row `i`.
+    pub fn value(&self, i: usize) -> Result<Value> {
+        if i >= self.len() {
+            return Err(ColumnarError::IndexOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
+        }
+        Ok(match self {
+            Column::Float64(v) => Value::Float64(v[i]),
+            Column::Int64(v) => Value::Int64(v[i]),
+            Column::Utf8(v) => Value::Utf8(v[i].clone()),
+            Column::Boolean(v) => Value::Boolean(v[i]),
+        })
+    }
+
+    /// View as `&[f64]`, failing on other types.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(v) => Ok(v),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "Float64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// View as `&[i64]`, failing on other types.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "Int64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// View as `&[String]`, failing on other types.
+    pub fn as_utf8(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v) => Ok(v),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "Utf8".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// View as `&[bool]`, failing on other types.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Boolean(v) => Ok(v),
+            other => Err(ColumnarError::TypeMismatch {
+                expected: "Boolean".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Convert any numeric/boolean column into an owned `Vec<f64>` feature
+    /// vector (the representation consumed by ML operators). Strings fail.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>> {
+        Ok(match self {
+            Column::Float64(v) => v.clone(),
+            Column::Int64(v) => v.iter().map(|&x| x as f64).collect(),
+            Column::Boolean(v) => v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            Column::Utf8(_) => {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: "Utf8".into(),
+                })
+            }
+        })
+    }
+
+    /// Gather the rows at `indices` into a new column.
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(ColumnarError::IndexOutOfBounds {
+                    index: i,
+                    len: self.len(),
+                });
+            }
+        }
+        Ok(match self {
+            Column::Float64(v) => Column::Float64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Int64(v) => Column::Int64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Utf8(v) => Column::Utf8(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Boolean(v) => Column::Boolean(indices.iter().map(|&i| v[i]).collect()),
+        })
+    }
+
+    /// Keep only the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len(),
+                found: mask.len(),
+            });
+        }
+        macro_rules! filt {
+            ($v:expr, $variant:ident, $clone:expr) => {{
+                let mut out = Vec::with_capacity(mask.iter().filter(|&&m| m).count());
+                for (x, &m) in $v.iter().zip(mask.iter()) {
+                    if m {
+                        out.push($clone(x));
+                    }
+                }
+                Column::$variant(out)
+            }};
+        }
+        Ok(match self {
+            Column::Float64(v) => filt!(v, Float64, |x: &f64| *x),
+            Column::Int64(v) => filt!(v, Int64, |x: &i64| *x),
+            Column::Utf8(v) => filt!(v, Utf8, |x: &String| x.clone()),
+            Column::Boolean(v) => filt!(v, Boolean, |x: &bool| *x),
+        })
+    }
+
+    /// A contiguous slice `[offset, offset+len)` of the column.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        if offset + len > self.len() {
+            return Err(ColumnarError::IndexOutOfBounds {
+                index: offset + len,
+                len: self.len(),
+            });
+        }
+        Ok(match self {
+            Column::Float64(v) => Column::Float64(v[offset..offset + len].to_vec()),
+            Column::Int64(v) => Column::Int64(v[offset..offset + len].to_vec()),
+            Column::Utf8(v) => Column::Utf8(v[offset..offset + len].to_vec()),
+            Column::Boolean(v) => Column::Boolean(v[offset..offset + len].to_vec()),
+        })
+    }
+
+    /// Concatenate columns of the same type into one.
+    pub fn concat(columns: &[&Column]) -> Result<Column> {
+        let first = columns.first().ok_or_else(|| {
+            ColumnarError::InvalidArgument("cannot concatenate zero columns".into())
+        })?;
+        let dt = first.data_type();
+        for c in columns {
+            if c.data_type() != dt {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: dt.to_string(),
+                    found: c.data_type().to_string(),
+                });
+            }
+        }
+        let total: usize = columns.iter().map(|c| c.len()).sum();
+        Ok(match dt {
+            DataType::Float64 => {
+                let mut out = Vec::with_capacity(total);
+                for c in columns {
+                    out.extend_from_slice(c.as_f64()?);
+                }
+                Column::Float64(out)
+            }
+            DataType::Int64 => {
+                let mut out = Vec::with_capacity(total);
+                for c in columns {
+                    out.extend_from_slice(c.as_i64()?);
+                }
+                Column::Int64(out)
+            }
+            DataType::Utf8 => {
+                let mut out = Vec::with_capacity(total);
+                for c in columns {
+                    out.extend_from_slice(c.as_utf8()?);
+                }
+                Column::Utf8(out)
+            }
+            DataType::Boolean => {
+                let mut out = Vec::with_capacity(total);
+                for c in columns {
+                    out.extend_from_slice(c.as_bool()?);
+                }
+                Column::Boolean(out)
+            }
+        })
+    }
+
+    /// Build a column of length `len` filled with a constant `value`.
+    pub fn from_value(value: &Value, len: usize) -> Result<Column> {
+        Ok(match value {
+            Value::Float64(v) => Column::Float64(vec![*v; len]),
+            Value::Int64(v) => Column::Int64(vec![*v; len]),
+            Value::Utf8(s) => Column::Utf8(vec![s.clone(); len]),
+            Value::Boolean(b) => Column::Boolean(vec![*b; len]),
+            Value::Null => Column::Float64(vec![f64::NAN; len]),
+        })
+    }
+
+    /// Build a column from an iterator of [`Value`]s, inferring the type from
+    /// the first non-null value (defaults to Float64 when all null).
+    pub fn from_values(values: &[Value]) -> Result<Column> {
+        let dt = values
+            .iter()
+            .find_map(|v| v.data_type())
+            .unwrap_or(DataType::Float64);
+        Ok(match dt {
+            DataType::Float64 => Column::Float64(
+                values
+                    .iter()
+                    .map(|v| v.as_f64().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            DataType::Int64 => Column::Int64(
+                values
+                    .iter()
+                    .map(|v| v.as_f64().map(|x| x as i64).unwrap_or(0))
+                    .collect(),
+            ),
+            DataType::Utf8 => Column::Utf8(
+                values
+                    .iter()
+                    .map(|v| v.as_str().unwrap_or("").to_string())
+                    .collect(),
+            ),
+            DataType::Boolean => Column::Boolean(
+                values
+                    .iter()
+                    .map(|v| v.as_bool().unwrap_or(false))
+                    .collect(),
+            ),
+        })
+    }
+
+    /// Estimated heap size in bytes (used for reporting scan volumes).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Float64(v) => v.len() * 8,
+            Column::Int64(v) => v.len() * 8,
+            Column::Boolean(v) => v.len(),
+            Column::Utf8(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::Float64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Float64);
+        assert_eq!(c.value(1).unwrap(), Value::Float64(2.0));
+        assert!(c.value(3).is_err());
+    }
+
+    #[test]
+    fn typed_view_errors() {
+        let c = Column::Int64(vec![1, 2]);
+        assert!(c.as_f64().is_err());
+        assert_eq!(c.as_i64().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn to_f64_vec_widens() {
+        assert_eq!(
+            Column::Int64(vec![1, 2]).to_f64_vec().unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(
+            Column::Boolean(vec![true, false]).to_f64_vec().unwrap(),
+            vec![1.0, 0.0]
+        );
+        assert!(Column::Utf8(vec!["a".into()]).to_f64_vec().is_err());
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = Column::Utf8(vec!["a".into(), "b".into(), "c".into()]);
+        let t = c.take(&[2, 0]).unwrap();
+        assert_eq!(t, Column::Utf8(vec!["c".into(), "a".into()]));
+        let f = c.filter(&[true, false, true]).unwrap();
+        assert_eq!(f, Column::Utf8(vec!["a".into(), "c".into()]));
+        assert!(c.filter(&[true]).is_err());
+        assert!(c.take(&[5]).is_err());
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let c = Column::Int64(vec![1, 2, 3, 4]);
+        let s = c.slice(1, 2).unwrap();
+        assert_eq!(s, Column::Int64(vec![2, 3]));
+        let cc = Column::concat(&[&s, &c]).unwrap();
+        assert_eq!(cc.len(), 6);
+        assert!(Column::concat(&[&c, &Column::Float64(vec![1.0])]).is_err());
+        assert!(Column::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn from_value_constant() {
+        let c = Column::from_value(&Value::Int64(7), 3).unwrap();
+        assert_eq!(c, Column::Int64(vec![7, 7, 7]));
+        let n = Column::from_value(&Value::Null, 2).unwrap();
+        assert!(n.as_f64().unwrap().iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn from_values_inference() {
+        let c = Column::from_values(&[Value::Int64(1), Value::Int64(2)]).unwrap();
+        assert_eq!(c.data_type(), DataType::Int64);
+        let c = Column::from_values(&[Value::Utf8("x".into())]).unwrap();
+        assert_eq!(c.data_type(), DataType::Utf8);
+    }
+
+    #[test]
+    fn byte_size_estimates() {
+        assert_eq!(Column::Float64(vec![0.0; 10]).byte_size(), 80);
+        assert_eq!(Column::Boolean(vec![true; 10]).byte_size(), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the columnar substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `raven-columnar`.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+/// Errors produced by the columnar storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnarError {
+    /// A column name could not be resolved against a schema.
+    ColumnNotFound(String),
+    /// A column was used with an incompatible data type.
+    TypeMismatch { expected: String, found: String },
+    /// Columns of a batch (or arguments of an operation) had different lengths.
+    LengthMismatch { expected: usize, found: usize },
+    /// An index was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// A schema was constructed with duplicate column names.
+    DuplicateColumn(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            ColumnarError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ColumnarError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            ColumnarError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            ColumnarError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
+            ColumnarError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let err = ColumnarError::ColumnNotFound("age".to_string());
+        assert_eq!(err.to_string(), "column not found: age");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let err = ColumnarError::TypeMismatch {
+            expected: "Float64".into(),
+            found: "Utf8".into(),
+        };
+        assert!(err.to_string().contains("expected Float64"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = ColumnarError::LengthMismatch {
+            expected: 3,
+            found: 5,
+        };
+        assert!(err.to_string().contains("expected 3"));
+        assert!(err.to_string().contains("found 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ColumnarError::DuplicateColumn("x".into()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Schemas: ordered, named, typed column descriptors.
+
+use crate::error::{ColumnarError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Return a copy of this field with a new name (used when qualifying
+    /// columns after joins, e.g. `patient_info.id`).
+    pub fn with_name(&self, name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            data_type: self.data_type,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.data_type)
+    }
+}
+
+/// An ordered collection of fields with O(1) name lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from fields, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut index = HashMap::with_capacity(fields.len());
+        for (i, field) in fields.iter().enumerate() {
+            if index.insert(field.name.clone(), i).is_some() {
+                return Err(ColumnarError::DuplicateColumn(field.name.clone()));
+            }
+        }
+        Ok(Schema { fields, index })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema {
+            fields: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| ColumnarError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Whether a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// The field with the given name.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// The field at the given position.
+    pub fn field(&self, i: usize) -> Result<&Field> {
+        self.fields.get(i).ok_or(ColumnarError::IndexOutOfBounds {
+            index: i,
+            len: self.fields.len(),
+        })
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Build a new schema keeping only the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas (used by joins). Duplicate names on the right
+    /// side get a `right_prefix` qualifier (repeated as needed so names stay
+    /// unique even across nested joins).
+    pub fn merge(&self, other: &Schema, right_prefix: &str) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        let mut taken: std::collections::HashSet<String> =
+            fields.iter().map(|f| f.name.clone()).collect();
+        for f in &other.fields {
+            let mut name = f.name.clone();
+            while taken.contains(&name) {
+                name = format!("{right_prefix}.{name}");
+            }
+            taken.insert(name.clone());
+            fields.push(f.with_name(name));
+        }
+        Schema::new(fields)
+    }
+
+    /// Shared-pointer constructor used pervasively by the engine.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.fields.iter().map(|x| x.to_string()).collect();
+        write!(f, "[{}]", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("age", DataType::Float64),
+            Field::new("state", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("age").unwrap(), 1);
+        assert!(s.contains("state"));
+        assert!(!s.contains("bmi"));
+        assert_eq!(s.field_by_name("id").unwrap().data_type(), DataType::Int64);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Float64),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ColumnarError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn missing_column_error() {
+        let s = schema();
+        assert_eq!(
+            s.index_of("nope").unwrap_err(),
+            ColumnarError::ColumnNotFound("nope".into())
+        );
+    }
+
+    #[test]
+    fn project_reorders_and_subsets() {
+        let s = schema();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["state", "id"]);
+    }
+
+    #[test]
+    fn merge_qualifies_duplicates() {
+        let left = schema();
+        let right = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("bp", DataType::Float64),
+        ])
+        .unwrap();
+        let merged = left.merge(&right, "rt").unwrap();
+        assert_eq!(merged.names(), vec!["id", "age", "state", "rt.id", "bp"]);
+    }
+
+    #[test]
+    fn field_out_of_bounds() {
+        let s = schema();
+        assert!(matches!(
+            s.field(10).unwrap_err(),
+            ColumnarError::IndexOutOfBounds { index: 10, len: 3 }
+        ));
+    }
+}

@@ -1,0 +1,359 @@
+//! Column and table statistics.
+//!
+//! Raven's data-induced optimizations (§4.2 of the paper) use min/max column
+//! statistics — global or per-partition — to induce predicates that prune ML
+//! models at compile time. This module computes and stores those statistics.
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics for one column (within one partition or the whole table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStatistics {
+    /// Column name.
+    pub name: String,
+    /// Minimum value (None when the column is empty or all-missing).
+    pub min: Option<Value>,
+    /// Maximum value (None when the column is empty or all-missing).
+    pub max: Option<Value>,
+    /// Number of missing values (NaN / empty string).
+    pub null_count: usize,
+    /// Exact number of distinct non-missing values (cheap on the scales we use).
+    pub distinct_count: usize,
+    /// Number of rows covered.
+    pub row_count: usize,
+}
+
+impl ColumnStatistics {
+    /// Compute statistics for a column.
+    pub fn compute(name: &str, column: &Column) -> Result<Self> {
+        let row_count = column.len();
+        let mut null_count = 0;
+        let (min, max, distinct_count) = match column {
+            Column::Float64(v) => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut distinct: HashSet<u64> = HashSet::new();
+                for &x in v {
+                    if x.is_nan() {
+                        null_count += 1;
+                        continue;
+                    }
+                    min = min.min(x);
+                    max = max.max(x);
+                    distinct.insert(x.to_bits());
+                }
+                if distinct.is_empty() {
+                    (None, None, 0)
+                } else {
+                    (
+                        Some(Value::Float64(min)),
+                        Some(Value::Float64(max)),
+                        distinct.len(),
+                    )
+                }
+            }
+            Column::Int64(v) => {
+                let mut distinct: HashSet<i64> = HashSet::new();
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                for &x in v {
+                    min = min.min(x);
+                    max = max.max(x);
+                    distinct.insert(x);
+                }
+                if distinct.is_empty() {
+                    (None, None, 0)
+                } else {
+                    (Some(Value::Int64(min)), Some(Value::Int64(max)), distinct.len())
+                }
+            }
+            Column::Utf8(v) => {
+                let mut distinct: HashSet<&str> = HashSet::new();
+                let mut min: Option<&str> = None;
+                let mut max: Option<&str> = None;
+                for x in v {
+                    if x.is_empty() {
+                        null_count += 1;
+                        continue;
+                    }
+                    min = Some(match min {
+                        Some(m) if m <= x.as_str() => m,
+                        _ => x.as_str(),
+                    });
+                    max = Some(match max {
+                        Some(m) if m >= x.as_str() => m,
+                        _ => x.as_str(),
+                    });
+                    distinct.insert(x.as_str());
+                }
+                (
+                    min.map(|s| Value::Utf8(s.to_string())),
+                    max.map(|s| Value::Utf8(s.to_string())),
+                    distinct.len(),
+                )
+            }
+            Column::Boolean(v) => {
+                let mut distinct: HashSet<bool> = HashSet::new();
+                let mut any_true = false;
+                let mut any_false = false;
+                for &x in v {
+                    distinct.insert(x);
+                    any_true |= x;
+                    any_false |= !x;
+                }
+                if distinct.is_empty() {
+                    (None, None, 0)
+                } else {
+                    (
+                        Some(Value::Boolean(!any_false)),
+                        Some(Value::Boolean(any_true)),
+                        distinct.len(),
+                    )
+                }
+            }
+        };
+        Ok(ColumnStatistics {
+            name: name.to_string(),
+            min,
+            max,
+            null_count,
+            distinct_count,
+            row_count,
+        })
+    }
+
+    /// Both min and max interpreted as `f64` (for numeric/boolean columns).
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let min = self.min.as_ref()?.as_f64()?;
+        let max = self.max.as_ref()?.as_f64()?;
+        Some((min, max))
+    }
+
+    /// Whether the column holds a single constant value across the covered rows.
+    pub fn is_constant(&self) -> bool {
+        self.distinct_count == 1 && self.null_count == 0
+    }
+
+    /// Merge statistics of two partitions of the same column.
+    pub fn merge(&self, other: &ColumnStatistics) -> ColumnStatistics {
+        use std::cmp::Ordering;
+        let min = match (&self.min, &other.min) {
+            (Some(a), Some(b)) => Some(
+                if a.partial_cmp_value(b) == Some(Ordering::Greater) {
+                    b.clone()
+                } else {
+                    a.clone()
+                },
+            ),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        let max = match (&self.max, &other.max) {
+            (Some(a), Some(b)) => Some(
+                if a.partial_cmp_value(b) == Some(Ordering::Less) {
+                    b.clone()
+                } else {
+                    a.clone()
+                },
+            ),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        ColumnStatistics {
+            name: self.name.clone(),
+            min,
+            max,
+            null_count: self.null_count + other.null_count,
+            // Upper bound; exact merge would require re-hashing the data.
+            distinct_count: self.distinct_count.max(other.distinct_count),
+            row_count: self.row_count + other.row_count,
+        }
+    }
+}
+
+/// Statistics for a whole batch / partition / table: one entry per column.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableStatistics {
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStatistics>,
+    /// Total row count.
+    pub row_count: usize,
+}
+
+impl TableStatistics {
+    /// Compute statistics for an aligned set of (name, column) pairs.
+    pub fn compute(columns: &[(&str, &Column)]) -> Result<Self> {
+        let row_count = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+        let columns = columns
+            .iter()
+            .map(|(name, col)| ColumnStatistics::compute(name, col))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TableStatistics { columns, row_count })
+    }
+
+    /// Look up statistics for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Merge statistics across partitions (column-wise).
+    pub fn merge(&self, other: &TableStatistics) -> TableStatistics {
+        if self.columns.is_empty() {
+            return other.clone();
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match other.column(&c.name) {
+                Some(o) => c.merge(o),
+                None => c.clone(),
+            })
+            .collect();
+        TableStatistics {
+            columns,
+            row_count: self.row_count + other.row_count,
+        }
+    }
+}
+
+/// Helper describing the value domain a statistics object implies for a
+/// column; data-induced optimization consumes this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InducedDomain {
+    /// Numeric column constrained to `[min, max]`.
+    Range { min: f64, max: f64 },
+    /// Column known to hold exactly one value.
+    Constant(Value),
+    /// No useful constraint (e.g. all-missing or string with many values).
+    Unconstrained,
+}
+
+impl ColumnStatistics {
+    /// The domain induced by these statistics, used to generate data-induced
+    /// predicates (paper §4.2).
+    pub fn induced_domain(&self) -> InducedDomain {
+        if self.is_constant() {
+            if let Some(min) = &self.min {
+                return InducedDomain::Constant(min.clone());
+            }
+        }
+        match (self.min.as_ref(), self.max.as_ref()) {
+            (Some(min), Some(max)) => {
+                if min.data_type() == Some(DataType::Utf8) {
+                    InducedDomain::Unconstrained
+                } else {
+                    match (min.as_f64(), max.as_f64()) {
+                        (Some(lo), Some(hi)) => InducedDomain::Range { min: lo, max: hi },
+                        _ => InducedDomain::Unconstrained,
+                    }
+                }
+            }
+            _ => InducedDomain::Unconstrained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_stats_with_missing() {
+        let c = Column::Float64(vec![1.0, f64::NAN, 3.0, 2.0]);
+        let s = ColumnStatistics::compute("x", &c).unwrap();
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.numeric_range(), Some((1.0, 3.0)));
+        assert_eq!(s.distinct_count, 3);
+        assert_eq!(s.row_count, 4);
+    }
+
+    #[test]
+    fn int_stats() {
+        let c = Column::Int64(vec![5, 5, 7]);
+        let s = ColumnStatistics::compute("k", &c).unwrap();
+        assert_eq!(s.min, Some(Value::Int64(5)));
+        assert_eq!(s.max, Some(Value::Int64(7)));
+        assert_eq!(s.distinct_count, 2);
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn constant_detection_and_domain() {
+        let c = Column::Int64(vec![1, 1, 1]);
+        let s = ColumnStatistics::compute("flag", &c).unwrap();
+        assert!(s.is_constant());
+        assert_eq!(s.induced_domain(), InducedDomain::Constant(Value::Int64(1)));
+    }
+
+    #[test]
+    fn string_stats() {
+        let c = Column::Utf8(vec!["b".into(), "".into(), "a".into()]);
+        let s = ColumnStatistics::compute("cat", &c).unwrap();
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.min, Some(Value::Utf8("a".into())));
+        assert_eq!(s.max, Some(Value::Utf8("b".into())));
+        assert_eq!(s.induced_domain(), InducedDomain::Unconstrained);
+    }
+
+    #[test]
+    fn bool_stats() {
+        let c = Column::Boolean(vec![false, true]);
+        let s = ColumnStatistics::compute("b", &c).unwrap();
+        assert_eq!(s.min, Some(Value::Boolean(false)));
+        assert_eq!(s.max, Some(Value::Boolean(true)));
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let c = Column::Float64(vec![]);
+        let s = ColumnStatistics::compute("x", &c).unwrap();
+        assert_eq!(s.min, None);
+        assert_eq!(s.numeric_range(), None);
+        assert_eq!(s.induced_domain(), InducedDomain::Unconstrained);
+    }
+
+    #[test]
+    fn merge_stats() {
+        let a = ColumnStatistics::compute("x", &Column::Float64(vec![1.0, 2.0])).unwrap();
+        let b = ColumnStatistics::compute("x", &Column::Float64(vec![5.0])).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.numeric_range(), Some((1.0, 5.0)));
+        assert_eq!(m.row_count, 3);
+    }
+
+    #[test]
+    fn table_stats_lookup_and_merge() {
+        let c1 = Column::Int64(vec![1, 2]);
+        let c2 = Column::Float64(vec![0.5, 1.5]);
+        let t1 = TableStatistics::compute(&[("id", &c1), ("x", &c2)]).unwrap();
+        assert_eq!(t1.row_count, 2);
+        assert!(t1.column("id").is_some());
+        assert!(t1.column("nope").is_none());
+
+        let c3 = Column::Int64(vec![9]);
+        let c4 = Column::Float64(vec![-2.0]);
+        let t2 = TableStatistics::compute(&[("id", &c3), ("x", &c4)]).unwrap();
+        let m = t1.merge(&t2);
+        assert_eq!(m.row_count, 3);
+        assert_eq!(m.column("x").unwrap().numeric_range(), Some((-2.0, 1.5)));
+    }
+
+    #[test]
+    fn range_domain() {
+        let c = Column::Float64(vec![10.0, 20.0]);
+        let s = ColumnStatistics::compute("age", &c).unwrap();
+        assert_eq!(
+            s.induced_domain(),
+            InducedDomain::Range {
+                min: 10.0,
+                max: 20.0
+            }
+        );
+    }
+}

@@ -1,0 +1,579 @@
+//! Batches and tables.
+//!
+//! A [`Batch`] is the unit of vectorized execution: a schema plus one shared
+//! column per field, all of equal length. A [`Table`] is a named collection of
+//! batches (its partitions) together with per-partition and global statistics,
+//! mirroring how partitioned Parquet data is organized in the systems the
+//! paper targets.
+
+use crate::column::{Column, ColumnRef};
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::stats::TableStatistics;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+/// A vector of rows stored column-wise. The unit of execution in the engine.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: SchemaRef,
+    columns: Vec<ColumnRef>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Create a batch, validating that columns match the schema in count,
+    /// type, and length.
+    pub fn new(schema: SchemaRef, columns: Vec<ColumnRef>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (field, col) in schema.fields().iter().zip(columns.iter()) {
+            if field.data_type() != col.data_type() {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: field.data_type().to_string(),
+                    found: col.data_type().to_string(),
+                });
+            }
+            if col.len() != rows {
+                return Err(ColumnarError::LengthMismatch {
+                    expected: rows,
+                    found: col.len(),
+                });
+            }
+        }
+        Ok(Batch {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: SchemaRef) -> Result<Self> {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| {
+                Arc::new(match f.data_type() {
+                    DataType::Float64 => Column::Float64(vec![]),
+                    DataType::Int64 => Column::Int64(vec![]),
+                    DataType::Utf8 => Column::Utf8(vec![]),
+                    DataType::Boolean => Column::Boolean(vec![]),
+                })
+            })
+            .collect();
+        Batch::new(schema, columns)
+    }
+
+    /// The batch schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnRef] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> Result<&ColumnRef> {
+        self.columns.get(i).ok_or(ColumnarError::IndexOutOfBounds {
+            index: i,
+            len: self.columns.len(),
+        })
+    }
+
+    /// Column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Result<&ColumnRef> {
+        let i = self.schema.index_of(name)?;
+        self.column(i)
+    }
+
+    /// Project to the columns at `indices` (in that order) — zero copy.
+    pub fn project(&self, indices: &[usize]) -> Result<Batch> {
+        let schema = Arc::new(self.schema.project(indices)?);
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.column(i)?.clone());
+        }
+        Batch::new(schema, columns)
+    }
+
+    /// Project to named columns.
+    pub fn project_names(&self, names: &[&str]) -> Result<Batch> {
+        let indices = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        self.project(&indices)
+    }
+
+    /// Keep the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Batch> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.filter(mask).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Gather the rows at `indices`.
+    pub fn take(&self, indices: &[usize]) -> Result<Batch> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.take(indices).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Contiguous row slice.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Batch> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.slice(offset, len).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Split the batch into chunks of at most `chunk_rows` rows.
+    pub fn chunks(&self, chunk_rows: usize) -> Result<Vec<Batch>> {
+        if chunk_rows == 0 {
+            return Err(ColumnarError::InvalidArgument(
+                "chunk size must be positive".into(),
+            ));
+        }
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < self.rows {
+            let len = chunk_rows.min(self.rows - offset);
+            out.push(self.slice(offset, len)?);
+            offset += len;
+        }
+        if out.is_empty() {
+            out.push(self.clone());
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenate batches with identical schemas.
+    pub fn concat(batches: &[Batch]) -> Result<Batch> {
+        let first = batches.first().ok_or_else(|| {
+            ColumnarError::InvalidArgument("cannot concatenate zero batches".into())
+        })?;
+        let schema = first.schema.clone();
+        let mut columns = Vec::with_capacity(schema.len());
+        for i in 0..schema.len() {
+            let cols: Vec<&Column> = batches
+                .iter()
+                .map(|b| b.columns[i].as_ref())
+                .collect();
+            columns.push(Arc::new(Column::concat(&cols)?));
+        }
+        Batch::new(schema, columns)
+    }
+
+    /// Extract one row as a vector of scalars.
+    pub fn row(&self, i: usize) -> Result<Vec<Value>> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Add (or replace) a column, returning a new batch.
+    pub fn with_column(&self, field: Field, column: ColumnRef) -> Result<Batch> {
+        if column.len() != self.rows && !(self.columns.is_empty()) {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.rows,
+                found: column.len(),
+            });
+        }
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        let mut columns = self.columns.clone();
+        if let Ok(idx) = self.schema.index_of(field.name()) {
+            fields[idx] = field;
+            columns[idx] = column;
+        } else {
+            fields.push(field);
+            columns.push(column);
+        }
+        Batch::new(Arc::new(Schema::new(fields)?), columns)
+    }
+
+    /// Compute statistics for this batch.
+    pub fn statistics(&self) -> Result<TableStatistics> {
+        let pairs: Vec<(&str, &Column)> = self
+            .schema
+            .fields()
+            .iter()
+            .zip(self.columns.iter())
+            .map(|(f, c)| (f.name(), c.as_ref()))
+            .collect();
+        TableStatistics::compute(&pairs)
+    }
+
+    /// Estimated in-memory size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+}
+
+/// A named table: one or more partitions plus statistics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    partitions: Vec<Batch>,
+    partition_stats: Vec<TableStatistics>,
+    stats: TableStatistics,
+    /// The column this table is partitioned on, when value-partitioned.
+    partition_column: Option<String>,
+}
+
+impl Table {
+    /// Create a table from partitions (at least one, possibly empty).
+    pub fn new(name: impl Into<String>, partitions: Vec<Batch>) -> Result<Self> {
+        let name = name.into();
+        let schema = partitions
+            .first()
+            .map(|b| b.schema().clone())
+            .ok_or_else(|| {
+                ColumnarError::InvalidArgument(format!(
+                    "table {name} must have at least one partition"
+                ))
+            })?;
+        for p in &partitions {
+            if p.schema().as_ref() != schema.as_ref() {
+                return Err(ColumnarError::InvalidArgument(format!(
+                    "all partitions of table {name} must share a schema"
+                )));
+            }
+        }
+        let partition_stats = partitions
+            .iter()
+            .map(|p| p.statistics())
+            .collect::<Result<Vec<_>>>()?;
+        let stats = partition_stats
+            .iter()
+            .fold(TableStatistics::default(), |acc, s| acc.merge(s));
+        Ok(Table {
+            name,
+            schema,
+            partitions,
+            partition_stats,
+            stats,
+            partition_column: None,
+        })
+    }
+
+    /// Create a single-partition table from one batch.
+    pub fn from_batch(name: impl Into<String>, batch: Batch) -> Result<Self> {
+        Table::new(name, vec![batch])
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Partitions of the table.
+    pub fn partitions(&self) -> &[Batch] {
+        &self.partitions
+    }
+
+    /// Per-partition statistics (aligned with [`Table::partitions`]).
+    pub fn partition_statistics(&self) -> &[TableStatistics] {
+        &self.partition_stats
+    }
+
+    /// Global (merged) statistics.
+    pub fn statistics(&self) -> &TableStatistics {
+        &self.stats
+    }
+
+    /// Total number of rows across partitions.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// The column the table is value-partitioned on, if any.
+    pub fn partition_column(&self) -> Option<&str> {
+        self.partition_column.as_deref()
+    }
+
+    /// Record the partitioning column (set by [`crate::partition_by_column`]).
+    pub fn set_partition_column(&mut self, column: Option<String>) {
+        self.partition_column = column;
+    }
+
+    /// Concatenate all partitions into a single batch.
+    pub fn to_batch(&self) -> Result<Batch> {
+        Batch::concat(&self.partitions)
+    }
+
+    /// Total estimated size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.partitions.iter().map(|p| p.byte_size()).sum()
+    }
+
+    /// Replicate the table's rows `factor` times (used to scale datasets as
+    /// the paper does, while keeping key columns unique by offsetting them).
+    pub fn replicate(&self, factor: usize, key_columns: &[&str]) -> Result<Table> {
+        if factor == 0 {
+            return Err(ColumnarError::InvalidArgument(
+                "replication factor must be positive".into(),
+            ));
+        }
+        let base = self.to_batch()?;
+        let base_rows = base.num_rows() as i64;
+        let mut batches = Vec::with_capacity(factor);
+        for rep in 0..factor {
+            let mut columns: Vec<ColumnRef> = Vec::with_capacity(base.num_columns());
+            for (field, col) in base.schema().fields().iter().zip(base.columns()) {
+                if key_columns.contains(&field.name()) {
+                    let keys = col.as_i64()?;
+                    let offset = rep as i64 * base_rows;
+                    columns.push(Arc::new(Column::Int64(
+                        keys.iter().map(|k| k + offset).collect(),
+                    )));
+                } else {
+                    columns.push(col.clone());
+                }
+            }
+            batches.push(Batch::new(base.schema().clone(), columns)?);
+        }
+        Table::new(self.name.clone(), vec![Batch::concat(&batches)?])
+    }
+}
+
+/// Convenience builder for assembling a single-partition table column by column.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<ColumnRef>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Add a float column.
+    pub fn add_f64(mut self, name: &str, values: Vec<f64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Arc::new(Column::Float64(values)));
+        self
+    }
+
+    /// Add an integer column.
+    pub fn add_i64(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Arc::new(Column::Int64(values)));
+        self
+    }
+
+    /// Add a string column.
+    pub fn add_utf8(mut self, name: &str, values: Vec<String>) -> Self {
+        self.fields.push(Field::new(name, DataType::Utf8));
+        self.columns.push(Arc::new(Column::Utf8(values)));
+        self
+    }
+
+    /// Add a boolean column.
+    pub fn add_bool(mut self, name: &str, values: Vec<bool>) -> Self {
+        self.fields.push(Field::new(name, DataType::Boolean));
+        self.columns.push(Arc::new(Column::Boolean(values)));
+        self
+    }
+
+    /// Finish building, validating schema/column agreement.
+    pub fn build(self) -> Result<Table> {
+        let schema = Arc::new(Schema::new(self.fields)?);
+        let batch = Batch::new(schema, self.columns)?;
+        Table::from_batch(self.name, batch)
+    }
+
+    /// Finish building but return the single batch rather than a table.
+    pub fn build_batch(self) -> Result<Batch> {
+        let schema = Arc::new(Schema::new(self.fields)?);
+        Batch::new(schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Batch {
+        TableBuilder::new("t")
+            .add_i64("id", vec![1, 2, 3, 4])
+            .add_f64("x", vec![1.0, 2.0, 3.0, 4.0])
+            .add_utf8(
+                "c",
+                vec!["a".into(), "b".into(), "a".into(), "c".into()],
+            )
+            .build_batch()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_validation() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Float64),
+            ])
+            .unwrap(),
+        );
+        // wrong column count
+        assert!(Batch::new(schema.clone(), vec![Arc::new(Column::Int64(vec![1]))]).is_err());
+        // wrong type
+        assert!(Batch::new(
+            schema.clone(),
+            vec![
+                Arc::new(Column::Int64(vec![1])),
+                Arc::new(Column::Int64(vec![2]))
+            ]
+        )
+        .is_err());
+        // mismatched length
+        assert!(Batch::new(
+            schema,
+            vec![
+                Arc::new(Column::Int64(vec![1])),
+                Arc::new(Column::Float64(vec![1.0, 2.0]))
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn project_filter_take_slice() {
+        let b = sample_batch();
+        let p = b.project_names(&["x", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["x", "id"]);
+        let f = b.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        let t = b.take(&[3, 0]).unwrap();
+        assert_eq!(t.column_by_name("id").unwrap().as_i64().unwrap(), &[4, 1]);
+        let s = b.slice(1, 2).unwrap();
+        assert_eq!(s.num_rows(), 2);
+    }
+
+    #[test]
+    fn chunks_cover_all_rows() {
+        let b = sample_batch();
+        let chunks = b.chunks(3).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), 3);
+        assert_eq!(chunks[1].num_rows(), 1);
+        assert!(b.chunks(0).is_err());
+    }
+
+    #[test]
+    fn concat_batches() {
+        let b = sample_batch();
+        let c = Batch::concat(&[b.clone(), b.clone()]).unwrap();
+        assert_eq!(c.num_rows(), 8);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let b = sample_batch();
+        let row = b.row(2).unwrap();
+        assert_eq!(row[0], Value::Int64(3));
+        assert_eq!(row[2], Value::Utf8("a".into()));
+    }
+
+    #[test]
+    fn with_column_add_and_replace() {
+        let b = sample_batch();
+        let added = b
+            .with_column(
+                Field::new("y", DataType::Float64),
+                Arc::new(Column::Float64(vec![0.0; 4])),
+            )
+            .unwrap();
+        assert_eq!(added.num_columns(), 4);
+        let replaced = added
+            .with_column(
+                Field::new("y", DataType::Float64),
+                Arc::new(Column::Float64(vec![9.0; 4])),
+            )
+            .unwrap();
+        assert_eq!(replaced.num_columns(), 4);
+        assert_eq!(
+            replaced.column_by_name("y").unwrap().as_f64().unwrap()[0],
+            9.0
+        );
+    }
+
+    #[test]
+    fn table_stats_and_rows() {
+        let b = sample_batch();
+        let t = Table::from_batch("t", b).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.statistics().column("x").unwrap().numeric_range(), Some((1.0, 4.0)));
+        assert_eq!(t.partitions().len(), 1);
+    }
+
+    #[test]
+    fn table_schema_mismatch_rejected() {
+        let b1 = sample_batch();
+        let b2 = TableBuilder::new("t")
+            .add_i64("other", vec![1])
+            .build_batch()
+            .unwrap();
+        assert!(Table::new("t", vec![b1, b2]).is_err());
+    }
+
+    #[test]
+    fn replicate_offsets_keys() {
+        let t = TableBuilder::new("t")
+            .add_i64("id", vec![1, 2])
+            .add_f64("x", vec![0.5, 1.5])
+            .build()
+            .unwrap();
+        let r = t.replicate(3, &["id"]).unwrap();
+        assert_eq!(r.num_rows(), 6);
+        let ids = r.to_batch().unwrap();
+        let ids = ids.column_by_name("id").unwrap();
+        let ids = ids.as_i64().unwrap();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), 6, "keys must stay unique after replication");
+        assert!(t.replicate(0, &["id"]).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64)]).unwrap());
+        let b = Batch::empty(schema).unwrap();
+        assert_eq!(b.num_rows(), 0);
+    }
+}

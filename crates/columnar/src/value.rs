@@ -1,0 +1,244 @@
+//! Scalar values and data types.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical data type of a column.
+///
+/// The set is intentionally small: the prediction-query workloads of the
+/// paper only need numeric features, integer keys/categoricals, strings
+/// (categorical inputs before encoding), and booleans (predicates, labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit floating point (numeric features). `NaN` encodes a missing value.
+    Float64,
+    /// 64-bit signed integer (keys, counts, low-cardinality categoricals).
+    Int64,
+    /// UTF-8 string (categorical inputs). The empty string encodes a missing value.
+    Utf8,
+    /// Boolean (filter results, binary labels).
+    Boolean,
+}
+
+impl DataType {
+    /// Whether the type is numeric (can be fed to arithmetic and ML models directly).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Float64 | DataType::Int64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Float64 => write!(f, "Float64"),
+            DataType::Int64 => write!(f, "Int64"),
+            DataType::Utf8 => write!(f, "Utf8"),
+            DataType::Boolean => write!(f, "Boolean"),
+        }
+    }
+}
+
+/// A single scalar value, used for literals in expressions, predicate
+/// constants pushed into models, and statistics (min/max).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    Float64(f64),
+    Int64(i64),
+    Utf8(String),
+    Boolean(bool),
+}
+
+impl Value {
+    /// The data type of this value, if it is not null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Boolean(_) => Some(DataType::Boolean),
+        }
+    }
+
+    /// Interpret the value as an `f64` when possible (numeric widening,
+    /// booleans as 0/1). Returns `None` for strings and nulls.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice when it is a `Utf8` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a boolean when possible.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            Value::Int64(v) => Some(*v != 0),
+            Value::Float64(v) => Some(*v != 0.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is null (or a NaN float, which encodes missing data).
+    pub fn is_null(&self) -> bool {
+        match self {
+            Value::Null => true,
+            Value::Float64(v) => v.is_nan(),
+            Value::Utf8(s) => s.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Total ordering comparison between two values of compatible types.
+    ///
+    /// Numeric types compare by their `f64` interpretation; strings compare
+    /// lexicographically; null sorts before everything. Returns `None` when
+    /// the types are incomparable (e.g. string vs number).
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) => Some(Ordering::Less),
+            (_, Value::Null) => Some(Ordering::Greater),
+            (Value::Utf8(a), Value::Utf8(b)) => Some(a.cmp(b)),
+            (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Utf8(s) => write!(f, "'{s}'"),
+            Value::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_numeric() {
+        assert!(DataType::Float64.is_numeric());
+        assert!(DataType::Int64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn value_as_f64_widening() {
+        assert_eq!(Value::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Boolean(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Utf8("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn value_equality_cross_numeric() {
+        assert_eq!(Value::Int64(3), Value::Float64(3.0));
+        assert_ne!(Value::Int64(3), Value::Float64(3.5));
+        assert_eq!(Value::Utf8("a".into()), Value::Utf8("a".into()));
+    }
+
+    #[test]
+    fn value_ordering() {
+        assert_eq!(
+            Value::Int64(2).partial_cmp_value(&Value::Float64(3.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Utf8("b".into()).partial_cmp_value(&Value::Utf8("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Null.partial_cmp_value(&Value::Int64(0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Utf8("a".into()).partial_cmp_value(&Value::Int64(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::Null.is_null());
+        assert!(Value::Float64(f64::NAN).is_null());
+        assert!(Value::Utf8(String::new()).is_null());
+        assert!(!Value::Float64(0.0).is_null());
+        assert!(!Value::Utf8("x".into()).is_null());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int64(7).to_string(), "7");
+        assert_eq!(Value::Utf8("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(1.5), Value::Float64(1.5));
+        assert_eq!(Value::from(2i64), Value::Int64(2));
+        assert_eq!(Value::from("s"), Value::Utf8("s".into()));
+        assert_eq!(Value::from(true), Value::Boolean(true));
+    }
+}

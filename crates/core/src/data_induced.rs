@@ -1,0 +1,363 @@
+//! Data-induced optimizations (paper §4.2): use min/max column statistics —
+//! globally or per partition — to induce predicates that prune the models of
+//! a prediction query at compile time, and compile a partition-optimized
+//! model per partition.
+
+use crate::cross_opt::model_projection_pushdown;
+use crate::error::Result;
+use crate::layout::{FeatureLayout, InputMapping};
+use raven_ir::UnifiedPlan;
+use raven_ml::{Operator, Pipeline};
+use raven_relational::{Catalog, LogicalPlan};
+use raven_columnar::TableStatistics;
+use std::collections::BTreeMap;
+
+/// Outcome of applying data-induced optimizations.
+#[derive(Debug, Clone, Default)]
+pub struct DataInducedReport {
+    /// Whether the globally-optimized model changed.
+    pub global_pruning_applied: bool,
+    /// Data columns pruned after global data-induced pruning.
+    pub pruned_columns: Vec<String>,
+    /// Number of per-partition models compiled (0 when not partitioned).
+    pub partition_models: usize,
+    /// Average number of columns pruned across partition-optimized models.
+    pub avg_pruned_columns_per_partition: f64,
+}
+
+/// Derive per-feature domains from table statistics for the inputs of a
+/// pipeline (the statistics-induced predicates of §4.2).
+pub fn domains_from_statistics(
+    pipeline: &Pipeline,
+    stats: &TableStatistics,
+    layout: &FeatureLayout,
+) -> BTreeMap<usize, (f64, f64)> {
+    let mut domains = BTreeMap::new();
+    for input in &pipeline.inputs {
+        let Some(cs) = stats.column(&input.name) else {
+            continue;
+        };
+        let Some((min, max)) = cs.numeric_range() else {
+            continue;
+        };
+        match layout.input(&input.name) {
+            Some(InputMapping::Affine {
+                feature,
+                offset,
+                scale,
+            }) => {
+                let a = (min - offset) * scale;
+                let b = (max - offset) * scale;
+                domains.insert(*feature, (a.min(b), a.max(b)));
+            }
+            Some(InputMapping::Identity { feature }) => {
+                domains.insert(*feature, (min, max));
+            }
+            Some(InputMapping::OneHot {
+                features,
+                categories,
+            }) => {
+                // A constant column pins its whole one-hot block.
+                if cs.is_constant() {
+                    let cat = cs
+                        .min
+                        .as_ref()
+                        .map(|v| match v {
+                            raven_columnar::Value::Utf8(s) => s.clone(),
+                            other => other
+                                .as_f64()
+                                .map(raven_ml::format_numeric_category)
+                                .unwrap_or_default(),
+                        })
+                        .unwrap_or_default();
+                    for (i, feature) in features.iter().enumerate() {
+                        let v = if categories.get(i).map(|c| c == &cat).unwrap_or(false) {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        domains.insert(*feature, (v, v));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    domains
+}
+
+/// Prune the plan's model using the *global* statistics of its base tables.
+/// Returns the data columns that became prunable as a result.
+pub fn apply_global_data_induced(
+    plan: &mut UnifiedPlan,
+    catalog: &Catalog,
+) -> Result<DataInducedReport> {
+    let mut report = DataInducedReport::default();
+    let stats = gather_statistics(&plan.data, catalog);
+    let layout = match FeatureLayout::analyze(&plan.pipeline) {
+        Ok(l) => l,
+        Err(_) => return Ok(report),
+    };
+    let domains = domains_from_statistics(&plan.pipeline, &stats, &layout);
+    if domains.is_empty() {
+        return Ok(report);
+    }
+    report.global_pruning_applied = prune_pipeline_with_domains(&mut plan.pipeline, &domains)?;
+    if report.global_pruning_applied {
+        report.pruned_columns = model_projection_pushdown(plan)?;
+    }
+    Ok(report)
+}
+
+/// Compile a partition-optimized pipeline per partition of the scanned table
+/// (when the data part is a scan of a value-partitioned table), as in §4.2's
+/// per-partition models. The returned pipelines are aligned with the table's
+/// partitions; partitions whose statistics prune nothing reuse the input
+/// pipeline.
+pub fn compile_partition_models(
+    plan: &UnifiedPlan,
+    catalog: &Catalog,
+) -> Result<(Vec<Pipeline>, DataInducedReport)> {
+    let mut report = DataInducedReport::default();
+    let table_name = match &plan.data {
+        LogicalPlan::Scan { table, .. } => table.clone(),
+        other => {
+            // only direct scans keep partition alignment
+            let tables = other.referenced_tables();
+            if tables.len() == 1 {
+                tables[0].clone()
+            } else {
+                return Ok((vec![plan.pipeline.clone()], report));
+            }
+        }
+    };
+    let table = catalog.table(&table_name)?;
+    if table.partitions().len() <= 1 {
+        return Ok((vec![plan.pipeline.clone()], report));
+    }
+    let layout = match FeatureLayout::analyze(&plan.pipeline) {
+        Ok(l) => l,
+        Err(_) => return Ok((vec![plan.pipeline.clone()], report)),
+    };
+    let mut pipelines = Vec::with_capacity(table.partitions().len());
+    let mut total_pruned_cols = 0usize;
+    for part_stats in table.partition_statistics() {
+        let domains = domains_from_statistics(&plan.pipeline, part_stats, &layout);
+        let mut pipeline = plan.pipeline.clone();
+        let changed = prune_pipeline_with_domains(&mut pipeline, &domains)?;
+        if changed {
+            // per-partition densification (counts the pruned columns of Tab. 2)
+            let mut partition_plan = plan.clone();
+            partition_plan.pipeline = pipeline.clone();
+            let removed = model_projection_pushdown(&mut partition_plan)?;
+            total_pruned_cols += removed.len();
+            pipeline = partition_plan.pipeline;
+        }
+        pipelines.push(pipeline);
+    }
+    report.partition_models = pipelines.len();
+    report.avg_pruned_columns_per_partition =
+        total_pruned_cols as f64 / pipelines.len().max(1) as f64;
+    Ok((pipelines, report))
+}
+
+fn prune_pipeline_with_domains(
+    pipeline: &mut Pipeline,
+    domains: &BTreeMap<usize, (f64, f64)>,
+) -> Result<bool> {
+    if domains.is_empty() {
+        return Ok(false);
+    }
+    let Some(model) = pipeline.model_node() else {
+        return Ok(false);
+    };
+    let model_name = model.name.clone();
+    let mut changed = false;
+    let mut nodes = pipeline.nodes.clone();
+    for node in nodes.iter_mut().filter(|n| n.name == model_name) {
+        if let Operator::TreeEnsemble(ensemble) = &mut node.op {
+            let pruned = ensemble.prune_with_domains(domains);
+            if pruned.total_nodes() < ensemble.total_nodes() {
+                *ensemble = pruned;
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        pipeline.nodes = nodes;
+    }
+    Ok(changed)
+}
+
+fn gather_statistics(plan: &LogicalPlan, catalog: &Catalog) -> TableStatistics {
+    let mut merged = TableStatistics::default();
+    for table in plan.referenced_tables() {
+        if let Some(stats) = catalog.statistics(&table) {
+            if merged.columns.is_empty() {
+                merged = stats;
+            } else {
+                // columns from different tables are disjoint; append
+                let row_count = merged.row_count.max(stats.row_count);
+                merged.columns.extend(stats.columns);
+                merged.row_count = row_count;
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::{partition_by_column, PartitionSpec, TableBuilder};
+    use raven_ml::{
+        InputKind, MlRuntime, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble, TreeNode,
+    };
+    use raven_relational::col;
+
+    /// Tree splitting on raw age at 60: data whose max age is 50 can prune the
+    /// right sub-tree entirely.
+    fn pipeline() -> Pipeline {
+        let tree = Tree {
+            nodes: vec![
+                TreeNode::Branch { feature: 0, threshold: 60.0, left: 1, right: 2 },
+                TreeNode::Branch { feature: 1, threshold: 1.5, left: 3, right: 4 },
+                TreeNode::Leaf { value: 0.9 },
+                TreeNode::Leaf { value: 0.1 },
+                TreeNode::Leaf { value: 0.4 },
+            ],
+            root: 0,
+        };
+        Pipeline::new(
+            "m",
+            vec![
+                PipelineInput { name: "age".into(), kind: InputKind::Numeric },
+                PipelineInput { name: "rcount".into(), kind: InputKind::Numeric },
+            ],
+            vec![
+                PipelineNode {
+                    name: "concat".into(),
+                    op: Operator::Concat,
+                    inputs: vec!["age".into(), "rcount".into()],
+                    output: "features".into(),
+                },
+                PipelineNode {
+                    name: "model".into(),
+                    op: Operator::TreeEnsemble(TreeEnsemble::single_tree(tree, 2)),
+                    inputs: vec!["features".into()],
+                    output: "score".into(),
+                },
+            ],
+            "score",
+        )
+        .unwrap()
+    }
+
+    fn young_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("hospital")
+                .add_i64("id", vec![1, 2, 3])
+                .add_f64("age", vec![25.0, 40.0, 50.0])
+                .add_f64("rcount", vec![0.0, 1.0, 2.0])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn global_stats_prune_unreachable_subtree() {
+        let c = young_catalog();
+        let mut plan =
+            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        plan.projection = vec![col("id"), col("risk")];
+        let before = plan.pipeline.clone();
+        let report = apply_global_data_induced(&mut plan, &c).unwrap();
+        assert!(report.global_pruning_applied);
+        // age column is no longer needed by the pruned model (root decided)
+        assert!(report.pruned_columns.contains(&"age".to_string()));
+
+        // predictions on in-domain data are unchanged
+        let batch = c.table("hospital").unwrap().to_batch().unwrap();
+        let rt = MlRuntime::new();
+        let orig = rt.run_batch(&before, &batch).unwrap();
+        let new = rt.run_batch(&plan.pipeline, &batch).unwrap();
+        assert_eq!(orig, new);
+    }
+
+    #[test]
+    fn no_pruning_when_stats_cover_both_branches() {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("hospital")
+                .add_i64("id", vec![1, 2])
+                .add_f64("age", vec![25.0, 80.0])
+                .add_f64("rcount", vec![0.0, 3.0])
+                .build()
+                .unwrap(),
+        );
+        let mut plan =
+            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        let report = apply_global_data_induced(&mut plan, &c).unwrap();
+        assert!(!report.global_pruning_applied);
+    }
+
+    #[test]
+    fn partition_models_are_specialized_and_correct() {
+        let mut c = Catalog::new();
+        let table = TableBuilder::new("hospital")
+            .add_i64("id", (0..8).collect())
+            .add_f64(
+                "age",
+                vec![20.0, 30.0, 40.0, 50.0, 65.0, 70.0, 80.0, 90.0],
+            )
+            .add_f64("rcount", vec![0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let partitioned = partition_by_column(
+            &table,
+            &PartitionSpec::ByRange {
+                column: "age".into(),
+                partitions: 2,
+            },
+        )
+        .unwrap();
+        c.register(partitioned);
+        let plan =
+            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        let (models, report) = compile_partition_models(&plan, &c).unwrap();
+        assert_eq!(report.partition_models, models.len());
+        assert!(models.len() >= 2);
+
+        // each partition-specific model matches the original on its partition
+        let rt = MlRuntime::new();
+        let table = c.table("hospital").unwrap();
+        for (batch, model) in table.partitions().iter().zip(models.iter()) {
+            let orig = rt.run_batch(&plan.pipeline, batch).unwrap();
+            // the specialized pipeline may have dropped inputs; bind only what it needs
+            let inputs = raven_ml::bind_batch(model, batch).unwrap();
+            let new = rt.run(model, &inputs).unwrap();
+            assert_eq!(orig, new.as_numeric().unwrap().column(0));
+        }
+        // at least one partition model is smaller than the original
+        let orig_nodes: usize = match &plan.pipeline.model_node().unwrap().op {
+            Operator::TreeEnsemble(e) => e.total_nodes(),
+            _ => 0,
+        };
+        assert!(models.iter().any(|m| match &m.model_node().unwrap().op {
+            Operator::TreeEnsemble(e) => e.total_nodes() < orig_nodes,
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn single_partition_table_returns_original() {
+        let c = young_catalog();
+        let plan =
+            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        let (models, report) = compile_partition_models(&plan, &c).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(report.partition_models, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the Raven optimizer and session.
+
+use std::fmt;
+
+/// Result alias used throughout `raven-core`.
+pub type Result<T> = std::result::Result<T, RavenError>;
+
+/// Errors produced by optimization and end-to-end execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RavenError {
+    /// Error from the columnar layer.
+    Columnar(String),
+    /// Error from the relational engine.
+    Relational(String),
+    /// Error from the ML substrate.
+    Ml(String),
+    /// Error from the tensor runtime.
+    Tensor(String),
+    /// Error from the IR / parser layer.
+    Ir(String),
+    /// An optimization rule could not be applied to this query.
+    RuleNotApplicable(String),
+    /// The optimizer or session was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for RavenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RavenError::Columnar(m) => write!(f, "columnar error: {m}"),
+            RavenError::Relational(m) => write!(f, "relational error: {m}"),
+            RavenError::Ml(m) => write!(f, "ml error: {m}"),
+            RavenError::Tensor(m) => write!(f, "tensor error: {m}"),
+            RavenError::Ir(m) => write!(f, "ir error: {m}"),
+            RavenError::RuleNotApplicable(m) => write!(f, "rule not applicable: {m}"),
+            RavenError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RavenError {}
+
+impl From<raven_columnar::ColumnarError> for RavenError {
+    fn from(e: raven_columnar::ColumnarError) -> Self {
+        RavenError::Columnar(e.to_string())
+    }
+}
+impl From<raven_relational::RelationalError> for RavenError {
+    fn from(e: raven_relational::RelationalError) -> Self {
+        RavenError::Relational(e.to_string())
+    }
+}
+impl From<raven_ml::MlError> for RavenError {
+    fn from(e: raven_ml::MlError) -> Self {
+        RavenError::Ml(e.to_string())
+    }
+}
+impl From<raven_tensor::TensorError> for RavenError {
+    fn from(e: raven_tensor::TensorError) -> Self {
+        RavenError::Tensor(e.to_string())
+    }
+}
+impl From<raven_ir::IrError> for RavenError {
+    fn from(e: raven_ir::IrError) -> Self {
+        RavenError::Ir(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RavenError = raven_columnar::ColumnarError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("columnar"));
+        let e: RavenError = raven_ir::IrError::UnknownModel("m".into()).into();
+        assert!(e.to_string().contains("ir error"));
+        assert!(RavenError::RuleNotApplicable("because".into())
+            .to_string()
+            .contains("not applicable"));
+    }
+}

@@ -1,0 +1,146 @@
+//! MLtoDNN (paper §5.1): translate the traditional-ML model of a pipeline
+//! into a tensor program executed by the DNN runtime (`raven-tensor`), on the
+//! CPU or a (simulated) GPU. Featurizers stay on the ML runtime, mirroring
+//! Raven's integration where only the model is handed to Hummingbird.
+
+use crate::error::{RavenError, Result};
+use raven_ml::Pipeline;
+use raven_tensor::{compile_operator, Device, Strategy, TensorModel};
+
+/// The result of applying MLtoDNN: the original pipeline truncated to stop at
+/// the model's input (so featurization still runs on the ML runtime) plus the
+/// compiled tensor model bound to a device.
+#[derive(Debug, Clone)]
+pub struct DnnPlan {
+    /// Pipeline producing the model's feature matrix.
+    pub featurizer: Pipeline,
+    /// The compiled model bound to its device.
+    pub model: TensorModel,
+}
+
+/// Compile the model node of `pipeline` with the given Hummingbird strategy
+/// and bind it to `device`. Fails when the pipeline has no model or the model
+/// kind is not tensor-compilable (the pipeline then stays on the ML runtime,
+/// as in the paper's 88% coverage discussion, §7.4).
+pub fn apply_ml_to_dnn(pipeline: &Pipeline, strategy: Strategy, device: Device) -> Result<DnnPlan> {
+    let model_node = pipeline.model_node().ok_or_else(|| {
+        RavenError::RuleNotApplicable("pipeline has no model operator".into())
+    })?;
+    let compiled = compile_operator(&model_node.op, strategy)
+        .map_err(|e| RavenError::RuleNotApplicable(e.to_string()))?;
+
+    // Featurizer pipeline: same graph, but its output is the model's input
+    // value (the feature matrix). When the model consumes several values they
+    // are implicitly concatenated by the runtime, so the common case of a
+    // single `features` input is what we support; otherwise fall back.
+    if model_node.inputs.len() != 1 {
+        return Err(RavenError::RuleNotApplicable(
+            "model node with multiple inputs is not supported by MLtoDNN".into(),
+        ));
+    }
+    let feature_value = model_node.inputs[0].clone();
+    let mut featurizer = pipeline.clone();
+    featurizer.output = feature_value;
+    featurizer.name = format!("{}::featurizer", pipeline.name);
+    featurizer.prune_dead_nodes();
+    featurizer
+        .validate()
+        .map_err(|e| RavenError::Ml(e.to_string()))?;
+
+    Ok(DnnPlan {
+        featurizer,
+        model: TensorModel::new(compiled, device),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{
+        bind_batch, train_pipeline, MlRuntime, ModelType, PipelineSpec,
+    };
+    use raven_tensor::GpuProfile;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch(n: usize) -> raven_columnar::Batch {
+        let mut rng = StdRng::seed_from_u64(13);
+        TableBuilder::new("t")
+            .add_f64("a", (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .add_f64("b", (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .add_utf8(
+                "c",
+                (0..n)
+                    .map(|_| ["u", "v"][rng.gen_range(0..2)].to_string())
+                    .collect(),
+            )
+            .add_f64(
+                "label",
+                (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+            )
+            .build_batch()
+            .unwrap()
+    }
+
+    #[test]
+    fn dnn_plan_matches_ml_runtime() {
+        let b = batch(200);
+        let pipeline = train_pipeline(
+            &b,
+            &PipelineSpec {
+                name: "gb".into(),
+                numeric_inputs: vec!["a".into(), "b".into()],
+                categorical_inputs: vec!["c".into()],
+                label: "label".into(),
+                model: ModelType::GradientBoosting {
+                    n_estimators: 8,
+                    max_depth: 3,
+                    learning_rate: 0.2,
+                },
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let rt = MlRuntime::new();
+        let expected = rt.run_batch(&pipeline, &b).unwrap();
+
+        for device in [Device::Cpu, Device::SimulatedGpu(GpuProfile::tesla_k80())] {
+            for strategy in [Strategy::Gemm, Strategy::TreeTraversal] {
+                let plan = apply_ml_to_dnn(&pipeline, strategy, device.clone()).unwrap();
+                // run featurizer then tensor model
+                let inputs = bind_batch(&plan.featurizer, &b).unwrap();
+                let features = rt.run(&plan.featurizer, &inputs).unwrap();
+                let features = features.as_numeric().unwrap();
+                let run = plan.model.run(features).unwrap();
+                for (a, e) in run.scores.iter().zip(expected.iter()) {
+                    assert!((a - e).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn featurizer_pipeline_stops_before_model() {
+        let b = batch(100);
+        let pipeline = train_pipeline(
+            &b,
+            &PipelineSpec {
+                name: "dt".into(),
+                numeric_inputs: vec!["a".into()],
+                categorical_inputs: vec![],
+                label: "label".into(),
+                model: ModelType::DecisionTree { max_depth: 3 },
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let plan = apply_ml_to_dnn(&pipeline, Strategy::Gemm, Device::Cpu).unwrap();
+        assert!(plan.featurizer.model_node().is_none() || !plan
+            .featurizer
+            .model_node()
+            .map(|n| n.output == plan.featurizer.output)
+            .unwrap_or(false));
+        assert!(plan.featurizer.node_count() < pipeline.node_count());
+    }
+}

@@ -1,0 +1,779 @@
+//! The end-to-end Raven session: parse → unified IR → Raven optimizer
+//! (logical cross-optimizations, data-induced optimizations, runtime
+//! selection) → execution on the data engine / ML runtime / DNN runtime
+//! (paper §6, Fig. 2 and Fig. 5).
+
+use crate::cross_opt::{
+    apply_cross_optimizations, model_projection_pushdown, predicate_based_model_pruning,
+    CrossOptReport,
+};
+use crate::data_induced::{apply_global_data_induced, compile_partition_models, DataInducedReport};
+use crate::error::{RavenError, Result};
+use crate::mltodnn::apply_ml_to_dnn;
+use crate::mltosql::pipeline_to_sql;
+use crate::stats::PipelineStats;
+use crate::strategy::{OptimizationStrategy, TransformChoice};
+use raven_columnar::{Batch, Column, DataType, Field, Table};
+use raven_ir::{parse_prediction_query, ModelRegistry, UnifiedPlan};
+use raven_ml::{bind_batch, MlRuntime, Pipeline, RuntimeConfig};
+use raven_relational::{
+    col, evaluate, evaluate_predicate, Catalog, ExecutionContext, Executor, Expr, LogicalPlan,
+    Optimizer,
+};
+use raven_tensor::{Device, Strategy};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the logical-to-physical transformation is selected.
+#[derive(Debug, Clone)]
+pub enum RuntimePolicy {
+    /// Never transform: cross-optimized pipeline stays on the ML runtime.
+    NoTransform,
+    /// Always apply the given transformation (fall back to the ML runtime if
+    /// the rule is not applicable).
+    Force(TransformChoice),
+    /// The built-in heuristic rule (the shape of the paper's example rule in
+    /// §5.2: big models → MLtoDNN, small models with few inputs → MLtoSQL).
+    Heuristic,
+    /// A learned, data-driven strategy (§5.2).
+    Learned(Arc<dyn OptimizationStrategy + Send + Sync>),
+}
+
+/// How the ML part of the query is executed when it stays on the ML runtime;
+/// used to model the systems Raven is compared against in §7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Vectorized UDF-style batch scoring (Raven / Spark+ONNX Runtime).
+    Vectorized,
+    /// Row-at-a-time interpreted scoring (SparkML-style baseline).
+    RowInterpreted,
+    /// Vectorized scoring but with every featurization step materialized to
+    /// columnar storage between operators (MADlib-style baseline).
+    Materialized,
+}
+
+/// Session / optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct RavenConfig {
+    /// Apply predicate-based model pruning (§4.1).
+    pub enable_predicate_pruning: bool,
+    /// Apply model-projection pushdown (§4.1).
+    pub enable_projection_pushdown: bool,
+    /// Apply data-induced optimizations (§4.2).
+    pub enable_data_induced: bool,
+    /// Compile per-partition models when the scanned table is partitioned.
+    pub enable_partition_models: bool,
+    /// Logical-to-physical policy (§5).
+    pub runtime_policy: RuntimePolicy,
+    /// Degree of parallelism of the data engine.
+    pub degree_of_parallelism: usize,
+    /// ML runtime configuration (UDF overheads, batch size).
+    pub ml_runtime: RuntimeConfig,
+    /// Device used when MLtoDNN is chosen.
+    pub device: Device,
+    /// Hummingbird compilation strategy for MLtoDNN.
+    pub dnn_strategy: Strategy,
+    /// Baseline execution mode for the ML-runtime path.
+    pub baseline: BaselineMode,
+}
+
+impl Default for RavenConfig {
+    fn default() -> Self {
+        RavenConfig {
+            enable_predicate_pruning: true,
+            enable_projection_pushdown: true,
+            enable_data_induced: true,
+            enable_partition_models: false,
+            runtime_policy: RuntimePolicy::Heuristic,
+            degree_of_parallelism: 1,
+            ml_runtime: RuntimeConfig::default(),
+            device: Device::Cpu,
+            dnn_strategy: Strategy::Gemm,
+            baseline: BaselineMode::Vectorized,
+        }
+    }
+}
+
+impl RavenConfig {
+    /// A configuration with every Raven optimization disabled — the
+    /// "Raven (no-opt)" baseline of §7.
+    pub fn no_opt() -> Self {
+        RavenConfig {
+            enable_predicate_pruning: false,
+            enable_projection_pushdown: false,
+            enable_data_induced: false,
+            enable_partition_models: false,
+            runtime_policy: RuntimePolicy::NoTransform,
+            ..Default::default()
+        }
+    }
+}
+
+/// What the optimizer decided and how execution went.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Cross-optimization outcome.
+    pub cross: CrossOptReport,
+    /// Data-induced optimization outcome.
+    pub data_induced: DataInducedReport,
+    /// The chosen logical-to-physical transformation.
+    pub transform: TransformChoice,
+    /// Whether the chosen transformation had to fall back to the ML runtime.
+    pub transform_fallback: bool,
+    /// Time spent in the Raven optimizer itself.
+    pub optimization_time: Duration,
+    /// Time spent in the data engine.
+    pub data_time: Duration,
+    /// Time spent in the ML / DNN runtime (zero for MLtoSQL).
+    pub ml_time: Duration,
+    /// End-to-end time (optimization excluded), using the device-reported
+    /// time for simulated GPUs.
+    pub total_time: Duration,
+    /// Number of result rows.
+    pub output_rows: usize,
+    /// Whether `ml_time` comes from a simulated device model.
+    pub ml_time_modeled: bool,
+}
+
+/// The result of executing a prediction query.
+#[derive(Debug, Clone)]
+pub struct PredictionOutput {
+    /// The result rows.
+    pub batch: Batch,
+    /// The optimizer / execution report.
+    pub report: ExecutionReport,
+}
+
+/// An end-to-end Raven session (the `RavenSession` of Fig. 5).
+#[derive(Debug, Default)]
+pub struct RavenSession {
+    catalog: Catalog,
+    registry: ModelRegistry,
+    config: RavenConfig,
+}
+
+impl RavenSession {
+    /// Create a session with the default configuration.
+    pub fn new() -> Self {
+        RavenSession {
+            catalog: Catalog::new(),
+            registry: ModelRegistry::new(),
+            config: RavenConfig::default(),
+        }
+    }
+
+    /// Create a session with an explicit configuration.
+    pub fn with_config(config: RavenConfig) -> Self {
+        RavenSession {
+            catalog: Catalog::new(),
+            registry: ModelRegistry::new(),
+            config,
+        }
+    }
+
+    /// The session configuration (mutable, so harnesses can toggle rules).
+    pub fn config_mut(&mut self) -> &mut RavenConfig {
+        &mut self.config
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &RavenConfig {
+        &self.config
+    }
+
+    /// Register a table.
+    pub fn register_table(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    /// Register a trained pipeline.
+    pub fn register_model(&mut self, pipeline: Pipeline) {
+        self.registry.register(pipeline);
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Parse, optimize, and execute a prediction query written with the
+    /// `PREDICT` syntax.
+    pub fn sql(&self, query: &str) -> Result<PredictionOutput> {
+        let plan = parse_prediction_query(query, &self.registry, &self.catalog)?;
+        self.execute(&plan)
+    }
+
+    /// Optimize a unified plan without executing it (returns the optimized
+    /// plan, the chosen transform, and the reports).
+    pub fn optimize(
+        &self,
+        plan: &UnifiedPlan,
+    ) -> Result<(UnifiedPlan, TransformChoice, CrossOptReport, DataInducedReport)> {
+        let mut plan = plan.clone();
+        let mut cross = CrossOptReport::default();
+        if self.config.enable_predicate_pruning && self.config.enable_projection_pushdown {
+            cross = apply_cross_optimizations(&mut plan)?;
+        } else if self.config.enable_predicate_pruning {
+            cross.predicate_pruning_applied = predicate_based_model_pruning(&mut plan)?;
+        } else if self.config.enable_projection_pushdown {
+            cross.removed_inputs = model_projection_pushdown(&mut plan)?;
+            cross.projection_pushdown_applied = !cross.removed_inputs.is_empty();
+        }
+        let mut data_induced = DataInducedReport::default();
+        if self.config.enable_data_induced {
+            let report = apply_global_data_induced(&mut plan, &self.catalog)?;
+            // columns pruned by data-induced statistics also leave the scan
+            data_induced = report;
+        }
+        let transform = self.choose_transform(&plan);
+        Ok((plan, transform, cross, data_induced))
+    }
+
+    /// Optimize and execute a unified plan.
+    pub fn execute(&self, plan: &UnifiedPlan) -> Result<PredictionOutput> {
+        let opt_start = Instant::now();
+        let (optimized, transform, cross, mut data_induced) = self.optimize(plan)?;
+        let optimization_time = opt_start.elapsed();
+
+        let exec_start = Instant::now();
+        let (batch, data_time, ml_time, ml_time_modeled, fallback, partition_report) =
+            self.execute_optimized(&optimized, transform)?;
+        if let Some(p) = partition_report {
+            data_induced.partition_models = p.partition_models;
+            data_induced.avg_pruned_columns_per_partition = p.avg_pruned_columns_per_partition;
+        }
+        let measured_total = exec_start.elapsed();
+        // When the ML time is modeled (simulated GPU) the end-to-end total is
+        // data time + modeled ML time rather than the measured wall clock.
+        let total_time = if ml_time_modeled {
+            data_time + ml_time
+        } else {
+            measured_total
+        };
+        let report = ExecutionReport {
+            cross,
+            data_induced,
+            transform: if fallback { TransformChoice::None } else { transform },
+            transform_fallback: fallback,
+            optimization_time,
+            data_time,
+            ml_time,
+            total_time,
+            output_rows: batch.num_rows(),
+            ml_time_modeled,
+        };
+        Ok(PredictionOutput { batch, report })
+    }
+
+    // ---------------------------------------------------------------------
+    // runtime selection
+    // ---------------------------------------------------------------------
+
+    fn choose_transform(&self, plan: &UnifiedPlan) -> TransformChoice {
+        match &self.config.runtime_policy {
+            RuntimePolicy::NoTransform => TransformChoice::None,
+            RuntimePolicy::Force(c) => *c,
+            RuntimePolicy::Learned(strategy) => {
+                strategy.choose(&PipelineStats::from_pipeline(&plan.pipeline))
+            }
+            RuntimePolicy::Heuristic => {
+                let stats = PipelineStats::from_pipeline(&plan.pipeline);
+                let gpu_available = self.config.device.is_simulated();
+                // The §5.2 example rule, adapted to this engine's calibration:
+                // very large ensembles benefit from the DNN runtime (on GPU),
+                // small/medium models with manageable generated SQL go to SQL,
+                // everything else stays on the ML runtime.
+                if gpu_available && stats.n_tree_nodes > 20_000.0 {
+                    TransformChoice::MlToDnn
+                } else if stats.is_linear_model == 1.0 || stats.sql_expression_nodes <= 4_000.0 {
+                    TransformChoice::MlToSql
+                } else {
+                    TransformChoice::None
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // execution paths
+    // ---------------------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn execute_optimized(
+        &self,
+        plan: &UnifiedPlan,
+        transform: TransformChoice,
+    ) -> Result<(Batch, Duration, Duration, bool, bool, Option<DataInducedReport>)> {
+        match transform {
+            TransformChoice::MlToSql => match self.execute_ml_to_sql(plan) {
+                Ok((batch, data_time)) => {
+                    Ok((batch, data_time, Duration::ZERO, false, false, None))
+                }
+                Err(RavenError::RuleNotApplicable(_)) => {
+                    let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
+                    Ok((b, d, m, false, true, pr))
+                }
+                Err(e) => Err(e),
+            },
+            TransformChoice::MlToDnn => match self.execute_ml_to_dnn(plan) {
+                Ok((batch, data_time, ml_time, modeled)) => {
+                    Ok((batch, data_time, ml_time, modeled, false, None))
+                }
+                Err(RavenError::RuleNotApplicable(_)) => {
+                    let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
+                    Ok((b, d, m, false, true, pr))
+                }
+                Err(e) => Err(e),
+            },
+            TransformChoice::None => {
+                let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
+                Ok((b, d, m, false, false, pr))
+            }
+        }
+    }
+
+    /// The relational plan computing the model's input data: the query's data
+    /// part with input-side predicates applied and projected to the columns
+    /// the (optimized) pipeline and the rest of the query still need.
+    fn data_side_plan(&self, plan: &UnifiedPlan) -> LogicalPlan {
+        let mut data = plan.data.clone();
+        let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
+        if !input_preds.is_empty() {
+            data = data.filter(Expr::conjunction(input_preds));
+        }
+        let mut needed: Vec<String> = plan
+            .pipeline
+            .input_names()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect();
+        for c in plan.externally_required_columns() {
+            if !needed.contains(&c) {
+                needed.push(c);
+            }
+        }
+        if !needed.is_empty() {
+            data = data.project(needed.iter().map(col).collect());
+        }
+        data
+    }
+
+    fn run_relational(&self, plan: &LogicalPlan) -> Result<Batch> {
+        let optimized = Optimizer::new().optimize(plan, &self.catalog)?;
+        let exec = Executor::new();
+        let ctx = ExecutionContext::with_dop(self.config.degree_of_parallelism);
+        Ok(exec.execute(&optimized, &self.catalog, &ctx)?)
+    }
+
+    /// MLtoSQL path: the entire query (featurization, model, predicates,
+    /// projection, aggregate) becomes one relational plan.
+    fn execute_ml_to_sql(&self, plan: &UnifiedPlan) -> Result<(Batch, Duration)> {
+        let score_expr = pipeline_to_sql(&plan.pipeline)?;
+        let start = Instant::now();
+        let mut data = plan.data.clone();
+        let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
+        if !input_preds.is_empty() {
+            data = data.filter(Expr::conjunction(input_preds));
+        }
+        // project the prediction plus every column the rest of the query needs
+        let mut exprs: Vec<Expr> = plan
+            .externally_required_columns()
+            .into_iter()
+            .map(|c| col(&c))
+            .collect();
+        exprs.push(score_expr.alias(&plan.prediction_column));
+        data = data.project(exprs);
+        let output_preds: Vec<Expr> = plan.output_predicates().into_iter().cloned().collect();
+        if !output_preds.is_empty() {
+            data = data.filter(Expr::conjunction(output_preds));
+        }
+        if !plan.projection.is_empty() {
+            data = data.project(plan.projection.clone());
+        }
+        if let Some((group_by, aggs)) = &plan.aggregate {
+            data = data.aggregate(group_by.clone(), aggs.clone());
+        }
+        let batch = self.run_relational(&data)?;
+        Ok((batch, start.elapsed()))
+    }
+
+    /// ML-runtime path (and the SparkML / MADlib-style baselines): run the
+    /// data part on the data engine, score with the ML runtime, then apply
+    /// output predicates / projection / aggregation.
+    fn execute_ml_runtime(
+        &self,
+        plan: &UnifiedPlan,
+    ) -> Result<(Batch, Duration, Duration, Option<DataInducedReport>)> {
+        // per-partition models (data-induced §4.2) only apply to bare scans
+        let partition_models = if self.config.enable_partition_models {
+            let (models, report) = compile_partition_models(plan, &self.catalog)?;
+            if models.len() > 1 {
+                Some((models, report))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
+        let mut data_time = Duration::ZERO;
+        let mut ml_time = Duration::ZERO;
+
+        let (mut scored, partition_report) = match partition_models {
+            Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
+                // execute partition by partition with its specialized model
+                let table_name = match &plan.data {
+                    LogicalPlan::Scan { table, .. } => table.clone(),
+                    _ => unreachable!(),
+                };
+                let table = self.catalog.table(&table_name)?;
+                let input_preds: Vec<Expr> =
+                    plan.input_predicates().into_iter().cloned().collect();
+                let mut parts = Vec::new();
+                for (batch, pipeline) in table.partitions().iter().zip(models.iter()) {
+                    let d0 = Instant::now();
+                    let mut batch = batch.clone();
+                    for p in &input_preds {
+                        let mask = evaluate_predicate(p, &batch)?;
+                        batch = batch.filter(&mask)?;
+                    }
+                    data_time += d0.elapsed();
+                    let m0 = Instant::now();
+                    let scores = self.score_batch(&runtime, pipeline, &batch)?;
+                    ml_time += m0.elapsed();
+                    parts.push(attach_scores(&batch, &plan.prediction_column, scores)?);
+                }
+                (Batch::concat(&parts)?, Some(report))
+            }
+            _ => {
+                let d0 = Instant::now();
+                let data_plan = self.data_side_plan(plan);
+                let batch = self.run_relational(&data_plan)?;
+                data_time += d0.elapsed();
+                let m0 = Instant::now();
+                let scores = self.score_batch(&runtime, &plan.pipeline, &batch)?;
+                ml_time += m0.elapsed();
+                (attach_scores(&batch, &plan.prediction_column, scores)?, None)
+            }
+        };
+
+        let d1 = Instant::now();
+        scored = self.post_process(plan, scored)?;
+        data_time += d1.elapsed();
+        Ok((scored, data_time, ml_time, partition_report))
+    }
+
+    fn score_batch(
+        &self,
+        runtime: &MlRuntime,
+        pipeline: &Pipeline,
+        batch: &Batch,
+    ) -> Result<Vec<f64>> {
+        match self.config.baseline {
+            BaselineMode::Vectorized => Ok(runtime.run_batch(pipeline, batch)?),
+            BaselineMode::RowInterpreted => Ok(runtime.run_batch_row_interpreted(pipeline, batch)?),
+            BaselineMode::Materialized => {
+                // MADlib-style: evaluate the pipeline one operator at a time,
+                // materializing every intermediate result into fresh columnar
+                // buffers (two extra copies per operator), single threaded.
+                let mut inputs = bind_batch(pipeline, batch)?;
+                let mut partial = Pipeline {
+                    name: pipeline.name.clone(),
+                    inputs: pipeline.inputs.clone(),
+                    nodes: vec![],
+                    output: pipeline.output.clone(),
+                };
+                for node in &pipeline.nodes {
+                    partial.nodes.push(node.clone());
+                    partial.output = node.output.clone();
+                    let out = runtime.run(&partial, &inputs)?;
+                    // materialize: round-trip the value through owned buffers
+                    let materialized = match out {
+                        raven_ml::FrameValue::Numeric(m) => {
+                            let copied = raven_ml::Matrix::new(
+                                m.rows(),
+                                m.cols(),
+                                m.data().to_vec(),
+                            )
+                            .map_err(|e| RavenError::Ml(e.to_string()))?;
+                            raven_ml::FrameValue::Numeric(copied)
+                        }
+                        other => other,
+                    };
+                    // expose the materialized value as a new pipeline input so
+                    // later operators read from "storage"
+                    inputs.insert(node.output.clone(), materialized);
+                    partial.inputs.push(raven_ml::PipelineInput {
+                        name: node.output.clone(),
+                        kind: raven_ml::InputKind::Numeric,
+                    });
+                    partial.nodes.clear();
+                }
+                let out = inputs
+                    .remove(&pipeline.output)
+                    .ok_or_else(|| RavenError::Ml("materialized output missing".into()))?;
+                let m = out.as_numeric().map_err(|e| RavenError::Ml(e.to_string()))?;
+                Ok(m.column(0))
+            }
+        }
+    }
+
+    /// MLtoDNN path: data engine → featurizers on the ML runtime → compiled
+    /// tensor model on the configured device.
+    fn execute_ml_to_dnn(
+        &self,
+        plan: &UnifiedPlan,
+    ) -> Result<(Batch, Duration, Duration, bool)> {
+        let dnn = apply_ml_to_dnn(
+            &plan.pipeline,
+            self.config.dnn_strategy,
+            self.config.device.clone(),
+        )?;
+        let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
+
+        let d0 = Instant::now();
+        let data_plan = self.data_side_plan(plan);
+        let batch = self.run_relational(&data_plan)?;
+        let mut data_time = d0.elapsed();
+
+        let m0 = Instant::now();
+        let inputs = bind_batch(&dnn.featurizer, &batch)?;
+        let features = runtime.run(&dnn.featurizer, &inputs)?;
+        let features = features
+            .as_numeric()
+            .map_err(|e| RavenError::Ml(e.to_string()))?;
+        let featurize_time = m0.elapsed();
+        let run = dnn.model.run(features)?;
+        let modeled = dnn.model.device.is_simulated();
+        let ml_time = featurize_time + run.reported;
+
+        let d1 = Instant::now();
+        let mut scored = attach_scores(&batch, &plan.prediction_column, run.scores)?;
+        scored = self.post_process(plan, scored)?;
+        data_time += d1.elapsed();
+        Ok((scored, data_time, ml_time, modeled))
+    }
+
+    /// Apply output-side predicates, the final projection, and the aggregate
+    /// to a scored batch.
+    fn post_process(&self, plan: &UnifiedPlan, mut batch: Batch) -> Result<Batch> {
+        for p in plan.output_predicates() {
+            let mask = evaluate_predicate(p, &batch)?;
+            batch = batch.filter(&mask)?;
+        }
+        if !plan.projection.is_empty() {
+            let mut columns = Vec::with_capacity(plan.projection.len());
+            let mut fields = Vec::with_capacity(plan.projection.len());
+            for e in &plan.projection {
+                let c = evaluate(e, &batch)?;
+                fields.push(Field::new(e.output_name(), c.data_type()));
+                columns.push(c);
+            }
+            batch = Batch::new(
+                Arc::new(raven_columnar::Schema::new(fields)?),
+                columns,
+            )?;
+        }
+        if let Some((group_by, aggs)) = &plan.aggregate {
+            // reuse the relational executor by registering the scored batch
+            let mut catalog = Catalog::new();
+            catalog.register(Table::from_batch("__scored", batch.clone())?);
+            let agg_plan = LogicalPlan::scan("__scored").aggregate(group_by.clone(), aggs.clone());
+            let exec = Executor::new();
+            batch = exec.execute(&agg_plan, &catalog, &ExecutionContext::default())?;
+        }
+        Ok(batch)
+    }
+}
+
+fn attach_scores(batch: &Batch, name: &str, scores: Vec<f64>) -> Result<Batch> {
+    Ok(batch.with_column(
+        Field::new(name, DataType::Float64),
+        Arc::new(Column::Float64(scores)),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build a small hospital-like scenario: one table, a trained DT pipeline,
+    /// and the running-example style query.
+    fn session(model: ModelType) -> (RavenSession, String) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 400;
+        let age: Vec<f64> = (0..n).map(|_| rng.gen_range(20.0..90.0)).collect();
+        let bmi: Vec<f64> = (0..n).map(|_| rng.gen_range(15.0..45.0)).collect();
+        let asthma: Vec<i64> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let rcount: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let label: Vec<f64> = (0..n)
+            .map(|i| {
+                let risk = 0.04 * (age[i] - 55.0) + 0.08 * (bmi[i] - 30.0) + asthma[i] as f64;
+                if risk > 0.3 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let table = TableBuilder::new("patients")
+            .add_i64("id", (0..n as i64).collect())
+            .add_f64("age", age)
+            .add_f64("bmi", bmi)
+            .add_i64("asthma", asthma)
+            .add_i64("rcount", rcount)
+            .build()
+            .unwrap();
+        let train_batch = table.to_batch().unwrap().with_column(
+            Field::new("label", DataType::Float64),
+            Arc::new(Column::Float64(label)),
+        )
+        .unwrap();
+        let pipeline = train_pipeline(
+            &train_batch,
+            &PipelineSpec {
+                name: "risk_model".into(),
+                numeric_inputs: vec!["age".into(), "bmi".into()],
+                categorical_inputs: vec!["asthma".into()],
+                label: "label".into(),
+                model,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        let mut session = RavenSession::new();
+        session.register_table(table);
+        session.register_model(pipeline);
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.asthma = 1 AND p.risk >= 0.5"
+            .to_string();
+        (session, query)
+    }
+
+    fn ids(batch: &Batch) -> Vec<i64> {
+        let mut v = batch
+            .column_by_name("id")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_results_agree() {
+        for model in [
+            ModelType::DecisionTree { max_depth: 6 },
+            ModelType::LogisticRegression { l1_alpha: 0.01 },
+            ModelType::GradientBoosting {
+                n_estimators: 8,
+                max_depth: 3,
+                learning_rate: 0.2,
+            },
+        ] {
+            let (mut session, query) = session(model);
+            let optimized = session.sql(&query).unwrap();
+            *session.config_mut() = RavenConfig::no_opt();
+            let baseline = session.sql(&query).unwrap();
+            assert_eq!(
+                ids(&optimized.batch),
+                ids(&baseline.batch),
+                "result mismatch between optimized and unoptimized execution"
+            );
+            assert!(optimized.report.output_rows > 0);
+        }
+    }
+
+    #[test]
+    fn transforms_are_selected_and_reported() {
+        let (mut session, query) = session(ModelType::DecisionTree { max_depth: 5 });
+        // heuristic should choose MLtoSQL for a small decision tree
+        let out = session.sql(&query).unwrap();
+        assert_eq!(out.report.transform, TransformChoice::MlToSql);
+        assert!(out.report.ml_time.is_zero());
+
+        // force the ML runtime
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        let out = session.sql(&query).unwrap();
+        assert_eq!(out.report.transform, TransformChoice::None);
+        assert!(out.report.cross.projection_pushdown_applied || out.report.cross.predicate_pruning_applied);
+
+        // force MLtoDNN on the simulated GPU
+        session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::MlToDnn);
+        session.config_mut().device = Device::SimulatedGpu(raven_tensor::GpuProfile::tesla_k80());
+        let out = session.sql(&query).unwrap();
+        assert_eq!(out.report.transform, TransformChoice::MlToDnn);
+        assert!(out.report.ml_time_modeled);
+    }
+
+    #[test]
+    fn all_execution_paths_agree() {
+        let (mut session, query) = session(ModelType::GradientBoosting {
+            n_estimators: 6,
+            max_depth: 3,
+            learning_rate: 0.2,
+        });
+        let mut results = Vec::new();
+        for choice in [
+            TransformChoice::None,
+            TransformChoice::MlToSql,
+            TransformChoice::MlToDnn,
+        ] {
+            session.config_mut().runtime_policy = RuntimePolicy::Force(choice);
+            let out = session.sql(&query).unwrap();
+            results.push(ids(&out.batch));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn baselines_agree_with_vectorized() {
+        let (mut session, query) = session(ModelType::DecisionTree { max_depth: 4 });
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        let vectorized = session.sql(&query).unwrap();
+        session.config_mut().baseline = BaselineMode::RowInterpreted;
+        let row = session.sql(&query).unwrap();
+        session.config_mut().baseline = BaselineMode::Materialized;
+        let mat = session.sql(&query).unwrap();
+        assert_eq!(ids(&vectorized.batch), ids(&row.batch));
+        assert_eq!(ids(&vectorized.batch), ids(&mat.batch));
+    }
+
+    #[test]
+    fn aggregate_queries_work() {
+        let (session, _) = session(ModelType::DecisionTree { max_depth: 4 });
+        let plan = parse_prediction_query(
+            "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+             WITH (risk float) AS p",
+            session.registry(),
+            session.catalog(),
+        )
+        .unwrap();
+        let mut plan = plan;
+        plan.projection = vec![];
+        plan.aggregate = Some((
+            vec![],
+            vec![raven_relational::AggregateExpr {
+                func: raven_relational::AggregateFunction::Avg,
+                arg: col("risk"),
+                alias: "avg_risk".into(),
+            }],
+        ));
+        let out = session.execute(&plan).unwrap();
+        assert_eq!(out.batch.num_rows(), 1);
+        let avg = out.batch.column_by_name("avg_risk").unwrap().as_f64().unwrap()[0];
+        assert!((0.0..=1.0).contains(&avg));
+    }
+}

@@ -1,0 +1,297 @@
+//! Pipeline statistics (the 22 features of §5.2) used by the data-driven
+//! optimization strategies.
+
+use crate::layout::FeatureLayout;
+use raven_ml::{Operator, OperatorCategory, Pipeline};
+use serde::{Deserialize, Serialize};
+
+/// The statistics gathered for a trained pipeline, mirroring the feature set
+/// the paper extracts for its rule-based / ML-based strategies (§5.2):
+/// pipeline shape (inputs, operators, featurizers), one-hot encoder widths,
+/// and tree-ensemble complexity (number of trees, depth statistics, node
+/// counts), plus sparsity information.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Number of raw data inputs to the pipeline.
+    pub n_inputs: f64,
+    /// Number of numeric inputs.
+    pub n_numeric_inputs: f64,
+    /// Number of categorical inputs.
+    pub n_categorical_inputs: f64,
+    /// Number of features after featurization (the model's input width).
+    pub n_features: f64,
+    /// Total number of operators in the pipeline.
+    pub n_operators: f64,
+    /// Number of featurizer operators.
+    pub n_featurizers: f64,
+    /// Number of one-hot encoders.
+    pub n_one_hot_encoders: f64,
+    /// Mean number of outputs across one-hot encoders.
+    pub mean_ohe_outputs: f64,
+    /// Maximum number of outputs across one-hot encoders.
+    pub max_ohe_outputs: f64,
+    /// Number of scaler operators.
+    pub n_scalers: f64,
+    /// 1.0 when the model is tree-based, 0.0 otherwise.
+    pub is_tree_model: f64,
+    /// 1.0 when the model is linear, 0.0 otherwise.
+    pub is_linear_model: f64,
+    /// Number of trees in the ensemble (0 for linear models).
+    pub n_trees: f64,
+    /// Mean tree depth (0 for linear models, as in the paper).
+    pub mean_tree_depth: f64,
+    /// Maximum tree depth.
+    pub max_tree_depth: f64,
+    /// Standard deviation of tree depths.
+    pub std_tree_depth: f64,
+    /// Total number of tree nodes.
+    pub n_tree_nodes: f64,
+    /// Mean leaves per tree.
+    pub mean_leaves: f64,
+    /// Number of features actually used by the model.
+    pub n_used_features: f64,
+    /// Fraction of features unused by the model (the sparsity of §2.1).
+    pub unused_feature_fraction: f64,
+    /// Non-zero weights for linear models (0 for trees).
+    pub n_nonzero_weights: f64,
+    /// Estimated cost of the generated SQL expression (CASE nodes) per row.
+    pub sql_expression_nodes: f64,
+}
+
+impl PipelineStats {
+    /// Gather statistics from a pipeline.
+    pub fn from_pipeline(pipeline: &Pipeline) -> Self {
+        let mut stats = PipelineStats {
+            n_inputs: pipeline.inputs.len() as f64,
+            n_operators: pipeline.node_count() as f64,
+            n_features: pipeline.feature_width() as f64,
+            ..Default::default()
+        };
+        stats.n_numeric_inputs = pipeline
+            .inputs
+            .iter()
+            .filter(|i| i.kind == raven_ml::InputKind::Numeric)
+            .count() as f64;
+        stats.n_categorical_inputs = stats.n_inputs - stats.n_numeric_inputs;
+
+        let cats = pipeline.category_counts();
+        stats.n_featurizers = *cats.get(&OperatorCategory::Featurizer).unwrap_or(&0) as f64;
+
+        let mut ohe_widths = Vec::new();
+        for node in &pipeline.nodes {
+            match &node.op {
+                Operator::OneHotEncoder(e) => ohe_widths.push(e.width() as f64),
+                Operator::Scaler(_) => stats.n_scalers += 1.0,
+                _ => {}
+            }
+        }
+        stats.n_one_hot_encoders = ohe_widths.len() as f64;
+        if !ohe_widths.is_empty() {
+            stats.mean_ohe_outputs = ohe_widths.iter().sum::<f64>() / ohe_widths.len() as f64;
+            stats.max_ohe_outputs = ohe_widths.iter().cloned().fold(0.0, f64::max);
+        }
+
+        if let Some(model) = pipeline.model_node() {
+            match &model.op {
+                Operator::TreeEnsemble(e) => {
+                    stats.is_tree_model = 1.0;
+                    stats.n_trees = e.n_trees() as f64;
+                    stats.mean_tree_depth = e.mean_depth();
+                    stats.max_tree_depth = e.max_depth() as f64;
+                    let depths: Vec<f64> = e.trees.iter().map(|t| t.depth() as f64).collect();
+                    stats.std_tree_depth = std_dev(&depths);
+                    stats.n_tree_nodes = e.total_nodes() as f64;
+                    stats.mean_leaves = if e.trees.is_empty() {
+                        0.0
+                    } else {
+                        e.trees.iter().map(|t| t.leaf_count() as f64).sum::<f64>()
+                            / e.trees.len() as f64
+                    };
+                    stats.n_used_features = e.used_features().len() as f64;
+                    stats.sql_expression_nodes = (e.total_nodes() * 4) as f64;
+                }
+                Operator::LogisticRegression(m) => {
+                    stats.is_linear_model = 1.0;
+                    stats.n_nonzero_weights = m.used_features().len() as f64;
+                    stats.n_used_features = stats.n_nonzero_weights;
+                    stats.sql_expression_nodes = (m.used_features().len() * 3 + 8) as f64;
+                }
+                Operator::LinearRegression(m) => {
+                    stats.is_linear_model = 1.0;
+                    stats.n_nonzero_weights = m.used_features().len() as f64;
+                    stats.n_used_features = stats.n_nonzero_weights;
+                    stats.sql_expression_nodes = (m.used_features().len() * 3 + 2) as f64;
+                }
+                Operator::LinearSvm(m) => {
+                    stats.is_linear_model = 1.0;
+                    stats.n_nonzero_weights = m.used_features().len() as f64;
+                    stats.n_used_features = stats.n_nonzero_weights;
+                    stats.sql_expression_nodes = (m.used_features().len() * 3 + 2) as f64;
+                }
+                _ => {}
+            }
+        }
+        if stats.n_features > 0.0 {
+            stats.unused_feature_fraction =
+                1.0 - (stats.n_used_features / stats.n_features).min(1.0);
+        }
+        // validate the layout is analyzable (used features need feature width)
+        let _ = FeatureLayout::analyze(pipeline);
+        stats
+    }
+
+    /// Names of the statistics, in the order of [`PipelineStats::to_vector`].
+    pub fn feature_names() -> Vec<&'static str> {
+        vec![
+            "n_inputs",
+            "n_numeric_inputs",
+            "n_categorical_inputs",
+            "n_features",
+            "n_operators",
+            "n_featurizers",
+            "n_one_hot_encoders",
+            "mean_ohe_outputs",
+            "max_ohe_outputs",
+            "n_scalers",
+            "is_tree_model",
+            "is_linear_model",
+            "n_trees",
+            "mean_tree_depth",
+            "max_tree_depth",
+            "std_tree_depth",
+            "n_tree_nodes",
+            "mean_leaves",
+            "n_used_features",
+            "unused_feature_fraction",
+            "n_nonzero_weights",
+            "sql_expression_nodes",
+        ]
+    }
+
+    /// The statistics as a feature vector (22 features, §5.2).
+    pub fn to_vector(&self) -> Vec<f64> {
+        vec![
+            self.n_inputs,
+            self.n_numeric_inputs,
+            self.n_categorical_inputs,
+            self.n_features,
+            self.n_operators,
+            self.n_featurizers,
+            self.n_one_hot_encoders,
+            self.mean_ohe_outputs,
+            self.max_ohe_outputs,
+            self.n_scalers,
+            self.is_tree_model,
+            self.is_linear_model,
+            self.n_trees,
+            self.mean_tree_depth,
+            self.max_tree_depth,
+            self.std_tree_depth,
+            self.n_tree_nodes,
+            self.mean_leaves,
+            self.n_used_features,
+            self.unused_feature_fraction,
+            self.n_nonzero_weights,
+            self.sql_expression_nodes,
+        ]
+    }
+}
+
+fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch() -> raven_columnar::Batch {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        TableBuilder::new("t")
+            .add_f64("a", (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .add_f64("b", (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .add_utf8(
+                "c",
+                (0..n)
+                    .map(|_| ["x", "y", "z"][rng.gen_range(0..3)].to_string())
+                    .collect(),
+            )
+            .add_f64(
+                "label",
+                (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect(),
+            )
+            .build_batch()
+            .unwrap()
+    }
+
+    #[test]
+    fn twenty_two_statistics() {
+        assert_eq!(PipelineStats::feature_names().len(), 22);
+        let p = train_pipeline(
+            &batch(),
+            &PipelineSpec {
+                name: "p".into(),
+                numeric_inputs: vec!["a".into(), "b".into()],
+                categorical_inputs: vec!["c".into()],
+                label: "label".into(),
+                model: ModelType::GradientBoosting {
+                    n_estimators: 5,
+                    max_depth: 3,
+                    learning_rate: 0.1,
+                },
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let stats = PipelineStats::from_pipeline(&p);
+        let v = stats.to_vector();
+        assert_eq!(v.len(), 22);
+        assert_eq!(stats.n_inputs, 3.0);
+        assert_eq!(stats.n_categorical_inputs, 1.0);
+        assert_eq!(stats.n_one_hot_encoders, 1.0);
+        assert_eq!(stats.max_ohe_outputs, 3.0);
+        assert_eq!(stats.is_tree_model, 1.0);
+        assert_eq!(stats.n_trees, 5.0);
+        assert!(stats.n_features >= 5.0);
+        assert!(stats.n_tree_nodes > 0.0);
+        assert!(stats.unused_feature_fraction >= 0.0 && stats.unused_feature_fraction <= 1.0);
+    }
+
+    #[test]
+    fn linear_model_stats() {
+        let p = train_pipeline(
+            &batch(),
+            &PipelineSpec {
+                name: "p".into(),
+                numeric_inputs: vec!["a".into(), "b".into()],
+                categorical_inputs: vec![],
+                label: "label".into(),
+                model: ModelType::LogisticRegression { l1_alpha: 0.0 },
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let stats = PipelineStats::from_pipeline(&p);
+        assert_eq!(stats.is_linear_model, 1.0);
+        assert_eq!(stats.is_tree_model, 0.0);
+        assert_eq!(stats.n_trees, 0.0);
+        assert_eq!(stats.mean_tree_depth, 0.0);
+        assert!(stats.n_nonzero_weights >= 1.0);
+    }
+
+    #[test]
+    fn std_dev_edge_cases() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

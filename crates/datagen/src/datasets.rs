@@ -1,0 +1,395 @@
+//! Synthetic versions of the paper's four evaluation datasets (Table 1).
+//!
+//! The real datasets (Kaggle Credit Card fraud, the hospital length-of-stay
+//! dataset, and Project Hamlet's Expedia / Flights) are not redistributable
+//! here, so each generator produces tables with the same *shape*: the same
+//! number of tables, numeric/categorical input split, join structure (PK-FK
+//! star schemas for Expedia and Flights), learnable label functions, and
+//! categorical cardinalities large enough that one-hot encoding produces the
+//! paper's wide feature spaces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raven_columnar::{Table, TableBuilder};
+
+/// A generated dataset: one or more tables plus the prediction-query join
+/// structure and the input columns a pipeline should use.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("credit_card", "hospital", "expedia", "flights").
+    pub name: String,
+    /// The tables (the first one is the fact table holding the label).
+    pub tables: Vec<Table>,
+    /// (left_table, left_key, right_table, right_key) join edges, in order.
+    pub joins: Vec<(String, String, String, String)>,
+    /// Numeric model-input columns.
+    pub numeric_inputs: Vec<String>,
+    /// Categorical model-input columns.
+    pub categorical_inputs: Vec<String>,
+    /// The label column (on the fact table).
+    pub label: String,
+}
+
+impl Dataset {
+    /// Total number of rows in the fact table.
+    pub fn fact_rows(&self) -> usize {
+        self.tables.first().map(|t| t.num_rows()).unwrap_or(0)
+    }
+
+    /// Total number of data input columns (Table 1's "# of data inputs").
+    pub fn n_inputs(&self) -> usize {
+        self.numeric_inputs.len() + self.categorical_inputs.len()
+    }
+
+    /// Number of features after one-hot encoding all categorical inputs
+    /// (Table 1's "# of features after encoding").
+    pub fn n_features_after_encoding(&self) -> usize {
+        let mut total = self.numeric_inputs.len();
+        for c in &self.categorical_inputs {
+            let mut distinct = 0usize;
+            for t in &self.tables {
+                if t.schema().contains(c) {
+                    if let Some(stats) = t.statistics().column(c) {
+                        distinct = distinct.max(stats.distinct_count);
+                    }
+                }
+            }
+            total += distinct.max(1);
+        }
+        total
+    }
+
+    /// The prediction query's data part as SQL text (FROM/JOIN chain), used by
+    /// examples and harnesses to build `WITH data AS (...)` clauses.
+    pub fn from_clause(&self) -> String {
+        let mut out = format!("{}", self.tables[0].name());
+        for (left, lk, right, rk) in &self.joins {
+            let _ = left;
+            out.push_str(&format!(" JOIN {right} ON {lk} = {rk}"));
+        }
+        out
+    }
+}
+
+/// Credit Card (single table, 28 numeric inputs, no categoricals).
+pub fn credit_card(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TableBuilder::new("transactions").add_i64("id", (0..rows as i64).collect());
+    let mut numeric_inputs = Vec::new();
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    for i in 0..28 {
+        let col: Vec<f64> = (0..rows).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let name = format!("v{i}");
+        numeric_inputs.push(name.clone());
+        features.push(col.clone());
+        builder = builder.add_f64(&name, col);
+    }
+    let amount: Vec<f64> = (0..rows).map(|_| rng.gen_range(1.0..500.0)).collect();
+    let label: Vec<f64> = (0..rows)
+        .map(|r| {
+            let score =
+                1.8 * features[0][r] - 1.2 * features[1][r] + 0.8 * features[2][r] * features[3][r]
+                    + rng.gen_range(-0.3..0.3);
+            if score > 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    builder = builder.add_f64("amount", amount).add_f64("is_fraud", label);
+    let table = builder.build().expect("valid credit card table");
+    Dataset {
+        name: "credit_card".into(),
+        tables: vec![table],
+        joins: vec![],
+        numeric_inputs,
+        categorical_inputs: vec![],
+        label: "is_fraud".into(),
+    }
+}
+
+/// Hospital length-of-stay (single table, 9 numeric + 15 categorical inputs).
+pub fn hospital(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let numeric_names = [
+        "age", "bmi", "pulse", "respiration", "bloodureanitro", "creatinine", "sodium",
+        "glucose", "hematocrit",
+    ];
+    let categorical_specs: [(&str, usize); 15] = [
+        ("rcount", 6),
+        ("gender", 2),
+        ("facid", 5),
+        ("dialysisrenalendstage", 2),
+        ("asthma", 2),
+        ("irondef", 2),
+        ("pneum", 2),
+        ("substancedependence", 2),
+        ("psychologicaldisordermajor", 2),
+        ("depress", 2),
+        ("psychother", 2),
+        ("fibrosisandother", 2),
+        ("malnutrition", 2),
+        ("hemo", 2),
+        ("num_issues", 2),
+    ];
+    let mut builder = TableBuilder::new("hospital_stays").add_i64("id", (0..rows as i64).collect());
+    let mut numeric = Vec::new();
+    let mut numeric_cols: Vec<Vec<f64>> = Vec::new();
+    for name in numeric_names {
+        let (lo, hi) = match name {
+            "age" => (18.0, 95.0),
+            "bmi" => (15.0, 45.0),
+            "pulse" => (45.0, 130.0),
+            _ => (0.0, 100.0),
+        };
+        let col: Vec<f64> = (0..rows).map(|_| rng.gen_range(lo..hi)).collect();
+        numeric_cols.push(col.clone());
+        numeric.push(name.to_string());
+        builder = builder.add_f64(name, col);
+    }
+    let mut categorical = Vec::new();
+    let mut cat_cols: Vec<Vec<i64>> = Vec::new();
+    for (name, card) in categorical_specs {
+        let col: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..card as i64)).collect();
+        cat_cols.push(col.clone());
+        categorical.push(name.to_string());
+        builder = builder.add_i64(name, col);
+    }
+    let label: Vec<f64> = (0..rows)
+        .map(|r| {
+            let score = 0.04 * (numeric_cols[0][r] - 60.0)
+                + 0.06 * (numeric_cols[1][r] - 30.0)
+                + 0.8 * cat_cols[0][r] as f64
+                + 1.2 * cat_cols[4][r] as f64
+                + 0.7 * cat_cols[6][r] as f64
+                + rng.gen_range(-0.5..0.5);
+            if score > 1.2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    builder = builder.add_f64("long_stay", label);
+    Dataset {
+        name: "hospital".into(),
+        tables: vec![builder.build().expect("valid hospital table")],
+        joins: vec![],
+        numeric_inputs: numeric,
+        categorical_inputs: categorical,
+        label: "long_stay".into(),
+    }
+}
+
+/// Expedia (3 tables: searches ⋈ hotels ⋈ destinations; 8 numeric + 20
+/// categorical inputs; wide one-hot space from high-cardinality categoricals).
+pub fn expedia(rows: usize, seed: u64) -> Dataset {
+    star_schema(StarSpec {
+        name: "expedia",
+        fact: "searches",
+        fact_rows: rows,
+        dims: vec![
+            DimSpec { name: "hotels", key: "hotel_id", rows: (rows / 10).clamp(20, 2000), numeric: 3, categorical: 8, max_cardinality: 60 },
+            DimSpec { name: "destinations", key: "dest_id", rows: (rows / 20).clamp(10, 1000), numeric: 2, categorical: 6, max_cardinality: 40 },
+        ],
+        fact_numeric: 3,
+        fact_categorical: 6,
+        fact_max_cardinality: 30,
+        label: "booking",
+        seed,
+    })
+}
+
+/// Flights (4 tables: flights ⋈ carriers ⋈ origin airports ⋈ destination
+/// airports; 4 numeric + 33 categorical inputs).
+pub fn flights(rows: usize, seed: u64) -> Dataset {
+    star_schema(StarSpec {
+        name: "flights",
+        fact: "flights",
+        fact_rows: rows,
+        dims: vec![
+            DimSpec { name: "carriers", key: "carrier_id", rows: 30, numeric: 1, categorical: 9, max_cardinality: 30 },
+            DimSpec { name: "airports_origin", key: "origin_id", rows: (rows / 15).clamp(20, 1500), numeric: 1, categorical: 10, max_cardinality: 80 },
+            DimSpec { name: "airports_dest", key: "dest_id", rows: (rows / 15).clamp(20, 1500), numeric: 1, categorical: 10, max_cardinality: 80 },
+        ],
+        fact_numeric: 1,
+        fact_categorical: 4,
+        fact_max_cardinality: 25,
+        label: "delayed",
+        seed,
+    })
+}
+
+struct DimSpec {
+    name: &'static str,
+    key: &'static str,
+    rows: usize,
+    numeric: usize,
+    categorical: usize,
+    max_cardinality: usize,
+}
+
+struct StarSpec {
+    name: &'static str,
+    fact: &'static str,
+    fact_rows: usize,
+    dims: Vec<DimSpec>,
+    fact_numeric: usize,
+    fact_categorical: usize,
+    fact_max_cardinality: usize,
+    label: &'static str,
+    seed: u64,
+}
+
+fn star_schema(spec: StarSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut tables = Vec::new();
+    let mut joins = Vec::new();
+    let mut numeric_inputs = Vec::new();
+    let mut categorical_inputs = Vec::new();
+
+    // fact table
+    let mut fact = TableBuilder::new(spec.fact).add_i64("id", (0..spec.fact_rows as i64).collect());
+    let mut driver: Vec<f64> = vec![0.0; spec.fact_rows];
+    for i in 0..spec.fact_numeric {
+        let name = format!("{}_num{i}", spec.fact);
+        let col: Vec<f64> = (0..spec.fact_rows).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for (d, v) in driver.iter_mut().zip(col.iter()) {
+            *d += 0.01 * (v - 50.0);
+        }
+        numeric_inputs.push(name.clone());
+        fact = fact.add_f64(&name, col);
+    }
+    for i in 0..spec.fact_categorical {
+        let card = rng.gen_range(2..=spec.fact_max_cardinality);
+        let name = format!("{}_cat{i}", spec.fact);
+        let col: Vec<String> = (0..spec.fact_rows)
+            .map(|_| format!("c{}", rng.gen_range(0..card)))
+            .collect();
+        for (d, v) in driver.iter_mut().zip(col.iter()) {
+            if v == "c0" {
+                *d += 0.6;
+            }
+        }
+        categorical_inputs.push(name.clone());
+        fact = fact.add_utf8(&name, col);
+    }
+    // foreign keys + dimension tables
+    for dim in &spec.dims {
+        let fk: Vec<i64> = (0..spec.fact_rows)
+            .map(|_| rng.gen_range(0..dim.rows as i64))
+            .collect();
+        fact = fact.add_i64(dim.key, fk);
+        joins.push((
+            spec.fact.to_string(),
+            dim.key.to_string(),
+            dim.name.to_string(),
+            dim.key.to_string(),
+        ));
+
+        let mut dtable =
+            TableBuilder::new(dim.name).add_i64(dim.key, (0..dim.rows as i64).collect());
+        for i in 0..dim.numeric {
+            let name = format!("{}_num{i}", dim.name);
+            numeric_inputs.push(name.clone());
+            dtable = dtable.add_f64(
+                &name,
+                (0..dim.rows).map(|_| rng.gen_range(0.0..10.0)).collect(),
+            );
+        }
+        for i in 0..dim.categorical {
+            let card = rng.gen_range(2..=dim.max_cardinality);
+            let name = format!("{}_cat{i}", dim.name);
+            categorical_inputs.push(name.clone());
+            dtable = dtable.add_utf8(
+                &name,
+                (0..dim.rows)
+                    .map(|_| format!("v{}", rng.gen_range(0..card)))
+                    .collect(),
+            );
+        }
+        tables.push(dtable.build().expect("valid dimension table"));
+    }
+    let label: Vec<f64> = driver
+        .iter()
+        .map(|&d| if d + rng.gen_range(-0.4..0.4) > 0.4 { 1.0 } else { 0.0 })
+        .collect();
+    let fact = fact.add_f64(spec.label, label).build().expect("valid fact table");
+    tables.insert(0, fact);
+
+    Dataset {
+        name: spec.name.to_string(),
+        tables,
+        joins,
+        numeric_inputs,
+        categorical_inputs,
+        label: spec.label.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_card_shape_matches_table1() {
+        let d = credit_card(500, 1);
+        assert_eq!(d.tables.len(), 1);
+        assert_eq!(d.n_inputs(), 28);
+        assert_eq!(d.numeric_inputs.len(), 28);
+        assert_eq!(d.n_features_after_encoding(), 28);
+        assert_eq!(d.fact_rows(), 500);
+        // both classes present
+        let labels = d.tables[0]
+            .to_batch()
+            .unwrap()
+            .column_by_name("is_fraud")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap();
+        assert!(labels.iter().any(|&x| x == 1.0));
+        assert!(labels.iter().any(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn hospital_shape_matches_table1() {
+        let d = hospital(400, 2);
+        assert_eq!(d.tables.len(), 1);
+        assert_eq!(d.numeric_inputs.len(), 9);
+        assert_eq!(d.categorical_inputs.len(), 15);
+        assert_eq!(d.n_inputs(), 24);
+        // after encoding: 9 numeric + ~50 one-hot columns (paper: 59 total)
+        let f = d.n_features_after_encoding();
+        assert!(f >= 30 && f <= 70, "features after encoding = {f}");
+    }
+
+    #[test]
+    fn expedia_is_three_way_join() {
+        let d = expedia(600, 3);
+        assert_eq!(d.tables.len(), 3);
+        assert_eq!(d.joins.len(), 2);
+        assert_eq!(d.n_inputs(), 28);
+        assert!(d.n_features_after_encoding() > 100);
+        assert!(d.from_clause().contains("JOIN hotels"));
+    }
+
+    #[test]
+    fn flights_is_four_way_join() {
+        let d = flights(600, 4);
+        assert_eq!(d.tables.len(), 4);
+        assert_eq!(d.joins.len(), 3);
+        assert_eq!(d.n_inputs(), 37);
+        assert!(d.n_features_after_encoding() > 100);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = hospital(100, 7);
+        let b = hospital(100, 7);
+        assert_eq!(
+            a.tables[0].to_batch().unwrap().column_by_name("age").unwrap(),
+            b.tables[0].to_batch().unwrap().column_by_name("age").unwrap()
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! # raven-datagen
+//!
+//! Synthetic workload generators for the Raven reproduction: the four
+//! evaluation datasets of the paper's Table 1 (Credit Card, Hospital,
+//! Expedia, Flights) with matching shapes and join structures, and an
+//! OpenML-CC18-like suite of trained pipelines used for the Fig. 1 study and
+//! the strategy training of §5.2.
+
+pub mod datasets;
+pub mod suite;
+
+pub use datasets::{credit_card, expedia, flights, hospital, Dataset};
+pub use suite::{generate_suite, SuiteConfig, SuiteEntry};

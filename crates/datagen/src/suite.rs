@@ -1,0 +1,197 @@
+//! An OpenML-CC18-like suite of trained pipelines (paper §2.1, Fig. 1, §5.2).
+//!
+//! The paper studies 508 scikit-learn pipelines over 72 OpenML datasets and
+//! trains its optimization strategies on 138 of them. This module generates a
+//! configurable number of synthetic classification datasets and trains
+//! pipelines over them, drawing the pipeline shapes (model family, number of
+//! inputs, categorical cardinalities, ensemble size, depth) from distributions
+//! chosen to match the wide variation of Fig. 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raven_columnar::{Batch, TableBuilder};
+use raven_ml::{train_pipeline, ModelType, Pipeline, PipelineSpec};
+
+/// One generated suite entry: a trained pipeline plus the dataset it was
+/// trained on (kept so the pipeline can be scored again).
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// The trained pipeline.
+    pub pipeline: Pipeline,
+    /// The training/scoring data.
+    pub data: Batch,
+    /// The model family used.
+    pub model_kind: &'static str,
+}
+
+/// Configuration for suite generation.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Number of pipelines to generate.
+    pub n_pipelines: usize,
+    /// Rows per synthetic training dataset.
+    pub rows_per_dataset: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            n_pipelines: 100,
+            rows_per_dataset: 300,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate the suite. Model families follow the paper's observation that
+/// ~88% of OpenML models are tree-based, with the rest linear.
+pub fn generate_suite(config: &SuiteConfig) -> Vec<SuiteEntry> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.n_pipelines);
+    for i in 0..config.n_pipelines {
+        let n_numeric = rng.gen_range(2..12usize);
+        let n_categorical = rng.gen_range(0..8usize);
+        let rows = config.rows_per_dataset;
+        let mut builder = TableBuilder::new(format!("openml_{i}"));
+        let mut numeric_inputs = Vec::new();
+        let mut numeric_cols: Vec<Vec<f64>> = Vec::new();
+        for j in 0..n_numeric {
+            let name = format!("num{j}");
+            let col: Vec<f64> = (0..rows).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            numeric_cols.push(col.clone());
+            numeric_inputs.push(name.clone());
+            builder = builder.add_f64(&name, col);
+        }
+        let mut categorical_inputs = Vec::new();
+        let mut cat_first: Vec<Vec<bool>> = Vec::new();
+        for j in 0..n_categorical {
+            let name = format!("cat{j}");
+            // heavy-tailed cardinality like the OpenML study
+            let card = if rng.gen_bool(0.15) {
+                rng.gen_range(20..120usize)
+            } else {
+                rng.gen_range(2..8usize)
+            };
+            let col: Vec<String> = (0..rows)
+                .map(|_| format!("k{}", rng.gen_range(0..card)))
+                .collect();
+            cat_first.push(col.iter().map(|v| v == "k0").collect());
+            categorical_inputs.push(name.clone());
+            builder = builder.add_utf8(&name, col);
+        }
+        // label depends on a random subset of the inputs so some features end
+        // up unused by the trained models (the 46%-unused observation of §2.1)
+        let used_numeric = rng.gen_range(1..=n_numeric.min(4));
+        let label: Vec<f64> = (0..rows)
+            .map(|r| {
+                let mut score = 0.0;
+                for col in numeric_cols.iter().take(used_numeric) {
+                    score += col[r];
+                }
+                if let Some(first) = cat_first.first() {
+                    if first[r] {
+                        score += 1.0;
+                    }
+                }
+                if score > 0.3 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        builder = builder.add_f64("label", label);
+        let data = builder.build_batch().expect("valid suite dataset");
+
+        let model = pick_model(&mut rng);
+        let model_kind = match &model {
+            ModelType::LogisticRegression { .. } => "LR",
+            ModelType::DecisionTree { .. } => "DT",
+            ModelType::RandomForest { .. } => "RF",
+            ModelType::GradientBoosting { .. } => "GB",
+        };
+        let spec = PipelineSpec {
+            name: format!("openml_{i}.onnx"),
+            numeric_inputs,
+            categorical_inputs,
+            label: "label".into(),
+            model,
+            seed: config.seed.wrapping_add(i as u64),
+        };
+        if let Ok(pipeline) = train_pipeline(&data, &spec) {
+            out.push(SuiteEntry {
+                pipeline,
+                data,
+                model_kind,
+            });
+        }
+    }
+    out
+}
+
+fn pick_model(rng: &mut StdRng) -> ModelType {
+    let roll: f64 = rng.gen();
+    if roll < 0.12 {
+        ModelType::LogisticRegression {
+            l1_alpha: [0.0, 0.001, 0.01, 0.1][rng.gen_range(0..4)],
+        }
+    } else if roll < 0.40 {
+        ModelType::DecisionTree {
+            max_depth: rng.gen_range(3..14),
+        }
+    } else if roll < 0.72 {
+        ModelType::RandomForest {
+            n_trees: rng.gen_range(3..30),
+            max_depth: rng.gen_range(3..10),
+        }
+    } else {
+        ModelType::GradientBoosting {
+            n_estimators: rng.gen_range(5..80),
+            max_depth: rng.gen_range(2..6),
+            learning_rate: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_ml::MlRuntime;
+
+    #[test]
+    fn suite_generates_varied_pipelines() {
+        let entries = generate_suite(&SuiteConfig {
+            n_pipelines: 12,
+            rows_per_dataset: 120,
+            seed: 3,
+        });
+        assert_eq!(entries.len(), 12);
+        let kinds: std::collections::HashSet<&str> =
+            entries.iter().map(|e| e.model_kind).collect();
+        assert!(kinds.len() >= 2, "expected varied model families");
+        // every pipeline scores its own data
+        let rt = MlRuntime::new();
+        for e in &entries {
+            let scores = rt.run_batch(&e.pipeline, &e.data).unwrap();
+            assert_eq!(scores.len(), e.data.num_rows());
+            assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let cfg = SuiteConfig {
+            n_pipelines: 5,
+            rows_per_dataset: 80,
+            seed: 11,
+        };
+        let a = generate_suite(&cfg);
+        let b = generate_suite(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.pipeline, y.pipeline);
+        }
+    }
+}

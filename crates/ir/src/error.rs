@@ -1,0 +1,64 @@
+//! Error type for the unified IR and prediction-query parser.
+
+use std::fmt;
+
+/// Result alias used throughout `raven-ir`.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors produced while building, parsing, or validating the unified IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Parse error in the prediction-query text, with position information.
+    Parse { message: String, position: usize },
+    /// The query references a model that is not registered.
+    UnknownModel(String),
+    /// Error from the relational layer.
+    Relational(String),
+    /// Error from the ML layer.
+    Ml(String),
+    /// The query or IR is structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse { message, position } => {
+                write!(f, "parse error at offset {position}: {message}")
+            }
+            IrError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            IrError::Relational(m) => write!(f, "relational error: {m}"),
+            IrError::Ml(m) => write!(f, "ml error: {m}"),
+            IrError::Invalid(m) => write!(f, "invalid prediction query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<raven_relational::RelationalError> for IrError {
+    fn from(e: raven_relational::RelationalError) -> Self {
+        IrError::Relational(e.to_string())
+    }
+}
+
+impl From<raven_ml::MlError> for IrError {
+    fn from(e: raven_ml::MlError) -> Self {
+        IrError::Ml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = IrError::Parse {
+            message: "unexpected token".into(),
+            position: 12,
+        };
+        assert!(e.to_string().contains("offset 12"));
+        assert!(IrError::UnknownModel("m".into()).to_string().contains("unknown model"));
+    }
+}

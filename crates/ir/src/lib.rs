@@ -1,0 +1,18 @@
+//! # raven-ir
+//!
+//! Raven's unified intermediate representation (paper §3) and the front end
+//! for prediction queries: a parser for the SQL `PREDICT` table-valued
+//! function syntax of Fig. 2, a model registry resolving `MODEL = ...`
+//! references to trained pipelines, and the [`UnifiedPlan`] structure that
+//! holds relational and ML operators of one prediction query together so the
+//! optimizer can flow information between them.
+
+pub mod error;
+pub mod parser;
+pub mod registry;
+pub mod unified;
+
+pub use error::{IrError, Result};
+pub use parser::{parse, parse_prediction_query, ParsedQuery};
+pub use registry::ModelRegistry;
+pub use unified::{UnifiedNode, UnifiedPlan};

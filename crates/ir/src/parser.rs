@@ -1,0 +1,706 @@
+//! Parser for prediction queries using the paper's `PREDICT` table-valued
+//! function syntax (Fig. 2 ➊), e.g.:
+//!
+//! ```sql
+//! WITH data AS (
+//!   SELECT * FROM patient_info AS pi
+//!   JOIN pulmonary_test AS pt ON pi.id = pt.id
+//!   JOIN blood_test AS bt ON pt.id = bt.id)
+//! SELECT d.id
+//! FROM PREDICT(MODEL = covid_risk.onnx, DATA = data AS d) WITH (risk_of_covid float) AS p
+//! WHERE d.asthma = 1 AND p.risk_of_covid >= 0.5;
+//! ```
+//!
+//! The parser produces a [`UnifiedPlan`]: the data part as a relational
+//! [`LogicalPlan`], the resolved trained pipeline, and the query's predicates
+//! and projection — the unified IR the Raven optimizer consumes.
+
+use crate::error::{IrError, Result};
+use crate::registry::ModelRegistry;
+use crate::unified::UnifiedPlan;
+use raven_columnar::Value;
+use raven_relational::{BinaryOp, Catalog, Expr, LogicalPlan};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    StringLit(String),
+    Symbol(String),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<(Token, usize)>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            while i < bytes.len() && bytes[i] != '\'' {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(IrError::Parse {
+                    message: "unterminated string literal".into(),
+                    position: start,
+                });
+            }
+            i += 1;
+            out.push((Token::StringLit(s), start));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            let n = s.parse::<f64>().map_err(|_| IrError::Parse {
+                message: format!("invalid number {s}"),
+                position: start,
+            })?;
+            out.push((Token::Number(n), start));
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            out.push((Token::Ident(s), start));
+            continue;
+        }
+        // multi-char operators
+        let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+        if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+            out.push((Token::Symbol(two), i));
+            i += 2;
+            continue;
+        }
+        if "()=<>,*+-/;".contains(c) {
+            out.push((Token::Symbol(c.to_string()), i));
+            i += 1;
+            continue;
+        }
+        return Err(IrError::Parse {
+            message: format!("unexpected character '{c}'"),
+            position: i,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// The raw result of parsing a prediction query, before model resolution.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The data-processing plan (the `DATA =` argument, resolved through any
+    /// `WITH` common table expression).
+    pub data: LogicalPlan,
+    /// Model name referenced in `MODEL = ...` (None for plain SELECTs).
+    pub model: Option<String>,
+    /// The declared prediction output column (from `WITH (<col> <type>)`).
+    pub prediction_column: Option<String>,
+    /// Conjunctive WHERE predicates (aliases already stripped).
+    pub predicates: Vec<Expr>,
+    /// SELECT expressions (aliases already stripped); empty for `SELECT *`.
+    pub projection: Vec<Expr>,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    /// alias → kind; tracks table aliases, the DATA alias, and the PREDICT alias
+    aliases: HashMap<String, AliasKind>,
+    prediction_column: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum AliasKind {
+    Data,
+    Prediction,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+            aliases: HashMap::new(),
+            prediction_column: None,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, p)| *p)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(IrError::Parse {
+            message: message.into(),
+            position: self.position(),
+        })
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            other => self.error(format!("expected '{sym}', found {other:?}")),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.error(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<ParsedQuery> {
+        // optional WITH <name> AS ( <select> )
+        let mut ctes: HashMap<String, LogicalPlan> = HashMap::new();
+        if self.eat_keyword("WITH") {
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_keyword("AS")?;
+                self.expect_symbol("(")?;
+                let plan = self.parse_select_core()?;
+                self.expect_symbol(")")?;
+                ctes.insert(name.to_lowercase(), plan);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("SELECT")?;
+        let select_items = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+
+        let (data, model, prediction_column) = if self.peek_keyword("PREDICT") {
+            self.parse_predict_tvf(&ctes)?
+        } else {
+            let plan = self.parse_from_joins(&ctes)?;
+            (plan, None, None)
+        };
+        self.prediction_column = prediction_column.clone();
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            let e = self.parse_expr()?;
+            predicates = e.split_conjunction().into_iter().cloned().collect();
+        }
+        self.eat_symbol(";");
+        if self.pos < self.tokens.len() {
+            return self.error("unexpected trailing tokens");
+        }
+        Ok(ParsedQuery {
+            data,
+            model,
+            prediction_column,
+            predicates,
+            projection: select_items,
+        })
+    }
+
+    /// `SELECT <list> FROM t [AS a] [JOIN u ON x = y]* [WHERE e]` — used for CTE bodies.
+    fn parse_select_core(&mut self) -> Result<LogicalPlan> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let mut plan = self.parse_from_joins(&HashMap::new())?;
+        if self.eat_keyword("WHERE") {
+            plan = plan.filter(self.parse_expr()?);
+        }
+        if !select.is_empty() {
+            plan = plan.project(select);
+        }
+        Ok(plan)
+    }
+
+    fn parse_from_joins(&mut self, ctes: &HashMap<String, LogicalPlan>) -> Result<LogicalPlan> {
+        let mut plan = self.parse_table_ref(ctes)?;
+        while self.eat_keyword("JOIN") {
+            let right = self.parse_table_ref(ctes)?;
+            self.expect_keyword("ON")?;
+            let left_key = self.expect_ident()?;
+            self.expect_symbol("=")?;
+            let right_key = self.expect_ident()?;
+            plan = plan.join(right, &strip_alias(&left_key), &strip_alias(&right_key));
+        }
+        Ok(plan)
+    }
+
+    fn parse_table_ref(&mut self, ctes: &HashMap<String, LogicalPlan>) -> Result<LogicalPlan> {
+        let name = self.expect_ident()?;
+        if self.eat_keyword("AS") {
+            let alias = self.expect_ident()?;
+            self.aliases.insert(alias.to_lowercase(), AliasKind::Data);
+        }
+        if let Some(plan) = ctes.get(&name.to_lowercase()) {
+            Ok(plan.clone())
+        } else {
+            Ok(LogicalPlan::scan(name))
+        }
+    }
+
+    fn parse_predict_tvf(
+        &mut self,
+        ctes: &HashMap<String, LogicalPlan>,
+    ) -> Result<(LogicalPlan, Option<String>, Option<String>)> {
+        self.expect_keyword("PREDICT")?;
+        self.expect_symbol("(")?;
+        self.expect_keyword("MODEL")?;
+        self.expect_symbol("=")?;
+        let model = self.expect_ident()?;
+        self.expect_symbol(",")?;
+        self.expect_keyword("DATA")?;
+        self.expect_symbol("=")?;
+        let data_name = self.expect_ident()?;
+        if self.eat_keyword("AS") {
+            let alias = self.expect_ident()?;
+            self.aliases.insert(alias.to_lowercase(), AliasKind::Data);
+        }
+        self.expect_symbol(")")?;
+        // WITH (<column> <type>) AS <alias>
+        let mut prediction_column = None;
+        if self.eat_keyword("WITH") {
+            self.expect_symbol("(")?;
+            let col = self.expect_ident()?;
+            let _ty = self.expect_ident()?; // float / int / ...
+            self.expect_symbol(")")?;
+            prediction_column = Some(col);
+            if self.eat_keyword("AS") {
+                let alias = self.expect_ident()?;
+                self.aliases
+                    .insert(alias.to_lowercase(), AliasKind::Prediction);
+            }
+        }
+        let data = if let Some(plan) = ctes.get(&data_name.to_lowercase()) {
+            plan.clone()
+        } else {
+            LogicalPlan::scan(data_name)
+        };
+        Ok((data, Some(model), prediction_column))
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<Expr>> {
+        if self.eat_symbol("*") {
+            // Allow `d.*, p.score`-style mixing by skipping the star and
+            // treating the query as "everything" when only the star appears.
+            if self.eat_symbol(",") {
+                let mut rest = self.parse_select_list()?;
+                let mut out = Vec::new();
+                out.append(&mut rest);
+                return Ok(out);
+            }
+            return Ok(vec![]);
+        }
+        let mut out = Vec::new();
+        loop {
+            // handle `alias.*`
+            if let Some(Token::Ident(name)) = self.peek() {
+                if name.ends_with(".*") || name == "*" {
+                    self.pos += 1;
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            let e = self.parse_expr()?;
+            let e = if self.eat_keyword("AS") {
+                e.alias(self.expect_ident()?)
+            } else {
+                e
+            };
+            out.push(e);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(self.parse_not()?.negate())
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => Some(BinaryOp::Eq),
+                "<>" | "!=" => Some(BinaryOp::NotEq),
+                "<" => Some(BinaryOp::Lt),
+                "<=" => Some(BinaryOp::LtEq),
+                ">" => Some(BinaryOp::Gt),
+                ">=" => Some(BinaryOp::GtEq),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(raven_relational::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(s)) if s == "+" => Some(BinaryOp::Add),
+                Some(Token::Symbol(s)) if s == "-" => Some(BinaryOp::Subtract),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = raven_relational::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(s)) if s == "*" => Some(BinaryOp::Multiply),
+                Some(Token::Symbol(s)) if s == "/" => Some(BinaryOp::Divide),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            left = raven_relational::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    Ok(Expr::Literal(Value::Int64(n as i64)))
+                } else {
+                    Ok(Expr::Literal(Value::Float64(n)))
+                }
+            }
+            Some(Token::StringLit(s)) => Ok(Expr::Literal(Value::Utf8(s))),
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Literal(Value::Boolean(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Literal(Value::Boolean(false)));
+                }
+                Ok(Expr::Column(self.resolve_column(&name)))
+            }
+            Some(Token::Symbol(s)) if s == "(" => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Symbol(s)) if s == "-" => {
+                let e = self.parse_primary()?;
+                Ok(Expr::Literal(Value::Float64(0.0)).sub(e))
+            }
+            other => self.error(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// Resolve `alias.column` against known aliases: prediction-alias columns
+    /// keep the declared prediction column name, everything else strips the
+    /// qualifier (column names are globally unique in our catalogs, as in the
+    /// paper's star-schema datasets).
+    fn resolve_column(&self, name: &str) -> String {
+        match name.split_once('.') {
+            None => name.to_string(),
+            Some((alias, col)) => match self.aliases.get(&alias.to_lowercase()) {
+                Some(AliasKind::Prediction) => col.to_string(),
+                _ => col.to_string(),
+            },
+        }
+    }
+}
+
+fn strip_alias(name: &str) -> String {
+    name.split_once('.')
+        .map(|(_, c)| c.to_string())
+        .unwrap_or_else(|| name.to_string())
+}
+
+/// Parse a prediction query into a [`ParsedQuery`] (no model resolution).
+pub fn parse(sql: &str) -> Result<ParsedQuery> {
+    Parser::new(sql)?.parse_query()
+}
+
+/// Parse a prediction query and resolve it into a [`UnifiedPlan`] using the
+/// model registry and the table catalog.
+pub fn parse_prediction_query(
+    sql: &str,
+    registry: &ModelRegistry,
+    catalog: &Catalog,
+) -> Result<UnifiedPlan> {
+    let parsed = parse(sql)?;
+    let model_name = parsed
+        .model
+        .clone()
+        .ok_or_else(|| IrError::Invalid("query does not contain a PREDICT statement".into()))?;
+    let pipeline = registry.get(&model_name)?;
+    let prediction_column = parsed
+        .prediction_column
+        .clone()
+        .unwrap_or_else(|| "score".to_string());
+    let mut plan = UnifiedPlan::new(
+        parsed.data.clone(),
+        pipeline.as_ref().clone(),
+        prediction_column,
+        catalog,
+    )?;
+    plan.predicates = parsed.predicates;
+    plan.projection = parsed.projection;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{InputKind, Operator, Pipeline, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+    use raven_relational::col;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in [
+            ("patient_info", vec!["id", "age", "asthma"]),
+            ("pulmonary_test", vec!["id", "fev"]),
+            ("blood_test", vec!["id", "iron"]),
+        ] {
+            let mut b = TableBuilder::new(name).add_i64(cols[0], vec![1, 2]);
+            for c2 in &cols[1..] {
+                b = b.add_f64(c2, vec![1.0, 2.0]);
+            }
+            c.register(b.build().unwrap());
+        }
+        c
+    }
+
+    fn registry() -> ModelRegistry {
+        let mut r = ModelRegistry::new();
+        let p = Pipeline::new(
+            "covid_risk.onnx",
+            vec![
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "asthma".into(),
+                    kind: InputKind::Categorical,
+                },
+            ],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(0.9), 2)),
+                inputs: vec!["age".into(), "asthma".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap();
+        r.register(p);
+        r
+    }
+
+    const RUNNING_EXAMPLE: &str = "
+        WITH data AS (
+            SELECT * FROM patient_info AS pi
+            JOIN pulmonary_test AS pt ON pi.id = pt.id
+            JOIN blood_test AS bt ON pt.id = bt.id)
+        SELECT d.id
+        FROM PREDICT(MODEL = covid_risk.onnx, DATA = data AS d) WITH (risk_of_covid float) AS p
+        WHERE d.asthma = 1 AND p.risk_of_covid >= 0.5;";
+
+    #[test]
+    fn parses_running_example() {
+        let parsed = parse(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(parsed.model.as_deref(), Some("covid_risk.onnx"));
+        assert_eq!(parsed.prediction_column.as_deref(), Some("risk_of_covid"));
+        assert_eq!(parsed.predicates.len(), 2);
+        assert_eq!(parsed.projection, vec![col("id")]);
+        // the data plan is a 3-way join
+        let display = parsed.data.display_indent();
+        assert_eq!(display.matches("Join").count(), 2);
+        assert_eq!(display.matches("Scan").count(), 3);
+    }
+
+    #[test]
+    fn resolves_to_unified_plan() {
+        let plan = parse_prediction_query(RUNNING_EXAMPLE, &registry(), &catalog()).unwrap();
+        assert_eq!(plan.prediction_column, "risk_of_covid");
+        assert_eq!(plan.input_predicates().len(), 1);
+        assert_eq!(plan.output_predicates().len(), 1);
+        assert_eq!(plan.pipeline.name, "covid_risk.onnx");
+    }
+
+    #[test]
+    fn predict_as_udf_style_without_with_clause() {
+        let sql = "SELECT id FROM PREDICT(MODEL = covid_risk, DATA = patient_info AS d) \
+                   WITH (score float) AS p WHERE p.score > 0.5";
+        let plan = parse_prediction_query(sql, &registry(), &catalog()).unwrap();
+        assert_eq!(plan.prediction_column, "score");
+        assert_eq!(plan.output_predicates().len(), 1);
+    }
+
+    #[test]
+    fn plain_select_parses_without_model() {
+        let parsed =
+            parse("SELECT age FROM patient_info WHERE asthma = 1 AND age >= 30").unwrap();
+        assert!(parsed.model.is_none());
+        assert_eq!(parsed.predicates.len(), 2);
+        let err = parse_prediction_query(
+            "SELECT age FROM patient_info",
+            &registry(),
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::Invalid(_)));
+    }
+
+    #[test]
+    fn expression_precedence_and_literals() {
+        let parsed = parse(
+            "SELECT id FROM patient_info WHERE age * 2 + 1 > 81 AND asthma = 1 OR age < 10",
+        )
+        .unwrap();
+        assert_eq!(parsed.predicates.len(), 1); // OR at top level → single predicate
+        let s = parsed.predicates[0].to_string();
+        assert!(s.contains("OR"));
+        assert!(s.contains("((age * 2) + 1)"));
+
+        let parsed = parse("SELECT id FROM t WHERE name = 'high' AND flag = true").unwrap();
+        assert_eq!(parsed.predicates.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT * FROM PREDICT(MODEL covid, DATA = t)").is_err());
+        assert!(parse("SELECT * FROM t WHERE 'unterminated").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 1 extra garbage ^").is_err());
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let sql = "SELECT id FROM PREDICT(MODEL = nope, DATA = patient_info) WITH (s float) AS p";
+        assert!(matches!(
+            parse_prediction_query(sql, &registry(), &catalog()),
+            Err(IrError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_parens() {
+        let parsed = parse("SELECT id FROM t WHERE x > -1.5 AND (a = 1 OR b = 2)").unwrap();
+        assert_eq!(parsed.predicates.len(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Model registry: maps model names (the `MODEL = ...` argument of the
+//! `PREDICT` statement) to trained pipelines, playing the role of the model
+//! files on HDFS/disk in the paper's deployment.
+
+use crate::error::{IrError, Result};
+use raven_ml::Pipeline;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registry of named trained pipelines.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, Arc<Pipeline>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Register a pipeline under its own name.
+    pub fn register(&mut self, pipeline: Pipeline) {
+        self.models
+            .insert(pipeline.name.clone(), Arc::new(pipeline));
+    }
+
+    /// Register a pipeline under an explicit name.
+    pub fn register_as(&mut self, name: impl Into<String>, pipeline: Pipeline) {
+        self.models.insert(name.into(), Arc::new(pipeline));
+    }
+
+    /// Resolve a model name. Names are matched exactly, then with a `.onnx`
+    /// suffix appended, so queries can say `MODEL = covid_risk.onnx` or just
+    /// `covid_risk`.
+    pub fn get(&self, name: &str) -> Result<Arc<Pipeline>> {
+        if let Some(m) = self.models.get(name) {
+            return Ok(m.clone());
+        }
+        let with_ext = format!("{name}.onnx");
+        if let Some(m) = self.models.get(&with_ext) {
+            return Ok(m.clone());
+        }
+        let trimmed = name.strip_suffix(".onnx").unwrap_or(name);
+        self.models
+            .get(trimmed)
+            .cloned()
+            .ok_or_else(|| IrError::UnknownModel(name.to_string()))
+    }
+
+    /// Whether a model with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_ok()
+    }
+
+    /// Names of all registered models (sorted).
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+
+    fn pipeline(name: &str) -> Pipeline {
+        Pipeline::new(
+            name,
+            vec![PipelineInput {
+                name: "x".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(1.0), 1)),
+                inputs: vec!["x".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_resolve_with_extension_handling() {
+        let mut r = ModelRegistry::new();
+        r.register(pipeline("covid_risk.onnx"));
+        r.register_as("fraud", pipeline("other"));
+        assert!(r.get("covid_risk.onnx").is_ok());
+        assert!(r.get("covid_risk").is_ok());
+        assert!(r.get("fraud").is_ok());
+        assert!(r.get("fraud.onnx").is_ok());
+        assert!(matches!(r.get("missing"), Err(IrError::UnknownModel(_))));
+        assert!(r.contains("covid_risk"));
+        assert!(!r.contains("missing"));
+        assert_eq!(r.model_names(), vec!["covid_risk.onnx", "fraud"]);
+    }
+}

@@ -1,0 +1,387 @@
+//! The unified intermediate representation (paper §3).
+//!
+//! A [`UnifiedPlan`] holds every operator of a prediction query — relational
+//! operators (scans, joins, filters, projections of the data-processing part)
+//! and ML operators (the featurizers and models of the trained pipeline) — in
+//! one structure, so the Raven optimizer can pass information between the two
+//! sides (cross-optimizations, §4) and choose a runtime per part (§5).
+
+use crate::error::{IrError, Result};
+use raven_ml::Pipeline;
+use raven_relational::{AggregateExpr, Catalog, Expr, LogicalPlan};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One node of the unified operator graph, used for display, statistics, and
+/// coverage analysis. Nodes are produced on demand from the plan parts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnifiedNode {
+    /// A relational operator (rendered from the data plan or post-processing).
+    Relational { name: String, detail: String },
+    /// An ML operator from the trained pipeline.
+    Ml { name: String, detail: String },
+}
+
+/// A prediction query in the unified IR.
+#[derive(Debug, Clone)]
+pub struct UnifiedPlan {
+    /// The data-processing part feeding the trained pipeline (scans, joins,
+    /// filters, projections below the `PREDICT`).
+    pub data: LogicalPlan,
+    /// The trained pipeline `M` invoked by the `PREDICT` statement.
+    pub pipeline: Pipeline,
+    /// The column name the prediction is exposed as (e.g. `risk_of_covid`).
+    pub prediction_column: String,
+    /// Conjunctive predicates of the query's WHERE clause. They may reference
+    /// data columns (input-side) and/or the prediction column (output-side).
+    pub predicates: Vec<Expr>,
+    /// Final SELECT expressions (may reference data columns and the
+    /// prediction column). Empty means "all data columns plus the prediction".
+    pub projection: Vec<Expr>,
+    /// Optional final aggregation (group-by columns, aggregate expressions).
+    pub aggregate: Option<(Vec<String>, Vec<AggregateExpr>)>,
+}
+
+impl UnifiedPlan {
+    /// Build a unified plan, validating that the pipeline's inputs are
+    /// produced by the data part.
+    pub fn new(
+        data: LogicalPlan,
+        pipeline: Pipeline,
+        prediction_column: impl Into<String>,
+        catalog: &Catalog,
+    ) -> Result<Self> {
+        let plan = UnifiedPlan {
+            data,
+            pipeline,
+            prediction_column: prediction_column.into(),
+            predicates: vec![],
+            projection: vec![],
+            aggregate: None,
+        };
+        plan.validate(catalog)?;
+        Ok(plan)
+    }
+
+    /// Check that every pipeline input is available from the data part.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        let schema = self.data.schema(catalog)?;
+        for input in &self.pipeline.inputs {
+            if !schema.contains(&input.name) {
+                return Err(IrError::Invalid(format!(
+                    "pipeline input '{}' is not produced by the data part",
+                    input.name
+                )));
+            }
+        }
+        self.pipeline.validate()?;
+        Ok(())
+    }
+
+    /// Predicates that only reference data columns (candidates for
+    /// predicate-based model pruning and for pushing into the data part).
+    pub fn input_predicates(&self) -> Vec<&Expr> {
+        self.predicates
+            .iter()
+            .filter(|p| !self.references_prediction(p))
+            .collect()
+    }
+
+    /// Predicates that reference the prediction column (candidates for
+    /// output-based model pruning).
+    pub fn output_predicates(&self) -> Vec<&Expr> {
+        self.predicates
+            .iter()
+            .filter(|p| self.references_prediction(p))
+            .collect()
+    }
+
+    /// Whether an expression references the prediction column.
+    pub fn references_prediction(&self, expr: &Expr) -> bool {
+        expr.referenced_columns().contains(&self.prediction_column)
+    }
+
+    /// Data columns required by the final projection and predicates (other
+    /// than the prediction itself). Used to decide which columns must survive
+    /// even if the model does not use them.
+    pub fn externally_required_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for e in self.projection.iter().chain(self.predicates.iter()) {
+            for c in e.referenced_columns() {
+                if c != self.prediction_column {
+                    out.insert(c);
+                }
+            }
+        }
+        if let Some((group_by, aggs)) = &self.aggregate {
+            out.extend(group_by.iter().cloned());
+            for a in aggs {
+                for c in a.arg.referenced_columns() {
+                    if c != self.prediction_column {
+                        out.insert(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerate every operator of the query as unified nodes (relational and
+    /// ML operators in one list) — the "single graph structure" view of §3.
+    pub fn nodes(&self) -> Vec<UnifiedNode> {
+        let mut out = Vec::new();
+        collect_relational(&self.data, &mut out);
+        for n in &self.pipeline.nodes {
+            out.push(UnifiedNode::Ml {
+                name: n.op.name().to_string(),
+                detail: format!("{} -> {}", n.inputs.join(", "), n.output),
+            });
+        }
+        for p in &self.predicates {
+            out.push(UnifiedNode::Relational {
+                name: "Filter".into(),
+                detail: p.to_string(),
+            });
+        }
+        if !self.projection.is_empty() {
+            out.push(UnifiedNode::Relational {
+                name: "Projection".into(),
+                detail: self
+                    .projection
+                    .iter()
+                    .map(|e| e.output_name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+        if let Some((group_by, aggs)) = &self.aggregate {
+            out.push(UnifiedNode::Relational {
+                name: "Aggregate".into(),
+                detail: format!("group_by=[{}], aggs={}", group_by.join(", "), aggs.len()),
+            });
+        }
+        out
+    }
+
+    /// Number of operators in the unified graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Number of ML operators.
+    pub fn ml_node_count(&self) -> usize {
+        self.nodes()
+            .iter()
+            .filter(|n| matches!(n, UnifiedNode::Ml { .. }))
+            .count()
+    }
+
+    /// Render an EXPLAIN-style description of the whole prediction query.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        out.push_str("PredictionQuery\n");
+        out.push_str(&format!("  prediction column: {}\n", self.prediction_column));
+        out.push_str(&format!("  pipeline: {}\n", self.pipeline.summary()));
+        out.push_str("  data part:\n");
+        for line in self.data.display_indent().lines() {
+            out.push_str(&format!("    {line}\n"));
+        }
+        if !self.predicates.is_empty() {
+            let preds: Vec<String> = self.predicates.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!("  where: {}\n", preds.join(" AND ")));
+        }
+        if !self.projection.is_empty() {
+            let cols: Vec<String> = self.projection.iter().map(|e| e.output_name()).collect();
+            out.push_str(&format!("  select: {}\n", cols.join(", ")));
+        }
+        if let Some((group_by, aggs)) = &self.aggregate {
+            out.push_str(&format!(
+                "  aggregate: group_by=[{}], {} aggregates\n",
+                group_by.join(", "),
+                aggs.len()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for UnifiedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+fn collect_relational(plan: &LogicalPlan, out: &mut Vec<UnifiedNode>) {
+    let (name, detail) = match plan {
+        LogicalPlan::Scan { table, .. } => ("Scan".to_string(), table.clone()),
+        LogicalPlan::Filter { predicate, .. } => ("Filter".to_string(), predicate.to_string()),
+        LogicalPlan::Projection { exprs, .. } => (
+            "Projection".to_string(),
+            exprs
+                .iter()
+                .map(|e| e.output_name())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+        LogicalPlan::Join {
+            left_key,
+            right_key,
+            ..
+        } => ("Join".to_string(), format!("{left_key} = {right_key}")),
+        LogicalPlan::Aggregate { aggregates, .. } => {
+            ("Aggregate".to_string(), format!("{}", aggregates.len()))
+        }
+        LogicalPlan::Limit { n, .. } => ("Limit".to_string(), n.to_string()),
+    };
+    out.push(UnifiedNode::Relational { name, detail });
+    for input in plan.inputs() {
+        collect_relational(input, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{
+        InputKind, Operator, Pipeline, PipelineInput, PipelineNode, Scaler, Tree, TreeEnsemble,
+    };
+    use raven_relational::{col, lit, AggregateFunction};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("patient_info")
+                .add_i64("id", vec![1, 2])
+                .add_f64("age", vec![40.0, 70.0])
+                .add_i64("asthma", vec![1, 0])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            "m.onnx",
+            vec![PipelineInput {
+                name: "age".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![
+                PipelineNode {
+                    name: "scaler".into(),
+                    op: Operator::Scaler(Scaler::identity(1)),
+                    inputs: vec!["age".into()],
+                    output: "scaled".into(),
+                },
+                PipelineNode {
+                    name: "model".into(),
+                    op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(0.8), 1)),
+                    inputs: vec!["scaled".into()],
+                    output: "score".into(),
+                },
+            ],
+            "score",
+        )
+        .unwrap()
+    }
+
+    fn plan() -> (UnifiedPlan, Catalog) {
+        let c = catalog();
+        let mut p = UnifiedPlan::new(
+            LogicalPlan::scan("patient_info"),
+            pipeline(),
+            "risk",
+            &c,
+        )
+        .unwrap();
+        p.predicates = vec![
+            col("asthma").eq(lit(1i64)),
+            col("risk").gt_eq(lit(0.5)),
+        ];
+        p.projection = vec![col("id"), col("risk")];
+        (p, c)
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let (p, c) = plan();
+        assert!(p.validate(&c).is_ok());
+
+        // pipeline input missing from data part
+        let bad_pipeline = Pipeline::new(
+            "m",
+            vec![PipelineInput {
+                name: "bmi".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(1.0), 1)),
+                inputs: vec!["bmi".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap();
+        assert!(UnifiedPlan::new(
+            LogicalPlan::scan("patient_info"),
+            bad_pipeline,
+            "risk",
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predicate_classification() {
+        let (p, _) = plan();
+        assert_eq!(p.input_predicates().len(), 1);
+        assert_eq!(p.output_predicates().len(), 1);
+        assert!(p.references_prediction(&col("risk").gt(lit(0.0))));
+        assert!(!p.references_prediction(&col("age").gt(lit(0.0))));
+    }
+
+    #[test]
+    fn externally_required_columns() {
+        let (mut p, _) = plan();
+        let req = p.externally_required_columns();
+        assert!(req.contains("id"));
+        assert!(req.contains("asthma"));
+        assert!(!req.contains("risk"));
+        p.aggregate = Some((
+            vec!["asthma".into()],
+            vec![AggregateExpr {
+                func: AggregateFunction::Count,
+                arg: col("id"),
+                alias: "n".into(),
+            }],
+        ));
+        assert!(p.externally_required_columns().contains("asthma"));
+    }
+
+    #[test]
+    fn unified_nodes_mix_both_sides() {
+        let (p, _) = plan();
+        let nodes = p.nodes();
+        assert!(nodes
+            .iter()
+            .any(|n| matches!(n, UnifiedNode::Relational { name, .. } if name == "Scan")));
+        assert!(nodes
+            .iter()
+            .any(|n| matches!(n, UnifiedNode::Ml { name, .. } if name == "Scaler")));
+        assert_eq!(p.ml_node_count(), 2);
+        assert!(p.node_count() >= 5);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let (p, _) = plan();
+        let s = p.to_string();
+        assert!(s.contains("PredictionQuery"));
+        assert!(s.contains("patient_info"));
+        assert!(s.contains("risk"));
+        assert!(s.contains("where"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the ML substrate.
+
+use raven_columnar::ColumnarError;
+use std::fmt;
+
+/// Result alias used throughout `raven-ml`.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Errors produced by pipeline construction, training, and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Error bubbled up from the columnar layer.
+    Columnar(ColumnarError),
+    /// The pipeline graph is malformed (dangling inputs, cycles, arity errors).
+    InvalidPipeline(String),
+    /// An operator received inputs with an unexpected shape or type.
+    ShapeMismatch(String),
+    /// Problem during model training.
+    Training(String),
+    /// A value required by an operator was missing at inference time.
+    MissingInput(String),
+    /// Operation not supported for this operator.
+    Unsupported(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Columnar(e) => write!(f, "columnar error: {e}"),
+            MlError::InvalidPipeline(m) => write!(f, "invalid pipeline: {m}"),
+            MlError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            MlError::Training(m) => write!(f, "training error: {m}"),
+            MlError::MissingInput(m) => write!(f, "missing input: {m}"),
+            MlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<ColumnarError> for MlError {
+    fn from(e: ColumnarError) -> Self {
+        MlError::Columnar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::InvalidPipeline("x".into())
+            .to_string()
+            .contains("invalid pipeline"));
+        let e: MlError = ColumnarError::ColumnNotFound("c".into()).into();
+        assert!(e.to_string().contains("columnar"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Values flowing between ML operators.
+//!
+//! ONNX-ML pipelines pass tensors between operators; the traditional-ML
+//! operators the paper focuses on only need two shapes of data: dense numeric
+//! matrices (rows × features) and string matrices (categorical inputs before
+//! encoding). [`FrameValue`] captures both.
+
+use crate::error::{MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix from row-major data.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::ShapeMismatch(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// A zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from one column vector.
+    pub fn from_column(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Build from a set of equally long column vectors.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Result<Self> {
+        let cols = columns.len();
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in columns {
+            if c.len() != rows {
+                return Err(MlError::ShapeMismatch(
+                    "columns have differing lengths".into(),
+                ));
+            }
+        }
+        let mut data = vec![0.0; rows * cols];
+        for (j, c) in columns.iter().enumerate() {
+            for (i, &v) in c.iter().enumerate() {
+                data[i * cols + j] = v;
+            }
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Extract one column as an owned vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Horizontally concatenate matrices with equal row counts.
+    pub fn hconcat(parts: &[&Matrix]) -> Result<Matrix> {
+        let rows = parts
+            .first()
+            .map(|m| m.rows)
+            .ok_or_else(|| MlError::ShapeMismatch("hconcat of zero matrices".into()))?;
+        for p in parts {
+            if p.rows != rows {
+                return Err(MlError::ShapeMismatch(format!(
+                    "hconcat row mismatch: {} vs {}",
+                    rows, p.rows
+                )));
+            }
+        }
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Select a subset of columns (in the given order).
+    pub fn select_columns(&self, indices: &[usize]) -> Result<Matrix> {
+        for &i in indices {
+            if i >= self.cols {
+                return Err(MlError::ShapeMismatch(format!(
+                    "column index {i} out of bounds for width {}",
+                    self.cols
+                )));
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            for (j, &i) in indices.iter().enumerate() {
+                out.set(r, j, self.get(r, i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense matrix multiplication `self (r×k) * other (k×c)`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::ShapeMismatch(format!(
+                "matmul {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A string matrix for categorical data before encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StringMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<String>,
+}
+
+impl StringMatrix {
+    /// Create from row-major data.
+    pub fn new(rows: usize, cols: usize, data: Vec<String>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::ShapeMismatch(format!(
+                "string matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(StringMatrix { rows, cols, data })
+    }
+
+    /// Build from a single column.
+    pub fn from_column(values: &[String]) -> Self {
+        StringMatrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, row: usize, col: usize) -> &str {
+        &self.data[row * self.cols + col]
+    }
+}
+
+/// A value flowing along a pipeline edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrameValue {
+    /// Dense numeric matrix (rows × features).
+    Numeric(Matrix),
+    /// String matrix (rows × categorical columns).
+    Strings(StringMatrix),
+}
+
+impl FrameValue {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            FrameValue::Numeric(m) => m.rows(),
+            FrameValue::Strings(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns / features.
+    pub fn cols(&self) -> usize {
+        match self {
+            FrameValue::Numeric(m) => m.cols(),
+            FrameValue::Strings(m) => m.cols(),
+        }
+    }
+
+    /// Unwrap the numeric matrix, failing on strings.
+    pub fn as_numeric(&self) -> Result<&Matrix> {
+        match self {
+            FrameValue::Numeric(m) => Ok(m),
+            FrameValue::Strings(_) => Err(MlError::ShapeMismatch(
+                "expected numeric input, got strings".into(),
+            )),
+        }
+    }
+
+    /// Unwrap the string matrix, failing on numerics.
+    pub fn as_strings(&self) -> Result<&StringMatrix> {
+        match self {
+            FrameValue::Strings(m) => Ok(m),
+            FrameValue::Numeric(_) => Err(MlError::ShapeMismatch(
+                "expected string input, got numeric".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_construction_and_access() {
+        let m = Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+        assert!(Matrix::new(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_columns_layout() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(0), &[1.0, 3.0]);
+        assert!(Matrix::from_columns(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn hconcat_and_select() {
+        let a = Matrix::from_column(&[1.0, 2.0]);
+        let b = Matrix::from_columns(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let c = Matrix::hconcat(&[&a, &b]).unwrap();
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[2.0, 4.0, 6.0]);
+        let s = c.select_columns(&[2, 0]).unwrap();
+        assert_eq!(s.row(0), &[5.0, 1.0]);
+        assert!(c.select_columns(&[9]).is_err());
+        assert!(Matrix::hconcat(&[]).is_err());
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::new(2, 1, vec![5.0, 6.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[17.0, 39.0]);
+        assert!(b.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn string_matrix() {
+        let m = StringMatrix::from_column(&["a".into(), "b".into()]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.get(1, 0), "b");
+        assert!(StringMatrix::new(2, 2, vec!["x".into()]).is_err());
+    }
+
+    #[test]
+    fn frame_value_accessors() {
+        let n = FrameValue::Numeric(Matrix::from_column(&[1.0]));
+        assert_eq!(n.rows(), 1);
+        assert!(n.as_numeric().is_ok());
+        assert!(n.as_strings().is_err());
+        let s = FrameValue::Strings(StringMatrix::from_column(&["x".into()]));
+        assert!(s.as_strings().is_ok());
+        assert!(s.as_numeric().is_err());
+    }
+}

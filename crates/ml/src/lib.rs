@@ -1,0 +1,34 @@
+//! # raven-ml
+//!
+//! The traditional-ML substrate of the Raven reproduction: the operator set of
+//! the unified IR's ML side (featurizers, linear models, tree ensembles — the
+//! operators §2.1 of the paper shows dominate enterprise pipelines), trained
+//! pipelines as ONNX-like operator DAGs, model training (so pipelines are fit
+//! on data exactly like the scikit-learn pipelines of §7), and a batch
+//! inference runtime standing in for ONNX Runtime behind the data engine's
+//! UDF boundary.
+
+pub mod builder;
+pub mod error;
+pub mod frame;
+pub mod ops;
+pub mod pipeline;
+pub mod runtime;
+pub mod train;
+
+pub use builder::{train_pipeline, ModelType, PipelineSpec};
+pub use error::{MlError, Result};
+pub use frame::{FrameValue, Matrix, StringMatrix};
+pub use ops::{
+    format_numeric_category, sigmoid, Binarizer, ConstantNode, EnsembleKind, FeatureExtractor, Imputer, LabelEncoder,
+    LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm, Normalizer,
+    OneHotEncoder, Operator, OperatorCategory, Scaler, Tree, TreeEnsemble, TreeNode,
+};
+pub use pipeline::{InputKind, Pipeline, PipelineInput, PipelineNode};
+pub use runtime::{bind_batch, column_to_frame, MlRuntime, RuntimeConfig};
+pub use train::{
+    accuracy, fit_one_hot, fit_standard_scaler, train_decision_tree,
+    train_decision_tree_classifier, train_gradient_boosting, train_linear_regression,
+    train_logistic_regression, train_random_forest, BoostingConfig, ForestConfig, LinearConfig,
+    TreeConfig, TreeTask,
+};

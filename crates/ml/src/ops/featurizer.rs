@@ -1,0 +1,449 @@
+//! Featurization operators (the ONNX-ML "data transformers" of §3):
+//! scalers, encoders, imputer, binarizer, normalizer, concat, feature
+//! extractor, and constant nodes.
+
+use crate::error::{MlError, Result};
+use crate::frame::{FrameValue, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Standard/affine scaler: `y = (x - offset) * scale` per feature column
+/// (ONNX `Scaler` semantics, matching the paper's §4.1 constant propagation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    /// Per-feature offsets (typically the training means).
+    pub offsets: Vec<f64>,
+    /// Per-feature scales (typically `1 / std`).
+    pub scales: Vec<f64>,
+}
+
+impl Scaler {
+    /// Identity scaler over `width` features.
+    pub fn identity(width: usize) -> Self {
+        Scaler {
+            offsets: vec![0.0; width],
+            scales: vec![1.0; width],
+        }
+    }
+
+    /// Apply to a numeric matrix.
+    pub fn transform(&self, input: &Matrix) -> Result<Matrix> {
+        if input.cols() != self.offsets.len() || input.cols() != self.scales.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "scaler configured for {} features, input has {}",
+                self.offsets.len(),
+                input.cols()
+            )));
+        }
+        let mut out = input.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            for c in 0..cols {
+                let v = (input.get(r, c) - self.offsets[c]) * self.scales[c];
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transform a single scalar for feature `col` (used when propagating
+    /// predicate constants through the scaler at optimization time).
+    pub fn transform_scalar(&self, col: usize, value: f64) -> Result<f64> {
+        if col >= self.offsets.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "feature {col} out of range for scaler width {}",
+                self.offsets.len()
+            )));
+        }
+        Ok((value - self.offsets[col]) * self.scales[col])
+    }
+
+    /// Restrict the scaler to the given feature columns (densification).
+    pub fn select(&self, indices: &[usize]) -> Result<Scaler> {
+        let mut offsets = Vec::with_capacity(indices.len());
+        let mut scales = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.offsets.len() {
+                return Err(MlError::ShapeMismatch(format!(
+                    "feature {i} out of range for scaler width {}",
+                    self.offsets.len()
+                )));
+            }
+            offsets.push(self.offsets[i]);
+            scales.push(self.scales[i]);
+        }
+        Ok(Scaler { offsets, scales })
+    }
+
+    /// Width of the scaler (inputs == outputs).
+    pub fn width(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+/// One-hot encoder over a single categorical input column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneHotEncoder {
+    /// The known categories, in output order. Unknown values map to all-zeros.
+    pub categories: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// Apply to a single-column string matrix.
+    pub fn transform(&self, input: &FrameValue) -> Result<Matrix> {
+        let rows = input.rows();
+        if input.cols() != 1 {
+            return Err(MlError::ShapeMismatch(format!(
+                "one-hot encoder expects a single column, got {}",
+                input.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(rows, self.categories.len());
+        match input {
+            FrameValue::Strings(m) => {
+                for r in 0..rows {
+                    if let Some(idx) = self.category_index(m.get(r, 0)) {
+                        out.set(r, idx, 1.0);
+                    }
+                }
+            }
+            FrameValue::Numeric(m) => {
+                for r in 0..rows {
+                    let s = format_numeric_category(m.get(r, 0));
+                    if let Some(idx) = self.category_index(&s) {
+                        out.set(r, idx, 1.0);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index of a category value, if known.
+    pub fn category_index(&self, value: &str) -> Option<usize> {
+        self.categories.iter().position(|c| c == value)
+    }
+
+    /// The one-hot vector produced for a constant input (used to propagate an
+    /// equality-predicate constant through the encoder, paper §4.1 step 2).
+    pub fn encode_constant(&self, value: &str) -> Vec<f64> {
+        let mut out = vec![0.0; self.categories.len()];
+        if let Some(i) = self.category_index(value) {
+            out[i] = 1.0;
+        }
+        out
+    }
+
+    /// Number of output features.
+    pub fn width(&self) -> usize {
+        self.categories.len()
+    }
+}
+
+/// Canonical string form for a numeric categorical value (integral values
+/// render without a decimal point so `1` and `1.0` agree).
+pub fn format_numeric_category(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Label encoder: maps category strings to their integer index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelEncoder {
+    /// Known classes; unknown values map to -1.
+    pub classes: Vec<String>,
+}
+
+impl LabelEncoder {
+    /// Apply to a single-column string matrix.
+    pub fn transform(&self, input: &FrameValue) -> Result<Matrix> {
+        let strings = input.as_strings()?;
+        if strings.cols() != 1 {
+            return Err(MlError::ShapeMismatch(
+                "label encoder expects a single column".into(),
+            ));
+        }
+        let mut out = Matrix::zeros(strings.rows(), 1);
+        for r in 0..strings.rows() {
+            let v = self
+                .classes
+                .iter()
+                .position(|c| c == strings.get(r, 0))
+                .map(|i| i as f64)
+                .unwrap_or(-1.0);
+            out.set(r, 0, v);
+        }
+        Ok(out)
+    }
+}
+
+/// Imputer: replaces missing values (NaN) with per-feature fill values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Imputer {
+    /// Replacement value per feature.
+    pub fill: Vec<f64>,
+}
+
+impl Imputer {
+    /// Apply to a numeric matrix.
+    pub fn transform(&self, input: &Matrix) -> Result<Matrix> {
+        if input.cols() != self.fill.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "imputer configured for {} features, input has {}",
+                self.fill.len(),
+                input.cols()
+            )));
+        }
+        let mut out = input.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            for c in 0..cols {
+                if out.get(r, c).is_nan() {
+                    out.set(r, c, self.fill[c]);
+                }
+            }
+        }
+        let _ = cols;
+        Ok(out)
+    }
+}
+
+/// Binarizer: 1.0 when the value exceeds the threshold, else 0.0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binarizer {
+    /// Threshold compared with `>`.
+    pub threshold: f64,
+}
+
+impl Binarizer {
+    /// Apply to a numeric matrix.
+    pub fn transform(&self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = if *v > self.threshold { 1.0 } else { 0.0 };
+        }
+        out
+    }
+}
+
+/// Row-wise normalization norm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Norm {
+    L1,
+    L2,
+    Max,
+}
+
+/// Normalizer: scales each row to unit norm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Which norm to normalize by.
+    pub norm: Norm,
+}
+
+impl Normalizer {
+    /// Apply to a numeric matrix.
+    pub fn transform(&self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let row = input.row(r);
+            let norm = match self.norm {
+                Norm::L1 => row.iter().map(|x| x.abs()).sum::<f64>(),
+                Norm::L2 => row.iter().map(|x| x * x).sum::<f64>().sqrt(),
+                Norm::Max => row.iter().fold(0.0f64, |a, &b| a.max(b.abs())),
+            };
+            if norm > 0.0 {
+                for c in 0..cols {
+                    out.set(r, c, input.get(r, c) / norm);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Feature extractor: selects a subset of feature columns by index. This is
+/// the ML-side analogue of a relational projection (paper §3), and the node
+/// model-projection pushdown inserts and pushes down (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    /// Indices of the columns to keep, in output order.
+    pub indices: Vec<usize>,
+}
+
+impl FeatureExtractor {
+    /// Apply to a numeric matrix.
+    pub fn transform(&self, input: &Matrix) -> Result<Matrix> {
+        input.select_columns(&self.indices)
+    }
+}
+
+/// A constant feature column, materialized to the batch's row count. Inserted
+/// by predicate-based model pruning when an equality predicate fixes an input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstantNode {
+    /// The constant values (one per output feature column).
+    pub values: Vec<f64>,
+}
+
+impl ConstantNode {
+    /// Materialize `rows` copies of the constant vector.
+    pub fn materialize(&self, rows: usize) -> Matrix {
+        let mut out = Matrix::zeros(rows, self.values.len());
+        for r in 0..rows {
+            for (c, &v) in self.values.iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+/// Concat: horizontally concatenates its numeric inputs (ONNX `Concat` /
+/// scikit-learn `ColumnTransformer` output assembly).
+pub fn concat(inputs: &[&FrameValue]) -> Result<Matrix> {
+    let matrices = inputs
+        .iter()
+        .map(|v| v.as_numeric())
+        .collect::<Result<Vec<_>>>()?;
+    Matrix::hconcat(&matrices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::StringMatrix;
+
+    #[test]
+    fn scaler_transform_and_scalar() {
+        let s = Scaler {
+            offsets: vec![10.0, 0.0],
+            scales: vec![0.5, 2.0],
+        };
+        let m = Matrix::from_columns(&[vec![12.0, 14.0], vec![1.0, 2.0]]).unwrap();
+        let out = s.transform(&m).unwrap();
+        assert_eq!(out.row(0), &[1.0, 2.0]);
+        assert_eq!(out.row(1), &[2.0, 4.0]);
+        assert_eq!(s.transform_scalar(0, 14.0).unwrap(), 2.0);
+        assert!(s.transform_scalar(5, 1.0).is_err());
+        assert!(s.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn scaler_select_subset() {
+        let s = Scaler {
+            offsets: vec![1.0, 2.0, 3.0],
+            scales: vec![1.0, 10.0, 100.0],
+        };
+        let sub = s.select(&[2, 0]).unwrap();
+        assert_eq!(sub.offsets, vec![3.0, 1.0]);
+        assert_eq!(sub.scales, vec![100.0, 1.0]);
+        assert!(s.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn one_hot_encoding_strings_and_unknown() {
+        let enc = OneHotEncoder {
+            categories: vec!["no".into(), "yes".into()],
+        };
+        let input = FrameValue::Strings(StringMatrix::from_column(&[
+            "yes".into(),
+            "no".into(),
+            "maybe".into(),
+        ]));
+        let out = enc.transform(&input).unwrap();
+        assert_eq!(out.row(0), &[0.0, 1.0]);
+        assert_eq!(out.row(1), &[1.0, 0.0]);
+        assert_eq!(out.row(2), &[0.0, 0.0]);
+        assert_eq!(enc.encode_constant("yes"), vec![0.0, 1.0]);
+        assert_eq!(enc.encode_constant("nope"), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_encoding_numeric_categories() {
+        let enc = OneHotEncoder {
+            categories: vec!["0".into(), "1".into(), "2".into()],
+        };
+        let input = FrameValue::Numeric(Matrix::from_column(&[1.0, 2.0, 0.0]));
+        let out = enc.transform(&input).unwrap();
+        assert_eq!(out.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(format_numeric_category(3.0), "3");
+        assert_eq!(format_numeric_category(3.5), "3.5");
+    }
+
+    #[test]
+    fn label_encoder() {
+        let enc = LabelEncoder {
+            classes: vec!["low".into(), "high".into()],
+        };
+        let input = FrameValue::Strings(StringMatrix::from_column(&[
+            "high".into(),
+            "low".into(),
+            "??".into(),
+        ]));
+        let out = enc.transform(&input).unwrap();
+        assert_eq!(out.column(0), vec![1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn imputer_fills_nan() {
+        let imp = Imputer {
+            fill: vec![5.0, -1.0],
+        };
+        let m = Matrix::from_columns(&[vec![1.0, f64::NAN], vec![f64::NAN, 2.0]]).unwrap();
+        let out = imp.transform(&m).unwrap();
+        assert_eq!(out.row(0), &[1.0, -1.0]);
+        assert_eq!(out.row(1), &[5.0, 2.0]);
+        assert!(imp.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn binarizer_and_normalizer() {
+        let b = Binarizer { threshold: 0.5 };
+        let m = Matrix::from_column(&[0.2, 0.7]);
+        assert_eq!(b.transform(&m).column(0), vec![0.0, 1.0]);
+
+        let n = Normalizer { norm: Norm::L2 };
+        let m = Matrix::from_columns(&[vec![3.0, 0.0], vec![4.0, 0.0]]).unwrap();
+        let out = n.transform(&m);
+        assert!((out.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((out.get(0, 1) - 0.8).abs() < 1e-12);
+        // zero row left untouched
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+
+        let n1 = Normalizer { norm: Norm::L1 };
+        assert!((n1.transform(&m).get(0, 0) - 3.0 / 7.0).abs() < 1e-12);
+        let nm = Normalizer { norm: Norm::Max };
+        assert!((nm.transform(&m).get(0, 0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_extractor_and_constant() {
+        let fe = FeatureExtractor {
+            indices: vec![1, 0],
+        };
+        let m = Matrix::from_columns(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(fe.transform(&m).unwrap().row(0), &[2.0, 1.0]);
+
+        let c = ConstantNode {
+            values: vec![7.0, 8.0],
+        };
+        let out = c.materialize(3);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(2), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_numeric_inputs() {
+        let a = FrameValue::Numeric(Matrix::from_column(&[1.0, 2.0]));
+        let b = FrameValue::Numeric(Matrix::from_column(&[3.0, 4.0]));
+        let out = concat(&[&a, &b]).unwrap();
+        assert_eq!(out.cols(), 2);
+        let s = FrameValue::Strings(StringMatrix::from_column(&["x".into()]));
+        assert!(concat(&[&a, &s]).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Linear models: linear regression, logistic regression, linear SVM.
+
+use crate::error::{MlError, Result};
+use crate::frame::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A linear regression model: `y = x · w + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressionModel {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+impl LinearRegressionModel {
+    /// Predict for a feature matrix, one output per row.
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix> {
+        dot_rows(x, &self.weights, self.intercept).map(|v| Matrix::from_column(&v))
+    }
+
+    /// Indices of features with non-zero weight (model sparsity, §2.1).
+    pub fn used_features(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Densify: keep only the listed features (in that order).
+    pub fn select(&self, indices: &[usize]) -> Result<LinearRegressionModel> {
+        Ok(LinearRegressionModel {
+            weights: select_weights(&self.weights, indices)?,
+            intercept: self.intercept,
+        })
+    }
+
+    /// Fold a known-constant feature into the intercept and drop it.
+    pub fn fold_constant(&self, feature: usize, value: f64) -> Result<LinearRegressionModel> {
+        if feature >= self.weights.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "feature {feature} out of range for width {}",
+                self.weights.len()
+            )));
+        }
+        let mut weights = self.weights.clone();
+        let intercept = self.intercept + weights[feature] * value;
+        weights[feature] = 0.0;
+        Ok(LinearRegressionModel { weights, intercept })
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// A binary logistic regression model: `p = sigmoid(x · w + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionModel {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+impl LogisticRegressionModel {
+    /// Predicted probability of the positive class, one output per row.
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let scores = dot_rows(x, &self.weights, self.intercept)?;
+        Ok(Matrix::from_column(
+            &scores.iter().map(|&s| sigmoid(s)).collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Indices of features with non-zero weight.
+    pub fn used_features(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Densify: keep only the listed features (in that order).
+    pub fn select(&self, indices: &[usize]) -> Result<LogisticRegressionModel> {
+        Ok(LogisticRegressionModel {
+            weights: select_weights(&self.weights, indices)?,
+            intercept: self.intercept,
+        })
+    }
+
+    /// Fold a known-constant feature into the intercept and drop it.
+    pub fn fold_constant(&self, feature: usize, value: f64) -> Result<LogisticRegressionModel> {
+        if feature >= self.weights.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "feature {feature} out of range for width {}",
+                self.weights.len()
+            )));
+        }
+        let mut weights = self.weights.clone();
+        let intercept = self.intercept + weights[feature] * value;
+        weights[feature] = 0.0;
+        Ok(LogisticRegressionModel { weights, intercept })
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// A linear support-vector classifier: decision value `x · w + b`, with the
+/// positive class predicted when the value exceeds zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvmModel {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+impl LinearSvmModel {
+    /// Decision values (distance from the separating hyperplane), one per row.
+    pub fn decision_function(&self, x: &Matrix) -> Result<Matrix> {
+        dot_rows(x, &self.weights, self.intercept).map(|v| Matrix::from_column(&v))
+    }
+
+    /// Indices of features with non-zero weight.
+    pub fn used_features(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Densify: keep only the listed features (in that order).
+    pub fn select(&self, indices: &[usize]) -> Result<LinearSvmModel> {
+        Ok(LinearSvmModel {
+            weights: select_weights(&self.weights, indices)?,
+            intercept: self.intercept,
+        })
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+fn select_weights(weights: &[f64], indices: &[usize]) -> Result<Vec<f64>> {
+    indices
+        .iter()
+        .map(|&i| {
+            weights.get(i).copied().ok_or_else(|| {
+                MlError::ShapeMismatch(format!(
+                    "feature {i} out of range for width {}",
+                    weights.len()
+                ))
+            })
+        })
+        .collect()
+}
+
+fn dot_rows(x: &Matrix, weights: &[f64], intercept: f64) -> Result<Vec<f64>> {
+    if x.cols() != weights.len() {
+        return Err(MlError::ShapeMismatch(format!(
+            "model has {} weights, input has {} features",
+            weights.len(),
+            x.cols()
+        )));
+    }
+    let mut out = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mut acc = intercept;
+        for (v, w) in row.iter().zip(weights.iter()) {
+            acc += v * w;
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Matrix {
+        Matrix::from_columns(&[vec![1.0, 2.0], vec![0.0, 3.0]]).unwrap()
+    }
+
+    #[test]
+    fn linear_regression_predict() {
+        let m = LinearRegressionModel {
+            weights: vec![2.0, -1.0],
+            intercept: 0.5,
+        };
+        let y = m.predict(&x()).unwrap();
+        assert_eq!(y.column(0), vec![2.5, 1.5]);
+        assert!(m.predict(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn logistic_regression_proba_bounds() {
+        let m = LogisticRegressionModel {
+            weights: vec![10.0, 0.0],
+            intercept: 0.0,
+        };
+        let p = m.predict_proba(&x()).unwrap();
+        assert!(p.column(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(p.get(1, 0) > 0.99);
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn used_features_and_select() {
+        let m = LogisticRegressionModel {
+            weights: vec![0.0, 1.5, 0.0, -2.0],
+            intercept: 0.1,
+        };
+        assert_eq!(m.used_features(), vec![1, 3]);
+        let dense = m.select(&[1, 3]).unwrap();
+        assert_eq!(dense.weights, vec![1.5, -2.0]);
+        assert!(m.select(&[10]).is_err());
+    }
+
+    #[test]
+    fn fold_constant_preserves_predictions() {
+        let m = LinearRegressionModel {
+            weights: vec![2.0, 3.0],
+            intercept: 1.0,
+        };
+        // fix feature 1 to 4.0
+        let folded = m.fold_constant(1, 4.0).unwrap();
+        assert_eq!(folded.intercept, 13.0);
+        assert_eq!(folded.weights[1], 0.0);
+        // predictions agree when feature 1 is indeed 4.0
+        let x = Matrix::from_columns(&[vec![1.0], vec![4.0]]).unwrap();
+        assert_eq!(
+            m.predict(&x).unwrap().column(0),
+            folded.predict(&x).unwrap().column(0)
+        );
+        assert!(m.fold_constant(7, 0.0).is_err());
+    }
+
+    #[test]
+    fn svm_decision_function() {
+        let m = LinearSvmModel {
+            weights: vec![1.0, -1.0],
+            intercept: -0.5,
+        };
+        let d = m.decision_function(&x()).unwrap();
+        assert_eq!(d.column(0), vec![0.5, -1.5]);
+        assert_eq!(m.used_features(), vec![0, 1]);
+        assert_eq!(m.select(&[0]).unwrap().weights, vec![1.0]);
+    }
+}

@@ -1,0 +1,629 @@
+//! Decision trees and tree ensembles (decision tree, random forest, gradient
+//! boosting) — the model family that dominates enterprise pipelines (§2.1)
+//! and the main target of Raven's model pruning optimizations.
+
+use crate::error::{MlError, Result};
+use crate::frame::Matrix;
+use crate::ops::linear::sigmoid;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One node of a binary decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: rows with `feature <= threshold` go to `left`,
+    /// the rest to `right` (scikit-learn convention).
+    Branch {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf with an output value (class-1 probability for classifiers, raw
+    /// value for regressors / boosting stages).
+    Leaf { value: f64 },
+}
+
+/// A binary decision tree stored as a node arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    /// Node storage; `root` indexes into it.
+    pub nodes: Vec<TreeNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl Tree {
+    /// A single-leaf tree.
+    pub fn leaf(value: f64) -> Tree {
+        Tree {
+            nodes: vec![TreeNode::Leaf { value }],
+            root: 0,
+        }
+    }
+
+    /// Evaluate the tree for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = row.get(*feature).copied().unwrap_or(f64::NAN);
+                    idx = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn node_count(&self) -> usize {
+        self.reachable().len()
+    }
+
+    /// Number of reachable leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.reachable()
+            .iter()
+            .filter(|&&i| matches!(self.nodes[i], TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(tree: &Tree, idx: usize) -> usize {
+            match &tree.nodes[idx] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Branch { left, right, .. } => {
+                    1 + depth_of(tree, *left).max(depth_of(tree, *right))
+                }
+            }
+        }
+        depth_of(self, self.root)
+    }
+
+    /// Features referenced by reachable branch nodes.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        self.reachable()
+            .iter()
+            .filter_map(|&i| match &self.nodes[i] {
+                TreeNode::Branch { feature, .. } => Some(*feature),
+                TreeNode::Leaf { .. } => None,
+            })
+            .collect()
+    }
+
+    fn reachable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            out.push(idx);
+            if let TreeNode::Branch { left, right, .. } = &self.nodes[idx] {
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        out
+    }
+
+    /// Rebuild the tree keeping only reachable nodes (compacts the arena).
+    pub fn compact(&self) -> Tree {
+        let mut out = Tree {
+            nodes: Vec::new(),
+            root: 0,
+        };
+        out.root = copy_subtree(self, self.root, &mut out.nodes);
+        out
+    }
+
+    /// Prune branches that are unreachable given per-feature value domains
+    /// `[lo, hi]` (inclusive). This implements both predicate-based pruning
+    /// (equality → `[c, c]`, range predicates) and data-induced pruning
+    /// (min/max statistics) from paper §4.1–§4.2.
+    pub fn prune_with_domains(&self, domains: &BTreeMap<usize, (f64, f64)>) -> Tree {
+        fn prune(
+            tree: &Tree,
+            idx: usize,
+            domains: &BTreeMap<usize, (f64, f64)>,
+            out: &mut Vec<TreeNode>,
+        ) -> usize {
+            match &tree.nodes[idx] {
+                TreeNode::Leaf { value } => {
+                    out.push(TreeNode::Leaf { value: *value });
+                    out.len() - 1
+                }
+                TreeNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if let Some(&(lo, hi)) = domains.get(feature) {
+                        if hi <= *threshold {
+                            // every in-domain value goes left
+                            return prune(tree, *left, domains, out);
+                        }
+                        if lo > *threshold {
+                            return prune(tree, *right, domains, out);
+                        }
+                    }
+                    let l = prune(tree, *left, domains, out);
+                    let r = prune(tree, *right, domains, out);
+                    out.push(TreeNode::Branch {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: l,
+                        right: r,
+                    });
+                    out.len() - 1
+                }
+            }
+        }
+        let mut nodes = Vec::new();
+        let root = prune(self, self.root, domains, &mut nodes);
+        Tree { nodes, root }
+    }
+
+    /// Keep only the paths leading to leaves whose value satisfies `keep`;
+    /// all other leaves are replaced by `sentinel`. Adjacent sentinel leaves
+    /// are merged so entire sub-trees collapse. This implements the paper's
+    /// output-predicate pruning (predicates on the prediction, §4.1): the
+    /// query's post-filter removes sentinel rows, so results are unchanged.
+    pub fn prune_by_output(&self, keep: &dyn Fn(f64) -> bool, sentinel: f64) -> Tree {
+        fn walk(
+            tree: &Tree,
+            idx: usize,
+            keep: &dyn Fn(f64) -> bool,
+            sentinel: f64,
+            out: &mut Vec<TreeNode>,
+        ) -> usize {
+            match &tree.nodes[idx] {
+                TreeNode::Leaf { value } => {
+                    let v = if keep(*value) { *value } else { sentinel };
+                    out.push(TreeNode::Leaf { value: v });
+                    out.len() - 1
+                }
+                TreeNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let l = walk(tree, *left, keep, sentinel, out);
+                    let r = walk(tree, *right, keep, sentinel, out);
+                    // collapse when both children became the sentinel leaf
+                    if let (TreeNode::Leaf { value: lv }, TreeNode::Leaf { value: rv }) =
+                        (&out[l], &out[r])
+                    {
+                        if *lv == sentinel && *rv == sentinel {
+                            out.truncate(out.len().saturating_sub(0));
+                            out.push(TreeNode::Leaf { value: sentinel });
+                            return out.len() - 1;
+                        }
+                    }
+                    out.push(TreeNode::Branch {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: l,
+                        right: r,
+                    });
+                    out.len() - 1
+                }
+            }
+        }
+        let mut nodes = Vec::new();
+        let root = walk(self, self.root, keep, sentinel, &mut nodes);
+        Tree { nodes, root }
+    }
+
+    /// Rewrite feature indices according to `mapping` (old → new). Features
+    /// absent from the mapping must not be used by the tree.
+    pub fn remap_features(&self, mapping: &BTreeMap<usize, usize>) -> Result<Tree> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            nodes.push(match n {
+                TreeNode::Leaf { value } => TreeNode::Leaf { value: *value },
+                TreeNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let new = mapping.get(feature).ok_or_else(|| {
+                        MlError::ShapeMismatch(format!(
+                            "feature {feature} not present in remapping"
+                        ))
+                    })?;
+                    TreeNode::Branch {
+                        feature: *new,
+                        threshold: *threshold,
+                        left: *left,
+                        right: *right,
+                    }
+                }
+            });
+        }
+        Ok(Tree {
+            nodes,
+            root: self.root,
+        })
+    }
+}
+
+fn copy_subtree(tree: &Tree, idx: usize, out: &mut Vec<TreeNode>) -> usize {
+    match &tree.nodes[idx] {
+        TreeNode::Leaf { value } => {
+            out.push(TreeNode::Leaf { value: *value });
+            out.len() - 1
+        }
+        TreeNode::Branch {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let l = copy_subtree(tree, *left, out);
+            let r = copy_subtree(tree, *right, out);
+            out.push(TreeNode::Branch {
+                feature: *feature,
+                threshold: *threshold,
+                left: l,
+                right: r,
+            });
+            out.len() - 1
+        }
+    }
+}
+
+/// Which ensemble semantics to apply when combining tree outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnsembleKind {
+    /// Single classification tree; leaf values are class-1 probabilities.
+    DecisionTreeClassifier,
+    /// Single regression tree; leaf values are predictions.
+    DecisionTreeRegressor,
+    /// Bagged classification trees; the score is the mean leaf probability.
+    RandomForestClassifier,
+    /// Boosted trees with a logistic link; the score is
+    /// `sigmoid(base + lr * Σ tree)`.
+    GradientBoostingClassifier,
+    /// Boosted regression trees; the prediction is `base + lr * Σ tree`.
+    GradientBoostingRegressor,
+}
+
+impl EnsembleKind {
+    /// Whether the ensemble is a classifier (score in `[0, 1]`).
+    pub fn is_classifier(&self) -> bool {
+        !matches!(
+            self,
+            EnsembleKind::DecisionTreeRegressor | EnsembleKind::GradientBoostingRegressor
+        )
+    }
+}
+
+/// A trained tree ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeEnsemble {
+    /// Combination semantics.
+    pub kind: EnsembleKind,
+    /// The member trees.
+    pub trees: Vec<Tree>,
+    /// Width of the feature vector the trees index into.
+    pub n_features: usize,
+    /// Learning rate (gradient boosting only; 1.0 otherwise).
+    pub learning_rate: f64,
+    /// Initial score / bias (gradient boosting only; 0.0 otherwise).
+    pub base_score: f64,
+}
+
+impl TreeEnsemble {
+    /// Build a single-tree classifier.
+    pub fn single_tree(tree: Tree, n_features: usize) -> TreeEnsemble {
+        TreeEnsemble {
+            kind: EnsembleKind::DecisionTreeClassifier,
+            trees: vec![tree],
+            n_features,
+            learning_rate: 1.0,
+            base_score: 0.0,
+        }
+    }
+
+    /// Predict the score for every row of `x` (probability for classifiers,
+    /// value for regressors).
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() < self.n_features {
+            return Err(MlError::ShapeMismatch(format!(
+                "ensemble expects {} features, input has {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            out.push(self.predict_row(x.row(r)));
+        }
+        Ok(Matrix::from_column(&out))
+    }
+
+    /// Predict the score for a single feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match self.kind {
+            EnsembleKind::DecisionTreeClassifier | EnsembleKind::DecisionTreeRegressor => {
+                self.trees.first().map(|t| t.predict_row(row)).unwrap_or(0.0)
+            }
+            EnsembleKind::RandomForestClassifier => {
+                if self.trees.is_empty() {
+                    return 0.0;
+                }
+                let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+                sum / self.trees.len() as f64
+            }
+            EnsembleKind::GradientBoostingClassifier => {
+                let raw: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+                sigmoid(self.base_score + self.learning_rate * raw)
+            }
+            EnsembleKind::GradientBoostingRegressor => {
+                let raw: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+                self.base_score + self.learning_rate * raw
+            }
+        }
+    }
+
+    /// Features used by any member tree.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for t in &self.trees {
+            out.extend(t.used_features());
+        }
+        out
+    }
+
+    /// Prune every member tree with per-feature domains and compact them.
+    pub fn prune_with_domains(&self, domains: &BTreeMap<usize, (f64, f64)>) -> TreeEnsemble {
+        TreeEnsemble {
+            trees: self
+                .trees
+                .iter()
+                .map(|t| t.prune_with_domains(domains).compact())
+                .collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Densify the ensemble to the listed features (old index order becomes
+    /// the new 0..n indexing); returns the densified ensemble.
+    pub fn select(&self, indices: &[usize]) -> Result<TreeEnsemble> {
+        let mapping: BTreeMap<usize, usize> = indices
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let trees = self
+            .trees
+            .iter()
+            .map(|t| t.remap_features(&mapping))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TreeEnsemble {
+            trees,
+            n_features: indices.len(),
+            ..self.clone()
+        })
+    }
+
+    /// Total number of reachable nodes across trees.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean tree depth.
+    pub fn mean_depth(&self) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.depth() as f64).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Maximum tree depth.
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running-example tree of Fig. 3: root on F[3] (asthma one-hot),
+    /// left sub-tree on F[0] (scaled age) / F[1], right sub-tree on F[2]/F[3].
+    fn example_tree() -> Tree {
+        // nodes: indices chosen to exercise non-sequential layout
+        Tree {
+            nodes: vec![
+                /* 0 */ TreeNode::Branch { feature: 3, threshold: 0.5, left: 1, right: 2 },
+                /* 1 */ TreeNode::Branch { feature: 0, threshold: 60.0, left: 3, right: 4 },
+                /* 2 */ TreeNode::Branch { feature: 2, threshold: 0.5, left: 5, right: 6 },
+                /* 3 */ TreeNode::Leaf { value: 0.0 },
+                /* 4 */ TreeNode::Branch { feature: 1, threshold: 1.0, left: 7, right: 8 },
+                /* 5 */ TreeNode::Leaf { value: 1.0 },
+                /* 6 */ TreeNode::Leaf { value: 0.0 },
+                /* 7 */ TreeNode::Leaf { value: 1.0 },
+                /* 8 */ TreeNode::Leaf { value: 0.0 },
+            ],
+            root: 0,
+        }
+    }
+
+    #[test]
+    fn predict_and_structure() {
+        let t = example_tree();
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(
+            t.used_features().into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // row: F = [age, x, f2, asthma_onehot]
+        assert_eq!(t.predict_row(&[70.0, 0.5, 0.0, 0.0]), 1.0);
+        assert_eq!(t.predict_row(&[50.0, 0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(t.predict_row(&[0.0, 0.0, 0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn prune_with_equality_domain() {
+        let t = example_tree();
+        // asthma = 1 (one-hot feature 3 = 1): root goes right always.
+        let mut domains = BTreeMap::new();
+        domains.insert(3usize, (1.0, 1.0));
+        let pruned = t.prune_with_domains(&domains).compact();
+        assert!(pruned.node_count() < t.node_count());
+        assert!(!pruned.used_features().contains(&3));
+        assert!(!pruned.used_features().contains(&0));
+        // predictions agree on rows satisfying the predicate
+        for f2 in [0.0, 1.0] {
+            let row = [30.0, 0.0, f2, 1.0];
+            assert_eq!(t.predict_row(&row), pruned.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn prune_with_range_domain() {
+        let t = example_tree();
+        // age < 30 (and asthma unconstrained): left branch under node 1 always taken.
+        let mut domains = BTreeMap::new();
+        domains.insert(0usize, (0.0, 29.0));
+        let pruned = t.prune_with_domains(&domains).compact();
+        assert!(pruned.node_count() < t.node_count());
+        for asthma in [0.0, 1.0] {
+            let row = [25.0, 2.0, 1.0, asthma];
+            assert_eq!(t.predict_row(&row), pruned.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn prune_by_output_keeps_positive_paths() {
+        let t = example_tree();
+        let pruned = t.prune_by_output(&|v| v >= 0.5, -1.0);
+        // All rows that originally predicted 1.0 still do.
+        for row in [
+            [70.0, 0.5, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [61.0, 0.0, 0.0, 0.0],
+        ] {
+            if t.predict_row(&row) >= 0.5 {
+                assert_eq!(pruned.predict_row(&row), t.predict_row(&row));
+            } else {
+                assert_eq!(pruned.predict_row(&row), -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_features() {
+        let t = example_tree();
+        let mut mapping = BTreeMap::new();
+        for (new, old) in [0usize, 1, 2, 3].iter().enumerate() {
+            mapping.insert(*old, new);
+        }
+        let same = t.remap_features(&mapping).unwrap();
+        assert_eq!(same.used_features(), t.used_features());
+        let empty = BTreeMap::new();
+        assert!(t.remap_features(&empty).is_err());
+    }
+
+    #[test]
+    fn ensemble_kinds_predict() {
+        let t1 = Tree::leaf(1.0);
+        let t2 = Tree::leaf(0.0);
+        let rf = TreeEnsemble {
+            kind: EnsembleKind::RandomForestClassifier,
+            trees: vec![t1.clone(), t2.clone()],
+            n_features: 1,
+            learning_rate: 1.0,
+            base_score: 0.0,
+        };
+        assert_eq!(rf.predict_row(&[0.0]), 0.5);
+
+        let gb = TreeEnsemble {
+            kind: EnsembleKind::GradientBoostingClassifier,
+            trees: vec![Tree::leaf(0.0), Tree::leaf(0.0)],
+            n_features: 1,
+            learning_rate: 0.1,
+            base_score: 0.0,
+        };
+        assert!((gb.predict_row(&[0.0]) - 0.5).abs() < 1e-12);
+
+        let gbr = TreeEnsemble {
+            kind: EnsembleKind::GradientBoostingRegressor,
+            trees: vec![Tree::leaf(2.0)],
+            n_features: 1,
+            learning_rate: 0.5,
+            base_score: 1.0,
+        };
+        assert_eq!(gbr.predict_row(&[0.0]), 2.0);
+
+        assert!(EnsembleKind::RandomForestClassifier.is_classifier());
+        assert!(!EnsembleKind::GradientBoostingRegressor.is_classifier());
+    }
+
+    #[test]
+    fn ensemble_matrix_predict_and_shape_check() {
+        let ens = TreeEnsemble::single_tree(example_tree(), 4);
+        let x = Matrix::from_columns(&[
+            vec![70.0, 50.0],
+            vec![0.5, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let y = ens.predict(&x).unwrap();
+        assert_eq!(y.column(0), vec![1.0, 1.0]);
+        assert!(ens.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn ensemble_select_densifies() {
+        let ens = TreeEnsemble::single_tree(example_tree(), 6);
+        let used: Vec<usize> = ens.used_features().into_iter().collect();
+        let dense = ens.select(&used).unwrap();
+        assert_eq!(dense.n_features, 4);
+        // same predictions when features are re-ordered accordingly
+        let row_orig = [70.0, 0.5, 0.0, 0.0, 9.0, 9.0];
+        let row_dense: Vec<f64> = used.iter().map(|&i| row_orig[i]).collect();
+        assert_eq!(ens.predict_row(&row_orig), dense.predict_row(&row_dense));
+    }
+
+    #[test]
+    fn ensemble_stats() {
+        let ens = TreeEnsemble {
+            kind: EnsembleKind::RandomForestClassifier,
+            trees: vec![example_tree(), Tree::leaf(0.3)],
+            n_features: 4,
+            learning_rate: 1.0,
+            base_score: 0.0,
+        };
+        assert_eq!(ens.n_trees(), 2);
+        assert_eq!(ens.total_nodes(), 10);
+        assert_eq!(ens.max_depth(), 3);
+        assert!((ens.mean_depth() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_prune_with_domains() {
+        let ens = TreeEnsemble::single_tree(example_tree(), 4);
+        let mut domains = BTreeMap::new();
+        domains.insert(3usize, (1.0, 1.0));
+        let pruned = ens.prune_with_domains(&domains);
+        assert!(pruned.total_nodes() < ens.total_nodes());
+    }
+}

@@ -1,0 +1,436 @@
+//! Trained pipelines: DAGs of ML operators (the "model pipeline M" of the
+//! paper, Fig. 2 ➋), analogous to an ONNX-ML graph.
+//!
+//! Values flowing along edges are named, like ONNX value names. Each node
+//! consumes one or more named values and produces exactly one named value.
+//! Pipeline inputs are the raw data columns (numeric or categorical) the
+//! prediction query must bind.
+
+use crate::error::{MlError, Result};
+use crate::ops::{Operator, OperatorCategory};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Kind of a pipeline input column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Numeric column, bound from a Float64/Int64/Boolean data column.
+    Numeric,
+    /// Categorical column, bound from a Utf8 (or integer) data column and fed
+    /// to encoders as strings.
+    Categorical,
+}
+
+/// A pipeline input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineInput {
+    /// Name of the input (matches the data column it binds to).
+    pub name: String,
+    /// Input kind.
+    pub kind: InputKind,
+}
+
+/// One operator node in the pipeline DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineNode {
+    /// Unique node name.
+    pub name: String,
+    /// The operator.
+    pub op: Operator,
+    /// Names of consumed values (pipeline inputs or other nodes' outputs).
+    pub inputs: Vec<String>,
+    /// Name of the produced value.
+    pub output: String,
+}
+
+/// A trained pipeline: inputs, operator nodes in topological order, and the
+/// name of the final prediction value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Human-readable pipeline name (e.g. `covid_risk.onnx`).
+    pub name: String,
+    /// Raw data inputs.
+    pub inputs: Vec<PipelineInput>,
+    /// Operator nodes, topologically ordered.
+    pub nodes: Vec<PipelineNode>,
+    /// Name of the value holding the final prediction (the "score").
+    pub output: String,
+}
+
+impl Pipeline {
+    /// Create and validate a pipeline.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<PipelineInput>,
+        nodes: Vec<PipelineNode>,
+        output: impl Into<String>,
+    ) -> Result<Self> {
+        let p = Pipeline {
+            name: name.into(),
+            inputs,
+            nodes,
+            output: output.into(),
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Check structural invariants: unique names, inputs defined before use,
+    /// reachable output.
+    pub fn validate(&self) -> Result<()> {
+        let mut defined: HashSet<&str> = HashSet::new();
+        for i in &self.inputs {
+            if !defined.insert(i.name.as_str()) {
+                return Err(MlError::InvalidPipeline(format!(
+                    "duplicate input name {}",
+                    i.name
+                )));
+            }
+        }
+        let mut node_names: HashSet<&str> = HashSet::new();
+        for n in &self.nodes {
+            if !node_names.insert(n.name.as_str()) {
+                return Err(MlError::InvalidPipeline(format!(
+                    "duplicate node name {}",
+                    n.name
+                )));
+            }
+            for input in &n.inputs {
+                if !defined.contains(input.as_str()) {
+                    return Err(MlError::InvalidPipeline(format!(
+                        "node {} consumes undefined value {}",
+                        n.name, input
+                    )));
+                }
+            }
+            if !defined.insert(n.output.as_str()) {
+                return Err(MlError::InvalidPipeline(format!(
+                    "value {} produced more than once",
+                    n.output
+                )));
+            }
+        }
+        if !defined.contains(self.output.as_str()) {
+            return Err(MlError::InvalidPipeline(format!(
+                "pipeline output {} is never produced",
+                self.output
+            )));
+        }
+        Ok(())
+    }
+
+    /// Names of the pipeline's data inputs.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    /// Find a pipeline input by name.
+    pub fn input(&self, name: &str) -> Option<&PipelineInput> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// The node producing the given value name, if any.
+    pub fn producer(&self, value: &str) -> Option<&PipelineNode> {
+        self.nodes.iter().find(|n| n.output == value)
+    }
+
+    /// Nodes consuming the given value name.
+    pub fn consumers(&self, value: &str) -> Vec<&PipelineNode> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.iter().any(|i| i == value))
+            .collect()
+    }
+
+    /// The node producing the pipeline output (usually the model).
+    pub fn output_node(&self) -> Option<&PipelineNode> {
+        self.producer(&self.output)
+    }
+
+    /// The model node of the pipeline: the operator producing the output when
+    /// it is a model, otherwise the unique model operator in the graph.
+    pub fn model_node(&self) -> Option<&PipelineNode> {
+        if let Some(n) = self.output_node() {
+            if n.op.is_model() {
+                return Some(n);
+            }
+        }
+        self.nodes.iter().find(|n| n.op.is_model())
+    }
+
+    /// Number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Count operators per category.
+    pub fn category_counts(&self) -> BTreeMap<OperatorCategory, usize> {
+        let mut out = BTreeMap::new();
+        for n in &self.nodes {
+            *out.entry(n.op.category()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Count operators by name (e.g. how many one-hot encoders).
+    pub fn operator_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for n in &self.nodes {
+            *out.entry(n.op.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Width (number of feature columns) of every value in the graph, given
+    /// that each pipeline input contributes one column.
+    pub fn value_widths(&self) -> HashMap<String, usize> {
+        let mut widths: HashMap<String, usize> = HashMap::new();
+        for i in &self.inputs {
+            widths.insert(i.name.clone(), 1);
+        }
+        for n in &self.nodes {
+            let input_widths: Vec<usize> = n
+                .inputs
+                .iter()
+                .map(|i| widths.get(i).copied().unwrap_or(0))
+                .collect();
+            widths.insert(n.output.clone(), n.op.output_width(&input_widths));
+        }
+        widths
+    }
+
+    /// Total number of features fed into the model node (post featurization).
+    pub fn feature_width(&self) -> usize {
+        let widths = self.value_widths();
+        self.model_node()
+            .map(|m| {
+                m.inputs
+                    .iter()
+                    .map(|i| widths.get(i).copied().unwrap_or(0))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Remove nodes whose outputs are not (transitively) needed to compute the
+    /// pipeline output, and inputs no longer consumed by any remaining node.
+    /// Returns the list of removed input names.
+    pub fn prune_dead_nodes(&mut self) -> Vec<String> {
+        // values needed, walking backwards from the output
+        let mut needed: HashSet<String> = HashSet::new();
+        needed.insert(self.output.clone());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in &self.nodes {
+                if needed.contains(&n.output) {
+                    for i in &n.inputs {
+                        if needed.insert(i.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.nodes.retain(|n| needed.contains(&n.output));
+        let mut removed = Vec::new();
+        self.inputs.retain(|i| {
+            if needed.contains(&i.name) {
+                true
+            } else {
+                removed.push(i.name.clone());
+                false
+            }
+        });
+        removed
+    }
+
+    /// A compact single-line summary used in logs and experiment output.
+    pub fn summary(&self) -> String {
+        let model = self
+            .model_node()
+            .map(|n| n.op.name())
+            .unwrap_or("<no model>");
+        format!(
+            "{} [{} inputs, {} operators, {} features, model={}]",
+            self.name,
+            self.inputs.len(),
+            self.nodes.len(),
+            self.feature_width(),
+            model
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{
+        ConstantNode, OneHotEncoder, Operator, Scaler, Tree, TreeEnsemble,
+    };
+
+    /// A miniature version of the paper's running-example pipeline:
+    /// age, bmi → Scaler; asthma → OHE; Concat; TreeClassifier.
+    pub(crate) fn example_pipeline() -> Pipeline {
+        let scaler = Operator::Scaler(Scaler {
+            offsets: vec![50.0, 25.0],
+            scales: vec![0.1, 1.0],
+        });
+        let ohe = Operator::OneHotEncoder(OneHotEncoder {
+            categories: vec!["0".into(), "1".into()],
+        });
+        let tree = Operator::TreeEnsemble(TreeEnsemble::single_tree(
+            Tree {
+                nodes: vec![
+                    crate::ops::TreeNode::Branch {
+                        feature: 3,
+                        threshold: 0.5,
+                        left: 1,
+                        right: 2,
+                    },
+                    crate::ops::TreeNode::Branch {
+                        feature: 0,
+                        threshold: 1.0,
+                        left: 3,
+                        right: 4,
+                    },
+                    crate::ops::TreeNode::Leaf { value: 1.0 },
+                    crate::ops::TreeNode::Leaf { value: 0.0 },
+                    crate::ops::TreeNode::Leaf { value: 1.0 },
+                ],
+                root: 0,
+            },
+            4,
+        ));
+        Pipeline::new(
+            "covid_risk.onnx",
+            vec![
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "bmi".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "asthma".into(),
+                    kind: InputKind::Categorical,
+                },
+            ],
+            vec![
+                PipelineNode {
+                    name: "scaler".into(),
+                    op: scaler,
+                    inputs: vec!["age".into(), "bmi".into()],
+                    output: "scaled".into(),
+                },
+                PipelineNode {
+                    name: "ohe_asthma".into(),
+                    op: ohe,
+                    inputs: vec!["asthma".into()],
+                    output: "asthma_enc".into(),
+                },
+                PipelineNode {
+                    name: "concat".into(),
+                    op: Operator::Concat,
+                    inputs: vec!["scaled".into(), "asthma_enc".into()],
+                    output: "features".into(),
+                },
+                PipelineNode {
+                    name: "model".into(),
+                    op: tree,
+                    inputs: vec!["features".into()],
+                    output: "score".into(),
+                },
+            ],
+            "score",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let p = example_pipeline();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.input_names(), vec!["age", "bmi", "asthma"]);
+        assert_eq!(p.producer("scaled").unwrap().name, "scaler");
+        assert_eq!(p.consumers("scaled").len(), 1);
+        assert_eq!(p.output_node().unwrap().name, "model");
+        assert_eq!(p.model_node().unwrap().op.name(), "DecisionTreeClassifier");
+        assert!(p.input("asthma").is_some());
+        assert!(p.input("nope").is_none());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut p = example_pipeline();
+        p.output = "missing".into();
+        assert!(p.validate().is_err());
+
+        let mut p = example_pipeline();
+        p.nodes[0].inputs.push("ghost".into());
+        assert!(p.validate().is_err());
+
+        let mut p = example_pipeline();
+        p.nodes[1].output = "scaled".into();
+        assert!(p.validate().is_err());
+
+        let mut p = example_pipeline();
+        p.inputs.push(PipelineInput {
+            name: "age".into(),
+            kind: InputKind::Numeric,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn widths_and_feature_count() {
+        let p = example_pipeline();
+        let widths = p.value_widths();
+        assert_eq!(widths["scaled"], 2);
+        assert_eq!(widths["asthma_enc"], 2);
+        assert_eq!(widths["features"], 4);
+        assert_eq!(widths["score"], 1);
+        assert_eq!(p.feature_width(), 4);
+    }
+
+    #[test]
+    fn counts() {
+        let p = example_pipeline();
+        let cats = p.category_counts();
+        assert_eq!(cats[&OperatorCategory::Featurizer], 2);
+        assert_eq!(cats[&OperatorCategory::Structural], 1);
+        assert_eq!(cats[&OperatorCategory::TreeModel], 1);
+        assert_eq!(p.operator_counts()["OneHotEncoder"], 1);
+    }
+
+    #[test]
+    fn prune_dead_nodes_removes_unused() {
+        let mut p = example_pipeline();
+        // add a dangling constant node and an unused input
+        p.inputs.push(PipelineInput {
+            name: "unused_col".into(),
+            kind: InputKind::Numeric,
+        });
+        p.nodes.push(PipelineNode {
+            name: "dangling".into(),
+            op: Operator::Constant(ConstantNode { values: vec![1.0] }),
+            inputs: vec![],
+            output: "dangling_out".into(),
+        });
+        p.validate().unwrap();
+        let removed = p.prune_dead_nodes();
+        assert_eq!(removed, vec!["unused_col".to_string()]);
+        assert_eq!(p.node_count(), 4);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn summary_mentions_model() {
+        let p = example_pipeline();
+        let s = p.summary();
+        assert!(s.contains("DecisionTreeClassifier"));
+        assert!(s.contains("4 operators"));
+    }
+}

@@ -1,0 +1,768 @@
+//! Model training.
+//!
+//! The paper's trained pipelines are fit with scikit-learn; to reproduce the
+//! system end-to-end we train the same model families from scratch: CART
+//! decision trees (histogram-based splitting), bagged random forests,
+//! gradient-boosted trees with a logistic link, and linear / logistic
+//! regression with optional L1 regularization (the knob behind the sparsity
+//! sweep of Fig. 9).
+
+use crate::error::{MlError, Result};
+use crate::frame::Matrix;
+use crate::ops::{
+    EnsembleKind, LinearRegressionModel, LogisticRegressionModel, OneHotEncoder, Scaler, Tree,
+    TreeEnsemble, TreeNode,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Featurizer fitting
+// ---------------------------------------------------------------------------
+
+/// Fit a standard scaler (offset = mean, scale = 1/std) per column.
+pub fn fit_standard_scaler(x: &Matrix) -> Scaler {
+    let mut offsets = Vec::with_capacity(x.cols());
+    let mut scales = Vec::with_capacity(x.cols());
+    for c in 0..x.cols() {
+        let col = x.column(c);
+        let valid: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+        let n = valid.len().max(1) as f64;
+        let mean = valid.iter().sum::<f64>() / n;
+        let var = valid.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        offsets.push(mean);
+        scales.push(if std > 1e-12 { 1.0 / std } else { 1.0 });
+    }
+    Scaler { offsets, scales }
+}
+
+/// Fit a one-hot encoder from observed category strings (sorted for
+/// determinism).
+pub fn fit_one_hot(values: &[String]) -> OneHotEncoder {
+    let mut cats: BTreeSet<String> = values
+        .iter()
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .collect();
+    if cats.is_empty() {
+        cats.insert("<missing>".to_string());
+    }
+    OneHotEncoder {
+        categories: cats.into_iter().collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear / logistic regression
+// ---------------------------------------------------------------------------
+
+/// Hyperparameters for (regularized) linear and logistic regression.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// L1 regularization strength (0 disables; larger values zero out more
+    /// weights, mirroring scikit-learn's `alpha`/`1/C`).
+    pub l1_alpha: f64,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig {
+            l1_alpha: 0.0,
+            epochs: 200,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+/// Train linear regression with proximal gradient descent (ISTA) so L1 yields
+/// exact zero weights.
+pub fn train_linear_regression(
+    x: &Matrix,
+    y: &[f64],
+    config: &LinearConfig,
+) -> Result<LinearRegressionModel> {
+    let (weights, intercept) = train_glm(x, y, config, false)?;
+    Ok(LinearRegressionModel { weights, intercept })
+}
+
+/// Train binary logistic regression (labels in {0, 1}) with proximal gradient
+/// descent so L1 yields exact zero weights.
+pub fn train_logistic_regression(
+    x: &Matrix,
+    y: &[f64],
+    config: &LinearConfig,
+) -> Result<LogisticRegressionModel> {
+    let (weights, intercept) = train_glm(x, y, config, true)?;
+    Ok(LogisticRegressionModel { weights, intercept })
+}
+
+fn train_glm(
+    x: &Matrix,
+    y: &[f64],
+    config: &LinearConfig,
+    logistic: bool,
+) -> Result<(Vec<f64>, f64)> {
+    let n = x.rows();
+    let d = x.cols();
+    if y.len() != n {
+        return Err(MlError::Training(format!(
+            "feature matrix has {n} rows but {} labels given",
+            y.len()
+        )));
+    }
+    if n == 0 || d == 0 {
+        return Err(MlError::Training("empty training data".into()));
+    }
+    let mut w = vec![0.0; d];
+    let mut b = 0.0;
+    let lr = config.learning_rate;
+    let inv_n = 1.0 / n as f64;
+    for _ in 0..config.epochs {
+        let mut gw = vec![0.0; d];
+        let mut gb = 0.0;
+        for i in 0..n {
+            let row = x.row(i);
+            let mut z = b;
+            for j in 0..d {
+                z += w[j] * row[j];
+            }
+            let pred = if logistic { crate::ops::sigmoid(z) } else { z };
+            let err = pred - y[i];
+            for j in 0..d {
+                gw[j] += err * row[j];
+            }
+            gb += err;
+        }
+        for j in 0..d {
+            w[j] -= lr * gw[j] * inv_n;
+            // proximal (soft-thresholding) step for L1
+            if config.l1_alpha > 0.0 {
+                let t = lr * config.l1_alpha;
+                w[j] = if w[j] > t {
+                    w[j] - t
+                } else if w[j] < -t {
+                    w[j] + t
+                } else {
+                    0.0
+                };
+            }
+        }
+        b -= lr * gb * inv_n;
+    }
+    Ok((w, b))
+}
+
+// ---------------------------------------------------------------------------
+// Trees
+// ---------------------------------------------------------------------------
+
+/// Training task for a single tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeTask {
+    /// Binary classification (Gini impurity, leaf = class-1 probability).
+    Classification,
+    /// Regression (variance reduction, leaf = mean target).
+    Regression,
+}
+
+/// Hyperparameters for tree training.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of histogram bins per feature.
+    pub n_bins: usize,
+    /// Task (classification or regression).
+    pub task: TreeTask,
+    /// Number of features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 2,
+            n_bins: 32,
+            task: TreeTask::Classification,
+            max_features: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Pre-binned representation of the training features (histogram splitting).
+struct BinnedData {
+    /// Per feature: the bin upper edges (thresholds).
+    edges: Vec<Vec<f64>>,
+    /// Per feature: per row bin index.
+    bins: Vec<Vec<u16>>,
+}
+
+fn bin_features(x: &Matrix, n_bins: usize) -> BinnedData {
+    let n_bins = n_bins.clamp(2, 255);
+    let mut edges = Vec::with_capacity(x.cols());
+    let mut bins = Vec::with_capacity(x.cols());
+    for c in 0..x.cols() {
+        let mut vals: Vec<f64> = x.column(c).iter().copied().filter(|v| !v.is_nan()).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        let mut e = Vec::new();
+        if vals.len() <= n_bins {
+            // midpoints between consecutive distinct values
+            for w in vals.windows(2) {
+                e.push((w[0] + w[1]) / 2.0);
+            }
+        } else {
+            for k in 1..n_bins {
+                let idx = k * (vals.len() - 1) / n_bins;
+                let edge = (vals[idx] + vals[(idx + 1).min(vals.len() - 1)]) / 2.0;
+                if e.last().map(|&l| edge > l).unwrap_or(true) {
+                    e.push(edge);
+                }
+            }
+        }
+        let col = x.column(c);
+        let b: Vec<u16> = col
+            .iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    0
+                } else {
+                    e.partition_point(|&edge| v > edge) as u16
+                }
+            })
+            .collect();
+        edges.push(e);
+        bins.push(b);
+    }
+    BinnedData { edges, bins }
+}
+
+/// Train a single decision tree.
+pub fn train_decision_tree(x: &Matrix, y: &[f64], config: &TreeConfig) -> Result<Tree> {
+    if x.rows() != y.len() {
+        return Err(MlError::Training(format!(
+            "feature matrix has {} rows but {} labels given",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() == 0 {
+        return Err(MlError::Training("empty training data".into()));
+    }
+    let binned = bin_features(x, config.n_bins);
+    let rows: Vec<u32> = (0..x.rows() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut nodes = Vec::new();
+    let root = grow(&binned, y, &rows, 0, config, &mut rng, &mut nodes);
+    Ok(Tree { nodes, root })
+}
+
+fn grow(
+    data: &BinnedData,
+    y: &[f64],
+    rows: &[u32],
+    depth: usize,
+    config: &TreeConfig,
+    rng: &mut StdRng,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let leaf_value = mean(y, rows);
+    if depth >= config.max_depth
+        || rows.len() < config.min_samples_split
+        || is_pure(y, rows)
+    {
+        nodes.push(TreeNode::Leaf { value: leaf_value });
+        return nodes.len() - 1;
+    }
+    let n_features = data.bins.len();
+    let feature_candidates: Vec<usize> = match config.max_features {
+        Some(k) if k < n_features => {
+            let mut chosen = BTreeSet::new();
+            while chosen.len() < k {
+                chosen.insert(rng.gen_range(0..n_features));
+            }
+            chosen.into_iter().collect()
+        }
+        _ => (0..n_features).collect(),
+    };
+
+    let parent_impurity = impurity(y, rows, config.task);
+    let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, gain)
+    for &f in &feature_candidates {
+        let n_edges = data.edges[f].len();
+        if n_edges == 0 {
+            continue;
+        }
+        // histogram: per bin, count and sum of y (and sum of squares for regression)
+        let n_bins = n_edges + 1;
+        let mut count = vec![0.0f64; n_bins];
+        let mut sum = vec![0.0f64; n_bins];
+        let mut sum2 = vec![0.0f64; n_bins];
+        for &r in rows {
+            let b = data.bins[f][r as usize] as usize;
+            let yv = y[r as usize];
+            count[b] += 1.0;
+            sum[b] += yv;
+            sum2[b] += yv * yv;
+        }
+        let total_count: f64 = count.iter().sum();
+        let total_sum: f64 = sum.iter().sum();
+        let total_sum2: f64 = sum2.iter().sum();
+        let mut lc = 0.0;
+        let mut ls = 0.0;
+        let mut ls2 = 0.0;
+        for b in 0..n_edges {
+            lc += count[b];
+            ls += sum[b];
+            ls2 += sum2[b];
+            let rc = total_count - lc;
+            if lc < 1.0 || rc < 1.0 {
+                continue;
+            }
+            let rs = total_sum - ls;
+            let rs2 = total_sum2 - ls2;
+            let gain = match config.task {
+                TreeTask::Classification => {
+                    let gini = |c: f64, s: f64| {
+                        let p = s / c;
+                        2.0 * p * (1.0 - p)
+                    };
+                    parent_impurity
+                        - (lc / total_count) * gini(lc, ls)
+                        - (rc / total_count) * gini(rc, rs)
+                }
+                TreeTask::Regression => {
+                    let var = |c: f64, s: f64, s2: f64| s2 / c - (s / c) * (s / c);
+                    parent_impurity
+                        - (lc / total_count) * var(lc, ls, ls2)
+                        - (rc / total_count) * var(rc, rs, rs2)
+                }
+            };
+            if gain > 1e-12 && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                best = Some((f, b, gain));
+            }
+        }
+    }
+
+    let Some((feature, bin, _)) = best else {
+        nodes.push(TreeNode::Leaf { value: leaf_value });
+        return nodes.len() - 1;
+    };
+    let threshold = data.edges[feature][bin];
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
+        .iter()
+        .partition(|&&r| data.bins[feature][r as usize] as usize <= bin);
+    if left_rows.is_empty() || right_rows.is_empty() {
+        nodes.push(TreeNode::Leaf { value: leaf_value });
+        return nodes.len() - 1;
+    }
+    let left = grow(data, y, &left_rows, depth + 1, config, rng, nodes);
+    let right = grow(data, y, &right_rows, depth + 1, config, rng, nodes);
+    nodes.push(TreeNode::Branch {
+        feature,
+        threshold,
+        left,
+        right,
+    });
+    nodes.len() - 1
+}
+
+fn mean(y: &[f64], rows: &[u32]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| y[r as usize]).sum::<f64>() / rows.len() as f64
+}
+
+fn is_pure(y: &[f64], rows: &[u32]) -> bool {
+    let first = y[rows[0] as usize];
+    rows.iter().all(|&r| (y[r as usize] - first).abs() < 1e-12)
+}
+
+fn impurity(y: &[f64], rows: &[u32], task: TreeTask) -> f64 {
+    let n = rows.len() as f64;
+    match task {
+        TreeTask::Classification => {
+            let p = rows.iter().map(|&r| y[r as usize]).sum::<f64>() / n;
+            2.0 * p * (1.0 - p)
+        }
+        TreeTask::Regression => {
+            let m = rows.iter().map(|&r| y[r as usize]).sum::<f64>() / n;
+            rows.iter()
+                .map(|&r| (y[r as usize] - m) * (y[r as usize] - m))
+                .sum::<f64>()
+                / n
+        }
+    }
+}
+
+/// Train a decision-tree classifier as a [`TreeEnsemble`].
+pub fn train_decision_tree_classifier(
+    x: &Matrix,
+    y: &[f64],
+    config: &TreeConfig,
+) -> Result<TreeEnsemble> {
+    let tree = train_decision_tree(
+        x,
+        y,
+        &TreeConfig {
+            task: TreeTask::Classification,
+            ..config.clone()
+        },
+    )?;
+    Ok(TreeEnsemble {
+        kind: EnsembleKind::DecisionTreeClassifier,
+        trees: vec![tree],
+        n_features: x.cols(),
+        learning_rate: 1.0,
+        base_score: 0.0,
+    })
+}
+
+/// Hyperparameters for random forests.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Bootstrap sample fraction.
+    pub sample_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 10,
+            tree: TreeConfig::default(),
+            sample_fraction: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Train a random-forest classifier (bootstrap rows, sqrt feature subsampling).
+pub fn train_random_forest(x: &Matrix, y: &[f64], config: &ForestConfig) -> Result<TreeEnsemble> {
+    if x.rows() == 0 || x.rows() != y.len() {
+        return Err(MlError::Training("invalid training data".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = x.rows();
+    let sample_size = ((n as f64) * config.sample_fraction).round().max(1.0) as usize;
+    let max_features = config
+        .tree
+        .max_features
+        .unwrap_or_else(|| (x.cols() as f64).sqrt().ceil() as usize)
+        .max(1);
+    let binned = bin_features(x, config.tree.n_bins);
+    let mut trees = Vec::with_capacity(config.n_trees);
+    for t in 0..config.n_trees {
+        let rows: Vec<u32> = (0..sample_size)
+            .map(|_| rng.gen_range(0..n) as u32)
+            .collect();
+        let tree_cfg = TreeConfig {
+            task: TreeTask::Classification,
+            max_features: Some(max_features),
+            seed: config.seed.wrapping_add(t as u64),
+            ..config.tree.clone()
+        };
+        let mut tree_rng = StdRng::seed_from_u64(tree_cfg.seed);
+        let mut nodes = Vec::new();
+        let root = grow(&binned, y, &rows, 0, &tree_cfg, &mut tree_rng, &mut nodes);
+        trees.push(Tree { nodes, root });
+    }
+    Ok(TreeEnsemble {
+        kind: EnsembleKind::RandomForestClassifier,
+        trees,
+        n_features: x.cols(),
+        learning_rate: 1.0,
+        base_score: 0.0,
+    })
+}
+
+/// Hyperparameters for gradient boosting.
+#[derive(Debug, Clone)]
+pub struct BoostingConfig {
+    /// Number of boosting stages (estimators).
+    pub n_estimators: usize,
+    /// Maximum depth of each stage's tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to each stage.
+    pub learning_rate: f64,
+    /// Histogram bins.
+    pub n_bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BoostingConfig {
+    fn default() -> Self {
+        BoostingConfig {
+            n_estimators: 20,
+            max_depth: 3,
+            learning_rate: 0.1,
+            n_bins: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// Train a gradient-boosting classifier (binary log-loss, like scikit-learn's
+/// `GradientBoostingClassifier` / LightGBM with default objective).
+pub fn train_gradient_boosting(
+    x: &Matrix,
+    y: &[f64],
+    config: &BoostingConfig,
+) -> Result<TreeEnsemble> {
+    if x.rows() == 0 || x.rows() != y.len() {
+        return Err(MlError::Training("invalid training data".into()));
+    }
+    let n = x.rows();
+    let pos = y.iter().sum::<f64>() / n as f64;
+    let pos = pos.clamp(1e-6, 1.0 - 1e-6);
+    let base_score = (pos / (1.0 - pos)).ln();
+    let binned = bin_features(x, config.n_bins);
+    let rows: Vec<u32> = (0..n as u32).collect();
+    let mut raw = vec![base_score; n];
+    let mut trees = Vec::with_capacity(config.n_estimators);
+    for stage in 0..config.n_estimators {
+        // negative gradient of log-loss = y - p
+        let residuals: Vec<f64> = raw
+            .iter()
+            .zip(y.iter())
+            .map(|(&r, &yi)| yi - crate::ops::sigmoid(r))
+            .collect();
+        let tree_cfg = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: 2,
+            n_bins: config.n_bins,
+            task: TreeTask::Regression,
+            max_features: None,
+            seed: config.seed.wrapping_add(stage as u64),
+        };
+        let mut rng = StdRng::seed_from_u64(tree_cfg.seed);
+        let mut nodes = Vec::new();
+        let root = grow(
+            &binned,
+            &residuals,
+            &rows,
+            0,
+            &tree_cfg,
+            &mut rng,
+            &mut nodes,
+        );
+        let tree = Tree { nodes, root };
+        for i in 0..n {
+            // feature row needed for prediction: reconstruct from matrix
+            raw[i] += config.learning_rate * tree.predict_row(x.row(i));
+        }
+        trees.push(tree);
+    }
+    Ok(TreeEnsemble {
+        kind: EnsembleKind::GradientBoostingClassifier,
+        trees,
+        n_features: x.cols(),
+        learning_rate: config.learning_rate,
+        base_score,
+    })
+}
+
+/// Classification accuracy of scores (threshold 0.5) against {0,1} labels.
+pub fn accuracy(scores: &[f64], labels: &[f64]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels.iter())
+        .filter(|(&s, &l)| (s >= 0.5) == (l >= 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A synthetic, nearly separable binary problem: label = 1 when
+    /// 2*x0 - x1 + noise > 0.
+    fn dataset(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cols = Vec::with_capacity(d);
+        for _ in 0..d {
+            cols.push((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>());
+        }
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let v = 2.0 * cols[0][i] - cols[1.min(d - 1)][i] + rng.gen_range(-0.1..0.1);
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (Matrix::from_columns(&cols).unwrap(), y)
+    }
+
+    #[test]
+    fn scaler_fit_standardizes() {
+        let x = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![10.0, 10.0, 10.0]]).unwrap();
+        let s = fit_standard_scaler(&x);
+        assert!((s.offsets[0] - 2.0).abs() < 1e-12);
+        assert_eq!(s.offsets[1], 10.0);
+        assert_eq!(s.scales[1], 1.0); // zero-variance column keeps scale 1
+        let t = s.transform(&x).unwrap();
+        let col0 = t.column(0);
+        assert!((col0.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_hot_fit_sorted_and_missing() {
+        let enc = fit_one_hot(&["b".into(), "a".into(), "".into(), "b".into()]);
+        assert_eq!(enc.categories, vec!["a".to_string(), "b".to_string()]);
+        let empty = fit_one_hot(&["".into()]);
+        assert_eq!(empty.categories.len(), 1);
+    }
+
+    #[test]
+    fn logistic_regression_learns() {
+        let (x, y) = dataset(400, 4, 1);
+        let m = train_logistic_regression(&x, &y, &LinearConfig::default()).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        assert!(accuracy(&p.column(0), &y) > 0.9);
+    }
+
+    #[test]
+    fn l1_regularization_zeroes_weights() {
+        let (x, y) = dataset(300, 8, 2);
+        let dense = train_logistic_regression(&x, &y, &LinearConfig::default()).unwrap();
+        let sparse = train_logistic_regression(
+            &x,
+            &y,
+            &LinearConfig {
+                l1_alpha: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(sparse.used_features().len() < dense.used_features().len());
+        // irrelevant features (index >= 2) should mostly be zeroed
+        assert!(sparse.weights[4].abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_regression_fits_line() {
+        let x = Matrix::from_columns(&[(0..50).map(|i| i as f64 / 10.0).collect::<Vec<_>>()])
+            .unwrap();
+        let y: Vec<f64> = x.column(0).iter().map(|v| 3.0 * v + 1.0).collect();
+        let m = train_linear_regression(
+            &x,
+            &y,
+            &LinearConfig {
+                epochs: 3000,
+                learning_rate: 0.05,
+                l1_alpha: 0.0,
+            },
+        )
+        .unwrap();
+        assert!((m.weights[0] - 3.0).abs() < 0.2);
+        assert!((m.intercept - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn decision_tree_learns_and_respects_depth() {
+        let (x, y) = dataset(500, 3, 3);
+        let cfg = TreeConfig {
+            max_depth: 4,
+            ..Default::default()
+        };
+        let ens = train_decision_tree_classifier(&x, &y, &cfg).unwrap();
+        let tree = &ens.trees[0];
+        assert!(tree.depth() <= 4);
+        let p = ens.predict(&x).unwrap();
+        assert!(accuracy(&p.column(0), &y) > 0.85);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_columns(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let y = vec![1.0, 1.0, 1.0];
+        let t = train_decision_tree(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_row(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn random_forest_learns() {
+        let (x, y) = dataset(400, 4, 4);
+        let cfg = ForestConfig {
+            n_trees: 8,
+            tree: TreeConfig {
+                max_depth: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ens = train_random_forest(&x, &y, &cfg).unwrap();
+        assert_eq!(ens.n_trees(), 8);
+        let p = ens.predict(&x).unwrap();
+        assert!(accuracy(&p.column(0), &y) > 0.85);
+    }
+
+    #[test]
+    fn gradient_boosting_learns() {
+        let (x, y) = dataset(400, 4, 5);
+        let cfg = BoostingConfig {
+            n_estimators: 20,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let ens = train_gradient_boosting(&x, &y, &cfg).unwrap();
+        assert_eq!(ens.n_trees(), 20);
+        let p = ens.predict(&x).unwrap();
+        assert!(accuracy(&p.column(0), &y) > 0.88);
+        // classifier outputs stay in [0,1]
+        assert!(p.column(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_input_validation() {
+        let x = Matrix::from_columns(&[vec![1.0, 2.0]]).unwrap();
+        assert!(train_decision_tree(&x, &[1.0], &TreeConfig::default()).is_err());
+        assert!(train_logistic_regression(&x, &[1.0], &LinearConfig::default()).is_err());
+        assert!(train_random_forest(&x, &[1.0], &ForestConfig::default()).is_err());
+        assert!(train_gradient_boosting(&x, &[1.0], &BoostingConfig::default()).is_err());
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let (x, y) = dataset(200, 3, 6);
+        let cfg = ForestConfig::default();
+        let a = train_random_forest(&x, &y, &cfg).unwrap();
+        let b = train_random_forest(&x, &y, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(&[0.9, 0.1], &[1.0, 0.0]), 1.0);
+        assert_eq!(accuracy(&[0.9, 0.9], &[1.0, 0.0]), 0.5);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error handling for the relational engine.
+
+use raven_columnar::ColumnarError;
+use std::fmt;
+
+/// Result alias used throughout `raven-relational`.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors produced by planning, optimization, and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationalError {
+    /// Error bubbled up from the columnar layer.
+    Columnar(ColumnarError),
+    /// A referenced table does not exist in the catalog.
+    TableNotFound(String),
+    /// A referenced column does not exist in the plan's schema.
+    ColumnNotFound(String),
+    /// An expression could not be evaluated (type errors, div-by-zero policy, ...).
+    Evaluation(String),
+    /// The plan is malformed (e.g. join keys with incompatible types).
+    Plan(String),
+    /// Feature not supported by the engine.
+    Unsupported(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::Columnar(e) => write!(f, "columnar error: {e}"),
+            RelationalError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            RelationalError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            RelationalError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
+            RelationalError::Plan(msg) => write!(f, "plan error: {msg}"),
+            RelationalError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+impl From<ColumnarError> for RelationalError {
+    fn from(e: ColumnarError) -> Self {
+        RelationalError::Columnar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RelationalError = ColumnarError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("columnar error"));
+        assert_eq!(
+            RelationalError::TableNotFound("t".into()).to_string(),
+            "table not found: t"
+        );
+    }
+}

@@ -1,0 +1,454 @@
+//! Vectorized evaluation of [`Expr`] over a [`Batch`].
+//!
+//! Evaluation is columnar: each expression node produces a whole column at a
+//! time. Numeric operations run over `f64` kernels; comparisons support both
+//! numeric and string operands; `CASE` evaluates all branches and selects
+//! per-row (branch expressions in prediction queries are cheap arithmetic, so
+//! this is the standard columnar trade-off).
+
+use crate::error::{RelationalError, Result};
+use crate::expr::{BinaryOp, Expr, ScalarFunc};
+use raven_columnar::{Batch, Column, ColumnRef, DataType, Value};
+use std::sync::Arc;
+
+/// Evaluate `expr` against `batch`, producing one value per row.
+pub fn evaluate(expr: &Expr, batch: &Batch) -> Result<ColumnRef> {
+    match expr {
+        Expr::Column(name) => Ok(batch.column_by_name(name)?.clone()),
+        Expr::Literal(v) => Ok(Arc::new(Column::from_value(v, batch.num_rows())?)),
+        Expr::Alias { expr, .. } => evaluate(expr, batch),
+        Expr::Not(e) => {
+            let v = evaluate(e, batch)?;
+            let b = as_bool_vec(&v)?;
+            Ok(Arc::new(Column::Boolean(b.iter().map(|x| !x).collect())))
+        }
+        Expr::IsNull(e) => {
+            let v = evaluate(e, batch)?;
+            let mask = match v.as_ref() {
+                Column::Float64(vals) => vals.iter().map(|x| x.is_nan()).collect(),
+                Column::Utf8(vals) => vals.iter().map(|s| s.is_empty()).collect(),
+                Column::Int64(vals) => vec![false; vals.len()],
+                Column::Boolean(vals) => vec![false; vals.len()],
+            };
+            Ok(Arc::new(Column::Boolean(mask)))
+        }
+        Expr::Cast { expr, to } => {
+            let v = evaluate(expr, batch)?;
+            cast_column(&v, *to)
+        }
+        Expr::ScalarFunction { func, arg } => {
+            let v = evaluate(arg, batch)?;
+            let vals = v.to_f64_vec().map_err(RelationalError::from)?;
+            let out: Vec<f64> = vals
+                .into_iter()
+                .map(|x| match func {
+                    ScalarFunc::Exp => x.exp(),
+                    ScalarFunc::Ln => {
+                        if x > 0.0 {
+                            x.ln()
+                        } else {
+                            f64::NAN
+                        }
+                    }
+                    ScalarFunc::Abs => x.abs(),
+                    ScalarFunc::Sqrt => {
+                        if x >= 0.0 {
+                            x.sqrt()
+                        } else {
+                            f64::NAN
+                        }
+                    }
+                })
+                .collect();
+            Ok(Arc::new(Column::Float64(out)))
+        }
+        Expr::Binary { left, op, right } => {
+            let l = evaluate(left, batch)?;
+            let r = evaluate(right, batch)?;
+            evaluate_binary(&l, *op, &r)
+        }
+        Expr::Case {
+            when_then,
+            else_expr,
+        } => {
+            let rows = batch.num_rows();
+            let mut result: Vec<Value> = vec![Value::Null; rows];
+            let mut decided = vec![false; rows];
+            for (when, then) in when_then {
+                let cond = evaluate(when, batch)?;
+                let cond = as_bool_vec(&cond)?;
+                let then_col = evaluate(then, batch)?;
+                for i in 0..rows {
+                    if !decided[i] && cond[i] {
+                        result[i] = then_col.value(i)?;
+                        decided[i] = true;
+                    }
+                }
+            }
+            let else_col = evaluate(else_expr, batch)?;
+            for i in 0..rows {
+                if !decided[i] {
+                    result[i] = else_col.value(i)?;
+                }
+            }
+            Ok(Arc::new(Column::from_values(&result)?))
+        }
+    }
+}
+
+/// Evaluate a predicate expression to a boolean mask.
+pub fn evaluate_predicate(expr: &Expr, batch: &Batch) -> Result<Vec<bool>> {
+    let col = evaluate(expr, batch)?;
+    as_bool_vec(&col)
+}
+
+/// Infer the output data type of an expression given an input schema lookup.
+pub fn expr_data_type(expr: &Expr, lookup: &dyn Fn(&str) -> Option<DataType>) -> DataType {
+    match expr {
+        Expr::Column(name) => lookup(name).unwrap_or(DataType::Float64),
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Float64),
+        Expr::Alias { expr, .. } => expr_data_type(expr, lookup),
+        Expr::Not(_) | Expr::IsNull(_) => DataType::Boolean,
+        Expr::Cast { to, .. } => *to,
+        Expr::ScalarFunction { .. } => DataType::Float64,
+        Expr::Binary { left, op, right } => {
+            if op.is_predicate() {
+                DataType::Boolean
+            } else {
+                let lt = expr_data_type(left, lookup);
+                let rt = expr_data_type(right, lookup);
+                if lt == DataType::Int64 && rt == DataType::Int64 && !matches!(op, BinaryOp::Divide)
+                {
+                    DataType::Int64
+                } else {
+                    DataType::Float64
+                }
+            }
+        }
+        Expr::Case {
+            when_then,
+            else_expr,
+        } => when_then
+            .first()
+            .map(|(_, t)| expr_data_type(t, lookup))
+            .unwrap_or_else(|| expr_data_type(else_expr, lookup)),
+    }
+}
+
+fn as_bool_vec(col: &Column) -> Result<Vec<bool>> {
+    match col {
+        Column::Boolean(v) => Ok(v.clone()),
+        Column::Int64(v) => Ok(v.iter().map(|&x| x != 0).collect()),
+        Column::Float64(v) => Ok(v.iter().map(|&x| x != 0.0 && !x.is_nan()).collect()),
+        Column::Utf8(_) => Err(RelationalError::Evaluation(
+            "cannot interpret string column as boolean".into(),
+        )),
+    }
+}
+
+fn cast_column(col: &Column, to: DataType) -> Result<ColumnRef> {
+    let out = match (col, to) {
+        (c, t) if c.data_type() == t => c.clone(),
+        (Column::Utf8(v), DataType::Float64) => {
+            Column::Float64(v.iter().map(|s| s.parse::<f64>().unwrap_or(f64::NAN)).collect())
+        }
+        (Column::Utf8(v), DataType::Int64) => {
+            Column::Int64(v.iter().map(|s| s.parse::<i64>().unwrap_or(0)).collect())
+        }
+        (c, DataType::Float64) => Column::Float64(c.to_f64_vec()?),
+        (c, DataType::Int64) => {
+            Column::Int64(c.to_f64_vec()?.into_iter().map(|x| x as i64).collect())
+        }
+        (c, DataType::Boolean) => Column::Boolean(
+            c.to_f64_vec()?
+                .into_iter()
+                .map(|x| x != 0.0 && !x.is_nan())
+                .collect(),
+        ),
+        (Column::Float64(v), DataType::Utf8) => {
+            Column::Utf8(v.iter().map(|x| x.to_string()).collect())
+        }
+        (Column::Int64(v), DataType::Utf8) => {
+            Column::Utf8(v.iter().map(|x| x.to_string()).collect())
+        }
+        (Column::Boolean(v), DataType::Utf8) => {
+            Column::Utf8(v.iter().map(|x| x.to_string()).collect())
+        }
+        (c, t) => {
+            return Err(RelationalError::Evaluation(format!(
+                "unsupported cast from {} to {}",
+                c.data_type(),
+                t
+            )))
+        }
+    };
+    Ok(Arc::new(out))
+}
+
+fn evaluate_binary(left: &Column, op: BinaryOp, right: &Column) -> Result<ColumnRef> {
+    if left.len() != right.len() {
+        return Err(RelationalError::Evaluation(format!(
+            "operand length mismatch: {} vs {}",
+            left.len(),
+            right.len()
+        )));
+    }
+    match op {
+        BinaryOp::And | BinaryOp::Or => {
+            let l = as_bool_vec(left)?;
+            let r = as_bool_vec(right)?;
+            let out: Vec<bool> = l
+                .iter()
+                .zip(r.iter())
+                .map(|(&a, &b)| if op == BinaryOp::And { a && b } else { a || b })
+                .collect();
+            Ok(Arc::new(Column::Boolean(out)))
+        }
+        BinaryOp::Add | BinaryOp::Subtract | BinaryOp::Multiply | BinaryOp::Divide => {
+            // Integer-preserving arithmetic when both sides are Int64 (except division).
+            if let (Column::Int64(a), Column::Int64(b)) = (left, right) {
+                if op != BinaryOp::Divide {
+                    let out: Vec<i64> = a
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(&x, &y)| match op {
+                            BinaryOp::Add => x.wrapping_add(y),
+                            BinaryOp::Subtract => x.wrapping_sub(y),
+                            _ => x.wrapping_mul(y),
+                        })
+                        .collect();
+                    return Ok(Arc::new(Column::Int64(out)));
+                }
+            }
+            let a = left.to_f64_vec().map_err(RelationalError::from)?;
+            let b = right.to_f64_vec().map_err(RelationalError::from)?;
+            let out: Vec<f64> = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| match op {
+                    BinaryOp::Add => x + y,
+                    BinaryOp::Subtract => x - y,
+                    BinaryOp::Multiply => x * y,
+                    _ => {
+                        if y == 0.0 {
+                            f64::NAN
+                        } else {
+                            x / y
+                        }
+                    }
+                })
+                .collect();
+            Ok(Arc::new(Column::Float64(out)))
+        }
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        | BinaryOp::GtEq => {
+            // String comparison when both sides are strings; numeric otherwise.
+            if let (Column::Utf8(a), Column::Utf8(b)) = (left, right) {
+                let out: Vec<bool> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| compare_ord(x.cmp(y), op))
+                    .collect();
+                return Ok(Arc::new(Column::Boolean(out)));
+            }
+            if left.data_type() == DataType::Utf8 || right.data_type() == DataType::Utf8 {
+                return Err(RelationalError::Evaluation(format!(
+                    "cannot compare {} with {}",
+                    left.data_type(),
+                    right.data_type()
+                )));
+            }
+            let a = left.to_f64_vec().map_err(RelationalError::from)?;
+            let b = right.to_f64_vec().map_err(RelationalError::from)?;
+            let out: Vec<bool> = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| match op {
+                    BinaryOp::Eq => x == y,
+                    BinaryOp::NotEq => x != y,
+                    BinaryOp::Lt => x < y,
+                    BinaryOp::LtEq => x <= y,
+                    BinaryOp::Gt => x > y,
+                    _ => x >= y,
+                })
+                .collect();
+            Ok(Arc::new(Column::Boolean(out)))
+        }
+    }
+}
+
+fn compare_ord(ord: std::cmp::Ordering, op: BinaryOp) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinaryOp::Eq => ord == Equal,
+        BinaryOp::NotEq => ord != Equal,
+        BinaryOp::Lt => ord == Less,
+        BinaryOp::LtEq => ord != Greater,
+        BinaryOp::Gt => ord == Greater,
+        BinaryOp::GtEq => ord != Less,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{case, col, lit};
+    use raven_columnar::TableBuilder;
+
+    fn batch() -> Batch {
+        TableBuilder::new("t")
+            .add_f64("age", vec![30.0, 65.0, 70.0])
+            .add_i64("asthma", vec![1, 0, 1])
+            .add_utf8("state", vec!["wa".into(), "ca".into(), "wa".into()])
+            .add_bool("flag", vec![true, false, true])
+            .build_batch()
+            .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = evaluate(&col("age"), &b).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[30.0, 65.0, 70.0]);
+        let l = evaluate(&lit(2i64), &b).unwrap();
+        assert_eq!(l.as_i64().unwrap(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let b = batch();
+        let e = col("age").mul(lit(2.0)).add(lit(1.0));
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[61.0, 131.0, 141.0]);
+
+        let p = col("age").gt(lit(60.0));
+        assert_eq!(
+            evaluate_predicate(&p, &b).unwrap(),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let b = batch();
+        let e = col("asthma").add(lit(10i64));
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.as_i64().unwrap(), &[11, 10, 11]);
+    }
+
+    #[test]
+    fn division_by_zero_yields_nan() {
+        let b = batch();
+        let e = col("age").div(lit(0.0));
+        let c = evaluate(&e, &b).unwrap();
+        assert!(c.as_f64().unwrap().iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn string_comparison() {
+        let b = batch();
+        let e = col("state").eq(lit("wa"));
+        assert_eq!(
+            evaluate_predicate(&e, &b).unwrap(),
+            vec![true, false, true]
+        );
+        assert!(evaluate(&col("state").gt(lit(1.0)), &b).is_err());
+    }
+
+    #[test]
+    fn boolean_logic_and_not() {
+        let b = batch();
+        let e = col("flag").and(col("asthma").eq(lit(1i64)));
+        assert_eq!(
+            evaluate_predicate(&e, &b).unwrap(),
+            vec![true, false, true]
+        );
+        let n = col("flag").negate();
+        assert_eq!(
+            evaluate_predicate(&n, &b).unwrap(),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn case_expression_first_match_wins() {
+        let b = batch();
+        let e = case(
+            vec![
+                (col("age").gt(lit(60.0)), lit("senior")),
+                (col("age").gt(lit(20.0)), lit("adult")),
+            ],
+            lit("minor"),
+        );
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(
+            c.as_utf8().unwrap(),
+            &["adult".to_string(), "senior".to_string(), "senior".to_string()]
+        );
+    }
+
+    #[test]
+    fn nested_case_numeric() {
+        let b = batch();
+        // The paper's §5.1 example: nested CASE emitted for a depth-2 tree.
+        let e = case(
+            vec![(
+                col("age").gt(lit(60.0)),
+                case(vec![(col("asthma").eq(lit(0i64)), lit(1.0))], lit(0.0)),
+            )],
+            case(vec![(col("asthma").eq(lit(1i64)), lit(1.0))], lit(0.0)),
+        );
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cast_and_is_null() {
+        let b = batch();
+        let c = evaluate(&col("asthma").cast(DataType::Float64), &b).unwrap();
+        assert_eq!(c.data_type(), DataType::Float64);
+        let s = evaluate(&col("age").cast(DataType::Utf8), &b).unwrap();
+        assert_eq!(s.as_utf8().unwrap()[0], "30");
+
+        let b2 = TableBuilder::new("t")
+            .add_f64("x", vec![1.0, f64::NAN])
+            .build_batch()
+            .unwrap();
+        assert_eq!(
+            evaluate_predicate(&col("x").is_null(), &b2).unwrap(),
+            vec![false, true]
+        );
+    }
+
+    #[test]
+    fn expr_type_inference() {
+        let lookup = |name: &str| match name {
+            "age" => Some(DataType::Float64),
+            "asthma" => Some(DataType::Int64),
+            "state" => Some(DataType::Utf8),
+            _ => None,
+        };
+        assert_eq!(expr_data_type(&col("state"), &lookup), DataType::Utf8);
+        assert_eq!(
+            expr_data_type(&col("age").gt(lit(1.0)), &lookup),
+            DataType::Boolean
+        );
+        assert_eq!(
+            expr_data_type(&col("asthma").add(lit(1i64)), &lookup),
+            DataType::Int64
+        );
+        assert_eq!(
+            expr_data_type(&col("asthma").div(lit(2i64)), &lookup),
+            DataType::Float64
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = Column::Float64(vec![1.0]);
+        let b = Column::Float64(vec![1.0, 2.0]);
+        assert!(evaluate_binary(&a, BinaryOp::Add, &b).is_err());
+    }
+}

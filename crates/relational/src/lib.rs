@@ -1,0 +1,33 @@
+//! # raven-relational
+//!
+//! A small vectorized relational engine: the "data engine" substrate that
+//! plays the role Apache Spark and SQL Server play in the Raven paper. It
+//! provides:
+//!
+//! * a scalar expression language ([`expr::Expr`]) including the `CASE WHEN`
+//!   expressions that the MLtoSQL transformation targets,
+//! * logical plans ([`logical::LogicalPlan`]) for scans, filters, projections,
+//!   equi-joins, aggregates, and limits,
+//! * a classical relational optimizer ([`optimizer::Optimizer`]) with
+//!   predicate pushdown, projection pushdown, PK-FK join elimination, and
+//!   constant folding — the host-engine optimizations Raven's
+//!   cross-optimizations set up (paper §2.2, §4.1),
+//! * a partition-parallel physical executor ([`physical::Executor`]) with a
+//!   configurable degree of parallelism (the DOP knob of §7.1.2) and
+//!   execution metrics (rows/bytes scanned) used by the experiment harnesses.
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+
+pub use catalog::Catalog;
+pub use error::{RelationalError, Result};
+pub use eval::{evaluate, evaluate_predicate, expr_data_type};
+pub use expr::{binary, case, col, lit, AggregateFunction, BinaryOp, Expr, ScalarFunc};
+pub use logical::{AggregateExpr, LogicalPlan};
+pub use optimizer::{fold_expr, Optimizer, OptimizerOptions};
+pub use physical::{ExecutionContext, ExecutionMetrics, Executor};

@@ -1,0 +1,747 @@
+//! Physical (vectorized) execution of logical plans.
+//!
+//! Execution is partition-parallel: the leaf pipelines (scan → filter →
+//! project) run independently per table partition with up to
+//! [`ExecutionContext::degree_of_parallelism`] worker threads, mirroring how
+//! the paper's host engines parallelize (Spark tasks, SQL Server DOP).
+//! Pipeline breakers (join build, aggregation) gather their inputs.
+
+use crate::catalog::Catalog;
+use crate::error::{RelationalError, Result};
+use crate::eval::{evaluate, evaluate_predicate};
+use crate::expr::{AggregateFunction, Expr};
+use crate::logical::{AggregateExpr, LogicalPlan};
+use raven_columnar::{Batch, Column, DataType, Schema, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Execution-time configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    /// Maximum number of worker threads used for partition-parallel stages
+    /// (the "DOP" knob of the paper's SQL Server experiments).
+    pub degree_of_parallelism: usize,
+    /// Target rows per batch for chunked operators.
+    pub batch_size: usize,
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        ExecutionContext {
+            degree_of_parallelism: 1,
+            batch_size: 10_000,
+        }
+    }
+}
+
+impl ExecutionContext {
+    /// Context with an explicit degree of parallelism.
+    pub fn with_dop(dop: usize) -> Self {
+        ExecutionContext {
+            degree_of_parallelism: dop.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Metrics collected during execution, used by the experiment harnesses to
+/// report data volumes (e.g. how much scanning model-projection pushdown saved).
+#[derive(Debug, Default)]
+pub struct ExecutionMetrics {
+    rows_scanned: AtomicUsize,
+    bytes_scanned: AtomicUsize,
+    rows_joined: AtomicUsize,
+    output_rows: AtomicUsize,
+}
+
+impl ExecutionMetrics {
+    /// Rows read from scans (after scan-level filters).
+    pub fn rows_scanned(&self) -> usize {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+    /// Bytes read from scans (post projection).
+    pub fn bytes_scanned(&self) -> usize {
+        self.bytes_scanned.load(Ordering::Relaxed)
+    }
+    /// Rows produced by join operators.
+    pub fn rows_joined(&self) -> usize {
+        self.rows_joined.load(Ordering::Relaxed)
+    }
+    /// Rows in the final result.
+    pub fn output_rows(&self) -> usize {
+        self.output_rows.load(Ordering::Relaxed)
+    }
+}
+
+/// The physical executor.
+#[derive(Debug, Default)]
+pub struct Executor {
+    metrics: Arc<ExecutionMetrics>,
+}
+
+impl Executor {
+    /// New executor with fresh metrics.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Metrics handle (shared across executions of this executor).
+    pub fn metrics(&self) -> Arc<ExecutionMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Execute a logical plan, returning a single result batch.
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        ctx: &ExecutionContext,
+    ) -> Result<Batch> {
+        let parts = self.execute_partitioned(plan, catalog, ctx)?;
+        let out = concat_parts(parts, plan, catalog)?;
+        self.metrics
+            .output_rows
+            .store(out.num_rows(), Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Execute a logical plan keeping the partition structure of its inputs
+    /// (each element of the result is one partition's output).
+    pub fn execute_partitioned(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        ctx: &ExecutionContext,
+    ) -> Result<Vec<Batch>> {
+        match plan {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+            } => {
+                let t = catalog.table(table)?;
+                let parts: Vec<Batch> = t.partitions().to_vec();
+                let projection = projection.clone();
+                let filters = filters.clone();
+                let metrics = self.metrics.clone();
+                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
+                    let mut batch = batch;
+                    for f in &filters {
+                        let mask = evaluate_predicate(f, &batch)?;
+                        batch = batch.filter(&mask)?;
+                    }
+                    if let Some(cols) = &projection {
+                        let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+                        batch = batch.project_names(&names)?;
+                    }
+                    metrics
+                        .rows_scanned
+                        .fetch_add(batch.num_rows(), Ordering::Relaxed);
+                    metrics
+                        .bytes_scanned
+                        .fetch_add(batch.byte_size(), Ordering::Relaxed);
+                    Ok(batch)
+                })
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let predicate = predicate.clone();
+                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
+                    let mask = evaluate_predicate(&predicate, &batch)?;
+                    Ok(batch.filter(&mask)?)
+                })
+            }
+            LogicalPlan::Projection { exprs, input } => {
+                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let exprs = exprs.clone();
+                let out_schema = plan.schema(catalog)?;
+                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
+                    project_batch(&exprs, &out_schema, &batch)
+                })
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let left_parts = self.execute_partitioned(left, catalog, ctx)?;
+                let right_parts = self.execute_partitioned(right, catalog, ctx)?;
+                let right_all = Batch::concat(&right_parts)?;
+                let out_schema = Arc::new(plan.schema(catalog)?);
+                let build = Arc::new(build_hash_table(&right_all, right_key)?);
+                let left_key = left_key.clone();
+                let metrics = self.metrics.clone();
+                let right_all = Arc::new(right_all);
+                parallel_map(left_parts, ctx.degree_of_parallelism, move |batch| {
+                    let joined = probe_hash_join(
+                        &batch,
+                        &right_all,
+                        &build,
+                        &left_key,
+                        out_schema.clone(),
+                    )?;
+                    metrics
+                        .rows_joined
+                        .fetch_add(joined.num_rows(), Ordering::Relaxed);
+                    Ok(joined)
+                })
+            }
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => {
+                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let all = Batch::concat(&parts)?;
+                let out_schema = Arc::new(plan.schema(catalog)?);
+                Ok(vec![aggregate_batch(&all, group_by, aggregates, out_schema)?])
+            }
+            LogicalPlan::Limit { n, input } => {
+                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let mut out = Vec::new();
+                let mut remaining = *n;
+                for p in parts {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(p.num_rows());
+                    out.push(p.slice(0, take)?);
+                    remaining -= take;
+                }
+                if out.is_empty() {
+                    let schema = Arc::new(plan.schema(catalog)?);
+                    out.push(Batch::empty(schema)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn concat_parts(parts: Vec<Batch>, plan: &LogicalPlan, catalog: &Catalog) -> Result<Batch> {
+    if parts.is_empty() {
+        let schema = Arc::new(plan.schema(catalog)?);
+        return Ok(Batch::empty(schema)?);
+    }
+    Ok(Batch::concat(&parts)?)
+}
+
+/// Apply `f` to every batch, using up to `dop` threads.
+fn parallel_map<F>(parts: Vec<Batch>, dop: usize, f: F) -> Result<Vec<Batch>>
+where
+    F: Fn(Batch) -> Result<Batch> + Send + Sync,
+{
+    if dop <= 1 || parts.len() <= 1 {
+        return parts.into_iter().map(f).collect();
+    }
+    let n = parts.len();
+    let inputs: Vec<(usize, Batch)> = parts.into_iter().enumerate().collect();
+    let queue = parking_lot_free_queue(inputs);
+    let results: Vec<parking::Slot<Result<Batch>>> = (0..n).map(|_| parking::Slot::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..dop.min(n) {
+            scope.spawn(|| {
+                while let Some((idx, batch)) = queue.pop() {
+                    results[idx].set(f(batch));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|slot| slot.take()).collect()
+}
+
+/// A minimal work queue / result slot implementation so the executor does not
+/// need an external thread-pool dependency.
+mod parking {
+    use std::sync::Mutex;
+
+    #[derive(Debug)]
+    pub struct Queue<T> {
+        items: Mutex<Vec<T>>,
+    }
+
+    impl<T> Queue<T> {
+        pub fn new(items: Vec<T>) -> Self {
+            Queue {
+                items: Mutex::new(items),
+            }
+        }
+        pub fn pop(&self) -> Option<T> {
+            self.items.lock().expect("queue poisoned").pop()
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Slot<T> {
+        value: Mutex<Option<T>>,
+    }
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Slot {
+                value: Mutex::new(None),
+            }
+        }
+        pub fn set(&self, value: T) {
+            *self.value.lock().expect("slot poisoned") = Some(value);
+        }
+        pub fn take(self) -> T {
+            self.value
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("worker did not fill slot")
+        }
+    }
+}
+
+fn parking_lot_free_queue<T>(items: Vec<T>) -> parking::Queue<T> {
+    parking::Queue::new(items)
+}
+
+fn project_batch(exprs: &[Expr], out_schema: &Schema, batch: &Batch) -> Result<Batch> {
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (e, field) in exprs.iter().zip(out_schema.fields()) {
+        let col = evaluate(e, batch)?;
+        // Align column type with the planned schema when cheap to do so.
+        let col = if col.data_type() != field.data_type() {
+            coerce(col, field.data_type())?
+        } else {
+            col
+        };
+        columns.push(col);
+    }
+    Ok(Batch::new(Arc::new(out_schema.clone()), columns)?)
+}
+
+fn coerce(col: raven_columnar::ColumnRef, to: DataType) -> Result<raven_columnar::ColumnRef> {
+    let out = match (col.as_ref(), to) {
+        (c, t) if c.data_type() == t => return Ok(col),
+        (c, DataType::Float64) => Column::Float64(c.to_f64_vec()?),
+        (c, DataType::Int64) => {
+            Column::Int64(c.to_f64_vec()?.into_iter().map(|x| x as i64).collect())
+        }
+        (c, DataType::Boolean) => Column::Boolean(
+            c.to_f64_vec()?
+                .into_iter()
+                .map(|x| x != 0.0 && !x.is_nan())
+                .collect(),
+        ),
+        (Column::Float64(v), DataType::Utf8) => {
+            Column::Utf8(v.iter().map(|x| x.to_string()).collect())
+        }
+        (Column::Int64(v), DataType::Utf8) => {
+            Column::Utf8(v.iter().map(|x| x.to_string()).collect())
+        }
+        (c, t) => {
+            return Err(RelationalError::Evaluation(format!(
+                "cannot coerce {} to {}",
+                c.data_type(),
+                t
+            )))
+        }
+    };
+    Ok(Arc::new(out))
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Key type for the join hash table. Int64 keys hash natively; other types go
+/// through a canonical string form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    Str(String),
+}
+
+fn join_keys(batch: &Batch, key: &str) -> Result<Vec<Option<JoinKey>>> {
+    let col = batch.column_by_name(key)?;
+    Ok(match col.as_ref() {
+        Column::Int64(v) => v.iter().map(|&x| Some(JoinKey::Int(x))).collect(),
+        Column::Utf8(v) => v
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(JoinKey::Str(s.clone()))
+                }
+            })
+            .collect(),
+        Column::Float64(v) => v
+            .iter()
+            .map(|&x| {
+                if x.is_nan() {
+                    None
+                } else {
+                    Some(JoinKey::Int(x.to_bits() as i64))
+                }
+            })
+            .collect(),
+        Column::Boolean(v) => v.iter().map(|&b| Some(JoinKey::Int(b as i64))).collect(),
+    })
+}
+
+fn build_hash_table(right: &Batch, right_key: &str) -> Result<HashMap<JoinKey, Vec<usize>>> {
+    let keys = join_keys(right, right_key)?;
+    let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(keys.len());
+    for (i, k) in keys.into_iter().enumerate() {
+        if let Some(k) = k {
+            table.entry(k).or_default().push(i);
+        }
+    }
+    Ok(table)
+}
+
+fn probe_hash_join(
+    left: &Batch,
+    right: &Batch,
+    build: &HashMap<JoinKey, Vec<usize>>,
+    left_key: &str,
+    out_schema: Arc<Schema>,
+) -> Result<Batch> {
+    let keys = join_keys(left, left_key)?;
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for (i, k) in keys.into_iter().enumerate() {
+        if let Some(k) = k {
+            if let Some(matches) = build.get(&k) {
+                for &j in matches {
+                    left_idx.push(i);
+                    right_idx.push(j);
+                }
+            }
+        }
+    }
+    let left_out = left.take(&left_idx)?;
+    let right_out = right.take(&right_idx)?;
+    let mut columns = Vec::with_capacity(out_schema.len());
+    columns.extend(left_out.columns().iter().cloned());
+    columns.extend(right_out.columns().iter().cloned());
+    Ok(Batch::new(out_schema, columns)?)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+    fn update(&mut self, v: f64) {
+        self.count += 1;
+        if !v.is_nan() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+    fn finish(&self, func: AggregateFunction) -> Value {
+        match func {
+            AggregateFunction::Count => Value::Int64(self.count as i64),
+            AggregateFunction::Sum => Value::Float64(self.sum),
+            AggregateFunction::Avg => Value::Float64(if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            }),
+            AggregateFunction::Min => Value::Float64(self.min),
+            AggregateFunction::Max => Value::Float64(self.max),
+        }
+    }
+}
+
+fn aggregate_batch(
+    batch: &Batch,
+    group_by: &[String],
+    aggregates: &[AggregateExpr],
+    out_schema: Arc<Schema>,
+) -> Result<Batch> {
+    // Evaluate aggregate arguments once.
+    let args: Vec<Vec<f64>> = aggregates
+        .iter()
+        .map(|a| {
+            let col = evaluate(&a.arg, batch)?;
+            Ok(col.to_f64_vec().unwrap_or_else(|_| vec![0.0; batch.num_rows()]))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    if group_by.is_empty() {
+        let mut states: Vec<AggState> = vec![AggState::new(); aggregates.len()];
+        for row in 0..batch.num_rows() {
+            for (a, arg) in states.iter_mut().zip(args.iter()) {
+                a.update(arg[row]);
+            }
+        }
+        let mut columns = Vec::with_capacity(aggregates.len());
+        for (state, agg) in states.iter().zip(aggregates) {
+            columns.push(Arc::new(Column::from_values(&[state.finish(agg.func)])?));
+        }
+        return Ok(Batch::new(out_schema, columns)?);
+    }
+
+    // Grouped aggregation keyed by the string form of the group columns.
+    let group_cols: Vec<_> = group_by
+        .iter()
+        .map(|g| batch.column_by_name(g).cloned())
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let mut groups: HashMap<String, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let key_vals: Vec<Value> = group_cols
+            .iter()
+            .map(|c| c.value(row))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let key: String = key_vals.iter().map(|v| format!("{v}|")).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals, vec![AggState::new(); aggregates.len()])
+        });
+        for (a, arg) in entry.1.iter_mut().zip(args.iter()) {
+            a.update(arg[row]);
+        }
+    }
+    let mut columns: Vec<Vec<Value>> = vec![Vec::new(); group_by.len() + aggregates.len()];
+    for key in &order {
+        let (key_vals, states) = &groups[key];
+        for (i, v) in key_vals.iter().enumerate() {
+            columns[i].push(v.clone());
+        }
+        for (i, (state, agg)) in states.iter().zip(aggregates).enumerate() {
+            columns[group_by.len() + i].push(state.finish(agg.func));
+        }
+    }
+    let columns = columns
+        .iter()
+        .map(|vals| Column::from_values(vals).map(Arc::new))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    Ok(Batch::new(out_schema, columns)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::optimizer::Optimizer;
+    use raven_columnar::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("patient_info")
+                .add_i64("id", vec![1, 2, 3, 4])
+                .add_f64("age", vec![30.0, 70.0, 50.0, 65.0])
+                .add_i64("asthma", vec![1, 0, 1, 1])
+                .build()
+                .unwrap(),
+        );
+        c.register(
+            TableBuilder::new("blood_test")
+                .add_i64("id", vec![1, 2, 3, 4])
+                .add_f64("bpm", vec![60.0, 90.0, 72.0, 55.0])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    fn run(plan: &LogicalPlan, catalog: &Catalog) -> Batch {
+        Executor::new()
+            .execute(plan, catalog, &ExecutionContext::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .filter(col("asthma").eq(lit(1i64)))
+            .project(vec![col("age"), col("age").mul(lit(2.0)).alias("age2")]);
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().names(), vec!["age", "age2"]);
+        assert_eq!(
+            out.column_by_name("age2").unwrap().as_f64().unwrap(),
+            &[60.0, 100.0, 130.0]
+        );
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .join(LogicalPlan::scan("blood_test"), "id", "id")
+            .filter(col("bpm").gt(lit(60.0)))
+            .project(vec![col("id"), col("age"), col("bpm")]);
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 2);
+        let ids = out.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![2, 3]);
+    }
+
+    #[test]
+    fn join_duplicates_on_fk_side() {
+        let mut c = catalog();
+        c.register(
+            TableBuilder::new("visits")
+                .add_i64("pid", vec![1, 1, 2])
+                .add_f64("cost", vec![10.0, 20.0, 30.0])
+                .build()
+                .unwrap(),
+        );
+        let plan = LogicalPlan::scan("visits")
+            .join(LogicalPlan::scan("patient_info"), "pid", "id")
+            .project(vec![col("pid"), col("cost"), col("age")]);
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info").aggregate(
+            vec![],
+            vec![
+                AggregateExpr {
+                    func: AggregateFunction::Count,
+                    arg: col("id"),
+                    alias: "n".into(),
+                },
+                AggregateExpr {
+                    func: AggregateFunction::Avg,
+                    arg: col("age"),
+                    alias: "avg_age".into(),
+                },
+            ],
+        );
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column_by_name("n").unwrap().as_i64().unwrap(), &[4]);
+        assert!(
+            (out.column_by_name("avg_age").unwrap().as_f64().unwrap()[0] - 53.75).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn grouped_aggregate() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info").aggregate(
+            vec!["asthma".into()],
+            vec![AggregateExpr {
+                func: AggregateFunction::Max,
+                arg: col("age"),
+                alias: "max_age".into(),
+            }],
+        );
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info").limit(2);
+        assert_eq!(run(&plan, &c).num_rows(), 2);
+        let plan = LogicalPlan::scan("patient_info").limit(100);
+        assert_eq!(run(&plan, &c).num_rows(), 4);
+    }
+
+    #[test]
+    fn dop_parallel_matches_serial() {
+        let mut c = Catalog::new();
+        // multi-partition table
+        let t = TableBuilder::new("wide")
+            .add_i64("id", (0..1000).collect())
+            .add_f64("x", (0..1000).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        let t = raven_columnar::partition_by_column(
+            &t,
+            &raven_columnar::PartitionSpec::RoundRobin { partitions: 8 },
+        )
+        .unwrap();
+        c.register(t);
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").gt_eq(lit(500.0)))
+            .project(vec![col("id")]);
+        let serial = Executor::new()
+            .execute(&plan, &c, &ExecutionContext::with_dop(1))
+            .unwrap();
+        let parallel = Executor::new()
+            .execute(&plan, &c, &ExecutionContext::with_dop(4))
+            .unwrap();
+        assert_eq!(serial.num_rows(), 500);
+        assert_eq!(parallel.num_rows(), 500);
+        let mut a = serial.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+        let mut b = parallel
+            .column_by_name("id")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_collected() {
+        let c = catalog();
+        let exec = Executor::new();
+        let plan = LogicalPlan::scan("patient_info").project(vec![col("age")]);
+        let plan = Optimizer::new().optimize(&plan, &c).unwrap();
+        exec.execute(&plan, &c, &ExecutionContext::default()).unwrap();
+        let m = exec.metrics();
+        assert_eq!(m.rows_scanned(), 4);
+        assert!(m.bytes_scanned() > 0);
+        assert_eq!(m.output_rows(), 4);
+    }
+
+    #[test]
+    fn optimized_plan_same_result() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .join(LogicalPlan::scan("blood_test"), "id", "id")
+            .filter(col("asthma").eq(lit(1i64)).and(col("bpm").lt(lit(80.0))))
+            .project(vec![col("age"), col("bpm")]);
+        let optimized = Optimizer::new().optimize(&plan, &c).unwrap();
+        let a = run(&plan, &c);
+        let b = run(&optimized, &c);
+        assert_eq!(a.num_rows(), b.num_rows());
+        let mut ax = a.column_by_name("age").unwrap().as_f64().unwrap().to_vec();
+        let mut bx = b.column_by_name("age").unwrap().as_f64().unwrap().to_vec();
+        ax.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        bx.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(ax, bx);
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .filter(col("age").gt(lit(1000.0)))
+            .project(vec![col("age")]);
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema().names(), vec!["age"]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Execution devices for compiled tensor models.
+//!
+//! The paper evaluates MLtoDNN on NVIDIA P100/K80/V100 GPUs. No GPU is
+//! available in this reproduction, so [`Device::SimulatedGpu`] executes the
+//! compiled model on the CPU (so results are exact) and *models* the elapsed
+//! time with a calibrated analytic cost: a fixed kernel-launch/driver
+//! overhead, PCIe transfer time for the input batch and model parameters, and
+//! compute time proportional to the model's FLOPs at the device's throughput.
+//! This reproduces the paper's qualitative finding (§7.3): small models lose
+//! on GPU because of the fixed overheads, large gradient-boosting ensembles
+//! win by up to ~8×.
+
+use crate::compile::CompiledModel;
+use crate::error::Result;
+use raven_ml::Matrix;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Performance profile of a simulated accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// Fixed per-invocation overhead (kernel launches, driver, Python glue).
+    pub launch_overhead: Duration,
+    /// Host-to-device transfer bandwidth in bytes/second (PCIe).
+    pub transfer_bytes_per_sec: f64,
+    /// Sustained throughput in FLOP/s for the dense kernels we emit.
+    pub flops_per_sec: f64,
+}
+
+impl GpuProfile {
+    /// A profile loosely modelled on the NVIDIA Tesla K80 used in the paper's
+    /// Spark GPU cluster (§7.3): high launch overhead, ~10 GB/s effective
+    /// PCIe bandwidth, ~1 TFLOP/s sustained on these kernels.
+    pub fn tesla_k80() -> Self {
+        GpuProfile {
+            name: "SimulatedTeslaK80".into(),
+            launch_overhead: Duration::from_millis(12),
+            transfer_bytes_per_sec: 10.0e9,
+            flops_per_sec: 1.0e12,
+        }
+    }
+
+    /// A profile loosely modelled on the Tesla V100 used for the SQL Server
+    /// GPU runs (§7.3): lower overhead, faster transfers and compute.
+    pub fn tesla_v100() -> Self {
+        GpuProfile {
+            name: "SimulatedTeslaV100".into(),
+            launch_overhead: Duration::from_millis(8),
+            transfer_bytes_per_sec: 14.0e9,
+            flops_per_sec: 6.0e12,
+        }
+    }
+}
+
+/// Where a compiled model executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Device {
+    /// Execute on the host CPU; reported time is measured wall-clock.
+    Cpu,
+    /// Execute on the CPU for correctness but report a modelled GPU time.
+    SimulatedGpu(GpuProfile),
+}
+
+impl Device {
+    /// Short display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Cpu => "CPU",
+            Device::SimulatedGpu(p) => &p.name,
+        }
+    }
+
+    /// Whether this device's reported times are modelled rather than measured.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, Device::SimulatedGpu(_))
+    }
+}
+
+/// The outcome of executing a compiled model on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRun {
+    /// Per-row scores.
+    pub scores: Vec<f64>,
+    /// Measured CPU wall-clock time for the execution.
+    pub measured: Duration,
+    /// The time the device is *reported* to take: equal to `measured` on the
+    /// CPU, and the cost-model estimate on a simulated GPU.
+    pub reported: Duration,
+}
+
+/// A compiled model bound to a device.
+#[derive(Debug, Clone)]
+pub struct TensorModel {
+    /// The compiled tensor program.
+    pub model: CompiledModel,
+    /// The execution device.
+    pub device: Device,
+}
+
+impl TensorModel {
+    /// Bind a compiled model to a device.
+    pub fn new(model: CompiledModel, device: Device) -> Self {
+        TensorModel { model, device }
+    }
+
+    /// Execute over a feature matrix.
+    pub fn run(&self, x: &Matrix) -> Result<DeviceRun> {
+        let start = Instant::now();
+        let scores = self.model.predict(x)?;
+        let measured = start.elapsed();
+        let reported = match &self.device {
+            Device::Cpu => measured,
+            Device::SimulatedGpu(profile) => self.estimate_gpu_time(profile, x.rows(), x.cols()),
+        };
+        Ok(DeviceRun {
+            scores,
+            measured,
+            reported,
+        })
+    }
+
+    /// The analytic GPU cost model: launch overhead + data/parameter transfer
+    /// + compute at the profile's throughput.
+    pub fn estimate_gpu_time(&self, profile: &GpuProfile, rows: usize, cols: usize) -> Duration {
+        let input_bytes = (rows * cols * 8 + rows * 8) as f64;
+        let param_bytes = self.model.parameter_bytes() as f64;
+        let transfer = (input_bytes + param_bytes) / profile.transfer_bytes_per_sec;
+        let compute = self.model.flops(rows as u64) as f64 / profile.flops_per_sec;
+        profile.launch_overhead + Duration::from_secs_f64(transfer + compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_ensemble, Strategy};
+    use raven_ml::{train_gradient_boosting, BoostingConfig, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model(n_estimators: usize, depth: usize) -> (CompiledModel, Matrix) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 300;
+        let cols: Vec<Vec<f64>> = (0..6)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| if cols[0][i] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        let x = Matrix::from_columns(&cols).unwrap();
+        let gb = train_gradient_boosting(
+            &x,
+            &y,
+            &BoostingConfig {
+                n_estimators,
+                max_depth: depth,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (compile_ensemble(&gb, Strategy::Gemm).unwrap(), x)
+    }
+
+    #[test]
+    fn cpu_run_reports_measured_time() {
+        let (compiled, x) = model(5, 3);
+        let tm = TensorModel::new(compiled, Device::Cpu);
+        let run = tm.run(&x).unwrap();
+        assert_eq!(run.scores.len(), x.rows());
+        assert_eq!(run.measured, run.reported);
+        assert!(!tm.device.is_simulated());
+        assert_eq!(tm.device.name(), "CPU");
+    }
+
+    #[test]
+    fn simulated_gpu_scores_match_cpu() {
+        let (compiled, x) = model(5, 3);
+        let cpu = TensorModel::new(compiled.clone(), Device::Cpu).run(&x).unwrap();
+        let gpu = TensorModel::new(compiled, Device::SimulatedGpu(GpuProfile::tesla_k80()))
+            .run(&x)
+            .unwrap();
+        assert_eq!(cpu.scores, gpu.scores);
+        assert!(Device::SimulatedGpu(GpuProfile::tesla_k80()).is_simulated());
+    }
+
+    #[test]
+    fn gpu_model_has_fixed_overhead_floor() {
+        let (compiled, x) = model(2, 2);
+        let profile = GpuProfile::tesla_k80();
+        let tm = TensorModel::new(compiled, Device::SimulatedGpu(profile.clone()));
+        let est = tm.estimate_gpu_time(&profile, x.rows(), x.cols());
+        assert!(est >= profile.launch_overhead);
+    }
+
+    #[test]
+    fn gpu_estimate_grows_with_model_and_batch() {
+        let (small, x) = model(5, 2);
+        let (large, _) = model(60, 5);
+        let profile = GpuProfile::tesla_v100();
+        let ts = TensorModel::new(small, Device::SimulatedGpu(profile.clone()));
+        let tl = TensorModel::new(large, Device::SimulatedGpu(profile.clone()));
+        let e_small = ts.estimate_gpu_time(&profile, 10_000, x.cols());
+        let e_large = tl.estimate_gpu_time(&profile, 10_000, x.cols());
+        assert!(e_large > e_small);
+        let e_few_rows = tl.estimate_gpu_time(&profile, 100, x.cols());
+        assert!(e_large > e_few_rows);
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let k80 = GpuProfile::tesla_k80();
+        let v100 = GpuProfile::tesla_v100();
+        assert!(v100.flops_per_sec > k80.flops_per_sec);
+        assert_ne!(k80.name, v100.name);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the tensor runtime and compiler.
+
+use std::fmt;
+
+/// Result alias used throughout `raven-tensor`.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor operations and ML-to-tensor compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Shape mismatch between tensors.
+    Shape(String),
+    /// The model cannot be compiled to tensors.
+    Unsupported(String),
+    /// Error from the ML layer.
+    Ml(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(m) => write!(f, "shape error: {m}"),
+            TensorError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            TensorError::Ml(m) => write!(f, "ml error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<raven_ml::MlError> for TensorError {
+    fn from(e: raven_ml::MlError) -> Self {
+        TensorError::Ml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(TensorError::Shape("x".into()).to_string().contains("shape"));
+        assert!(TensorError::Unsupported("y".into())
+            .to_string()
+            .contains("unsupported"));
+    }
+}

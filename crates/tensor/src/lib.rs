@@ -1,0 +1,22 @@
+//! # raven-tensor
+//!
+//! The DNN-runtime substrate of the Raven reproduction: a minimal dense
+//! tensor runtime plus a Hummingbird-style compiler that turns traditional ML
+//! models (tree ensembles, linear models) into tensor programs, and a device
+//! abstraction with a real CPU backend and a simulated GPU whose execution is
+//! exact (runs on CPU) but whose reported latency follows a calibrated
+//! transfer + compute cost model. This is the back end of Raven's MLtoDNN
+//! transformation (paper §5.1, §7.3).
+
+pub mod compile;
+pub mod device;
+pub mod error;
+pub mod tensor;
+
+pub use compile::{
+    compile_ensemble, compile_linear, compile_logistic, compile_operator, CompiledModel, GemmTree,
+    Strategy, TraversalTree,
+};
+pub use device::{Device, DeviceRun, GpuProfile, TensorModel};
+pub use error::{Result, TensorError};
+pub use tensor::Tensor;

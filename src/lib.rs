@@ -1,0 +1,71 @@
+//! # raven
+//!
+//! A from-scratch Rust reproduction of **Raven** — *"End-to-end Optimization
+//! of Machine Learning Prediction Queries"* (SIGMOD 2022). This facade crate
+//! re-exports the whole workspace so applications can depend on a single
+//! crate:
+//!
+//! * [`columnar`] — columnar tables, partitions, statistics,
+//! * [`relational`] — the vectorized relational engine (the "data engine"),
+//! * [`ml`] — trained pipelines, traditional-ML operators, training, and the
+//!   batch ML runtime,
+//! * [`tensor`] — the Hummingbird-style ML-to-tensor compiler and devices,
+//! * [`ir`] — the unified IR and the `PREDICT` query parser,
+//! * [`core`] — the Raven optimizer and the end-to-end `RavenSession`,
+//! * [`datagen`] — synthetic versions of the paper's evaluation workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use raven::prelude::*;
+//!
+//! // 1. generate a small dataset and train a pipeline on it
+//! let dataset = raven::datagen::hospital(500, 42);
+//! let table = dataset.tables[0].clone();
+//! let pipeline = raven::ml::train_pipeline(
+//!     &table.to_batch().unwrap(),
+//!     &PipelineSpec {
+//!         name: "risk_model".into(),
+//!         numeric_inputs: vec!["age".into(), "bmi".into()],
+//!         categorical_inputs: vec!["asthma".into()],
+//!         label: dataset.label.clone(),
+//!         model: ModelType::DecisionTree { max_depth: 6 },
+//!         seed: 1,
+//!     },
+//! )
+//! .unwrap();
+//!
+//! // 2. register data and model in a Raven session
+//! let mut session = RavenSession::new();
+//! session.register_table(table);
+//! session.register_model(pipeline);
+//!
+//! // 3. run a prediction query with the PREDICT syntax
+//! let out = session
+//!     .sql(
+//!         "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = hospital_stays AS d) \
+//!          WITH (risk float) AS p WHERE d.asthma = 1 AND p.risk >= 0.5",
+//!     )
+//!     .unwrap();
+//! assert!(out.report.output_rows <= 500);
+//! ```
+
+pub use raven_columnar as columnar;
+pub use raven_core as core;
+pub use raven_datagen as datagen;
+pub use raven_ir as ir;
+pub use raven_ml as ml;
+pub use raven_relational as relational;
+pub use raven_tensor as tensor;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use raven_columnar::{Batch, Column, DataType, Field, Schema, Table, TableBuilder, Value};
+    pub use raven_core::{
+        BaselineMode, PredictionOutput, RavenConfig, RavenSession, RuntimePolicy, TransformChoice,
+    };
+    pub use raven_ir::{ModelRegistry, UnifiedPlan};
+    pub use raven_ml::{MlRuntime, ModelType, Pipeline, PipelineSpec};
+    pub use raven_relational::{col, lit, Catalog, Expr, LogicalPlan};
+    pub use raven_tensor::{Device, GpuProfile, Strategy};
+}

@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: the full parse → optimize → execute path
+//! over the synthetic paper workloads, checking that every optimization and
+//! runtime choice preserves query results.
+
+use raven::prelude::*;
+use raven_core::{BaselineMode, RuntimePolicy};
+
+/// Build a session over a generated dataset with a trained model registered
+/// under `model_name`, plus the ready-to-run prediction query text.
+fn build_session(
+    dataset: &raven::datagen::Dataset,
+    model: ModelType,
+    model_name: &str,
+    with_predicate: bool,
+) -> (RavenSession, String) {
+    // train over the joined view when the dataset has several tables
+    let mut catalog = Catalog::new();
+    for t in &dataset.tables {
+        catalog.register(t.clone());
+    }
+    let mut plan = LogicalPlan::scan(dataset.tables[0].name());
+    for (_, lk, right, rk) in &dataset.joins {
+        plan = plan.join(LogicalPlan::scan(right.clone()), lk, rk);
+    }
+    let joined = raven_relational::Executor::new()
+        .execute(&plan, &catalog, &raven_relational::ExecutionContext::default())
+        .expect("join for training");
+    let pipeline = raven::ml::train_pipeline(
+        &joined,
+        &PipelineSpec {
+            name: model_name.into(),
+            numeric_inputs: dataset.numeric_inputs.clone(),
+            categorical_inputs: dataset.categorical_inputs.clone(),
+            label: dataset.label.clone(),
+            model,
+            seed: 17,
+        },
+    )
+    .expect("pipeline trains");
+
+    let mut session = RavenSession::new();
+    for t in &dataset.tables {
+        session.register_table(t.clone());
+    }
+    session.register_model(pipeline);
+
+    let data_clause = if dataset.joins.is_empty() {
+        dataset.tables[0].name().to_string()
+    } else {
+        // WITH data AS (SELECT * FROM fact JOIN dim ON k = k ...)
+        format!(
+            "WITH data AS (SELECT * FROM {}) ",
+            dataset.from_clause()
+        )
+    };
+    let (from, data_name) = if dataset.joins.is_empty() {
+        (String::new(), data_clause)
+    } else {
+        (data_clause, "data".to_string())
+    };
+    let predicate = if with_predicate {
+        "WHERE p.score >= 0.5"
+    } else {
+        ""
+    };
+    let query = format!(
+        "{from}SELECT d.id, p.score FROM PREDICT(MODEL = {model_name}, DATA = {data_name} AS d) \
+         WITH (score float) AS p {predicate}"
+    );
+    (session, query)
+}
+
+fn sorted_ids(out: &PredictionOutput) -> Vec<i64> {
+    let mut ids = out
+        .batch
+        .column_by_name("id")
+        .expect("id column")
+        .as_i64()
+        .expect("i64 ids")
+        .to_vec();
+    ids.sort();
+    ids
+}
+
+#[test]
+fn hospital_query_consistent_across_all_configurations() {
+    let dataset = raven::datagen::hospital(3_000, 1);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::DecisionTree { max_depth: 8 },
+        "hospital_dt",
+        true,
+    );
+    let reference = {
+        *session.config_mut() = RavenConfig::no_opt();
+        sorted_ids(&session.sql(&query).expect("no-opt run"))
+    };
+    assert!(!reference.is_empty(), "query should select some rows");
+
+    // every combination of rule toggles and forced transforms agrees
+    for (pred, proj, induced) in [
+        (true, true, true),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+    ] {
+        let mut config = RavenConfig::default();
+        config.enable_predicate_pruning = pred;
+        config.enable_projection_pushdown = proj;
+        config.enable_data_induced = induced;
+        *session.config_mut() = config;
+        for choice in [
+            TransformChoice::None,
+            TransformChoice::MlToSql,
+            TransformChoice::MlToDnn,
+        ] {
+            session.config_mut().runtime_policy = RuntimePolicy::Force(choice);
+            let out = session.sql(&query).expect("optimized run");
+            assert_eq!(
+                sorted_ids(&out),
+                reference,
+                "result mismatch with pred={pred} proj={proj} induced={induced} choice={choice:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn credit_card_logistic_regression_mltosql_matches() {
+    let dataset = raven::datagen::credit_card(2_000, 2);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::LogisticRegression { l1_alpha: 0.01 },
+        "fraud_lr",
+        true,
+    );
+    session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::MlToSql);
+    let sql = session.sql(&query).expect("MLtoSQL run");
+    assert_eq!(sql.report.transform, TransformChoice::MlToSql);
+    session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::None);
+    let ml = session.sql(&query).expect("ML runtime run");
+    assert_eq!(sorted_ids(&sql), sorted_ids(&ml));
+}
+
+#[test]
+fn expedia_join_query_prunes_columns_and_matches() {
+    let dataset = raven::datagen::expedia(1_500, 3);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::DecisionTree { max_depth: 6 },
+        "expedia_dt",
+        false,
+    );
+    let optimized = session.sql(&query).expect("optimized run");
+    // decision trees over a wide one-hot space leave many features unused
+    assert!(
+        optimized.report.cross.features_after <= optimized.report.cross.features_before,
+        "densification should never grow the feature space"
+    );
+    *session.config_mut() = RavenConfig::no_opt();
+    let baseline = session.sql(&query).expect("no-opt run");
+    assert_eq!(sorted_ids(&optimized), sorted_ids(&baseline));
+}
+
+#[test]
+fn flights_four_way_join_runs_end_to_end() {
+    let dataset = raven::datagen::flights(1_200, 4);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::RandomForest {
+            n_trees: 5,
+            max_depth: 5,
+        },
+        "flights_rf",
+        true,
+    );
+    let out = session.sql(&query).expect("query runs");
+    assert!(out.report.output_rows <= 1_200);
+    *session.config_mut() = RavenConfig::no_opt();
+    let baseline = session.sql(&query).expect("baseline");
+    assert_eq!(sorted_ids(&out), sorted_ids(&baseline));
+}
+
+#[test]
+fn baseline_modes_and_dop_agree() {
+    let dataset = raven::datagen::hospital(1_500, 6);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::GradientBoosting {
+            n_estimators: 5,
+            max_depth: 3,
+            learning_rate: 0.2,
+        },
+        "hospital_gb",
+        true,
+    );
+    session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::None);
+    let reference = sorted_ids(&session.sql(&query).expect("reference"));
+
+    session.config_mut().baseline = BaselineMode::RowInterpreted;
+    assert_eq!(reference, sorted_ids(&session.sql(&query).unwrap()));
+    session.config_mut().baseline = BaselineMode::Materialized;
+    assert_eq!(reference, sorted_ids(&session.sql(&query).unwrap()));
+    session.config_mut().baseline = BaselineMode::Vectorized;
+    session.config_mut().degree_of_parallelism = 4;
+    assert_eq!(reference, sorted_ids(&session.sql(&query).unwrap()));
+}
+
+#[test]
+fn gpu_device_reports_modeled_time_and_same_results() {
+    let dataset = raven::datagen::hospital(1_500, 8);
+    let (mut session, query) = build_session(
+        &dataset,
+        ModelType::GradientBoosting {
+            n_estimators: 20,
+            max_depth: 4,
+            learning_rate: 0.1,
+        },
+        "hospital_gb_big",
+        false,
+    );
+    session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::MlToDnn);
+    session.config_mut().device = Device::SimulatedGpu(GpuProfile::tesla_v100());
+    let gpu = session.sql(&query).expect("gpu run");
+    assert!(gpu.report.ml_time_modeled);
+    session.config_mut().device = Device::Cpu;
+    let cpu = session.sql(&query).expect("cpu run");
+    assert!(!cpu.report.ml_time_modeled);
+    assert_eq!(sorted_ids(&gpu), sorted_ids(&cpu));
+}
