@@ -114,14 +114,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_hospital_10k");
     for (label, config) in [
         ("no_opt", RavenConfig::no_opt()),
-        ("raven_mltosql", RavenConfig {
-            runtime_policy: RuntimePolicy::Force(TransformChoice::MlToSql),
-            ..Default::default()
-        }),
-        ("raven_ml_runtime", RavenConfig {
-            runtime_policy: RuntimePolicy::NoTransform,
-            ..Default::default()
-        }),
+        (
+            "raven_mltosql",
+            RavenConfig {
+                runtime_policy: RuntimePolicy::Force(TransformChoice::MlToSql),
+                ..Default::default()
+            },
+        ),
+        (
+            "raven_ml_runtime",
+            RavenConfig {
+                runtime_policy: RuntimePolicy::NoTransform,
+                ..Default::default()
+            },
+        ),
     ] {
         *scenario.session.config_mut() = config;
         let session: &RavenSession = &scenario.session;

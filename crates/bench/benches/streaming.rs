@@ -1,0 +1,103 @@
+//! Criterion micro-benchmark of the streaming partition-parallel execution
+//! pipeline against the legacy materialized plan (the acceptance benchmark of
+//! the BatchStream refactor).
+//!
+//! Workload: the synthetic Hospital table at 100k rows, range-partitioned on
+//! `age` into 16 partitions, queried with a selective input predicate
+//! (`age >= 93`) plus an output predicate on the prediction. The streaming
+//! path prunes the partitions whose min/max statistics cannot satisfy the
+//! predicate and scores the survivors one partition at a time; the
+//! materialized baseline scans and filters every partition, concatenates, and
+//! scores the result as one batch. On a multi-core host the streaming path
+//! additionally overlaps partitions across workers; the pruning benefit alone
+//! carries the speedup on a single core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raven_columnar::{partition_by_column, PartitionSpec};
+use raven_core::{ExecutionMode, RavenConfig, RuntimePolicy};
+use raven_ml::ModelType;
+
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    let rows = 100_000;
+    // worker threads only pay off with real cores behind them
+    let dop = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(1);
+    let dataset = raven_datagen::hospital(rows, 7);
+    let partitioned = partition_by_column(
+        &dataset.tables[0],
+        &PartitionSpec::ByRange {
+            column: "age".into(),
+            partitions: 16,
+        },
+    )
+    .expect("partitioning");
+    let mut scenario = raven_bench::build_scenario(
+        &dataset,
+        ModelType::DecisionTree { max_depth: 8 },
+        "DT",
+        Some("d.age >= 93"),
+    );
+    scenario.session.register_table(partitioned);
+    let query = scenario.query.clone();
+
+    let mut group = c.benchmark_group("partitioned_hospital_100k");
+    *scenario.session.config_mut() = RavenConfig {
+        execution_mode: ExecutionMode::Materialized,
+        runtime_policy: RuntimePolicy::NoTransform,
+        ..Default::default()
+    };
+    {
+        let session = &scenario.session;
+        group.bench_function("materialized", |b| b.iter(|| session.sql(&query).unwrap()));
+    }
+    *scenario.session.config_mut() = RavenConfig {
+        execution_mode: ExecutionMode::Streaming,
+        runtime_policy: RuntimePolicy::NoTransform,
+        degree_of_parallelism: dop,
+        ..Default::default()
+    };
+    {
+        let session = &scenario.session;
+        group.bench_function(format!("streaming_dop{dop}"), |b| {
+            b.iter(|| session.sql(&query).unwrap())
+        });
+    }
+    group.finish();
+
+    // Print the observed speedup explicitly (the acceptance criterion is a
+    // >= 1.5x advantage for the streaming path on this workload).
+    let mut time_with = |mode: ExecutionMode, dop: usize| {
+        *scenario.session.config_mut() = RavenConfig {
+            execution_mode: mode,
+            runtime_policy: RuntimePolicy::NoTransform,
+            degree_of_parallelism: dop,
+            ..Default::default()
+        };
+        raven_bench::trimmed_mean_time(&scenario.session, &query, 5)
+    };
+    let materialized = time_with(ExecutionMode::Materialized, 1);
+    let streaming = time_with(ExecutionMode::Streaming, dop);
+    let report = scenario.session.sql(&query).expect("report run").report;
+    println!(
+        "streaming {:.1} ms vs materialized {:.1} ms -> {:.2}x speedup ({} of 16 partitions pruned)",
+        streaming.as_secs_f64() * 1e3,
+        materialized.as_secs_f64() * 1e3,
+        materialized.as_secs_f64() / streaming.as_secs_f64().max(1e-9),
+        report.pruned_partitions,
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_streaming_vs_materialized
+}
+criterion_main!(benches);

@@ -1,4 +1,9 @@
 //! Reproduces the §7.4 accuracy (rounding-error) study.
 fn main() {
-    raven_bench::accuracy_study(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30));
+    raven_bench::accuracy_study(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(30),
+    );
 }

@@ -1,4 +1,9 @@
 //! Reproduces the §7.4 coverage study over the pipeline suite.
 fn main() {
-    raven_bench::coverage_study(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100));
+    raven_bench::coverage_study(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100),
+    );
 }

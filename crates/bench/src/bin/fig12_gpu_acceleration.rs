@@ -1,6 +1,12 @@
 //! Reproduces Fig. 12: MLtoDNN over CPU and simulated GPU for complex models.
 fn main() {
-    let rows = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(raven_bench::DEFAULT_ROWS);
-    let runs = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(raven_bench::DEFAULT_ROWS);
+    let runs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     raven_bench::fig12_gpu_acceleration(rows, runs);
 }

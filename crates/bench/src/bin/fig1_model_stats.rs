@@ -1,4 +1,9 @@
 //! Reproduces Fig. 1: statistics of the OpenML-like trained-pipeline suite.
 fn main() {
-    raven_bench::fig1_model_stats(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200));
+    raven_bench::fig1_model_stats(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200),
+    );
 }

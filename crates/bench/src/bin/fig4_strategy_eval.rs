@@ -1,6 +1,12 @@
 //! Reproduces Fig. 4: speedup-optimality of the three optimization strategies.
 fn main() {
-    let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
-    let repeats = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let repeats = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     raven_bench::fig4_strategy_eval(n, repeats);
 }

@@ -1,5 +1,8 @@
 //! Reproduces Fig. 7: Raven vs Raven(no-opt) for increasing Hospital sizes.
 fn main() {
-    let runs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     raven_bench::fig7_scalability(&[5_000, 20_000, 80_000, 200_000], runs);
 }

@@ -1,0 +1,11 @@
+//! Streaming partition-parallel pipeline vs. the legacy materialized plan on
+//! a partitioned Hospital workload (with and without a prunable predicate).
+//! Usage: streaming_study [runs] [dop] [partitions] [rows]
+fn main() {
+    let arg = |i: usize| std::env::args().nth(i).and_then(|s| s.parse().ok());
+    let runs = arg(1).unwrap_or(3);
+    let dop = arg(2).unwrap_or(4);
+    let partitions = arg(3).unwrap_or(16);
+    let rows = arg(4).unwrap_or(100_000);
+    raven_bench::streaming_study(rows, partitions, dop, runs);
+}

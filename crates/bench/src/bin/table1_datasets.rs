@@ -1,4 +1,9 @@
 //! Reproduces Table 1: dataset statistics of the four evaluation datasets.
 fn main() {
-    raven_bench::table1_datasets(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000));
+    raven_bench::table1_datasets(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20_000),
+    );
 }

@@ -5,11 +5,12 @@
 use crate::workload::{build_scenario, forced, ms, no_opt_config, trimmed_mean_time};
 use raven_columnar::{partition_by_column, PartitionSpec};
 use raven_core::{
-    apply_cross_optimizations, evaluate_strategy, pipeline_to_sql, stratified_folds,
-    BaselineMode, ClassificationStrategy, PipelineStats, RavenConfig, RegressionStrategy,
-    RuleBasedStrategy, RuntimePolicy, StrategyCorpus, StrategyObservation, TransformChoice,
+    apply_cross_optimizations, estimate_mode_cost, evaluate_strategy, pipeline_to_sql,
+    stratified_folds, BaselineMode, ClassificationStrategy, ExecutionMode, PipelineStats,
+    RavenConfig, RegressionStrategy, RuleBasedStrategy, RuntimePolicy, StrategyCorpus,
+    StrategyObservation, TransformChoice,
 };
-use raven_datagen::{credit_card, expedia, flights, hospital, generate_suite, SuiteConfig};
+use raven_datagen::{credit_card, expedia, flights, generate_suite, hospital, SuiteConfig};
 use raven_ir::UnifiedPlan;
 use raven_ml::{MlRuntime, ModelType, Operator};
 use raven_relational::{col, evaluate, LogicalPlan};
@@ -29,7 +30,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn summary(label: &str, values: &mut Vec<f64>) -> String {
+fn summary(label: &str, values: &mut [f64]) -> String {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     format!(
         "{label:<18} min={:>8.1} p25={:>8.1} median={:>8.1} p75={:>8.1} max={:>9.1}",
@@ -352,7 +353,13 @@ pub fn fig10_tree_depth(rows: usize, runs: usize) {
     println!("# Fig. 10 — decision trees, Hospital, varying depth (ms)");
     println!(
         "| {:>5} | {:>13} | {:>12} | {:>10} | {:>10} | {:>17} | {:>15} |",
-        "depth", "unused inputs", "Raven no-opt", "ModelProj", "MLtoSQL", "ModelProj+MLtoSQL", "ModelProj+MLtoDNN"
+        "depth",
+        "unused inputs",
+        "Raven no-opt",
+        "ModelProj",
+        "MLtoSQL",
+        "ModelProj+MLtoSQL",
+        "ModelProj+MLtoDNN"
     );
     let dataset = hospital(rows, 2);
     for depth in [3, 5, 8, 12, 16] {
@@ -413,7 +420,12 @@ pub fn fig11_data_induced(rows: usize, runs: usize) {
     println!("# Fig. 11 / Table 2 — data-induced optimizations, Hospital (ms)");
     println!(
         "| {:>5} | {:<22} | {:>12} | {:>14} | {:>13} | {:>17} |",
-        "depth", "partitioning", "Raven no-opt", "Raven w/o part.", "Raven w/part.", "avg cols pruned"
+        "depth",
+        "partitioning",
+        "Raven no-opt",
+        "Raven w/o part.",
+        "Raven w/part.",
+        "avg cols pruned"
     );
     let dataset = hospital(rows, 2);
     for depth in [8, 12, 16] {
@@ -464,6 +476,95 @@ pub fn fig11_data_induced(rows: usize, runs: usize) {
                 report.data_induced.avg_pruned_columns_per_partition
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline study — streamed vs. materialized execution
+// ---------------------------------------------------------------------------
+
+/// Streaming partition-parallel execution vs. the legacy materialized plan on
+/// a partitioned Hospital workload: the `BatchStream` pipeline scores each
+/// partition as it arrives and prunes partitions via statistics, while the
+/// materialized baseline concatenates the full data side before scoring. Also
+/// prints what the optimizer's execution-mode cost model predicts, so the
+/// measured winner can be compared against the costed one.
+pub fn streaming_study(rows: usize, partitions: usize, dop: usize, runs: usize) {
+    println!(
+        "# Streaming pipeline study — Hospital, {rows} rows, {partitions} range partitions, dop {dop} (ms)"
+    );
+    println!(
+        "| {:<22} | {:>12} | {:>10} | {:>13} | {:>12} | {:>8} |",
+        "predicate", "materialized", "streaming", "pruned parts", "cost favors", "speedup"
+    );
+    let dataset = hospital(rows, 2);
+    let partitioned = partition_by_column(
+        &dataset.tables[0],
+        &PartitionSpec::ByRange {
+            column: "age".into(),
+            partitions,
+        },
+    )
+    .expect("partitioning");
+    for (label, predicate) in [
+        ("full scan", None),
+        ("selective (age >= 93)", Some("d.age >= 93")),
+    ] {
+        let mut scenario = build_scenario(
+            &dataset,
+            raven_ml::ModelType::DecisionTree { max_depth: 8 },
+            "DT",
+            predicate,
+        );
+        scenario.session.register_table(partitioned.clone());
+        let mut time_with = |config: RavenConfig| {
+            *scenario.session.config_mut() = config;
+            trimmed_mean_time(&scenario.session, &scenario.query, runs)
+        };
+        let materialized = time_with(RavenConfig {
+            execution_mode: ExecutionMode::Materialized,
+            runtime_policy: RuntimePolicy::NoTransform,
+            ..Default::default()
+        });
+        let streaming = time_with(RavenConfig {
+            execution_mode: ExecutionMode::Streaming,
+            runtime_policy: RuntimePolicy::NoTransform,
+            degree_of_parallelism: dop,
+            ..Default::default()
+        });
+        let report = scenario
+            .session
+            .sql(&scenario.query)
+            .expect("report run")
+            .report;
+        // what the cost model would pick for this layout (selectivity from
+        // the observed pruning)
+        let selectivity = report.streamed_partitions as f64
+            / (report.streamed_partitions + report.pruned_partitions).max(1) as f64;
+        let stream_cost =
+            estimate_mode_cost(ExecutionMode::Streaming, rows, partitions, dop, selectivity);
+        let mat_cost = estimate_mode_cost(
+            ExecutionMode::Materialized,
+            rows,
+            partitions,
+            dop,
+            selectivity,
+        );
+        let favored = if stream_cost <= mat_cost {
+            "streaming"
+        } else {
+            "materialized"
+        };
+        println!(
+            "| {:<22} | {:>12} | {:>10} | {:>6}/{:<6} | {:>12} | {:>7.1}x |",
+            label,
+            ms(materialized),
+            ms(streaming),
+            report.pruned_partitions,
+            partitions,
+            favored,
+            materialized.as_secs_f64() / streaming.as_secs_f64().max(1e-9)
+        );
     }
 }
 
@@ -576,7 +677,9 @@ pub fn build_strategy_corpus(n_pipelines: usize, scoring_rows: usize) -> Strateg
 
 /// Fig. 4: speedup-optimality of the three strategies over stratified folds.
 pub fn fig4_strategy_eval(n_pipelines: usize, repeats: usize) {
-    println!("# Fig. 4 — optimization strategy evaluation ({n_pipelines} pipelines, 5-fold x {repeats})");
+    println!(
+        "# Fig. 4 — optimization strategy evaluation ({n_pipelines} pipelines, 5-fold x {repeats})"
+    );
     let corpus = build_strategy_corpus(n_pipelines, 2_000);
     println!("class balance (oracle best): {:?}", corpus.class_balance());
     let mut results: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -593,10 +696,8 @@ pub fn fig4_strategy_eval(n_pipelines: usize, repeats: usize) {
                     .map(|&i| corpus.observations[i].clone())
                     .collect(),
             };
-            let test: Vec<&StrategyObservation> = test_fold
-                .iter()
-                .map(|&i| &corpus.observations[i])
-                .collect();
+            let test: Vec<&StrategyObservation> =
+                test_fold.iter().map(|&i| &corpus.observations[i]).collect();
             if train.is_empty() || test.is_empty() {
                 continue;
             }
@@ -656,9 +757,8 @@ pub fn coverage_study(n_pipelines: usize) {
     for entry in &suite {
         ir_ok += 1; // every generated pipeline is expressible in the IR
         let mut catalog = raven_relational::Catalog::new();
-        catalog.register(
-            raven_columnar::Table::from_batch("t", entry.data.clone()).expect("table"),
-        );
+        catalog
+            .register(raven_columnar::Table::from_batch("t", entry.data.clone()).expect("table"));
         if let Ok(mut plan) = UnifiedPlan::new(
             LogicalPlan::scan("t"),
             entry.pipeline.clone(),
@@ -678,10 +778,22 @@ pub fn coverage_study(n_pipelines: usize) {
         }
     }
     let pct = |x: usize| x as f64 / suite.len().max(1) as f64 * 100.0;
-    println!("IR coverage:                 {:.0}% (paper: 100%)", pct(ir_ok));
-    println!("model-projection pushdown:   {:.0}% (paper: 100%)", pct(proj_ok));
-    println!("MLtoSQL:                     {:.0}% (paper: all but 4 operators)", pct(sql_ok));
-    println!("MLtoDNN:                     {:.0}% (paper: 88%)", pct(dnn_ok));
+    println!(
+        "IR coverage:                 {:.0}% (paper: 100%)",
+        pct(ir_ok)
+    );
+    println!(
+        "model-projection pushdown:   {:.0}% (paper: 100%)",
+        pct(proj_ok)
+    );
+    println!(
+        "MLtoSQL:                     {:.0}% (paper: all but 4 operators)",
+        pct(sql_ok)
+    );
+    println!(
+        "MLtoDNN:                     {:.0}% (paper: 88%)",
+        pct(dnn_ok)
+    );
 }
 
 /// §7.4 accuracy: prediction disagreement of MLtoSQL / MLtoDNN vs the ML
@@ -712,12 +824,14 @@ pub fn accuracy_study(n_pipelines: usize) {
                 sql_disagree.push(diff as f64 / labels.len() as f64 * 100.0);
             }
         }
-        if let Ok(plan) =
-            raven_core::apply_ml_to_dnn(&entry.pipeline, Strategy::Gemm, Device::Cpu)
+        if let Ok(plan) = raven_core::apply_ml_to_dnn(&entry.pipeline, Strategy::Gemm, Device::Cpu)
         {
             let inputs = raven_ml::bind_batch(&plan.featurizer, &entry.data).expect("bind");
             let features = runtime.run(&plan.featurizer, &inputs).expect("featurize");
-            let run = plan.model.run(features.as_numeric().unwrap()).expect("tensor run");
+            let run = plan
+                .model
+                .run(features.as_numeric().unwrap())
+                .expect("tensor run");
             let diff = labels
                 .iter()
                 .zip(run.scores.iter())
@@ -773,6 +887,7 @@ mod tests {
         fig7_scalability(&[300], 1);
         fig9_linear_sparsity(400, 1);
         fig12_gpu_acceleration(400, 1);
+        streaming_study(600, 4, 2, 1);
         coverage_study(4);
         accuracy_study(3);
         let (before, after) = predicate_pruning_effect(500);
@@ -780,12 +895,44 @@ mod tests {
     }
 
     #[test]
+    fn streaming_prunes_and_matches_on_partitioned_hospital() {
+        let dataset = hospital(800, 2);
+        let partitioned = partition_by_column(
+            &dataset.tables[0],
+            &PartitionSpec::ByRange {
+                column: "age".into(),
+                partitions: 8,
+            },
+        )
+        .unwrap();
+        let mut scenario = build_scenario(
+            &dataset,
+            raven_ml::ModelType::DecisionTree { max_depth: 6 },
+            "DT",
+            Some("d.age >= 93"),
+        );
+        scenario.session.register_table(partitioned);
+        *scenario.session.config_mut() = RavenConfig {
+            execution_mode: ExecutionMode::Streaming,
+            runtime_policy: RuntimePolicy::NoTransform,
+            degree_of_parallelism: 4,
+            ..Default::default()
+        };
+        let streamed = scenario.session.sql(&scenario.query).unwrap();
+        assert!(streamed.report.pruned_partitions >= 4);
+        *scenario.session.config_mut() = RavenConfig {
+            execution_mode: ExecutionMode::Materialized,
+            runtime_policy: RuntimePolicy::NoTransform,
+            ..Default::default()
+        };
+        let materialized = scenario.session.sql(&scenario.query).unwrap();
+        assert_eq!(streamed.report.output_rows, materialized.report.output_rows);
+    }
+
+    #[test]
     fn strategy_corpus_builds() {
         let corpus = build_strategy_corpus(6, 300);
         assert_eq!(corpus.len(), 6);
-        assert!(corpus
-            .observations
-            .iter()
-            .all(|o| !o.runtimes.is_empty()));
+        assert!(corpus.observations.iter().all(|o| !o.runtimes.is_empty()));
     }
 }

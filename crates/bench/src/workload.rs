@@ -100,7 +100,11 @@ pub fn replace_table(scenario: &mut Scenario, table: Table) {
 
 /// Run the scenario's query and return its reported end-to-end time.
 pub fn run_once(scenario: &RavenSession, query: &str) -> Duration {
-    scenario.sql(query).expect("query execution").report.total_time
+    scenario
+        .sql(query)
+        .expect("query execution")
+        .report
+        .total_time
 }
 
 /// Trimmed-mean of `runs` runs, dropping the min and max like the paper.

@@ -20,6 +20,10 @@ pub enum ColumnarError {
     DuplicateColumn(String),
     /// Catch-all for invalid arguments.
     InvalidArgument(String),
+    /// An error raised inside a streaming operator by a higher execution
+    /// layer (relational evaluation, ML scoring), carried through the
+    /// columnar stream driver in stringified form.
+    Execution(String),
 }
 
 impl fmt::Display for ColumnarError {
@@ -37,6 +41,7 @@ impl fmt::Display for ColumnarError {
             }
             ColumnarError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
             ColumnarError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            ColumnarError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod error;
 pub mod partition;
 pub mod schema;
 pub mod stats;
+pub mod stream;
 pub mod table;
 pub mod value;
 
@@ -29,5 +30,6 @@ pub use error::{ColumnarError, Result};
 pub use partition::{partition_by_column, partition_ranges, partition_sizes, PartitionSpec};
 pub use schema::{Field, Schema, SchemaRef};
 pub use stats::{ColumnStatistics, InducedDomain, TableStatistics};
+pub use stream::{parallel_map, BatchStream, StreamBatch, StreamOp};
 pub use table::{Batch, Table, TableBuilder};
 pub use value::{DataType, Value};

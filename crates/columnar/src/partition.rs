@@ -5,7 +5,6 @@
 //! compiles a partition-optimized model per partition using per-partition
 //! min/max statistics. This module produces such partitioned tables.
 
-
 use crate::error::{ColumnarError, Result};
 use crate::table::{Batch, Table};
 use crate::value::Value;
@@ -142,9 +141,9 @@ pub fn same_key_multiset(original: &Table, partitioned: &Table, key: &str) -> Re
 pub fn partition_ranges(table: &Table, column: &str) -> Result<Vec<(f64, f64)>> {
     let mut out = Vec::with_capacity(table.partitions().len());
     for stats in table.partition_statistics() {
-        let cs = stats.column(column).ok_or_else(|| {
-            ColumnarError::ColumnNotFound(column.to_string())
-        })?;
+        let cs = stats
+            .column(column)
+            .ok_or_else(|| ColumnarError::ColumnNotFound(column.to_string()))?;
         out.push(cs.numeric_range().unwrap_or((f64::NAN, f64::NAN)));
     }
     Ok(out)

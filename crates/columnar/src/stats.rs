@@ -68,7 +68,11 @@ impl ColumnStatistics {
                 if distinct.is_empty() {
                     (None, None, 0)
                 } else {
-                    (Some(Value::Int64(min)), Some(Value::Int64(max)), distinct.len())
+                    (
+                        Some(Value::Int64(min)),
+                        Some(Value::Int64(max)),
+                        distinct.len(),
+                    )
                 }
             }
             Column::Utf8(v) => {
@@ -142,25 +146,21 @@ impl ColumnStatistics {
     pub fn merge(&self, other: &ColumnStatistics) -> ColumnStatistics {
         use std::cmp::Ordering;
         let min = match (&self.min, &other.min) {
-            (Some(a), Some(b)) => Some(
-                if a.partial_cmp_value(b) == Some(Ordering::Greater) {
-                    b.clone()
-                } else {
-                    a.clone()
-                },
-            ),
+            (Some(a), Some(b)) => Some(if a.partial_cmp_value(b) == Some(Ordering::Greater) {
+                b.clone()
+            } else {
+                a.clone()
+            }),
             (Some(a), None) => Some(a.clone()),
             (None, Some(b)) => Some(b.clone()),
             (None, None) => None,
         };
         let max = match (&self.max, &other.max) {
-            (Some(a), Some(b)) => Some(
-                if a.partial_cmp_value(b) == Some(Ordering::Less) {
-                    b.clone()
-                } else {
-                    a.clone()
-                },
-            ),
+            (Some(a), Some(b)) => Some(if a.partial_cmp_value(b) == Some(Ordering::Less) {
+                b.clone()
+            } else {
+                a.clone()
+            }),
             (Some(a), None) => Some(a.clone()),
             (None, Some(b)) => Some(b.clone()),
             (None, None) => None,

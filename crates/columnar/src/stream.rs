@@ -1,0 +1,340 @@
+//! Streaming, partition-parallel batch pipelines.
+//!
+//! A [`BatchStream`] is a lazily evaluated sequence of partition-sized
+//! [`Batch`]es, each carrying its partition index and (when the source is a
+//! partitioned [`Table`]) the per-partition [`TableStatistics`] that Raven's
+//! data-induced optimizations (§4.2 of the paper) consume. Every execution
+//! layer — the relational executor, the ML runtime, and the session — produces
+//! and consumes `BatchStream`s instead of monolithic concatenated batches, in
+//! the vectorized-execution lineage of MonetDB/X100:
+//!
+//! * per-partition operators (filter, project, score) are attached with
+//!   [`BatchStream::map`] and fused into a single pass over each partition,
+//! * partitions can be dropped without being touched via
+//!   [`BatchStream::map`] returning `None` (statistics-driven partition
+//!   pruning — the paper's data-induced compute pruning),
+//! * the fused per-partition pipeline is driven by a worker pool with a
+//!   configurable degree of parallelism ([`BatchStream::collect`]),
+//! * [`Batch::concat`] survives only at the final output boundary
+//!   ([`BatchStream::concat`]); pipeline breakers (join build, aggregation,
+//!   sort/limit) are the only operators that gather the whole stream.
+
+use crate::error::{ColumnarError, Result};
+use crate::schema::SchemaRef;
+use crate::stats::TableStatistics;
+use crate::table::{Batch, Table};
+use std::sync::{Arc, Mutex};
+
+/// One element of a [`BatchStream`]: a partition-sized batch plus provenance.
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// The partition's rows.
+    pub batch: Batch,
+    /// Index of the source partition this batch descends from. Stable across
+    /// per-partition operators, so downstream consumers (e.g. per-partition
+    /// compiled models) can re-align with partition-indexed side data even
+    /// after other partitions were pruned.
+    pub partition: usize,
+    /// Statistics of the *source* partition (min/max/null/distinct per
+    /// column), when the stream originates from a [`Table`]. They describe the
+    /// partition as stored, not the batch after filters.
+    pub stats: Option<Arc<TableStatistics>>,
+}
+
+impl StreamBatch {
+    /// A stream element without source statistics.
+    pub fn new(batch: Batch, partition: usize) -> Self {
+        StreamBatch {
+            batch,
+            partition,
+            stats: None,
+        }
+    }
+}
+
+/// A per-partition operator: maps a stream element to `Some(output)` or prunes
+/// the partition entirely with `None`.
+pub type StreamOp = Arc<dyn Fn(StreamBatch) -> Result<Option<StreamBatch>> + Send + Sync>;
+
+/// A lazily evaluated stream of partition batches with a fused chain of
+/// per-partition operators.
+pub struct BatchStream {
+    schema: SchemaRef,
+    items: Vec<StreamBatch>,
+    ops: Vec<StreamOp>,
+}
+
+impl std::fmt::Debug for BatchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStream")
+            .field("partitions", &self.items.len())
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+impl BatchStream {
+    /// Stream over the partitions of a table, carrying per-partition
+    /// statistics. Cheap: batches share their column buffers with the table.
+    pub fn from_table(table: &Table) -> BatchStream {
+        let items = table
+            .partitions()
+            .iter()
+            .zip(table.partition_statistics())
+            .enumerate()
+            .map(|(i, (batch, stats))| StreamBatch {
+                batch: batch.clone(),
+                partition: i,
+                stats: Some(Arc::new(stats.clone())),
+            })
+            .collect();
+        BatchStream {
+            schema: table.schema().clone(),
+            items,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Stream over pre-existing batches (no source statistics). All batches
+    /// must share `schema`.
+    pub fn from_batches(schema: SchemaRef, batches: Vec<Batch>) -> BatchStream {
+        let items = batches
+            .into_iter()
+            .enumerate()
+            .map(|(i, batch)| StreamBatch::new(batch, i))
+            .collect();
+        BatchStream {
+            schema,
+            items,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Stream over already-built stream elements (used by pipeline breakers to
+    /// resume streaming after gathering).
+    pub fn from_items(schema: SchemaRef, items: Vec<StreamBatch>) -> BatchStream {
+        BatchStream {
+            schema,
+            items,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Single-partition stream.
+    pub fn once(batch: Batch) -> BatchStream {
+        let schema = batch.schema().clone();
+        BatchStream::from_batches(schema, vec![batch])
+    }
+
+    /// The schema every surviving partition batch conforms to. Operators that
+    /// change the schema must declare it via [`BatchStream::with_schema`].
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of source partitions still feeding the stream (before pruning
+    /// ops run).
+    pub fn partition_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Declare the schema the stream's elements have after the attached
+    /// operators ran.
+    pub fn with_schema(mut self, schema: SchemaRef) -> BatchStream {
+        self.schema = schema;
+        self
+    }
+
+    /// Attach a per-partition operator. Returning `Ok(None)` prunes the
+    /// partition; downstream operators never see it. Operators are fused: one
+    /// worker runs the whole chain on one partition before moving on.
+    pub fn map<F>(mut self, f: F) -> BatchStream
+    where
+        F: Fn(StreamBatch) -> Result<Option<StreamBatch>> + Send + Sync + 'static,
+    {
+        self.ops.push(Arc::new(f));
+        self
+    }
+
+    fn run_chain(ops: &[StreamOp], mut item: StreamBatch) -> Result<Option<StreamBatch>> {
+        for op in ops {
+            match op(item)? {
+                Some(next) => item = next,
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(item))
+    }
+
+    /// Drive the stream to completion with up to `dop` worker threads, each
+    /// pulling one partition at a time through the fused operator chain.
+    /// Pruned partitions are dropped; surviving elements come back in source
+    /// order.
+    pub fn collect(self, dop: usize) -> Result<Vec<StreamBatch>> {
+        let BatchStream { items, ops, .. } = self;
+        let outputs = parallel_map(items, dop, |item| Self::run_chain(&ops, item))?;
+        Ok(outputs.into_iter().flatten().collect())
+    }
+
+    /// Drive the stream and concatenate the surviving partitions into one
+    /// batch — the **final output boundary**, the only place a streaming plan
+    /// materializes. An all-pruned (or empty) stream yields an empty batch
+    /// with the declared schema.
+    pub fn concat(self, dop: usize) -> Result<Batch> {
+        let schema = self.schema.clone();
+        let items = self.collect(dop)?;
+        if items.is_empty() {
+            return Batch::empty(schema);
+        }
+        if items.len() == 1 {
+            return Ok(items.into_iter().next().expect("one item").batch);
+        }
+        let batches: Vec<Batch> = items.into_iter().map(|i| i.batch).collect();
+        Batch::concat(&batches)
+    }
+}
+
+/// Apply `f` to every item with up to `dop` worker threads, preserving input
+/// order in the output. The scoped-thread pool is dependency-free and shared
+/// by every execution layer (relational operators, ML scoring, the session).
+pub fn parallel_map<T, U, F>(items: Vec<T>, dop: usize, f: F) -> Result<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Result<U> + Send + Sync,
+{
+    let dop = dop.max(1);
+    if dop == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Vec<Mutex<Option<Result<U>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..dop.min(n) {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("work queue poisoned").pop();
+                match next {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        *results[idx].lock().expect("result slot poisoned") = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| {
+                    Err(ColumnarError::InvalidArgument(
+                        "worker did not produce a result".into(),
+                    ))
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_by_column, PartitionSpec};
+    use crate::table::TableBuilder;
+
+    fn partitioned_table() -> Table {
+        let t = TableBuilder::new("t")
+            .add_i64("id", (0..100).collect())
+            .add_f64("x", (0..100).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        partition_by_column(&t, &PartitionSpec::RoundRobin { partitions: 8 }).unwrap()
+    }
+
+    #[test]
+    fn from_table_carries_stats_and_indices() {
+        let t = partitioned_table();
+        let items = BatchStream::from_table(&t).collect(1).unwrap();
+        assert_eq!(items.len(), t.partitions().len());
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.partition, i);
+            assert!(item.stats.is_some());
+        }
+    }
+
+    #[test]
+    fn map_and_prune_preserve_order() {
+        let t = partitioned_table();
+        for dop in [1, 4] {
+            let items = BatchStream::from_table(&t)
+                .map(|item| {
+                    // prune odd partitions, tag even ones
+                    if item.partition % 2 == 1 {
+                        Ok(None)
+                    } else {
+                        Ok(Some(item))
+                    }
+                })
+                .collect(dop)
+                .unwrap();
+            let parts: Vec<usize> = items.iter().map(|i| i.partition).collect();
+            assert_eq!(parts, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn concat_is_final_boundary() {
+        let t = partitioned_table();
+        let whole = BatchStream::from_table(&t).concat(4).unwrap();
+        assert_eq!(whole.num_rows(), 100);
+        // all partitions pruned -> empty batch with the right schema
+        let empty = BatchStream::from_table(&t)
+            .map(|_| Ok(None))
+            .concat(2)
+            .unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        assert_eq!(empty.schema().names(), vec!["id", "x"]);
+    }
+
+    #[test]
+    fn fused_ops_run_in_order() {
+        let t = partitioned_table();
+        let items = BatchStream::from_table(&t)
+            .map(|mut item| {
+                item.batch = item.batch.slice(0, 1.min(item.batch.num_rows()))?;
+                Ok(Some(item))
+            })
+            .map(|item| {
+                assert!(item.batch.num_rows() <= 1);
+                Ok(Some(item))
+            })
+            .collect(4)
+            .unwrap();
+        assert_eq!(items.len(), 8);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let t = partitioned_table();
+        let err = BatchStream::from_table(&t)
+            .map(|item| {
+                if item.partition == 3 {
+                    Err(ColumnarError::InvalidArgument("boom".into()))
+                } else {
+                    Ok(Some(item))
+                }
+            })
+            .collect(4);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let items: Vec<usize> = (0..64).collect();
+        let serial = parallel_map(items.clone(), 1, |x| Ok(x * 2)).unwrap();
+        let parallel = parallel_map(items, 6, |x| Ok(x * 2)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

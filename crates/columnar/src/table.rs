@@ -181,10 +181,7 @@ impl Batch {
         let schema = first.schema.clone();
         let mut columns = Vec::with_capacity(schema.len());
         for i in 0..schema.len() {
-            let cols: Vec<&Column> = batches
-                .iter()
-                .map(|b| b.columns[i].as_ref())
-                .collect();
+            let cols: Vec<&Column> = batches.iter().map(|b| b.columns[i].as_ref()).collect();
             columns.push(Arc::new(Column::concat(&cols)?));
         }
         Batch::new(schema, columns)
@@ -434,10 +431,7 @@ mod tests {
         TableBuilder::new("t")
             .add_i64("id", vec![1, 2, 3, 4])
             .add_f64("x", vec![1.0, 2.0, 3.0, 4.0])
-            .add_utf8(
-                "c",
-                vec!["a".into(), "b".into(), "a".into(), "c".into()],
-            )
+            .add_utf8("c", vec!["a".into(), "b".into(), "a".into(), "c".into()])
             .build_batch()
             .unwrap()
     }
@@ -539,7 +533,10 @@ mod tests {
         let b = sample_batch();
         let t = Table::from_batch("t", b).unwrap();
         assert_eq!(t.num_rows(), 4);
-        assert_eq!(t.statistics().column("x").unwrap().numeric_range(), Some((1.0, 4.0)));
+        assert_eq!(
+            t.statistics().column("x").unwrap().numeric_range(),
+            Some((1.0, 4.0))
+        );
         assert_eq!(t.partitions().len(), 1);
     }
 

@@ -33,10 +33,7 @@ type Domains = BTreeMap<usize, (f64, f64)>;
 
 /// Derive per-feature domains implied by the query's input-side predicates,
 /// pushing constants through scalers and one-hot encoders (paper §4.1 Step 2).
-pub fn derive_domains_from_predicates(
-    predicates: &[&Expr],
-    layout: &FeatureLayout,
-) -> Domains {
+pub fn derive_domains_from_predicates(predicates: &[&Expr], layout: &FeatureLayout) -> Domains {
     let mut domains: Domains = BTreeMap::new();
     for predicate in predicates {
         let Some((column, op, value)) = predicate.as_column_literal_comparison() else {
@@ -89,7 +86,13 @@ pub fn derive_domains_from_predicates(
     domains
 }
 
-fn apply_numeric_domain(domains: &mut Domains, feature: usize, op: BinaryOp, t: f64, flipped: bool) {
+fn apply_numeric_domain(
+    domains: &mut Domains,
+    feature: usize,
+    op: BinaryOp,
+    t: f64,
+    flipped: bool,
+) {
     // When the affine scale is negative the inequality direction flips.
     let op = if flipped {
         match op {
@@ -126,7 +129,11 @@ pub fn predicate_based_model_pruning(plan: &mut UnifiedPlan) -> Result<bool> {
         Ok(l) => l,
         Err(_) => return Ok(false),
     };
-    let input_preds = plan.input_predicates().into_iter().cloned().collect::<Vec<_>>();
+    let input_preds = plan
+        .input_predicates()
+        .into_iter()
+        .cloned()
+        .collect::<Vec<_>>();
     let pred_refs: Vec<&Expr> = input_preds.iter().collect();
     let domains = derive_domains_from_predicates(&pred_refs, &layout);
 
@@ -153,8 +160,9 @@ pub fn predicate_based_model_pruning(plan: &mut UnifiedPlan) -> Result<bool> {
                 if ensemble.trees.len() == 1 && ensemble.kind.is_classifier() {
                     if let Some(threshold) = output_score_threshold(plan) {
                         let tree = &ensemble.trees[0];
-                        let pruned =
-                            tree.prune_by_output(&|v| v >= threshold, f64::NEG_INFINITY).compact();
+                        let pruned = tree
+                            .prune_by_output(&|v| v >= threshold, f64::NEG_INFINITY)
+                            .compact();
                         if pruned.node_count() < tree.node_count() {
                             ensemble.trees[0] = pruned;
                             changed = true;
@@ -325,10 +333,7 @@ pub fn model_projection_pushdown(plan: &mut UnifiedPlan) -> Result<Vec<String>> 
                     .collect();
                 if keep_cols.len() < node.inputs.len() && !keep_cols.is_empty() {
                     *scaler = scaler.select(&keep_cols)?;
-                    node.inputs = keep_cols
-                        .iter()
-                        .map(|&i| node.inputs[i].clone())
-                        .collect();
+                    node.inputs = keep_cols.iter().map(|&i| node.inputs[i].clone()).collect();
                 }
             }
             Operator::Concat => {
@@ -349,7 +354,9 @@ pub fn model_projection_pushdown(plan: &mut UnifiedPlan) -> Result<Vec<String>> 
         .iter()
         .filter(|n| {
             !n.inputs.is_empty()
-                && n.inputs.iter().all(|i| removable_set.contains(&i.to_string()))
+                && n.inputs
+                    .iter()
+                    .all(|i| removable_set.contains(&i.to_string()))
         })
         .map(|n| n.output.clone())
         .collect();
@@ -444,9 +451,27 @@ mod tests {
     fn pipeline() -> Pipeline {
         let tree = Tree {
             nodes: vec![
-                /*0*/ TreeNode::Branch { feature: 3, threshold: 0.5, left: 1, right: 2 },
-                /*1*/ TreeNode::Branch { feature: 2, threshold: 0.5, left: 3, right: 4 },
-                /*2*/ TreeNode::Branch { feature: 0, threshold: 1.0, left: 5, right: 6 },
+                /*0*/
+                TreeNode::Branch {
+                    feature: 3,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                /*1*/
+                TreeNode::Branch {
+                    feature: 2,
+                    threshold: 0.5,
+                    left: 3,
+                    right: 4,
+                },
+                /*2*/
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 5,
+                    right: 6,
+                },
                 /*3*/ TreeNode::Leaf { value: 0.1 },
                 /*4*/ TreeNode::Leaf { value: 0.2 },
                 /*5*/ TreeNode::Leaf { value: 0.3 },
@@ -457,9 +482,18 @@ mod tests {
         Pipeline::new(
             "m",
             vec![
-                PipelineInput { name: "age".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "bpm".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "asthma".into(), kind: InputKind::Categorical },
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "bpm".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "asthma".into(),
+                    kind: InputKind::Categorical,
+                },
             ],
             vec![
                 PipelineNode {
@@ -637,8 +671,14 @@ mod tests {
         let lr = Pipeline::new(
             "lr",
             vec![
-                PipelineInput { name: "age".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "bpm".into(), kind: InputKind::Numeric },
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "bpm".into(),
+                    kind: InputKind::Numeric,
+                },
             ],
             vec![PipelineNode {
                 name: "model".into(),
@@ -670,10 +710,30 @@ mod tests {
         // model that uses every feature
         let tree = Tree {
             nodes: vec![
-                TreeNode::Branch { feature: 0, threshold: 0.0, left: 1, right: 2 },
-                TreeNode::Branch { feature: 1, threshold: 0.0, left: 3, right: 4 },
-                TreeNode::Branch { feature: 2, threshold: 0.5, left: 5, right: 6 },
-                TreeNode::Branch { feature: 3, threshold: 0.5, left: 7, right: 8 },
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 0.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Branch {
+                    feature: 1,
+                    threshold: 0.0,
+                    left: 3,
+                    right: 4,
+                },
+                TreeNode::Branch {
+                    feature: 2,
+                    threshold: 0.5,
+                    left: 5,
+                    right: 6,
+                },
+                TreeNode::Branch {
+                    feature: 3,
+                    threshold: 0.5,
+                    left: 7,
+                    right: 8,
+                },
                 TreeNode::Leaf { value: 0.0 },
                 TreeNode::Leaf { value: 1.0 },
                 TreeNode::Leaf { value: 0.0 },

@@ -6,10 +6,10 @@
 use crate::cross_opt::model_projection_pushdown;
 use crate::error::Result;
 use crate::layout::{FeatureLayout, InputMapping};
+use raven_columnar::TableStatistics;
 use raven_ir::UnifiedPlan;
 use raven_ml::{Operator, Pipeline};
 use raven_relational::{Catalog, LogicalPlan};
-use raven_columnar::TableStatistics;
 use std::collections::BTreeMap;
 
 /// Outcome of applying data-induced optimizations.
@@ -56,9 +56,9 @@ pub fn domains_from_statistics(
             Some(InputMapping::OneHot {
                 features,
                 categories,
-            }) => {
+            })
                 // A constant column pins its whole one-hot block.
-                if cs.is_constant() {
+                if cs.is_constant() => {
                     let cat = cs
                         .min
                         .as_ref()
@@ -79,7 +79,6 @@ pub fn domains_from_statistics(
                         domains.insert(*feature, (v, v));
                     }
                 }
-            }
             _ => {}
         }
     }
@@ -220,8 +219,18 @@ mod tests {
     fn pipeline() -> Pipeline {
         let tree = Tree {
             nodes: vec![
-                TreeNode::Branch { feature: 0, threshold: 60.0, left: 1, right: 2 },
-                TreeNode::Branch { feature: 1, threshold: 1.5, left: 3, right: 4 },
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 60.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Branch {
+                    feature: 1,
+                    threshold: 1.5,
+                    left: 3,
+                    right: 4,
+                },
                 TreeNode::Leaf { value: 0.9 },
                 TreeNode::Leaf { value: 0.1 },
                 TreeNode::Leaf { value: 0.4 },
@@ -231,8 +240,14 @@ mod tests {
         Pipeline::new(
             "m",
             vec![
-                PipelineInput { name: "age".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "rcount".into(), kind: InputKind::Numeric },
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "rcount".into(),
+                    kind: InputKind::Numeric,
+                },
             ],
             vec![
                 PipelineNode {
@@ -308,10 +323,7 @@ mod tests {
         let mut c = Catalog::new();
         let table = TableBuilder::new("hospital")
             .add_i64("id", (0..8).collect())
-            .add_f64(
-                "age",
-                vec![20.0, 30.0, 40.0, 50.0, 65.0, 70.0, 80.0, 90.0],
-            )
+            .add_f64("age", vec![20.0, 30.0, 40.0, 50.0, 65.0, 70.0, 80.0, 90.0])
             .add_f64("rcount", vec![0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0])
             .build()
             .unwrap();
@@ -324,8 +336,7 @@ mod tests {
         )
         .unwrap();
         c.register(partitioned);
-        let plan =
-            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        let plan = UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
         let (models, report) = compile_partition_models(&plan, &c).unwrap();
         assert_eq!(report.partition_models, models.len());
         assert!(models.len() >= 2);
@@ -354,8 +365,7 @@ mod tests {
     #[test]
     fn single_partition_table_returns_original() {
         let c = young_catalog();
-        let plan =
-            UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
+        let plan = UnifiedPlan::new(LogicalPlan::scan("hospital"), pipeline(), "risk", &c).unwrap();
         let (models, report) = compile_partition_models(&plan, &c).unwrap();
         assert_eq!(models.len(), 1);
         assert_eq!(report.partition_models, 0);

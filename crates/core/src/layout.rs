@@ -101,9 +101,10 @@ fn analyze_value(
 ) {
     // Raw pipeline input used directly as a feature column.
     if pipeline.input(value).is_some() {
-        layout
-            .inputs
-            .insert(value.to_string(), InputMapping::Identity { feature: offset });
+        layout.inputs.insert(
+            value.to_string(),
+            InputMapping::Identity { feature: offset },
+        );
         return;
     }
     let Some(node) = pipeline.producer(value) else {
@@ -197,7 +198,7 @@ fn mark_opaque(
 mod tests {
     use super::*;
     use raven_ml::{
-        InputKind, Normalizer, Norm, OneHotEncoder, Operator, PipelineInput, PipelineNode, Scaler,
+        InputKind, Norm, Normalizer, OneHotEncoder, Operator, PipelineInput, PipelineNode, Scaler,
         Tree, TreeEnsemble,
     };
 
@@ -205,9 +206,18 @@ mod tests {
         Pipeline::new(
             "m",
             vec![
-                PipelineInput { name: "age".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "bpm".into(), kind: InputKind::Numeric },
-                PipelineInput { name: "asthma".into(), kind: InputKind::Categorical },
+                PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "bpm".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "asthma".into(),
+                    kind: InputKind::Categorical,
+                },
             ],
             vec![
                 PipelineNode {
@@ -302,7 +312,10 @@ mod tests {
     fn direct_input_is_identity() {
         let p = Pipeline::new(
             "m",
-            vec![PipelineInput { name: "x".into(), kind: InputKind::Numeric }],
+            vec![PipelineInput {
+                name: "x".into(),
+                kind: InputKind::Numeric,
+            }],
             vec![PipelineNode {
                 name: "model".into(),
                 op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(0.0), 1)),
@@ -313,7 +326,10 @@ mod tests {
         )
         .unwrap();
         let layout = FeatureLayout::analyze(&p).unwrap();
-        assert_eq!(layout.input("x"), Some(&InputMapping::Identity { feature: 0 }));
+        assert_eq!(
+            layout.input("x"),
+            Some(&InputMapping::Identity { feature: 0 })
+        );
         assert_eq!(layout.width, 1);
     }
 }

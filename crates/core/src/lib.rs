@@ -29,8 +29,7 @@ pub use cross_opt::{
     predicate_based_model_pruning, CrossOptReport,
 };
 pub use data_induced::{
-    apply_global_data_induced, compile_partition_models, domains_from_statistics,
-    DataInducedReport,
+    apply_global_data_induced, compile_partition_models, domains_from_statistics, DataInducedReport,
 };
 pub use error::{RavenError, Result};
 pub use layout::{FeatureLayout, InputMapping};
@@ -41,6 +40,7 @@ pub use session::{
 };
 pub use stats::PipelineStats;
 pub use strategy::{
-    evaluate_strategy, stratified_folds, ClassificationStrategy, OptimizationStrategy,
-    RegressionStrategy, RuleBasedStrategy, StrategyCorpus, StrategyObservation, TransformChoice,
+    choose_execution_mode, estimate_mode_cost, evaluate_strategy, stratified_folds,
+    ClassificationStrategy, ExecutionMode, OptimizationStrategy, RegressionStrategy,
+    RuleBasedStrategy, StrategyCorpus, StrategyObservation, TransformChoice,
 };

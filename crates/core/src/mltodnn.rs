@@ -23,9 +23,9 @@ pub struct DnnPlan {
 /// kind is not tensor-compilable (the pipeline then stays on the ML runtime,
 /// as in the paper's 88% coverage discussion, §7.4).
 pub fn apply_ml_to_dnn(pipeline: &Pipeline, strategy: Strategy, device: Device) -> Result<DnnPlan> {
-    let model_node = pipeline.model_node().ok_or_else(|| {
-        RavenError::RuleNotApplicable("pipeline has no model operator".into())
-    })?;
+    let model_node = pipeline
+        .model_node()
+        .ok_or_else(|| RavenError::RuleNotApplicable("pipeline has no model operator".into()))?;
     let compiled = compile_operator(&model_node.op, strategy)
         .map_err(|e| RavenError::RuleNotApplicable(e.to_string()))?;
 
@@ -56,13 +56,11 @@ pub fn apply_ml_to_dnn(pipeline: &Pipeline, strategy: Strategy, device: Device) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raven_columnar::TableBuilder;
-    use raven_ml::{
-        bind_batch, train_pipeline, MlRuntime, ModelType, PipelineSpec,
-    };
-    use raven_tensor::GpuProfile;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_columnar::TableBuilder;
+    use raven_ml::{bind_batch, train_pipeline, MlRuntime, ModelType, PipelineSpec};
+    use raven_tensor::GpuProfile;
 
     fn batch(n: usize) -> raven_columnar::Batch {
         let mut rng = StdRng::seed_from_u64(13);
@@ -136,11 +134,14 @@ mod tests {
         )
         .unwrap();
         let plan = apply_ml_to_dnn(&pipeline, Strategy::Gemm, Device::Cpu).unwrap();
-        assert!(plan.featurizer.model_node().is_none() || !plan
-            .featurizer
-            .model_node()
-            .map(|n| n.output == plan.featurizer.output)
-            .unwrap_or(false));
+        assert!(
+            plan.featurizer.model_node().is_none()
+                || !plan
+                    .featurizer
+                    .model_node()
+                    .map(|n| n.output == plan.featurizer.output)
+                    .unwrap_or(false)
+        );
         assert!(plan.featurizer.node_count() < pipeline.node_count());
     }
 }

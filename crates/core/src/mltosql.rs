@@ -42,7 +42,11 @@ pub fn pipeline_to_sql(pipeline: &Pipeline) -> Result<Expr> {
     Ok(out[0].clone())
 }
 
-fn operator_to_sql(op: &Operator, inputs: &[Expr], node: &raven_ml::PipelineNode) -> Result<Vec<Expr>> {
+fn operator_to_sql(
+    op: &Operator,
+    inputs: &[Expr],
+    node: &raven_ml::PipelineNode,
+) -> Result<Vec<Expr>> {
     match op {
         Operator::Concat => Ok(inputs.to_vec()),
         Operator::FeatureExtractor(fe) => fe
@@ -74,7 +78,10 @@ fn operator_to_sql(op: &Operator, inputs: &[Expr], node: &raven_ml::PipelineNode
             .enumerate()
             .map(|(i, e)| {
                 case(
-                    vec![(e.clone().is_null(), lit(imp.fill.get(i).copied().unwrap_or(0.0)))],
+                    vec![(
+                        e.clone().is_null(),
+                        lit(imp.fill.get(i).copied().unwrap_or(0.0)),
+                    )],
                     e.clone(),
                 )
             })
@@ -120,9 +127,10 @@ fn operator_to_sql(op: &Operator, inputs: &[Expr], node: &raven_ml::PipelineNode
         }
         Operator::LinearSvm(m) => Ok(vec![linear_to_sql(&m.weights, m.intercept, inputs)?]),
         Operator::TreeEnsemble(e) => Ok(vec![ensemble_to_sql(e, inputs)?]),
-        Operator::Normalizer(_) => Err(RavenError::RuleNotApplicable(
-            format!("operator {} is not supported by MLtoSQL", node.op.name()),
-        )),
+        Operator::Normalizer(_) => Err(RavenError::RuleNotApplicable(format!(
+            "operator {} is not supported by MLtoSQL",
+            node.op.name()
+        ))),
     }
 }
 
@@ -172,9 +180,9 @@ pub fn ensemble_to_sql(ensemble: &TreeEnsemble, features: &[Expr]) -> Result<Exp
     Ok(match ensemble.kind {
         DecisionTreeClassifier | DecisionTreeRegressor => sum,
         RandomForestClassifier => sum.div(lit(ensemble.trees.len().max(1) as f64)),
-        GradientBoostingClassifier => sigmoid_sql(
-            lit(ensemble.base_score).add(sum.mul(lit(ensemble.learning_rate))),
-        ),
+        GradientBoostingClassifier => {
+            sigmoid_sql(lit(ensemble.base_score).add(sum.mul(lit(ensemble.learning_rate))))
+        }
         GradientBoostingRegressor => {
             lit(ensemble.base_score).add(sum.mul(lit(ensemble.learning_rate)))
         }
@@ -213,14 +221,14 @@ pub fn tree_to_sql(tree: &Tree, features: &[Expr]) -> Result<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use raven_columnar::TableBuilder;
     use raven_ml::{
         train_pipeline, InputKind, MlRuntime, ModelType, Norm, Normalizer, PipelineInput,
         PipelineNode, PipelineSpec,
     };
     use raven_relational::evaluate;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn training_batch(n: usize) -> raven_columnar::Batch {
         let mut rng = StdRng::seed_from_u64(21);
@@ -231,7 +239,8 @@ mod tests {
             .collect();
         let label: Vec<f64> = (0..n)
             .map(|i| {
-                let v = 0.05 * (age[i] - 50.0) + 0.01 * income[i]
+                let v = 0.05 * (age[i] - 50.0)
+                    + 0.01 * income[i]
                     + if city[i] == "sea" { 1.0 } else { 0.0 };
                 if v > 0.8 {
                     1.0
@@ -271,7 +280,10 @@ mod tests {
         for (a, b) in sql_scores.iter().zip(rt_scores.iter()) {
             max_err = max_err.max((a - b).abs());
         }
-        assert!(max_err <= tol, "max error {max_err} exceeds tolerance {tol}");
+        assert!(
+            max_err <= tol,
+            "max error {max_err} exceeds tolerance {tol}"
+        );
     }
 
     #[test]
@@ -347,9 +359,24 @@ mod tests {
         // the paper's §5.1 example tree: F[0] > 60 / F[1] = 0 / F[2] = 1
         let tree = Tree {
             nodes: vec![
-                TreeNode::Branch { feature: 0, threshold: 60.0, left: 2, right: 1 },
-                TreeNode::Branch { feature: 1, threshold: 0.5, left: 3, right: 4 },
-                TreeNode::Branch { feature: 2, threshold: 0.5, left: 6, right: 5 },
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 60.0,
+                    left: 2,
+                    right: 1,
+                },
+                TreeNode::Branch {
+                    feature: 1,
+                    threshold: 0.5,
+                    left: 3,
+                    right: 4,
+                },
+                TreeNode::Branch {
+                    feature: 2,
+                    threshold: 0.5,
+                    left: 6,
+                    right: 5,
+                },
                 TreeNode::Leaf { value: 1.0 },
                 TreeNode::Leaf { value: 0.0 },
                 TreeNode::Leaf { value: 1.0 },

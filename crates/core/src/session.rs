@@ -12,17 +12,27 @@ use crate::error::{RavenError, Result};
 use crate::mltodnn::apply_ml_to_dnn;
 use crate::mltosql::pipeline_to_sql;
 use crate::stats::PipelineStats;
-use crate::strategy::{OptimizationStrategy, TransformChoice};
-use raven_columnar::{Batch, Column, DataType, Field, Table};
+use crate::strategy::{
+    choose_execution_mode, ExecutionMode, OptimizationStrategy, TransformChoice,
+};
+use raven_columnar::{
+    Batch, BatchStream, Column, ColumnarError, DataType, Field, StreamBatch, Table,
+};
 use raven_ir::{parse_prediction_query, ModelRegistry, UnifiedPlan};
 use raven_ml::{bind_batch, MlRuntime, Pipeline, RuntimeConfig};
 use raven_relational::{
-    col, evaluate, evaluate_predicate, Catalog, ExecutionContext, Executor, Expr, LogicalPlan,
-    Optimizer,
+    col, evaluate, evaluate_predicate, may_satisfy_all, Catalog, ExecutionContext, Executor, Expr,
+    LogicalPlan, Optimizer,
 };
 use raven_tensor::{Device, Strategy};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Carry any session-level error through the columnar stream driver.
+fn stream_err(e: impl std::fmt::Display) -> ColumnarError {
+    ColumnarError::Execution(e.to_string())
+}
 
 /// How the logical-to-physical transformation is selected.
 #[derive(Debug, Clone)]
@@ -65,6 +75,10 @@ pub struct RavenConfig {
     pub enable_partition_models: bool,
     /// Logical-to-physical policy (§5).
     pub runtime_policy: RuntimePolicy,
+    /// How the data side is driven through ML scoring: the streaming
+    /// partition-parallel pipeline, the legacy materialized pipeline, or a
+    /// cost-based choice between them.
+    pub execution_mode: ExecutionMode,
     /// Degree of parallelism of the data engine.
     pub degree_of_parallelism: usize,
     /// ML runtime configuration (UDF overheads, batch size).
@@ -85,6 +99,7 @@ impl Default for RavenConfig {
             enable_data_induced: true,
             enable_partition_models: false,
             runtime_policy: RuntimePolicy::Heuristic,
+            execution_mode: ExecutionMode::Streaming,
             degree_of_parallelism: 1,
             ml_runtime: RuntimeConfig::default(),
             device: Device::Cpu,
@@ -104,6 +119,9 @@ impl RavenConfig {
             enable_data_induced: false,
             enable_partition_models: false,
             runtime_policy: RuntimePolicy::NoTransform,
+            // the unoptimized baseline also materializes the data side before
+            // scoring, like the systems Raven is compared against in §7
+            execution_mode: ExecutionMode::Materialized,
             ..Default::default()
         }
     }
@@ -124,7 +142,11 @@ pub struct ExecutionReport {
     pub optimization_time: Duration,
     /// Time spent in the data engine.
     pub data_time: Duration,
-    /// Time spent in the ML / DNN runtime (zero for MLtoSQL).
+    /// Time spent in the ML / DNN runtime (zero for MLtoSQL). On the
+    /// streaming path this is the per-partition scoring time summed across
+    /// workers and capped at the wall clock — exact at dop 1, a
+    /// scoring-share attribution at dop > 1 (`data_time + ml_time` always
+    /// partitions the measured wall time).
     pub ml_time: Duration,
     /// End-to-end time (optimization excluded), using the device-reported
     /// time for simulated GPUs.
@@ -133,6 +155,53 @@ pub struct ExecutionReport {
     pub output_rows: usize,
     /// Whether `ml_time` comes from a simulated device model.
     pub ml_time_modeled: bool,
+    /// The execution mode the data side actually ran in (`Auto` resolves to
+    /// streaming or materialized before execution; on the MLtoDNN path the
+    /// mode describes the relational scan — the tensor model itself always
+    /// consumes one materialized feature matrix).
+    pub execution_mode: ExecutionMode,
+    /// Partitions skipped without scanning because their min/max statistics
+    /// could not satisfy the query's input predicates (data-induced compute
+    /// pruning, §4.2). Always 0 on the materialized path.
+    pub pruned_partitions: usize,
+    /// Partitions that flowed through the streaming scoring pipeline.
+    pub streamed_partitions: usize,
+}
+
+/// Internal result of one execution path (ML runtime / MLtoSQL / MLtoDNN),
+/// folded into the public [`ExecutionReport`].
+#[derive(Debug)]
+struct PathOutcome {
+    batch: Batch,
+    data_time: Duration,
+    ml_time: Duration,
+    ml_time_modeled: bool,
+    fallback: bool,
+    partition_report: Option<DataInducedReport>,
+    execution_mode: ExecutionMode,
+    pruned_partitions: usize,
+    streamed_partitions: usize,
+}
+
+impl PathOutcome {
+    fn new(batch: Batch, execution_mode: ExecutionMode) -> Self {
+        PathOutcome {
+            batch,
+            data_time: Duration::ZERO,
+            ml_time: Duration::ZERO,
+            ml_time_modeled: false,
+            fallback: false,
+            partition_report: None,
+            execution_mode,
+            pruned_partitions: 0,
+            streamed_partitions: 0,
+        }
+    }
+
+    fn with_fallback(mut self) -> Self {
+        self.fallback = true;
+        self
+    }
 }
 
 /// The result of executing a prediction query.
@@ -213,7 +282,12 @@ impl RavenSession {
     pub fn optimize(
         &self,
         plan: &UnifiedPlan,
-    ) -> Result<(UnifiedPlan, TransformChoice, CrossOptReport, DataInducedReport)> {
+    ) -> Result<(
+        UnifiedPlan,
+        TransformChoice,
+        CrossOptReport,
+        DataInducedReport,
+    )> {
         let mut plan = plan.clone();
         let mut cross = CrossOptReport::default();
         if self.config.enable_predicate_pruning && self.config.enable_projection_pushdown {
@@ -241,33 +315,42 @@ impl RavenSession {
         let optimization_time = opt_start.elapsed();
 
         let exec_start = Instant::now();
-        let (batch, data_time, ml_time, ml_time_modeled, fallback, partition_report) =
-            self.execute_optimized(&optimized, transform)?;
-        if let Some(p) = partition_report {
+        let outcome = self.execute_optimized(&optimized, transform)?;
+        if let Some(p) = &outcome.partition_report {
             data_induced.partition_models = p.partition_models;
             data_induced.avg_pruned_columns_per_partition = p.avg_pruned_columns_per_partition;
         }
         let measured_total = exec_start.elapsed();
         // When the ML time is modeled (simulated GPU) the end-to-end total is
         // data time + modeled ML time rather than the measured wall clock.
-        let total_time = if ml_time_modeled {
-            data_time + ml_time
+        let total_time = if outcome.ml_time_modeled {
+            outcome.data_time + outcome.ml_time
         } else {
             measured_total
         };
         let report = ExecutionReport {
             cross,
             data_induced,
-            transform: if fallback { TransformChoice::None } else { transform },
-            transform_fallback: fallback,
+            transform: if outcome.fallback {
+                TransformChoice::None
+            } else {
+                transform
+            },
+            transform_fallback: outcome.fallback,
             optimization_time,
-            data_time,
-            ml_time,
+            data_time: outcome.data_time,
+            ml_time: outcome.ml_time,
             total_time,
-            output_rows: batch.num_rows(),
-            ml_time_modeled,
+            output_rows: outcome.batch.num_rows(),
+            ml_time_modeled: outcome.ml_time_modeled,
+            execution_mode: outcome.execution_mode,
+            pruned_partitions: outcome.pruned_partitions,
+            streamed_partitions: outcome.streamed_partitions,
         };
-        Ok(PredictionOutput { batch, report })
+        Ok(PredictionOutput {
+            batch: outcome.batch,
+            report,
+        })
     }
 
     // ---------------------------------------------------------------------
@@ -303,36 +386,56 @@ impl RavenSession {
     // execution paths
     // ---------------------------------------------------------------------
 
-    #[allow(clippy::type_complexity)]
     fn execute_optimized(
         &self,
         plan: &UnifiedPlan,
         transform: TransformChoice,
-    ) -> Result<(Batch, Duration, Duration, bool, bool, Option<DataInducedReport>)> {
+    ) -> Result<PathOutcome> {
         match transform {
             TransformChoice::MlToSql => match self.execute_ml_to_sql(plan) {
-                Ok((batch, data_time)) => {
-                    Ok((batch, data_time, Duration::ZERO, false, false, None))
-                }
+                Ok(outcome) => Ok(outcome),
                 Err(RavenError::RuleNotApplicable(_)) => {
-                    let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
-                    Ok((b, d, m, false, true, pr))
+                    Ok(self.execute_ml_runtime(plan)?.with_fallback())
                 }
                 Err(e) => Err(e),
             },
             TransformChoice::MlToDnn => match self.execute_ml_to_dnn(plan) {
-                Ok((batch, data_time, ml_time, modeled)) => {
-                    Ok((batch, data_time, ml_time, modeled, false, None))
-                }
+                Ok(outcome) => Ok(outcome),
                 Err(RavenError::RuleNotApplicable(_)) => {
-                    let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
-                    Ok((b, d, m, false, true, pr))
+                    Ok(self.execute_ml_runtime(plan)?.with_fallback())
                 }
                 Err(e) => Err(e),
             },
-            TransformChoice::None => {
-                let (b, d, m, pr) = self.execute_ml_runtime(plan)?;
-                Ok((b, d, m, false, false, pr))
+            TransformChoice::None => self.execute_ml_runtime(plan),
+        }
+    }
+
+    /// Resolve the configured [`ExecutionMode`] for a plan: `Auto` costs the
+    /// streamed vs. materialized pipeline using the scanned table's partition
+    /// layout and how many partitions the input predicates can prune.
+    fn resolve_execution_mode(&self, plan: &UnifiedPlan) -> ExecutionMode {
+        match self.config.execution_mode {
+            ExecutionMode::Streaming => ExecutionMode::Streaming,
+            ExecutionMode::Materialized => ExecutionMode::Materialized,
+            ExecutionMode::Auto => {
+                let tables = plan.data.referenced_tables();
+                let Some(table) = tables.first().and_then(|t| self.catalog.table(t).ok()) else {
+                    return ExecutionMode::Streaming;
+                };
+                let partitions = table.partitions().len();
+                let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
+                let surviving = table
+                    .partition_statistics()
+                    .iter()
+                    .filter(|stats| may_satisfy_all(&input_preds, stats))
+                    .count();
+                let selectivity = surviving as f64 / partitions.max(1) as f64;
+                choose_execution_mode(
+                    table.num_rows(),
+                    partitions,
+                    self.config.degree_of_parallelism,
+                    selectivity,
+                )
             }
         }
     }
@@ -363,16 +466,57 @@ impl RavenSession {
         data
     }
 
-    fn run_relational(&self, plan: &LogicalPlan) -> Result<Batch> {
+    /// The execution context handed to the relational engine.
+    /// `partition_pruning` distinguishes the streaming pipeline (which prunes
+    /// via statistics) from the legacy materialized plan that models engines
+    /// scanning every partition.
+    fn execution_context(&self, partition_pruning: bool) -> ExecutionContext {
+        ExecutionContext {
+            degree_of_parallelism: self.config.degree_of_parallelism.max(1),
+            batch_size: self.config.ml_runtime.batch_size.max(1),
+            partition_pruning,
+        }
+    }
+
+    /// Run a relational plan end to end, returning the result plus the
+    /// executor's partition counters (pruned via statistics / scanned).
+    fn run_relational(
+        &self,
+        plan: &LogicalPlan,
+        partition_pruning: bool,
+    ) -> Result<(Batch, usize, usize)> {
         let optimized = Optimizer::new().optimize(plan, &self.catalog)?;
         let exec = Executor::new();
-        let ctx = ExecutionContext::with_dop(self.config.degree_of_parallelism);
-        Ok(exec.execute(&optimized, &self.catalog, &ctx)?)
+        let batch = exec.execute(
+            &optimized,
+            &self.catalog,
+            &self.execution_context(partition_pruning),
+        )?;
+        let metrics = exec.metrics();
+        Ok((
+            batch,
+            metrics.partitions_pruned(),
+            metrics.partitions_scanned(),
+        ))
+    }
+
+    /// Execution mode for the fully-relational transform paths (MLtoSQL and
+    /// the data side of MLtoDNN): an explicitly materialized configuration
+    /// keeps the legacy no-pruning scan, everything else (including `Auto` —
+    /// there is no concat-before-scoring tradeoff to cost on these paths)
+    /// uses the streaming engine with statistics pruning.
+    fn transform_path_mode(&self) -> (ExecutionMode, bool) {
+        match self.config.execution_mode {
+            ExecutionMode::Materialized => (ExecutionMode::Materialized, false),
+            _ => (ExecutionMode::Streaming, true),
+        }
     }
 
     /// MLtoSQL path: the entire query (featurization, model, predicates,
-    /// projection, aggregate) becomes one relational plan.
-    fn execute_ml_to_sql(&self, plan: &UnifiedPlan) -> Result<(Batch, Duration)> {
+    /// projection, aggregate) becomes one relational plan, executed by the
+    /// streaming partition-parallel engine (or the legacy no-pruning scan
+    /// when the session is configured `Materialized`).
+    fn execute_ml_to_sql(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
         let score_expr = pipeline_to_sql(&plan.pipeline)?;
         let start = Instant::now();
         let mut data = plan.data.clone();
@@ -398,17 +542,21 @@ impl RavenSession {
         if let Some((group_by, aggs)) = &plan.aggregate {
             data = data.aggregate(group_by.clone(), aggs.clone());
         }
-        let batch = self.run_relational(&data)?;
-        Ok((batch, start.elapsed()))
+        let (mode, pruning) = self.transform_path_mode();
+        let (batch, pruned, scanned) = self.run_relational(&data, pruning)?;
+        let mut outcome = PathOutcome::new(batch, mode);
+        outcome.data_time = start.elapsed();
+        outcome.pruned_partitions = pruned;
+        outcome.streamed_partitions = scanned;
+        Ok(outcome)
     }
 
-    /// ML-runtime path (and the SparkML / MADlib-style baselines): run the
-    /// data part on the data engine, score with the ML runtime, then apply
-    /// output predicates / projection / aggregation.
-    fn execute_ml_runtime(
-        &self,
-        plan: &UnifiedPlan,
-    ) -> Result<(Batch, Duration, Duration, Option<DataInducedReport>)> {
+    /// ML-runtime path dispatcher (and the SparkML / MADlib-style baselines):
+    /// run the data part on the data engine, score with the ML runtime, then
+    /// apply output predicates / projection / aggregation — either as one
+    /// streaming partition-parallel pipeline or via the legacy materialized
+    /// plan, per the (resolved) [`ExecutionMode`].
+    fn execute_ml_runtime(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
         // per-partition models (data-induced §4.2) only apply to bare scans
         let partition_models = if self.config.enable_partition_models {
             let (models, report) = compile_partition_models(plan, &self.catalog)?;
@@ -421,6 +569,187 @@ impl RavenSession {
             None
         };
 
+        // The row-interpreted / materializing baselines model systems that
+        // materialize the data side before scoring; only the vectorized
+        // runtime streams.
+        let mode = if self.config.baseline != BaselineMode::Vectorized {
+            ExecutionMode::Materialized
+        } else {
+            self.resolve_execution_mode(plan)
+        };
+        match mode {
+            ExecutionMode::Materialized => {
+                self.execute_ml_runtime_materialized(plan, partition_models)
+            }
+            _ => self.execute_ml_runtime_streaming(plan, partition_models),
+        }
+    }
+
+    /// Streaming ML-runtime path: the relational plan compiles to a
+    /// [`BatchStream`], each partition flows through scan filters, statistics
+    /// pruning, ML scoring, output predicates, and the final projection as
+    /// one fused per-partition task on the worker pool, and partitions are
+    /// concatenated exactly once at the output boundary (aggregates being the
+    /// one remaining pipeline breaker).
+    fn execute_ml_runtime_streaming(
+        &self,
+        plan: &UnifiedPlan,
+        partition_models: Option<(Vec<Pipeline>, DataInducedReport)>,
+    ) -> Result<PathOutcome> {
+        let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
+        // one engine/runtime boundary crossing per query, not per partition
+        runtime.charge_invocation();
+        let ctx = self.execution_context(true);
+        let dop = ctx.degree_of_parallelism;
+        let wall = Instant::now();
+
+        // 1. the relational side as a partition stream
+        let exec = Executor::new();
+        let mut partition_report = None;
+        let manual_pruned = Arc::new(AtomicUsize::new(0));
+        let (stream, models, source_schema) = match partition_models {
+            Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
+                // per-partition compiled models: stream the table directly so
+                // partition indices stay aligned with the model vector even
+                // when statistics prune some partitions
+                let table_name = match &plan.data {
+                    LogicalPlan::Scan { table, .. } => table.clone(),
+                    _ => unreachable!(),
+                };
+                let table = self.catalog.table(&table_name)?;
+                partition_report = Some(report);
+                let preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
+                let pruned = manual_pruned.clone();
+                let schema = table.schema().clone();
+                let stream = BatchStream::from_table(&table).map(move |mut item| {
+                    if let Some(stats) = &item.stats {
+                        if !may_satisfy_all(&preds, stats) {
+                            pruned.fetch_add(1, Ordering::Relaxed);
+                            return Ok(None);
+                        }
+                    }
+                    for p in &preds {
+                        let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
+                        item.batch = item.batch.filter(&mask)?;
+                    }
+                    Ok(Some(item))
+                });
+                (stream, Arc::new(models), schema)
+            }
+            _ => {
+                let data_plan = self.data_side_plan(plan);
+                let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
+                let schema = Arc::new(optimized.schema(&self.catalog)?);
+                let stream = exec.execute_stream(&optimized, &self.catalog, &ctx)?;
+                (stream, Arc::new(vec![plan.pipeline.clone()]), schema)
+            }
+        };
+
+        // 2. per-partition scoring and post-processing, fused into the stream
+        let ml_nanos = Arc::new(AtomicU64::new(0));
+        let score_op: raven_columnar::StreamOp = {
+            let runtime = runtime.clone();
+            let models = models.clone();
+            let prediction = plan.prediction_column.clone();
+            let ml_nanos = ml_nanos.clone();
+            Arc::new(move |mut item: StreamBatch| {
+                let t0 = Instant::now();
+                let pipeline = if models.len() > 1 {
+                    models.get(item.partition).unwrap_or(&models[0])
+                } else {
+                    &models[0]
+                };
+                item.batch = runtime
+                    .score_batch_into(pipeline, &item.batch, &prediction)
+                    .map_err(stream_err)?;
+                ml_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Ok(Some(item))
+            })
+        };
+        let post_op: raven_columnar::StreamOp = {
+            let output_preds: Vec<Expr> = plan.output_predicates().into_iter().cloned().collect();
+            let projection = plan.projection.clone();
+            Arc::new(move |mut item: StreamBatch| {
+                for p in &output_preds {
+                    let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
+                    item.batch = item.batch.filter(&mask)?;
+                }
+                if !projection.is_empty() {
+                    let mut columns = Vec::with_capacity(projection.len());
+                    let mut fields = Vec::with_capacity(projection.len());
+                    for e in &projection {
+                        let c = evaluate(e, &item.batch).map_err(stream_err)?;
+                        fields.push(Field::new(e.output_name(), c.data_type()));
+                        columns.push(c);
+                    }
+                    item.batch =
+                        Batch::new(Arc::new(raven_columnar::Schema::new(fields)?), columns)?;
+                }
+                Ok(Some(item))
+            })
+        };
+
+        // 3. drive the pipeline partition-parallel; concat only at the
+        //    final output boundary
+        let scored = stream
+            .map({
+                let op = score_op.clone();
+                move |item| op(item)
+            })
+            .map({
+                let op = post_op.clone();
+                move |item| op(item)
+            });
+        let items = scored.collect(dop)?;
+        let streamed_partitions = items.len();
+        let mut batch = if items.is_empty() {
+            // every partition pruned/filtered away: push one empty batch of
+            // the source schema through the same operator chain so the output
+            // schema (score column, projection) is still correct
+            let empty = StreamBatch::new(Batch::empty(source_schema)?, 0);
+            let item = score_op(empty)?.and_then(|item| post_op(item).transpose());
+            match item {
+                Some(item) => item?.batch,
+                None => {
+                    return Err(RavenError::Ml(
+                        "streaming pipeline dropped the boundary batch".into(),
+                    ))
+                }
+            }
+        } else {
+            let batches: Vec<Batch> = items.into_iter().map(|i| i.batch).collect();
+            Batch::concat(&batches)?
+        };
+
+        // 4. the final aggregate is a pipeline breaker over the concatenated
+        //    result
+        batch = self.apply_aggregate(plan, batch)?;
+
+        // Per-partition scoring durations accumulate across concurrent
+        // workers, so at dop > 1 the sum is CPU time, not wall time. Cap at
+        // the wall clock so `data_time + ml_time` always partitions the
+        // measured total: exact at dop 1, a scoring-share attribution above.
+        let wall_time = wall.elapsed();
+        let ml_time = Duration::from_nanos(ml_nanos.load(Ordering::Relaxed)).min(wall_time);
+        let mut outcome = PathOutcome::new(batch, ExecutionMode::Streaming);
+        outcome.data_time = wall_time.saturating_sub(ml_time);
+        outcome.ml_time = ml_time;
+        outcome.partition_report = partition_report;
+        outcome.pruned_partitions =
+            exec.metrics().partitions_pruned() + manual_pruned.load(Ordering::Relaxed);
+        outcome.streamed_partitions = streamed_partitions;
+        Ok(outcome)
+    }
+
+    /// Legacy materialized ML-runtime path: the relational result is
+    /// concatenated into one batch before scoring. Kept as the §7 baseline
+    /// (and for the row-interpreted / materializing baseline modes), and as
+    /// the plan the streaming pipeline is costed against.
+    fn execute_ml_runtime_materialized(
+        &self,
+        plan: &UnifiedPlan,
+        partition_models: Option<(Vec<Pipeline>, DataInducedReport)>,
+    ) -> Result<PathOutcome> {
         let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
         let mut data_time = Duration::ZERO;
         let mut ml_time = Duration::ZERO;
@@ -433,8 +762,7 @@ impl RavenSession {
                     _ => unreachable!(),
                 };
                 let table = self.catalog.table(&table_name)?;
-                let input_preds: Vec<Expr> =
-                    plan.input_predicates().into_iter().cloned().collect();
+                let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
                 let mut parts = Vec::new();
                 for (batch, pipeline) in table.partitions().iter().zip(models.iter()) {
                     let d0 = Instant::now();
@@ -454,19 +782,27 @@ impl RavenSession {
             _ => {
                 let d0 = Instant::now();
                 let data_plan = self.data_side_plan(plan);
-                let batch = self.run_relational(&data_plan)?;
+                // the legacy plan scans every partition: no stats pruning
+                let (batch, _, _) = self.run_relational(&data_plan, false)?;
                 data_time += d0.elapsed();
                 let m0 = Instant::now();
                 let scores = self.score_batch(&runtime, &plan.pipeline, &batch)?;
                 ml_time += m0.elapsed();
-                (attach_scores(&batch, &plan.prediction_column, scores)?, None)
+                (
+                    attach_scores(&batch, &plan.prediction_column, scores)?,
+                    None,
+                )
             }
         };
 
         let d1 = Instant::now();
         scored = self.post_process(plan, scored)?;
         data_time += d1.elapsed();
-        Ok((scored, data_time, ml_time, partition_report))
+        let mut outcome = PathOutcome::new(scored, ExecutionMode::Materialized);
+        outcome.data_time = data_time;
+        outcome.ml_time = ml_time;
+        outcome.partition_report = partition_report;
+        Ok(outcome)
     }
 
     fn score_batch(
@@ -496,12 +832,9 @@ impl RavenSession {
                     // materialize: round-trip the value through owned buffers
                     let materialized = match out {
                         raven_ml::FrameValue::Numeric(m) => {
-                            let copied = raven_ml::Matrix::new(
-                                m.rows(),
-                                m.cols(),
-                                m.data().to_vec(),
-                            )
-                            .map_err(|e| RavenError::Ml(e.to_string()))?;
+                            let copied =
+                                raven_ml::Matrix::new(m.rows(), m.cols(), m.data().to_vec())
+                                    .map_err(|e| RavenError::Ml(e.to_string()))?;
                             raven_ml::FrameValue::Numeric(copied)
                         }
                         other => other,
@@ -518,18 +851,19 @@ impl RavenSession {
                 let out = inputs
                     .remove(&pipeline.output)
                     .ok_or_else(|| RavenError::Ml("materialized output missing".into()))?;
-                let m = out.as_numeric().map_err(|e| RavenError::Ml(e.to_string()))?;
+                let m = out
+                    .as_numeric()
+                    .map_err(|e| RavenError::Ml(e.to_string()))?;
                 Ok(m.column(0))
             }
         }
     }
 
     /// MLtoDNN path: data engine → featurizers on the ML runtime → compiled
-    /// tensor model on the configured device.
-    fn execute_ml_to_dnn(
-        &self,
-        plan: &UnifiedPlan,
-    ) -> Result<(Batch, Duration, Duration, bool)> {
+    /// tensor model on the configured device. The tensor model consumes one
+    /// dense feature matrix, so the data side materializes at the
+    /// featurization boundary (the relational plan itself still streams).
+    fn execute_ml_to_dnn(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
         let dnn = apply_ml_to_dnn(
             &plan.pipeline,
             self.config.dnn_strategy,
@@ -537,9 +871,10 @@ impl RavenSession {
         )?;
         let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
 
+        let (mode, pruning) = self.transform_path_mode();
         let d0 = Instant::now();
         let data_plan = self.data_side_plan(plan);
-        let batch = self.run_relational(&data_plan)?;
+        let (batch, pruned, scanned) = self.run_relational(&data_plan, pruning)?;
         let mut data_time = d0.elapsed();
 
         let m0 = Instant::now();
@@ -557,11 +892,19 @@ impl RavenSession {
         let mut scored = attach_scores(&batch, &plan.prediction_column, run.scores)?;
         scored = self.post_process(plan, scored)?;
         data_time += d1.elapsed();
-        Ok((scored, data_time, ml_time, modeled))
+        let mut outcome = PathOutcome::new(scored, mode);
+        outcome.data_time = data_time;
+        outcome.ml_time = ml_time;
+        outcome.ml_time_modeled = modeled;
+        outcome.pruned_partitions = pruned;
+        outcome.streamed_partitions = scanned;
+        Ok(outcome)
     }
 
     /// Apply output-side predicates, the final projection, and the aggregate
-    /// to a scored batch.
+    /// to a scored batch (materialized paths; the streaming path fuses the
+    /// first two per partition and only breaks the pipeline for the
+    /// aggregate).
     fn post_process(&self, plan: &UnifiedPlan, mut batch: Batch) -> Result<Batch> {
         for p in plan.output_predicates() {
             let mask = evaluate_predicate(p, &batch)?;
@@ -575,20 +918,23 @@ impl RavenSession {
                 fields.push(Field::new(e.output_name(), c.data_type()));
                 columns.push(c);
             }
-            batch = Batch::new(
-                Arc::new(raven_columnar::Schema::new(fields)?),
-                columns,
-            )?;
+            batch = Batch::new(Arc::new(raven_columnar::Schema::new(fields)?), columns)?;
         }
-        if let Some((group_by, aggs)) = &plan.aggregate {
-            // reuse the relational executor by registering the scored batch
-            let mut catalog = Catalog::new();
-            catalog.register(Table::from_batch("__scored", batch.clone())?);
-            let agg_plan = LogicalPlan::scan("__scored").aggregate(group_by.clone(), aggs.clone());
-            let exec = Executor::new();
-            batch = exec.execute(&agg_plan, &catalog, &ExecutionContext::default())?;
-        }
-        Ok(batch)
+        self.apply_aggregate(plan, batch)
+    }
+
+    /// Apply the plan's final aggregate (if any) by registering the scored
+    /// batch with the relational executor — the one pipeline breaker shared
+    /// by the streaming and materialized paths.
+    fn apply_aggregate(&self, plan: &UnifiedPlan, batch: Batch) -> Result<Batch> {
+        let Some((group_by, aggs)) = &plan.aggregate else {
+            return Ok(batch);
+        };
+        let mut catalog = Catalog::new();
+        catalog.register(Table::from_batch("__scored", batch)?);
+        let agg_plan = LogicalPlan::scan("__scored").aggregate(group_by.clone(), aggs.clone());
+        let exec = Executor::new();
+        Ok(exec.execute(&agg_plan, &catalog, &ExecutionContext::default())?)
     }
 }
 
@@ -602,10 +948,10 @@ fn attach_scores(batch: &Batch, name: &str, scores: Vec<f64>) -> Result<Batch> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raven_columnar::TableBuilder;
-    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_columnar::TableBuilder;
+    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
 
     /// Build a small hospital-like scenario: one table, a trained DT pipeline,
     /// and the running-example style query.
@@ -634,11 +980,14 @@ mod tests {
             .add_i64("rcount", rcount)
             .build()
             .unwrap();
-        let train_batch = table.to_batch().unwrap().with_column(
-            Field::new("label", DataType::Float64),
-            Arc::new(Column::Float64(label)),
-        )
-        .unwrap();
+        let train_batch = table
+            .to_batch()
+            .unwrap()
+            .with_column(
+                Field::new("label", DataType::Float64),
+                Arc::new(Column::Float64(label)),
+            )
+            .unwrap();
         let pipeline = train_pipeline(
             &train_batch,
             &PipelineSpec {
@@ -707,7 +1056,10 @@ mod tests {
         session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
         let out = session.sql(&query).unwrap();
         assert_eq!(out.report.transform, TransformChoice::None);
-        assert!(out.report.cross.projection_pushdown_applied || out.report.cross.predicate_pruning_applied);
+        assert!(
+            out.report.cross.projection_pushdown_applied
+                || out.report.cross.predicate_pruning_applied
+        );
 
         // force MLtoDNN on the simulated GPU
         session.config_mut().runtime_policy = RuntimePolicy::Force(TransformChoice::MlToDnn);
@@ -752,6 +1104,171 @@ mod tests {
     }
 
     #[test]
+    fn streaming_prunes_partitions_and_matches_materialized() {
+        use raven_columnar::{partition_by_column, PartitionSpec};
+        let (mut session, _) = session(ModelType::DecisionTree { max_depth: 5 });
+        let table = session.catalog().table("patients").unwrap();
+        let partitioned = partition_by_column(
+            &table,
+            &PartitionSpec::ByRange {
+                column: "age".into(),
+                partitions: 8,
+            },
+        )
+        .unwrap();
+        session.register_table(partitioned);
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        session.config_mut().degree_of_parallelism = 4;
+        // age >= 80 only touches the top range partition(s)
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.age >= 80 AND p.risk >= 0.0";
+
+        session.config_mut().execution_mode = ExecutionMode::Streaming;
+        let streamed = session.sql(query).unwrap();
+        assert_eq!(streamed.report.execution_mode, ExecutionMode::Streaming);
+        assert!(
+            streamed.report.pruned_partitions >= 4,
+            "expected most range partitions pruned, got {}",
+            streamed.report.pruned_partitions
+        );
+        assert!(streamed.report.streamed_partitions >= 1);
+        assert_eq!(
+            streamed.report.pruned_partitions + streamed.report.streamed_partitions,
+            8
+        );
+
+        session.config_mut().execution_mode = ExecutionMode::Materialized;
+        let materialized = session.sql(query).unwrap();
+        assert_eq!(
+            materialized.report.execution_mode,
+            ExecutionMode::Materialized
+        );
+        assert_eq!(materialized.report.pruned_partitions, 0);
+        assert_eq!(ids(&streamed.batch), ids(&materialized.batch));
+        assert!(
+            streamed.report.output_rows > 0,
+            "predicate should keep rows"
+        );
+    }
+
+    #[test]
+    fn streaming_partition_models_stay_aligned_under_pruning() {
+        use raven_columnar::{partition_by_column, PartitionSpec};
+        let (mut session, _) = session(ModelType::DecisionTree { max_depth: 6 });
+        let table = session.catalog().table("patients").unwrap();
+        let partitioned = partition_by_column(
+            &table,
+            &PartitionSpec::ByDistinctValue {
+                column: "rcount".into(),
+            },
+        )
+        .unwrap();
+        session.register_table(partitioned);
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        session.config_mut().enable_partition_models = true;
+        session.config_mut().degree_of_parallelism = 2;
+        // rcount >= 2 prunes the rcount ∈ {0, 1} partitions entirely
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.rcount >= 2 AND p.risk >= 0.0";
+
+        session.config_mut().execution_mode = ExecutionMode::Streaming;
+        let streamed = session.sql(query).unwrap();
+        assert!(streamed.report.data_induced.partition_models >= 2);
+        assert!(streamed.report.pruned_partitions >= 1);
+
+        session.config_mut().execution_mode = ExecutionMode::Materialized;
+        let materialized = session.sql(query).unwrap();
+        assert_eq!(ids(&streamed.batch), ids(&materialized.batch));
+    }
+
+    #[test]
+    fn auto_mode_costs_streaming_vs_materialized() {
+        let (mut session, query) = session(ModelType::DecisionTree { max_depth: 4 });
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        session.config_mut().execution_mode = ExecutionMode::Auto;
+        // 400 rows in a single partition: the cost model picks materialized
+        let out = session.sql(&query).unwrap();
+        assert_eq!(out.report.execution_mode, ExecutionMode::Materialized);
+
+        // a larger table in many partitions at dop 4: streaming wins
+        use raven_columnar::{partition_by_column, PartitionSpec};
+        let table = session.catalog().table("patients").unwrap();
+        let bigger = table.replicate(8, &["id"]).unwrap();
+        let partitioned =
+            partition_by_column(&bigger, &PartitionSpec::RoundRobin { partitions: 8 }).unwrap();
+        session.register_table(partitioned);
+        session.config_mut().degree_of_parallelism = 4;
+        let out = session.sql(&query).unwrap();
+        assert_eq!(out.report.execution_mode, ExecutionMode::Streaming);
+    }
+
+    #[test]
+    fn forced_transforms_respect_materialized_mode() {
+        use raven_columnar::{partition_by_column, PartitionSpec};
+        let (mut session, _) = session(ModelType::DecisionTree { max_depth: 4 });
+        let table = session.catalog().table("patients").unwrap();
+        let partitioned = partition_by_column(
+            &table,
+            &PartitionSpec::ByRange {
+                column: "age".into(),
+                partitions: 8,
+            },
+        )
+        .unwrap();
+        session.register_table(partitioned);
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.age >= 80 AND p.risk >= 0.0";
+        for choice in [TransformChoice::MlToSql, TransformChoice::MlToDnn] {
+            session.config_mut().runtime_policy = RuntimePolicy::Force(choice);
+            // explicit materialized config: legacy scan, nothing pruned
+            session.config_mut().execution_mode = ExecutionMode::Materialized;
+            let out = session.sql(query).unwrap();
+            assert_eq!(out.report.execution_mode, ExecutionMode::Materialized);
+            assert_eq!(out.report.pruned_partitions, 0, "{choice:?}");
+            // streaming config: the relational side prunes via statistics
+            session.config_mut().execution_mode = ExecutionMode::Streaming;
+            let streamed = session.sql(query).unwrap();
+            assert_eq!(streamed.report.execution_mode, ExecutionMode::Streaming);
+            assert!(streamed.report.pruned_partitions > 0, "{choice:?}");
+            assert_eq!(ids(&out.batch), ids(&streamed.batch));
+        }
+    }
+
+    #[test]
+    fn streaming_ml_time_never_exceeds_wall_time() {
+        use raven_columnar::{partition_by_column, PartitionSpec};
+        let (mut session, query) = session(ModelType::GradientBoosting {
+            n_estimators: 8,
+            max_depth: 3,
+            learning_rate: 0.2,
+        });
+        let table = session.catalog().table("patients").unwrap();
+        let partitioned =
+            partition_by_column(&table, &PartitionSpec::RoundRobin { partitions: 6 }).unwrap();
+        session.register_table(partitioned);
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        session.config_mut().execution_mode = ExecutionMode::Streaming;
+        session.config_mut().degree_of_parallelism = 4;
+        let out = session.sql(&query).unwrap();
+        // scoring time is summed across workers but capped at the wall
+        // clock, so the data/ML split always partitions the total
+        assert!(out.report.ml_time <= out.report.total_time + out.report.optimization_time);
+        assert!(out.report.data_time + out.report.ml_time <= out.report.total_time * 2);
+    }
+
+    #[test]
+    fn streaming_empty_result_keeps_output_schema() {
+        let (mut session, _) = session(ModelType::DecisionTree { max_depth: 4 });
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        session.config_mut().execution_mode = ExecutionMode::Streaming;
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.age > 1000 AND p.risk >= 0.0";
+        let out = session.sql(query).unwrap();
+        assert_eq!(out.batch.num_rows(), 0);
+        assert_eq!(out.batch.schema().names(), vec!["id", "risk"]);
+    }
+
+    #[test]
     fn aggregate_queries_work() {
         let (session, _) = session(ModelType::DecisionTree { max_depth: 4 });
         let plan = parse_prediction_query(
@@ -773,7 +1290,12 @@ mod tests {
         ));
         let out = session.execute(&plan).unwrap();
         assert_eq!(out.batch.num_rows(), 1);
-        let avg = out.batch.column_by_name("avg_risk").unwrap().as_f64().unwrap()[0];
+        let avg = out
+            .batch
+            .column_by_name("avg_risk")
+            .unwrap()
+            .as_f64()
+            .unwrap()[0];
         assert!((0.0..=1.0).contains(&avg));
     }
 }

@@ -208,10 +208,10 @@ fn std_dev(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raven_columnar::TableBuilder;
-    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_columnar::TableBuilder;
+    use raven_ml::{train_pipeline, ModelType, PipelineSpec};
 
     fn batch() -> raven_columnar::Batch {
         let mut rng = StdRng::seed_from_u64(2);

@@ -11,8 +11,8 @@
 use crate::error::{RavenError, Result};
 use crate::stats::PipelineStats;
 use raven_ml::{
-    train_decision_tree, train_random_forest, ForestConfig, Matrix, Tree, TreeConfig, TreeTask,
-    TreeEnsemble, EnsembleKind,
+    train_decision_tree, train_random_forest, EnsembleKind, ForestConfig, Matrix, Tree, TreeConfig,
+    TreeEnsemble, TreeTask,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -144,6 +144,118 @@ pub trait OptimizationStrategy: std::fmt::Debug {
 }
 
 // ---------------------------------------------------------------------------
+// Execution-mode selection (streamed vs. materialized data side)
+// ---------------------------------------------------------------------------
+
+/// How the data side of a prediction query is driven through the ML scoring
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Let the optimizer cost both plans and pick the cheaper one
+    /// ([`choose_execution_mode`]).
+    Auto,
+    /// Streaming partition-parallel pipeline: partitions flow through
+    /// relational filters and ML scoring one at a time, pruned by statistics,
+    /// concatenated only at the final output boundary.
+    Streaming,
+    /// Legacy materialized pipeline: the relational result is concatenated
+    /// into one batch before scoring (the pre-BatchStream behaviour, kept as
+    /// the baseline the streaming path is costed against).
+    Materialized,
+}
+
+impl ExecutionMode {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionMode::Auto => "auto",
+            ExecutionMode::Streaming => "streaming",
+            ExecutionMode::Materialized => "materialized",
+        }
+    }
+}
+
+/// Abstract per-row / per-partition cost weights of the execution-mode cost
+/// model. Units are arbitrary; only ratios matter.
+mod mode_cost {
+    /// Cost of scanning + filtering one row.
+    pub const SCAN_ROW: f64 = 1.0;
+    /// Cost of scoring one row on the ML runtime.
+    pub const SCORE_ROW: f64 = 2.0;
+    /// Cost of copying one row into the concatenated batch (materialized
+    /// only).
+    pub const CONCAT_ROW: f64 = 0.5;
+    /// Fixed cost of dispatching one partition task to the worker pool
+    /// (streaming only).
+    pub const TASK: f64 = 500.0;
+}
+
+/// Estimated abstract cost of executing the data-plus-scoring pipeline in a
+/// given mode over `rows` rows spread across `partitions` partitions with
+/// `dop` workers. `selectivity` is the fraction of partitions the statistics
+/// cannot prune (1.0 = nothing prunable).
+pub fn estimate_mode_cost(
+    mode: ExecutionMode,
+    rows: usize,
+    partitions: usize,
+    dop: usize,
+    selectivity: f64,
+) -> f64 {
+    if mode == ExecutionMode::Auto {
+        return estimate_mode_cost(ExecutionMode::Streaming, rows, partitions, dop, selectivity)
+            .min(estimate_mode_cost(
+                ExecutionMode::Materialized,
+                rows,
+                partitions,
+                dop,
+                selectivity,
+            ));
+    }
+    let rows = rows as f64;
+    let partitions = partitions.max(1) as f64;
+    let selectivity = selectivity.clamp(0.0, 1.0);
+    match mode {
+        ExecutionMode::Materialized => {
+            // scans everything (no partition pruning), single-threaded
+            // scoring over one concatenated batch
+            rows * (mode_cost::SCAN_ROW + mode_cost::CONCAT_ROW + mode_cost::SCORE_ROW)
+        }
+        _ => {
+            let workers = (dop.max(1) as f64).min(partitions);
+            let surviving_rows = rows * selectivity;
+            surviving_rows * (mode_cost::SCAN_ROW + mode_cost::SCORE_ROW) / workers
+                + partitions * mode_cost::TASK
+        }
+    }
+}
+
+/// Pick the cheaper of the streamed and materialized plans for a table with
+/// `rows` rows in `partitions` partitions, executed at degree-of-parallelism
+/// `dop` with an (estimated) unprunable-partition fraction `selectivity`.
+/// This is what `ExecutionMode::Auto` resolves through.
+pub fn choose_execution_mode(
+    rows: usize,
+    partitions: usize,
+    dop: usize,
+    selectivity: f64,
+) -> ExecutionMode {
+    let streaming =
+        estimate_mode_cost(ExecutionMode::Streaming, rows, partitions, dop, selectivity);
+    let materialized = estimate_mode_cost(
+        ExecutionMode::Materialized,
+        rows,
+        partitions,
+        dop,
+        selectivity,
+    );
+    if streaming <= materialized {
+        ExecutionMode::Streaming
+    } else {
+        ExecutionMode::Materialized
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ML-informed rule-based strategy
 // ---------------------------------------------------------------------------
 
@@ -192,7 +304,11 @@ impl RuleBasedStrategy {
         let mut ranked: Vec<(usize, usize)> = counts.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let selected: Vec<usize> = ranked.into_iter().take(k.max(1)).map(|(f, _)| f).collect();
-        let selected = if selected.is_empty() { vec![0] } else { selected };
+        let selected = if selected.is_empty() {
+            vec![0]
+        } else {
+            selected
+        };
 
         let x_sel = select_columns(&x, &selected);
         let shallow = train_decision_tree(
@@ -569,5 +685,33 @@ mod tests {
         let c = corpus(20);
         let rule = RuleBasedStrategy::train(&c, 2).unwrap();
         assert_eq!(evaluate_strategy(&rule, &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn execution_mode_costing_prefers_streaming_for_partitioned_data() {
+        // many partitions, prunable predicate: streaming wins clearly
+        assert_eq!(
+            choose_execution_mode(100_000, 16, 4, 0.25),
+            ExecutionMode::Streaming
+        );
+        // large single-partition table: streaming still at least ties
+        // (no concat cost) and must never lose by the task-dispatch epsilon
+        assert_eq!(
+            choose_execution_mode(1_000_000, 1, 1, 1.0),
+            ExecutionMode::Streaming
+        );
+        // tiny table with many partitions and no pruning: task dispatch
+        // overhead dominates, materialized wins
+        assert_eq!(
+            choose_execution_mode(100, 64, 1, 1.0),
+            ExecutionMode::Materialized
+        );
+        // Auto cost equals the cheaper branch
+        let auto = estimate_mode_cost(ExecutionMode::Auto, 10_000, 8, 2, 0.5);
+        let best = estimate_mode_cost(ExecutionMode::Streaming, 10_000, 8, 2, 0.5).min(
+            estimate_mode_cost(ExecutionMode::Materialized, 10_000, 8, 2, 0.5),
+        );
+        assert_eq!(auto, best);
+        assert_eq!(ExecutionMode::Streaming.name(), "streaming");
     }
 }

@@ -62,7 +62,7 @@ impl Dataset {
     /// The prediction query's data part as SQL text (FROM/JOIN chain), used by
     /// examples and harnesses to build `WITH data AS (...)` clauses.
     pub fn from_clause(&self) -> String {
-        let mut out = format!("{}", self.tables[0].name());
+        let mut out = self.tables[0].name().to_string();
         for (left, lk, right, rk) in &self.joins {
             let _ = left;
             out.push_str(&format!(" JOIN {right} ON {lk} = {rk}"));
@@ -87,9 +87,9 @@ pub fn credit_card(rows: usize, seed: u64) -> Dataset {
     let amount: Vec<f64> = (0..rows).map(|_| rng.gen_range(1.0..500.0)).collect();
     let label: Vec<f64> = (0..rows)
         .map(|r| {
-            let score =
-                1.8 * features[0][r] - 1.2 * features[1][r] + 0.8 * features[2][r] * features[3][r]
-                    + rng.gen_range(-0.3..0.3);
+            let score = 1.8 * features[0][r] - 1.2 * features[1][r]
+                + 0.8 * features[2][r] * features[3][r]
+                + rng.gen_range(-0.3..0.3);
             if score > 1.0 {
                 1.0
             } else {
@@ -113,8 +113,15 @@ pub fn credit_card(rows: usize, seed: u64) -> Dataset {
 pub fn hospital(rows: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let numeric_names = [
-        "age", "bmi", "pulse", "respiration", "bloodureanitro", "creatinine", "sodium",
-        "glucose", "hematocrit",
+        "age",
+        "bmi",
+        "pulse",
+        "respiration",
+        "bloodureanitro",
+        "creatinine",
+        "sodium",
+        "glucose",
+        "hematocrit",
     ];
     let categorical_specs: [(&str, usize); 15] = [
         ("rcount", 6),
@@ -190,8 +197,22 @@ pub fn expedia(rows: usize, seed: u64) -> Dataset {
         fact: "searches",
         fact_rows: rows,
         dims: vec![
-            DimSpec { name: "hotels", key: "hotel_id", rows: (rows / 10).clamp(20, 2000), numeric: 3, categorical: 8, max_cardinality: 60 },
-            DimSpec { name: "destinations", key: "dest_id", rows: (rows / 20).clamp(10, 1000), numeric: 2, categorical: 6, max_cardinality: 40 },
+            DimSpec {
+                name: "hotels",
+                key: "hotel_id",
+                rows: (rows / 10).clamp(20, 2000),
+                numeric: 3,
+                categorical: 8,
+                max_cardinality: 60,
+            },
+            DimSpec {
+                name: "destinations",
+                key: "dest_id",
+                rows: (rows / 20).clamp(10, 1000),
+                numeric: 2,
+                categorical: 6,
+                max_cardinality: 40,
+            },
         ],
         fact_numeric: 3,
         fact_categorical: 6,
@@ -209,9 +230,30 @@ pub fn flights(rows: usize, seed: u64) -> Dataset {
         fact: "flights",
         fact_rows: rows,
         dims: vec![
-            DimSpec { name: "carriers", key: "carrier_id", rows: 30, numeric: 1, categorical: 9, max_cardinality: 30 },
-            DimSpec { name: "airports_origin", key: "origin_id", rows: (rows / 15).clamp(20, 1500), numeric: 1, categorical: 10, max_cardinality: 80 },
-            DimSpec { name: "airports_dest", key: "dest_id", rows: (rows / 15).clamp(20, 1500), numeric: 1, categorical: 10, max_cardinality: 80 },
+            DimSpec {
+                name: "carriers",
+                key: "carrier_id",
+                rows: 30,
+                numeric: 1,
+                categorical: 9,
+                max_cardinality: 30,
+            },
+            DimSpec {
+                name: "airports_origin",
+                key: "origin_id",
+                rows: (rows / 15).clamp(20, 1500),
+                numeric: 1,
+                categorical: 10,
+                max_cardinality: 80,
+            },
+            DimSpec {
+                name: "airports_dest",
+                key: "dest_id",
+                rows: (rows / 15).clamp(20, 1500),
+                numeric: 1,
+                categorical: 10,
+                max_cardinality: 80,
+            },
         ],
         fact_numeric: 1,
         fact_categorical: 4,
@@ -254,7 +296,9 @@ fn star_schema(spec: StarSpec) -> Dataset {
     let mut driver: Vec<f64> = vec![0.0; spec.fact_rows];
     for i in 0..spec.fact_numeric {
         let name = format!("{}_num{i}", spec.fact);
-        let col: Vec<f64> = (0..spec.fact_rows).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let col: Vec<f64> = (0..spec.fact_rows)
+            .map(|_| rng.gen_range(0.0..100.0))
+            .collect();
         for (d, v) in driver.iter_mut().zip(col.iter()) {
             *d += 0.01 * (v - 50.0);
         }
@@ -313,9 +357,18 @@ fn star_schema(spec: StarSpec) -> Dataset {
     }
     let label: Vec<f64> = driver
         .iter()
-        .map(|&d| if d + rng.gen_range(-0.4..0.4) > 0.4 { 1.0 } else { 0.0 })
+        .map(|&d| {
+            if d + rng.gen_range(-0.4..0.4) > 0.4 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
-    let fact = fact.add_f64(spec.label, label).build().expect("valid fact table");
+    let fact = fact
+        .add_f64(spec.label, label)
+        .build()
+        .expect("valid fact table");
     tables.insert(0, fact);
 
     Dataset {
@@ -348,8 +401,8 @@ mod tests {
             .unwrap()
             .to_f64_vec()
             .unwrap();
-        assert!(labels.iter().any(|&x| x == 1.0));
-        assert!(labels.iter().any(|&x| x == 0.0));
+        assert!(labels.contains(&1.0));
+        assert!(labels.contains(&0.0));
     }
 
     #[test]
@@ -361,7 +414,7 @@ mod tests {
         assert_eq!(d.n_inputs(), 24);
         // after encoding: 9 numeric + ~50 one-hot columns (paper: 59 total)
         let f = d.n_features_after_encoding();
-        assert!(f >= 30 && f <= 70, "features after encoding = {f}");
+        assert!((30..=70).contains(&f), "features after encoding = {f}");
     }
 
     #[test]
@@ -388,8 +441,16 @@ mod tests {
         let a = hospital(100, 7);
         let b = hospital(100, 7);
         assert_eq!(
-            a.tables[0].to_batch().unwrap().column_by_name("age").unwrap(),
-            b.tables[0].to_batch().unwrap().column_by_name("age").unwrap()
+            a.tables[0]
+                .to_batch()
+                .unwrap()
+                .column_by_name("age")
+                .unwrap(),
+            b.tables[0]
+                .to_batch()
+                .unwrap()
+                .column_by_name("age")
+                .unwrap()
         );
     }
 }

@@ -168,8 +168,7 @@ mod tests {
             seed: 3,
         });
         assert_eq!(entries.len(), 12);
-        let kinds: std::collections::HashSet<&str> =
-            entries.iter().map(|e| e.model_kind).collect();
+        let kinds: std::collections::HashSet<&str> = entries.iter().map(|e| e.model_kind).collect();
         assert!(kinds.len() >= 2, "expected varied model families");
         // every pipeline scores its own data
         let rt = MlRuntime::new();

@@ -59,6 +59,8 @@ mod tests {
             position: 12,
         };
         assert!(e.to_string().contains("offset 12"));
-        assert!(IrError::UnknownModel("m".into()).to_string().contains("unknown model"));
+        assert!(IrError::UnknownModel("m".into())
+            .to_string()
+            .contains("unknown model"));
     }
 }

@@ -62,8 +62,7 @@ fn tokenize(sql: &str) -> Result<Vec<(Token, usize)>> {
             out.push((Token::StringLit(s), start));
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
         {
             let start = i;
             let mut s = String::new();
@@ -81,7 +80,8 @@ fn tokenize(sql: &str) -> Result<Vec<(Token, usize)>> {
         if c.is_alphabetic() || c == '_' {
             let start = i;
             let mut s = String::new();
-            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
             {
                 s.push(bytes[i]);
                 i += 1;
@@ -565,7 +565,9 @@ pub fn parse_prediction_query(
 mod tests {
     use super::*;
     use raven_columnar::TableBuilder;
-    use raven_ml::{InputKind, Operator, Pipeline, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+    use raven_ml::{
+        InputKind, Operator, Pipeline, PipelineInput, PipelineNode, Tree, TreeEnsemble,
+    };
     use raven_relational::col;
 
     fn catalog() -> Catalog {
@@ -653,25 +655,19 @@ mod tests {
 
     #[test]
     fn plain_select_parses_without_model() {
-        let parsed =
-            parse("SELECT age FROM patient_info WHERE asthma = 1 AND age >= 30").unwrap();
+        let parsed = parse("SELECT age FROM patient_info WHERE asthma = 1 AND age >= 30").unwrap();
         assert!(parsed.model.is_none());
         assert_eq!(parsed.predicates.len(), 2);
-        let err = parse_prediction_query(
-            "SELECT age FROM patient_info",
-            &registry(),
-            &catalog(),
-        )
-        .unwrap_err();
+        let err = parse_prediction_query("SELECT age FROM patient_info", &registry(), &catalog())
+            .unwrap_err();
         assert!(matches!(err, IrError::Invalid(_)));
     }
 
     #[test]
     fn expression_precedence_and_literals() {
-        let parsed = parse(
-            "SELECT id FROM patient_info WHERE age * 2 + 1 > 81 AND asthma = 1 OR age < 10",
-        )
-        .unwrap();
+        let parsed =
+            parse("SELECT id FROM patient_info WHERE age * 2 + 1 > 81 AND asthma = 1 OR age < 10")
+                .unwrap();
         assert_eq!(parsed.predicates.len(), 1); // OR at top level → single predicate
         let s = parsed.predicates[0].to_string();
         assert!(s.contains("OR"));

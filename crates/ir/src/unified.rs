@@ -180,7 +180,10 @@ impl UnifiedPlan {
     pub fn display(&self) -> String {
         let mut out = String::new();
         out.push_str("PredictionQuery\n");
-        out.push_str(&format!("  prediction column: {}\n", self.prediction_column));
+        out.push_str(&format!(
+            "  prediction column: {}\n",
+            self.prediction_column
+        ));
         out.push_str(&format!("  pipeline: {}\n", self.pipeline.summary()));
         out.push_str("  data part:\n");
         for line in self.data.display_indent().lines() {
@@ -289,17 +292,9 @@ mod tests {
 
     fn plan() -> (UnifiedPlan, Catalog) {
         let c = catalog();
-        let mut p = UnifiedPlan::new(
-            LogicalPlan::scan("patient_info"),
-            pipeline(),
-            "risk",
-            &c,
-        )
-        .unwrap();
-        p.predicates = vec![
-            col("asthma").eq(lit(1i64)),
-            col("risk").gt_eq(lit(0.5)),
-        ];
+        let mut p =
+            UnifiedPlan::new(LogicalPlan::scan("patient_info"), pipeline(), "risk", &c).unwrap();
+        p.predicates = vec![col("asthma").eq(lit(1i64)), col("risk").gt_eq(lit(0.5))];
         p.projection = vec![col("id"), col("risk")];
         (p, c)
     }
@@ -325,13 +320,9 @@ mod tests {
             "score",
         )
         .unwrap();
-        assert!(UnifiedPlan::new(
-            LogicalPlan::scan("patient_info"),
-            bad_pipeline,
-            "risk",
-            &c
-        )
-        .is_err());
+        assert!(
+            UnifiedPlan::new(LogicalPlan::scan("patient_info"), bad_pipeline, "risk", &c).is_err()
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub struct PipelineSpec {
 /// Train a full pipeline (featurizers + model) on the given batch.
 pub fn train_pipeline(batch: &Batch, spec: &PipelineSpec) -> Result<Pipeline> {
     if spec.numeric_inputs.is_empty() && spec.categorical_inputs.is_empty() {
-        return Err(MlError::Training("pipeline needs at least one input".into()));
+        return Err(MlError::Training(
+            "pipeline needs at least one input".into(),
+        ));
     }
     // ---- assemble featurizers ------------------------------------------------
     let mut inputs = Vec::new();
@@ -108,7 +110,9 @@ pub fn train_pipeline(batch: &Batch, spec: &PipelineSpec) -> Result<Pipeline> {
             .map_err(|_| MlError::MissingInput(format!("training column {name}")))?;
         let frame = column_to_frame(col, InputKind::Categorical)?;
         let strings = frame.as_strings()?;
-        let raw: Vec<String> = (0..strings.rows()).map(|r| strings.get(r, 0).to_string()).collect();
+        let raw: Vec<String> = (0..strings.rows())
+            .map(|r| strings.get(r, 0).to_string())
+            .collect();
         let encoder = fit_one_hot(&raw);
         let encoded = encoder.transform(&frame)?;
         let node_name = format!("ohe_{name}");
@@ -196,9 +200,9 @@ mod tests {
     use super::*;
     use crate::runtime::MlRuntime;
     use crate::train::accuracy;
-    use raven_columnar::TableBuilder;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_columnar::TableBuilder;
 
     fn training_batch(n: usize) -> Batch {
         let mut rng = StdRng::seed_from_u64(7);
@@ -216,7 +220,8 @@ mod tests {
             .collect();
         let label: Vec<f64> = (0..n)
             .map(|i| {
-                let risk = 0.03 * (age[i] - 50.0) + 0.1 * (bmi[i] - 28.0)
+                let risk = 0.03 * (age[i] - 50.0)
+                    + 0.1 * (bmi[i] - 28.0)
                     + 1.5 * asthma[i] as f64
                     + if smoker[i] == "yes" { 1.0 } else { 0.0 };
                 if risk > 0.5 {
@@ -261,11 +266,7 @@ mod tests {
     #[test]
     fn trained_pipelines_are_accurate() {
         let batch = training_batch(400);
-        let labels = batch
-            .column_by_name("label")
-            .unwrap()
-            .to_f64_vec()
-            .unwrap();
+        let labels = batch.column_by_name("label").unwrap().to_f64_vec().unwrap();
         let rt = MlRuntime::new();
         for model in [
             ModelType::LogisticRegression { l1_alpha: 0.0 },

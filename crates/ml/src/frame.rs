@@ -127,8 +127,7 @@ impl Matrix {
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }

@@ -20,9 +20,9 @@ pub use builder::{train_pipeline, ModelType, PipelineSpec};
 pub use error::{MlError, Result};
 pub use frame::{FrameValue, Matrix, StringMatrix};
 pub use ops::{
-    format_numeric_category, sigmoid, Binarizer, ConstantNode, EnsembleKind, FeatureExtractor, Imputer, LabelEncoder,
-    LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm, Normalizer,
-    OneHotEncoder, Operator, OperatorCategory, Scaler, Tree, TreeEnsemble, TreeNode,
+    format_numeric_category, sigmoid, Binarizer, ConstantNode, EnsembleKind, FeatureExtractor,
+    Imputer, LabelEncoder, LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm,
+    Normalizer, OneHotEncoder, Operator, OperatorCategory, Scaler, Tree, TreeEnsemble, TreeNode,
 };
 pub use pipeline::{InputKind, Pipeline, PipelineInput, PipelineNode};
 pub use runtime::{bind_batch, column_to_frame, MlRuntime, RuntimeConfig};

@@ -242,8 +242,10 @@ mod tests {
             3
         );
         assert_eq!(
-            Operator::FeatureExtractor(FeatureExtractor { indices: vec![0, 2] })
-                .output_width(&[5]),
+            Operator::FeatureExtractor(FeatureExtractor {
+                indices: vec![0, 2]
+            })
+            .output_width(&[5]),
             2
         );
         assert_eq!(Operator::Scaler(Scaler::identity(4)).output_width(&[4]), 4);

@@ -353,9 +353,11 @@ impl TreeEnsemble {
     /// Predict the score for a single feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         match self.kind {
-            EnsembleKind::DecisionTreeClassifier | EnsembleKind::DecisionTreeRegressor => {
-                self.trees.first().map(|t| t.predict_row(row)).unwrap_or(0.0)
-            }
+            EnsembleKind::DecisionTreeClassifier | EnsembleKind::DecisionTreeRegressor => self
+                .trees
+                .first()
+                .map(|t| t.predict_row(row))
+                .unwrap_or(0.0),
             EnsembleKind::RandomForestClassifier => {
                 if self.trees.is_empty() {
                     return 0.0;
@@ -449,11 +451,35 @@ mod tests {
         // nodes: indices chosen to exercise non-sequential layout
         Tree {
             nodes: vec![
-                /* 0 */ TreeNode::Branch { feature: 3, threshold: 0.5, left: 1, right: 2 },
-                /* 1 */ TreeNode::Branch { feature: 0, threshold: 60.0, left: 3, right: 4 },
-                /* 2 */ TreeNode::Branch { feature: 2, threshold: 0.5, left: 5, right: 6 },
+                /* 0 */
+                TreeNode::Branch {
+                    feature: 3,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                /* 1 */
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 60.0,
+                    left: 3,
+                    right: 4,
+                },
+                /* 2 */
+                TreeNode::Branch {
+                    feature: 2,
+                    threshold: 0.5,
+                    left: 5,
+                    right: 6,
+                },
                 /* 3 */ TreeNode::Leaf { value: 0.0 },
-                /* 4 */ TreeNode::Branch { feature: 1, threshold: 1.0, left: 7, right: 8 },
+                /* 4 */
+                TreeNode::Branch {
+                    feature: 1,
+                    threshold: 1.0,
+                    left: 7,
+                    right: 8,
+                },
                 /* 5 */ TreeNode::Leaf { value: 1.0 },
                 /* 6 */ TreeNode::Leaf { value: 0.0 },
                 /* 7 */ TreeNode::Leaf { value: 1.0 },

@@ -265,9 +265,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{
-        ConstantNode, OneHotEncoder, Operator, Scaler, Tree, TreeEnsemble,
-    };
+    use crate::ops::{ConstantNode, OneHotEncoder, Operator, Scaler, Tree, TreeEnsemble};
 
     /// A miniature version of the paper's running-example pipeline:
     /// age, bmi → Scaler; asthma → OHE; Concat; TreeClassifier.

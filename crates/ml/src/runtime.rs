@@ -10,7 +10,7 @@ use crate::error::{MlError, Result};
 use crate::frame::{FrameValue, Matrix, StringMatrix};
 use crate::ops::{format_numeric_category, Operator};
 use crate::pipeline::{InputKind, Pipeline};
-use raven_columnar::{Batch, Column};
+use raven_columnar::{Batch, BatchStream, Column, ColumnarError, DataType, Field, Schema};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -73,7 +73,7 @@ impl MlRuntime {
             .values()
             .next()
             .map(|v| v.rows())
-            .or_else(|| Some(0))
+            .or(Some(0))
             .unwrap_or(0);
         for (name, v) in inputs {
             if v.rows() != rows {
@@ -92,6 +92,20 @@ impl MlRuntime {
     /// `batch_size` rows like the paper's vectorized UDF.
     pub fn run_batch(&self, pipeline: &Pipeline, batch: &Batch) -> Result<Vec<f64>> {
         self.charge(self.config.invocation_overhead);
+        self.run_batch_chunked(pipeline, batch)
+    }
+
+    /// Score one arriving batch of a stream **without** charging the
+    /// per-invocation (UDF/session startup) overhead — the streaming pipeline
+    /// charges that once per query via [`MlRuntime::charge_invocation`], then
+    /// scores each partition batch as it arrives, never concatenating the
+    /// table. Batches larger than `batch_size` are still chunked, and the
+    /// per-batch (data conversion) overhead is charged per chunk, so overhead
+    /// accounting matches the materialized path that scores the same rows.
+    pub fn run_batch_chunked(&self, pipeline: &Pipeline, batch: &Batch) -> Result<Vec<f64>> {
+        if batch.num_rows() == 0 {
+            return Ok(Vec::new());
+        }
         let mut scores = Vec::with_capacity(batch.num_rows());
         let chunks = batch
             .chunks(self.config.batch_size.max(1))
@@ -112,10 +126,77 @@ impl MlRuntime {
         Ok(scores)
     }
 
+    /// Charge the per-invocation overhead once (used by streaming callers
+    /// pairing one invocation with many [`MlRuntime::run_batch_chunked`]
+    /// calls).
+    pub fn charge_invocation(&self) {
+        self.charge(self.config.invocation_overhead);
+    }
+
+    /// Score one (partition) batch and append the predictions as a `Float64`
+    /// column named `score_column`. This is the single source of truth for
+    /// the per-batch scoring stage of a streaming pipeline — both
+    /// [`MlRuntime::score_stream`] and the session's partition-parallel
+    /// scoring operator go through it. No per-invocation overhead is charged
+    /// (see [`MlRuntime::charge_invocation`]).
+    pub fn score_batch_into(
+        &self,
+        pipeline: &Pipeline,
+        batch: &Batch,
+        score_column: &str,
+    ) -> Result<Batch> {
+        let scores = self.run_batch_chunked(pipeline, batch)?;
+        batch
+            .with_column(
+                Field::new(score_column, DataType::Float64),
+                std::sync::Arc::new(Column::Float64(scores)),
+            )
+            .map_err(MlError::from)
+    }
+
+    /// Attach a scoring stage to a [`BatchStream`]: each partition batch is
+    /// scored as it arrives (chunked by `batch_size`, per-batch overhead per
+    /// chunk) and the predictions are appended as a `Float64` column named
+    /// `score_column`. The per-invocation overhead is charged once, up front —
+    /// the stream crosses the engine/runtime boundary once per query, not once
+    /// per partition. The input table is never concatenated.
+    pub fn score_stream(
+        &self,
+        pipeline: &Pipeline,
+        stream: BatchStream,
+        score_column: &str,
+    ) -> BatchStream {
+        self.charge_invocation();
+        let runtime = self.clone();
+        let pipeline = pipeline.clone();
+        let column = score_column.to_string();
+        let schema = stream.schema().clone();
+        // Mirror `Batch::with_column`: replace the field when the score
+        // column shadows an existing one, append otherwise.
+        let mut fields: Vec<Field> = schema.fields().to_vec();
+        match fields.iter_mut().find(|f| f.name() == column) {
+            Some(field) => *field = Field::new(&column, DataType::Float64),
+            None => fields.push(Field::new(&column, DataType::Float64)),
+        }
+        let out_schema = Schema::new(fields)
+            .map(std::sync::Arc::new)
+            .unwrap_or(schema);
+        stream.with_schema(out_schema).map(move |mut item| {
+            item.batch = runtime
+                .score_batch_into(&pipeline, &item.batch, &column)
+                .map_err(|e| ColumnarError::Execution(e.to_string()))?;
+            Ok(Some(item))
+        })
+    }
+
     /// Row-at-a-time interpreted evaluation (the SparkML-style baseline used
     /// in §7.1.1's comparison): binds and evaluates the pipeline one row at a
     /// time, paying the full graph-interpretation overhead per row.
-    pub fn run_batch_row_interpreted(&self, pipeline: &Pipeline, batch: &Batch) -> Result<Vec<f64>> {
+    pub fn run_batch_row_interpreted(
+        &self,
+        pipeline: &Pipeline,
+        batch: &Batch,
+    ) -> Result<Vec<f64>> {
         self.charge(self.config.invocation_overhead);
         let mut scores = Vec::with_capacity(batch.num_rows());
         for row in 0..batch.num_rows() {
@@ -134,9 +215,8 @@ impl MlRuntime {
         rows: usize,
     ) -> Result<FrameValue> {
         pipeline.validate()?;
-        let mut values: HashMap<&str, FrameValue> = HashMap::with_capacity(
-            pipeline.nodes.len() + inputs.len(),
-        );
+        let mut values: HashMap<&str, FrameValue> =
+            HashMap::with_capacity(pipeline.nodes.len() + inputs.len());
         for input in &pipeline.inputs {
             let v = inputs.get(&input.name).ok_or_else(|| {
                 MlError::MissingInput(format!("pipeline input {} not bound", input.name))
@@ -307,8 +387,10 @@ mod tests {
 
     #[test]
     fn run_batch_chunked_matches_unchunked() {
-        let mut cfg = RuntimeConfig::default();
-        cfg.batch_size = 2;
+        let cfg = RuntimeConfig {
+            batch_size: 2,
+            ..RuntimeConfig::default()
+        };
         let chunked = MlRuntime::with_config(cfg)
             .run_batch(&pipeline(), &batch())
             .unwrap();
@@ -320,10 +402,51 @@ mod tests {
     fn row_interpreted_matches_vectorized() {
         let rt = MlRuntime::new();
         let a = rt.run_batch(&pipeline(), &batch()).unwrap();
-        let b = rt
-            .run_batch_row_interpreted(&pipeline(), &batch())
-            .unwrap();
+        let b = rt.run_batch_row_interpreted(&pipeline(), &batch()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn score_stream_matches_run_batch_without_concat() {
+        use raven_columnar::{partition_by_column, BatchStream, PartitionSpec, Table};
+        let rt = MlRuntime::with_config(RuntimeConfig {
+            batch_size: 2,
+            ..RuntimeConfig::default()
+        });
+        let whole = batch();
+        let expected = MlRuntime::new().run_batch(&pipeline(), &whole).unwrap();
+        let table = Table::from_batch("t", whole).unwrap();
+        let table =
+            partition_by_column(&table, &PartitionSpec::RoundRobin { partitions: 3 }).unwrap();
+        for dop in [1, 2] {
+            let items = rt
+                .score_stream(&pipeline(), BatchStream::from_table(&table), "score")
+                .collect(dop)
+                .unwrap();
+            assert_eq!(items.len(), 3);
+            let mut streamed = Vec::new();
+            for item in &items {
+                assert!(item.batch.schema().contains("score"));
+                streamed.extend_from_slice(
+                    item.batch
+                        .column_by_name("score")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap(),
+                );
+            }
+            assert_eq!(streamed, expected);
+        }
+    }
+
+    #[test]
+    fn empty_batch_scores_empty() {
+        let rt = MlRuntime::new();
+        let empty = batch().slice(0, 0).unwrap();
+        assert_eq!(
+            rt.run_batch_chunked(&pipeline(), &empty).unwrap(),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]

@@ -41,11 +41,7 @@ pub fn fit_standard_scaler(x: &Matrix) -> Scaler {
 /// Fit a one-hot encoder from observed category strings (sorted for
 /// determinism).
 pub fn fit_one_hot(values: &[String]) -> OneHotEncoder {
-    let mut cats: BTreeSet<String> = values
-        .iter()
-        .filter(|s| !s.is_empty())
-        .cloned()
-        .collect();
+    let mut cats: BTreeSet<String> = values.iter().filter(|s| !s.is_empty()).cloned().collect();
     if cats.is_empty() {
         cats.insert("<missing>".to_string());
     }
@@ -126,6 +122,7 @@ fn train_glm(
     for _ in 0..config.epochs {
         let mut gw = vec![0.0; d];
         let mut gb = 0.0;
+        #[allow(clippy::needless_range_loop)] // i indexes both x rows and y
         for i in 0..n {
             let row = x.row(i);
             let mut z = b;
@@ -214,7 +211,12 @@ fn bin_features(x: &Matrix, n_bins: usize) -> BinnedData {
     let mut edges = Vec::with_capacity(x.cols());
     let mut bins = Vec::with_capacity(x.cols());
     for c in 0..x.cols() {
-        let mut vals: Vec<f64> = x.column(c).iter().copied().filter(|v| !v.is_nan()).collect();
+        let mut vals: Vec<f64> = x
+            .column(c)
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         vals.dedup();
         let mut e = Vec::new();
@@ -279,10 +281,7 @@ fn grow(
     nodes: &mut Vec<TreeNode>,
 ) -> usize {
     let leaf_value = mean(y, rows);
-    if depth >= config.max_depth
-        || rows.len() < config.min_samples_split
-        || is_pure(y, rows)
-    {
+    if depth >= config.max_depth || rows.len() < config.min_samples_split || is_pure(y, rows) {
         nodes.push(TreeNode::Leaf { value: leaf_value });
         return nodes.len() - 1;
     }
@@ -557,18 +556,12 @@ pub fn train_gradient_boosting(
         let mut rng = StdRng::seed_from_u64(tree_cfg.seed);
         let mut nodes = Vec::new();
         let root = grow(
-            &binned,
-            &residuals,
-            &rows,
-            0,
-            &tree_cfg,
-            &mut rng,
-            &mut nodes,
+            &binned, &residuals, &rows, 0, &tree_cfg, &mut rng, &mut nodes,
         );
         let tree = Tree { nodes, root };
-        for i in 0..n {
+        for (i, r) in raw.iter_mut().enumerate().take(n) {
             // feature row needed for prediction: reconstruct from matrix
-            raw[i] += config.learning_rate * tree.predict_row(x.row(i));
+            *r += config.learning_rate * tree.predict_row(x.row(i));
         }
         trees.push(tree);
     }
@@ -605,7 +598,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cols = Vec::with_capacity(d);
         for _ in 0..d {
-            cols.push((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>());
+            cols.push(
+                (0..n)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect::<Vec<f64>>(),
+            );
         }
         let y: Vec<f64> = (0..n)
             .map(|i| {
@@ -668,8 +665,8 @@ mod tests {
 
     #[test]
     fn linear_regression_fits_line() {
-        let x = Matrix::from_columns(&[(0..50).map(|i| i as f64 / 10.0).collect::<Vec<_>>()])
-            .unwrap();
+        let x =
+            Matrix::from_columns(&[(0..50).map(|i| i as f64 / 10.0).collect::<Vec<_>>()]).unwrap();
         let y: Vec<f64> = x.column(0).iter().map(|v| 3.0 * v + 1.0).collect();
         let m = train_linear_regression(
             &x,

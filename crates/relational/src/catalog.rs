@@ -19,7 +19,8 @@ impl Catalog {
 
     /// Register (or replace) a table under its own name.
     pub fn register(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), Arc::new(table));
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Register (or replace) a table under an explicit name.
@@ -120,7 +121,10 @@ mod tests {
     #[test]
     fn register_as_alias() {
         let mut c = catalog();
-        let t = TableBuilder::new("x").add_i64("a", vec![1]).build().unwrap();
+        let t = TableBuilder::new("x")
+            .add_i64("a", vec![1])
+            .build()
+            .unwrap();
         c.register_as("alias", t);
         assert!(c.contains("alias"));
     }

@@ -22,6 +22,16 @@ pub fn evaluate(expr: &Expr, batch: &Batch) -> Result<ColumnRef> {
             let b = as_bool_vec(&v)?;
             Ok(Arc::new(Column::Boolean(b.iter().map(|x| !x).collect())))
         }
+        // IS NULL follows the columnar layer's in-band missing-value
+        // convention (see `raven-columnar`'s crate docs) uniformly across all
+        // four column types:
+        //   * Float64 — `NaN` is the missing marker, so `IS NULL` ⇔ `is_nan`;
+        //   * Utf8    — the empty string is the missing marker;
+        //   * Int64 / Boolean — these types have no in-band missing
+        //     representation (every bit pattern is a valid value), so
+        //     `IS NULL` is uniformly `false`.
+        // Statistics (`ColumnStatistics::null_count`) count missing values
+        // with exactly the same rule, keeping pruning and evaluation aligned.
         Expr::IsNull(e) => {
             let v = evaluate(e, batch)?;
             let mask = match v.as_ref() {
@@ -149,9 +159,11 @@ fn as_bool_vec(col: &Column) -> Result<Vec<bool>> {
 fn cast_column(col: &Column, to: DataType) -> Result<ColumnRef> {
     let out = match (col, to) {
         (c, t) if c.data_type() == t => c.clone(),
-        (Column::Utf8(v), DataType::Float64) => {
-            Column::Float64(v.iter().map(|s| s.parse::<f64>().unwrap_or(f64::NAN)).collect())
-        }
+        (Column::Utf8(v), DataType::Float64) => Column::Float64(
+            v.iter()
+                .map(|s| s.parse::<f64>().unwrap_or(f64::NAN))
+                .collect(),
+        ),
         (Column::Utf8(v), DataType::Int64) => {
             Column::Int64(v.iter().map(|s| s.parse::<i64>().unwrap_or(0)).collect())
         }
@@ -240,7 +252,11 @@ fn evaluate_binary(left: &Column, op: BinaryOp, right: &Column) -> Result<Column
                 .collect();
             Ok(Arc::new(Column::Float64(out)))
         }
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
         | BinaryOp::GtEq => {
             // String comparison when both sides are strings; numeric otherwise.
             if let (Column::Utf8(a), Column::Utf8(b)) = (left, right) {
@@ -323,10 +339,7 @@ mod tests {
         assert_eq!(c.as_f64().unwrap(), &[61.0, 131.0, 141.0]);
 
         let p = col("age").gt(lit(60.0));
-        assert_eq!(
-            evaluate_predicate(&p, &b).unwrap(),
-            vec![false, true, true]
-        );
+        assert_eq!(evaluate_predicate(&p, &b).unwrap(), vec![false, true, true]);
     }
 
     #[test]
@@ -350,10 +363,7 @@ mod tests {
     fn string_comparison() {
         let b = batch();
         let e = col("state").eq(lit("wa"));
-        assert_eq!(
-            evaluate_predicate(&e, &b).unwrap(),
-            vec![true, false, true]
-        );
+        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![true, false, true]);
         assert!(evaluate(&col("state").gt(lit(1.0)), &b).is_err());
     }
 
@@ -361,10 +371,7 @@ mod tests {
     fn boolean_logic_and_not() {
         let b = batch();
         let e = col("flag").and(col("asthma").eq(lit(1i64)));
-        assert_eq!(
-            evaluate_predicate(&e, &b).unwrap(),
-            vec![true, false, true]
-        );
+        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![true, false, true]);
         let n = col("flag").negate();
         assert_eq!(
             evaluate_predicate(&n, &b).unwrap(),
@@ -385,7 +392,11 @@ mod tests {
         let c = evaluate(&e, &b).unwrap();
         assert_eq!(
             c.as_utf8().unwrap(),
-            &["adult".to_string(), "senior".to_string(), "senior".to_string()]
+            &[
+                "adult".to_string(),
+                "senior".to_string(),
+                "senior".to_string()
+            ]
         );
     }
 
@@ -420,6 +431,69 @@ mod tests {
             evaluate_predicate(&col("x").is_null(), &b2).unwrap(),
             vec![false, true]
         );
+    }
+
+    /// Pins the IS NULL convention for every column type: NaN-as-null for
+    /// Float64, empty-string-as-null for Utf8, and never-null for the types
+    /// without an in-band missing representation (Int64, Boolean).
+    #[test]
+    fn is_null_convention_across_all_column_types() {
+        let b = TableBuilder::new("t")
+            .add_f64("f", vec![1.0, f64::NAN, 0.0])
+            .add_utf8("s", vec!["x".into(), "".into(), " ".into()])
+            .add_i64("i", vec![0, -1, i64::MAX])
+            .add_bool("b", vec![true, false, false])
+            .build_batch()
+            .unwrap();
+        assert_eq!(
+            evaluate_predicate(&col("f").is_null(), &b).unwrap(),
+            vec![false, true, false],
+            "Float64: NaN is null, 0.0 is not"
+        );
+        assert_eq!(
+            evaluate_predicate(&col("s").is_null(), &b).unwrap(),
+            vec![false, true, false],
+            "Utf8: empty string is null, whitespace is not"
+        );
+        assert_eq!(
+            evaluate_predicate(&col("i").is_null(), &b).unwrap(),
+            vec![false, false, false],
+            "Int64 has no in-band missing representation"
+        );
+        assert_eq!(
+            evaluate_predicate(&col("b").is_null(), &b).unwrap(),
+            vec![false, false, false],
+            "Boolean has no in-band missing representation"
+        );
+        // NOT (x IS NULL) composes as expected
+        assert_eq!(
+            evaluate_predicate(&col("f").is_null().negate(), &b).unwrap(),
+            vec![true, false, true]
+        );
+    }
+
+    /// The convention agrees with what `ColumnStatistics::null_count` counts.
+    #[test]
+    fn is_null_agrees_with_statistics_null_count() {
+        let b = TableBuilder::new("t")
+            .add_f64("f", vec![1.0, f64::NAN, f64::NAN])
+            .add_utf8("s", vec!["x".into(), "".into(), "y".into()])
+            .add_i64("i", vec![1, 2, 3])
+            .build_batch()
+            .unwrap();
+        let stats = b.statistics().unwrap();
+        for name in ["f", "s", "i"] {
+            let nulls = evaluate_predicate(&col(name).is_null(), &b)
+                .unwrap()
+                .iter()
+                .filter(|&&x| x)
+                .count();
+            assert_eq!(
+                nulls,
+                stats.column(name).unwrap().null_count,
+                "IS NULL and statistics disagree on column {name}"
+            );
+        }
     }
 
     #[test]

@@ -277,15 +277,19 @@ impl Expr {
     pub fn gt_eq(self, other: Expr) -> Expr {
         binary(self, BinaryOp::GtEq, other)
     }
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on Expr values
     pub fn add(self, other: Expr) -> Expr {
         binary(self, BinaryOp::Add, other)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         binary(self, BinaryOp::Subtract, other)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         binary(self, BinaryOp::Multiply, other)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         binary(self, BinaryOp::Divide, other)
     }
@@ -412,7 +416,10 @@ mod tests {
 
     #[test]
     fn split_and_rebuild_conjunction() {
-        let e = col("a").eq(lit(1i64)).and(col("b").gt(lit(2.0))).and(col("c").lt(lit(3.0)));
+        let e = col("a")
+            .eq(lit(1i64))
+            .and(col("b").gt(lit(2.0)))
+            .and(col("c").lt(lit(3.0)));
         let parts = e.split_conjunction();
         assert_eq!(parts.len(), 3);
         let rebuilt = Expr::conjunction(parts.into_iter().cloned().collect());
@@ -436,8 +443,14 @@ mod tests {
         assert_eq!(c, "age");
         assert_eq!(op, BinaryOp::Gt);
 
-        assert!(col("a").add(lit(1.0)).as_column_literal_comparison().is_none());
-        assert!(col("a").and(col("b")).as_column_literal_comparison().is_none());
+        assert!(col("a")
+            .add(lit(1.0))
+            .as_column_literal_comparison()
+            .is_none());
+        assert!(col("a")
+            .and(col("b"))
+            .as_column_literal_comparison()
+            .is_none());
     }
 
     #[test]

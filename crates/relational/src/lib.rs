@@ -23,6 +23,7 @@ pub mod expr;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
+pub mod prune;
 
 pub use catalog::Catalog;
 pub use error::{RelationalError, Result};
@@ -31,3 +32,4 @@ pub use expr::{binary, case, col, lit, AggregateFunction, BinaryOp, Expr, Scalar
 pub use logical::{AggregateExpr, LogicalPlan};
 pub use optimizer::{fold_expr, Optimizer, OptimizerOptions};
 pub use physical::{ExecutionContext, ExecutionMetrics, Executor};
+pub use prune::{may_satisfy, may_satisfy_all};

@@ -169,12 +169,7 @@ impl LogicalPlan {
                         }
                     }
                 }
-                let lookup = |name: &str| {
-                    in_schema
-                        .field_by_name(name)
-                        .ok()
-                        .map(|f| f.data_type())
-                };
+                let lookup = |name: &str| in_schema.field_by_name(name).ok().map(|f| f.data_type());
                 let fields = exprs
                     .iter()
                     .map(|e| Field::new(e.output_name(), expr_data_type(e, &lookup)))
@@ -380,19 +375,13 @@ mod tests {
     #[test]
     fn join_schema_merges_and_validates() {
         let c = catalog();
-        let plan = LogicalPlan::scan("patient_info").join(
-            LogicalPlan::scan("blood_test"),
-            "id",
-            "id",
-        );
+        let plan =
+            LogicalPlan::scan("patient_info").join(LogicalPlan::scan("blood_test"), "id", "id");
         let s = plan.schema(&c).unwrap();
         assert_eq!(s.names(), vec!["id", "age", "asthma", "r.id", "bpm"]);
 
-        let bad = LogicalPlan::scan("patient_info").join(
-            LogicalPlan::scan("blood_test"),
-            "id",
-            "wrong",
-        );
+        let bad =
+            LogicalPlan::scan("patient_info").join(LogicalPlan::scan("blood_test"), "id", "wrong");
         assert!(bad.schema(&c).is_err());
     }
 

@@ -780,7 +780,10 @@ mod tests {
             other => panic!("expected CASE, got {other:?}"),
         }
 
-        let always = case(vec![(Expr::Literal(Value::Boolean(true)), lit(9.0))], lit(1.0));
+        let always = case(
+            vec![(Expr::Literal(Value::Boolean(true)), lit(9.0))],
+            lit(1.0),
+        );
         assert_eq!(fold_expr(&always), lit(9.0));
     }
 

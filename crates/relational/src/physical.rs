@@ -1,17 +1,24 @@
-//! Physical (vectorized) execution of logical plans.
+//! Physical (vectorized, streaming) execution of logical plans.
 //!
-//! Execution is partition-parallel: the leaf pipelines (scan → filter →
-//! project) run independently per table partition with up to
-//! [`ExecutionContext::degree_of_parallelism`] worker threads, mirroring how
-//! the paper's host engines parallelize (Spark tasks, SQL Server DOP).
-//! Pipeline breakers (join build, aggregation) gather their inputs.
+//! Execution is partition-parallel and streaming: every plan compiles to a
+//! [`BatchStream`] whose per-partition operator chain (scan → filter →
+//! project) is fused and driven by a worker pool with up to
+//! [`ExecutionContext::degree_of_parallelism`] threads, mirroring how the
+//! paper's host engines parallelize (Spark tasks, SQL Server DOP). Scans
+//! prune partitions whose min/max statistics cannot satisfy the pushed-down
+//! filters (the paper's data-induced compute pruning, §4.2) without touching
+//! their data. Pipeline breakers — join build sides, aggregation, and limit —
+//! are the only operators that gather their whole input; everything else
+//! flows one partition at a time, and [`Batch::concat`] happens only at the
+//! final output boundary inside [`Executor::execute`].
 
 use crate::catalog::Catalog;
 use crate::error::{RelationalError, Result};
 use crate::eval::{evaluate, evaluate_predicate};
 use crate::expr::{AggregateFunction, Expr};
 use crate::logical::{AggregateExpr, LogicalPlan};
-use raven_columnar::{Batch, Column, DataType, Schema, Value};
+use crate::prune;
+use raven_columnar::{Batch, BatchStream, Column, ColumnarError, DataType, Schema, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,6 +31,11 @@ pub struct ExecutionContext {
     pub degree_of_parallelism: usize,
     /// Target rows per batch for chunked operators.
     pub batch_size: usize,
+    /// Skip partitions whose min/max statistics cannot satisfy the scan's
+    /// pushed-down filters (the paper's data-induced compute pruning, §4.2).
+    /// Disabled by legacy/baseline plans that model engines without
+    /// statistics-driven pruning.
+    pub partition_pruning: bool,
 }
 
 impl Default for ExecutionContext {
@@ -31,6 +43,7 @@ impl Default for ExecutionContext {
         ExecutionContext {
             degree_of_parallelism: 1,
             batch_size: 10_000,
+            partition_pruning: true,
         }
     }
 }
@@ -45,14 +58,22 @@ impl ExecutionContext {
     }
 }
 
+/// Carry a relational error through the columnar stream driver.
+fn stream_err(e: RelationalError) -> ColumnarError {
+    ColumnarError::Execution(e.to_string())
+}
+
 /// Metrics collected during execution, used by the experiment harnesses to
-/// report data volumes (e.g. how much scanning model-projection pushdown saved).
+/// report data volumes (e.g. how much scanning model-projection pushdown
+/// saved) and partition-pruning effectiveness.
 #[derive(Debug, Default)]
 pub struct ExecutionMetrics {
     rows_scanned: AtomicUsize,
     bytes_scanned: AtomicUsize,
     rows_joined: AtomicUsize,
     output_rows: AtomicUsize,
+    partitions_scanned: AtomicUsize,
+    partitions_pruned: AtomicUsize,
 }
 
 impl ExecutionMetrics {
@@ -71,6 +92,15 @@ impl ExecutionMetrics {
     /// Rows in the final result.
     pub fn output_rows(&self) -> usize {
         self.output_rows.load(Ordering::Relaxed)
+    }
+    /// Partitions whose data was actually scanned.
+    pub fn partitions_scanned(&self) -> usize {
+        self.partitions_scanned.load(Ordering::Relaxed)
+    }
+    /// Partitions skipped entirely because their min/max statistics could not
+    /// satisfy the scan's pushed-down filters.
+    pub fn partitions_pruned(&self) -> usize {
+        self.partitions_pruned.load(Ordering::Relaxed)
     }
 }
 
@@ -91,15 +121,18 @@ impl Executor {
         self.metrics.clone()
     }
 
-    /// Execute a logical plan, returning a single result batch.
+    /// Execute a logical plan, returning a single result batch. This is the
+    /// final output boundary: the streaming pipeline built by
+    /// [`Executor::execute_stream`] is driven to completion and its surviving
+    /// partitions are concatenated exactly once.
     pub fn execute(
         &self,
         plan: &LogicalPlan,
         catalog: &Catalog,
         ctx: &ExecutionContext,
     ) -> Result<Batch> {
-        let parts = self.execute_partitioned(plan, catalog, ctx)?;
-        let out = concat_parts(parts, plan, catalog)?;
+        let stream = self.execute_stream(plan, catalog, ctx)?;
+        let out = stream.concat(ctx.degree_of_parallelism)?;
         self.metrics
             .output_rows
             .store(out.num_rows(), Ordering::Relaxed);
@@ -107,13 +140,32 @@ impl Executor {
     }
 
     /// Execute a logical plan keeping the partition structure of its inputs
-    /// (each element of the result is one partition's output).
+    /// (each element of the result is one surviving partition's output).
     pub fn execute_partitioned(
         &self,
         plan: &LogicalPlan,
         catalog: &Catalog,
         ctx: &ExecutionContext,
     ) -> Result<Vec<Batch>> {
+        let stream = self.execute_stream(plan, catalog, ctx)?;
+        let items = stream.collect(ctx.degree_of_parallelism)?;
+        Ok(items.into_iter().map(|i| i.batch).collect())
+    }
+
+    /// Compile a logical plan into a streaming, partition-parallel pipeline.
+    ///
+    /// Scan, filter, and projection become fused per-partition operators on
+    /// the returned [`BatchStream`]; the scan operator additionally prunes
+    /// partitions whose statistics cannot satisfy the pushed-down filters
+    /// before reading any data. Join build sides, aggregates, and limits are
+    /// pipeline breakers: they drive their input stream to completion (with
+    /// `ctx.degree_of_parallelism` workers) and re-emit a stream.
+    pub fn execute_stream(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        ctx: &ExecutionContext,
+    ) -> Result<BatchStream> {
         match plan {
             LogicalPlan::Scan {
                 table,
@@ -121,44 +173,60 @@ impl Executor {
                 filters,
             } => {
                 let t = catalog.table(table)?;
-                let parts: Vec<Batch> = t.partitions().to_vec();
+                let out_schema = Arc::new(plan.schema(catalog)?);
                 let projection = projection.clone();
                 let filters = filters.clone();
                 let metrics = self.metrics.clone();
-                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
-                    let mut batch = batch;
-                    for f in &filters {
-                        let mask = evaluate_predicate(f, &batch)?;
-                        batch = batch.filter(&mask)?;
-                    }
-                    if let Some(cols) = &projection {
-                        let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-                        batch = batch.project_names(&names)?;
-                    }
-                    metrics
-                        .rows_scanned
-                        .fetch_add(batch.num_rows(), Ordering::Relaxed);
-                    metrics
-                        .bytes_scanned
-                        .fetch_add(batch.byte_size(), Ordering::Relaxed);
-                    Ok(batch)
-                })
+                let pruning = ctx.partition_pruning;
+                Ok(BatchStream::from_table(&t)
+                    .with_schema(out_schema)
+                    .map(move |mut item| {
+                        // Data-induced partition pruning (§4.2): skip the
+                        // partition without scanning when its min/max
+                        // statistics prove every filter row-empty.
+                        if let (true, Some(stats)) = (pruning, &item.stats) {
+                            if !prune::may_satisfy_all(&filters, stats) {
+                                metrics.partitions_pruned.fetch_add(1, Ordering::Relaxed);
+                                return Ok(None);
+                            }
+                        }
+                        metrics.partitions_scanned.fetch_add(1, Ordering::Relaxed);
+                        for f in &filters {
+                            let mask = evaluate_predicate(f, &item.batch).map_err(stream_err)?;
+                            item.batch = item.batch.filter(&mask)?;
+                        }
+                        if let Some(cols) = &projection {
+                            let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+                            item.batch = item.batch.project_names(&names)?;
+                        }
+                        metrics
+                            .rows_scanned
+                            .fetch_add(item.batch.num_rows(), Ordering::Relaxed);
+                        metrics
+                            .bytes_scanned
+                            .fetch_add(item.batch.byte_size(), Ordering::Relaxed);
+                        Ok(Some(item))
+                    }))
             }
             LogicalPlan::Filter { predicate, input } => {
-                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let stream = self.execute_stream(input, catalog, ctx)?;
                 let predicate = predicate.clone();
-                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
-                    let mask = evaluate_predicate(&predicate, &batch)?;
-                    Ok(batch.filter(&mask)?)
-                })
+                Ok(stream.map(move |mut item| {
+                    let mask = evaluate_predicate(&predicate, &item.batch).map_err(stream_err)?;
+                    item.batch = item.batch.filter(&mask)?;
+                    Ok(Some(item))
+                }))
             }
             LogicalPlan::Projection { exprs, input } => {
-                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                let stream = self.execute_stream(input, catalog, ctx)?;
                 let exprs = exprs.clone();
-                let out_schema = plan.schema(catalog)?;
-                parallel_map(parts, ctx.degree_of_parallelism, move |batch| {
-                    project_batch(&exprs, &out_schema, &batch)
-                })
+                let out_schema = Arc::new(plan.schema(catalog)?);
+                let op_schema = out_schema.clone();
+                Ok(stream.with_schema(out_schema).map(move |mut item| {
+                    item.batch =
+                        project_batch(&exprs, &op_schema, &item.batch).map_err(stream_err)?;
+                    Ok(Some(item))
+                }))
             }
             LogicalPlan::Join {
                 left,
@@ -166,138 +234,70 @@ impl Executor {
                 left_key,
                 right_key,
             } => {
-                let left_parts = self.execute_partitioned(left, catalog, ctx)?;
-                let right_parts = self.execute_partitioned(right, catalog, ctx)?;
-                let right_all = Batch::concat(&right_parts)?;
+                // Pipeline breaker: the build side materializes fully before
+                // the probe side streams through it partition by partition.
+                let right_all = self
+                    .execute_stream(right, catalog, ctx)?
+                    .concat(ctx.degree_of_parallelism)?;
                 let out_schema = Arc::new(plan.schema(catalog)?);
                 let build = Arc::new(build_hash_table(&right_all, right_key)?);
+                let right_all = Arc::new(right_all);
                 let left_key = left_key.clone();
                 let metrics = self.metrics.clone();
-                let right_all = Arc::new(right_all);
-                parallel_map(left_parts, ctx.degree_of_parallelism, move |batch| {
+                let op_schema = out_schema.clone();
+                let stream = self.execute_stream(left, catalog, ctx)?;
+                Ok(stream.with_schema(out_schema).map(move |mut item| {
                     let joined = probe_hash_join(
-                        &batch,
+                        &item.batch,
                         &right_all,
                         &build,
                         &left_key,
-                        out_schema.clone(),
-                    )?;
+                        op_schema.clone(),
+                    )
+                    .map_err(stream_err)?;
                     metrics
                         .rows_joined
                         .fetch_add(joined.num_rows(), Ordering::Relaxed);
-                    Ok(joined)
-                })
+                    item.batch = joined;
+                    // Source statistics no longer describe the joined rows.
+                    item.stats = None;
+                    Ok(Some(item))
+                }))
             }
             LogicalPlan::Aggregate {
                 group_by,
                 aggregates,
                 input,
             } => {
-                let parts = self.execute_partitioned(input, catalog, ctx)?;
-                let all = Batch::concat(&parts)?;
+                // Pipeline breaker: aggregation needs every input row.
+                let all = self
+                    .execute_stream(input, catalog, ctx)?
+                    .concat(ctx.degree_of_parallelism)?;
                 let out_schema = Arc::new(plan.schema(catalog)?);
-                Ok(vec![aggregate_batch(&all, group_by, aggregates, out_schema)?])
+                let out = aggregate_batch(&all, group_by, aggregates, out_schema)?;
+                Ok(BatchStream::once(out))
             }
             LogicalPlan::Limit { n, input } => {
-                let parts = self.execute_partitioned(input, catalog, ctx)?;
+                // Pipeline breaker: "first n rows" is an inherently sequential
+                // cut across the partition order.
+                let stream = self.execute_stream(input, catalog, ctx)?;
+                let schema = stream.schema().clone();
+                let items = stream.collect(ctx.degree_of_parallelism)?;
                 let mut out = Vec::new();
                 let mut remaining = *n;
-                for p in parts {
+                for mut item in items {
                     if remaining == 0 {
                         break;
                     }
-                    let take = remaining.min(p.num_rows());
-                    out.push(p.slice(0, take)?);
+                    let take = remaining.min(item.batch.num_rows());
+                    item.batch = item.batch.slice(0, take)?;
                     remaining -= take;
+                    out.push(item);
                 }
-                if out.is_empty() {
-                    let schema = Arc::new(plan.schema(catalog)?);
-                    out.push(Batch::empty(schema)?);
-                }
-                Ok(out)
+                Ok(BatchStream::from_items(schema, out))
             }
         }
     }
-}
-
-fn concat_parts(parts: Vec<Batch>, plan: &LogicalPlan, catalog: &Catalog) -> Result<Batch> {
-    if parts.is_empty() {
-        let schema = Arc::new(plan.schema(catalog)?);
-        return Ok(Batch::empty(schema)?);
-    }
-    Ok(Batch::concat(&parts)?)
-}
-
-/// Apply `f` to every batch, using up to `dop` threads.
-fn parallel_map<F>(parts: Vec<Batch>, dop: usize, f: F) -> Result<Vec<Batch>>
-where
-    F: Fn(Batch) -> Result<Batch> + Send + Sync,
-{
-    if dop <= 1 || parts.len() <= 1 {
-        return parts.into_iter().map(f).collect();
-    }
-    let n = parts.len();
-    let inputs: Vec<(usize, Batch)> = parts.into_iter().enumerate().collect();
-    let queue = parking_lot_free_queue(inputs);
-    let results: Vec<parking::Slot<Result<Batch>>> = (0..n).map(|_| parking::Slot::new()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..dop.min(n) {
-            scope.spawn(|| {
-                while let Some((idx, batch)) = queue.pop() {
-                    results[idx].set(f(batch));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|slot| slot.take()).collect()
-}
-
-/// A minimal work queue / result slot implementation so the executor does not
-/// need an external thread-pool dependency.
-mod parking {
-    use std::sync::Mutex;
-
-    #[derive(Debug)]
-    pub struct Queue<T> {
-        items: Mutex<Vec<T>>,
-    }
-
-    impl<T> Queue<T> {
-        pub fn new(items: Vec<T>) -> Self {
-            Queue {
-                items: Mutex::new(items),
-            }
-        }
-        pub fn pop(&self) -> Option<T> {
-            self.items.lock().expect("queue poisoned").pop()
-        }
-    }
-
-    #[derive(Debug)]
-    pub struct Slot<T> {
-        value: Mutex<Option<T>>,
-    }
-
-    impl<T> Slot<T> {
-        pub fn new() -> Self {
-            Slot {
-                value: Mutex::new(None),
-            }
-        }
-        pub fn set(&self, value: T) {
-            *self.value.lock().expect("slot poisoned") = Some(value);
-        }
-        pub fn take(self) -> T {
-            self.value
-                .into_inner()
-                .expect("slot poisoned")
-                .expect("worker did not fill slot")
-        }
-    }
-}
-
-fn parking_lot_free_queue<T>(items: Vec<T>) -> parking::Queue<T> {
-    parking::Queue::new(items)
 }
 
 fn project_batch(exprs: &[Expr], out_schema: &Schema, batch: &Batch) -> Result<Batch> {
@@ -474,12 +474,24 @@ fn aggregate_batch(
     aggregates: &[AggregateExpr],
     out_schema: Arc<Schema>,
 ) -> Result<Batch> {
-    // Evaluate aggregate arguments once.
+    // Evaluate aggregate arguments once. A non-numeric argument is a type
+    // error for every aggregate except COUNT, which only counts rows and
+    // never reads the values (NaN placeholders keep the row count intact).
     let args: Vec<Vec<f64>> = aggregates
         .iter()
         .map(|a| {
             let col = evaluate(&a.arg, batch)?;
-            Ok(col.to_f64_vec().unwrap_or_else(|_| vec![0.0; batch.num_rows()]))
+            match col.to_f64_vec() {
+                Ok(values) => Ok(values),
+                Err(_) if a.func == AggregateFunction::Count => {
+                    Ok(vec![f64::NAN; batch.num_rows()])
+                }
+                Err(e) => Err(RelationalError::Evaluation(format!(
+                    "aggregate {}({}) requires a numeric argument: {e}",
+                    a.func,
+                    a.arg.output_name()
+                ))),
+            }
         })
         .collect::<Result<Vec<_>>>()?;
 
@@ -636,9 +648,44 @@ mod tests {
         let out = run(&plan, &c);
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.column_by_name("n").unwrap().as_i64().unwrap(), &[4]);
-        assert!(
-            (out.column_by_name("avg_age").unwrap().as_f64().unwrap()[0] - 53.75).abs() < 1e-9
+        assert!((out.column_by_name("avg_age").unwrap().as_f64().unwrap()[0] - 53.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_numeric_aggregate_argument_is_an_error_except_count() {
+        let mut c = catalog();
+        c.register(
+            TableBuilder::new("labeled")
+                .add_i64("id", vec![1, 2, 3])
+                .add_utf8("tag", vec!["a".into(), "b".into(), "".into()])
+                .build()
+                .unwrap(),
         );
+        // SUM over a string column must surface the type mismatch, not
+        // silently aggregate zeros
+        let plan = LogicalPlan::scan("labeled").aggregate(
+            vec![],
+            vec![AggregateExpr {
+                func: AggregateFunction::Sum,
+                arg: col("tag"),
+                alias: "s".into(),
+            }],
+        );
+        let err = Executor::new()
+            .execute(&plan, &c, &ExecutionContext::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("numeric argument"), "{err}");
+        // COUNT never reads the values, so counting a string column works
+        let plan = LogicalPlan::scan("labeled").aggregate(
+            vec![],
+            vec![AggregateExpr {
+                func: AggregateFunction::Count,
+                arg: col("tag"),
+                alias: "n".into(),
+            }],
+        );
+        let out = run(&plan, &c);
+        assert_eq!(out.column_by_name("n").unwrap().as_i64().unwrap(), &[3]);
     }
 
     #[test]
@@ -691,7 +738,12 @@ mod tests {
             .unwrap();
         assert_eq!(serial.num_rows(), 500);
         assert_eq!(parallel.num_rows(), 500);
-        let mut a = serial.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+        let mut a = serial
+            .column_by_name("id")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            .to_vec();
         let mut b = parallel
             .column_by_name("id")
             .unwrap()
@@ -709,7 +761,8 @@ mod tests {
         let exec = Executor::new();
         let plan = LogicalPlan::scan("patient_info").project(vec![col("age")]);
         let plan = Optimizer::new().optimize(&plan, &c).unwrap();
-        exec.execute(&plan, &c, &ExecutionContext::default()).unwrap();
+        exec.execute(&plan, &c, &ExecutionContext::default())
+            .unwrap();
         let m = exec.metrics();
         assert_eq!(m.rows_scanned(), 4);
         assert!(m.bytes_scanned() > 0);
@@ -732,6 +785,118 @@ mod tests {
         ax.sort_by(|p, q| p.partial_cmp(q).unwrap());
         bx.sort_by(|p, q| p.partial_cmp(q).unwrap());
         assert_eq!(ax, bx);
+    }
+
+    fn range_partitioned_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = TableBuilder::new("wide")
+            .add_i64("id", (0..1000).collect())
+            .add_f64("x", (0..1000).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        let t = raven_columnar::partition_by_column(
+            &t,
+            &raven_columnar::PartitionSpec::ByRange {
+                column: "x".into(),
+                partitions: 8,
+            },
+        )
+        .unwrap();
+        c.register(t);
+        c
+    }
+
+    #[test]
+    fn scan_prunes_partitions_via_stats() {
+        let c = range_partitioned_catalog();
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").gt_eq(lit(900.0)))
+            .project(vec![col("id")]);
+        // predicate pushdown moves the filter into the scan, enabling pruning
+        let plan = Optimizer::new().optimize(&plan, &c).unwrap();
+        for dop in [1, 4] {
+            let exec = Executor::new();
+            let out = exec
+                .execute(&plan, &c, &ExecutionContext::with_dop(dop))
+                .unwrap();
+            assert_eq!(out.num_rows(), 100);
+            let m = exec.metrics();
+            assert!(
+                m.partitions_pruned() >= 6,
+                "expected most partitions pruned, got {}",
+                m.partitions_pruned()
+            );
+            assert!(m.partitions_scanned() >= 1);
+            assert_eq!(m.partitions_scanned() + m.partitions_pruned(), 8);
+            // pruned partitions were never scanned
+            assert!(m.rows_scanned() <= 2 * 125);
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_results_agree() {
+        let c = range_partitioned_catalog();
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").lt(lit(130.0)))
+            .project(vec![col("id"), col("x")]);
+        // unoptimized: filter above the scan, nothing pruned
+        let exec_a = Executor::new();
+        let a = exec_a
+            .execute(&plan, &c, &ExecutionContext::with_dop(2))
+            .unwrap();
+        assert_eq!(exec_a.metrics().partitions_pruned(), 0);
+        // optimized: filter pushed into the scan, partitions pruned
+        let optimized = Optimizer::new().optimize(&plan, &c).unwrap();
+        let exec_b = Executor::new();
+        let b = exec_b
+            .execute(&optimized, &c, &ExecutionContext::with_dop(2))
+            .unwrap();
+        assert!(exec_b.metrics().partitions_pruned() > 0);
+        let mut ida = a.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+        let mut idb = b.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+        ida.sort();
+        idb.sort();
+        assert_eq!(ida, idb);
+    }
+
+    #[test]
+    fn execute_stream_keeps_partition_indices_and_stats() {
+        let c = range_partitioned_catalog();
+        let plan = LogicalPlan::scan("wide");
+        let exec = Executor::new();
+        let items = exec
+            .execute_stream(&plan, &c, &ExecutionContext::with_dop(2))
+            .unwrap()
+            .collect(2)
+            .unwrap();
+        assert_eq!(items.len(), 8);
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.partition, i);
+            assert!(item.stats.is_some(), "scan items carry partition stats");
+        }
+    }
+
+    #[test]
+    fn streaming_join_prunes_probe_side() {
+        let mut c = range_partitioned_catalog();
+        c.register(
+            TableBuilder::new("dim")
+                .add_i64("id", (0..1000).collect())
+                .add_f64("w", (0..1000).map(|i| i as f64 * 0.5).collect())
+                .build()
+                .unwrap(),
+        );
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").gt_eq(lit(875.0)))
+            .join(LogicalPlan::scan("dim"), "id", "id")
+            .project(vec![col("id"), col("w")]);
+        let plan = Optimizer::new().optimize(&plan, &c).unwrap();
+        let exec = Executor::new();
+        let out = exec
+            .execute(&plan, &c, &ExecutionContext::with_dop(2))
+            .unwrap();
+        assert_eq!(out.num_rows(), 125);
+        assert!(exec.metrics().partitions_pruned() >= 6);
     }
 
     #[test]

@@ -129,7 +129,13 @@ impl CompiledModel {
                         *a += s;
                     }
                 }
-                Ok(combine(&acc, trees.len(), *kind, *learning_rate, *base_score))
+                Ok(combine(
+                    &acc,
+                    trees.len(),
+                    *kind,
+                    *learning_rate,
+                    *base_score,
+                ))
             }
             CompiledModel::TraversalEnsemble {
                 trees,
@@ -146,7 +152,13 @@ impl CompiledModel {
                         *a += s;
                     }
                 }
-                Ok(combine(&acc, trees.len(), *kind, *learning_rate, *base_score))
+                Ok(combine(
+                    &acc,
+                    trees.len(),
+                    *kind,
+                    *learning_rate,
+                    *base_score,
+                ))
             }
         }
     }
@@ -166,10 +178,9 @@ impl CompiledModel {
                     rows * (features * internals * 2 + internals * leaves * 2 + leaves * 2)
                 })
                 .sum(),
-            CompiledModel::TraversalEnsemble { trees, .. } => trees
-                .iter()
-                .map(|t| rows * (t.depth as u64 + 1) * 6)
-                .sum(),
+            CompiledModel::TraversalEnsemble { trees, .. } => {
+                trees.iter().map(|t| rows * (t.depth as u64 + 1) * 6).sum()
+            }
         }
     }
 
@@ -182,10 +193,9 @@ impl CompiledModel {
                 .iter()
                 .map(|t| (t.a.len() + t.b.len() + t.c.len() + t.d.len() + t.e.len()) * 8)
                 .sum(),
-            CompiledModel::TraversalEnsemble { trees, .. } => trees
-                .iter()
-                .map(|t| t.features.len() * 5 * 8)
-                .sum(),
+            CompiledModel::TraversalEnsemble { trees, .. } => {
+                trees.iter().map(|t| t.features.len() * 5 * 8).sum()
+            }
         }
     }
 
@@ -327,9 +337,8 @@ fn compile_gemm_tree(tree: &Tree, n_features: usize) -> Result<GemmTree> {
         if let TreeNode::Leaf { value } = &tree.nodes[leaf_idx] {
             e.set(l, 0, *value);
         }
-        let path = path_to(tree, tree.root, leaf_idx).ok_or_else(|| {
-            TensorError::Shape("leaf unreachable from root".into())
-        })?;
+        let path = path_to(tree, tree.root, leaf_idx)
+            .ok_or_else(|| TensorError::Shape("leaf unreachable from root".into()))?;
         let mut expected = 0.0;
         for window in path.windows(2) {
             let (parent, child) = (window[0], window[1]);
@@ -439,6 +448,7 @@ fn eval_traversal_tree(x: &Tensor, tree: &TraversalTree) -> Vec<f64> {
     let rows = x.rows();
     let mut idx = vec![tree.root; rows];
     for _ in 0..=tree.depth {
+        #[allow(clippy::needless_range_loop)] // r indexes both idx and x rows
         for r in 0..rows {
             let i = idx[r];
             let f = tree.features[i];
@@ -456,9 +466,9 @@ fn eval_traversal_tree(x: &Tensor, tree: &TraversalTree) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raven_ml::{train_gradient_boosting, train_random_forest, BoostingConfig, ForestConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_ml::{train_gradient_boosting, train_random_forest, BoostingConfig, ForestConfig};
 
     fn dataset(n: usize, d: usize) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(9);
@@ -518,7 +528,10 @@ mod tests {
         let ens = example_ensemble();
         let compiled = compile_ensemble(&ens, Strategy::TreeTraversal).unwrap();
         let x = Matrix::from_columns(&[vec![0.0, 1.0, 2.0], vec![0.0, -2.0, 1.0]]).unwrap();
-        assert_eq!(ens.predict(&x).unwrap().column(0), compiled.predict(&x).unwrap());
+        assert_eq!(
+            ens.predict(&x).unwrap().column(0),
+            compiled.predict(&x).unwrap()
+        );
     }
 
     #[test]

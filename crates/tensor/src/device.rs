@@ -136,9 +136,9 @@ impl TensorModel {
 mod tests {
     use super::*;
     use crate::compile::{compile_ensemble, Strategy};
-    use raven_ml::{train_gradient_boosting, BoostingConfig, Matrix};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use raven_ml::{train_gradient_boosting, BoostingConfig, Matrix};
 
     fn model(n_estimators: usize, depth: usize) -> (CompiledModel, Matrix) {
         let mut rng = StdRng::seed_from_u64(3);
@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn simulated_gpu_scores_match_cpu() {
         let (compiled, x) = model(5, 3);
-        let cpu = TensorModel::new(compiled.clone(), Device::Cpu).run(&x).unwrap();
+        let cpu = TensorModel::new(compiled.clone(), Device::Cpu)
+            .run(&x)
+            .unwrap();
         let gpu = TensorModel::new(compiled, Device::SimulatedGpu(GpuProfile::tesla_k80()))
             .run(&x)
             .unwrap();

@@ -2,7 +2,7 @@
 //! GEMM and TreeTraversal strategies need (matmul, elementwise ops, gather,
 //! comparisons, sigmoid, reductions).
 
-use crate::error::{TensorError, Result};
+use crate::error::{Result, TensorError};
 use serde::{Deserialize, Serialize};
 
 /// A dense 2-D tensor of `f64` (rows × cols, row-major). Traditional-ML

@@ -32,7 +32,10 @@ fn main() {
     let pulmonary_test = TableBuilder::new("pulmonary_test")
         .add_i64("id", (0..n as i64).collect())
         .add_f64("fev1", fev1.clone())
-        .add_f64("o2_saturation", (0..n).map(|_| rng.gen_range(88.0..100.0)).collect())
+        .add_f64(
+            "o2_saturation",
+            (0..n).map(|_| rng.gen_range(88.0..100.0)).collect(),
+        )
         .build()
         .unwrap();
 
@@ -48,7 +51,9 @@ fn main() {
     // Train the covid_risk pipeline over the joined view.
     let label: Vec<f64> = (0..n)
         .map(|i| {
-            let risk = 0.05 * (age[i] - 60.0) + 0.05 * (bmi[i] - 32.0) + 1.2 * asthma[i] as f64
+            let risk = 0.05 * (age[i] - 60.0)
+                + 0.05 * (bmi[i] - 32.0)
+                + 1.2 * asthma[i] as f64
                 + 0.6 * hypertension[i] as f64
                 - 0.4 * fev1[i]
                 + 0.05 * crp[i];

@@ -61,7 +61,11 @@ fn main() {
             RuntimePolicy::Force(TransformChoice::MlToDnn),
             Device::SimulatedGpu(GpuProfile::tesla_k80()),
         ),
-        ("heuristic runtime selection", RuntimePolicy::Heuristic, Device::Cpu),
+        (
+            "heuristic runtime selection",
+            RuntimePolicy::Heuristic,
+            Device::Cpu,
+        ),
     ] {
         session.config_mut().runtime_policy = policy;
         session.config_mut().device = device;

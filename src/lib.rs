@@ -5,7 +5,8 @@
 //! re-exports the whole workspace so applications can depend on a single
 //! crate:
 //!
-//! * [`columnar`] — columnar tables, partitions, statistics,
+//! * [`columnar`] — columnar tables, partitions, statistics, and the
+//!   streaming [`columnar::BatchStream`] substrate,
 //! * [`relational`] — the vectorized relational engine (the "data engine"),
 //! * [`ml`] — trained pipelines, traditional-ML operators, training, and the
 //!   batch ML runtime,
@@ -13,6 +14,39 @@
 //! * [`ir`] — the unified IR and the `PREDICT` query parser,
 //! * [`core`] — the Raven optimizer and the end-to-end `RavenSession`,
 //! * [`datagen`] — synthetic versions of the paper's evaluation workloads.
+//!
+//! ## Architecture: the streaming partition-parallel pipeline
+//!
+//! Every execution layer shares one substrate, `columnar::BatchStream`: a
+//! lazily evaluated sequence of partition-sized `Batch`es, each carrying its
+//! partition index and the per-partition min/max statistics the paper's
+//! data-induced optimizations (§4.2) consume. A prediction query flows
+//! through it end to end:
+//!
+//! ```text
+//!  Table partitions ──► Scan ──► Filter ──► Project ──► ML score ──► Output
+//!  (stats attached)      │  per-partition, fused, worker pool (DOP)   preds/
+//!        │               │                                            proj
+//!        └─ statistics ──┘                                              │
+//!           pruning: partitions whose min/max cannot satisfy            ▼
+//!           the pushed-down predicates are skipped unscanned      Batch::concat
+//!                                                             (final boundary)
+//! ```
+//!
+//! * `relational::physical::Executor::execute_stream` compiles a logical
+//!   plan into per-partition operators fused onto the stream; **pipeline
+//!   breakers** — join build sides, aggregates, and limits — are the only
+//!   operators that gather their whole input.
+//! * `ml::MlRuntime` scores each arriving batch (`run_batch_chunked` /
+//!   `score_stream`) without concatenating the table, chunking by
+//!   `RuntimeConfig::batch_size` and charging the engine↔runtime boundary
+//!   overhead once per query.
+//! * `core::RavenSession` drives predicate pushdown, statistics-based
+//!   **partition pruning** (observable as `ExecutionReport::pruned_partitions`),
+//!   scoring, and post-processing partition-parallel, and concatenates only
+//!   at the final output boundary. `core::ExecutionMode` selects between the
+//!   streaming pipeline, the legacy materialized plan (the §7 baseline), or
+//!   a cost-based choice (`core::choose_execution_mode`).
 //!
 //! ## Quickstart
 //!

@@ -23,7 +23,11 @@ fn build_session(
         plan = plan.join(LogicalPlan::scan(right.clone()), lk, rk);
     }
     let joined = raven_relational::Executor::new()
-        .execute(&plan, &catalog, &raven_relational::ExecutionContext::default())
+        .execute(
+            &plan,
+            &catalog,
+            &raven_relational::ExecutionContext::default(),
+        )
         .expect("join for training");
     let pipeline = raven::ml::train_pipeline(
         &joined,
@@ -48,10 +52,7 @@ fn build_session(
         dataset.tables[0].name().to_string()
     } else {
         // WITH data AS (SELECT * FROM fact JOIN dim ON k = k ...)
-        format!(
-            "WITH data AS (SELECT * FROM {}) ",
-            dataset.from_clause()
-        )
+        format!("WITH data AS (SELECT * FROM {}) ", dataset.from_clause())
     };
     let (from, data_name) = if dataset.joins.is_empty() {
         (String::new(), data_clause)
@@ -104,11 +105,12 @@ fn hospital_query_consistent_across_all_configurations() {
         (false, true, false),
         (false, false, true),
     ] {
-        let mut config = RavenConfig::default();
-        config.enable_predicate_pruning = pred;
-        config.enable_projection_pushdown = proj;
-        config.enable_data_induced = induced;
-        *session.config_mut() = config;
+        *session.config_mut() = RavenConfig {
+            enable_predicate_pruning: pred,
+            enable_projection_pushdown: proj,
+            enable_data_induced: induced,
+            ..RavenConfig::default()
+        };
         for choice in [
             TransformChoice::None,
             TransformChoice::MlToSql,

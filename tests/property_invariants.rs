@@ -12,7 +12,7 @@ use raven::prelude::*;
 use raven_ml::{
     train_decision_tree_classifier, train_gradient_boosting, BoostingConfig, Matrix, TreeConfig,
 };
-use raven_relational::{evaluate, Executor, ExecutionContext, Optimizer};
+use raven_relational::{evaluate, ExecutionContext, Executor, Optimizer};
 use raven_tensor::{compile_ensemble, Strategy as TensorStrategy};
 use std::collections::BTreeMap;
 

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container cannot reach crates.io, so this workspace vendors a small
+//! wall-clock benchmarking harness with the API surface the benches use:
+//! `Criterion::default()` with `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, `bench_function`, `benchmark_group` (with
+//! `bench_function`, `bench_with_input`, `finish`), `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, then timed over enough iterations to fill the measurement
+//! window; mean / min per-iteration times are printed to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id rendered from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warmup: Duration,
+    stats: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Measure `f`; the result is recorded on the bencher and reported by the
+    /// enclosing `bench_function` / `bench_with_input` call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window has elapsed (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Choose an iteration count that roughly fills the measurement window,
+        // clamped to at least `samples` iterations.
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(self.samples as u64, 1_000_000);
+        let mut min = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            if dt < min {
+                min = dt;
+            }
+        }
+        self.stats = Some(BenchStats {
+            iterations: iters,
+            mean: Duration::from_secs_f64(total / iters as f64),
+            min: Duration::from_secs_f64(min),
+        });
+    }
+}
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+}
+
+fn human(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(name: &str, stats: Option<&BenchStats>) {
+    match stats {
+        Some(stats) => println!(
+            "bench {name:<48} mean {:>12}   min {:>12}   ({} iters)",
+            human(stats.mean),
+            human(stats.min),
+            stats.iterations
+        ),
+        None => println!("bench {name:<48} (no iter() call)"),
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+            warmup: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            warmup: self.warmup,
+            stats: None,
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<R, F: FnMut(&mut Bencher) -> R>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = self.bencher();
+        f(&mut bencher);
+        report(name, bencher.stats.as_ref());
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<R, F: FnMut(&mut Bencher) -> R>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = self.criterion.bencher();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name), bencher.stats.as_ref());
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I, R, F: FnMut(&mut Bencher, &I) -> R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = self.criterion.bencher();
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), bencher.stats.as_ref());
+        self
+    }
+
+    /// Close the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group (the bench target's `main`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no access to crates.io, so this workspace vendors a
+//! minimal replacement: `Serialize` and `Deserialize` are marker traits with
+//! blanket implementations, and the derive macros (re-exported from the
+//! sibling `serde_derive` proc-macro crate) expand to nothing. This keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! compiling without pulling in real serialization machinery; nothing in the
+//! codebase currently serializes values, it only derives the traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
