@@ -267,3 +267,24 @@ mod tests {
         assert!(may_satisfy(&col("age").gt_eq(lit(0.0)).negate(), &s));
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::expr::{col, lit};
+    use raven_columnar::TableBuilder;
+
+    #[test]
+    fn noteq_with_nan_must_not_prune() {
+        // partition: non-missing values are all 5.0, plus one NaN row
+        let s = TableBuilder::new("t")
+            .add_f64("age", vec![5.0, f64::NAN])
+            .build_batch()
+            .unwrap()
+            .statistics()
+            .unwrap();
+        // evaluator semantics: NaN != 5.0 is TRUE, so the NaN row satisfies
+        // the predicate and the partition must be kept
+        assert!(may_satisfy(&col("age").not_eq(lit(5.0)), &s));
+    }
+}
