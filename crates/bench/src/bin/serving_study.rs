@@ -1,0 +1,29 @@
+//! Prediction-serving study: per-request optimization vs. prepared+cached
+//! execution, single-client vs. concurrent scheduling, and point-request
+//! micro-batching, with cache hit rates and latency percentiles.
+//! Usage: serving_study [rows] [requests] [clients]
+fn main() {
+    let arg = |i: usize| std::env::args().nth(i).and_then(|s| s.parse().ok());
+    let rows = arg(1).unwrap_or(2_000);
+    let requests = arg(2).unwrap_or(200);
+    let clients = arg(3).unwrap_or(4);
+    let result = raven_bench::serving_study(rows, requests, clients);
+    assert!(
+        result.speedup >= 3.0,
+        "prepared execution should beat per-request optimization by >= 3x, got {:.1}x",
+        result.speedup
+    );
+    assert!(
+        result.concurrent_qps > result.single_client_qps,
+        "concurrent serving should out-throughput one client ({:.0} vs {:.0} qps)",
+        result.concurrent_qps,
+        result.single_client_qps
+    );
+    assert!(
+        result.point_concurrent_qps > result.point_single_qps,
+        "micro-batched concurrent points should out-throughput sequential points \
+         ({:.0} vs {:.0} qps)",
+        result.point_concurrent_qps,
+        result.point_single_qps
+    );
+}

@@ -569,6 +569,235 @@ pub fn streaming_study(rows: usize, partitions: usize, dop: usize, runs: usize) 
 }
 
 // ---------------------------------------------------------------------------
+// Serving study — prepared queries, plan cache, concurrent scheduler (PR 2)
+// ---------------------------------------------------------------------------
+
+/// Structured results of the serving study, consumed by tests and the CI
+/// smoke step.
+#[derive(Debug, Clone)]
+pub struct ServingStudyResult {
+    /// Per-request `session.sql` throughput (parse + optimize + per-partition
+    /// model compilation on every call).
+    pub adhoc_qps: f64,
+    /// `execute_prepared` throughput over one prepared statement.
+    pub prepared_qps: f64,
+    /// `prepared_qps / adhoc_qps`.
+    pub speedup: f64,
+    /// Server throughput, one client, SQL requests (plan-cache hot).
+    pub single_client_qps: f64,
+    /// Server throughput, `clients` concurrent clients, SQL requests.
+    pub concurrent_qps: f64,
+    /// Point-request throughput with one sequential client (no coalescing).
+    pub point_single_qps: f64,
+    /// Point-request throughput with `clients` concurrent clients
+    /// (micro-batched).
+    pub point_concurrent_qps: f64,
+    /// The server's serving report over the whole study.
+    pub report: raven_serve::ServingReport,
+}
+
+/// Prediction serving study: repeated-query throughput of per-request
+/// optimization vs. prepared+cached execution, and sequential vs. concurrent
+/// micro-batched point serving. The workload is the Hospital dataset with a
+/// gradient-boosting model on the ML-runtime path with per-partition
+/// compiled models (§4.2) — the configuration where per-request preparation
+/// (cross-optimization + compiling one specialized model per partition) is
+/// most expensive and the residual plan (scan one surviving partition, score
+/// it) is cheap, i.e. exactly what the plan and compiled-model caches
+/// amortize. The query's predicate is on `id` — not a model input — so query
+/// variants with different literals share one compiled-model cache entry.
+pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStudyResult {
+    use raven_serve::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    let clients = clients.max(1);
+    let requests = requests.max(clients);
+    let partitions = 32.min(rows / 16).max(2);
+    println!(
+        "# Serving study — Hospital {rows} rows / {partitions} partitions, GB model with \
+         per-partition compilation, {requests} requests, {clients} clients"
+    );
+    let dataset = hospital(rows, 2);
+    let partitioned = partition_by_column(
+        &dataset.tables[0],
+        &PartitionSpec::ByRange {
+            column: "id".into(),
+            partitions,
+        },
+    )
+    .expect("partitioning");
+    // residual work: ~5% of ids survive, i.e. the top range partition(s)
+    let id_threshold = rows * 19 / 20;
+    let mut scenario = build_scenario(
+        &dataset,
+        raven_ml::ModelType::GradientBoosting {
+            n_estimators: 60,
+            max_depth: 6,
+            learning_rate: 0.15,
+        },
+        "GB",
+        Some(&format!("d.id >= {id_threshold}")),
+    );
+    scenario.session.register_table(partitioned);
+    *scenario.session.config_mut() = RavenConfig {
+        runtime_policy: RuntimePolicy::NoTransform,
+        enable_partition_models: true,
+        ..Default::default()
+    };
+    let session = scenario.session;
+    let query = scenario.query;
+
+    // 1. ad-hoc baseline: every request re-parses, re-optimizes, and
+    //    re-compiles the per-partition models
+    let t = Instant::now();
+    for _ in 0..requests {
+        session.sql(&query).expect("ad-hoc request");
+    }
+    let adhoc_qps = requests as f64 / t.elapsed().as_secs_f64();
+
+    // 2. prepared once, executed per request — the serving-tier hot path
+    let prepared = session.prepare(&query).expect("prepare");
+    let t = Instant::now();
+    for _ in 0..requests {
+        session
+            .execute_prepared(&prepared)
+            .expect("prepared request");
+    }
+    let prepared_qps = requests as f64 / t.elapsed().as_secs_f64();
+    let speedup = prepared_qps / adhoc_qps.max(1e-9);
+
+    // 3. the server end to end: one sequential client, then `clients`
+    //    concurrent clients on the same SQL volume
+    let server = Arc::new(Server::new(
+        session.clone(),
+        ServerConfig {
+            worker_threads: clients,
+            ..Default::default()
+        },
+    ));
+    let t = Instant::now();
+    for _ in 0..requests {
+        server.sql(&query).expect("served request");
+    }
+    let single_client_qps = requests as f64 / t.elapsed().as_secs_f64();
+
+    let per_client = requests / clients;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let server = server.clone();
+            let query = query.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    server.sql(&query).expect("concurrent request");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let concurrent_qps = (per_client * clients) as f64 / t.elapsed().as_secs_f64();
+
+    // 4. point serving: the same rows, one client (every point runs alone)
+    //    vs. concurrent clients (compatible points coalesce into
+    //    micro-batches) — on a single core this is where the scheduler's
+    //    batching, not parallelism, buys throughput
+    let base = dataset.tables[0].to_batch().expect("batch");
+    let names = base.schema().names();
+    let point_rows: Vec<Vec<(String, raven_columnar::Value)>> = (0..requests)
+        .map(|i| {
+            names
+                .iter()
+                .zip(base.row(i % base.num_rows()).expect("row"))
+                .map(|(n, v)| {
+                    if *n == "id" {
+                        // keep every point inside the query's predicate domain
+                        (
+                            n.to_string(),
+                            raven_columnar::Value::Int64((id_threshold + i % 20) as i64),
+                        )
+                    } else {
+                        (n.to_string(), v)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let t = Instant::now();
+    for row in &point_rows {
+        server.point(&query, row.clone()).expect("point request");
+    }
+    let point_single_qps = point_rows.len() as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let point_handles: Vec<_> = point_rows
+        .chunks(point_rows.len().div_ceil(clients))
+        .map(|chunk| {
+            let server = server.clone();
+            let query = query.clone();
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                for row in chunk {
+                    server.point(&query, row).expect("point request");
+                }
+            })
+        })
+        .collect();
+    for h in point_handles {
+        h.join().expect("point client");
+    }
+    let point_concurrent_qps = point_rows.len() as f64 / t.elapsed().as_secs_f64();
+
+    // 5. query variants: distinct literals are distinct plans (plan-cache
+    //    miss) but share one compiled-model cache entry, because `id` is not
+    //    a model input
+    for pct in [90, 92, 94, 96] {
+        let variant = query.replace(
+            &format!("d.id >= {id_threshold}"),
+            &format!("d.id >= {}", rows * pct / 100),
+        );
+        server.sql(&variant).expect("variant request");
+    }
+    let report = server.report();
+
+    println!("| {:<38} | {:>10} |", "configuration", "qps");
+    for (label, qps) in [
+        ("per-request session.sql", adhoc_qps),
+        ("execute_prepared (cached plan)", prepared_qps),
+        ("server, 1 client, SQL", single_client_qps),
+        (
+            &format!("server, {clients} clients, SQL")[..],
+            concurrent_qps,
+        ),
+        ("server, 1 client, points", point_single_qps),
+        (
+            &format!("server, {clients} clients, points (batched)")[..],
+            point_concurrent_qps,
+        ),
+    ] {
+        println!("| {label:<38} | {qps:>10.0} |");
+    }
+    println!("prepared/ad-hoc speedup: {speedup:.1}x");
+    println!(
+        "micro-batching gain: {:.2}x",
+        point_concurrent_qps / point_single_qps.max(1e-9)
+    );
+    println!("{report}");
+
+    ServingStudyResult {
+        adhoc_qps,
+        prepared_qps,
+        speedup,
+        single_client_qps,
+        concurrent_qps,
+        point_single_qps,
+        point_concurrent_qps,
+        report,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 12 — GPU acceleration of complex models
 // ---------------------------------------------------------------------------
 
@@ -927,6 +1156,18 @@ mod tests {
         };
         let materialized = scenario.session.sql(&scenario.query).unwrap();
         assert_eq!(streamed.report.output_rows, materialized.report.output_rows);
+    }
+
+    #[test]
+    fn serving_study_prepared_beats_adhoc() {
+        let result = serving_study(600, 24, 2);
+        assert!(
+            result.speedup >= 3.0,
+            "prepared+cached should be >= 3x ad-hoc, got {:.1}x",
+            result.speedup
+        );
+        assert!(result.report.plan_cache_hit_rate() > 0.5);
+        assert!(result.report.completed > 0);
     }
 
     #[test]

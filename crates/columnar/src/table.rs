@@ -53,6 +53,81 @@ impl Batch {
         })
     }
 
+    /// Assemble a batch from row-shaped values (e.g. point-prediction requests
+    /// arriving one row at a time at a serving tier). Every row must have one
+    /// value per schema field; values are checked against the field type, with
+    /// `Int64 → Float64` widening and `Null` mapped to the in-band missing
+    /// representation (`NaN` / empty string).
+    pub fn from_rows(schema: SchemaRef, rows: &[Vec<Value>]) -> Result<Batch> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(ColumnarError::InvalidArgument(format!(
+                    "row {i} has {} values, schema has {} fields",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+        }
+        let mut columns: Vec<ColumnRef> = Vec::with_capacity(schema.len());
+        for (idx, field) in schema.fields().iter().enumerate() {
+            let cell_err = |row: usize, v: &Value| {
+                ColumnarError::InvalidArgument(format!(
+                    "row {row}, column '{}': value {v:?} does not fit {}",
+                    field.name(),
+                    field.data_type()
+                ))
+            };
+            let column = match field.data_type() {
+                DataType::Float64 => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (r, row) in rows.iter().enumerate() {
+                        out.push(match &row[idx] {
+                            Value::Float64(v) => *v,
+                            Value::Int64(v) => *v as f64,
+                            Value::Null => f64::NAN,
+                            other => return Err(cell_err(r, other)),
+                        });
+                    }
+                    Column::Float64(out)
+                }
+                DataType::Int64 => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (r, row) in rows.iter().enumerate() {
+                        out.push(match &row[idx] {
+                            Value::Int64(v) => *v,
+                            Value::Float64(v) if v.fract() == 0.0 => *v as i64,
+                            other => return Err(cell_err(r, other)),
+                        });
+                    }
+                    Column::Int64(out)
+                }
+                DataType::Utf8 => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (r, row) in rows.iter().enumerate() {
+                        out.push(match &row[idx] {
+                            Value::Utf8(s) => s.clone(),
+                            Value::Null => String::new(),
+                            other => return Err(cell_err(r, other)),
+                        });
+                    }
+                    Column::Utf8(out)
+                }
+                DataType::Boolean => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (r, row) in rows.iter().enumerate() {
+                        out.push(match &row[idx] {
+                            Value::Boolean(b) => *b,
+                            other => return Err(cell_err(r, other)),
+                        });
+                    }
+                    Column::Boolean(out)
+                }
+            };
+            columns.push(Arc::new(column));
+        }
+        Batch::new(schema, columns)
+    }
+
     /// An empty batch with the given schema.
     pub fn empty(schema: SchemaRef) -> Result<Self> {
         let columns = schema
@@ -434,6 +509,47 @@ mod tests {
             .add_utf8("c", vec!["a".into(), "b".into(), "a".into(), "c".into()])
             .build_batch()
             .unwrap()
+    }
+
+    #[test]
+    fn from_rows_round_trips_and_checks_types() {
+        let batch = sample_batch();
+        let rows: Vec<Vec<Value>> = (0..batch.num_rows())
+            .map(|i| batch.row(i).unwrap())
+            .collect();
+        let rebuilt = Batch::from_rows(batch.schema().clone(), &rows).unwrap();
+        assert_eq!(rebuilt.num_rows(), batch.num_rows());
+        for (a, b) in batch.columns().iter().zip(rebuilt.columns()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+
+        // int → float widening, null → NaN / empty string
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("x", DataType::Float64),
+                Field::new("s", DataType::Utf8),
+            ])
+            .unwrap(),
+        );
+        let b = Batch::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Int64(3), Value::Null],
+                vec![Value::Null, Value::Utf8("hi".into())],
+            ],
+        )
+        .unwrap();
+        assert_eq!(b.column_by_name("x").unwrap().as_f64().unwrap()[0], 3.0);
+        assert!(b.column_by_name("x").unwrap().as_f64().unwrap()[1].is_nan());
+        assert_eq!(b.column_by_name("s").unwrap().as_utf8().unwrap()[0], "");
+
+        // arity and type mismatches are rejected
+        assert!(Batch::from_rows(schema.clone(), &[vec![Value::Int64(1)]]).is_err());
+        assert!(Batch::from_rows(
+            schema,
+            &[vec![Value::Utf8("no".into()), Value::Utf8("x".into())]]
+        )
+        .is_err());
     }
 
     #[test]

@@ -197,11 +197,6 @@ impl PathOutcome {
             streamed_partitions: 0,
         }
     }
-
-    fn with_fallback(mut self) -> Self {
-        self.fallback = true;
-        self
-    }
 }
 
 /// The result of executing a prediction query.
@@ -213,30 +208,164 @@ pub struct PredictionOutput {
     pub report: ExecutionReport,
 }
 
+/// Per-partition models compiled at prepare time (data-induced §4.2),
+/// packaged so a serving tier can cache them independently of (and with a
+/// longer lifetime than) the plan cache.
+#[derive(Debug, Clone)]
+pub struct CompiledModels {
+    /// One specialized pipeline per partition of the scanned table.
+    pub pipelines: Arc<Vec<Pipeline>>,
+    /// The compilation report (partition-model count, pruned columns).
+    pub report: DataInducedReport,
+}
+
+/// Storage hooks a serving tier provides so per-partition compiled models are
+/// reused across prepared statements. The key is derived *inside* the session
+/// — scanned tables, catalog/registry epochs, and a structural hash of the
+/// optimized pipeline — so a hit is guaranteed to be byte-compatible with
+/// what compilation would have produced, and any registration invalidates it.
+pub struct ModelCacheHooks<'a> {
+    /// Look a compiled artifact up by key.
+    pub lookup: &'a mut dyn FnMut(&str) -> Option<CompiledModels>,
+    /// Store a freshly compiled artifact under its key.
+    pub store: &'a mut dyn FnMut(&str, &CompiledModels),
+}
+
+/// The physical artifact a [`PreparedStatement`] replays on execution — the
+/// expensive, per-query-shape work (relational optimization, SQL generation,
+/// tensor compilation, per-partition model compilation) done exactly once at
+/// prepare time.
+#[derive(Debug, Clone)]
+enum PreparedArtifact {
+    /// MLtoSQL: the whole query lowered to one optimized relational plan.
+    Sql { relational: Arc<LogicalPlan> },
+    /// MLtoDNN: compiled tensor model + the optimized data-side plan.
+    Dnn {
+        dnn: Arc<crate::mltodnn::DnnPlan>,
+        data: Arc<LogicalPlan>,
+    },
+    /// ML-runtime path (and the §7 baselines).
+    MlRuntime(MlRuntimePlan),
+}
+
+/// Lowered form of the ML-runtime execution path.
+#[derive(Debug, Clone)]
+struct MlRuntimePlan {
+    /// The optimized relational data-side plan. `None` on the per-partition
+    /// compiled-models path, which streams the scanned table directly so
+    /// partition indices stay aligned with the model vector.
+    data: Option<Arc<LogicalPlan>>,
+    /// The scanned table, on the per-partition compiled-models path.
+    scan_table: Option<String>,
+    /// The pipeline(s) to score with: one per partition on the
+    /// partition-models path, a single shared pipeline otherwise.
+    models: Arc<Vec<Pipeline>>,
+    /// Partition-model compilation report (folded into the execution report).
+    partition_report: Option<DataInducedReport>,
+    /// Schema of the data side's output (drives the empty boundary batch).
+    schema: raven_columnar::SchemaRef,
+}
+
+/// A prediction query prepared once — parsed, cross-optimized, and lowered to
+/// its physical artifact — and executable many times via
+/// [`RavenSession::execute_prepared`]. This is the unit the serving layer's
+/// plan cache stores: every per-request cost that does not depend on the data
+/// actually scanned (parsing, the Raven optimizer, SQL generation, relational
+/// optimization, DNN compilation, per-partition model compilation) is paid
+/// here exactly once.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    plan: Arc<UnifiedPlan>,
+    point_pipeline: Arc<Pipeline>,
+    transform: TransformChoice,
+    fallback: bool,
+    cross: CrossOptReport,
+    data_induced: DataInducedReport,
+    optimization_time: Duration,
+    catalog_epoch: u64,
+    registry_epoch: u64,
+    artifact: PreparedArtifact,
+}
+
+impl PreparedStatement {
+    /// The optimized unified plan.
+    pub fn plan(&self) -> &Arc<UnifiedPlan> {
+        &self.plan
+    }
+
+    /// The pipeline to score *out-of-table* rows with (point-prediction
+    /// serving): the query's pipeline with predicate-derived
+    /// cross-optimizations applied but **without** data-induced pruning.
+    /// Data-induced optimizations assume inputs stay inside the registered
+    /// table's observed min/max domains, which a point request need not obey
+    /// — this pipeline is exact for any row that satisfies the query's input
+    /// predicates.
+    pub fn point_pipeline(&self) -> &Arc<Pipeline> {
+        &self.point_pipeline
+    }
+
+    /// The chosen logical-to-physical transformation (after resolving
+    /// applicability: a transform that fell back reports
+    /// [`TransformChoice::None`]).
+    pub fn transform(&self) -> TransformChoice {
+        if self.fallback {
+            TransformChoice::None
+        } else {
+            self.transform
+        }
+    }
+
+    /// Time spent preparing (parse excluded; optimizer + lowering).
+    pub fn optimization_time(&self) -> Duration {
+        self.optimization_time
+    }
+
+    /// Catalog epoch this statement was prepared against.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
+    }
+
+    /// Registry epoch this statement was prepared against.
+    pub fn registry_epoch(&self) -> u64 {
+        self.registry_epoch
+    }
+
+    /// Whether this statement was prepared against the session's *current*
+    /// catalog and registry. `false` means a table or model was re-registered
+    /// since: the statement may embed stale statistics, pruned models, or
+    /// pre-compiled artifacts and must not serve.
+    pub fn is_fresh(&self, session: &RavenSession) -> bool {
+        self.catalog_epoch == session.catalog().epoch()
+            && self.registry_epoch == session.registry().epoch()
+    }
+}
+
 /// An end-to-end Raven session (the `RavenSession` of Fig. 5).
-#[derive(Debug, Default)]
+///
+/// The catalog and the model registry are held behind [`Arc`]s: sessions are
+/// cheap to clone, and a serving tier can hand the same immutable snapshot to
+/// many concurrent executions. Registration goes through
+/// [`Arc::make_mut`] — copy-on-write, so in-flight executions holding the old
+/// snapshot are unaffected — and bumps the catalog/registry epoch counters
+/// that invalidate prepared statements.
+#[derive(Debug, Clone, Default)]
 pub struct RavenSession {
-    catalog: Catalog,
-    registry: ModelRegistry,
+    catalog: Arc<Catalog>,
+    registry: Arc<ModelRegistry>,
     config: RavenConfig,
 }
 
 impl RavenSession {
     /// Create a session with the default configuration.
     pub fn new() -> Self {
-        RavenSession {
-            catalog: Catalog::new(),
-            registry: ModelRegistry::new(),
-            config: RavenConfig::default(),
-        }
+        RavenSession::default()
     }
 
     /// Create a session with an explicit configuration.
     pub fn with_config(config: RavenConfig) -> Self {
         RavenSession {
-            catalog: Catalog::new(),
-            registry: ModelRegistry::new(),
             config,
+            ..RavenSession::default()
         }
     }
 
@@ -252,12 +381,12 @@ impl RavenSession {
 
     /// Register a table.
     pub fn register_table(&mut self, table: Table) {
-        self.catalog.register(table);
+        Arc::make_mut(&mut self.catalog).register(table);
     }
 
     /// Register a trained pipeline.
     pub fn register_model(&mut self, pipeline: Pipeline) {
-        self.registry.register(pipeline);
+        Arc::make_mut(&mut self.registry).register(pipeline);
     }
 
     /// The table catalog.
@@ -270,11 +399,70 @@ impl RavenSession {
         &self.registry
     }
 
+    /// A shared handle to the catalog snapshot (cheap; used by serving-side
+    /// caches and concurrent executors).
+    pub fn catalog_handle(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
+    /// A shared handle to the registry snapshot.
+    pub fn registry_handle(&self) -> Arc<ModelRegistry> {
+        self.registry.clone()
+    }
+
     /// Parse, optimize, and execute a prediction query written with the
     /// `PREDICT` syntax.
     pub fn sql(&self, query: &str) -> Result<PredictionOutput> {
         let plan = parse_prediction_query(query, &self.registry, &self.catalog)?;
         self.execute(&plan)
+    }
+
+    /// Parse and prepare a prediction query: run the Raven optimizer and
+    /// lower the result to its physical artifact, once. The returned
+    /// statement can be executed repeatedly with
+    /// [`RavenSession::execute_prepared`].
+    pub fn prepare(&self, query: &str) -> Result<PreparedStatement> {
+        self.prepare_hooked(query, None)
+    }
+
+    /// [`RavenSession::prepare`] with serving-tier model-cache hooks.
+    pub fn prepare_hooked(
+        &self,
+        query: &str,
+        hooks: Option<&mut ModelCacheHooks<'_>>,
+    ) -> Result<PreparedStatement> {
+        let plan = parse_prediction_query(query, &self.registry, &self.catalog)?;
+        self.prepare_plan_hooked(&plan, hooks)
+    }
+
+    /// Prepare an already-parsed unified plan (see [`RavenSession::prepare`]).
+    pub fn prepare_plan(&self, plan: &UnifiedPlan) -> Result<PreparedStatement> {
+        self.prepare_plan_hooked(plan, None)
+    }
+
+    /// [`RavenSession::prepare_plan`] with serving-tier model-cache hooks.
+    pub fn prepare_plan_hooked(
+        &self,
+        plan: &UnifiedPlan,
+        mut hooks: Option<&mut ModelCacheHooks<'_>>,
+    ) -> Result<PreparedStatement> {
+        let opt_start = Instant::now();
+        let (optimized, transform, cross, data_induced, point_pipeline) =
+            self.optimize_stages(plan)?;
+        let point_pipeline = Arc::new(point_pipeline);
+        let (artifact, fallback) = self.lower(&optimized, transform, &mut hooks)?;
+        Ok(PreparedStatement {
+            plan: Arc::new(optimized),
+            point_pipeline,
+            transform,
+            fallback,
+            cross,
+            data_induced,
+            optimization_time: opt_start.elapsed(),
+            catalog_epoch: self.catalog.epoch(),
+            registry_epoch: self.registry.epoch(),
+            artifact,
+        })
     }
 
     /// Optimize a unified plan without executing it (returns the optimized
@@ -288,6 +476,24 @@ impl RavenSession {
         CrossOptReport,
         DataInducedReport,
     )> {
+        let (plan, transform, cross, data_induced, _) = self.optimize_stages(plan)?;
+        Ok((plan, transform, cross, data_induced))
+    }
+
+    /// The optimizer pipeline with a snapshot of the cross-optimized (but
+    /// not yet data-induced-pruned) pipeline, taken in passing — feeds
+    /// [`PreparedStatement::point_pipeline`] without a second optimizer run.
+    #[allow(clippy::type_complexity)]
+    fn optimize_stages(
+        &self,
+        plan: &UnifiedPlan,
+    ) -> Result<(
+        UnifiedPlan,
+        TransformChoice,
+        CrossOptReport,
+        DataInducedReport,
+        Pipeline,
+    )> {
         let mut plan = plan.clone();
         let mut cross = CrossOptReport::default();
         if self.config.enable_predicate_pruning && self.config.enable_projection_pushdown {
@@ -298,6 +504,7 @@ impl RavenSession {
             cross.removed_inputs = model_projection_pushdown(&mut plan)?;
             cross.projection_pushdown_applied = !cross.removed_inputs.is_empty();
         }
+        let point_pipeline = plan.pipeline.clone();
         let mut data_induced = DataInducedReport::default();
         if self.config.enable_data_induced {
             let report = apply_global_data_induced(&mut plan, &self.catalog)?;
@@ -305,17 +512,46 @@ impl RavenSession {
             data_induced = report;
         }
         let transform = self.choose_transform(&plan);
-        Ok((plan, transform, cross, data_induced))
+        Ok((plan, transform, cross, data_induced, point_pipeline))
     }
 
-    /// Optimize and execute a unified plan.
+    /// Optimize and execute a unified plan. Equivalent to
+    /// [`RavenSession::prepare_plan`] followed by
+    /// [`RavenSession::execute_prepared`] — prepared execution is the *only*
+    /// execution path, so cached statements are byte-identical to ad-hoc SQL
+    /// by construction.
     pub fn execute(&self, plan: &UnifiedPlan) -> Result<PredictionOutput> {
-        let opt_start = Instant::now();
-        let (optimized, transform, cross, mut data_induced) = self.optimize(plan)?;
-        let optimization_time = opt_start.elapsed();
+        let prepared = self.prepare_plan(plan)?;
+        self.execute_prepared(&prepared)
+    }
 
+    /// Execute a prepared statement. Only the residual, data-dependent work
+    /// runs: scans, filters, scoring, post-processing. The report's
+    /// `optimization_time` is the statement's one-time prepare cost.
+    ///
+    /// Fails with [`RavenError::Config`] when the statement is stale — a
+    /// table or model was registered after it was prepared. Its artifacts
+    /// (statistics-pruned models, partition-aligned model vectors, lowered
+    /// plans) may no longer match the catalog, and executing them could
+    /// silently return wrong results; re-prepare instead.
+    pub fn execute_prepared(&self, prepared: &PreparedStatement) -> Result<PredictionOutput> {
+        if !prepared.is_fresh(self) {
+            return Err(RavenError::Config(format!(
+                "prepared statement is stale (prepared at catalog epoch {} / registry epoch {}, \
+                 session is at {} / {}); re-prepare the query",
+                prepared.catalog_epoch,
+                prepared.registry_epoch,
+                self.catalog.epoch(),
+                self.registry.epoch()
+            )));
+        }
         let exec_start = Instant::now();
-        let outcome = self.execute_optimized(&optimized, transform)?;
+        let outcome = match &prepared.artifact {
+            PreparedArtifact::Sql { relational } => self.run_ml_to_sql(relational)?,
+            PreparedArtifact::Dnn { dnn, data } => self.run_ml_to_dnn(&prepared.plan, dnn, data)?,
+            PreparedArtifact::MlRuntime(lowered) => self.run_ml_runtime(&prepared.plan, lowered)?,
+        };
+        let mut data_induced = prepared.data_induced.clone();
         if let Some(p) = &outcome.partition_report {
             data_induced.partition_models = p.partition_models;
             data_induced.avg_pruned_columns_per_partition = p.avg_pruned_columns_per_partition;
@@ -328,16 +564,17 @@ impl RavenSession {
         } else {
             measured_total
         };
+        let fallback = prepared.fallback || outcome.fallback;
         let report = ExecutionReport {
-            cross,
+            cross: prepared.cross.clone(),
             data_induced,
-            transform: if outcome.fallback {
+            transform: if fallback {
                 TransformChoice::None
             } else {
-                transform
+                prepared.transform
             },
-            transform_fallback: outcome.fallback,
-            optimization_time,
+            transform_fallback: fallback,
+            optimization_time: prepared.optimization_time,
             data_time: outcome.data_time,
             ml_time: outcome.ml_time,
             total_time,
@@ -386,27 +623,31 @@ impl RavenSession {
     // execution paths
     // ---------------------------------------------------------------------
 
-    fn execute_optimized(
+    /// Lower the optimized plan to its physical artifact for the chosen
+    /// transform, resolving applicability (a transform whose rule does not
+    /// apply falls back to the ML-runtime artifact) once at prepare time.
+    fn lower(
         &self,
         plan: &UnifiedPlan,
         transform: TransformChoice,
-    ) -> Result<PathOutcome> {
-        match transform {
-            TransformChoice::MlToSql => match self.execute_ml_to_sql(plan) {
-                Ok(outcome) => Ok(outcome),
-                Err(RavenError::RuleNotApplicable(_)) => {
-                    Ok(self.execute_ml_runtime(plan)?.with_fallback())
-                }
-                Err(e) => Err(e),
-            },
-            TransformChoice::MlToDnn => match self.execute_ml_to_dnn(plan) {
-                Ok(outcome) => Ok(outcome),
-                Err(RavenError::RuleNotApplicable(_)) => {
-                    Ok(self.execute_ml_runtime(plan)?.with_fallback())
-                }
-                Err(e) => Err(e),
-            },
-            TransformChoice::None => self.execute_ml_runtime(plan),
+        hooks: &mut Option<&mut ModelCacheHooks<'_>>,
+    ) -> Result<(PreparedArtifact, bool)> {
+        let attempt = match transform {
+            TransformChoice::MlToSql => self.lower_ml_to_sql(plan).map(Some),
+            TransformChoice::MlToDnn => self.lower_ml_to_dnn(plan).map(Some),
+            TransformChoice::None => Ok(None),
+        };
+        match attempt {
+            Ok(Some(artifact)) => Ok((artifact, false)),
+            Ok(None) => Ok((
+                PreparedArtifact::MlRuntime(self.lower_ml_runtime(plan, hooks)?),
+                false,
+            )),
+            Err(RavenError::RuleNotApplicable(_)) => Ok((
+                PreparedArtifact::MlRuntime(self.lower_ml_runtime(plan, hooks)?),
+                true,
+            )),
+            Err(e) => Err(e),
         }
     }
 
@@ -478,17 +719,16 @@ impl RavenSession {
         }
     }
 
-    /// Run a relational plan end to end, returning the result plus the
-    /// executor's partition counters (pruned via statistics / scanned).
-    fn run_relational(
+    /// Run an already-optimized relational plan, returning the result plus
+    /// the executor's partition counters (pruned via statistics / scanned).
+    fn run_optimized(
         &self,
         plan: &LogicalPlan,
         partition_pruning: bool,
     ) -> Result<(Batch, usize, usize)> {
-        let optimized = Optimizer::new().optimize(plan, &self.catalog)?;
         let exec = Executor::new();
         let batch = exec.execute(
-            &optimized,
+            plan,
             &self.catalog,
             &self.execution_context(partition_pruning),
         )?;
@@ -512,13 +752,10 @@ impl RavenSession {
         }
     }
 
-    /// MLtoSQL path: the entire query (featurization, model, predicates,
-    /// projection, aggregate) becomes one relational plan, executed by the
-    /// streaming partition-parallel engine (or the legacy no-pruning scan
-    /// when the session is configured `Materialized`).
-    fn execute_ml_to_sql(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
+    /// MLtoSQL lowering: the entire query (featurization, model, predicates,
+    /// projection, aggregate) becomes one relational plan, optimized once.
+    fn lower_ml_to_sql(&self, plan: &UnifiedPlan) -> Result<PreparedArtifact> {
         let score_expr = pipeline_to_sql(&plan.pipeline)?;
-        let start = Instant::now();
         let mut data = plan.data.clone();
         let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
         if !input_preds.is_empty() {
@@ -542,8 +779,19 @@ impl RavenSession {
         if let Some((group_by, aggs)) = &plan.aggregate {
             data = data.aggregate(group_by.clone(), aggs.clone());
         }
+        let optimized = Optimizer::new().optimize(&data, &self.catalog)?;
+        Ok(PreparedArtifact::Sql {
+            relational: Arc::new(optimized),
+        })
+    }
+
+    /// MLtoSQL execution: run the pre-optimized relational plan on the
+    /// streaming partition-parallel engine (or the legacy no-pruning scan
+    /// when the session is configured `Materialized`).
+    fn run_ml_to_sql(&self, relational: &LogicalPlan) -> Result<PathOutcome> {
+        let start = Instant::now();
         let (mode, pruning) = self.transform_path_mode();
-        let (batch, pruned, scanned) = self.run_relational(&data, pruning)?;
+        let (batch, pruned, scanned) = self.run_optimized(relational, pruning)?;
         let mut outcome = PathOutcome::new(batch, mode);
         outcome.data_time = start.elapsed();
         outcome.pruned_partitions = pruned;
@@ -551,24 +799,98 @@ impl RavenSession {
         Ok(outcome)
     }
 
+    /// ML-runtime lowering: compile per-partition models once (data-induced
+    /// §4.2, bare scans only) and pre-optimize the relational data side.
+    /// When serving-tier hooks are present, compiled models are looked up and
+    /// stored under a key derived from the scanned tables, the
+    /// catalog/registry epochs, and a structural hash of the optimized
+    /// pipeline — identical key ⇒ identical compilation input.
+    fn lower_ml_runtime(
+        &self,
+        plan: &UnifiedPlan,
+        hooks: &mut Option<&mut ModelCacheHooks<'_>>,
+    ) -> Result<MlRuntimePlan> {
+        let partition_models = if self.config.enable_partition_models {
+            let key = hooks.as_ref().map(|_| self.model_cache_key(plan));
+            let cached = match (hooks.as_mut(), key.as_deref()) {
+                (Some(h), Some(k)) => (h.lookup)(k),
+                _ => None,
+            };
+            match cached {
+                Some(c) if c.pipelines.len() > 1 => Some((c.pipelines, c.report)),
+                _ => {
+                    let (models, report) = compile_partition_models(plan, &self.catalog)?;
+                    if models.len() > 1 {
+                        let compiled = CompiledModels {
+                            pipelines: Arc::new(models),
+                            report,
+                        };
+                        if let (Some(h), Some(k)) = (hooks.as_mut(), key.as_deref()) {
+                            (h.store)(k, &compiled);
+                        }
+                        Some((compiled.pipelines, compiled.report))
+                    } else {
+                        None
+                    }
+                }
+            }
+        } else {
+            None
+        };
+        match partition_models {
+            Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
+                // per-partition compiled models: the table is streamed
+                // directly at execution time so partition indices stay
+                // aligned with the model vector even under pruning
+                let table_name = match &plan.data {
+                    LogicalPlan::Scan { table, .. } => table.clone(),
+                    _ => unreachable!(),
+                };
+                let schema = self.catalog.table(&table_name)?.schema().clone();
+                Ok(MlRuntimePlan {
+                    data: None,
+                    scan_table: Some(table_name),
+                    models,
+                    partition_report: Some(report),
+                    schema,
+                })
+            }
+            _ => {
+                let data_plan = self.data_side_plan(plan);
+                let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
+                let schema = Arc::new(optimized.schema(&self.catalog)?);
+                Ok(MlRuntimePlan {
+                    data: Some(Arc::new(optimized)),
+                    scan_table: None,
+                    models: Arc::new(vec![plan.pipeline.clone()]),
+                    partition_report: None,
+                    schema,
+                })
+            }
+        }
+    }
+
+    /// The compiled-model cache key for a plan's partition models. Includes
+    /// everything compilation reads: which tables feed the scan (and their
+    /// registration epoch, which covers statistics), the registry epoch, and
+    /// a structural hash of the optimized pipeline (which already reflects
+    /// the query's cross-optimizations).
+    fn model_cache_key(&self, plan: &UnifiedPlan) -> String {
+        let hash = raven_ir::fnv1a(format!("{:?}", plan.pipeline).as_bytes());
+        format!(
+            "{}@c{}r{}#p{hash:016x}",
+            plan.data.referenced_tables().join(","),
+            self.catalog.epoch(),
+            self.registry.epoch()
+        )
+    }
+
     /// ML-runtime path dispatcher (and the SparkML / MADlib-style baselines):
     /// run the data part on the data engine, score with the ML runtime, then
     /// apply output predicates / projection / aggregation — either as one
     /// streaming partition-parallel pipeline or via the legacy materialized
     /// plan, per the (resolved) [`ExecutionMode`].
-    fn execute_ml_runtime(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
-        // per-partition models (data-induced §4.2) only apply to bare scans
-        let partition_models = if self.config.enable_partition_models {
-            let (models, report) = compile_partition_models(plan, &self.catalog)?;
-            if models.len() > 1 {
-                Some((models, report))
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-
+    fn run_ml_runtime(&self, plan: &UnifiedPlan, lowered: &MlRuntimePlan) -> Result<PathOutcome> {
         // The row-interpreted / materializing baselines model systems that
         // materialize the data side before scoring; only the vectorized
         // runtime streams.
@@ -578,10 +900,8 @@ impl RavenSession {
             self.resolve_execution_mode(plan)
         };
         match mode {
-            ExecutionMode::Materialized => {
-                self.execute_ml_runtime_materialized(plan, partition_models)
-            }
-            _ => self.execute_ml_runtime_streaming(plan, partition_models),
+            ExecutionMode::Materialized => self.run_ml_runtime_materialized(plan, lowered),
+            _ => self.run_ml_runtime_streaming(plan, lowered),
         }
     }
 
@@ -591,10 +911,10 @@ impl RavenSession {
     /// one fused per-partition task on the worker pool, and partitions are
     /// concatenated exactly once at the output boundary (aggregates being the
     /// one remaining pipeline breaker).
-    fn execute_ml_runtime_streaming(
+    fn run_ml_runtime_streaming(
         &self,
         plan: &UnifiedPlan,
-        partition_models: Option<(Vec<Pipeline>, DataInducedReport)>,
+        lowered: &MlRuntimePlan,
     ) -> Result<PathOutcome> {
         let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
         // one engine/runtime boundary crossing per query, not per partition
@@ -605,23 +925,19 @@ impl RavenSession {
 
         // 1. the relational side as a partition stream
         let exec = Executor::new();
-        let mut partition_report = None;
+        let partition_report = lowered.partition_report.clone();
         let manual_pruned = Arc::new(AtomicUsize::new(0));
-        let (stream, models, source_schema) = match partition_models {
-            Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
+        let models = lowered.models.clone();
+        let source_schema = lowered.schema.clone();
+        let stream = match (&lowered.data, &lowered.scan_table) {
+            (None, Some(table_name)) => {
                 // per-partition compiled models: stream the table directly so
                 // partition indices stay aligned with the model vector even
                 // when statistics prune some partitions
-                let table_name = match &plan.data {
-                    LogicalPlan::Scan { table, .. } => table.clone(),
-                    _ => unreachable!(),
-                };
-                let table = self.catalog.table(&table_name)?;
-                partition_report = Some(report);
+                let table = self.catalog.table(table_name)?;
                 let preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
                 let pruned = manual_pruned.clone();
-                let schema = table.schema().clone();
-                let stream = BatchStream::from_table(&table).map(move |mut item| {
+                BatchStream::from_table(&table).map(move |mut item| {
                     if let Some(stats) = &item.stats {
                         if !may_satisfy_all(&preds, stats) {
                             pruned.fetch_add(1, Ordering::Relaxed);
@@ -633,15 +949,13 @@ impl RavenSession {
                         item.batch = item.batch.filter(&mask)?;
                     }
                     Ok(Some(item))
-                });
-                (stream, Arc::new(models), schema)
+                })
             }
-            _ => {
-                let data_plan = self.data_side_plan(plan);
-                let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
-                let schema = Arc::new(optimized.schema(&self.catalog)?);
-                let stream = exec.execute_stream(&optimized, &self.catalog, &ctx)?;
-                (stream, Arc::new(vec![plan.pipeline.clone()]), schema)
+            (Some(data), _) => exec.execute_stream(data, &self.catalog, &ctx)?,
+            (None, None) => {
+                return Err(RavenError::Ml(
+                    "lowered ML-runtime plan has neither a data plan nor a scan table".into(),
+                ))
             }
         };
 
@@ -745,26 +1059,23 @@ impl RavenSession {
     /// concatenated into one batch before scoring. Kept as the §7 baseline
     /// (and for the row-interpreted / materializing baseline modes), and as
     /// the plan the streaming pipeline is costed against.
-    fn execute_ml_runtime_materialized(
+    fn run_ml_runtime_materialized(
         &self,
         plan: &UnifiedPlan,
-        partition_models: Option<(Vec<Pipeline>, DataInducedReport)>,
+        lowered: &MlRuntimePlan,
     ) -> Result<PathOutcome> {
         let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
         let mut data_time = Duration::ZERO;
         let mut ml_time = Duration::ZERO;
 
-        let (mut scored, partition_report) = match partition_models {
-            Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
+        let partition_report = lowered.partition_report.clone();
+        let mut scored = match (&lowered.data, &lowered.scan_table) {
+            (None, Some(table_name)) => {
                 // execute partition by partition with its specialized model
-                let table_name = match &plan.data {
-                    LogicalPlan::Scan { table, .. } => table.clone(),
-                    _ => unreachable!(),
-                };
-                let table = self.catalog.table(&table_name)?;
+                let table = self.catalog.table(table_name)?;
                 let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
                 let mut parts = Vec::new();
-                for (batch, pipeline) in table.partitions().iter().zip(models.iter()) {
+                for (batch, pipeline) in table.partitions().iter().zip(lowered.models.iter()) {
                     let d0 = Instant::now();
                     let mut batch = batch.clone();
                     for p in &input_preds {
@@ -777,21 +1088,22 @@ impl RavenSession {
                     ml_time += m0.elapsed();
                     parts.push(attach_scores(&batch, &plan.prediction_column, scores)?);
                 }
-                (Batch::concat(&parts)?, Some(report))
+                Batch::concat(&parts)?
             }
-            _ => {
+            (Some(data), _) => {
                 let d0 = Instant::now();
-                let data_plan = self.data_side_plan(plan);
                 // the legacy plan scans every partition: no stats pruning
-                let (batch, _, _) = self.run_relational(&data_plan, false)?;
+                let (batch, _, _) = self.run_optimized(data, false)?;
                 data_time += d0.elapsed();
                 let m0 = Instant::now();
-                let scores = self.score_batch(&runtime, &plan.pipeline, &batch)?;
+                let scores = self.score_batch(&runtime, &lowered.models[0], &batch)?;
                 ml_time += m0.elapsed();
-                (
-                    attach_scores(&batch, &plan.prediction_column, scores)?,
-                    None,
-                )
+                attach_scores(&batch, &plan.prediction_column, scores)?
+            }
+            (None, None) => {
+                return Err(RavenError::Ml(
+                    "lowered ML-runtime plan has neither a data plan nor a scan table".into(),
+                ))
             }
         };
 
@@ -859,22 +1171,37 @@ impl RavenSession {
         }
     }
 
-    /// MLtoDNN path: data engine → featurizers on the ML runtime → compiled
-    /// tensor model on the configured device. The tensor model consumes one
-    /// dense feature matrix, so the data side materializes at the
-    /// featurization boundary (the relational plan itself still streams).
-    fn execute_ml_to_dnn(&self, plan: &UnifiedPlan) -> Result<PathOutcome> {
+    /// MLtoDNN lowering: compile the model node to a tensor model bound to
+    /// the configured device, and pre-optimize the data-side plan.
+    fn lower_ml_to_dnn(&self, plan: &UnifiedPlan) -> Result<PreparedArtifact> {
         let dnn = apply_ml_to_dnn(
             &plan.pipeline,
             self.config.dnn_strategy,
             self.config.device.clone(),
         )?;
+        let data_plan = self.data_side_plan(plan);
+        let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
+        Ok(PreparedArtifact::Dnn {
+            dnn: Arc::new(dnn),
+            data: Arc::new(optimized),
+        })
+    }
+
+    /// MLtoDNN execution: data engine → featurizers on the ML runtime →
+    /// compiled tensor model on the configured device. The tensor model
+    /// consumes one dense feature matrix, so the data side materializes at
+    /// the featurization boundary (the relational plan itself still streams).
+    fn run_ml_to_dnn(
+        &self,
+        plan: &UnifiedPlan,
+        dnn: &crate::mltodnn::DnnPlan,
+        data: &LogicalPlan,
+    ) -> Result<PathOutcome> {
         let runtime = MlRuntime::with_config(self.config.ml_runtime.clone());
 
         let (mode, pruning) = self.transform_path_mode();
         let d0 = Instant::now();
-        let data_plan = self.data_side_plan(plan);
-        let (batch, pruned, scanned) = self.run_relational(&data_plan, pruning)?;
+        let (batch, pruned, scanned) = self.run_optimized(data, pruning)?;
         let mut data_time = d0.elapsed();
 
         let m0 = Instant::now();
@@ -1266,6 +1593,26 @@ mod tests {
         let out = session.sql(query).unwrap();
         assert_eq!(out.batch.num_rows(), 0);
         assert_eq!(out.batch.schema().names(), vec!["id", "risk"]);
+    }
+
+    #[test]
+    fn prepared_statements_replay_and_refuse_stale_catalogs() {
+        let (session, query) = session(ModelType::DecisionTree { max_depth: 5 });
+        let prepared = session.prepare(&query).unwrap();
+        let direct = session.sql(&query).unwrap();
+        let replayed = session.execute_prepared(&prepared).unwrap();
+        assert_eq!(ids(&direct.batch), ids(&replayed.batch));
+        assert!(prepared.is_fresh(&session));
+
+        // registering anything bumps an epoch; the stale statement must
+        // error instead of silently executing over the changed catalog
+        let mut session = session;
+        let table = session.catalog().table("patients").unwrap();
+        session.register_table(table.as_ref().clone());
+        assert!(!prepared.is_fresh(&session));
+        let err = session.execute_prepared(&prepared).unwrap_err();
+        assert!(matches!(err, RavenError::Config(_)), "{err}");
+        assert!(err.to_string().contains("stale"));
     }
 
     #[test]

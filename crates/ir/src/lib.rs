@@ -8,11 +8,13 @@
 //! optimizer can flow information between them.
 
 pub mod error;
+pub mod fingerprint;
 pub mod parser;
 pub mod registry;
 pub mod unified;
 
 pub use error::{IrError, Result};
+pub use fingerprint::{fingerprint_parsed, fingerprint_query, fnv1a, QueryFingerprint};
 pub use parser::{parse, parse_prediction_query, ParsedQuery};
 pub use registry::ModelRegistry;
 pub use unified::{UnifiedNode, UnifiedPlan};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
     models: HashMap<String, Arc<Pipeline>>,
+    epoch: u64,
 }
 
 impl ModelRegistry {
@@ -21,13 +22,22 @@ impl ModelRegistry {
 
     /// Register a pipeline under its own name.
     pub fn register(&mut self, pipeline: Pipeline) {
+        self.epoch += 1;
         self.models
             .insert(pipeline.name.clone(), Arc::new(pipeline));
     }
 
     /// Register a pipeline under an explicit name.
     pub fn register_as(&mut self, name: impl Into<String>, pipeline: Pipeline) {
+        self.epoch += 1;
         self.models.insert(name.into(), Arc::new(pipeline));
+    }
+
+    /// Monotonic version counter, bumped on every registration. Serving-side
+    /// caches compare epochs to invalidate prepared plans and compiled models
+    /// after a model is (re-)registered.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Resolve a model name. Names are matched exactly, then with a `.onnx`
@@ -82,6 +92,18 @@ mod tests {
             "score",
         )
         .unwrap()
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_registration() {
+        let mut r = ModelRegistry::new();
+        assert_eq!(r.epoch(), 0);
+        r.register(pipeline("m"));
+        assert_eq!(r.epoch(), 1);
+        r.register(pipeline("m"));
+        assert_eq!(r.epoch(), 2);
+        r.register_as("other", pipeline("m"));
+        assert_eq!(r.epoch(), 3);
     }
 
     #[test]

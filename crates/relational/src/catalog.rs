@@ -9,6 +9,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -19,13 +20,22 @@ impl Catalog {
 
     /// Register (or replace) a table under its own name.
     pub fn register(&mut self, table: Table) {
+        self.epoch += 1;
         self.tables
             .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Register (or replace) a table under an explicit name.
     pub fn register_as(&mut self, name: impl Into<String>, table: Table) {
+        self.epoch += 1;
         self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Monotonic version counter, bumped on every registration. Prepared-plan
+    /// and compiled-model caches compare epochs to detect that a cached
+    /// artifact was derived from a stale catalog.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Look up a table.
@@ -116,6 +126,35 @@ mod tests {
         let s = c.statistics("patients").unwrap();
         assert_eq!(s.row_count, 3);
         assert!(c.statistics("nope").is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_registration() {
+        let mut c = Catalog::new();
+        assert_eq!(c.epoch(), 0);
+        c.register(
+            TableBuilder::new("a")
+                .add_i64("x", vec![1])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.epoch(), 1);
+        // re-registering the same name still bumps (contents may differ)
+        c.register(
+            TableBuilder::new("a")
+                .add_i64("x", vec![2])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.epoch(), 2);
+        c.register_as(
+            "b",
+            TableBuilder::new("a")
+                .add_i64("x", vec![3])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.epoch(), 3);
     }
 
     #[test]

@@ -775,10 +775,10 @@ mod tests {
             lit(3.0),
         );
         let folded = fold_expr(&e);
-        match folded {
-            Expr::Case { when_then, .. } => assert_eq!(when_then.len(), 1),
-            other => panic!("expected CASE, got {other:?}"),
-        }
+        assert!(
+            matches!(&folded, Expr::Case { when_then, .. } if when_then.len() == 1),
+            "expected a CASE with exactly one surviving branch after folding, got:\n{folded:?}"
+        );
 
         let always = case(
             vec![(Expr::Literal(Value::Boolean(true)), lit(9.0))],
@@ -819,15 +819,18 @@ mod tests {
         let c = catalog();
         let plan = LogicalPlan::scan("patient_info").project(vec![col("age")]);
         let optimized = push_projections(plan, &c).unwrap();
-        match optimized {
-            LogicalPlan::Projection { input, .. } => match *input {
-                LogicalPlan::Scan { projection, .. } => {
-                    assert_eq!(projection, Some(vec!["age".to_string()]));
-                }
-                other => panic!("expected scan, got {other:?}"),
-            },
-            other => panic!("expected projection, got {other:?}"),
-        }
+        let rendered = optimized.display_indent();
+        assert!(
+            matches!(
+                &optimized,
+                LogicalPlan::Projection { input, .. } if matches!(
+                    &**input,
+                    LogicalPlan::Scan { projection: Some(p), .. }
+                        if p == &vec!["age".to_string()]
+                )
+            ),
+            "expected Projection over a Scan pruned to [age], full plan:\n{rendered}"
+        );
     }
 
     #[test]

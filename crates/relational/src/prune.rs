@@ -10,8 +10,9 @@
 //! when the predicate is provably unsatisfiable over every row the statistics
 //! admit, and `true` (keep) whenever it cannot tell. Missing values are
 //! represented in-band (NaN / empty string), so a column with `null_count > 0`
-//! additionally admits the "missing" outcome, which comparisons evaluate as
-//! `false` — that only widens the predicate's possible outcomes and never
+//! additionally admits the "missing" outcome, mirroring the evaluator's IEEE
+//! comparison semantics (`NaN != x` is true, every other comparison with NaN
+//! is false) — that only widens the predicate's possible outcomes and never
 //! causes an incorrect prune.
 
 use crate::expr::{BinaryOp, Expr};
@@ -96,10 +97,13 @@ fn compare_interval(interval: Interval, op: BinaryOp, lit: f64) -> Outcomes {
         BinaryOp::GtEq => (hi >= lit, lo < lit),
         _ => return Outcomes::UNKNOWN,
     };
+    // A missing (NaN) value follows the evaluator's IEEE comparison
+    // semantics: `NaN != x` is true, every other comparison with NaN is
+    // false. Widen exactly the outcome a NaN row would produce.
+    let missing_is_true = op == BinaryOp::NotEq;
     Outcomes {
-        may_true,
-        // a missing (NaN) value makes every comparison evaluate to false
-        may_false: may_false || may_be_missing,
+        may_true: may_true || (may_be_missing && missing_is_true),
+        may_false: may_false || (may_be_missing && !missing_is_true),
     }
 }
 

@@ -1,0 +1,122 @@
+//! Least-recently-used caches for the serving layer.
+//!
+//! Two caches share this structure: the **plan cache** (query fingerprint →
+//! prepared statement) and the **compiled-model cache** (model/table identity
+//! → compiled per-partition pipelines). Both key on content identity and are
+//! invalidated by the catalog/registry epoch counters: an entry prepared
+//! against epoch *e* stops serving the moment the live epoch moves past *e*,
+//! so a stale plan can never produce a result (satellite requirement:
+//! re-registering a table or model must not serve stale artifacts).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A small LRU cache. Recency is tracked with a monotonic touch counter;
+/// eviction scans for the minimum, which is O(capacity) — capacities here are
+/// tens to hundreds of prepared plans, far below the point where a linked-list
+/// LRU would pay for itself.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Look up and touch an entry.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(v, touched)| {
+            *touched = clock;
+            &*v
+        })
+    }
+
+    /// Insert (or replace) an entry, evicting the least-recently-used one
+    /// when over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        self.entries.insert(key, (value, self.clock));
+        if self.entries.len() > self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|(v, _)| v)
+    }
+
+    /// Drop every entry (bulk invalidation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // touch a; b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replace_and_remove_and_clear() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("a", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&2));
+        assert_eq!(c.remove(&"a"), Some(2));
+        assert!(c.is_empty());
+        c.insert("x", 9);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("b", 2);
+        assert_eq!(c.len(), 1);
+    }
+}

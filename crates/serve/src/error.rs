@@ -1,0 +1,53 @@
+//! Errors of the serving layer.
+
+use raven_core::RavenError;
+use std::fmt;
+
+/// Serving-layer result type.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// Admission control rejected the request: the configured number of
+    /// in-flight requests was already reached. Clients should back off and
+    /// retry.
+    Overloaded {
+        /// The configured in-flight limit that was hit.
+        limit: usize,
+    },
+    /// The server is shutting down; the request was not executed.
+    ShuttingDown,
+    /// The request itself is malformed (bad SQL, wrong point-request arity,
+    /// a point row violating the prepared query's predicates, ...).
+    InvalidRequest(String),
+    /// The underlying session failed to prepare or execute the query.
+    Session(RavenError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { limit } => {
+                write!(f, "server overloaded: {limit} requests already in flight")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RavenError> for ServeError {
+    fn from(e: RavenError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+impl From<raven_ir::IrError> for ServeError {
+    fn from(e: raven_ir::IrError) -> Self {
+        ServeError::Session(RavenError::from(e))
+    }
+}

@@ -1,0 +1,36 @@
+//! # raven-serve
+//!
+//! A concurrent prediction-serving layer on top of
+//! [`raven_core::RavenSession`] — the tier that makes the paper's premise pay
+//! off at serving time: *optimize the prediction query once, then run only
+//! the cheap residual plan per request*.
+//!
+//! Three pieces:
+//!
+//! * **Prepared queries** ([`raven_core::PreparedStatement`] behind the
+//!   server's **plan cache**): `prepare` runs parse → cross-optimization →
+//!   data-induced optimization → lowering (SQL generation / DNN compilation /
+//!   per-partition model compilation) exactly once, keyed by a normalized
+//!   query fingerprint ([`raven_ir::fingerprint_query`]) in an LRU cache. A
+//!   companion **compiled-model cache** shares per-partition compiled models
+//!   across statements. Both caches are invalidated by the catalog/registry
+//!   epoch counters, so re-registering a table or model can never serve a
+//!   stale plan.
+//! * **A micro-batching request scheduler** ([`Server`]): N worker threads
+//!   pull SQL and point-prediction requests from a shared queue; compatible
+//!   point requests (same fingerprint, same provided columns) are coalesced
+//!   into one columnar [`raven_columnar::Batch`] per tick before driving the
+//!   pipeline once. Admission control caps in-flight work and sheds load with
+//!   [`ServeError::Overloaded`].
+//! * **Serving metrics** ([`ServingReport`]): throughput, p50/p95/p99
+//!   latency, cache hit/miss counts, and micro-batches coalesced.
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod server;
+
+pub use cache::LruCache;
+pub use error::{Result, ServeError};
+pub use metrics::{ServingMetrics, ServingReport};
+pub use server::{PointPrediction, Request, Response, Server, ServerConfig, Ticket};

@@ -1,0 +1,272 @@
+//! Serving metrics: throughput, latency percentiles, cache effectiveness,
+//! and micro-batching behaviour, collected lock-cheaply while the scheduler
+//! runs and snapshotted into a [`ServingReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared counters updated by the scheduler workers.
+#[derive(Debug, Default)]
+pub struct ServingMetrics {
+    started: Mutex<Option<Instant>>,
+    sql_requests: AtomicU64,
+    point_requests: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    model_cache_hits: AtomicU64,
+    model_cache_misses: AtomicU64,
+    micro_batches: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_points: AtomicU64,
+    /// Completed requests (including any whose latency sample was evicted
+    /// from the bounded reservoir).
+    completed: AtomicU64,
+    /// Completed-request latencies in nanoseconds (enqueue → response),
+    /// bounded: once full, new samples overwrite pseudo-random slots so
+    /// memory stays O(RESERVOIR) on long-lived servers while percentiles
+    /// keep tracking the full history.
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+/// Maximum retained latency samples.
+const RESERVOIR: usize = 65_536;
+
+impl ServingMetrics {
+    pub(crate) fn mark_started(&self) {
+        let mut s = self.started.lock().expect("metrics poisoned");
+        s.get_or_insert_with(Instant::now);
+    }
+
+    pub(crate) fn record_sql(&self) {
+        self.sql_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_point(&self) {
+        self.point_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_plan_cache(&self, hit: bool) {
+        if hit {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_model_cache(&self, hit: bool) {
+        if hit {
+            self.model_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.model_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_micro_batch(&self, coalesced_requests: usize) {
+        self.micro_batches.fetch_add(1, Ordering::Relaxed);
+        if coalesced_requests > 1 {
+            self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+            self.coalesced_points
+                .fetch_add(coalesced_requests as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        let n = self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut lat = self.latencies_ns.lock().expect("metrics poisoned");
+        if lat.len() < RESERVOIR {
+            lat.push(latency.as_nanos() as u64);
+        } else {
+            // Fibonacci-hash the sample counter into a slot: cheap,
+            // deterministic, and spreads overwrites across the reservoir.
+            let slot = (n.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) as usize % RESERVOIR;
+            lat[slot] = latency.as_nanos() as u64;
+        }
+    }
+
+    /// Snapshot the counters into a report.
+    pub fn report(&self) -> ServingReport {
+        let wall = self
+            .started
+            .lock()
+            .expect("metrics poisoned")
+            .map(|s| s.elapsed())
+            .unwrap_or(Duration::ZERO);
+        let mut lat: Vec<u64> = self.latencies_ns.lock().expect("metrics poisoned").clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if lat.is_empty() {
+                return Duration::ZERO;
+            }
+            // nearest-rank percentile
+            let idx = (p * lat.len() as f64).ceil() as usize;
+            Duration::from_nanos(lat[idx.clamp(1, lat.len()) - 1])
+        };
+        let completed = self.completed.load(Ordering::Relaxed);
+        ServingReport {
+            wall,
+            sql_requests: self.sql_requests.load(Ordering::Relaxed),
+            point_requests: self.point_requests.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            model_cache_hits: self.model_cache_hits.load(Ordering::Relaxed),
+            model_cache_misses: self.model_cache_misses.load(Ordering::Relaxed),
+            micro_batches: self.micro_batches.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_points: self.coalesced_points.load(Ordering::Relaxed),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// A snapshot of the server's serving behaviour.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Wall-clock time since the first request was accepted.
+    pub wall: Duration,
+    /// SQL (batch) requests accepted.
+    pub sql_requests: u64,
+    /// Point-prediction requests accepted.
+    pub point_requests: u64,
+    /// Requests completed (latency samples recorded).
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that completed with an error.
+    pub failed: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (prepares performed).
+    pub plan_cache_misses: u64,
+    /// Compiled-model cache hits.
+    pub model_cache_hits: u64,
+    /// Compiled-model cache misses.
+    pub model_cache_misses: u64,
+    /// Micro-batches driven through the pipeline (each covers ≥ 1 point
+    /// request).
+    pub micro_batches: u64,
+    /// Micro-batches that coalesced more than one point request.
+    pub coalesced_batches: u64,
+    /// Point requests that shared a micro-batch with at least one other
+    /// request.
+    pub coalesced_points: u64,
+    /// Median request latency (enqueue → response).
+    pub p50: Duration,
+    /// 95th-percentile request latency.
+    pub p95: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+}
+
+impl ServingReport {
+    /// Completed requests per second of serving wall time.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Plan-cache hit rate in [0, 1] (0 when no lookups happened).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_cache_hits as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        writeln!(
+            f,
+            "requests: {} sql + {} point ({} completed, {} rejected, {} failed)",
+            self.sql_requests, self.point_requests, self.completed, self.rejected, self.failed
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.0} qps over {:.1} ms",
+            self.throughput_qps(),
+            ms(self.wall)
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            ms(self.p50),
+            ms(self.p95),
+            ms(self.p99)
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits / {} misses ({:.0}% hit rate); model cache: {} hits / {} misses",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_hit_rate() * 100.0,
+            self.model_cache_hits,
+            self.model_cache_misses
+        )?;
+        write!(
+            f,
+            "micro-batches: {} total, {} coalesced covering {} point requests",
+            self.micro_batches, self.coalesced_batches, self.coalesced_points
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rates() {
+        let m = ServingMetrics::default();
+        m.mark_started();
+        for i in 1..=100u64 {
+            m.record_latency(Duration::from_millis(i));
+        }
+        m.record_plan_cache(true);
+        m.record_plan_cache(true);
+        m.record_plan_cache(false);
+        m.record_micro_batch(4);
+        m.record_micro_batch(1);
+        let r = m.report();
+        assert_eq!(r.completed, 100);
+        assert_eq!(r.p50, Duration::from_millis(50));
+        assert_eq!(r.p99, Duration::from_millis(99));
+        assert!((r.plan_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.micro_batches, 2);
+        assert_eq!(r.coalesced_batches, 1);
+        assert_eq!(r.coalesced_points, 4);
+        assert!(r.throughput_qps() > 0.0);
+        let text = r.to_string();
+        assert!(text.contains("p95"));
+        assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn empty_metrics_report_zeroes() {
+        let r = ServingMetrics::default().report();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.p50, Duration::ZERO);
+        assert_eq!(r.throughput_qps(), 0.0);
+        assert_eq!(r.plan_cache_hit_rate(), 0.0);
+    }
+}

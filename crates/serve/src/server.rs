@@ -1,0 +1,700 @@
+//! The prediction server: a multi-threaded request scheduler over a shared
+//! [`RavenSession`], with a prepared-plan cache, a compiled-model cache, point
+//! request micro-batching, and admission control.
+//!
+//! ## Concurrency model
+//!
+//! Clients [`Server::submit`] requests from any number of threads; each
+//! request gets a [`Ticket`] resolving to its response. `worker_threads`
+//! scheduler workers pull from a shared queue and execute concurrently — the
+//! session's catalog/registry live behind `Arc`s, so executions share one
+//! immutable snapshot without copying. Registration takes the write lock,
+//! bumps the epoch counters, and clears both caches; statements prepared
+//! against an older epoch are discarded on lookup even if they survived the
+//! clear (cache entries are validated against the live epochs on every hit).
+//!
+//! ## Micro-batching
+//!
+//! Point requests (single rows for the same prepared query) are coalesced:
+//! when a worker dequeues a point request, it drains every queued compatible
+//! request (same fingerprint and provided columns) up to
+//! `micro_batch_size`, optionally waiting `micro_batch_wait` for stragglers,
+//! assembles one columnar batch via [`Batch::from_rows`], drives the model
+//! once, and fans the scores back out to the individual tickets.
+
+use crate::cache::LruCache;
+use crate::error::{Result, ServeError};
+use crate::metrics::{ServingMetrics, ServingReport};
+use raven_columnar::{Batch, Field, Schema, Value};
+use raven_core::{
+    CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenSession,
+};
+use raven_ir::fingerprint_query;
+use raven_ml::MlRuntime;
+use raven_relational::evaluate_predicate;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Scheduler worker threads executing requests concurrently.
+    pub worker_threads: usize,
+    /// Admission-control limit on requests in flight (queued + executing).
+    /// Submissions beyond it fail fast with [`ServeError::Overloaded`].
+    pub max_in_flight: usize,
+    /// Maximum point requests coalesced into one micro-batch.
+    pub micro_batch_size: usize,
+    /// How long a worker waits for additional compatible point requests
+    /// before driving a partially filled micro-batch.
+    pub micro_batch_wait: Duration,
+    /// Capacity of the prepared-plan LRU cache.
+    pub plan_cache_capacity: usize,
+    /// Capacity of the compiled-model LRU cache.
+    pub model_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: 4,
+            max_in_flight: 1024,
+            micro_batch_size: 8,
+            micro_batch_wait: Duration::from_micros(200),
+            plan_cache_capacity: 64,
+            model_cache_capacity: 128,
+        }
+    }
+}
+
+/// A serving request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a full prediction query and return its result batch.
+    Sql(String),
+    /// Score one row with the model of a prepared prediction query. The row
+    /// provides `(column, value)` pairs covering at least the optimized
+    /// pipeline's inputs; compatible rows are micro-batched. The row must
+    /// satisfy the query's input predicates — the prepared (pruned) model is
+    /// only valid on data the predicates admit.
+    Point {
+        /// The prediction query whose prepared model scores the row.
+        sql: String,
+        /// Column/value pairs of the row.
+        row: Vec<(String, Value)>,
+    },
+}
+
+/// A completed response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Result of a [`Request::Sql`] (boxed: a full prediction output is much
+    /// larger than a point score).
+    Sql(Box<PredictionOutput>),
+    /// Result of a [`Request::Point`].
+    Point(PointPrediction),
+}
+
+/// The score for one point request.
+#[derive(Debug, Clone)]
+pub struct PointPrediction {
+    /// The model's prediction for the row.
+    pub score: f64,
+    /// How many point requests shared the micro-batch (1 = ran alone).
+    pub batch_size: usize,
+}
+
+/// A handle resolving to a request's response.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response>>,
+}
+
+impl Ticket {
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Block and unwrap a SQL response.
+    pub fn wait_sql(self) -> Result<PredictionOutput> {
+        match self.wait()? {
+            Response::Sql(out) => Ok(*out),
+            Response::Point(_) => Err(ServeError::InvalidRequest(
+                "expected a SQL response for a SQL request".into(),
+            )),
+        }
+    }
+
+    /// Block and unwrap a point response.
+    pub fn wait_point(self) -> Result<PointPrediction> {
+        match self.wait()? {
+            Response::Point(p) => Ok(p),
+            Response::Sql(_) => Err(ServeError::InvalidRequest(
+                "expected a point response for a point request".into(),
+            )),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    kind: JobKind,
+    /// Canonical fingerprint of the query (computed at submission).
+    canonical: Arc<String>,
+    /// Group key for micro-batching (fingerprint + provided columns); `None`
+    /// for SQL jobs, which never coalesce.
+    group: Option<Arc<String>>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Response>>,
+}
+
+enum JobKind {
+    Sql {
+        sql: String,
+    },
+    Point {
+        sql: String,
+        row: Vec<(String, Value)>,
+    },
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct ServerInner {
+    session: RwLock<RavenSession>,
+    plan_cache: Mutex<LruCache<String, Arc<PreparedStatement>>>,
+    model_cache: Mutex<LruCache<String, CompiledModels>>,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    in_flight: AtomicUsize,
+    metrics: ServingMetrics,
+    config: ServerConfig,
+}
+
+/// The concurrent prediction server.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start a server over a session, spawning the scheduler workers.
+    pub fn new(session: RavenSession, config: ServerConfig) -> Server {
+        let inner = Arc::new(ServerInner {
+            session: RwLock::new(session),
+            plan_cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
+            model_cache: Mutex::new(LruCache::new(config.model_cache_capacity)),
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            metrics: ServingMetrics::default(),
+            config: config.clone(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.worker_threads.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Server {
+            inner,
+            workers,
+            shutdown,
+        }
+    }
+
+    /// Start a server with the default configuration.
+    pub fn with_defaults(session: RavenSession) -> Server {
+        Server::new(session, ServerConfig::default())
+    }
+
+    /// Submit a request; fails fast when admission control is saturated.
+    pub fn submit(&self, request: Request) -> Result<Ticket> {
+        let inner = &self.inner;
+        inner.metrics.mark_started();
+        // admission control: count the request before enqueueing so a burst
+        // cannot overshoot the limit
+        let admitted = inner
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n >= inner.config.max_in_flight {
+                    None
+                } else {
+                    Some(n + 1)
+                }
+            })
+            .is_ok();
+        if !admitted {
+            inner.metrics.record_rejected();
+            return Err(ServeError::Overloaded {
+                limit: inner.config.max_in_flight,
+            });
+        }
+        let job = match self.make_job(request) {
+            Ok(job) => job,
+            Err(e) => {
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+        let ticket = Ticket { rx: job.1 };
+        {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            if q.shutdown {
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                return Err(ServeError::ShuttingDown);
+            }
+            q.jobs.push_back(job.0);
+        }
+        inner.available.notify_one();
+        Ok(ticket)
+    }
+
+    fn make_job(&self, request: Request) -> Result<(Job, mpsc::Receiver<Result<Response>>)> {
+        let (tx, rx) = mpsc::channel();
+        let job = match request {
+            Request::Sql(sql) => {
+                self.inner.metrics.record_sql();
+                let fp = fingerprint_query(&sql)
+                    .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+                Job {
+                    kind: JobKind::Sql { sql },
+                    canonical: Arc::new(fp.canonical),
+                    group: None,
+                    enqueued: Instant::now(),
+                    tx,
+                }
+            }
+            Request::Point { sql, row } => {
+                self.inner.metrics.record_point();
+                let fp = fingerprint_query(&sql)
+                    .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+                // The group key covers column names AND value types: only
+                // rows whose columns assemble to the same batch schema may
+                // coalesce, so a request's score can never depend on the
+                // types of the requests it happened to batch with.
+                let mut cols: Vec<String> = row
+                    .iter()
+                    .map(|(n, v)| {
+                        let tag = v
+                            .data_type()
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "null".into());
+                        format!("{n}:{tag}")
+                    })
+                    .collect();
+                cols.sort_unstable();
+                let group = format!("{}|{}", fp.canonical, cols.join(","));
+                Job {
+                    kind: JobKind::Point { sql, row },
+                    canonical: Arc::new(fp.canonical),
+                    group: Some(Arc::new(group)),
+                    enqueued: Instant::now(),
+                    tx,
+                }
+            }
+        };
+        Ok((job, rx))
+    }
+
+    /// Run a SQL request and wait for its result.
+    pub fn sql(&self, query: &str) -> Result<PredictionOutput> {
+        self.submit(Request::Sql(query.to_string()))?.wait_sql()
+    }
+
+    /// Score one row against a prepared query's model and wait.
+    pub fn point(&self, query: &str, row: Vec<(String, Value)>) -> Result<PointPrediction> {
+        self.submit(Request::Point {
+            sql: query.to_string(),
+            row,
+        })?
+        .wait_point()
+    }
+
+    /// Register (or replace) a table: takes the session write lock, bumps the
+    /// catalog epoch, and clears both caches.
+    pub fn register_table(&self, table: raven_columnar::Table) {
+        {
+            let mut s = self.inner.session.write().expect("session poisoned");
+            s.register_table(table);
+        }
+        self.invalidate_caches();
+    }
+
+    /// Register (or replace) a model: takes the session write lock, bumps the
+    /// registry epoch, and clears both caches.
+    pub fn register_model(&self, pipeline: raven_ml::Pipeline) {
+        {
+            let mut s = self.inner.session.write().expect("session poisoned");
+            s.register_model(pipeline);
+        }
+        self.invalidate_caches();
+    }
+
+    fn invalidate_caches(&self) {
+        self.inner
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .clear();
+        self.inner
+            .model_cache
+            .lock()
+            .expect("model cache poisoned")
+            .clear();
+    }
+
+    /// Read access to the underlying session (for harnesses and tests).
+    pub fn with_session<R>(&self, f: impl FnOnce(&RavenSession) -> R) -> R {
+        f(&self.inner.session.read().expect("session poisoned"))
+    }
+
+    /// Snapshot the serving metrics.
+    pub fn report(&self) -> ServingReport {
+        self.inner.metrics.report()
+    }
+
+    /// Stop accepting work, drain the queue (pending requests get
+    /// [`ServeError::ShuttingDown`]), and join the workers.
+    pub fn shutdown(mut self) -> ServingReport {
+        self.stop_and_join();
+        self.inner.metrics.report()
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scheduler worker
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: Arc<ServerInner>) {
+    loop {
+        // 1. take one job; on shutdown, fail the remaining backlog fast (the
+        //    documented contract: pending requests get `ShuttingDown`) and
+        //    exit
+        let job = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if q.shutdown {
+                    let orphans: Vec<Job> = q.jobs.drain(..).collect();
+                    drop(q);
+                    for job in orphans {
+                        respond(&inner, job, Err(ServeError::ShuttingDown));
+                    }
+                    return;
+                }
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                q = inner.available.wait(q).expect("queue poisoned");
+            }
+        };
+
+        // 2. coalesce compatible point requests into a micro-batch
+        let mut group = vec![job];
+        if let Some(key) = group[0].group.clone() {
+            let cap = inner.config.micro_batch_size.max(1);
+            let wait = inner.config.micro_batch_wait;
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            drain_compatible(&mut q.jobs, &key, cap, &mut group);
+            if group.len() < cap && !wait.is_zero() && !q.shutdown {
+                // one bounded wait for stragglers, then drain again
+                let (guard, _) = inner
+                    .available
+                    .wait_timeout(q, wait)
+                    .expect("queue poisoned");
+                q = guard;
+                drain_compatible(&mut q.jobs, &key, cap, &mut group);
+            }
+            // the straggler wait may have consumed a notify_one meant for an
+            // idle worker; hand the wakeup on if incompatible jobs remain
+            if !q.jobs.is_empty() {
+                inner.available.notify_one();
+            }
+        }
+
+        // 3. execute outside any queue lock
+        execute_group(&inner, group);
+    }
+}
+
+/// Move every job with the given group key (up to `cap` total) from the
+/// queue into `group`, preserving arrival order of the rest.
+fn drain_compatible(jobs: &mut VecDeque<Job>, key: &Arc<String>, cap: usize, group: &mut Vec<Job>) {
+    let mut i = 0;
+    while i < jobs.len() && group.len() < cap {
+        if jobs[i].group.as_ref() == Some(key) {
+            if let Some(job) = jobs.remove(i) {
+                group.push(job);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn execute_group(inner: &ServerInner, group: Vec<Job>) {
+    match &group[0].kind {
+        JobKind::Sql { .. } => {
+            debug_assert_eq!(group.len(), 1);
+            for job in group {
+                let result = run_sql(inner, &job);
+                respond(inner, job, result.map(|out| Response::Sql(Box::new(out))));
+            }
+        }
+        JobKind::Point { .. } => run_point_batch(inner, group),
+    }
+}
+
+fn run_sql(inner: &ServerInner, job: &Job) -> Result<PredictionOutput> {
+    let JobKind::Sql { sql } = &job.kind else {
+        unreachable!("execute_group routes only SQL jobs to run_sql")
+    };
+    // One read lock spans plan lookup AND execution: a register_table /
+    // register_model (write lock) can never land between the freshness check
+    // and execute_prepared, so a statement can never run against a catalog
+    // newer than the one it was prepared for.
+    let session = inner.session.read().expect("session poisoned");
+    let prepared = get_prepared(inner, &session, &job.canonical, sql)?;
+    Ok(session.execute_prepared(&prepared)?)
+}
+
+/// Score a micro-batch of compatible point requests with one pipeline drive.
+fn run_point_batch(inner: &ServerInner, group: Vec<Job>) {
+    let n = group.len();
+    inner.metrics.record_micro_batch(n);
+    let (canonical, sql) = match &group[0] {
+        Job {
+            canonical,
+            kind: JobKind::Point { sql, .. },
+            ..
+        } => (canonical.clone(), sql.clone()),
+        _ => unreachable!("point batch always starts with a point job"),
+    };
+    match score_rows(inner, &canonical, &sql, &group) {
+        Ok(results) => {
+            for (job, result) in group.into_iter().zip(results) {
+                respond(
+                    inner,
+                    job,
+                    result.map(|score| {
+                        Response::Point(PointPrediction {
+                            score,
+                            batch_size: n,
+                        })
+                    }),
+                );
+            }
+        }
+        Err(e) => {
+            for job in group {
+                respond(inner, job, Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Assemble the rows of a point micro-batch into one columnar batch, check
+/// the prepared query's input predicates, score once, and split the results.
+fn score_rows(
+    inner: &ServerInner,
+    canonical: &str,
+    sql: &str,
+    group: &[Job],
+) -> Result<Vec<Result<f64>>> {
+    let (prepared, runtime) = {
+        let session = inner.session.read().expect("session poisoned");
+        (
+            get_prepared(inner, &session, canonical, sql)?,
+            MlRuntime::with_config(session.config().ml_runtime.clone()),
+        )
+    };
+    let plan = prepared.plan();
+
+    // columns = the union the group key fixed (identical for every job)
+    let rows: Vec<&Vec<(String, Value)>> = group
+        .iter()
+        .map(|j| match &j.kind {
+            JobKind::Point { row, .. } => row,
+            JobKind::Sql { .. } => unreachable!("SQL job in a point micro-batch"),
+        })
+        .collect();
+    // The group key pins both the column names and each column's value type
+    // across every row, so the first row determines the schema for the whole
+    // micro-batch (all-null columns default to Float64/NaN).
+    let mut names: Vec<String> = rows[0].iter().map(|(n, _)| n.clone()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let fields: Vec<Field> = names
+        .iter()
+        .map(|name| {
+            let dt = rows[0]
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.data_type())
+                .unwrap_or(raven_columnar::DataType::Float64);
+            Field::new(name, dt)
+        })
+        .collect();
+    let schema =
+        Arc::new(Schema::new(fields).map_err(|e| ServeError::InvalidRequest(e.to_string()))?);
+    let value_rows: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|row| {
+            names
+                .iter()
+                .map(|name| {
+                    row.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Value::Null)
+                })
+                .collect()
+        })
+        .collect();
+    let batch = Batch::from_rows(schema, &value_rows)
+        .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+
+    // The prepared (predicate-pruned) model is only valid for rows the
+    // query's input predicates admit — every predicate must be verifiable
+    // against the provided columns, and every row must pass it.
+    let mut admitted = vec![true; group.len()];
+    for pred in plan.input_predicates() {
+        let missing: Vec<String> = pred
+            .referenced_columns()
+            .into_iter()
+            .filter(|c| !names.contains(c))
+            .collect();
+        if !missing.is_empty() {
+            return Err(ServeError::InvalidRequest(format!(
+                "point rows must supply the columns of the query's input \
+                 predicates; missing: {missing:?}"
+            )));
+        }
+        let mask = evaluate_predicate(pred, &batch)
+            .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+        for (a, ok) in admitted.iter_mut().zip(mask.iter()) {
+            *a &= *ok;
+        }
+    }
+
+    // Score with the statement's point pipeline: cross-optimized for the
+    // (verified) predicates, but free of data-induced pruning, which would
+    // be unsound for rows outside the registered table's value domains.
+    let scores = runtime
+        .run_batch(prepared.point_pipeline(), &batch)
+        .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
+    Ok(admitted
+        .into_iter()
+        .zip(scores)
+        .map(|(ok, score)| {
+            if ok {
+                Ok(score)
+            } else {
+                Err(ServeError::InvalidRequest(
+                    "row violates the prepared query's input predicates".into(),
+                ))
+            }
+        })
+        .collect())
+}
+
+/// Plan-cache lookup with epoch validation; prepares (and caches) on miss,
+/// wiring the compiled-model cache into the session's lowering hooks. The
+/// caller passes the session guard it already holds, so the returned
+/// statement is guaranteed fresh for as long as that guard lives.
+fn get_prepared(
+    inner: &ServerInner,
+    session: &RavenSession,
+    canonical: &str,
+    sql: &str,
+) -> Result<Arc<PreparedStatement>> {
+    let (cat_epoch, reg_epoch) = (session.catalog().epoch(), session.registry().epoch());
+    {
+        let mut cache = inner.plan_cache.lock().expect("plan cache poisoned");
+        if let Some(entry) = cache.get(&canonical.to_string()) {
+            if entry.catalog_epoch() == cat_epoch && entry.registry_epoch() == reg_epoch {
+                let entry = entry.clone();
+                drop(cache);
+                inner.metrics.record_plan_cache(true);
+                return Ok(entry);
+            }
+            // stale: prepared against an older catalog/registry
+            cache.remove(&canonical.to_string());
+        }
+    }
+    inner.metrics.record_plan_cache(false);
+    let mut lookup = |key: &str| {
+        let mut cache = inner.model_cache.lock().expect("model cache poisoned");
+        let hit = cache.get(&key.to_string()).cloned();
+        inner.metrics.record_model_cache(hit.is_some());
+        hit
+    };
+    let mut store = |key: &str, models: &CompiledModels| {
+        inner
+            .model_cache
+            .lock()
+            .expect("model cache poisoned")
+            .insert(key.to_string(), models.clone());
+    };
+    let mut hooks = ModelCacheHooks {
+        lookup: &mut lookup,
+        store: &mut store,
+    };
+    let prepared = Arc::new(session.prepare_hooked(sql, Some(&mut hooks))?);
+    inner
+        .plan_cache
+        .lock()
+        .expect("plan cache poisoned")
+        .insert(canonical.to_string(), prepared.clone());
+    Ok(prepared)
+}
+
+/// Deliver a result to a ticket and settle the request's accounting.
+fn respond(inner: &ServerInner, job: Job, result: Result<Response>) {
+    if result.is_err() {
+        inner.metrics.record_failed();
+    }
+    inner.metrics.record_latency(job.enqueued.elapsed());
+    // the client may have dropped its ticket; delivery failure is fine
+    let _ = job.tx.send(result);
+    inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+}

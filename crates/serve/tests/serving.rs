@@ -1,0 +1,387 @@
+//! Integration tests for the serving subsystem: plan-cache correctness and
+//! epoch invalidation, micro-batched point scoring, admission control, and
+//! concurrent-client parity with direct session execution.
+
+use raven_columnar::{Table, TableBuilder, Value};
+use raven_core::{RavenConfig, RavenSession, RuntimePolicy};
+use raven_ml::{
+    InputKind, MlRuntime, Operator, Pipeline, PipelineInput, PipelineNode, Tree, TreeEnsemble,
+    TreeNode,
+};
+use raven_serve::{Request, ServeError, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn patients(rows: usize, age_lo: f64, age_hi: f64) -> Table {
+    let span = (age_hi - age_lo).max(1.0);
+    TableBuilder::new("patients")
+        .add_i64("id", (0..rows as i64).collect())
+        .add_f64(
+            "age",
+            (0..rows)
+                .map(|i| age_lo + span * (i as f64 / rows.max(1) as f64))
+                .collect(),
+        )
+        .add_f64("rcount", (0..rows).map(|i| (i % 5) as f64).collect())
+        .build()
+        .unwrap()
+}
+
+/// A fixed decision tree over (age, rcount): age > 60 → 0.9, else rcount
+/// splits 0.1 / 0.5. Deterministic, no training.
+fn risk_pipeline(name: &str, high_leaf: f64) -> Pipeline {
+    let tree = Tree {
+        nodes: vec![
+            TreeNode::Branch {
+                feature: 0,
+                threshold: 60.0,
+                left: 1,
+                right: 2,
+            },
+            TreeNode::Branch {
+                feature: 1,
+                threshold: 2.0,
+                left: 3,
+                right: 4,
+            },
+            TreeNode::Leaf { value: high_leaf },
+            TreeNode::Leaf { value: 0.1 },
+            TreeNode::Leaf { value: 0.5 },
+        ],
+        root: 0,
+    };
+    Pipeline::new(
+        name,
+        vec![
+            PipelineInput {
+                name: "age".into(),
+                kind: InputKind::Numeric,
+            },
+            PipelineInput {
+                name: "rcount".into(),
+                kind: InputKind::Numeric,
+            },
+        ],
+        vec![
+            PipelineNode {
+                name: "concat".into(),
+                op: Operator::Concat,
+                inputs: vec!["age".into(), "rcount".into()],
+                output: "features".into(),
+            },
+            PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(tree, 2)),
+                inputs: vec!["features".into()],
+                output: "score".into(),
+            },
+        ],
+        "score",
+    )
+    .unwrap()
+}
+
+fn session(rows: usize, age_lo: f64, age_hi: f64) -> RavenSession {
+    let mut s = RavenSession::with_config(RavenConfig {
+        runtime_policy: RuntimePolicy::NoTransform,
+        ..Default::default()
+    });
+    s.register_table(patients(rows, age_lo, age_hi));
+    s.register_model(risk_pipeline("risk_model", 0.9));
+    s
+}
+
+const QUERY: &str = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+                     WITH (risk float) AS p WHERE d.age >= 30 AND p.risk >= 0.0";
+
+/// Canonical byte-level rendering of a batch: schema field order + every
+/// column's values. (Plain `{:?}` on a batch includes the schema's name→index
+/// HashMap, whose iteration order is nondeterministic.)
+fn canonical(batch: &raven_columnar::Batch) -> String {
+    format!("{:?} {:?}", batch.schema().names(), batch.columns())
+}
+
+fn sorted_ids(batch: &raven_columnar::Batch) -> Vec<i64> {
+    let mut v = batch
+        .column_by_name("id")
+        .unwrap()
+        .as_i64()
+        .unwrap()
+        .to_vec();
+    v.sort();
+    v
+}
+
+#[test]
+fn equivalent_spellings_share_one_cached_plan() {
+    let server = Server::new(
+        session(200, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            ..Default::default()
+        },
+    );
+    let a = server.sql(QUERY).unwrap();
+    // same query, different whitespace / keyword case / trailing semicolon
+    let variant = "select   d.id , p.risk\n from predict( model = risk_model , \
+                   data = patients as d ) with (risk float) as p \
+                   where d.age >= 30 and p.risk >= 0.0 ;";
+    let b = server.sql(variant).unwrap();
+    assert_eq!(sorted_ids(&a.batch), sorted_ids(&b.batch));
+    let report = server.report();
+    assert_eq!(
+        report.plan_cache_misses, 1,
+        "one prepare for both spellings"
+    );
+    assert_eq!(report.plan_cache_hits, 1);
+}
+
+#[test]
+fn distinct_literals_get_distinct_plans() {
+    let server = Server::new(
+        session(200, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            ..Default::default()
+        },
+    );
+    let lo = server.sql(QUERY).unwrap();
+    let hi = server
+        .sql(&QUERY.replace("d.age >= 30", "d.age >= 70"))
+        .unwrap();
+    assert!(lo.report.output_rows > hi.report.output_rows);
+    let report = server.report();
+    assert_eq!(report.plan_cache_misses, 2, "distinct literals never share");
+    assert_eq!(report.plan_cache_hits, 0);
+}
+
+#[test]
+fn register_table_invalidates_cached_plans() {
+    // ages 20..50: data-induced optimization bakes "age ≤ 50" into the
+    // prepared model, so serving the stale plan on the new 80..95 table
+    // would produce wrong scores
+    let server = Server::new(
+        session(100, 20.0, 50.0),
+        ServerConfig {
+            worker_threads: 2,
+            ..Default::default()
+        },
+    );
+    let old = server.sql(QUERY).unwrap();
+    assert!(old
+        .batch
+        .column_by_name("risk")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .iter()
+        .all(|r| *r < 0.9));
+
+    server.register_table(patients(100, 80.0, 95.0));
+    let new = server.sql(QUERY).unwrap();
+    // fresh session over the new data is the ground truth
+    let expected = session(100, 80.0, 95.0).sql(QUERY).unwrap();
+    assert_eq!(sorted_ids(&new.batch), sorted_ids(&expected.batch));
+    assert!(new
+        .batch
+        .column_by_name("risk")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .iter()
+        .all(|r| (*r - 0.9).abs() < 1e-12));
+    let report = server.report();
+    assert_eq!(
+        report.plan_cache_misses, 2,
+        "registration must force a re-prepare"
+    );
+}
+
+#[test]
+fn register_model_invalidates_cached_plans() {
+    let server = Server::new(
+        session(100, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            ..Default::default()
+        },
+    );
+    let q = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+             WITH (risk float) AS p WHERE d.age >= 61 AND p.risk >= 0.85";
+    let old = server.sql(q).unwrap();
+    assert!(old.report.output_rows > 0);
+    // replace the model with one whose high-age leaf scores 0.2: the same
+    // query must now return zero rows
+    server.register_model(risk_pipeline("risk_model", 0.2));
+    let new = server.sql(q).unwrap();
+    assert_eq!(new.report.output_rows, 0);
+    assert_eq!(server.report().plan_cache_misses, 2);
+}
+
+#[test]
+fn micro_batched_points_match_individual_scoring() {
+    let server = Server::new(
+        session(50, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            micro_batch_size: 8,
+            micro_batch_wait: Duration::from_millis(200),
+            ..Default::default()
+        },
+    );
+    let rows: Vec<Vec<(String, Value)>> = (0..8)
+        .map(|i| {
+            vec![
+                ("age".to_string(), Value::Float64(35.0 + 7.0 * i as f64)),
+                ("rcount".to_string(), Value::Float64((i % 5) as f64)),
+            ]
+        })
+        .collect();
+    // submit all tickets first so the single worker can coalesce them
+    let tickets: Vec<_> = rows
+        .iter()
+        .map(|row| {
+            server
+                .submit(Request::Point {
+                    sql: QUERY.to_string(),
+                    row: row.clone(),
+                })
+                .unwrap()
+        })
+        .collect();
+    let predictions: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait_point().unwrap())
+        .collect();
+
+    // ground truth: score each row alone with the bare runtime and the
+    // statement's point pipeline (cross-optimized, no data-induced pruning)
+    let prepared = server.with_session(|s| s.prepare(QUERY).unwrap());
+    let runtime = MlRuntime::new();
+    for (row, prediction) in rows.iter().zip(&predictions) {
+        let batch = raven_columnar::Batch::from_rows(
+            Arc::new(
+                raven_columnar::Schema::new(vec![
+                    raven_columnar::Field::new("age", raven_columnar::DataType::Float64),
+                    raven_columnar::Field::new("rcount", raven_columnar::DataType::Float64),
+                ])
+                .unwrap(),
+            ),
+            &[vec![row[0].1.clone(), row[1].1.clone()]],
+        )
+        .unwrap();
+        let expected = runtime
+            .run_batch(prepared.point_pipeline(), &batch)
+            .unwrap()[0];
+        assert_eq!(prediction.score, expected);
+    }
+    let report = server.report();
+    assert_eq!(report.point_requests, 8);
+    assert!(
+        report.coalesced_points >= 2,
+        "at least one micro-batch should coalesce, got report:\n{report}"
+    );
+}
+
+#[test]
+fn point_rows_violating_predicates_are_rejected() {
+    let server = Server::new(
+        session(50, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            micro_batch_wait: Duration::ZERO,
+            ..Default::default()
+        },
+    );
+    // QUERY requires age >= 30; this row has age 25
+    let err = server
+        .point(
+            QUERY,
+            vec![
+                ("age".to_string(), Value::Float64(25.0)),
+                ("rcount".to_string(), Value::Float64(1.0)),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::InvalidRequest(_)), "{err}");
+    // a satisfying row still scores
+    let ok = server
+        .point(
+            QUERY,
+            vec![
+                ("age".to_string(), Value::Float64(65.0)),
+                ("rcount".to_string(), Value::Float64(1.0)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(ok.score, 0.9);
+}
+
+#[test]
+fn admission_control_sheds_load() {
+    let server = Server::new(
+        session(50, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            max_in_flight: 0,
+            ..Default::default()
+        },
+    );
+    let err = server.sql(QUERY).unwrap_err();
+    assert!(matches!(err, ServeError::Overloaded { limit: 0 }), "{err}");
+    assert_eq!(server.report().rejected, 1);
+}
+
+#[test]
+fn concurrent_clients_match_sequential_session() {
+    let base = session(300, 20.0, 90.0);
+    let queries: Vec<String> = vec![
+        QUERY.to_string(),
+        QUERY.replace("d.age >= 30", "d.age >= 50"),
+        QUERY.replace("p.risk >= 0.0", "p.risk >= 0.5"),
+        QUERY.replace("d.age >= 30", "d.age >= 85"),
+    ];
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| canonical(&base.sql(q).unwrap().batch))
+        .collect();
+
+    let server = Arc::new(Server::new(
+        base.clone(),
+        ServerConfig {
+            worker_threads: 4,
+            ..Default::default()
+        },
+    ));
+    let mut handles = Vec::new();
+    for client in 0..4usize {
+        let server = server.clone();
+        let queries = queries.clone();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..5 {
+                let idx = (client + round) % queries.len();
+                let out = server.sql(&queries[idx]).unwrap();
+                assert_eq!(
+                    canonical(&out.batch),
+                    expected[idx],
+                    "client {client} round {round} diverged"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let report = server.report();
+    assert_eq!(report.sql_requests, 20);
+    // at least one prepare per distinct query; concurrent workers may race
+    // on a cold fingerprint and both prepare (no single-flight), so the
+    // miss count has a small upper slack
+    let misses = report.plan_cache_misses as usize;
+    assert!(
+        (queries.len()..=2 * queries.len()).contains(&misses),
+        "unexpected miss count {misses}"
+    );
+    assert_eq!(report.plan_cache_hits as usize + misses, 20);
+}

@@ -48,6 +48,28 @@
 //!   streaming pipeline, the legacy materialized plan (the §7 baseline), or
 //!   a cost-based choice (`core::choose_execution_mode`).
 //!
+//! ## Architecture: the prediction-serving layer
+//!
+//! Above the session sits `raven_serve` — the concurrent serving tier that
+//! makes the paper's premise pay off under repeated traffic. A query is
+//! **prepared once** (`core::RavenSession::prepare` → parse, cross- and
+//! data-induced optimization, and lowering to its physical artifact: the
+//! optimized relational plan for MLtoSQL, the compiled tensor model for
+//! MLtoDNN, or the pre-optimized data plan plus per-partition compiled
+//! models for the ML runtime) and **executed many times**
+//! (`execute_prepared`) — `sql` itself is prepare + execute, so cached plans
+//! are byte-identical to ad-hoc execution by construction. `serve::Server`
+//! keys prepared statements by a normalized fingerprint
+//! (`ir::fingerprint_query`) in an LRU **plan cache** with a companion
+//! **compiled-model cache**; both are invalidated by catalog/registry epoch
+//! counters, so re-registering a table or model can never serve a stale
+//! plan. A multi-threaded scheduler executes SQL and point requests from N
+//! clients over one shared `Arc`'d catalog snapshot, **micro-batches**
+//! compatible point requests into one columnar batch per tick
+//! (`columnar::Batch::from_rows`), enforces an admission-control limit on
+//! in-flight work, and reports throughput, latency percentiles, and cache
+//! hit rates via `serve::ServingReport`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -90,16 +112,19 @@ pub use raven_datagen as datagen;
 pub use raven_ir as ir;
 pub use raven_ml as ml;
 pub use raven_relational as relational;
+pub use raven_serve as serve;
 pub use raven_tensor as tensor;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use raven_columnar::{Batch, Column, DataType, Field, Schema, Table, TableBuilder, Value};
     pub use raven_core::{
-        BaselineMode, PredictionOutput, RavenConfig, RavenSession, RuntimePolicy, TransformChoice,
+        BaselineMode, PredictionOutput, PreparedStatement, RavenConfig, RavenSession,
+        RuntimePolicy, TransformChoice,
     };
-    pub use raven_ir::{ModelRegistry, UnifiedPlan};
+    pub use raven_ir::{fingerprint_query, ModelRegistry, QueryFingerprint, UnifiedPlan};
     pub use raven_ml::{MlRuntime, ModelType, Pipeline, PipelineSpec};
     pub use raven_relational::{col, lit, Catalog, Expr, LogicalPlan};
+    pub use raven_serve::{Server, ServerConfig, ServingReport};
     pub use raven_tensor::{Device, GpuProfile, Strategy};
 }

@@ -1,0 +1,245 @@
+//! Property tests for the serving subsystem: for any randomly generated
+//! workload, N concurrent clients driving the micro-batching scheduler must
+//! produce byte-identical outputs to sequential `session.sql` calls, across
+//! scheduler dop ∈ {1, 4} and micro-batch sizes ∈ {1, 8}, and micro-batched
+//! point requests must score exactly like solo runtime evaluation.
+
+use proptest::prelude::*;
+use raven::prelude::*;
+use raven_columnar::{partition_by_column, PartitionSpec, TableBuilder};
+use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble, TreeNode};
+use raven_serve::Request;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn patient_table(rows: usize, seed: u64) -> Table {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    TableBuilder::new("patients")
+        .add_i64("id", (0..rows as i64).collect())
+        .add_f64(
+            "age",
+            (0..rows).map(|_| rng.gen_range(18.0..95.0)).collect(),
+        )
+        .add_f64(
+            "rcount",
+            (0..rows).map(|_| rng.gen_range(0.0..5.0)).collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// A small fixed decision tree over (age, rcount) — deterministic, no
+/// training, so property cases stay fast.
+fn risk_pipeline() -> Pipeline {
+    let tree = Tree {
+        nodes: vec![
+            TreeNode::Branch {
+                feature: 0,
+                threshold: 60.0,
+                left: 1,
+                right: 2,
+            },
+            TreeNode::Branch {
+                feature: 1,
+                threshold: 2.0,
+                left: 3,
+                right: 4,
+            },
+            TreeNode::Leaf { value: 0.9 },
+            TreeNode::Leaf { value: 0.1 },
+            TreeNode::Leaf { value: 0.5 },
+        ],
+        root: 0,
+    };
+    Pipeline::new(
+        "risk_model",
+        vec![
+            PipelineInput {
+                name: "age".into(),
+                kind: InputKind::Numeric,
+            },
+            PipelineInput {
+                name: "rcount".into(),
+                kind: InputKind::Numeric,
+            },
+        ],
+        vec![
+            PipelineNode {
+                name: "concat".into(),
+                op: Operator::Concat,
+                inputs: vec!["age".into(), "rcount".into()],
+                output: "features".into(),
+            },
+            PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(tree, 2)),
+                inputs: vec!["features".into()],
+                output: "score".into(),
+            },
+        ],
+        "score",
+    )
+    .unwrap()
+}
+
+fn build_session(rows: usize, seed: u64, partitions: usize) -> RavenSession {
+    let table = if partitions > 1 {
+        partition_by_column(
+            &patient_table(rows, seed),
+            &PartitionSpec::ByRange {
+                column: "age".into(),
+                partitions,
+            },
+        )
+        .unwrap()
+    } else {
+        patient_table(rows, seed)
+    };
+    let mut session = RavenSession::new();
+    session.register_table(table);
+    session.register_model(risk_pipeline());
+    session.config_mut().runtime_policy = raven::core::RuntimePolicy::NoTransform;
+    session
+}
+
+/// Canonical byte-level rendering of a batch (plain `{:?}` would include the
+/// schema's name→index HashMap, whose iteration order is nondeterministic).
+fn canonical(batch: &Batch) -> String {
+    format!("{:?} {:?}", batch.schema().names(), batch.columns())
+}
+
+prop_compose! {
+    fn workload()(
+        rows in 40usize..200,
+        seed in 0u64..1_000,
+        partitions in 1usize..7,
+        threshold in 20.0f64..95.0,
+    ) -> (usize, u64, usize, f64) {
+        (rows, seed, partitions, threshold)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scheduler parity: 4 concurrent clients through the server produce
+    /// byte-identical outputs to sequential `session.sql`, for every
+    /// (worker-count, micro-batch-size) combination.
+    #[test]
+    fn concurrent_scheduler_matches_sequential_sql(
+        (rows, seed, partitions, threshold) in workload(),
+    ) {
+        let session = build_session(rows, seed, partitions);
+        let queries: Vec<String> = [threshold, 30.0]
+            .iter()
+            .map(|t| {
+                format!(
+                    "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, \
+                     DATA = patients AS d) WITH (risk float) AS p \
+                     WHERE d.age >= {t:.3} AND p.risk >= 0.2"
+                )
+            })
+            .collect();
+        let expected: Vec<String> = queries
+            .iter()
+            .map(|q| canonical(&session.sql(q).unwrap().batch))
+            .collect();
+
+        for (workers, micro_batch) in [(1usize, 1usize), (1, 8), (4, 1), (4, 8)] {
+            let server = Arc::new(Server::new(
+                session.clone(),
+                ServerConfig {
+                    worker_threads: workers,
+                    micro_batch_size: micro_batch,
+                    micro_batch_wait: Duration::from_micros(100),
+                    ..Default::default()
+                },
+            ));
+            let handles: Vec<_> = (0..4usize)
+                .map(|client| {
+                    let server = server.clone();
+                    let queries = queries.clone();
+                    let expected = expected.clone();
+                    std::thread::spawn(move || {
+                        for (q, want) in queries.iter().zip(&expected) {
+                            let got = canonical(&server.sql(q).unwrap().batch);
+                            assert_eq!(
+                                &got, want,
+                                "client {client} diverged (workers={workers}, \
+                                 micro_batch={micro_batch})"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                prop_assert!(h.join().is_ok(), "workers={workers} micro_batch={micro_batch}");
+            }
+        }
+    }
+
+    /// Point parity: rows scored through the micro-batching scheduler get
+    /// exactly the score the runtime produces for the row alone.
+    #[test]
+    fn micro_batched_points_match_solo_scoring(
+        (rows, seed, partitions, _threshold) in workload(),
+    ) {
+        let session = build_session(rows, seed, partitions);
+        let query = "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, \
+                     DATA = patients AS d) WITH (risk float) AS p \
+                     WHERE p.risk >= 0.0";
+        let pipeline = risk_pipeline();
+        let runtime = MlRuntime::new();
+
+        for micro_batch in [1usize, 8] {
+            let server = Server::new(
+                session.clone(),
+                ServerConfig {
+                    worker_threads: 1,
+                    micro_batch_size: micro_batch,
+                    micro_batch_wait: Duration::from_millis(20),
+                    ..Default::default()
+                },
+            );
+            let points: Vec<Vec<(String, Value)>> = (0..8u64)
+                .map(|i| {
+                    vec![
+                        (
+                            "age".to_string(),
+                            Value::Float64(20.0 + (seed + i * 11) as f64 % 70.0),
+                        ),
+                        ("rcount".to_string(), Value::Float64((i % 5) as f64)),
+                    ]
+                })
+                .collect();
+            let tickets: Vec<_> = points
+                .iter()
+                .map(|row| {
+                    server
+                        .submit(Request::Point {
+                            sql: query.to_string(),
+                            row: row.clone(),
+                        })
+                        .unwrap()
+                })
+                .collect();
+            for (row, ticket) in points.iter().zip(tickets) {
+                let got = ticket.wait_point().unwrap().score;
+                let batch = Batch::from_rows(
+                    Arc::new(
+                        Schema::new(vec![
+                            Field::new("age", DataType::Float64),
+                            Field::new("rcount", DataType::Float64),
+                        ])
+                        .unwrap(),
+                    ),
+                    &[vec![row[0].1.clone(), row[1].1.clone()]],
+                )
+                .unwrap();
+                let want = runtime.run_batch(&pipeline, &batch).unwrap()[0];
+                prop_assert_eq!(got, want, "micro_batch={}", micro_batch);
+            }
+        }
+    }
+}
