@@ -26,4 +26,17 @@ fn main() {
         result.point_concurrent_qps,
         result.point_single_qps
     );
+    assert!(
+        result.pool_concurrent_qps >= result.scoped_concurrent_qps,
+        "the shared work-stealing pool should at least match the scoped-thread \
+         baseline under concurrent clients ({:.0} vs {:.0} qps)",
+        result.pool_concurrent_qps,
+        result.scoped_concurrent_qps
+    );
+    assert_eq!(
+        result.stampede_prepares, 1,
+        "a cold-miss stampede must collapse into exactly one prepare \
+         (single-flight), got {}",
+        result.stampede_prepares
+    );
 }

@@ -592,6 +592,16 @@ pub struct ServingStudyResult {
     /// Point-request throughput with `clients` concurrent clients
     /// (micro-batched).
     pub point_concurrent_qps: f64,
+    /// Concurrent SQL throughput with partition drives on the PR 1
+    /// scoped-thread driver (every drive point spawns and tears down its own
+    /// threads).
+    pub scoped_concurrent_qps: f64,
+    /// Concurrent SQL throughput with partition drives on the process-wide
+    /// work-stealing pool (the default driver).
+    pub pool_concurrent_qps: f64,
+    /// Prepares performed when 8 clients cold-miss the same fingerprint
+    /// simultaneously (single-flight ⇒ exactly 1).
+    pub stampede_prepares: u64,
     /// The server's serving report over the whole study.
     pub report: raven_serve::ServingReport,
 }
@@ -642,6 +652,11 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
     *scenario.session.config_mut() = RavenConfig {
         runtime_policy: RuntimePolicy::NoTransform,
         enable_partition_models: true,
+        // dop > 1 so every request exercises the partition-parallel drive —
+        // under the scoped-thread baseline each request then spawns and tears
+        // down threads at every drive point, which is exactly the overhead
+        // the shared work-stealing pool removes
+        degree_of_parallelism: 4,
         ..Default::default()
     };
     let session = scenario.session;
@@ -759,6 +774,78 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
         );
         server.sql(&variant).expect("variant request");
     }
+
+    // 6. partition-drive A/B at `clients` concurrent clients: the PR 1
+    //    scoped-thread driver (every BatchStream::collect spawns and joins
+    //    its own dop threads, so N clients oversubscribe with N×DOP transient
+    //    threads) vs. the shared work-stealing pool (one fixed worker set,
+    //    partition tasks interleave). Same server, same warmed plan cache.
+    let concurrent_run = |server: &Arc<Server>| {
+        let t = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let server = server.clone();
+                let query = query.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_client {
+                        server.sql(&query).expect("concurrent request");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        (per_client * clients) as f64 / t.elapsed().as_secs_f64()
+    };
+    let measure = |scoped: bool| {
+        raven_columnar::pool::force_scoped(scoped);
+        let qps = concurrent_run(&server);
+        raven_columnar::pool::force_scoped(false);
+        qps
+    };
+    // one unmeasured warmup round per driver (allocator/page-cache/pool
+    // threads), then best-of-2 each, so run-to-run noise and first-run bias
+    // don't decide the comparison
+    measure(true);
+    measure(false);
+    let scoped_concurrent_qps = measure(true).max(measure(true));
+    let pool_concurrent_qps = measure(false).max(measure(false));
+
+    // 7. cold-miss stampede: 8 clients hit a brand-new fingerprint on a
+    //    fresh server at the same instant; single-flight prepare must
+    //    collapse the 8 concurrent cold misses into exactly one prepare
+    //    (here: cross-optimization + compiling one model per partition)
+    let stampede_clients = 8usize;
+    let stampede_server = Arc::new(Server::new(
+        session.clone(),
+        ServerConfig {
+            worker_threads: stampede_clients,
+            ..Default::default()
+        },
+    ));
+    let stampede_query = query.replace(
+        &format!("d.id >= {id_threshold}"),
+        &format!("d.id >= {}", rows * 93 / 100),
+    );
+    let barrier = Arc::new(std::sync::Barrier::new(stampede_clients));
+    let handles: Vec<_> = (0..stampede_clients)
+        .map(|_| {
+            let server = stampede_server.clone();
+            let q = stampede_query.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                server.sql(&q).expect("stampede request");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stampede client");
+    }
+    let stampede_report = stampede_server.report();
+    let stampede_prepares = stampede_report.plan_cache_misses;
+
     let report = server.report();
 
     println!("| {:<38} | {:>10} |", "configuration", "qps");
@@ -775,6 +862,14 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
             &format!("server, {clients} clients, points (batched)")[..],
             point_concurrent_qps,
         ),
+        (
+            &format!("server, {clients} clients, scoped threads")[..],
+            scoped_concurrent_qps,
+        ),
+        (
+            &format!("server, {clients} clients, shared pool")[..],
+            pool_concurrent_qps,
+        ),
     ] {
         println!("| {label:<38} | {qps:>10.0} |");
     }
@@ -782,6 +877,15 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
     println!(
         "micro-batching gain: {:.2}x",
         point_concurrent_qps / point_single_qps.max(1e-9)
+    );
+    println!(
+        "pool/scoped concurrent gain: {:.2}x",
+        pool_concurrent_qps / scoped_concurrent_qps.max(1e-9)
+    );
+    println!(
+        "cold-miss stampede: {stampede_clients} clients, {stampede_prepares} prepare(s), \
+         {} single-flight wait(s)",
+        stampede_report.single_flight_waits
     );
     println!("{report}");
 
@@ -793,6 +897,9 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
         concurrent_qps,
         point_single_qps,
         point_concurrent_qps,
+        scoped_concurrent_qps,
+        pool_concurrent_qps,
+        stampede_prepares,
         report,
     }
 }

@@ -19,6 +19,7 @@
 pub mod column;
 pub mod error;
 pub mod partition;
+pub mod pool;
 pub mod schema;
 pub mod stats;
 pub mod stream;
@@ -28,8 +29,9 @@ pub mod value;
 pub use column::{Column, ColumnRef};
 pub use error::{ColumnarError, Result};
 pub use partition::{partition_by_column, partition_ranges, partition_sizes, PartitionSpec};
+pub use pool::{parallel_map, parallel_map_scoped, WorkerPool};
 pub use schema::{Field, Schema, SchemaRef};
 pub use stats::{ColumnStatistics, InducedDomain, TableStatistics};
-pub use stream::{parallel_map, BatchStream, StreamBatch, StreamOp};
+pub use stream::{BatchStream, StreamBatch, StreamOp};
 pub use table::{Batch, Table, TableBuilder};
 pub use value::{DataType, Value};

@@ -13,17 +13,19 @@
 //! * partitions can be dropped without being touched via
 //!   [`BatchStream::map`] returning `None` (statistics-driven partition
 //!   pruning — the paper's data-induced compute pruning),
-//! * the fused per-partition pipeline is driven by a worker pool with a
-//!   configurable degree of parallelism ([`BatchStream::collect`]),
+//! * the fused per-partition pipeline is driven by the process-wide
+//!   work-stealing worker pool ([`crate::pool`]) with a configurable
+//!   per-query degree of parallelism ([`BatchStream::collect`]),
 //! * [`Batch::concat`] survives only at the final output boundary
 //!   ([`BatchStream::concat`]); pipeline breakers (join build, aggregation,
 //!   sort/limit) are the only operators that gather the whole stream.
 
-use crate::error::{ColumnarError, Result};
+use crate::error::Result;
+use crate::pool::parallel_map;
 use crate::schema::SchemaRef;
 use crate::stats::TableStatistics;
 use crate::table::{Batch, Table};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One element of a [`BatchStream`]: a partition-sized batch plus provenance.
 #[derive(Debug, Clone)]
@@ -166,10 +168,10 @@ impl BatchStream {
         Ok(Some(item))
     }
 
-    /// Drive the stream to completion with up to `dop` worker threads, each
-    /// pulling one partition at a time through the fused operator chain.
-    /// Pruned partitions are dropped; surviving elements come back in source
-    /// order.
+    /// Drive the stream to completion on the shared worker pool with up to
+    /// `dop` concurrent executors, each pulling one partition at a time
+    /// through the fused operator chain. Pruned partitions are dropped;
+    /// surviving elements come back in source order.
     pub fn collect(self, dop: usize) -> Result<Vec<StreamBatch>> {
         let BatchStream { items, ops, .. } = self;
         let outputs = parallel_map(items, dop, |item| Self::run_chain(&ops, item))?;
@@ -194,53 +196,10 @@ impl BatchStream {
     }
 }
 
-/// Apply `f` to every item with up to `dop` worker threads, preserving input
-/// order in the output. The scoped-thread pool is dependency-free and shared
-/// by every execution layer (relational operators, ML scoring, the session).
-pub fn parallel_map<T, U, F>(items: Vec<T>, dop: usize, f: F) -> Result<Vec<U>>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> Result<U> + Send + Sync,
-{
-    let dop = dop.max(1);
-    if dop == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Vec<Mutex<Option<Result<U>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..dop.min(n) {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("work queue poisoned").pop();
-                match next {
-                    Some((idx, item)) => {
-                        let out = f(item);
-                        *results[idx].lock().expect("result slot poisoned") = Some(out);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .unwrap_or_else(|| {
-                    Err(ColumnarError::InvalidArgument(
-                        "worker did not produce a result".into(),
-                    ))
-                })
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ColumnarError;
     use crate::partition::{partition_by_column, PartitionSpec};
     use crate::table::TableBuilder;
 

@@ -79,7 +79,10 @@ pub struct RavenConfig {
     /// partition-parallel pipeline, the legacy materialized pipeline, or a
     /// cost-based choice between them.
     pub execution_mode: ExecutionMode,
-    /// Degree of parallelism of the data engine.
+    /// Degree of parallelism of the data engine: how many executors of the
+    /// process-wide work-stealing pool (`raven_columnar::pool`) one query's
+    /// partition drives may occupy concurrently. The pool itself is sized to
+    /// the machine; this knob only bounds a single query's share of it.
     pub degree_of_parallelism: usize,
     /// ML runtime configuration (UDF overheads, batch size).
     pub ml_runtime: RuntimeConfig,
@@ -908,7 +911,8 @@ impl RavenSession {
     /// Streaming ML-runtime path: the relational plan compiles to a
     /// [`BatchStream`], each partition flows through scan filters, statistics
     /// pruning, ML scoring, output predicates, and the final projection as
-    /// one fused per-partition task on the worker pool, and partitions are
+    /// one fused per-partition task on the process-wide work-stealing pool
+    /// (bounded by this query's `degree_of_parallelism`), and partitions are
     /// concatenated exactly once at the output boundary (aggregates being the
     /// one remaining pipeline breaker).
     fn run_ml_runtime_streaming(

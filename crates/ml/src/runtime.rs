@@ -159,7 +159,10 @@ impl MlRuntime {
     /// chunk) and the predictions are appended as a `Float64` column named
     /// `score_column`. The per-invocation overhead is charged once, up front —
     /// the stream crosses the engine/runtime boundary once per query, not once
-    /// per partition. The input table is never concatenated.
+    /// per partition. The input table is never concatenated. When the stream
+    /// is driven (`collect`/`concat`), scoring runs partition-parallel on the
+    /// process-wide work-stealing pool (`raven_columnar::pool`) alongside the
+    /// relational stages it is fused with.
     pub fn score_stream(
         &self,
         pipeline: &Pipeline,

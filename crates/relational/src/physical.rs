@@ -2,9 +2,12 @@
 //!
 //! Execution is partition-parallel and streaming: every plan compiles to a
 //! [`BatchStream`] whose per-partition operator chain (scan → filter →
-//! project) is fused and driven by a worker pool with up to
-//! [`ExecutionContext::degree_of_parallelism`] threads, mirroring how the
-//! paper's host engines parallelize (Spark tasks, SQL Server DOP). Scans
+//! project) is fused and driven on the process-wide work-stealing worker
+//! pool (`raven_columnar::pool`) with up to
+//! [`ExecutionContext::degree_of_parallelism`] concurrent executors per
+//! drive, mirroring how the paper's host engines parallelize (Spark tasks,
+//! SQL Server DOP) — concurrent queries interleave their partition tasks on
+//! one fixed thread set instead of spawning threads per drive. Scans
 //! prune partitions whose min/max statistics cannot satisfy the pushed-down
 //! filters (the paper's data-induced compute pruning, §4.2) without touching
 //! their data. Pipeline breakers — join build sides, aggregation, and limit —

@@ -15,15 +15,23 @@
 //!   companion **compiled-model cache** shares per-partition compiled models
 //!   across statements. Both caches are invalidated by the catalog/registry
 //!   epoch counters, so re-registering a table or model can never serve a
-//!   stale plan.
+//!   stale plan, and cold misses are **single-flight**: concurrent requests
+//!   for one `(fingerprint, epoch)` elect a leader to prepare while the rest
+//!   wait on a per-key latch and share the result — a cold-miss stampede
+//!   performs exactly one prepare.
 //! * **A micro-batching request scheduler** ([`Server`]): N worker threads
 //!   pull SQL and point-prediction requests from a shared queue; compatible
 //!   point requests (same fingerprint, same provided columns) are coalesced
 //!   into one columnar [`raven_columnar::Batch`] per tick before driving the
-//!   pipeline once. Admission control caps in-flight work and sheds load with
+//!   pipeline once. The partition-parallel work inside each execution runs
+//!   on the process-wide work-stealing pool (`raven_columnar::pool`), so
+//!   concurrent requests interleave on one fixed thread set. Admission
+//!   control caps in-flight work and sheds load with
 //!   [`ServeError::Overloaded`].
-//! * **Serving metrics** ([`ServingReport`]): throughput, p50/p95/p99
-//!   latency, cache hit/miss counts, and micro-batches coalesced.
+//! * **Serving metrics** ([`ServingReport`]): throughput over the
+//!   first-request → last-completion wall, p50/p95/p99 latency from an
+//!   Algorithm-R reservoir (a uniform sample of the full history), cache
+//!   hit/miss/single-flight counts, and micro-batches coalesced.
 
 pub mod cache;
 pub mod error;

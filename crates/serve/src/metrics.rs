@@ -2,20 +2,52 @@
 //! and micro-batching behaviour, collected lock-cheaply while the scheduler
 //! runs and snapshotted into a [`ServingReport`].
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The bounded latency sample set and the RNG that maintains it, behind one
+/// lock so a completion takes a single mutex on the hot path.
+#[derive(Debug)]
+struct Reservoir {
+    /// Completed-request latencies in nanoseconds (enqueue → response),
+    /// bounded by Algorithm-R reservoir sampling: sample `n` is kept with
+    /// probability `RESERVOIR / n`, so memory stays O(RESERVOIR) on
+    /// long-lived servers while the retained set remains a uniform sample of
+    /// the **full history** (not a sliding recency window) and percentiles
+    /// are unbiased estimates over every completed request.
+    samples: Vec<u64>,
+    /// RNG for the reservoir's keep/evict draws.
+    rng: StdRng,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            rng: StdRng::seed_from_u64(0x5EED_1A7E),
+        }
+    }
+}
 
 /// Shared counters updated by the scheduler workers.
 #[derive(Debug, Default)]
 pub struct ServingMetrics {
-    started: Mutex<Option<Instant>>,
+    /// When the first request was accepted (lock-free to read once set).
+    started: OnceLock<Instant>,
+    /// Nanoseconds from `started` to the most recent completion, **plus 1**
+    /// (0 = no completion yet); `wall` spans first-request → last-completion
+    /// so throughput does not decay while the server idles.
+    last_completed_ns: AtomicU64,
     sql_requests: AtomicU64,
     point_requests: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    single_flight_waits: AtomicU64,
     model_cache_hits: AtomicU64,
     model_cache_misses: AtomicU64,
     micro_batches: AtomicU64,
@@ -24,11 +56,7 @@ pub struct ServingMetrics {
     /// Completed requests (including any whose latency sample was evicted
     /// from the bounded reservoir).
     completed: AtomicU64,
-    /// Completed-request latencies in nanoseconds (enqueue → response),
-    /// bounded: once full, new samples overwrite pseudo-random slots so
-    /// memory stays O(RESERVOIR) on long-lived servers while percentiles
-    /// keep tracking the full history.
-    latencies_ns: Mutex<Vec<u64>>,
+    reservoir: Mutex<Reservoir>,
 }
 
 /// Maximum retained latency samples.
@@ -36,8 +64,7 @@ const RESERVOIR: usize = 65_536;
 
 impl ServingMetrics {
     pub(crate) fn mark_started(&self) {
-        let mut s = self.started.lock().expect("metrics poisoned");
-        s.get_or_insert_with(Instant::now);
+        self.started.get_or_init(Instant::now);
     }
 
     pub(crate) fn record_sql(&self) {
@@ -64,6 +91,12 @@ impl ServingMetrics {
         }
     }
 
+    /// A request joined an in-flight prepare for the same (fingerprint,
+    /// epoch) instead of preparing itself (single-flight).
+    pub(crate) fn record_single_flight_wait(&self) {
+        self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_model_cache(&self, hit: bool) {
         if hit {
             self.model_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -82,27 +115,45 @@ impl ServingMetrics {
     }
 
     pub(crate) fn record_latency(&self, latency: Duration) {
-        let n = self.completed.fetch_add(1, Ordering::Relaxed);
-        let mut lat = self.latencies_ns.lock().expect("metrics poisoned");
-        if lat.len() < RESERVOIR {
-            lat.push(latency.as_nanos() as u64);
+        let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1; // 1-based sample count
+        if let Some(started) = self.started.get() {
+            // monotonic under concurrent completions (+1 so 0 means "none")
+            let ns = started.elapsed().as_nanos() as u64 + 1;
+            self.last_completed_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        let res = &mut *self.reservoir.lock().expect("metrics poisoned");
+        if res.samples.len() < RESERVOIR {
+            res.samples.push(latency.as_nanos() as u64);
         } else {
-            // Fibonacci-hash the sample counter into a slot: cheap,
-            // deterministic, and spreads overwrites across the reservoir.
-            let slot = (n.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) as usize % RESERVOIR;
-            lat[slot] = latency.as_nanos() as u64;
+            // Algorithm R (Vitter): keep sample n with probability
+            // RESERVOIR / n by drawing a slot uniformly from 0..n and
+            // overwriting only when it lands inside the reservoir. The
+            // retained set stays a uniform sample of all n samples seen.
+            let slot = res.rng.gen_range(0..n as usize);
+            if slot < RESERVOIR {
+                res.samples[slot] = latency.as_nanos() as u64;
+            }
         }
     }
 
     /// Snapshot the counters into a report.
     pub fn report(&self) -> ServingReport {
-        let wall = self
-            .started
+        // Wall = first-request → last-completion: measuring to `report()`
+        // call time instead would make throughput decay while the server
+        // sits idle after a burst. With requests still in flight (no
+        // completion yet) the span runs to "now".
+        let last_ns = self.last_completed_ns.load(Ordering::Relaxed);
+        let wall = match (self.started.get(), last_ns) {
+            (Some(_), ns) if ns > 0 => Duration::from_nanos(ns - 1),
+            (Some(s), _) => s.elapsed(),
+            _ => Duration::ZERO,
+        };
+        let mut lat: Vec<u64> = self
+            .reservoir
             .lock()
             .expect("metrics poisoned")
-            .map(|s| s.elapsed())
-            .unwrap_or(Duration::ZERO);
-        let mut lat: Vec<u64> = self.latencies_ns.lock().expect("metrics poisoned").clone();
+            .samples
+            .clone();
         lat.sort_unstable();
         let pct = |p: f64| -> Duration {
             if lat.is_empty() {
@@ -122,6 +173,7 @@ impl ServingMetrics {
             failed: self.failed.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
             model_cache_hits: self.model_cache_hits.load(Ordering::Relaxed),
             model_cache_misses: self.model_cache_misses.load(Ordering::Relaxed),
             micro_batches: self.micro_batches.load(Ordering::Relaxed),
@@ -137,7 +189,10 @@ impl ServingMetrics {
 /// A snapshot of the server's serving behaviour.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Wall-clock time since the first request was accepted.
+    /// Wall-clock span from the first accepted request to the most recent
+    /// completion (to "now" only while requests are in flight with none
+    /// completed yet), so `throughput_qps` does not decay while the server
+    /// sits idle after a burst.
     pub wall: Duration,
     /// SQL (batch) requests accepted.
     pub sql_requests: u64,
@@ -151,8 +206,12 @@ pub struct ServingReport {
     pub failed: u64,
     /// Plan-cache hits.
     pub plan_cache_hits: u64,
-    /// Plan-cache misses (prepares performed).
+    /// Plan-cache misses (prepares actually performed; single-flight
+    /// followers are counted in `single_flight_waits`, not here).
     pub plan_cache_misses: u64,
+    /// Requests that joined another request's in-flight prepare for the same
+    /// (fingerprint, epoch) instead of preparing themselves.
+    pub single_flight_waits: u64,
     /// Compiled-model cache hits.
     pub model_cache_hits: u64,
     /// Compiled-model cache misses.
@@ -216,10 +275,12 @@ impl std::fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "plan cache: {} hits / {} misses ({:.0}% hit rate); model cache: {} hits / {} misses",
+            "plan cache: {} hits / {} misses ({:.0}% hit rate), {} single-flight waits; \
+             model cache: {} hits / {} misses",
             self.plan_cache_hits,
             self.plan_cache_misses,
             self.plan_cache_hit_rate() * 100.0,
+            self.single_flight_waits,
             self.model_cache_hits,
             self.model_cache_misses
         )?;
@@ -259,6 +320,46 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("p95"));
         assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn reservoir_samples_full_history_not_recent_window() {
+        // 3×RESERVOIR samples with linearly increasing latencies: a
+        // recency-biased sliding window would retain mostly the last third
+        // (p50 ≈ 5/6 of the max); an Algorithm-R reservoir stays a uniform
+        // sample of the whole history (p50 ≈ 1/2 of the max).
+        let m = ServingMetrics::default();
+        m.mark_started();
+        let total = 3 * RESERVOIR as u64;
+        for i in 1..=total {
+            m.record_latency(Duration::from_nanos(i));
+        }
+        let r = m.report();
+        assert_eq!(r.completed, total);
+        let p50 = r.p50.as_nanos() as f64 / total as f64;
+        assert!(
+            (0.45..0.55).contains(&p50),
+            "p50 should sit near the middle of the full history, got {p50:.3}"
+        );
+        let p99 = r.p99.as_nanos() as f64 / total as f64;
+        assert!(
+            p99 > 0.97,
+            "p99 should track the history tail, got {p99:.3}"
+        );
+    }
+
+    #[test]
+    fn wall_does_not_decay_while_idle() {
+        let m = ServingMetrics::default();
+        m.mark_started();
+        m.record_latency(Duration::from_millis(1));
+        let burst = m.report();
+        std::thread::sleep(Duration::from_millis(30));
+        let idle = m.report();
+        // wall spans first-request → last-completion, so idling after the
+        // burst must not stretch it (and must not shrink throughput)
+        assert_eq!(burst.wall, idle.wall);
+        assert_eq!(burst.throughput_qps(), idle.throughput_qps());
     }
 
     #[test]

@@ -8,10 +8,20 @@
 //! request gets a [`Ticket`] resolving to its response. `worker_threads`
 //! scheduler workers pull from a shared queue and execute concurrently — the
 //! session's catalog/registry live behind `Arc`s, so executions share one
-//! immutable snapshot without copying. Registration takes the write lock,
-//! bumps the epoch counters, and clears both caches; statements prepared
-//! against an older epoch are discarded on lookup even if they survived the
-//! clear (cache entries are validated against the live epochs on every hit).
+//! immutable snapshot without copying. The partition-parallel work inside
+//! each execution runs on the **process-wide work-stealing pool**
+//! (`raven_columnar::pool`): scheduler workers only sequence requests, so N
+//! concurrent queries interleave their partition tasks on one fixed set of
+//! OS threads instead of spawning N×DOP transient ones. Registration takes
+//! the write lock, bumps the epoch counters, and clears both caches;
+//! statements prepared against an older epoch are discarded on lookup even
+//! if they survived the clear (cache entries are validated against the live
+//! epochs on every hit).
+//!
+//! Cold plan-cache misses are **single-flight**: concurrent requests for the
+//! same `(fingerprint, epoch)` elect one leader to prepare while the rest
+//! wait on a per-key latch and share the result, so a cold-miss stampede
+//! performs exactly one prepare (see `get_prepared`).
 //!
 //! ## Micro-batching
 //!
@@ -32,7 +42,7 @@ use raven_core::{
 use raven_ir::fingerprint_query;
 use raven_ml::MlRuntime;
 use raven_relational::evaluate_predicate;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -168,10 +178,22 @@ struct Queue {
     shutdown: bool,
 }
 
+/// The latch one in-flight prepare publishes its outcome through: the leader
+/// fills `done` and notifies; followers block on the condvar instead of
+/// preparing themselves.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<Result<Arc<PreparedStatement>>>>,
+    ready: Condvar,
+}
+
 struct ServerInner {
     session: RwLock<RavenSession>,
     plan_cache: Mutex<LruCache<String, Arc<PreparedStatement>>>,
     model_cache: Mutex<LruCache<String, CompiledModels>>,
+    /// Single-flight prepares in progress, keyed by
+    /// `fingerprint @ (catalog epoch, registry epoch)`.
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
     queue: Mutex<Queue>,
     available: Condvar,
     in_flight: AtomicUsize,
@@ -202,6 +224,7 @@ impl Server {
             session: RwLock::new(session),
             plan_cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
             model_cache: Mutex::new(LruCache::new(config.model_cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
             queue: Mutex::new(Queue::default()),
             available: Condvar::new(),
             in_flight: AtomicUsize::new(0),
@@ -333,21 +356,22 @@ impl Server {
     /// Register (or replace) a table: takes the session write lock, bumps the
     /// catalog epoch, and clears both caches.
     pub fn register_table(&self, table: raven_columnar::Table) {
-        {
-            let mut s = self.inner.session.write().expect("session poisoned");
-            s.register_table(table);
-        }
+        let mut s = self.inner.session.write().expect("session poisoned");
+        s.register_table(table);
+        // clear while still holding the write lock: no reader can slip a
+        // fresh new-epoch entry in between the bump and the clear (which the
+        // clear would wipe, forcing a second prepare for that epoch)
         self.invalidate_caches();
+        drop(s);
     }
 
     /// Register (or replace) a model: takes the session write lock, bumps the
     /// registry epoch, and clears both caches.
     pub fn register_model(&self, pipeline: raven_ml::Pipeline) {
-        {
-            let mut s = self.inner.session.write().expect("session poisoned");
-            s.register_model(pipeline);
-        }
+        let mut s = self.inner.session.write().expect("session poisoned");
+        s.register_model(pipeline);
         self.invalidate_caches();
+        drop(s);
     }
 
     fn invalidate_caches(&self) {
@@ -641,6 +665,14 @@ fn score_rows(
 /// wiring the compiled-model cache into the session's lowering hooks. The
 /// caller passes the session guard it already holds, so the returned
 /// statement is guaranteed fresh for as long as that guard lives.
+///
+/// Cold misses are **single-flight**: concurrent requests for one
+/// `(fingerprint, epoch)` elect one leader that prepares while the others
+/// block on a per-key latch and share its result, so a cold-miss stampede
+/// performs exactly one prepare. Because every caller holds a session read
+/// lock across lookup *and* execution, the epochs in the latch key cannot
+/// move while anyone waits — a published result is fresh for all waiters by
+/// construction.
 fn get_prepared(
     inner: &ServerInner,
     session: &RavenSession,
@@ -648,20 +680,114 @@ fn get_prepared(
     sql: &str,
 ) -> Result<Arc<PreparedStatement>> {
     let (cat_epoch, reg_epoch) = (session.catalog().epoch(), session.registry().epoch());
-    {
-        let mut cache = inner.plan_cache.lock().expect("plan cache poisoned");
-        if let Some(entry) = cache.get(&canonical.to_string()) {
-            if entry.catalog_epoch() == cat_epoch && entry.registry_epoch() == reg_epoch {
-                let entry = entry.clone();
-                drop(cache);
-                inner.metrics.record_plan_cache(true);
-                return Ok(entry);
+    if let Some(entry) = cached_fresh(inner, canonical, cat_epoch, reg_epoch) {
+        inner.metrics.record_plan_cache(true);
+        return Ok(entry);
+    }
+    let key = format!("{canonical}@c{cat_epoch}r{reg_epoch}");
+    let (flight, leader) = {
+        let mut inflight = inner.inflight.lock().expect("inflight map poisoned");
+        match inflight.get(&key) {
+            Some(flight) => (flight.clone(), false),
+            None => {
+                let flight = Arc::new(Flight::default());
+                inflight.insert(key.clone(), flight.clone());
+                (flight, true)
             }
-            // stale: prepared against an older catalog/registry
-            cache.remove(&canonical.to_string());
+        }
+    };
+    if !leader {
+        // follower: wait for the leader's outcome and share it
+        inner.metrics.record_single_flight_wait();
+        let mut done = flight.done.lock().expect("flight latch poisoned");
+        while done.is_none() {
+            done = flight.ready.wait(done).expect("flight latch poisoned");
+        }
+        return done.clone().expect("latch checked non-empty");
+    }
+    // If the prepare unwinds, still resolve the latch so followers are not
+    // stranded: they get an error instead of waiting on a dead leader.
+    struct ResolveOnDrop<'a> {
+        inner: &'a ServerInner,
+        flight: &'a Flight,
+        key: &'a str,
+    }
+    impl Drop for ResolveOnDrop<'_> {
+        fn drop(&mut self) {
+            let mut done = self.flight.done.lock().expect("flight latch poisoned");
+            if done.is_none() {
+                *done = Some(Err(ServeError::InvalidRequest(
+                    "prepare aborted before completing".into(),
+                )));
+                self.flight.ready.notify_all();
+            }
+            drop(done);
+            self.inner
+                .inflight
+                .lock()
+                .expect("inflight map poisoned")
+                .remove(self.key);
         }
     }
-    inner.metrics.record_plan_cache(false);
+    let guard = ResolveOnDrop {
+        inner,
+        flight: &flight,
+        key: &key,
+    };
+    // Leadership won — but a *previous* leader for this same key may have
+    // completed between our cache miss and our election (it publishes to
+    // the plan cache before dropping its inflight entry), so re-check the
+    // cache before preparing: without this, a preempted racer would run a
+    // duplicate prepare for the (fingerprint, epoch).
+    let result = match cached_fresh(inner, canonical, cat_epoch, reg_epoch) {
+        Some(entry) => {
+            inner.metrics.record_plan_cache(true);
+            Ok(entry)
+        }
+        None => {
+            // this is the one prepare for this (fingerprint, epoch)
+            inner.metrics.record_plan_cache(false);
+            prepare_uncached(inner, session, canonical, sql)
+        }
+    };
+    {
+        let mut done = flight.done.lock().expect("flight latch poisoned");
+        *done = Some(result.clone());
+        flight.ready.notify_all();
+    }
+    drop(guard);
+    result
+}
+
+/// Probe the plan cache for an entry prepared at exactly the given epochs;
+/// evicts a stale entry in passing. Does not touch the metrics — callers
+/// record hit/miss themselves.
+fn cached_fresh(
+    inner: &ServerInner,
+    canonical: &str,
+    cat_epoch: u64,
+    reg_epoch: u64,
+) -> Option<Arc<PreparedStatement>> {
+    let mut cache = inner.plan_cache.lock().expect("plan cache poisoned");
+    if let Some(entry) = cache.get(&canonical.to_string()) {
+        if entry.catalog_epoch() == cat_epoch && entry.registry_epoch() == reg_epoch {
+            return Some(entry.clone());
+        }
+        // stale: prepared against an older catalog/registry
+        cache.remove(&canonical.to_string());
+    }
+    None
+}
+
+/// The actual prepare a single-flight leader performs: lower the statement
+/// with the compiled-model cache wired into the session's hooks, then publish
+/// it in the plan cache.
+fn prepare_uncached(
+    inner: &ServerInner,
+    session: &RavenSession,
+    canonical: &str,
+    sql: &str,
+) -> Result<Arc<PreparedStatement>> {
     let mut lookup = |key: &str| {
         let mut cache = inner.model_cache.lock().expect("model cache poisoned");
         let hit = cache.get(&key.to_string()).cloned();

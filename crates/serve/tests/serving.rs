@@ -375,13 +375,139 @@ fn concurrent_clients_match_sequential_session() {
     }
     let report = server.report();
     assert_eq!(report.sql_requests, 20);
-    // at least one prepare per distinct query; concurrent workers may race
-    // on a cold fingerprint and both prepare (no single-flight), so the
-    // miss count has a small upper slack
-    let misses = report.plan_cache_misses as usize;
-    assert!(
-        (queries.len()..=2 * queries.len()).contains(&misses),
-        "unexpected miss count {misses}"
+    // single-flight prepare: workers racing on a cold fingerprint share one
+    // prepare, so the miss count is exactly one per distinct query
+    assert_eq!(report.plan_cache_misses as usize, queries.len());
+    assert_eq!(
+        (report.plan_cache_hits + report.single_flight_waits + report.plan_cache_misses) as usize,
+        20
     );
-    assert_eq!(report.plan_cache_hits as usize + misses, 20);
+}
+
+/// 8 clients cold-missing the same fingerprint simultaneously must trigger
+/// exactly one prepare: one leader runs it, everyone else either waits on the
+/// single-flight latch or hits the cache the leader filled.
+#[test]
+fn cold_miss_stampede_prepares_once() {
+    let clients = 8usize;
+    let server = Arc::new(Server::new(
+        session(200, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: clients,
+            ..Default::default()
+        },
+    ));
+    let expected = sorted_ids(&session(200, 20.0, 80.0).sql(QUERY).unwrap().batch);
+    let barrier = Arc::new(std::sync::Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let out = server.sql(QUERY).unwrap();
+                assert_eq!(sorted_ids(&out.batch), expected);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let report = server.report();
+    assert_eq!(report.sql_requests, clients as u64);
+    assert_eq!(
+        report.plan_cache_misses, 1,
+        "stampede must be single-flight; report:\n{report}"
+    );
+    assert_eq!(
+        report.plan_cache_hits + report.single_flight_waits,
+        clients as u64 - 1
+    );
+}
+
+/// Register-while-serving stress: concurrent clients hammer one cached query
+/// while a writer re-registers the table and the model in a loop. Every
+/// response must be byte-identical to one of the two consistent snapshots
+/// (never a stale plan on new data or a torn mix), and single-flight +
+/// epoch-keyed caching must bound the prepares to at most one per
+/// (fingerprint, epoch).
+#[test]
+fn register_while_serving_never_serves_stale_results() {
+    let dop = std::env::var("RAVEN_TEST_DOP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize);
+    // snapshot A: ages 20..50 → every risk < 0.9; snapshot B: ages 80..95 →
+    // every risk == 0.9 (the age>60 leaf). Model re-registration keeps the
+    // same tree, so ground truth stays two-valued while epochs churn.
+    let canon_a = canonical(&session(60, 20.0, 50.0).sql(QUERY).unwrap().batch);
+    let canon_b = canonical(&session(60, 80.0, 95.0).sql(QUERY).unwrap().batch);
+    assert_ne!(canon_a, canon_b);
+
+    let server = Arc::new(Server::new(
+        session(60, 20.0, 50.0),
+        ServerConfig {
+            worker_threads: dop,
+            ..Default::default()
+        },
+    ));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let registrations = 24u64; // 16 table + 8 model epoch bumps
+    let writer = {
+        let server = server.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            for i in 0..registrations {
+                match i % 3 {
+                    0 => server.register_table(patients(60, 80.0, 95.0)),
+                    1 => server.register_table(patients(60, 20.0, 50.0)),
+                    _ => server.register_model(risk_pipeline("risk_model", 0.9)),
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        })
+    };
+    let clients: Vec<_> = (0..4usize)
+        .map(|c| {
+            let server = server.clone();
+            let stop = stop.clone();
+            let canon_a = canon_a.clone();
+            let canon_b = canon_b.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) || served == 0 {
+                    let out = server.sql(QUERY).unwrap();
+                    let got = canonical(&out.batch);
+                    assert!(
+                        got == canon_a || got == canon_b,
+                        "client {c} got a result matching neither snapshot"
+                    );
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    let total: u64 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+
+    // after the churn: the server must agree with a fresh session over the
+    // final snapshot (epoch churn ended on a model re-register, data = A)
+    let last = server.sql(QUERY).unwrap();
+    assert_eq!(canonical(&last.batch), canon_a);
+
+    let report = server.report();
+    // at most one prepare per (fingerprint, epoch): epochs changed
+    // `registrations` times, plus the initial epoch and the final request
+    assert!(
+        report.plan_cache_misses <= registrations + 2,
+        "more prepares than (fingerprint, epoch) pairs; report:\n{report}"
+    );
+    assert_eq!(
+        report.plan_cache_hits + report.single_flight_waits + report.plan_cache_misses,
+        total + 1
+    );
 }

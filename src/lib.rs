@@ -25,13 +25,23 @@
 //!
 //! ```text
 //!  Table partitions ──► Scan ──► Filter ──► Project ──► ML score ──► Output
-//!  (stats attached)      │  per-partition, fused, worker pool (DOP)   preds/
+//!  (stats attached)      │  per-partition, fused, shared pool (DOP)   preds/
 //!        │               │                                            proj
 //!        └─ statistics ──┘                                              │
 //!           pruning: partitions whose min/max cannot satisfy            ▼
 //!           the pushed-down predicates are skipped unscanned      Batch::concat
 //!                                                             (final boundary)
 //! ```
+//!
+//! The per-partition chains of **every** concurrent query are driven by one
+//! process-wide **work-stealing worker pool** (`columnar::pool`): long-lived
+//! workers with per-worker deques plus stealing, sized to the machine (or
+//! `RAVEN_POOL_WORKERS`). A drive point (`columnar::BatchStream::collect` /
+//! `columnar::parallel_map`) submits its partition tasks as a scoped job
+//! bounded by the query's `degree_of_parallelism` and participates in
+//! draining it, so N concurrent queries interleave on one fixed thread set
+//! instead of spawning N×DOP transient threads, and a nested drive can never
+//! deadlock. The first error aborts a job's outstanding partitions.
 //!
 //! * `relational::physical::Executor::execute_stream` compiles a logical
 //!   plan into per-partition operators fused onto the stream; **pipeline
@@ -63,12 +73,16 @@
 //! (`ir::fingerprint_query`) in an LRU **plan cache** with a companion
 //! **compiled-model cache**; both are invalidated by catalog/registry epoch
 //! counters, so re-registering a table or model can never serve a stale
-//! plan. A multi-threaded scheduler executes SQL and point requests from N
-//! clients over one shared `Arc`'d catalog snapshot, **micro-batches**
-//! compatible point requests into one columnar batch per tick
-//! (`columnar::Batch::from_rows`), enforces an admission-control limit on
-//! in-flight work, and reports throughput, latency percentiles, and cache
-//! hit rates via `serve::ServingReport`.
+//! plan, and cold misses are **single-flight**: concurrent requests for one
+//! `(fingerprint, epoch)` elect a leader to prepare while the rest wait on a
+//! per-key latch and share the result. A multi-threaded scheduler executes
+//! SQL and point requests from N clients over one shared `Arc`'d catalog
+//! snapshot (partition work lands on the shared worker pool),
+//! **micro-batches** compatible point requests into one columnar batch per
+//! tick (`columnar::Batch::from_rows`), enforces an admission-control limit
+//! on in-flight work, and reports throughput, latency percentiles
+//! (Algorithm-R reservoir over the full history), and cache hit rates via
+//! `serve::ServingReport`.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,11 @@
+//! Helpers shared by the root-level parity suites.
+
+/// The extra degree of parallelism requested via `RAVEN_TEST_DOP`, if any.
+/// CI re-runs the parity suites with `RAVEN_TEST_DOP=8` — oversubscribed
+/// relative to the runner's cores — to stress the shared work-stealing pool.
+pub fn extra_dop() -> Option<usize> {
+    std::env::var("RAVEN_TEST_DOP")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|d| *d > 0)
+}

@@ -12,6 +12,25 @@ use raven_serve::Request;
 use std::sync::Arc;
 use std::time::Duration;
 
+mod common;
+
+/// Scheduler worker × micro-batch combinations every parity property runs
+/// at: workers {1, 4} plus an optional extra worker count from
+/// `RAVEN_TEST_DOP` (see [`common::extra_dop`]), crossed with micro-batch
+/// sizes {1, 8}.
+fn scheduler_combos() -> Vec<(usize, usize)> {
+    let mut workers = vec![1usize, 4];
+    if let Some(extra) = common::extra_dop() {
+        if !workers.contains(&extra) {
+            workers.push(extra);
+        }
+    }
+    workers
+        .into_iter()
+        .flat_map(|w| [(w, 1usize), (w, 8)])
+        .collect()
+}
+
 fn patient_table(rows: usize, seed: u64) -> Table {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -146,7 +165,7 @@ proptest! {
             .map(|q| canonical(&session.sql(q).unwrap().batch))
             .collect();
 
-        for (workers, micro_batch) in [(1usize, 1usize), (1, 8), (4, 1), (4, 8)] {
+        for (workers, micro_batch) in scheduler_combos() {
             let server = Arc::new(Server::new(
                 session.clone(),
                 ServerConfig {

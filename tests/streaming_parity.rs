@@ -11,6 +11,20 @@ use raven_core::ExecutionMode;
 use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble, TreeNode};
 use raven_relational::{col, lit, ExecutionContext, Executor, LogicalPlan, Optimizer};
 
+mod common;
+
+/// Degrees of parallelism every parity property runs at: {1, 4} plus an
+/// optional extra from `RAVEN_TEST_DOP` (see [`common::extra_dop`]).
+fn test_dops() -> Vec<usize> {
+    let mut dops = vec![1usize, 4];
+    if let Some(extra) = common::extra_dop() {
+        if !dops.contains(&extra) {
+            dops.push(extra);
+        }
+    }
+    dops
+}
+
 fn patient_table(rows: usize, seed: u64) -> Table {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -149,7 +163,7 @@ proptest! {
                 },
             )
             .unwrap();
-        for dop in [1usize, 4] {
+        for dop in test_dops() {
             let exec = Executor::new();
             let streamed = exec
                 .execute(
@@ -187,7 +201,7 @@ proptest! {
         let materialized = session.sql(&query).unwrap();
         prop_assert_eq!(materialized.report.pruned_partitions, 0);
 
-        for dop in [1usize, 4] {
+        for dop in test_dops() {
             session.config_mut().execution_mode = ExecutionMode::Streaming;
             session.config_mut().degree_of_parallelism = dop;
             let streamed = session.sql(&query).unwrap();
