@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark of the tree-scoring kernels: the interpreted
+//! enum-node row walker (`TreeEnsemble::predict`) vs the flattened
+//! struct-of-arrays block kernels (`FlatEnsemble::predict`), across the
+//! model shapes the paper's workloads use (single decision tree, random
+//! forest, gradient boosting). Feature rows are the Hospital dataset's
+//! actually-featurized columns, so both kernels traverse realistic splits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raven_ml::{FlatEnsemble, Matrix, ModelType};
+
+fn featurized(
+    rows: usize,
+    model: ModelType,
+    name: &'static str,
+) -> (Matrix, raven_ml::TreeEnsemble) {
+    let dataset = raven_datagen::hospital(rows, 11);
+    let pipeline = raven_bench::train_dataset_pipeline(&dataset, model, name);
+    let batch = dataset.tables[0].to_batch().expect("batch");
+    // evaluate the featurizers (scaler + one-hot) once, keep the matrix
+    raven_bench::featurize_for_model(&pipeline, &batch).expect("tree-model pipeline")
+}
+
+fn bench_scoring_kernels(c: &mut Criterion) {
+    let rows = 4_000;
+    let shapes: Vec<(&str, ModelType)> = vec![
+        ("DT-d8", ModelType::DecisionTree { max_depth: 8 }),
+        (
+            "RF-20xd6",
+            ModelType::RandomForest {
+                n_trees: 20,
+                max_depth: 6,
+            },
+        ),
+        (
+            "GB-60xd6",
+            ModelType::GradientBoosting {
+                n_estimators: 60,
+                max_depth: 6,
+                learning_rate: 0.15,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("scoring_kernels_4k_rows");
+    for (label, model) in shapes {
+        let (features, ensemble) = featurized(rows, model, label);
+        let flat = FlatEnsemble::compile(&ensemble).expect("compile");
+        group.bench_function(format!("interpreted/{label}"), |b| {
+            b.iter(|| ensemble.predict(&features).expect("interpreted"))
+        });
+        group.bench_function(format!("flattened/{label}"), |b| {
+            b.iter(|| flat.predict(&features).expect("flattened"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring_kernels);
+criterion_main!(benches);

@@ -39,4 +39,18 @@ fn main() {
          (single-flight), got {}",
         result.stampede_prepares
     );
+    assert!(
+        result.scoring_speedup >= 3.0,
+        "flattened SoA scoring should be >= 3x the interpreted walker on the \
+         GB workload, got {:.2}x ({:.0} vs {:.0} rows/s)",
+        result.scoring_speedup,
+        result.flattened_score_rows_per_sec,
+        result.interpreted_score_rows_per_sec
+    );
+    assert_eq!(
+        result.streaming_materializations, 0,
+        "a filtered streaming plan must perform zero intermediate batch \
+         materializations (selection-vector execution), got {}",
+        result.streaming_materializations
+    );
 }

@@ -2,7 +2,9 @@
 //! paper reports (at reduced scale) and returns structured results so tests
 //! and EXPERIMENTS.md generation can consume them.
 
-use crate::workload::{build_scenario, forced, ms, no_opt_config, trimmed_mean_time};
+use crate::workload::{
+    build_scenario, featurize_for_model, forced, ms, no_opt_config, trimmed_mean_time,
+};
 use raven_columnar::{partition_by_column, PartitionSpec};
 use raven_core::{
     apply_cross_optimizations, estimate_mode_cost, evaluate_strategy, pipeline_to_sql,
@@ -602,8 +604,97 @@ pub struct ServingStudyResult {
     /// Prepares performed when 8 clients cold-miss the same fingerprint
     /// simultaneously (single-flight ⇒ exactly 1).
     pub stampede_prepares: u64,
+    /// Single-core scoring throughput of the interpreted row-walker over the
+    /// study's trained GB ensemble (rows/s).
+    pub interpreted_score_rows_per_sec: f64,
+    /// Single-core scoring throughput of the flattened SoA block kernels
+    /// over the same ensemble and features (rows/s).
+    pub flattened_score_rows_per_sec: f64,
+    /// `flattened / interpreted` (the PR 4 acceptance target is ≥ 3×).
+    pub scoring_speedup: f64,
+    /// Intermediate batch materializations performed by the filtered
+    /// streaming plan (selection-vector execution ⇒ 0: filters are zero-copy
+    /// views, surviving rows are gathered once at the output boundary).
+    pub streaming_materializations: usize,
     /// The server's serving report over the whole study.
     pub report: raven_serve::ServingReport,
+}
+
+/// Single-core A/B of the tree-scoring kernels: the interpreted
+/// enum-node row walker ([`raven_ml::TreeEnsemble::predict`]) vs the
+/// flattened struct-of-arrays block kernels
+/// ([`raven_ml::FlatEnsemble::predict`]), over a pipeline's trained ensemble
+/// and its actually-featurized rows (scaler + one-hot applied), so both
+/// sides score identical inputs. Reports the best of two timed rounds each.
+pub struct ScoringKernelAb {
+    /// Feature rows scored per iteration.
+    pub rows: usize,
+    /// Trees in the measured ensemble.
+    pub trees: usize,
+    /// Total reachable tree nodes.
+    pub total_nodes: usize,
+    /// Interpreted kernel throughput (rows/s).
+    pub interpreted_rows_per_sec: f64,
+    /// Flattened kernel throughput (rows/s).
+    pub flattened_rows_per_sec: f64,
+    /// `flattened / interpreted`.
+    pub speedup: f64,
+}
+
+/// Run the scoring-kernel A/B for a trained pipeline over a raw input batch.
+/// Returns `None` when the pipeline's model is not a tree ensemble fed by a
+/// single featurized value.
+pub fn scoring_kernel_ab(
+    pipeline: &raven_ml::Pipeline,
+    batch: &raven_columnar::Batch,
+    min_secs: f64,
+) -> Option<ScoringKernelAb> {
+    use raven_ml::FlatEnsemble;
+    let (features, ensemble) = featurize_for_model(pipeline, batch)?;
+    let flat = FlatEnsemble::compile(&ensemble).ok()?;
+    // Tile small inputs to steady-state size so the A/B measures kernel
+    // throughput, not per-call setup.
+    let features = if features.rows() >= 4_000 {
+        features
+    } else {
+        let reps = 4_000usize.div_ceil(features.rows().max(1));
+        let mut data = Vec::with_capacity(features.rows() * reps * features.cols());
+        for _ in 0..reps {
+            data.extend_from_slice(features.data());
+        }
+        raven_ml::Matrix::new(features.rows() * reps, features.cols(), data).ok()?
+    };
+    let rows = features.rows();
+
+    let measure = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..2 {
+            f(); // warm-up
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed().as_secs_f64() < min_secs {
+                f();
+                iters += 1;
+            }
+            let rps = (rows as f64 * iters as f64) / start.elapsed().as_secs_f64();
+            best = best.max(rps);
+        }
+        best
+    };
+    let interpreted_rows_per_sec = measure(&mut || {
+        std::hint::black_box(ensemble.predict(&features).expect("interpreted predict"));
+    });
+    let flattened_rows_per_sec = measure(&mut || {
+        std::hint::black_box(flat.predict(&features).expect("flattened predict"));
+    });
+    Some(ScoringKernelAb {
+        rows,
+        trees: ensemble.n_trees(),
+        total_nodes: ensemble.total_nodes(),
+        interpreted_rows_per_sec,
+        flattened_rows_per_sec,
+        speedup: flattened_rows_per_sec / interpreted_rows_per_sec.max(1e-9),
+    })
 }
 
 /// Prediction serving study: repeated-query throughput of per-request
@@ -846,6 +937,52 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
     let stampede_report = stampede_server.report();
     let stampede_prepares = stampede_report.plan_cache_misses;
 
+    // 8. scoring-kernel A/B: interpreted row walker vs flattened SoA block
+    //    kernels, single core, over the study's trained GB ensemble and its
+    //    featurized rows (the PR 4 tentpole measurement)
+    let model_name = session
+        .registry()
+        .model_names()
+        .into_iter()
+        .next()
+        .expect("study model registered");
+    let model_pipeline = session.registry().get(&model_name).expect("study model");
+    let ab = scoring_kernel_ab(&model_pipeline, &base, 0.25).expect("tree-model scoring A/B");
+
+    // 9. the filtered streaming plan must perform zero intermediate batch
+    //    materializations: filters are selection-vector views and surviving
+    //    rows are gathered exactly once, at the output boundary
+    let streaming_materializations = session
+        .sql(&query)
+        .expect("materialization probe")
+        .report
+        .intermediate_materializations;
+
+    // perf-trajectory artifact for the scoring kernels
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let artifact = format!(
+        "{{\n  \"bench\": \"scoring_kernels\",\n  \"workload\": \"{model_name}\",\n  \
+         \"feature_rows\": {},\n  \"trees\": {},\n  \"total_nodes\": {},\n  \
+         \"interpreted_rows_per_sec\": {:.0},\n  \"flattened_rows_per_sec\": {:.0},\n  \
+         \"speedup\": {:.2},\n  \"streaming_intermediate_materializations\": {},\n  \
+         \"unix_time\": {unix_time}\n}}\n",
+        ab.rows,
+        ab.trees,
+        ab.total_nodes,
+        ab.interpreted_rows_per_sec,
+        ab.flattened_rows_per_sec,
+        ab.speedup,
+        streaming_materializations,
+    );
+    // anchored at the workspace root so binaries and tests agree on one path
+    let artifact_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json");
+    if let Err(e) = std::fs::write(artifact_path, &artifact) {
+        eprintln!("warning: could not write BENCH_scoring.json: {e}");
+    }
+
     let report = server.report();
 
     println!("| {:<38} | {:>10} |", "configuration", "qps");
@@ -887,6 +1024,20 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
          {} single-flight wait(s)",
         stampede_report.single_flight_waits
     );
+    println!(
+        "scoring kernels ({} trees / {} nodes, {} feature rows): \
+         interpreted {:>9.0} rows/s, flattened {:>9.0} rows/s — {:.2}x",
+        ab.trees,
+        ab.total_nodes,
+        ab.rows,
+        ab.interpreted_rows_per_sec,
+        ab.flattened_rows_per_sec,
+        ab.speedup
+    );
+    println!(
+        "filtered streaming plan intermediate materializations: \
+         {streaming_materializations}"
+    );
     println!("{report}");
 
     ServingStudyResult {
@@ -900,6 +1051,10 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
         scoped_concurrent_qps,
         pool_concurrent_qps,
         stampede_prepares,
+        interpreted_score_rows_per_sec: ab.interpreted_rows_per_sec,
+        flattened_score_rows_per_sec: ab.flattened_rows_per_sec,
+        scoring_speedup: ab.speedup,
+        streaming_materializations,
         report,
     }
 }

@@ -120,6 +120,38 @@ pub fn trimmed_mean_time(session: &RavenSession, query: &str, runs: usize) -> Du
     total / slice.len() as u32
 }
 
+/// Extract a pipeline's tree-ensemble model together with the feature matrix
+/// its trees consume: the featurizer prefix of the pipeline (scaler, one-hot,
+/// concat — everything but the model node) is evaluated once over `batch`.
+/// Used by the scoring-kernel A/B harnesses so the interpreted and flattened
+/// kernels score identical, realistically-featurized inputs. Returns `None`
+/// when the model is not a tree ensemble fed by a single featurized value.
+pub fn featurize_for_model(
+    pipeline: &Pipeline,
+    batch: &raven_columnar::Batch,
+) -> Option<(raven_ml::Matrix, raven_ml::TreeEnsemble)> {
+    let model_node = pipeline.model_node()?;
+    let ensemble = match &model_node.op {
+        raven_ml::Operator::TreeEnsemble(e) => e.clone(),
+        _ => return None,
+    };
+    if model_node.inputs.len() != 1 {
+        return None;
+    }
+    let mut featurizer = pipeline.clone();
+    featurizer.output = model_node.inputs[0].clone();
+    let model_name = model_node.name.clone();
+    featurizer.nodes.retain(|n| n.name != model_name);
+    let inputs = raven_ml::bind_batch(&featurizer, batch).ok()?;
+    let features = raven_ml::MlRuntime::new()
+        .run(&featurizer, &inputs)
+        .ok()?
+        .as_numeric()
+        .ok()?
+        .clone();
+    Some((features, ensemble))
+}
+
 /// Convenience: a config with all Raven optimizations disabled.
 pub fn no_opt_config() -> RavenConfig {
     RavenConfig::no_opt()

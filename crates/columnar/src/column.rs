@@ -2,6 +2,7 @@
 //! (take, filter, slice, concat) used by the relational executor.
 
 use crate::error::{ColumnarError, Result};
+use crate::selection::SelectionVector;
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -166,6 +167,79 @@ impl Column {
             Column::Int64(v) => filt!(v, Int64, |x: &i64| *x),
             Column::Utf8(v) => filt!(v, Utf8, |x: &String| x.clone()),
             Column::Boolean(v) => filt!(v, Boolean, |x: &bool| *x),
+        })
+    }
+
+    /// Gather the selected rows into a new column. Selection indices are
+    /// validated at construction, so the gather loop itself is bounds-check
+    /// free for the selection (an all-rows selection is a plain clone).
+    pub fn gather(&self, selection: &SelectionVector) -> Result<Column> {
+        if selection.source_len() != self.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len(),
+                found: selection.source_len(),
+            });
+        }
+        let Some(indices) = selection.indices() else {
+            return Ok(self.clone());
+        };
+        Ok(match self {
+            Column::Float64(v) => Column::Float64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Int64(v) => Column::Int64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Utf8(v) => {
+                Column::Utf8(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            Column::Boolean(v) => Column::Boolean(indices.iter().map(|&i| v[i as usize]).collect()),
+        })
+    }
+
+    /// Concatenate columns while applying each part's selection in the same
+    /// pass — the single copy of a selection-vector pipeline's output
+    /// boundary (a separate gather-then-concat would copy surviving rows
+    /// twice). A `None` selection means "all rows".
+    pub fn concat_selected(parts: &[(&Column, Option<&SelectionVector>)]) -> Result<Column> {
+        let first = parts.first().ok_or_else(|| {
+            ColumnarError::InvalidArgument("cannot concatenate zero columns".into())
+        })?;
+        let dt = first.0.data_type();
+        let mut total = 0usize;
+        for (c, sel) in parts {
+            if c.data_type() != dt {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: dt.to_string(),
+                    found: c.data_type().to_string(),
+                });
+            }
+            if let Some(sel) = sel {
+                if sel.source_len() != c.len() {
+                    return Err(ColumnarError::LengthMismatch {
+                        expected: c.len(),
+                        found: sel.source_len(),
+                    });
+                }
+                total += sel.len();
+            } else {
+                total += c.len();
+            }
+        }
+        macro_rules! gather_concat {
+            ($variant:ident, $as:ident, $clone:expr) => {{
+                let mut out = Vec::with_capacity(total);
+                for (c, sel) in parts {
+                    let v = c.$as()?;
+                    match sel.and_then(|s| s.indices()) {
+                        None => out.extend(v.iter().map($clone)),
+                        Some(ix) => out.extend(ix.iter().map(|&i| $clone(&v[i as usize]))),
+                    }
+                }
+                Column::$variant(out)
+            }};
+        }
+        Ok(match dt {
+            DataType::Float64 => gather_concat!(Float64, as_f64, |x: &f64| *x),
+            DataType::Int64 => gather_concat!(Int64, as_i64, |x: &i64| *x),
+            DataType::Utf8 => gather_concat!(Utf8, as_utf8, |x: &String| x.clone()),
+            DataType::Boolean => gather_concat!(Boolean, as_bool, |x: &bool| *x),
         })
     }
 

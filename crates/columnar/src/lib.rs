@@ -21,6 +21,7 @@ pub mod error;
 pub mod partition;
 pub mod pool;
 pub mod schema;
+pub mod selection;
 pub mod stats;
 pub mod stream;
 pub mod table;
@@ -31,6 +32,7 @@ pub use error::{ColumnarError, Result};
 pub use partition::{partition_by_column, partition_ranges, partition_sizes, PartitionSpec};
 pub use pool::{parallel_map, parallel_map_scoped, WorkerPool};
 pub use schema::{Field, Schema, SchemaRef};
+pub use selection::{SelectionIter, SelectionVector};
 pub use stats::{ColumnStatistics, InducedDomain, TableStatistics};
 pub use stream::{BatchStream, StreamBatch, StreamOp};
 pub use table::{Batch, Table, TableBuilder};

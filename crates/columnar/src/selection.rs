@@ -1,0 +1,241 @@
+//! Selection vectors: zero-copy row subsets of a [`crate::Batch`].
+//!
+//! A [`SelectionVector`] records *which* rows of a batch survive a filter
+//! without copying any column data, in the late-materialization lineage of
+//! MonetDB/X100 and DuckDB. Filter operators refine the selection; projection,
+//! scoring, and aggregation kernels consume `(Batch, &SelectionVector)` and
+//! read only the selected rows; the **final output boundary** is the single
+//! place rows are gathered into compact buffers
+//! ([`crate::Batch::concat_selected`] / [`crate::Batch::compact`]). This
+//! removes the one full batch copy per filter that `Batch::filter` used to
+//! pay on every filtered partition.
+//!
+//! Indices are `u32` (a partition batch never exceeds 4 billion rows), kept
+//! sorted ascending and unique by construction: selections are only ever
+//! built from masks or refined from existing selections, so gathering
+//! preserves row order.
+
+use crate::error::{ColumnarError, Result};
+use std::sync::Arc;
+
+/// A sorted set of selected row indices over a batch of `source_len` rows.
+///
+/// The all-rows selection is represented without an index buffer, so an
+/// unfiltered pipeline never allocates; cloning is O(1) (indices are shared
+/// behind an [`Arc`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionVector {
+    source_len: usize,
+    /// `None` means "all rows selected".
+    indices: Option<Arc<Vec<u32>>>,
+}
+
+impl SelectionVector {
+    /// Select every row of a `len`-row batch.
+    pub fn all(len: usize) -> SelectionVector {
+        SelectionVector {
+            source_len: len,
+            indices: None,
+        }
+    }
+
+    /// Select the rows where `mask` is true.
+    pub fn from_mask(mask: &[bool]) -> SelectionVector {
+        let selected = mask.iter().filter(|&&m| m).count();
+        if selected == mask.len() {
+            return SelectionVector::all(mask.len());
+        }
+        let mut indices = Vec::with_capacity(selected);
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                indices.push(i as u32);
+            }
+        }
+        SelectionVector {
+            source_len: mask.len(),
+            indices: Some(Arc::new(indices)),
+        }
+    }
+
+    /// Select explicit row indices (must be ascending, unique, and in-bounds).
+    pub fn from_indices(source_len: usize, indices: Vec<u32>) -> Result<SelectionVector> {
+        let mut prev: Option<u32> = None;
+        for &i in &indices {
+            if i as usize >= source_len {
+                return Err(ColumnarError::IndexOutOfBounds {
+                    index: i as usize,
+                    len: source_len,
+                });
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(ColumnarError::InvalidArgument(
+                    "selection indices must be ascending and unique".into(),
+                ));
+            }
+            prev = Some(i);
+        }
+        if indices.len() == source_len {
+            return Ok(SelectionVector::all(source_len));
+        }
+        Ok(SelectionVector {
+            source_len,
+            indices: Some(Arc::new(indices)),
+        })
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match &self.indices {
+            None => self.source_len,
+            Some(ix) => ix.len(),
+        }
+    }
+
+    /// Whether no row is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rows in the underlying batch.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Whether every row is selected (gather would be the identity).
+    pub fn is_all(&self) -> bool {
+        self.indices.is_none()
+    }
+
+    /// The explicit index buffer, when not all rows are selected.
+    pub fn indices(&self) -> Option<&[u32]> {
+        self.indices.as_deref().map(|v| v.as_slice())
+    }
+
+    /// Iterate the selected source-row indices in ascending order.
+    pub fn iter(&self) -> SelectionIter<'_> {
+        match &self.indices {
+            None => SelectionIter::All(0..self.source_len),
+            Some(ix) => SelectionIter::Indices(ix.iter()),
+        }
+    }
+
+    /// Intersect with a mask over the **source** rows (`mask.len()` must equal
+    /// [`SelectionVector::source_len`]): keeps the already-selected rows whose
+    /// mask entry is true. This is how a filter operator composes onto an
+    /// existing selection without touching column data.
+    pub fn refine(&self, mask: &[bool]) -> Result<SelectionVector> {
+        if mask.len() != self.source_len {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.source_len,
+                found: mask.len(),
+            });
+        }
+        match &self.indices {
+            None => Ok(SelectionVector::from_mask(mask)),
+            Some(ix) => {
+                let kept: Vec<u32> = ix.iter().copied().filter(|&i| mask[i as usize]).collect();
+                if kept.len() == ix.len() {
+                    return Ok(self.clone());
+                }
+                Ok(SelectionVector {
+                    source_len: self.source_len,
+                    indices: Some(Arc::new(kept)),
+                })
+            }
+        }
+    }
+
+    /// Keep only the first `n` selected rows (zero-copy LIMIT).
+    pub fn truncate(&self, n: usize) -> SelectionVector {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let indices: Vec<u32> = self.iter().take(n).map(|i| i as u32).collect();
+        SelectionVector {
+            source_len: self.source_len,
+            indices: Some(Arc::new(indices)),
+        }
+    }
+}
+
+/// Iterator over the selected source-row indices of a [`SelectionVector`].
+#[derive(Debug, Clone)]
+pub enum SelectionIter<'a> {
+    /// All rows selected: counts through `0..source_len`.
+    All(std::ops::Range<usize>),
+    /// Explicit index buffer.
+    Indices(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelectionIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelectionIter::All(r) => r.next(),
+            SelectionIter::Indices(it) => it.next().map(|&i| i as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SelectionIter::All(r) => r.size_hint(),
+            SelectionIter::Indices(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SelectionIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_mask_roundtrip() {
+        let all = SelectionVector::all(4);
+        assert!(all.is_all());
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+
+        let sel = SelectionVector::from_mask(&[true, false, true, false]);
+        assert!(!sel.is_all());
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.source_len(), 4);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 2]);
+
+        // an all-true mask collapses to the index-free representation
+        assert!(SelectionVector::from_mask(&[true, true]).is_all());
+    }
+
+    #[test]
+    fn refine_composes_filters() {
+        let sel = SelectionVector::all(5)
+            .refine(&[true, true, false, true, true])
+            .unwrap();
+        let sel = sel.refine(&[false, true, true, true, false]).unwrap();
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![1, 3]);
+        // wrong mask length is rejected
+        assert!(sel.refine(&[true]).is_err());
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        assert!(SelectionVector::from_indices(3, vec![0, 2]).is_ok());
+        assert!(SelectionVector::from_indices(3, vec![0, 1, 2])
+            .unwrap()
+            .is_all());
+        assert!(SelectionVector::from_indices(3, vec![3]).is_err());
+        assert!(SelectionVector::from_indices(3, vec![1, 1]).is_err());
+        assert!(SelectionVector::from_indices(3, vec![2, 0]).is_err());
+    }
+
+    #[test]
+    fn truncate_takes_prefix() {
+        let sel = SelectionVector::from_mask(&[true, false, true, true]);
+        assert_eq!(sel.truncate(2).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(sel.truncate(10).len(), 3);
+        let all = SelectionVector::all(3).truncate(2);
+        assert_eq!(all.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

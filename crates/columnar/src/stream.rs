@@ -23,6 +23,7 @@
 use crate::error::Result;
 use crate::pool::parallel_map;
 use crate::schema::SchemaRef;
+use crate::selection::SelectionVector;
 use crate::stats::TableStatistics;
 use crate::table::{Batch, Table};
 use std::sync::Arc;
@@ -30,7 +31,9 @@ use std::sync::Arc;
 /// One element of a [`BatchStream`]: a partition-sized batch plus provenance.
 #[derive(Debug, Clone)]
 pub struct StreamBatch {
-    /// The partition's rows.
+    /// The partition's rows. Columns always hold **all** source rows; when a
+    /// filter has run, the surviving subset is described by `selection`
+    /// instead of a copied batch (late materialization).
     pub batch: Batch,
     /// Index of the source partition this batch descends from. Stable across
     /// per-partition operators, so downstream consumers (e.g. per-partition
@@ -41,6 +44,12 @@ pub struct StreamBatch {
     /// column), when the stream originates from a [`Table`]. They describe the
     /// partition as stored, not the batch after filters.
     pub stats: Option<Arc<TableStatistics>>,
+    /// Rows of `batch` that survive the filters applied so far; `None` means
+    /// all rows. Kernels downstream of a filter consume
+    /// `(batch, &selection)`; only the final output boundary
+    /// ([`BatchStream::concat`] / [`StreamBatch::compact`]) gathers the
+    /// selected rows into compact buffers.
+    pub selection: Option<SelectionVector>,
 }
 
 impl StreamBatch {
@@ -50,7 +59,39 @@ impl StreamBatch {
             batch,
             partition,
             stats: None,
+            selection: None,
         }
+    }
+
+    /// Rows currently selected (all rows when no filter has run).
+    pub fn num_selected(&self) -> usize {
+        match &self.selection {
+            None => self.batch.num_rows(),
+            Some(sel) => sel.len(),
+        }
+    }
+
+    /// Intersect the element's selection with a mask over the batch's
+    /// **source** rows (the zero-copy form of `batch = batch.filter(mask)`).
+    pub fn refine_selection(&mut self, mask: &[bool]) -> Result<()> {
+        let current = self
+            .selection
+            .take()
+            .unwrap_or_else(|| SelectionVector::all(self.batch.num_rows()));
+        let refined = current.refine(mask)?;
+        if !refined.is_all() {
+            self.selection = Some(refined);
+        }
+        Ok(())
+    }
+
+    /// Materialize the selection: gather the selected rows into a compact
+    /// batch and clear the selection. Free when nothing was filtered.
+    pub fn compact(mut self) -> Result<StreamBatch> {
+        if let Some(sel) = self.selection.take() {
+            self.batch = self.batch.compact(&sel)?;
+        }
+        Ok(self)
     }
 }
 
@@ -88,6 +129,7 @@ impl BatchStream {
                 batch: batch.clone(),
                 partition: i,
                 stats: Some(Arc::new(stats.clone())),
+                selection: None,
             })
             .collect();
         BatchStream {
@@ -180,7 +222,9 @@ impl BatchStream {
 
     /// Drive the stream and concatenate the surviving partitions into one
     /// batch — the **final output boundary**, the only place a streaming plan
-    /// materializes. An all-pruned (or empty) stream yields an empty batch
+    /// materializes. Per-partition selection vectors are applied in the same
+    /// gathering pass, so a filtered pipeline pays exactly one copy here and
+    /// none in between. An all-pruned (or empty) stream yields an empty batch
     /// with the declared schema.
     pub fn concat(self, dop: usize) -> Result<Batch> {
         let schema = self.schema.clone();
@@ -188,11 +232,14 @@ impl BatchStream {
         if items.is_empty() {
             return Batch::empty(schema);
         }
-        if items.len() == 1 {
+        if items.len() == 1 && items[0].selection.is_none() {
             return Ok(items.into_iter().next().expect("one item").batch);
         }
-        let batches: Vec<Batch> = items.into_iter().map(|i| i.batch).collect();
-        Batch::concat(&batches)
+        let parts: Vec<(&Batch, Option<&crate::SelectionVector>)> = items
+            .iter()
+            .map(|i| (&i.batch, i.selection.as_ref()))
+            .collect();
+        Batch::concat_selected(&parts)
     }
 }
 

@@ -208,6 +208,39 @@ impl Batch {
         Batch::new(self.schema.clone(), columns)
     }
 
+    /// Gather the selected rows into a compact batch (the materialization
+    /// point of a selection-vector pipeline; an all-rows selection is free).
+    pub fn compact(&self, selection: &crate::SelectionVector) -> Result<Batch> {
+        if selection.is_all() {
+            return Ok(self.clone());
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.gather(selection).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Vertically concatenate batches with identical schemas, applying each
+    /// batch's selection (when present) in the same single pass — the output
+    /// boundary of a selection-vector pipeline.
+    pub fn concat_selected(parts: &[(&Batch, Option<&crate::SelectionVector>)]) -> Result<Batch> {
+        let first = parts.first().ok_or_else(|| {
+            ColumnarError::InvalidArgument("cannot concatenate zero batches".into())
+        })?;
+        let schema = first.0.schema.clone();
+        let mut columns = Vec::with_capacity(schema.len());
+        for i in 0..schema.len() {
+            let cols: Vec<(&Column, Option<&crate::SelectionVector>)> = parts
+                .iter()
+                .map(|(b, sel)| (b.columns[i].as_ref(), *sel))
+                .collect();
+            columns.push(Arc::new(Column::concat_selected(&cols)?));
+        }
+        Batch::new(schema, columns)
+    }
+
     /// Gather the rows at `indices`.
     pub fn take(&self, indices: &[usize]) -> Result<Batch> {
         let columns = self

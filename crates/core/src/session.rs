@@ -19,10 +19,10 @@ use raven_columnar::{
     Batch, BatchStream, Column, ColumnarError, DataType, Field, StreamBatch, Table,
 };
 use raven_ir::{parse_prediction_query, ModelRegistry, UnifiedPlan};
-use raven_ml::{bind_batch, MlRuntime, Pipeline, RuntimeConfig};
+use raven_ml::{bind_batch, CompiledPipeline, MlRuntime, Pipeline, RuntimeConfig};
 use raven_relational::{
-    col, evaluate, evaluate_predicate, may_satisfy_all, Catalog, ExecutionContext, Executor, Expr,
-    LogicalPlan, Optimizer,
+    col, evaluate, evaluate_predicate, may_satisfy_all, selection_vectors_default, Catalog,
+    ExecutionContext, Executor, Expr, LogicalPlan, Optimizer,
 };
 use raven_tensor::{Device, Strategy};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -169,6 +169,13 @@ pub struct ExecutionReport {
     pub pruned_partitions: usize,
     /// Partitions that flowed through the streaming scoring pipeline.
     pub streamed_partitions: usize,
+    /// Full batch copies performed between pipeline stages (filters
+    /// materializing surviving rows). Zero on the selection-vector streaming
+    /// path: filters produce zero-copy selection views and surviving rows
+    /// are gathered exactly once, at the output boundary. The materialized
+    /// baseline (and `RAVEN_SELECTION=materialize`) reports its per-filter
+    /// copies here.
+    pub intermediate_materializations: usize,
 }
 
 /// Internal result of one execution path (ML runtime / MLtoSQL / MLtoDNN),
@@ -184,6 +191,7 @@ struct PathOutcome {
     execution_mode: ExecutionMode,
     pruned_partitions: usize,
     streamed_partitions: usize,
+    intermediate_materializations: usize,
 }
 
 impl PathOutcome {
@@ -198,6 +206,7 @@ impl PathOutcome {
             execution_mode,
             pruned_partitions: 0,
             streamed_partitions: 0,
+            intermediate_materializations: 0,
         }
     }
 }
@@ -260,9 +269,13 @@ struct MlRuntimePlan {
     data: Option<Arc<LogicalPlan>>,
     /// The scanned table, on the per-partition compiled-models path.
     scan_table: Option<String>,
-    /// The pipeline(s) to score with: one per partition on the
-    /// partition-models path, a single shared pipeline otherwise.
-    models: Arc<Vec<Pipeline>>,
+    /// The pipeline(s) to score with, each carrying its flattened
+    /// struct-of-arrays scoring kernels compiled at prepare time: one per
+    /// partition on the partition-models path, a single shared pipeline
+    /// otherwise. Executions (including serving-tier plan-cache hits) run
+    /// only the compiled kernels; `RAVEN_SCORER=interpreted` pins the
+    /// interpreted parity baseline at scoring time.
+    models: Arc<Vec<CompiledPipeline>>,
     /// Partition-model compilation report (folded into the execution report).
     partition_report: Option<DataInducedReport>,
     /// Schema of the data side's output (drives the empty boundary batch).
@@ -280,6 +293,7 @@ struct MlRuntimePlan {
 pub struct PreparedStatement {
     plan: Arc<UnifiedPlan>,
     point_pipeline: Arc<Pipeline>,
+    point_compiled: Arc<CompiledPipeline>,
     transform: TransformChoice,
     fallback: bool,
     cross: CrossOptReport,
@@ -305,6 +319,14 @@ impl PreparedStatement {
     /// predicates.
     pub fn point_pipeline(&self) -> &Arc<Pipeline> {
         &self.point_pipeline
+    }
+
+    /// [`PreparedStatement::point_pipeline`] with its flattened scoring
+    /// kernels compiled at prepare time — what the serving tier's point
+    /// micro-batches score with, so plan-cache hits run only compiled
+    /// kernels.
+    pub fn point_scorer(&self) -> &Arc<CompiledPipeline> {
+        &self.point_compiled
     }
 
     /// The chosen logical-to-physical transformation (after resolving
@@ -453,10 +475,15 @@ impl RavenSession {
         let (optimized, transform, cross, data_induced, point_pipeline) =
             self.optimize_stages(plan)?;
         let point_pipeline = Arc::new(point_pipeline);
+        let point_compiled = Arc::new(
+            CompiledPipeline::from_arc(point_pipeline.clone())
+                .map_err(|e| RavenError::Ml(e.to_string()))?,
+        );
         let (artifact, fallback) = self.lower(&optimized, transform, &mut hooks)?;
         Ok(PreparedStatement {
             plan: Arc::new(optimized),
             point_pipeline,
+            point_compiled,
             transform,
             fallback,
             cross,
@@ -560,6 +587,7 @@ impl RavenSession {
             data_induced.avg_pruned_columns_per_partition = p.avg_pruned_columns_per_partition;
         }
         let measured_total = exec_start.elapsed();
+        let intermediate_materializations = outcome.intermediate_materializations;
         // When the ML time is modeled (simulated GPU) the end-to-end total is
         // data time + modeled ML time rather than the measured wall clock.
         let total_time = if outcome.ml_time_modeled {
@@ -586,6 +614,7 @@ impl RavenSession {
             execution_mode: outcome.execution_mode,
             pruned_partitions: outcome.pruned_partitions,
             streamed_partitions: outcome.streamed_partitions,
+            intermediate_materializations,
         };
         Ok(PredictionOutput {
             batch: outcome.batch,
@@ -713,22 +742,26 @@ impl RavenSession {
     /// The execution context handed to the relational engine.
     /// `partition_pruning` distinguishes the streaming pipeline (which prunes
     /// via statistics) from the legacy materialized plan that models engines
-    /// scanning every partition.
+    /// scanning every partition — the legacy plan also materializes at every
+    /// filter (no selection vectors), like the §7 baseline systems it stands
+    /// in for.
     fn execution_context(&self, partition_pruning: bool) -> ExecutionContext {
         ExecutionContext {
             degree_of_parallelism: self.config.degree_of_parallelism.max(1),
             batch_size: self.config.ml_runtime.batch_size.max(1),
             partition_pruning,
+            selection_vectors: partition_pruning && selection_vectors_default(),
         }
     }
 
     /// Run an already-optimized relational plan, returning the result plus
-    /// the executor's partition counters (pruned via statistics / scanned).
+    /// the executor's partition counters (pruned via statistics / scanned)
+    /// and intermediate-materialization count.
     fn run_optimized(
         &self,
         plan: &LogicalPlan,
         partition_pruning: bool,
-    ) -> Result<(Batch, usize, usize)> {
+    ) -> Result<(Batch, usize, usize, usize)> {
         let exec = Executor::new();
         let batch = exec.execute(
             plan,
@@ -740,6 +773,7 @@ impl RavenSession {
             batch,
             metrics.partitions_pruned(),
             metrics.partitions_scanned(),
+            metrics.intermediate_materializations(),
         ))
     }
 
@@ -794,11 +828,12 @@ impl RavenSession {
     fn run_ml_to_sql(&self, relational: &LogicalPlan) -> Result<PathOutcome> {
         let start = Instant::now();
         let (mode, pruning) = self.transform_path_mode();
-        let (batch, pruned, scanned) = self.run_optimized(relational, pruning)?;
+        let (batch, pruned, scanned, copies) = self.run_optimized(relational, pruning)?;
         let mut outcome = PathOutcome::new(batch, mode);
         outcome.data_time = start.elapsed();
         outcome.pruned_partitions = pruned;
         outcome.streamed_partitions = scanned;
+        outcome.intermediate_materializations = copies;
         Ok(outcome)
     }
 
@@ -840,6 +875,15 @@ impl RavenSession {
         } else {
             None
         };
+        // Flatten every scoring pipeline's tree ensembles once, at prepare
+        // time: executions replay only the compiled struct-of-arrays kernels.
+        let compile_all = |models: &[Pipeline]| -> Result<Arc<Vec<CompiledPipeline>>> {
+            models
+                .iter()
+                .map(|p| CompiledPipeline::compile(p).map_err(|e| RavenError::Ml(e.to_string())))
+                .collect::<Result<Vec<_>>>()
+                .map(Arc::new)
+        };
         match partition_models {
             Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
                 // per-partition compiled models: the table is streamed
@@ -853,7 +897,7 @@ impl RavenSession {
                 Ok(MlRuntimePlan {
                     data: None,
                     scan_table: Some(table_name),
-                    models,
+                    models: compile_all(&models)?,
                     partition_report: Some(report),
                     schema,
                 })
@@ -865,7 +909,7 @@ impl RavenSession {
                 Ok(MlRuntimePlan {
                     data: Some(Arc::new(optimized)),
                     scan_table: None,
-                    models: Arc::new(vec![plan.pipeline.clone()]),
+                    models: compile_all(std::slice::from_ref(&plan.pipeline))?,
                     partition_report: None,
                     schema,
                 })
@@ -931,8 +975,10 @@ impl RavenSession {
         let exec = Executor::new();
         let partition_report = lowered.partition_report.clone();
         let manual_pruned = Arc::new(AtomicUsize::new(0));
+        let manual_copies = Arc::new(AtomicUsize::new(0));
         let models = lowered.models.clone();
         let source_schema = lowered.schema.clone();
+        let selection_vectors = ctx.selection_vectors;
         let stream = match (&lowered.data, &lowered.scan_table) {
             (None, Some(table_name)) => {
                 // per-partition compiled models: stream the table directly so
@@ -941,6 +987,7 @@ impl RavenSession {
                 let table = self.catalog.table(table_name)?;
                 let preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
                 let pruned = manual_pruned.clone();
+                let copies = manual_copies.clone();
                 BatchStream::from_table(&table).map(move |mut item| {
                     if let Some(stats) = &item.stats {
                         if !may_satisfy_all(&preds, stats) {
@@ -950,7 +997,12 @@ impl RavenSession {
                     }
                     for p in &preds {
                         let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
-                        item.batch = item.batch.filter(&mask)?;
+                        if selection_vectors {
+                            item.refine_selection(&mask)?;
+                        } else {
+                            item.batch = item.batch.filter(&mask)?;
+                            copies.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     Ok(Some(item))
                 })
@@ -963,7 +1015,11 @@ impl RavenSession {
             }
         };
 
-        // 2. per-partition scoring and post-processing, fused into the stream
+        // 2. per-partition scoring and post-processing, fused into the
+        //    stream. Scoring consumes (batch, selection): selected rows are
+        //    gathered straight from the source columns into the runtime's
+        //    inputs (zero-copy filter→score) and the scores scatter back as
+        //    one full-length column, so the selection keeps flowing.
         let ml_nanos = Arc::new(AtomicU64::new(0));
         let score_op: raven_columnar::StreamOp = {
             let runtime = runtime.clone();
@@ -972,13 +1028,18 @@ impl RavenSession {
             let ml_nanos = ml_nanos.clone();
             Arc::new(move |mut item: StreamBatch| {
                 let t0 = Instant::now();
-                let pipeline = if models.len() > 1 {
+                let compiled = if models.len() > 1 {
                     models.get(item.partition).unwrap_or(&models[0])
                 } else {
                     &models[0]
                 };
                 item.batch = runtime
-                    .score_batch_into(pipeline, &item.batch, &prediction)
+                    .score_batch_into_selected(
+                        compiled,
+                        &item.batch,
+                        item.selection.as_ref(),
+                        &prediction,
+                    )
                     .map_err(stream_err)?;
                 ml_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 Ok(Some(item))
@@ -987,12 +1048,20 @@ impl RavenSession {
         let post_op: raven_columnar::StreamOp = {
             let output_preds: Vec<Expr> = plan.output_predicates().into_iter().cloned().collect();
             let projection = plan.projection.clone();
+            let copies = manual_copies.clone();
             Arc::new(move |mut item: StreamBatch| {
                 for p in &output_preds {
                     let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
-                    item.batch = item.batch.filter(&mask)?;
+                    if selection_vectors {
+                        item.refine_selection(&mask)?;
+                    } else {
+                        item.batch = item.batch.filter(&mask)?;
+                        copies.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 if !projection.is_empty() {
+                    // projection replaces the columns row-aligned with the
+                    // source, so the selection survives untouched
                     let mut columns = Vec::with_capacity(projection.len());
                     let mut fields = Vec::with_capacity(projection.len());
                     for e in &projection {
@@ -1007,8 +1076,9 @@ impl RavenSession {
             })
         };
 
-        // 3. drive the pipeline partition-parallel; concat only at the
-        //    final output boundary
+        // 3. drive the pipeline partition-parallel; the single gather of
+        //    surviving rows happens at the final output boundary, fused into
+        //    the concat
         let scored = stream
             .map({
                 let op = score_op.clone();
@@ -1027,7 +1097,7 @@ impl RavenSession {
             let empty = StreamBatch::new(Batch::empty(source_schema)?, 0);
             let item = score_op(empty)?.and_then(|item| post_op(item).transpose());
             match item {
-                Some(item) => item?.batch,
+                Some(item) => item?.compact()?.batch,
                 None => {
                     return Err(RavenError::Ml(
                         "streaming pipeline dropped the boundary batch".into(),
@@ -1035,8 +1105,11 @@ impl RavenSession {
                 }
             }
         } else {
-            let batches: Vec<Batch> = items.into_iter().map(|i| i.batch).collect();
-            Batch::concat(&batches)?
+            let parts: Vec<(&Batch, Option<&raven_columnar::SelectionVector>)> = items
+                .iter()
+                .map(|i| (&i.batch, i.selection.as_ref()))
+                .collect();
+            Batch::concat_selected(&parts)?
         };
 
         // 4. the final aggregate is a pipeline breaker over the concatenated
@@ -1056,6 +1129,8 @@ impl RavenSession {
         outcome.pruned_partitions =
             exec.metrics().partitions_pruned() + manual_pruned.load(Ordering::Relaxed);
         outcome.streamed_partitions = streamed_partitions;
+        outcome.intermediate_materializations =
+            exec.metrics().intermediate_materializations() + manual_copies.load(Ordering::Relaxed);
         Ok(outcome)
     }
 
@@ -1073,22 +1148,27 @@ impl RavenSession {
         let mut ml_time = Duration::ZERO;
 
         let partition_report = lowered.partition_report.clone();
+        // The materialized baseline deep-copies surviving rows at every
+        // filter; count the copies so the report contrasts with the
+        // zero-materialization streaming path.
+        let mut copies = 0usize;
         let mut scored = match (&lowered.data, &lowered.scan_table) {
             (None, Some(table_name)) => {
                 // execute partition by partition with its specialized model
                 let table = self.catalog.table(table_name)?;
                 let input_preds: Vec<Expr> = plan.input_predicates().into_iter().cloned().collect();
                 let mut parts = Vec::new();
-                for (batch, pipeline) in table.partitions().iter().zip(lowered.models.iter()) {
+                for (batch, compiled) in table.partitions().iter().zip(lowered.models.iter()) {
                     let d0 = Instant::now();
                     let mut batch = batch.clone();
                     for p in &input_preds {
                         let mask = evaluate_predicate(p, &batch)?;
                         batch = batch.filter(&mask)?;
+                        copies += 1;
                     }
                     data_time += d0.elapsed();
                     let m0 = Instant::now();
-                    let scores = self.score_batch(&runtime, pipeline, &batch)?;
+                    let scores = self.score_batch(&runtime, compiled, &batch)?;
                     ml_time += m0.elapsed();
                     parts.push(attach_scores(&batch, &plan.prediction_column, scores)?);
                 }
@@ -1097,7 +1177,8 @@ impl RavenSession {
             (Some(data), _) => {
                 let d0 = Instant::now();
                 // the legacy plan scans every partition: no stats pruning
-                let (batch, _, _) = self.run_optimized(data, false)?;
+                let (batch, _, _, data_copies) = self.run_optimized(data, false)?;
+                copies += data_copies;
                 data_time += d0.elapsed();
                 let m0 = Instant::now();
                 let scores = self.score_batch(&runtime, &lowered.models[0], &batch)?;
@@ -1112,23 +1193,27 @@ impl RavenSession {
         };
 
         let d1 = Instant::now();
-        scored = self.post_process(plan, scored)?;
+        let post_copies;
+        (scored, post_copies) = self.post_process(plan, scored)?;
+        copies += post_copies;
         data_time += d1.elapsed();
         let mut outcome = PathOutcome::new(scored, ExecutionMode::Materialized);
         outcome.data_time = data_time;
         outcome.ml_time = ml_time;
         outcome.partition_report = partition_report;
+        outcome.intermediate_materializations = copies;
         Ok(outcome)
     }
 
     fn score_batch(
         &self,
         runtime: &MlRuntime,
-        pipeline: &Pipeline,
+        compiled: &CompiledPipeline,
         batch: &Batch,
     ) -> Result<Vec<f64>> {
+        let pipeline: &Pipeline = compiled.pipeline();
         match self.config.baseline {
-            BaselineMode::Vectorized => Ok(runtime.run_batch(pipeline, batch)?),
+            BaselineMode::Vectorized => Ok(runtime.run_batch_compiled(compiled, batch)?),
             BaselineMode::RowInterpreted => Ok(runtime.run_batch_row_interpreted(pipeline, batch)?),
             BaselineMode::Materialized => {
                 // MADlib-style: evaluate the pipeline one operator at a time,
@@ -1205,7 +1290,7 @@ impl RavenSession {
 
         let (mode, pruning) = self.transform_path_mode();
         let d0 = Instant::now();
-        let (batch, pruned, scanned) = self.run_optimized(data, pruning)?;
+        let (batch, pruned, scanned, mut copies) = self.run_optimized(data, pruning)?;
         let mut data_time = d0.elapsed();
 
         let m0 = Instant::now();
@@ -1221,7 +1306,9 @@ impl RavenSession {
 
         let d1 = Instant::now();
         let mut scored = attach_scores(&batch, &plan.prediction_column, run.scores)?;
-        scored = self.post_process(plan, scored)?;
+        let post_copies;
+        (scored, post_copies) = self.post_process(plan, scored)?;
+        copies += post_copies;
         data_time += d1.elapsed();
         let mut outcome = PathOutcome::new(scored, mode);
         outcome.data_time = data_time;
@@ -1229,17 +1316,21 @@ impl RavenSession {
         outcome.ml_time_modeled = modeled;
         outcome.pruned_partitions = pruned;
         outcome.streamed_partitions = scanned;
+        outcome.intermediate_materializations = copies;
         Ok(outcome)
     }
 
     /// Apply output-side predicates, the final projection, and the aggregate
     /// to a scored batch (materialized paths; the streaming path fuses the
     /// first two per partition and only breaks the pipeline for the
-    /// aggregate).
-    fn post_process(&self, plan: &UnifiedPlan, mut batch: Batch) -> Result<Batch> {
+    /// aggregate). Returns the result plus the number of full-batch filter
+    /// copies performed.
+    fn post_process(&self, plan: &UnifiedPlan, mut batch: Batch) -> Result<(Batch, usize)> {
+        let mut copies = 0usize;
         for p in plan.output_predicates() {
             let mask = evaluate_predicate(p, &batch)?;
             batch = batch.filter(&mask)?;
+            copies += 1;
         }
         if !plan.projection.is_empty() {
             let mut columns = Vec::with_capacity(plan.projection.len());
@@ -1251,7 +1342,7 @@ impl RavenSession {
             }
             batch = Batch::new(Arc::new(raven_columnar::Schema::new(fields)?), columns)?;
         }
-        self.apply_aggregate(plan, batch)
+        Ok((self.apply_aggregate(plan, batch)?, copies))
     }
 
     /// Apply the plan's final aggregate (if any) by registering the scored

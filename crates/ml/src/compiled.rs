@@ -1,0 +1,123 @@
+//! Pipelines with pre-compiled scoring kernels.
+//!
+//! A [`CompiledPipeline`] pairs a validated [`Pipeline`] with the flattened
+//! struct-of-arrays scorer ([`FlatEnsemble`]) of every tree-ensemble node,
+//! compiled once. This is the form a prepared statement carries: the
+//! expensive per-query-shape work (validation, feature-bound checking,
+//! arena flattening) happens at prepare time, and every execution runs only
+//! the tight block-at-a-time kernels. The interpreted operator graph remains
+//! available as the parity baseline (`RAVEN_SCORER=interpreted` /
+//! [`crate::ops::force_scorer`]).
+
+use crate::error::Result;
+use crate::ops::{FlatEnsemble, Operator};
+use crate::pipeline::Pipeline;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A pipeline plus the flattened scorer of each tree-ensemble node, keyed by
+/// node name. Cloning is cheap (everything is behind `Arc`s).
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    pipeline: Arc<Pipeline>,
+    flat: Arc<HashMap<String, Arc<FlatEnsemble>>>,
+}
+
+impl CompiledPipeline {
+    /// Validate the pipeline and compile every tree-ensemble node.
+    pub fn compile(pipeline: &Pipeline) -> Result<CompiledPipeline> {
+        CompiledPipeline::from_arc(Arc::new(pipeline.clone()))
+    }
+
+    /// [`CompiledPipeline::compile`] over an already-shared pipeline.
+    pub fn from_arc(pipeline: Arc<Pipeline>) -> Result<CompiledPipeline> {
+        pipeline.validate()?;
+        let mut flat = HashMap::new();
+        for node in &pipeline.nodes {
+            if let Operator::TreeEnsemble(e) = &node.op {
+                flat.insert(node.name.clone(), Arc::new(FlatEnsemble::compile(e)?));
+            }
+        }
+        Ok(CompiledPipeline {
+            pipeline,
+            flat: Arc::new(flat),
+        })
+    }
+
+    /// The underlying pipeline.
+    pub fn pipeline(&self) -> &Arc<Pipeline> {
+        &self.pipeline
+    }
+
+    /// The flattened scorers, keyed by node name.
+    pub fn flat_scorers(&self) -> &HashMap<String, Arc<FlatEnsemble>> {
+        &self.flat
+    }
+
+    /// How many nodes have a compiled kernel.
+    pub fn compiled_nodes(&self) -> usize {
+        self.flat.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Tree, TreeEnsemble, TreeNode};
+    use crate::pipeline::{InputKind, PipelineInput, PipelineNode};
+
+    #[test]
+    fn compile_collects_tree_nodes_and_validates() {
+        let tree = Tree {
+            nodes: vec![
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 0.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+            root: 0,
+        };
+        let p = Pipeline::new(
+            "m",
+            vec![PipelineInput {
+                name: "x".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(tree.clone(), 1)),
+                inputs: vec!["x".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap();
+        let c = CompiledPipeline::compile(&p).unwrap();
+        assert_eq!(c.compiled_nodes(), 1);
+        assert!(c.flat_scorers().contains_key("model"));
+
+        // an out-of-range feature index fails compilation with a typed error
+        let mut bad = p.clone();
+        bad.nodes[0].op = Operator::TreeEnsemble(TreeEnsemble::single_tree(
+            Tree {
+                nodes: vec![
+                    TreeNode::Branch {
+                        feature: 9,
+                        threshold: 1.0,
+                        left: 1,
+                        right: 2,
+                    },
+                    TreeNode::Leaf { value: 0.0 },
+                    TreeNode::Leaf { value: 1.0 },
+                ],
+                root: 0,
+            },
+            1,
+        ));
+        assert!(CompiledPipeline::compile(&bad).is_err());
+    }
+}

@@ -19,6 +19,10 @@ pub enum MlError {
     Training(String),
     /// A value required by an operator was missing at inference time.
     MissingInput(String),
+    /// A trained model is structurally invalid (e.g. a tree splits on a
+    /// feature index outside the ensemble's declared feature width). Caught
+    /// when a model is registered/compiled rather than silently scoring NaN.
+    InvalidModel(String),
     /// Operation not supported for this operator.
     Unsupported(String),
 }
@@ -31,6 +35,7 @@ impl fmt::Display for MlError {
             MlError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
             MlError::Training(m) => write!(f, "training error: {m}"),
             MlError::MissingInput(m) => write!(f, "missing input: {m}"),
+            MlError::InvalidModel(m) => write!(f, "invalid model: {m}"),
             MlError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

@@ -9,6 +9,7 @@
 //! UDF boundary.
 
 pub mod builder;
+pub mod compiled;
 pub mod error;
 pub mod frame;
 pub mod ops;
@@ -17,15 +18,20 @@ pub mod runtime;
 pub mod train;
 
 pub use builder::{train_pipeline, ModelType, PipelineSpec};
+pub use compiled::CompiledPipeline;
 pub use error::{MlError, Result};
 pub use frame::{FrameValue, Matrix, StringMatrix};
 pub use ops::{
-    format_numeric_category, sigmoid, Binarizer, ConstantNode, EnsembleKind, FeatureExtractor,
-    Imputer, LabelEncoder, LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm,
-    Normalizer, OneHotEncoder, Operator, OperatorCategory, Scaler, Tree, TreeEnsemble, TreeNode,
+    force_scorer, format_numeric_category, scorer_mode, sigmoid, Binarizer, ConstantNode,
+    EnsembleKind, FeatureExtractor, FlatEnsemble, Imputer, LabelEncoder, LinearRegressionModel,
+    LinearSvmModel, LogisticRegressionModel, Norm, Normalizer, OneHotEncoder, Operator,
+    OperatorCategory, Scaler, ScorerMode, Tree, TreeEnsemble, TreeNode,
 };
 pub use pipeline::{InputKind, Pipeline, PipelineInput, PipelineNode};
-pub use runtime::{bind_batch, column_to_frame, MlRuntime, RuntimeConfig};
+pub use runtime::{
+    bind_batch, bind_batch_gather, column_to_frame, column_to_frame_gather, MlRuntime,
+    RuntimeConfig,
+};
 pub use train::{
     accuracy, fit_one_hot, fit_standard_scaler, train_decision_tree,
     train_decision_tree_classifier, train_gradient_boosting, train_linear_regression,

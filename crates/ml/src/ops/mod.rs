@@ -2,6 +2,7 @@
 //! models, and tree ensembles, with a single [`Operator`] enum for dispatch.
 
 pub mod featurizer;
+pub mod flat;
 pub mod linear;
 pub mod tree;
 
@@ -9,6 +10,7 @@ pub use featurizer::{
     concat, format_numeric_category, Binarizer, ConstantNode, FeatureExtractor, Imputer,
     LabelEncoder, Norm, Normalizer, OneHotEncoder, Scaler,
 };
+pub use flat::{force_scorer, scorer_mode, FlatEnsemble, ScorerMode, BLOCK};
 pub use linear::{sigmoid, LinearRegressionModel, LinearSvmModel, LogisticRegressionModel};
 pub use tree::{EnsembleKind, Tree, TreeEnsemble, TreeNode};
 
@@ -112,6 +114,18 @@ impl Operator {
             self.category(),
             OperatorCategory::LinearModel | OperatorCategory::TreeModel
         )
+    }
+
+    /// Validate the operator's trained parameters. Currently checks tree
+    /// ensembles for out-of-range feature indices (which the row walker
+    /// would otherwise silently score as NaN); called by
+    /// [`crate::Pipeline::validate`], so malformed models are rejected when
+    /// a pipeline is built or registered, not at scoring time.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Operator::TreeEnsemble(e) => e.validate_features(),
+            _ => Ok(()),
+        }
     }
 
     /// Apply the operator to its inputs. `rows` is the batch row count (needed

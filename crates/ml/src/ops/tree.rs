@@ -43,6 +43,13 @@ impl Tree {
     }
 
     /// Evaluate the tree for one feature row.
+    ///
+    /// A feature index beyond the row falls back to NaN (⇒ the right child,
+    /// the missing-value convention). Validated ensembles never hit that
+    /// fallback: [`TreeEnsemble::validate_features`] rejects out-of-range
+    /// feature indices with a typed error when a model is registered,
+    /// compiled ([`crate::ops::FlatEnsemble::compile`]), or scored through
+    /// [`TreeEnsemble::predict`].
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         let mut idx = self.root;
         loop {
@@ -331,6 +338,31 @@ impl TreeEnsemble {
             learning_rate: 1.0,
             base_score: 0.0,
         }
+    }
+
+    /// Check that every reachable branch node splits on a feature inside the
+    /// ensemble's declared width. An out-of-range index used to score
+    /// silently as NaN (`row.get(..).unwrap_or(NAN)` in the walker); model
+    /// registration ([`crate::Pipeline::validate`], run whenever a pipeline
+    /// is built, registered, or evaluated) and flat compilation
+    /// ([`crate::ops::FlatEnsemble::compile`]) reject it with this typed
+    /// error instead. Not called per [`TreeEnsemble::predict`] — the check
+    /// is O(nodes) and belongs at registration, not in the scoring loop.
+    pub fn validate_features(&self) -> Result<()> {
+        for (t, tree) in self.trees.iter().enumerate() {
+            for &node in &tree.reachable() {
+                if let TreeNode::Branch { feature, .. } = &tree.nodes[node] {
+                    if *feature >= self.n_features {
+                        return Err(MlError::InvalidModel(format!(
+                            "tree {t} splits on feature {feature}, \
+                             ensemble has {} features",
+                            self.n_features
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Predict the score for every row of `x` (probability for classifiers,

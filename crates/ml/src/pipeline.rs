@@ -75,9 +75,23 @@ impl Pipeline {
         Ok(p)
     }
 
-    /// Check structural invariants: unique names, inputs defined before use,
-    /// reachable output.
+    /// Full validation: the structural invariants of
+    /// [`Pipeline::validate_structure`] plus each operator's trained
+    /// parameters ([`Operator::validate`] — e.g. tree feature bounds). Run
+    /// when a pipeline is built or compiled; the per-evaluation check in the
+    /// runtime uses only the cheap structural part, since the O(model-size)
+    /// operator check belongs at registration, not in the scoring loop.
     pub fn validate(&self) -> Result<()> {
+        self.validate_structure()?;
+        for n in &self.nodes {
+            n.op.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Check structural invariants: unique names, inputs defined before use,
+    /// reachable output. O(graph), independent of model sizes.
+    pub fn validate_structure(&self) -> Result<()> {
         let mut defined: HashSet<&str> = HashSet::new();
         for i in &self.inputs {
             if !defined.insert(i.name.as_str()) {

@@ -6,12 +6,16 @@
 //! per-invocation overhead of crossing the data-engine/ML-runtime boundary so
 //! that MLtoSQL's "avoid the ML runtime" benefit is observable.
 
+use crate::compiled::CompiledPipeline;
 use crate::error::{MlError, Result};
 use crate::frame::{FrameValue, Matrix, StringMatrix};
-use crate::ops::{format_numeric_category, Operator};
+use crate::ops::{format_numeric_category, scorer_mode, FlatEnsemble, Operator, ScorerMode};
 use crate::pipeline::{InputKind, Pipeline};
-use raven_columnar::{Batch, BatchStream, Column, ColumnarError, DataType, Field, Schema};
+use raven_columnar::{
+    Batch, BatchStream, Column, ColumnarError, DataType, Field, Schema, SelectionVector,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Runtime configuration.
@@ -84,7 +88,7 @@ impl MlRuntime {
             }
         }
         self.charge(self.config.per_batch_overhead);
-        self.evaluate_graph(pipeline, inputs, rows)
+        self.evaluate_graph(pipeline, inputs, rows, None)
     }
 
     /// Evaluate a pipeline over a relational batch, binding pipeline inputs to
@@ -103,6 +107,48 @@ impl MlRuntime {
     /// per-batch (data conversion) overhead is charged per chunk, so overhead
     /// accounting matches the materialized path that scores the same rows.
     pub fn run_batch_chunked(&self, pipeline: &Pipeline, batch: &Batch) -> Result<Vec<f64>> {
+        self.chunked_scores(pipeline, batch, None)
+    }
+
+    /// [`MlRuntime::run_batch`] over a [`CompiledPipeline`]: identical
+    /// semantics, but tree-ensemble nodes run the flattened block-at-a-time
+    /// kernels (unless the scorer mode pins the interpreted baseline).
+    pub fn run_batch_compiled(
+        &self,
+        compiled: &CompiledPipeline,
+        batch: &Batch,
+    ) -> Result<Vec<f64>> {
+        self.charge(self.config.invocation_overhead);
+        self.run_batch_chunked_compiled(compiled, batch)
+    }
+
+    /// [`MlRuntime::run_batch_chunked`] over a [`CompiledPipeline`].
+    pub fn run_batch_chunked_compiled(
+        &self,
+        compiled: &CompiledPipeline,
+        batch: &Batch,
+    ) -> Result<Vec<f64>> {
+        self.chunked_scores(compiled.pipeline(), batch, self.flat_of(compiled))
+    }
+
+    /// The flattened scorers to use under the current [`ScorerMode`] (`None`
+    /// pins the interpreted operator graph).
+    fn flat_of<'c>(
+        &self,
+        compiled: &'c CompiledPipeline,
+    ) -> Option<&'c HashMap<String, Arc<FlatEnsemble>>> {
+        match scorer_mode() {
+            ScorerMode::Flattened => Some(compiled.flat_scorers()),
+            ScorerMode::Interpreted => None,
+        }
+    }
+
+    fn chunked_scores(
+        &self,
+        pipeline: &Pipeline,
+        batch: &Batch,
+        flat: Option<&HashMap<String, Arc<FlatEnsemble>>>,
+    ) -> Result<Vec<f64>> {
         if batch.num_rows() == 0 {
             return Ok(Vec::new());
         }
@@ -113,7 +159,7 @@ impl MlRuntime {
         for chunk in chunks {
             self.charge(self.config.per_batch_overhead);
             let inputs = bind_batch(pipeline, &chunk)?;
-            let out = self.evaluate_graph(pipeline, &inputs, chunk.num_rows())?;
+            let out = self.evaluate_graph(pipeline, &inputs, chunk.num_rows(), flat)?;
             let m = out.as_numeric()?;
             if m.cols() != 1 {
                 return Err(MlError::ShapeMismatch(format!(
@@ -124,6 +170,57 @@ impl MlRuntime {
             scores.extend_from_slice(m.data());
         }
         Ok(scores)
+    }
+
+    /// Score only the **selected** rows of a batch and append the scores as a
+    /// full-length `Float64` column (NaN on deselected rows, which stay
+    /// deselected), leaving the batch's columns untouched — the zero-copy
+    /// filter→score stage of a selection-vector pipeline. Selected rows are
+    /// gathered straight from the source columns into pipeline inputs (the
+    /// one unavoidable copy at the engine↔runtime boundary), chunked by
+    /// `batch_size` with the per-batch overhead charged per chunk; no
+    /// intermediate filtered batch is ever materialized. With no selection
+    /// this degrades to whole-batch scoring.
+    pub fn score_batch_into_selected(
+        &self,
+        compiled: &CompiledPipeline,
+        batch: &Batch,
+        selection: Option<&SelectionVector>,
+        score_column: &str,
+    ) -> Result<Batch> {
+        let flat = self.flat_of(compiled);
+        let pipeline = compiled.pipeline();
+        let scores = match selection.and_then(|s| s.indices()) {
+            None => self.chunked_scores(pipeline, batch, flat)?,
+            Some(indices) => {
+                let mut packed = Vec::with_capacity(indices.len());
+                for chunk in indices.chunks(self.config.batch_size.max(1)) {
+                    self.charge(self.config.per_batch_overhead);
+                    let inputs = bind_batch_gather(pipeline, batch, chunk)?;
+                    let out = self.evaluate_graph(pipeline, &inputs, chunk.len(), flat)?;
+                    let m = out.as_numeric()?;
+                    if m.cols() != 1 {
+                        return Err(MlError::ShapeMismatch(format!(
+                            "pipeline output has {} columns, expected 1",
+                            m.cols()
+                        )));
+                    }
+                    packed.extend_from_slice(m.data());
+                }
+                // scatter the packed scores back to source-row positions
+                let mut full = vec![f64::NAN; batch.num_rows()];
+                for (&row, &score) in indices.iter().zip(packed.iter()) {
+                    full[row as usize] = score;
+                }
+                full
+            }
+        };
+        batch
+            .with_column(
+                Field::new(score_column, DataType::Float64),
+                Arc::new(Column::Float64(scores)),
+            )
+            .map_err(MlError::from)
     }
 
     /// Charge the per-invocation overhead once (used by streaming callers
@@ -205,7 +302,7 @@ impl MlRuntime {
         for row in 0..batch.num_rows() {
             let single = batch.slice(row, 1).map_err(MlError::from)?;
             let inputs = bind_batch(pipeline, &single)?;
-            let out = self.evaluate_graph(pipeline, &inputs, 1)?;
+            let out = self.evaluate_graph(pipeline, &inputs, 1, None)?;
             scores.push(out.as_numeric()?.get(0, 0));
         }
         Ok(scores)
@@ -216,8 +313,9 @@ impl MlRuntime {
         pipeline: &Pipeline,
         inputs: &HashMap<String, FrameValue>,
         rows: usize,
+        flat: Option<&HashMap<String, Arc<FlatEnsemble>>>,
     ) -> Result<FrameValue> {
-        pipeline.validate()?;
+        pipeline.validate_structure()?;
         let mut values: HashMap<&str, FrameValue> =
             HashMap::with_capacity(pipeline.nodes.len() + inputs.len());
         for input in &pipeline.inputs {
@@ -236,10 +334,29 @@ impl MlRuntime {
                         .ok_or_else(|| MlError::MissingInput(name.clone()))
                 })
                 .collect::<Result<Vec<_>>>()?;
-            // Operators that consume a single numeric matrix accept multiple
-            // numeric inputs by implicit horizontal concatenation (this is how
-            // e.g. the Scaler of Fig. 3 is fed both `age` and `bpm`).
-            let output = if in_values.len() > 1 && !matches!(node.op, Operator::Concat) {
+            // A tree-ensemble node with a compiled kernel bypasses the
+            // interpreted operator dispatch entirely: the flattened SoA
+            // arrays are scored block-at-a-time over the feature matrix.
+            let flat_scorer = flat.and_then(|m| m.get(node.name.as_str()));
+            let output = if let Some(scorer) = flat_scorer {
+                let merged;
+                let m: &Matrix = if in_values.len() > 1 {
+                    merged = crate::ops::concat(&in_values)?;
+                    &merged
+                } else {
+                    in_values
+                        .first()
+                        .ok_or_else(|| {
+                            MlError::MissingInput(format!("{} input 0", node.op.name()))
+                        })?
+                        .as_numeric()?
+                };
+                FrameValue::Numeric(scorer.predict(m)?)
+            } else if in_values.len() > 1 && !matches!(node.op, Operator::Concat) {
+                // Operators that consume a single numeric matrix accept
+                // multiple numeric inputs by implicit horizontal
+                // concatenation (this is how e.g. the Scaler of Fig. 3 is
+                // fed both `age` and `bpm`).
                 let merged = crate::ops::concat(&in_values)?;
                 node.op.apply(&[&FrameValue::Numeric(merged)], rows)?
             } else {
@@ -269,6 +386,70 @@ pub fn bind_batch(pipeline: &Pipeline, batch: &Batch) -> Result<HashMap<String, 
         out.insert(input.name.clone(), column_to_frame(col, input.kind)?);
     }
     Ok(out)
+}
+
+/// Bind pipeline inputs by gathering only the rows at `indices` straight
+/// from the batch's columns — the zero-copy filter→score boundary: no
+/// intermediate filtered batch exists, the single copy lands directly in the
+/// runtime's input representation.
+pub fn bind_batch_gather(
+    pipeline: &Pipeline,
+    batch: &Batch,
+    indices: &[u32],
+) -> Result<HashMap<String, FrameValue>> {
+    let mut out = HashMap::with_capacity(pipeline.inputs.len());
+    for input in &pipeline.inputs {
+        let col = batch
+            .column_by_name(&input.name)
+            .map_err(|_| MlError::MissingInput(format!("column {} not in batch", input.name)))?;
+        out.insert(
+            input.name.clone(),
+            column_to_frame_gather(col, input.kind, indices)?,
+        );
+    }
+    Ok(out)
+}
+
+/// [`column_to_frame`] restricted to the rows at `indices`.
+pub fn column_to_frame_gather(
+    column: &Column,
+    kind: InputKind,
+    indices: &[u32],
+) -> Result<FrameValue> {
+    match kind {
+        InputKind::Numeric => {
+            let values: Vec<f64> = match column {
+                Column::Float64(v) => indices.iter().map(|&i| v[i as usize]).collect(),
+                Column::Int64(v) => indices.iter().map(|&i| v[i as usize] as f64).collect(),
+                Column::Boolean(v) => indices
+                    .iter()
+                    .map(|&i| if v[i as usize] { 1.0 } else { 0.0 })
+                    .collect(),
+                Column::Utf8(_) => {
+                    return Err(MlError::from(ColumnarError::TypeMismatch {
+                        expected: "numeric".into(),
+                        found: "Utf8".into(),
+                    }))
+                }
+            };
+            Ok(FrameValue::Numeric(Matrix::from_column(&values)))
+        }
+        InputKind::Categorical => {
+            let strings: Vec<String> = match column {
+                Column::Utf8(v) => indices.iter().map(|&i| v[i as usize].clone()).collect(),
+                Column::Int64(v) => indices.iter().map(|&i| v[i as usize].to_string()).collect(),
+                Column::Boolean(v) => indices
+                    .iter()
+                    .map(|&i| (v[i as usize] as i64).to_string())
+                    .collect(),
+                Column::Float64(v) => indices
+                    .iter()
+                    .map(|&i| format_numeric_category(v[i as usize]))
+                    .collect(),
+            };
+            Ok(FrameValue::Strings(StringMatrix::from_column(&strings)))
+        }
+    }
 }
 
 /// Convert one relational column into a pipeline input value.

@@ -5,11 +5,235 @@
 //! numeric and string operands; `CASE` evaluates all branches and selects
 //! per-row (branch expressions in prediction queries are cheap arithmetic, so
 //! this is the standard columnar trade-off).
+//!
+//! ## Fused kernels and buffer reuse
+//!
+//! The hot paths avoid intermediate allocations instead of composing clones:
+//!
+//! * **Literal fusion** — a literal operand of a binary kernel stays a
+//!   scalar; it is never materialized into a constant column
+//!   (`x >= 900.0` reads one column and one register, not two columns).
+//! * **Compare→mask fusion** — [`evaluate_predicate`] produces the `Vec<bool>`
+//!   mask directly: comparisons, `AND`/`OR`, `NOT`, and `IS NULL` never build
+//!   an intermediate boolean [`Column`] only to copy it out again.
+//! * **Operand views** — numeric kernels read `Float64`/`Int64`/`Boolean`
+//!   column storage in place (widening per element) instead of converting
+//!   whole columns through `to_f64_vec`.
+//! * **In-place intermediates** — a binary kernel whose left operand is a
+//!   freshly computed, uniquely owned `Float64` column mutates that buffer in
+//!   place, so an expression chain like `(a - b) * c + d` allocates one
+//!   output buffer total.
+//! * **Scratch pool** — mask buffers consumed by `AND`/`OR`/`NOT` are rented
+//!   from a small thread-local pool and recycled after fusion, so a fused
+//!   conjunction of N comparisons allocates at most one mask that escapes.
 
 use crate::error::{RelationalError, Result};
 use crate::expr::{BinaryOp, Expr, ScalarFunc};
 use raven_columnar::{Batch, Column, ColumnRef, DataType, Value};
+use std::cell::RefCell;
 use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// scratch pool (per-thread; executors on the worker pool each reuse their own)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static MASK_POOL: RefCell<Vec<Vec<bool>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn rent_mask(capacity: usize) -> Vec<bool> {
+    MASK_POOL
+        .with_borrow_mut(|pool| pool.pop())
+        .map(|mut v| {
+            v.clear();
+            v.reserve(capacity);
+            v
+        })
+        .unwrap_or_else(|| Vec::with_capacity(capacity))
+}
+
+fn recycle_mask(v: Vec<bool>) {
+    MASK_POOL.with_borrow_mut(|pool| {
+        if pool.len() < 8 {
+            pool.push(v);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// operands: literal scalars stay scalar, everything else is a shared column
+// ---------------------------------------------------------------------------
+
+/// One side of a fused binary kernel.
+enum Operand {
+    Col(ColumnRef),
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Operand {
+    fn eval(expr: &Expr, batch: &Batch) -> Result<Operand> {
+        match expr {
+            Expr::Literal(v) => Ok(match v {
+                Value::Float64(x) => Operand::Num(*x),
+                Value::Int64(x) => Operand::Int(*x),
+                Value::Utf8(s) => Operand::Str(s.clone()),
+                Value::Boolean(b) => Operand::Bool(*b),
+                Value::Null => Operand::Num(f64::NAN),
+            }),
+            Expr::Alias { expr, .. } => Operand::eval(expr, batch),
+            other => Ok(Operand::Col(evaluate(other, batch)?)),
+        }
+    }
+
+    fn len(&self) -> Option<usize> {
+        match self {
+            Operand::Col(c) => Some(c.len()),
+            _ => None,
+        }
+    }
+
+    fn is_string(&self) -> bool {
+        matches!(self, Operand::Str(_))
+            || matches!(self, Operand::Col(c) if c.data_type() == DataType::Utf8)
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, Operand::Int(_))
+            || matches!(self, Operand::Col(c) if c.data_type() == DataType::Int64)
+    }
+
+    fn data_type(&self) -> DataType {
+        match self {
+            Operand::Col(c) => c.data_type(),
+            Operand::Num(_) => DataType::Float64,
+            Operand::Int(_) => DataType::Int64,
+            Operand::Str(_) => DataType::Utf8,
+            Operand::Bool(_) => DataType::Boolean,
+        }
+    }
+}
+
+/// Read-only numeric view over an operand: per-element widening instead of a
+/// whole-column `to_f64_vec` copy.
+enum NumView<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+    B(&'a [bool]),
+    Scalar(f64),
+}
+
+impl NumView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::F(v) => v[i],
+            NumView::I(v) => v[i] as f64,
+            NumView::B(v) => {
+                if v[i] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NumView::Scalar(x) => *x,
+        }
+    }
+}
+
+fn num_view(op: &Operand) -> Result<NumView<'_>> {
+    Ok(match op {
+        Operand::Col(c) => match c.as_ref() {
+            Column::Float64(v) => NumView::F(v),
+            Column::Int64(v) => NumView::I(v),
+            Column::Boolean(v) => NumView::B(v),
+            Column::Utf8(_) => {
+                return Err(RelationalError::Evaluation(
+                    "expected a numeric operand, found a string column".into(),
+                ))
+            }
+        },
+        Operand::Num(x) => NumView::Scalar(*x),
+        Operand::Int(x) => NumView::Scalar(*x as f64),
+        Operand::Bool(b) => NumView::Scalar(if *b { 1.0 } else { 0.0 }),
+        Operand::Str(_) => {
+            return Err(RelationalError::Evaluation(
+                "expected a numeric operand, found a string literal".into(),
+            ))
+        }
+    })
+}
+
+/// String view over an operand (for string comparisons).
+enum StrView<'a> {
+    Slice(&'a [String]),
+    Scalar(&'a str),
+}
+
+impl StrView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &str {
+        match self {
+            StrView::Slice(v) => &v[i],
+            StrView::Scalar(s) => s,
+        }
+    }
+}
+
+fn str_view(op: &Operand) -> Result<StrView<'_>> {
+    Ok(match op {
+        Operand::Col(c) => StrView::Slice(c.as_utf8().map_err(RelationalError::from)?),
+        Operand::Str(s) => StrView::Scalar(s),
+        _ => {
+            return Err(RelationalError::Evaluation(
+                "expected a string operand".into(),
+            ))
+        }
+    })
+}
+
+/// Validate operand lengths against the batch row count and resolve the
+/// kernel's output length (columns must agree; two scalars span the batch).
+fn kernel_rows(l: &Operand, r: &Operand, batch_rows: usize) -> Result<usize> {
+    match (l.len(), r.len()) {
+        (Some(a), Some(b)) if a != b => Err(RelationalError::Evaluation(format!(
+            "operand length mismatch: {a} vs {b}"
+        ))),
+        (Some(a), _) => Ok(a),
+        (_, Some(b)) => Ok(b),
+        (None, None) => Ok(batch_rows),
+    }
+}
+
+#[inline]
+fn apply_num(op: BinaryOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinaryOp::Add => x + y,
+        BinaryOp::Subtract => x - y,
+        BinaryOp::Multiply => x * y,
+        _ => {
+            if y == 0.0 {
+                f64::NAN
+            } else {
+                x / y
+            }
+        }
+    }
+}
+
+#[inline]
+fn apply_cmp(op: BinaryOp, x: f64, y: f64) -> bool {
+    match op {
+        BinaryOp::Eq => x == y,
+        BinaryOp::NotEq => x != y,
+        BinaryOp::Lt => x < y,
+        BinaryOp::LtEq => x <= y,
+        BinaryOp::Gt => x > y,
+        _ => x >= y,
+    }
+}
 
 /// Evaluate `expr` against `batch`, producing one value per row.
 pub fn evaluate(expr: &Expr, batch: &Batch) -> Result<ColumnRef> {
@@ -17,10 +241,180 @@ pub fn evaluate(expr: &Expr, batch: &Batch) -> Result<ColumnRef> {
         Expr::Column(name) => Ok(batch.column_by_name(name)?.clone()),
         Expr::Literal(v) => Ok(Arc::new(Column::from_value(v, batch.num_rows())?)),
         Expr::Alias { expr, .. } => evaluate(expr, batch),
+        Expr::Not(_) | Expr::IsNull(_) => {
+            Ok(Arc::new(Column::Boolean(evaluate_predicate(expr, batch)?)))
+        }
+        Expr::Cast { expr, to } => {
+            let v = evaluate(expr, batch)?;
+            cast_column(&v, *to)
+        }
+        Expr::ScalarFunction { func, arg } => {
+            let v = evaluate(arg, batch)?;
+            let f = |x: f64| match func {
+                ScalarFunc::Exp => x.exp(),
+                ScalarFunc::Ln => {
+                    if x > 0.0 {
+                        x.ln()
+                    } else {
+                        f64::NAN
+                    }
+                }
+                ScalarFunc::Abs => x.abs(),
+                ScalarFunc::Sqrt => {
+                    if x >= 0.0 {
+                        x.sqrt()
+                    } else {
+                        f64::NAN
+                    }
+                }
+            };
+            // reuse a uniquely owned float buffer in place
+            match Arc::try_unwrap(v) {
+                Ok(Column::Float64(mut vals)) => {
+                    for x in vals.iter_mut() {
+                        *x = f(*x);
+                    }
+                    Ok(Arc::new(Column::Float64(vals)))
+                }
+                Ok(other) => {
+                    let out: Vec<f64> = other
+                        .to_f64_vec()
+                        .map_err(RelationalError::from)?
+                        .into_iter()
+                        .map(f)
+                        .collect();
+                    Ok(Arc::new(Column::Float64(out)))
+                }
+                Err(shared) => {
+                    let operand = Operand::Col(shared);
+                    let view = num_view(&operand)?;
+                    let rows = operand.len().unwrap_or(0);
+                    let mut out = Vec::with_capacity(rows);
+                    for i in 0..rows {
+                        out.push(f(view.get(i)));
+                    }
+                    Ok(Arc::new(Column::Float64(out)))
+                }
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            if matches!(op, BinaryOp::And | BinaryOp::Or) || op.is_predicate() {
+                return Ok(Arc::new(Column::Boolean(evaluate_predicate(expr, batch)?)));
+            }
+            let l = Operand::eval(left, batch)?;
+            let r = Operand::eval(right, batch)?;
+            arithmetic_kernel(l, *op, r, batch.num_rows())
+        }
+        Expr::Case {
+            when_then,
+            else_expr,
+        } => {
+            let rows = batch.num_rows();
+            let mut result: Vec<Value> = vec![Value::Null; rows];
+            let mut decided = vec![false; rows];
+            for (when, then) in when_then {
+                let cond = evaluate_predicate(when, batch)?;
+                let then_col = evaluate(then, batch)?;
+                for i in 0..rows {
+                    if !decided[i] && cond[i] {
+                        result[i] = then_col.value(i)?;
+                        decided[i] = true;
+                    }
+                }
+                recycle_mask(cond);
+            }
+            let else_col = evaluate(else_expr, batch)?;
+            for i in 0..rows {
+                if !decided[i] {
+                    result[i] = else_col.value(i)?;
+                }
+            }
+            Ok(Arc::new(Column::from_values(&result)?))
+        }
+    }
+}
+
+/// The fused arithmetic kernel (`+ - * /`). Integer-preserving when both
+/// sides are `Int64` (except division, which is always float).
+fn arithmetic_kernel(l: Operand, op: BinaryOp, r: Operand, batch_rows: usize) -> Result<ColumnRef> {
+    let rows = kernel_rows(&l, &r, batch_rows)?;
+    if l.is_int() && r.is_int() && op != BinaryOp::Divide {
+        let apply = |x: i64, y: i64| match op {
+            BinaryOp::Add => x.wrapping_add(y),
+            BinaryOp::Subtract => x.wrapping_sub(y),
+            _ => x.wrapping_mul(y),
+        };
+        let iget = |o: &Operand, i: usize| -> i64 {
+            match o {
+                Operand::Col(c) => match c.as_ref() {
+                    Column::Int64(v) => v[i],
+                    _ => unreachable!("is_int checked"),
+                },
+                Operand::Int(x) => *x,
+                _ => unreachable!("is_int checked"),
+            }
+        };
+        let mut out = Vec::with_capacity(rows);
+        for i in 0..rows {
+            out.push(apply(iget(&l, i), iget(&r, i)));
+        }
+        return Ok(Arc::new(Column::Int64(out)));
+    }
+    if l.is_string() || r.is_string() {
+        return Err(RelationalError::Evaluation(format!(
+            "cannot apply arithmetic to {} and {}",
+            l.data_type(),
+            r.data_type()
+        )));
+    }
+    // In-place fast path: a freshly computed, uniquely owned Float64 left
+    // operand becomes the output buffer.
+    if let Operand::Col(c) = l {
+        match Arc::try_unwrap(c) {
+            Ok(Column::Float64(mut vals)) => {
+                let rv = num_view(&r)?;
+                for (i, x) in vals.iter_mut().enumerate() {
+                    *x = apply_num(op, *x, rv.get(i));
+                }
+                return Ok(Arc::new(Column::Float64(vals)));
+            }
+            Ok(other) => {
+                let shared: ColumnRef = Arc::new(other);
+                return arithmetic_alloc(&Operand::Col(shared), op, &r, rows);
+            }
+            Err(shared) => {
+                return arithmetic_alloc(&Operand::Col(shared), op, &r, rows);
+            }
+        }
+    }
+    arithmetic_alloc(&l, op, &r, rows)
+}
+
+fn arithmetic_alloc(l: &Operand, op: BinaryOp, r: &Operand, rows: usize) -> Result<ColumnRef> {
+    let lv = num_view(l)?;
+    let rv = num_view(r)?;
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        out.push(apply_num(op, lv.get(i), rv.get(i)));
+    }
+    Ok(Arc::new(Column::Float64(out)))
+}
+
+/// Evaluate a predicate expression to a boolean mask.
+///
+/// Comparisons, `AND`/`OR`, `NOT`, and `IS NULL` are fused straight into the
+/// mask: no intermediate boolean [`Column`] is built. Operand mask buffers
+/// are recycled through a thread-local scratch pool; only the returned mask
+/// escapes.
+pub fn evaluate_predicate(expr: &Expr, batch: &Batch) -> Result<Vec<bool>> {
+    match expr {
+        Expr::Alias { expr, .. } => evaluate_predicate(expr, batch),
         Expr::Not(e) => {
-            let v = evaluate(e, batch)?;
-            let b = as_bool_vec(&v)?;
-            Ok(Arc::new(Column::Boolean(b.iter().map(|x| !x).collect())))
+            let mut m = evaluate_predicate(e, batch)?;
+            for b in m.iter_mut() {
+                *b = !*b;
+            }
+            Ok(m)
         }
         // IS NULL follows the columnar layer's in-band missing-value
         // convention (see `raven-columnar`'s crate docs) uniformly across all
@@ -34,82 +428,80 @@ pub fn evaluate(expr: &Expr, batch: &Batch) -> Result<ColumnRef> {
         // with exactly the same rule, keeping pruning and evaluation aligned.
         Expr::IsNull(e) => {
             let v = evaluate(e, batch)?;
-            let mask = match v.as_ref() {
-                Column::Float64(vals) => vals.iter().map(|x| x.is_nan()).collect(),
-                Column::Utf8(vals) => vals.iter().map(|s| s.is_empty()).collect(),
-                Column::Int64(vals) => vec![false; vals.len()],
-                Column::Boolean(vals) => vec![false; vals.len()],
-            };
-            Ok(Arc::new(Column::Boolean(mask)))
+            let mut mask = rent_mask(v.len());
+            match v.as_ref() {
+                Column::Float64(vals) => mask.extend(vals.iter().map(|x| x.is_nan())),
+                Column::Utf8(vals) => mask.extend(vals.iter().map(|s| s.is_empty())),
+                Column::Int64(vals) => mask.extend(vals.iter().map(|_| false)),
+                Column::Boolean(vals) => mask.extend(vals.iter().map(|_| false)),
+            }
+            Ok(mask)
         }
-        Expr::Cast { expr, to } => {
-            let v = evaluate(expr, batch)?;
-            cast_column(&v, *to)
+        Expr::Binary { left, op, right } if matches!(op, BinaryOp::And | BinaryOp::Or) => {
+            let mut l = evaluate_predicate(left, batch)?;
+            let r = evaluate_predicate(right, batch)?;
+            if l.len() != r.len() {
+                return Err(RelationalError::Evaluation(format!(
+                    "operand length mismatch: {} vs {}",
+                    l.len(),
+                    r.len()
+                )));
+            }
+            if *op == BinaryOp::And {
+                for (a, b) in l.iter_mut().zip(r.iter()) {
+                    *a = *a && *b;
+                }
+            } else {
+                for (a, b) in l.iter_mut().zip(r.iter()) {
+                    *a = *a || *b;
+                }
+            }
+            recycle_mask(r);
+            Ok(l)
         }
-        Expr::ScalarFunction { func, arg } => {
-            let v = evaluate(arg, batch)?;
-            let vals = v.to_f64_vec().map_err(RelationalError::from)?;
-            let out: Vec<f64> = vals
-                .into_iter()
-                .map(|x| match func {
-                    ScalarFunc::Exp => x.exp(),
-                    ScalarFunc::Ln => {
-                        if x > 0.0 {
-                            x.ln()
-                        } else {
-                            f64::NAN
-                        }
-                    }
-                    ScalarFunc::Abs => x.abs(),
-                    ScalarFunc::Sqrt => {
-                        if x >= 0.0 {
-                            x.sqrt()
-                        } else {
-                            f64::NAN
-                        }
-                    }
-                })
-                .collect();
-            Ok(Arc::new(Column::Float64(out)))
-        }
-        Expr::Binary { left, op, right } => {
-            let l = evaluate(left, batch)?;
-            let r = evaluate(right, batch)?;
-            evaluate_binary(&l, *op, &r)
-        }
-        Expr::Case {
-            when_then,
-            else_expr,
-        } => {
-            let rows = batch.num_rows();
-            let mut result: Vec<Value> = vec![Value::Null; rows];
-            let mut decided = vec![false; rows];
-            for (when, then) in when_then {
-                let cond = evaluate(when, batch)?;
-                let cond = as_bool_vec(&cond)?;
-                let then_col = evaluate(then, batch)?;
+        Expr::Binary { left, op, right } if op.is_predicate() => {
+            let l = Operand::eval(left, batch)?;
+            let r = Operand::eval(right, batch)?;
+            let rows = kernel_rows(&l, &r, batch.num_rows())?;
+            let mut out = rent_mask(rows);
+            if l.is_string() && r.is_string() {
+                let lv = str_view(&l)?;
+                let rv = str_view(&r)?;
                 for i in 0..rows {
-                    if !decided[i] && cond[i] {
-                        result[i] = then_col.value(i)?;
-                        decided[i] = true;
-                    }
+                    out.push(compare_ord(lv.get(i).cmp(rv.get(i)), *op));
                 }
+                return Ok(out);
             }
-            let else_col = evaluate(else_expr, batch)?;
+            if l.is_string() || r.is_string() {
+                return Err(RelationalError::Evaluation(format!(
+                    "cannot compare {} with {}",
+                    l.data_type(),
+                    r.data_type()
+                )));
+            }
+            let lv = num_view(&l)?;
+            let rv = num_view(&r)?;
             for i in 0..rows {
-                if !decided[i] {
-                    result[i] = else_col.value(i)?;
-                }
+                out.push(apply_cmp(*op, lv.get(i), rv.get(i)));
             }
-            Ok(Arc::new(Column::from_values(&result)?))
+            Ok(out)
+        }
+        Expr::Literal(Value::Boolean(b)) => Ok(vec![*b; batch.num_rows()]),
+        other => {
+            let col = evaluate(other, batch)?;
+            mask_from_column(col)
         }
     }
 }
 
-/// Evaluate a predicate expression to a boolean mask.
-pub fn evaluate_predicate(expr: &Expr, batch: &Batch) -> Result<Vec<bool>> {
-    let col = evaluate(expr, batch)?;
-    as_bool_vec(&col)
+/// Boolean truthiness of a generic column (the non-fused fallback). A
+/// uniquely owned boolean column is moved, not copied.
+fn mask_from_column(col: ColumnRef) -> Result<Vec<bool>> {
+    match Arc::try_unwrap(col) {
+        Ok(Column::Boolean(v)) => Ok(v),
+        Ok(other) => as_bool_vec(&other),
+        Err(shared) => as_bool_vec(&shared),
+    }
 }
 
 /// Infer the output data type of an expression given an input schema lookup.
@@ -197,6 +589,10 @@ fn cast_column(col: &Column, to: DataType) -> Result<ColumnRef> {
     Ok(Arc::new(out))
 }
 
+/// Apply a binary kernel to two already-evaluated columns. Expression
+/// evaluation goes through the fused operand path that never materializes
+/// literal columns; this entry point exists for kernel-level tests.
+#[cfg(test)]
 fn evaluate_binary(left: &Column, op: BinaryOp, right: &Column) -> Result<ColumnRef> {
     if left.len() != right.len() {
         return Err(RelationalError::Evaluation(format!(
@@ -205,88 +601,45 @@ fn evaluate_binary(left: &Column, op: BinaryOp, right: &Column) -> Result<Column
             right.len()
         )));
     }
+    let l = Operand::Col(Arc::new(left.clone()));
+    let r = Operand::Col(Arc::new(right.clone()));
+    let rows = left.len();
     match op {
         BinaryOp::And | BinaryOp::Or => {
-            let l = as_bool_vec(left)?;
-            let r = as_bool_vec(right)?;
-            let out: Vec<bool> = l
-                .iter()
-                .zip(r.iter())
-                .map(|(&a, &b)| if op == BinaryOp::And { a && b } else { a || b })
-                .collect();
-            Ok(Arc::new(Column::Boolean(out)))
+            let mut a = as_bool_vec(left)?;
+            let b = as_bool_vec(right)?;
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x = if op == BinaryOp::And {
+                    *x && *y
+                } else {
+                    *x || *y
+                };
+            }
+            Ok(Arc::new(Column::Boolean(a)))
         }
         BinaryOp::Add | BinaryOp::Subtract | BinaryOp::Multiply | BinaryOp::Divide => {
-            // Integer-preserving arithmetic when both sides are Int64 (except division).
-            if let (Column::Int64(a), Column::Int64(b)) = (left, right) {
-                if op != BinaryOp::Divide {
-                    let out: Vec<i64> = a
-                        .iter()
-                        .zip(b.iter())
-                        .map(|(&x, &y)| match op {
-                            BinaryOp::Add => x.wrapping_add(y),
-                            BinaryOp::Subtract => x.wrapping_sub(y),
-                            _ => x.wrapping_mul(y),
-                        })
-                        .collect();
-                    return Ok(Arc::new(Column::Int64(out)));
-                }
-            }
-            let a = left.to_f64_vec().map_err(RelationalError::from)?;
-            let b = right.to_f64_vec().map_err(RelationalError::from)?;
-            let out: Vec<f64> = a
-                .iter()
-                .zip(b.iter())
-                .map(|(&x, &y)| match op {
-                    BinaryOp::Add => x + y,
-                    BinaryOp::Subtract => x - y,
-                    BinaryOp::Multiply => x * y,
-                    _ => {
-                        if y == 0.0 {
-                            f64::NAN
-                        } else {
-                            x / y
-                        }
-                    }
-                })
-                .collect();
-            Ok(Arc::new(Column::Float64(out)))
+            arithmetic_kernel(l, op, r, rows)
         }
-        BinaryOp::Eq
-        | BinaryOp::NotEq
-        | BinaryOp::Lt
-        | BinaryOp::LtEq
-        | BinaryOp::Gt
-        | BinaryOp::GtEq => {
-            // String comparison when both sides are strings; numeric otherwise.
-            if let (Column::Utf8(a), Column::Utf8(b)) = (left, right) {
-                let out: Vec<bool> = a
-                    .iter()
-                    .zip(b.iter())
-                    .map(|(x, y)| compare_ord(x.cmp(y), op))
+        _ => {
+            if l.is_string() && r.is_string() {
+                let lv = str_view(&l)?;
+                let rv = str_view(&r)?;
+                let out: Vec<bool> = (0..rows)
+                    .map(|i| compare_ord(lv.get(i).cmp(rv.get(i)), op))
                     .collect();
                 return Ok(Arc::new(Column::Boolean(out)));
             }
-            if left.data_type() == DataType::Utf8 || right.data_type() == DataType::Utf8 {
+            if l.is_string() || r.is_string() {
                 return Err(RelationalError::Evaluation(format!(
                     "cannot compare {} with {}",
-                    left.data_type(),
-                    right.data_type()
+                    l.data_type(),
+                    r.data_type()
                 )));
             }
-            let a = left.to_f64_vec().map_err(RelationalError::from)?;
-            let b = right.to_f64_vec().map_err(RelationalError::from)?;
-            let out: Vec<bool> = a
-                .iter()
-                .zip(b.iter())
-                .map(|(&x, &y)| match op {
-                    BinaryOp::Eq => x == y,
-                    BinaryOp::NotEq => x != y,
-                    BinaryOp::Lt => x < y,
-                    BinaryOp::LtEq => x <= y,
-                    BinaryOp::Gt => x > y,
-                    _ => x >= y,
-                })
+            let lv = num_view(&l)?;
+            let rv = num_view(&r)?;
+            let out: Vec<bool> = (0..rows)
+                .map(|i| apply_cmp(op, lv.get(i), rv.get(i)))
                 .collect();
             Ok(Arc::new(Column::Boolean(out)))
         }
@@ -377,6 +730,27 @@ mod tests {
             evaluate_predicate(&n, &b).unwrap(),
             vec![false, true, false]
         );
+    }
+
+    /// The fused mask kernels (compare→mask, AND/OR in place, literal
+    /// scalars) must agree with materializing each step through `evaluate`.
+    #[test]
+    fn fused_predicates_match_materialized_evaluation() {
+        let b = batch();
+        let exprs = vec![
+            col("age").gt(lit(60.0)).and(col("asthma").eq(lit(1i64))),
+            col("age").lt_eq(lit(65.0)).or(col("flag")),
+            col("state").eq(lit("wa")).and(col("age").gt_eq(lit(30.0))),
+            col("age").is_null().negate().and(col("flag")),
+            col("age")
+                .sub(lit(40.0))
+                .gt(col("asthma").cast(DataType::Float64)),
+        ];
+        for e in exprs {
+            let fused = evaluate_predicate(&e, &b).unwrap();
+            let via_column = evaluate(&e, &b).unwrap();
+            assert_eq!(&fused, via_column.as_bool().unwrap(), "{e:?}");
+        }
     }
 
     #[test]

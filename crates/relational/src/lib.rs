@@ -31,5 +31,5 @@ pub use eval::{evaluate, evaluate_predicate, expr_data_type};
 pub use expr::{binary, case, col, lit, AggregateFunction, BinaryOp, Expr, ScalarFunc};
 pub use logical::{AggregateExpr, LogicalPlan};
 pub use optimizer::{fold_expr, Optimizer, OptimizerOptions};
-pub use physical::{ExecutionContext, ExecutionMetrics, Executor};
+pub use physical::{selection_vectors_default, ExecutionContext, ExecutionMetrics, Executor};
 pub use prune::{may_satisfy, may_satisfy_all};

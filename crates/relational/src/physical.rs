@@ -21,7 +21,10 @@ use crate::eval::{evaluate, evaluate_predicate};
 use crate::expr::{AggregateFunction, Expr};
 use crate::logical::{AggregateExpr, LogicalPlan};
 use crate::prune;
-use raven_columnar::{Batch, BatchStream, Column, ColumnarError, DataType, Schema, Value};
+use raven_columnar::{
+    Batch, BatchStream, Column, ColumnarError, DataType, Schema, SelectionVector, StreamBatch,
+    Value,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,6 +42,13 @@ pub struct ExecutionContext {
     /// Disabled by legacy/baseline plans that model engines without
     /// statistics-driven pruning.
     pub partition_pruning: bool,
+    /// Filters produce zero-copy [`SelectionVector`] views that downstream
+    /// kernels consume; rows are gathered once at the final output boundary.
+    /// When disabled (`RAVEN_SELECTION=materialize`, the measured baseline),
+    /// every filter deep-copies the surviving rows via `Batch::filter`, and
+    /// each copy is counted in
+    /// [`ExecutionMetrics::intermediate_materializations`].
+    pub selection_vectors: bool,
 }
 
 impl Default for ExecutionContext {
@@ -47,8 +57,16 @@ impl Default for ExecutionContext {
             degree_of_parallelism: 1,
             batch_size: 10_000,
             partition_pruning: true,
+            selection_vectors: selection_vectors_default(),
         }
     }
+}
+
+/// The process-wide default for selection-vector execution: on, unless
+/// `RAVEN_SELECTION=materialize` pins the copying baseline (mirroring the
+/// `RAVEN_POOL=scoped` / `RAVEN_SCORER=interpreted` conventions).
+pub fn selection_vectors_default() -> bool {
+    std::env::var("RAVEN_SELECTION").map(|v| v == "materialize") != Ok(true)
 }
 
 impl ExecutionContext {
@@ -77,6 +95,7 @@ pub struct ExecutionMetrics {
     output_rows: AtomicUsize,
     partitions_scanned: AtomicUsize,
     partitions_pruned: AtomicUsize,
+    intermediate_materializations: AtomicUsize,
 }
 
 impl ExecutionMetrics {
@@ -104,6 +123,20 @@ impl ExecutionMetrics {
     /// satisfy the scan's pushed-down filters.
     pub fn partitions_pruned(&self) -> usize {
         self.partitions_pruned.load(Ordering::Relaxed)
+    }
+    /// Full batch copies performed **between** pipeline stages (a filter
+    /// materializing surviving rows instead of producing a selection-vector
+    /// view). Zero on the selection-vector path: filtered rows are gathered
+    /// exactly once, at the final output boundary.
+    pub fn intermediate_materializations(&self) -> usize {
+        self.intermediate_materializations.load(Ordering::Relaxed)
+    }
+    /// Count full-batch copies performed between pipeline stages (used by the
+    /// session layer's materializing baseline paths so their copies show up
+    /// in the same counter).
+    pub fn record_intermediate_materializations(&self, n: usize) {
+        self.intermediate_materializations
+            .fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -144,6 +177,8 @@ impl Executor {
 
     /// Execute a logical plan keeping the partition structure of its inputs
     /// (each element of the result is one surviving partition's output).
+    /// This is an output boundary: per-partition selection vectors are
+    /// gathered into compact batches here.
     pub fn execute_partitioned(
         &self,
         plan: &LogicalPlan,
@@ -152,7 +187,7 @@ impl Executor {
     ) -> Result<Vec<Batch>> {
         let stream = self.execute_stream(plan, catalog, ctx)?;
         let items = stream.collect(ctx.degree_of_parallelism)?;
-        Ok(items.into_iter().map(|i| i.batch).collect())
+        items.into_iter().map(|i| Ok(i.compact()?.batch)).collect()
     }
 
     /// Compile a logical plan into a streaming, partition-parallel pipeline.
@@ -181,6 +216,7 @@ impl Executor {
                 let filters = filters.clone();
                 let metrics = self.metrics.clone();
                 let pruning = ctx.partition_pruning;
+                let selection = ctx.selection_vectors;
                 Ok(BatchStream::from_table(&t)
                     .with_schema(out_schema)
                     .map(move |mut item| {
@@ -195,28 +231,29 @@ impl Executor {
                         }
                         metrics.partitions_scanned.fetch_add(1, Ordering::Relaxed);
                         for f in &filters {
-                            let mask = evaluate_predicate(f, &item.batch).map_err(stream_err)?;
-                            item.batch = item.batch.filter(&mask)?;
+                            apply_filter(&mut item, f, selection, &metrics).map_err(stream_err)?;
                         }
                         if let Some(cols) = &projection {
                             let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
                             item.batch = item.batch.project_names(&names)?;
                         }
-                        metrics
-                            .rows_scanned
-                            .fetch_add(item.batch.num_rows(), Ordering::Relaxed);
+                        let selected = item.num_selected();
+                        metrics.rows_scanned.fetch_add(selected, Ordering::Relaxed);
+                        let bytes = item.batch.byte_size();
+                        let rows = item.batch.num_rows().max(1);
                         metrics
                             .bytes_scanned
-                            .fetch_add(item.batch.byte_size(), Ordering::Relaxed);
+                            .fetch_add(bytes * selected / rows, Ordering::Relaxed);
                         Ok(Some(item))
                     }))
             }
             LogicalPlan::Filter { predicate, input } => {
                 let stream = self.execute_stream(input, catalog, ctx)?;
                 let predicate = predicate.clone();
+                let metrics = self.metrics.clone();
+                let selection = ctx.selection_vectors;
                 Ok(stream.map(move |mut item| {
-                    let mask = evaluate_predicate(&predicate, &item.batch).map_err(stream_err)?;
-                    item.batch = item.batch.filter(&mask)?;
+                    apply_filter(&mut item, &predicate, selection, &metrics).map_err(stream_err)?;
                     Ok(Some(item))
                 }))
             }
@@ -250,8 +287,12 @@ impl Executor {
                 let op_schema = out_schema.clone();
                 let stream = self.execute_stream(left, catalog, ctx)?;
                 Ok(stream.with_schema(out_schema).map(move |mut item| {
+                    // the probe gathers matching rows directly, so the probe
+                    // side's selection composes for free (deselected rows
+                    // are simply never probed)
                     let joined = probe_hash_join(
                         &item.batch,
+                        item.selection.as_ref(),
                         &right_all,
                         &build,
                         &left_key,
@@ -262,6 +303,7 @@ impl Executor {
                         .rows_joined
                         .fetch_add(joined.num_rows(), Ordering::Relaxed);
                     item.batch = joined;
+                    item.selection = None;
                     // Source statistics no longer describe the joined rows.
                     item.stats = None;
                     Ok(Some(item))
@@ -272,17 +314,21 @@ impl Executor {
                 aggregates,
                 input,
             } => {
-                // Pipeline breaker: aggregation needs every input row.
-                let all = self
-                    .execute_stream(input, catalog, ctx)?
-                    .concat(ctx.degree_of_parallelism)?;
+                // Pipeline breaker: aggregation needs every input row — but
+                // not a concatenated copy of it. States are folded one
+                // partition at a time, consuming each element's
+                // (batch, selection) pair directly.
+                let stream = self.execute_stream(input, catalog, ctx)?;
+                let in_schema = stream.schema().clone();
+                let items = stream.collect(ctx.degree_of_parallelism)?;
                 let out_schema = Arc::new(plan.schema(catalog)?);
-                let out = aggregate_batch(&all, group_by, aggregates, out_schema)?;
+                let out = aggregate_items(&in_schema, &items, group_by, aggregates, out_schema)?;
                 Ok(BatchStream::once(out))
             }
             LogicalPlan::Limit { n, input } => {
                 // Pipeline breaker: "first n rows" is an inherently sequential
-                // cut across the partition order.
+                // cut across the partition order. The cut itself is zero-copy:
+                // each surviving element keeps a truncated selection.
                 let stream = self.execute_stream(input, catalog, ctx)?;
                 let schema = stream.schema().clone();
                 let items = stream.collect(ctx.degree_of_parallelism)?;
@@ -292,8 +338,15 @@ impl Executor {
                     if remaining == 0 {
                         break;
                     }
-                    let take = remaining.min(item.batch.num_rows());
-                    item.batch = item.batch.slice(0, take)?;
+                    let selected = item.num_selected();
+                    let take = remaining.min(selected);
+                    if take < selected {
+                        let sel = item
+                            .selection
+                            .take()
+                            .unwrap_or_else(|| SelectionVector::all(item.batch.num_rows()));
+                        item.selection = Some(sel.truncate(take));
+                    }
                     remaining -= take;
                     out.push(item);
                 }
@@ -301,6 +354,27 @@ impl Executor {
             }
         }
     }
+}
+
+/// Apply one filter to a stream element: refine its selection (zero copy) or,
+/// on the materializing baseline, deep-copy the surviving rows and count the
+/// copy in [`ExecutionMetrics::intermediate_materializations`].
+fn apply_filter(
+    item: &mut StreamBatch,
+    predicate: &Expr,
+    selection_vectors: bool,
+    metrics: &ExecutionMetrics,
+) -> Result<()> {
+    let mask = evaluate_predicate(predicate, &item.batch)?;
+    if selection_vectors {
+        item.refine_selection(&mask)?;
+    } else {
+        item.batch = item.batch.filter(&mask)?;
+        metrics
+            .intermediate_materializations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
 }
 
 fn project_batch(exprs: &[Expr], out_schema: &Schema, batch: &Batch) -> Result<Batch> {
@@ -399,23 +473,60 @@ fn build_hash_table(right: &Batch, right_key: &str) -> Result<HashMap<JoinKey, V
     Ok(table)
 }
 
+/// The join key of one row (what [`join_keys`] computes column-wide); the
+/// probe side computes keys lazily so a sparse selection never builds (or
+/// clones strings for) keys of deselected rows.
+fn join_key_at(col: &Column, i: usize) -> Option<JoinKey> {
+    match col {
+        Column::Int64(v) => Some(JoinKey::Int(v[i])),
+        Column::Utf8(v) => {
+            if v[i].is_empty() {
+                None
+            } else {
+                Some(JoinKey::Str(v[i].clone()))
+            }
+        }
+        Column::Float64(v) => {
+            if v[i].is_nan() {
+                None
+            } else {
+                Some(JoinKey::Int(v[i].to_bits() as i64))
+            }
+        }
+        Column::Boolean(v) => Some(JoinKey::Int(v[i] as i64)),
+    }
+}
+
 fn probe_hash_join(
     left: &Batch,
+    left_selection: Option<&SelectionVector>,
     right: &Batch,
     build: &HashMap<JoinKey, Vec<usize>>,
     left_key: &str,
     out_schema: Arc<Schema>,
 ) -> Result<Batch> {
-    let keys = join_keys(left, left_key)?;
+    let key_col = left.column_by_name(left_key)?;
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
-    for (i, k) in keys.into_iter().enumerate() {
-        if let Some(k) = k {
+    let mut probe = |i: usize| {
+        if let Some(k) = join_key_at(key_col, i) {
             if let Some(matches) = build.get(&k) {
                 for &j in matches {
                     left_idx.push(i);
                     right_idx.push(j);
                 }
+            }
+        }
+    };
+    match left_selection {
+        None => {
+            for i in 0..left.num_rows() {
+                probe(i);
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                probe(i);
             }
         }
     }
@@ -471,71 +582,132 @@ impl AggState {
     }
 }
 
-fn aggregate_batch(
-    batch: &Batch,
+/// One component of a grouped-aggregation key. Structured (typed) rather than
+/// stringly: the old `format!("{v}|")` keys collided across types —
+/// `Utf8("1")` and `Int64(1)` rendered identically — and allocated a string
+/// per row. Floats key on their bit pattern (every NaN payload is its own
+/// group, matching the old formatted-NaN behavior of one "NaN" group for the
+/// standard NaN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKeyPart {
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+}
+
+fn group_key_part(col: &Column, row: usize) -> GroupKeyPart {
+    match col {
+        Column::Int64(v) => GroupKeyPart::Int(v[row]),
+        Column::Float64(v) => GroupKeyPart::Float(v[row].to_bits()),
+        Column::Utf8(v) => GroupKeyPart::Str(v[row].clone()),
+        Column::Boolean(v) => GroupKeyPart::Bool(v[row]),
+    }
+}
+
+/// Grouped/global aggregation over the collected stream elements, folding
+/// states one partition at a time and reading only each element's selected
+/// rows — no concatenated input copy exists. Group output order is first
+/// appearance across elements in source-partition order, matching what
+/// aggregation over the concatenated batch produced.
+fn aggregate_items(
+    in_schema: &raven_columnar::SchemaRef,
+    items: &[StreamBatch],
     group_by: &[String],
     aggregates: &[AggregateExpr],
     out_schema: Arc<Schema>,
 ) -> Result<Batch> {
-    // Evaluate aggregate arguments once. A non-numeric argument is a type
-    // error for every aggregate except COUNT, which only counts rows and
-    // never reads the values (NaN placeholders keep the row count intact).
-    let args: Vec<Vec<f64>> = aggregates
-        .iter()
-        .map(|a| {
-            let col = evaluate(&a.arg, batch)?;
-            match col.to_f64_vec() {
-                Ok(values) => Ok(values),
-                Err(_) if a.func == AggregateFunction::Count => {
-                    Ok(vec![f64::NAN; batch.num_rows()])
-                }
-                Err(e) => Err(RelationalError::Evaluation(format!(
-                    "aggregate {}({}) requires a numeric argument: {e}",
-                    a.func,
-                    a.arg.output_name()
-                ))),
-            }
-        })
-        .collect::<Result<Vec<_>>>()?;
+    // Aggregating zero surviving partitions must behave exactly like
+    // aggregating an empty batch (argument type errors included), so run the
+    // fold over one synthesized empty element.
+    let empty_items;
+    let items = if items.is_empty() {
+        empty_items = [StreamBatch::new(Batch::empty(in_schema.clone())?, 0)];
+        &empty_items[..]
+    } else {
+        items
+    };
 
-    if group_by.is_empty() {
-        let mut states: Vec<AggState> = vec![AggState::new(); aggregates.len()];
-        for row in 0..batch.num_rows() {
-            for (a, arg) in states.iter_mut().zip(args.iter()) {
+    let mut global: Vec<AggState> = vec![AggState::new(); aggregates.len()];
+    let mut groups: HashMap<Vec<GroupKeyPart>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut group_states: Vec<Vec<AggState>> = Vec::new();
+
+    for item in items {
+        // Gather the element's selected rows first (the aggregate is a
+        // pipeline breaker, so this is its input's output boundary — one
+        // per-partition gather replaces the old whole-stream concat).
+        // Evaluating the argument expressions on the compacted rows keeps a
+        // selective filter from paying full-partition expression work for
+        // rows the fold would never read; an unfiltered element compacts for
+        // free.
+        let item = item.clone().compact()?;
+        // Evaluate aggregate arguments once per element. A non-numeric
+        // argument is a type error for every aggregate except COUNT, which
+        // only counts rows and never reads the values (NaN placeholders keep
+        // the row count intact).
+        let rows = item.batch.num_rows();
+        let args: Vec<Vec<f64>> = aggregates
+            .iter()
+            .map(|a| {
+                let col = evaluate(&a.arg, &item.batch)?;
+                match col.to_f64_vec() {
+                    Ok(values) => Ok(values),
+                    Err(_) if a.func == AggregateFunction::Count => Ok(vec![f64::NAN; rows]),
+                    Err(e) => Err(RelationalError::Evaluation(format!(
+                        "aggregate {}({}) requires a numeric argument: {e}",
+                        a.func,
+                        a.arg.output_name()
+                    ))),
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        if group_by.is_empty() {
+            for row in 0..rows {
+                for (a, arg) in global.iter_mut().zip(args.iter()) {
+                    a.update(arg[row]);
+                }
+            }
+            continue;
+        }
+
+        let group_cols: Vec<_> = group_by
+            .iter()
+            .map(|g| item.batch.column_by_name(g).cloned())
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        for row in 0..rows {
+            let key: Vec<GroupKeyPart> =
+                group_cols.iter().map(|c| group_key_part(c, row)).collect();
+            let idx = match groups.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let key_vals: Vec<Value> = group_cols
+                        .iter()
+                        .map(|c| c.value(row))
+                        .collect::<std::result::Result<Vec<_>, _>>()?;
+                    group_keys.push(key_vals);
+                    group_states.push(vec![AggState::new(); aggregates.len()]);
+                    groups.insert(key, group_states.len() - 1);
+                    group_states.len() - 1
+                }
+            };
+            for (a, arg) in group_states[idx].iter_mut().zip(args.iter()) {
                 a.update(arg[row]);
             }
         }
+    }
+
+    if group_by.is_empty() {
         let mut columns = Vec::with_capacity(aggregates.len());
-        for (state, agg) in states.iter().zip(aggregates) {
+        for (state, agg) in global.iter().zip(aggregates) {
             columns.push(Arc::new(Column::from_values(&[state.finish(agg.func)])?));
         }
         return Ok(Batch::new(out_schema, columns)?);
     }
 
-    // Grouped aggregation keyed by the string form of the group columns.
-    let group_cols: Vec<_> = group_by
-        .iter()
-        .map(|g| batch.column_by_name(g).cloned())
-        .collect::<std::result::Result<Vec<_>, _>>()?;
-    let mut groups: HashMap<String, (Vec<Value>, Vec<AggState>)> = HashMap::new();
-    let mut order: Vec<String> = Vec::new();
-    for row in 0..batch.num_rows() {
-        let key_vals: Vec<Value> = group_cols
-            .iter()
-            .map(|c| c.value(row))
-            .collect::<std::result::Result<Vec<_>, _>>()?;
-        let key: String = key_vals.iter().map(|v| format!("{v}|")).collect();
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (key_vals, vec![AggState::new(); aggregates.len()])
-        });
-        for (a, arg) in entry.1.iter_mut().zip(args.iter()) {
-            a.update(arg[row]);
-        }
-    }
     let mut columns: Vec<Vec<Value>> = vec![Vec::new(); group_by.len() + aggregates.len()];
-    for key in &order {
-        let (key_vals, states) = &groups[key];
+    for (key_vals, states) in group_keys.iter().zip(group_states.iter()) {
         for (i, v) in key_vals.iter().enumerate() {
             columns[i].push(v.clone());
         }
@@ -689,6 +861,92 @@ mod tests {
         );
         let out = run(&plan, &c);
         assert_eq!(out.column_by_name("n").unwrap().as_i64().unwrap(), &[3]);
+    }
+
+    /// Group keys are structured per column, so textual collisions of the
+    /// old `format!("{v}|")` concatenation cannot merge distinct groups:
+    /// neither values spanning the separator (`("a|", "b")` vs `("a", "|b")`)
+    /// nor same-rendering values of different columns (`("1", 2)` vs
+    /// `("1|2", …)`).
+    #[test]
+    fn group_keys_do_not_collide_across_columns_or_types() {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("tricky")
+                .add_utf8("a", vec!["a|".into(), "a".into(), "1".into(), "1|2".into()])
+                .add_utf8("b", vec!["b".into(), "|b".into(), "2|".into(), "".into()])
+                .add_f64("x", vec![1.0, 2.0, 4.0, 8.0])
+                .build()
+                .unwrap(),
+        );
+        let plan = LogicalPlan::scan("tricky").aggregate(
+            vec!["a".into(), "b".into()],
+            vec![AggregateExpr {
+                func: AggregateFunction::Sum,
+                arg: col("x"),
+                alias: "sx".into(),
+            }],
+        );
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 4, "all four rows are distinct groups");
+        let sums = out.column_by_name("sx").unwrap().as_f64().unwrap().to_vec();
+        let mut sorted = sums.clone();
+        sorted.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(
+            sorted,
+            vec![1.0, 2.0, 4.0, 8.0],
+            "no group absorbed another"
+        );
+    }
+
+    /// Selection-vector execution and the materializing baseline
+    /// (`selection_vectors: false`) must produce identical results, and only
+    /// the baseline performs intermediate batch copies.
+    #[test]
+    fn selection_vectors_match_materializing_filters() {
+        let c = range_partitioned_catalog();
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").gt_eq(lit(100.0)))
+            .filter(col("x").lt(lit(400.0)))
+            .project(vec![col("id"), col("x")]);
+        let run_with = |selection: bool| {
+            let exec = Executor::new();
+            let ctx = ExecutionContext {
+                selection_vectors: selection,
+                ..ExecutionContext::with_dop(2)
+            };
+            let out = exec.execute(&plan, &c, &ctx).unwrap();
+            (out, exec.metrics().intermediate_materializations())
+        };
+        let (sel_out, sel_copies) = run_with(true);
+        let (mat_out, mat_copies) = run_with(false);
+        assert_eq!(sel_out.num_rows(), 300);
+        assert_eq!(sel_copies, 0, "selection vectors must not copy batches");
+        assert!(mat_copies > 0, "the baseline materializes per filter");
+        let ids = |b: &Batch| {
+            let mut v = b.column_by_name("id").unwrap().as_i64().unwrap().to_vec();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&sel_out), ids(&mat_out));
+    }
+
+    /// Limit over a filtered stream composes with selections (zero-copy cut).
+    #[test]
+    fn limit_over_filtered_selection() {
+        let c = range_partitioned_catalog();
+        let plan = LogicalPlan::scan("wide")
+            .filter(col("x").gt_eq(lit(500.0)))
+            .limit(7);
+        let out = run(&plan, &c);
+        assert_eq!(out.num_rows(), 7);
+        assert!(out
+            .column_by_name("x")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .iter()
+            .all(|&x| x >= 500.0));
     }
 
     #[test]

@@ -640,11 +640,13 @@ fn score_rows(
         }
     }
 
-    // Score with the statement's point pipeline: cross-optimized for the
-    // (verified) predicates, but free of data-induced pruning, which would
-    // be unsound for rows outside the registered table's value domains.
+    // Score with the statement's point scorer: the cross-optimized pipeline
+    // (free of data-induced pruning, which would be unsound for rows outside
+    // the registered table's value domains) with its flattened kernels
+    // compiled at prepare time — a plan-cache hit runs only compiled
+    // kernels, no interpretation.
     let scores = runtime
-        .run_batch(prepared.point_pipeline(), &batch)
+        .run_batch_compiled(prepared.point_scorer(), &batch)
         .map_err(|e| ServeError::InvalidRequest(e.to_string()))?;
     Ok(admitted
         .into_iter()

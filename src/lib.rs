@@ -58,6 +58,44 @@
 //!   streaming pipeline, the legacy materialized plan (the §7 baseline), or
 //!   a cost-based choice (`core::choose_execution_mode`).
 //!
+//! ## Architecture: vectorized scoring kernels and selection vectors
+//!
+//! The per-partition inner loops run compiled, zero-copy kernels
+//! (PR 4):
+//!
+//! * **Selection-vector execution.** A filter never copies surviving rows:
+//!   it refines a zero-copy `columnar::SelectionVector` carried by each
+//!   `columnar::StreamBatch` (`selection`), and every downstream kernel —
+//!   projection, join probe, limit (a truncated selection), aggregation
+//!   (per-partition state folding), ML scoring — consumes
+//!   `(Batch, &SelectionVector)`. Surviving rows are gathered exactly once,
+//!   at the final output boundary, fused into the concat
+//!   (`columnar::Batch::concat_selected`). Filtered streaming plans
+//!   therefore perform **zero intermediate batch materializations**,
+//!   observable via `relational::ExecutionMetrics::
+//!   intermediate_materializations` and `core::ExecutionReport`; the
+//!   copying `Batch::filter` baseline survives under
+//!   `RAVEN_SELECTION=materialize`.
+//! * **Flattened tree scoring.** Preparing a statement compiles every tree
+//!   ensemble into `ml::FlatEnsemble` (via `ml::CompiledPipeline`):
+//!   struct-of-arrays arenas with feature indices and child pointers
+//!   validated once (out-of-range features are a typed
+//!   `MlError::InvalidModel` at registration instead of a silent NaN
+//!   score). Scoring is block-at-a-time — 64-row blocks transposed into
+//!   feature-major lanes — and trees padded to perfect (complete-binary)
+//!   heap layout advance cursors branchlessly with computed children
+//!   (`n = 2n + 2 - (v <= t)`, NaN ⇒ right), eight register-resident
+//!   traversals in flight. Selected rows are gathered straight from source
+//!   columns into the runtime (zero-copy filter→score) and scores scatter
+//!   back as one full-length column. Bit-identical to the interpreted
+//!   walker (`tests/scoring_parity.rs`); `RAVEN_SCORER=interpreted` pins
+//!   the baseline, and the `serving_study` smoke asserts ≥ 3× single-core
+//!   scoring throughput on the GB-60 workload (`BENCH_scoring.json`).
+//! * **Fused expression kernels.** `relational::eval` evaluates predicates
+//!   straight to masks (compare→mask, AND/OR/NOT/IS NULL fused, literal
+//!   operands kept scalar, thread-local scratch reuse), so a pushed-down
+//!   conjunction allocates one mask, not a column per operator.
+//!
 //! ## Architecture: the prediction-serving layer
 //!
 //! Above the session sits `raven_serve` — the concurrent serving tier that

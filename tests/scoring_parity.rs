@@ -1,0 +1,318 @@
+//! Property tests for the vectorized scoring kernels (PR 4): the flattened
+//! struct-of-arrays scorer must be **bit-identical** to the interpreted
+//! row-walker across every ensemble kind, random tree shapes, NaN/missing
+//! feature values, and empty inputs — and selection-vector execution must
+//! produce row-identical results to the materializing baseline, with zero
+//! intermediate batch copies.
+
+use proptest::prelude::*;
+use raven_columnar::TableBuilder;
+use raven_ml::{
+    force_scorer, EnsembleKind, FlatEnsemble, Matrix, ScorerMode, Tree, TreeEnsemble, TreeNode,
+};
+use raven_relational::{col, lit, ExecutionContext, Executor, LogicalPlan};
+
+mod common;
+
+/// Build a random binary tree over `n_features` features with the given
+/// depth budget. `shape` drives all structural choices deterministically.
+fn random_tree(shape: u64, n_features: usize, max_depth: usize) -> Tree {
+    fn grow(
+        nodes: &mut Vec<TreeNode>,
+        shape: &mut u64,
+        n_features: usize,
+        depth_left: usize,
+    ) -> usize {
+        let pick = *shape & 0xf;
+        *shape = shape.rotate_right(7).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        // leaf values include 0.0, -0.0, and negatives to pin sign handling
+        if depth_left == 0 || pick < 5 {
+            let value = match pick % 5 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => 1.0,
+                3 => -2.5,
+                _ => 0.25,
+            };
+            nodes.push(TreeNode::Leaf { value });
+            return nodes.len() - 1;
+        }
+        let feature = (pick as usize) % n_features;
+        let threshold = match pick % 4 {
+            0 => 0.0,
+            1 => -1.0,
+            2 => 42.5,
+            _ => 7.0,
+        };
+        let pos = nodes.len();
+        nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
+        let left = grow(nodes, shape, n_features, depth_left - 1);
+        let right = grow(nodes, shape, n_features, depth_left - 1);
+        nodes[pos] = TreeNode::Branch {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        pos
+    }
+    let mut nodes = Vec::new();
+    let mut s = shape | 1;
+    let root = grow(&mut nodes, &mut s, n_features, max_depth);
+    Tree { nodes, root }
+}
+
+fn all_kinds() -> [EnsembleKind; 5] {
+    [
+        EnsembleKind::DecisionTreeClassifier,
+        EnsembleKind::DecisionTreeRegressor,
+        EnsembleKind::RandomForestClassifier,
+        EnsembleKind::GradientBoostingClassifier,
+        EnsembleKind::GradientBoostingRegressor,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flattened vs interpreted scoring is bit-identical for every ensemble
+    /// kind × random trees × NaN/missing rows × empty batches.
+    #[test]
+    fn flattened_scorer_is_bit_identical(
+        shape in 0u64..0xffff_ffff_ffff,
+        n_trees in 0usize..5,
+        n_features in 1usize..5,
+        rows in 0usize..180,
+        nan_stride in 2usize..6,
+        learning_rate in 0.05f64..1.0,
+        base_score in -1.0f64..1.0,
+    ) {
+        let trees: Vec<Tree> = (0..n_trees)
+            .map(|t| random_tree(shape.wrapping_add(t as u64 * 7919), n_features, 4))
+            .collect();
+        // feature values cross every threshold the generator uses, plus NaN
+        // (the in-band missing marker) at a varying stride
+        let columns: Vec<Vec<f64>> = (0..n_features)
+            .map(|f| {
+                (0..rows)
+                    .map(|r| {
+                        if (r + f) % nan_stride == 0 {
+                            f64::NAN
+                        } else {
+                            ((r * 13 + f * 29) % 101) as f64 - 50.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let x = Matrix::from_columns(&columns).unwrap();
+        for kind in all_kinds() {
+            let ensemble = TreeEnsemble {
+                kind,
+                trees: trees.clone(),
+                n_features,
+                learning_rate,
+                base_score,
+            };
+            let flat = FlatEnsemble::compile(&ensemble).unwrap();
+            let interpreted = ensemble.predict(&x).unwrap();
+            let flattened = flat.predict(&x).unwrap();
+            prop_assert_eq!(interpreted.rows(), flattened.rows());
+            for r in 0..rows {
+                prop_assert_eq!(
+                    interpreted.get(r, 0).to_bits(),
+                    flattened.get(r, 0).to_bits(),
+                    "kind {:?}, row {}: interpreted {} vs flattened {}",
+                    kind, r, interpreted.get(r, 0), flattened.get(r, 0)
+                );
+            }
+        }
+    }
+
+    /// Selection-vector plans produce row-identical results to the
+    /// materializing baseline across random filtered workloads, and only the
+    /// baseline performs intermediate batch copies.
+    #[test]
+    fn selection_vector_plans_match_materializing_plans(
+        rows in 1usize..200,
+        partitions in 1usize..6,
+        lo in 0i64..80,
+        width in 1i64..120,
+        limit_sel in 0usize..3,
+    ) {
+        let table = TableBuilder::new("t")
+            .add_i64("id", (0..rows as i64).collect())
+            .add_f64("x", (0..rows).map(|i| (i % 97) as f64).collect())
+            .add_utf8(
+                "tag",
+                (0..rows).map(|i| ((i % 3) as i64).to_string()).collect(),
+            )
+            .build()
+            .unwrap();
+        let table = raven_columnar::partition_by_column(
+            &table,
+            &raven_columnar::PartitionSpec::RoundRobin {
+                partitions: partitions.min(rows),
+            },
+        )
+        .unwrap();
+        let mut catalog = raven_relational::Catalog::new();
+        catalog.register(table);
+        let mut plan = LogicalPlan::scan("t")
+            .filter(col("id").gt_eq(lit(lo)))
+            .filter(col("id").lt(lit(lo + width)))
+            .project(vec![col("id"), col("x"), col("tag")]);
+        if limit_sel == 1 {
+            plan = plan.limit((width / 2).max(1) as usize);
+        }
+        let run = |selection: bool| {
+            let exec = Executor::new();
+            let ctx = ExecutionContext {
+                selection_vectors: selection,
+                ..ExecutionContext::with_dop(2)
+            };
+            let out = exec.execute(&plan, &catalog, &ctx).unwrap();
+            (out, exec.metrics().intermediate_materializations())
+        };
+        let (sel_out, sel_copies) = run(true);
+        let (mat_out, mat_copies) = run(false);
+        prop_assert_eq!(sel_copies, 0, "selection vectors must never copy mid-pipeline");
+        prop_assert!(mat_copies > 0, "the baseline copies at every filter");
+        prop_assert_eq!(sel_out.num_rows(), mat_out.num_rows());
+        for c in 0..sel_out.num_columns() {
+            prop_assert_eq!(
+                format!("{:?}", sel_out.column(c).unwrap()),
+                format!("{:?}", mat_out.column(c).unwrap())
+            );
+        }
+    }
+
+    /// End-to-end: a full prediction query scores identically under the
+    /// flattened and interpreted scorer modes (the serving-path parity the
+    /// `RAVEN_SCORER=interpreted` baseline pins in CI).
+    #[test]
+    fn session_scores_identically_under_both_scorer_modes(
+        rows in 20usize..120,
+        seed in 0u64..500,
+        threshold in 20.0f64..90.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let table = TableBuilder::new("patients")
+            .add_i64("id", (0..rows as i64).collect())
+            .add_f64("age", (0..rows).map(|_| rng.gen_range(18.0..95.0)).collect())
+            .add_f64("rcount", (0..rows).map(|_| rng.gen_range(0.0..5.0)).collect())
+            .build()
+            .unwrap();
+        let tree = random_tree(seed | 1, 2, 3);
+        let pipeline = raven_ml::Pipeline::new(
+            "risk_model",
+            vec![
+                raven_ml::PipelineInput { name: "age".into(), kind: raven_ml::InputKind::Numeric },
+                raven_ml::PipelineInput { name: "rcount".into(), kind: raven_ml::InputKind::Numeric },
+            ],
+            vec![
+                raven_ml::PipelineNode {
+                    name: "concat".into(),
+                    op: raven_ml::Operator::Concat,
+                    inputs: vec!["age".into(), "rcount".into()],
+                    output: "features".into(),
+                },
+                raven_ml::PipelineNode {
+                    name: "model".into(),
+                    op: raven_ml::Operator::TreeEnsemble(TreeEnsemble {
+                        kind: EnsembleKind::GradientBoostingClassifier,
+                        trees: vec![tree.clone(), tree],
+                        n_features: 2,
+                        learning_rate: 0.3,
+                        base_score: 0.1,
+                    }),
+                    inputs: vec!["features".into()],
+                    output: "score".into(),
+                },
+            ],
+            "score",
+        )
+        .unwrap();
+        let mut session = raven_core::RavenSession::new();
+        session.register_table(table);
+        session.register_model(pipeline);
+        session.config_mut().runtime_policy = raven_core::RuntimePolicy::NoTransform;
+        let query = format!(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = risk_model, DATA = patients AS d) \
+             WITH (score float) AS p WHERE d.age >= {threshold}"
+        );
+        force_scorer(Some(ScorerMode::Flattened));
+        let flattened = session.sql(&query);
+        force_scorer(Some(ScorerMode::Interpreted));
+        let interpreted = session.sql(&query);
+        force_scorer(None);
+        let (flattened, interpreted) = (flattened.unwrap(), interpreted.unwrap());
+        prop_assert_eq!(flattened.batch.num_rows(), interpreted.batch.num_rows());
+        let fa = flattened.batch.column_by_name("score").unwrap();
+        let ia = interpreted.batch.column_by_name("score").unwrap();
+        for (a, b) in fa.as_f64().unwrap().iter().zip(ia.as_f64().unwrap()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // the flattened streaming run performed zero intermediate copies
+        // (unless RAVEN_SELECTION=materialize pinned the copying baseline)
+        if raven_relational::selection_vectors_default() {
+            prop_assert_eq!(flattened.report.intermediate_materializations, 0);
+        } else {
+            prop_assert!(flattened.report.intermediate_materializations > 0);
+        }
+    }
+}
+
+/// Out-of-range feature indices fail with a typed error at compile /
+/// validation time instead of silently scoring NaN.
+#[test]
+fn out_of_range_features_are_rejected() {
+    let bad = TreeEnsemble::single_tree(
+        Tree {
+            nodes: vec![
+                TreeNode::Branch {
+                    feature: 7,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 0.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+            root: 0,
+        },
+        2,
+    );
+    assert!(matches!(
+        FlatEnsemble::compile(&bad),
+        Err(raven_ml::MlError::InvalidModel(_))
+    ));
+    assert!(matches!(
+        bad.validate_features(),
+        Err(raven_ml::MlError::InvalidModel(_))
+    ));
+    // a pipeline carrying the malformed model fails validation on build
+    let p = raven_ml::Pipeline::new(
+        "bad",
+        vec![raven_ml::PipelineInput {
+            name: "x".into(),
+            kind: raven_ml::InputKind::Numeric,
+        }],
+        vec![raven_ml::PipelineNode {
+            name: "model".into(),
+            op: raven_ml::Operator::TreeEnsemble(bad),
+            inputs: vec!["x".into()],
+            output: "score".into(),
+        }],
+        "score",
+    );
+    assert!(p.is_err());
+}
+
+/// `common::extra_dop` is exercised by the other suites; referencing it here
+/// keeps the shared module warning-free when this suite compiles alone.
+#[test]
+fn extra_dop_parses() {
+    let _ = common::extra_dop();
+}
