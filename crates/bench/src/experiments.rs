@@ -697,6 +697,15 @@ pub fn scoring_kernel_ab(
     })
 }
 
+/// Smoke gate for the scoring A/B: flattened must beat interpreted by this
+/// factor. Shared by the smoke binary's assert and the artifact write gate
+/// in [`serving_study_recording`] so the two cannot drift.
+pub const SCORING_SPEEDUP_GATE: f64 = 3.0;
+
+/// Smoke gate for selection-vector execution: a filtered streaming plan must
+/// perform exactly this many intermediate batch materializations.
+pub const STREAMING_MATERIALIZATIONS_GATE: usize = 0;
+
 /// Prediction serving study: repeated-query throughput of per-request
 /// optimization vs. prepared+cached execution, and sequential vs. concurrent
 /// micro-batched point serving. The workload is the Hospital dataset with a
@@ -708,6 +717,24 @@ pub fn scoring_kernel_ab(
 /// amortize. The query's predicate is on `id` — not a model input — so query
 /// variants with different literals share one compiled-model cache entry.
 pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStudyResult {
+    serving_study_impl(rows, requests, clients, false)
+}
+
+/// [`serving_study`] for the smoke binary: additionally persists the
+/// `BENCH_scoring.json` perf-trajectory artifact (optimized builds whose
+/// measurements pass the smoke gates only). Library callers — the unit tests
+/// in particular — go through [`serving_study`], which never writes, so a
+/// test run can't clobber the committed artifact with off-workload numbers.
+pub fn serving_study_recording(rows: usize, requests: usize, clients: usize) -> ServingStudyResult {
+    serving_study_impl(rows, requests, clients, true)
+}
+
+fn serving_study_impl(
+    rows: usize,
+    requests: usize,
+    clients: usize,
+    write_artifact: bool,
+) -> ServingStudyResult {
     use raven_serve::{Server, ServerConfig};
     use std::sync::Arc;
 
@@ -958,29 +985,50 @@ pub fn serving_study(rows: usize, requests: usize, clients: usize) -> ServingStu
         .report
         .intermediate_materializations;
 
-    // perf-trajectory artifact for the scoring kernels
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let artifact = format!(
-        "{{\n  \"bench\": \"scoring_kernels\",\n  \"workload\": \"{model_name}\",\n  \
-         \"feature_rows\": {},\n  \"trees\": {},\n  \"total_nodes\": {},\n  \
-         \"interpreted_rows_per_sec\": {:.0},\n  \"flattened_rows_per_sec\": {:.0},\n  \
-         \"speedup\": {:.2},\n  \"streaming_intermediate_materializations\": {},\n  \
-         \"unix_time\": {unix_time}\n}}\n",
-        ab.rows,
-        ab.trees,
-        ab.total_nodes,
-        ab.interpreted_rows_per_sec,
-        ab.flattened_rows_per_sec,
-        ab.speedup,
-        streaming_materializations,
-    );
-    // anchored at the workspace root so binaries and tests agree on one path
-    let artifact_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json");
-    if let Err(e) = std::fs::write(artifact_path, &artifact) {
-        eprintln!("warning: could not write BENCH_scoring.json: {e}");
+    // Perf-trajectory artifact for the scoring kernels. Persisted only when
+    // the smoke binary asked for it AND the build is optimized AND the
+    // measurement passes the gates the binary asserts: an unoptimized,
+    // regressing, or test-invoked run must never clobber the committed
+    // artifact with meaningless numbers.
+    let artifact_valid = write_artifact
+        && !cfg!(debug_assertions)
+        && ab.speedup >= SCORING_SPEEDUP_GATE
+        && streaming_materializations == STREAMING_MATERIALIZATIONS_GATE;
+    if artifact_valid {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let artifact = format!(
+            "{{\n  \"bench\": \"scoring_kernels\",\n  \"workload\": \"{model_name}\",\n  \
+             \"feature_rows\": {},\n  \"trees\": {},\n  \"total_nodes\": {},\n  \
+             \"interpreted_rows_per_sec\": {:.0},\n  \"flattened_rows_per_sec\": {:.0},\n  \
+             \"speedup\": {:.2},\n  \"streaming_intermediate_materializations\": {},\n  \
+             \"unix_time\": {unix_time}\n}}\n",
+            ab.rows,
+            ab.trees,
+            ab.total_nodes,
+            ab.interpreted_rows_per_sec,
+            ab.flattened_rows_per_sec,
+            ab.speedup,
+            streaming_materializations,
+        );
+        // anchored at the workspace root so binaries and tests agree on one path
+        let artifact_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json");
+        if let Err(e) = std::fs::write(artifact_path, &artifact) {
+            eprintln!("warning: could not write BENCH_scoring.json: {e}");
+        }
+    } else if write_artifact {
+        eprintln!(
+            "skipping BENCH_scoring.json: {} (speedup {:.2}x, materializations {})",
+            if cfg!(debug_assertions) {
+                "unoptimized (debug) build"
+            } else {
+                "measurement fails the smoke gates"
+            },
+            ab.speedup,
+            streaming_materializations,
+        );
     }
 
     let report = server.report();

@@ -85,6 +85,32 @@ impl StreamBatch {
         Ok(())
     }
 
+    /// Apply a filter mask over the batch's **source** rows: refine the
+    /// selection in place (zero copy) when `use_selection` is set, otherwise
+    /// deep-copy the surviving rows (the materializing baseline). Returns
+    /// whether a copy was performed, so callers can count the
+    /// materialization — the one refine-vs-materialize branch every filter
+    /// site shares.
+    pub fn apply_mask(&mut self, mask: &[bool], use_selection: bool) -> Result<bool> {
+        if use_selection {
+            self.refine_selection(mask)?;
+            Ok(false)
+        } else if self.selection.is_some() {
+            // A selection can precede a materializing filter (e.g. a limit's
+            // truncated selection in the copying baseline): compose the mask
+            // with it and gather, rather than filtering the batch out from
+            // under a now-stale selection.
+            self.refine_selection(mask)?;
+            if let Some(sel) = self.selection.take() {
+                self.batch = self.batch.compact(&sel)?;
+            }
+            Ok(true)
+        } else {
+            self.batch = self.batch.filter(mask)?;
+            Ok(true)
+        }
+    }
+
     /// Materialize the selection: gather the selected rows into a compact
     /// batch and clear the selection. Free when nothing was filtered.
     pub fn compact(mut self) -> Result<StreamBatch> {
@@ -257,6 +283,31 @@ mod tests {
             .build()
             .unwrap();
         partition_by_column(&t, &PartitionSpec::RoundRobin { partitions: 8 }).unwrap()
+    }
+
+    #[test]
+    fn apply_mask_composes_with_existing_selection() {
+        let t = TableBuilder::new("t")
+            .add_i64("id", (0..8).collect())
+            .build()
+            .unwrap();
+        let batch = t.partitions()[0].clone();
+        // keep even ids; mask is over the batch's source rows
+        let mask: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        for use_selection in [true, false] {
+            // a truncated selection (as a limit installs) precedes the filter
+            let mut item = StreamBatch::new(batch.clone(), 0);
+            item.selection = Some(SelectionVector::all(8).truncate(5));
+            let copied = item.apply_mask(&mask, use_selection).unwrap();
+            assert_eq!(copied, !use_selection);
+            let compacted = item.compact().unwrap();
+            assert!(compacted.selection.is_none());
+            let ids = compacted.batch.column_by_name("id").unwrap();
+            match ids.as_ref() {
+                crate::column::Column::Int64(v) => assert_eq!(v, &vec![0, 2, 4]),
+                other => panic!("unexpected column {other:?}"),
+            }
+        }
     }
 
     #[test]

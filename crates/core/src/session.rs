@@ -997,10 +997,7 @@ impl RavenSession {
                     }
                     for p in &preds {
                         let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
-                        if selection_vectors {
-                            item.refine_selection(&mask)?;
-                        } else {
-                            item.batch = item.batch.filter(&mask)?;
+                        if item.apply_mask(&mask, selection_vectors)? {
                             copies.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -1052,10 +1049,7 @@ impl RavenSession {
             Arc::new(move |mut item: StreamBatch| {
                 for p in &output_preds {
                     let mask = evaluate_predicate(p, &item.batch).map_err(stream_err)?;
-                    if selection_vectors {
-                        item.refine_selection(&mask)?;
-                    } else {
-                        item.batch = item.batch.filter(&mask)?;
+                    if item.apply_mask(&mask, selection_vectors)? {
                         copies.fetch_add(1, Ordering::Relaxed);
                     }
                 }

@@ -119,5 +119,29 @@ mod tests {
             1,
         ));
         assert!(CompiledPipeline::compile(&bad).is_err());
+
+        // cyclic and dangling node graphs are rejected with a typed error
+        // through the real entry point (validation must terminate and fail
+        // before any query-path walker can hang or panic on them)
+        for (left, right) in [(0usize, 0usize), (5, 5)] {
+            let mut invalid = p.clone();
+            invalid.nodes[0].op = Operator::TreeEnsemble(TreeEnsemble::single_tree(
+                Tree {
+                    nodes: vec![TreeNode::Branch {
+                        feature: 0,
+                        threshold: 0.0,
+                        left,
+                        right,
+                    }],
+                    root: 0,
+                },
+                1,
+            ));
+            let err = CompiledPipeline::compile(&invalid).unwrap_err();
+            assert!(
+                matches!(err, crate::error::MlError::InvalidModel(_)),
+                "{err}"
+            );
+        }
     }
 }

@@ -260,53 +260,78 @@ impl FlatEnsemble {
         &mut self,
         tree: &crate::ops::Tree,
         tree_idx: usize,
-        node: usize,
+        root: usize,
         n_features: usize,
         budget: usize,
     ) -> Result<(u32, u32)> {
-        if self.feature.len() >= budget {
-            return Err(MlError::InvalidModel(format!(
-                "tree {tree_idx} is cyclic or larger than its node arena"
-            )));
-        }
-        let n = tree.nodes.get(node).ok_or_else(|| {
-            MlError::InvalidModel(format!(
-                "tree {tree_idx} references node {node}, arena has {}",
-                tree.nodes.len()
-            ))
-        })?;
-        match n {
-            TreeNode::Leaf { value } => {
-                let pos = self.feature.len() as u32;
-                self.feature.push(0);
-                self.threshold.push(0.0);
-                self.children.push(pos as u64 | (pos as u64) << 32);
-                self.value.push(*value);
-                Ok((pos, 0))
+        // Explicit-stack pre-order emission: recursion here would track tree
+        // depth, and degenerate chain-shaped trees are exactly what the
+        // pointer-arena fallback exists for — compiling one must not blow
+        // the stack of whichever serving thread prepares the model. Each
+        // entry carries the parent slot + side to patch once the child's
+        // position is known.
+        let start = self.feature.len();
+        let mut stack: Vec<(usize, Option<(usize, bool)>)> = vec![(root, None)];
+        while let Some((node, patch)) = stack.pop() {
+            if self.feature.len() >= budget {
+                return Err(MlError::InvalidModel(format!(
+                    "tree {tree_idx} is cyclic or larger than its node arena"
+                )));
             }
-            TreeNode::Branch {
-                feature,
-                threshold,
-                left,
-                right,
-            } => {
-                if *feature >= n_features {
-                    return Err(MlError::InvalidModel(format!(
-                        "tree {tree_idx} splits on feature {feature}, \
-                         ensemble has {n_features} features"
-                    )));
+            let n = tree.nodes.get(node).ok_or_else(|| {
+                MlError::InvalidModel(format!(
+                    "tree {tree_idx} references node {node}, arena has {}",
+                    tree.nodes.len()
+                ))
+            })?;
+            let pos = self.feature.len();
+            if let Some((parent, is_right)) = patch {
+                self.children[parent] |= (pos as u64) << if is_right { 32 } else { 0 };
+            }
+            match n {
+                TreeNode::Leaf { value } => {
+                    self.feature.push(0);
+                    self.threshold.push(0.0);
+                    self.children.push(pos as u64 | (pos as u64) << 32);
+                    self.value.push(*value);
                 }
-                let pos = self.feature.len();
-                self.feature.push(*feature as u32);
-                self.threshold.push(*threshold);
-                self.children.push(0);
-                self.value.push(0.0);
-                let (l, dl) = self.flatten(tree, tree_idx, *left, n_features, budget)?;
-                let (r, dr) = self.flatten(tree, tree_idx, *right, n_features, budget)?;
-                self.children[pos] = l as u64 | (r as u64) << 32;
-                Ok((pos as u32, 1 + dl.max(dr)))
+                TreeNode::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if *feature >= n_features {
+                        return Err(MlError::InvalidModel(format!(
+                            "tree {tree_idx} splits on feature {feature}, \
+                             ensemble has {n_features} features"
+                        )));
+                    }
+                    self.feature.push(*feature as u32);
+                    self.threshold.push(*threshold);
+                    self.children.push(0);
+                    self.value.push(0.0);
+                    // right pushed first so the left subtree is emitted next
+                    // — the same pre-order layout the recursion produced
+                    stack.push((*right, Some((pos, true))));
+                    stack.push((*left, Some((pos, false))));
+                }
             }
         }
+        // Depths bottom-up: pre-order emission places children after their
+        // parent, so a reverse scan sees both child depths before the parent
+        // (leaves self-loop, depth 0).
+        let emitted = self.feature.len() - start;
+        let mut depth = vec![0u32; emitted];
+        for i in (0..emitted).rev() {
+            let pos = start + i;
+            let l = (self.children[pos] & 0xffff_ffff) as usize;
+            let r = (self.children[pos] >> 32) as usize;
+            if l != pos || r != pos {
+                depth[i] = 1 + depth[l - start].max(depth[r - start]);
+            }
+        }
+        Ok((start as u32, depth.first().copied().unwrap_or(0)))
     }
 
     /// Combination semantics of the compiled ensemble.
@@ -753,6 +778,35 @@ mod tests {
             root: 0,
         };
         assert!(FlatEnsemble::compile(&TreeEnsemble::single_tree(dangling, 1)).is_err());
+    }
+
+    #[test]
+    fn degenerate_chain_compiles_without_recursion() {
+        // A left-leaning chain deeper than any thread stack could absorb one
+        // recursion frame per level for: compilation must stay iterative.
+        let levels = 200_000usize;
+        let mut nodes = Vec::with_capacity(2 * levels + 1);
+        for i in 0..levels {
+            nodes.push(TreeNode::Branch {
+                feature: 0,
+                threshold: (levels - i) as f64,
+                left: i + 1,
+                right: levels + 1 + i,
+            });
+        }
+        nodes.push(TreeNode::Leaf { value: -1.0 });
+        for i in 0..levels {
+            nodes.push(TreeNode::Leaf { value: i as f64 });
+        }
+        let ens = TreeEnsemble::single_tree(Tree { nodes, root: 0 }, 1);
+        let flat = FlatEnsemble::compile(&ens).unwrap();
+        assert_eq!(flat.arena_len(), 2 * levels + 1);
+        let x = Matrix::from_columns(&[vec![0.0, levels as f64 - 2.5, f64::NAN]]).unwrap();
+        let expected = ens.predict(&x).unwrap();
+        let got = flat.predict(&x).unwrap();
+        for r in 0..3 {
+            assert_eq!(expected.get(r, 0).to_bits(), got.get(r, 0).to_bits(), "row {r}");
+        }
     }
 
     #[test]

@@ -47,9 +47,10 @@ impl Tree {
     /// A feature index beyond the row falls back to NaN (⇒ the right child,
     /// the missing-value convention). Validated ensembles never hit that
     /// fallback: [`TreeEnsemble::validate_features`] rejects out-of-range
-    /// feature indices with a typed error when a model is registered,
-    /// compiled ([`crate::ops::FlatEnsemble::compile`]), or scored through
-    /// [`TreeEnsemble::predict`].
+    /// feature indices with a typed error when a model is registered
+    /// ([`crate::Pipeline::validate`]) or compiled
+    /// ([`crate::ops::FlatEnsemble::compile`]); scoring an unvalidated
+    /// ensemble directly keeps the NaN fallback.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         let mut idx = self.root;
         loop {
@@ -81,17 +82,32 @@ impl Tree {
             .count()
     }
 
-    /// Maximum depth (a single leaf has depth 0).
+    /// Maximum depth (a single leaf has depth 0). Iterative — tree walkers
+    /// must not recurse one frame per level, since degenerate chain-shaped
+    /// trees (depth ≈ node count) are valid models. Guarded like
+    /// [`Tree::reachable`] so cyclic/dangling graphs (rejected with a typed
+    /// error at validation) terminate here too instead of looping or
+    /// panicking.
     pub fn depth(&self) -> usize {
-        fn depth_of(tree: &Tree, idx: usize) -> usize {
-            match &tree.nodes[idx] {
-                TreeNode::Leaf { .. } => 0,
+        let mut seen = vec![false; self.nodes.len()];
+        let mut max = 0;
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((idx, d)) = stack.pop() {
+            let Some(node) = self.nodes.get(idx) else {
+                continue;
+            };
+            match node {
+                TreeNode::Leaf { .. } => max = max.max(d),
                 TreeNode::Branch { left, right, .. } => {
-                    1 + depth_of(tree, *left).max(depth_of(tree, *right))
+                    if std::mem::replace(&mut seen[idx], true) {
+                        continue;
+                    }
+                    stack.push((*left, d + 1));
+                    stack.push((*right, d + 1));
                 }
             }
         }
-        depth_of(self, self.root)
+        max
     }
 
     /// Features referenced by reachable branch nodes.
@@ -106,11 +122,23 @@ impl Tree {
     }
 
     fn reachable(&self) -> Vec<usize> {
+        // Visited set so a cyclic or sharing node graph (rejected with a
+        // typed error by `validate_features` and `FlatEnsemble::compile`)
+        // terminates in the stats walkers too. Out-of-arena children are
+        // skipped: they are not reachable nodes, and validation reports
+        // them as dangling.
+        let mut seen = vec![false; self.nodes.len()];
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(idx) = stack.pop() {
+            let Some(node) = self.nodes.get(idx) else {
+                continue;
+            };
+            if std::mem::replace(&mut seen[idx], true) {
+                continue;
+            }
             out.push(idx);
-            if let TreeNode::Branch { left, right, .. } = &self.nodes[idx] {
+            if let TreeNode::Branch { left, right, .. } = node {
                 stack.push(*left);
                 stack.push(*right);
             }
@@ -120,59 +148,77 @@ impl Tree {
 
     /// Rebuild the tree keeping only reachable nodes (compacts the arena).
     pub fn compact(&self) -> Tree {
-        let mut out = Tree {
-            nodes: Vec::new(),
-            root: 0,
-        };
-        out.root = copy_subtree(self, self.root, &mut out.nodes);
-        out
+        // pruning with no domains copies the reachable sub-tree verbatim
+        self.prune_with_domains(&BTreeMap::new())
     }
 
     /// Prune branches that are unreachable given per-feature value domains
     /// `[lo, hi]` (inclusive). This implements both predicate-based pruning
     /// (equality → `[c, c]`, range predicates) and data-induced pruning
     /// (min/max statistics) from paper §4.1–§4.2.
+    ///
+    /// Iterative (explicit enter/combine stack): this runs on the query path
+    /// for every registered model, and a chain-shaped tree must not consume
+    /// one recursion frame per level. Emission order (left sub-tree, right
+    /// sub-tree, parent) matches the recursive formulation it replaced.
     pub fn prune_with_domains(&self, domains: &BTreeMap<usize, (f64, f64)>) -> Tree {
-        fn prune(
-            tree: &Tree,
-            idx: usize,
-            domains: &BTreeMap<usize, (f64, f64)>,
-            out: &mut Vec<TreeNode>,
-        ) -> usize {
-            match &tree.nodes[idx] {
-                TreeNode::Leaf { value } => {
-                    out.push(TreeNode::Leaf { value: *value });
-                    out.len() - 1
-                }
-                TreeNode::Branch {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    if let Some(&(lo, hi)) = domains.get(feature) {
-                        if hi <= *threshold {
-                            // every in-domain value goes left
-                            return prune(tree, *left, domains, out);
+        enum Step {
+            Visit(usize),
+            Combine { feature: usize, threshold: f64 },
+        }
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let mut results: Vec<usize> = Vec::new();
+        let mut work = vec![Step::Visit(self.root)];
+        while let Some(step) = work.pop() {
+            match step {
+                Step::Visit(mut idx) => loop {
+                    match &self.nodes[idx] {
+                        TreeNode::Leaf { value } => {
+                            nodes.push(TreeNode::Leaf { value: *value });
+                            results.push(nodes.len() - 1);
+                            break;
                         }
-                        if lo > *threshold {
-                            return prune(tree, *right, domains, out);
+                        TreeNode::Branch {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            if let Some(&(lo, hi)) = domains.get(feature) {
+                                if hi <= *threshold {
+                                    // every in-domain value goes left
+                                    idx = *left;
+                                    continue;
+                                }
+                                if lo > *threshold {
+                                    idx = *right;
+                                    continue;
+                                }
+                            }
+                            work.push(Step::Combine {
+                                feature: *feature,
+                                threshold: *threshold,
+                            });
+                            work.push(Step::Visit(*right));
+                            work.push(Step::Visit(*left));
+                            break;
                         }
                     }
-                    let l = prune(tree, *left, domains, out);
-                    let r = prune(tree, *right, domains, out);
-                    out.push(TreeNode::Branch {
-                        feature: *feature,
-                        threshold: *threshold,
-                        left: l,
-                        right: r,
+                },
+                Step::Combine { feature, threshold } => {
+                    let right = results.pop().expect("right subtree emitted");
+                    let left = results.pop().expect("left subtree emitted");
+                    nodes.push(TreeNode::Branch {
+                        feature,
+                        threshold,
+                        left,
+                        right,
                     });
-                    out.len() - 1
+                    results.push(nodes.len() - 1);
                 }
             }
         }
-        let mut nodes = Vec::new();
-        let root = prune(self, self.root, domains, &mut nodes);
+        let root = results.pop().expect("root emitted");
         Tree { nodes, root }
     }
 
@@ -182,49 +228,63 @@ impl Tree {
     /// output-predicate pruning (predicates on the prediction, §4.1): the
     /// query's post-filter removes sentinel rows, so results are unchanged.
     pub fn prune_by_output(&self, keep: &dyn Fn(f64) -> bool, sentinel: f64) -> Tree {
-        fn walk(
-            tree: &Tree,
-            idx: usize,
-            keep: &dyn Fn(f64) -> bool,
-            sentinel: f64,
-            out: &mut Vec<TreeNode>,
-        ) -> usize {
-            match &tree.nodes[idx] {
-                TreeNode::Leaf { value } => {
-                    let v = if keep(*value) { *value } else { sentinel };
-                    out.push(TreeNode::Leaf { value: v });
-                    out.len() - 1
-                }
-                TreeNode::Branch {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    let l = walk(tree, *left, keep, sentinel, out);
-                    let r = walk(tree, *right, keep, sentinel, out);
+        // Iterative enter/combine stack, like `prune_with_domains`: the
+        // collapse decision needs both rebuilt children, so the combine step
+        // runs after both sub-tree emissions. (Collapsed children stay in
+        // the arena as dead nodes, as before; `compact` drops them.)
+        enum Step {
+            Visit(usize),
+            Combine { feature: usize, threshold: f64 },
+        }
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let mut results: Vec<usize> = Vec::new();
+        let mut work = vec![Step::Visit(self.root)];
+        while let Some(step) = work.pop() {
+            match step {
+                Step::Visit(idx) => match &self.nodes[idx] {
+                    TreeNode::Leaf { value } => {
+                        let v = if keep(*value) { *value } else { sentinel };
+                        nodes.push(TreeNode::Leaf { value: v });
+                        results.push(nodes.len() - 1);
+                    }
+                    TreeNode::Branch {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        work.push(Step::Combine {
+                            feature: *feature,
+                            threshold: *threshold,
+                        });
+                        work.push(Step::Visit(*right));
+                        work.push(Step::Visit(*left));
+                    }
+                },
+                Step::Combine { feature, threshold } => {
+                    let right = results.pop().expect("right subtree emitted");
+                    let left = results.pop().expect("left subtree emitted");
                     // collapse when both children became the sentinel leaf
                     if let (TreeNode::Leaf { value: lv }, TreeNode::Leaf { value: rv }) =
-                        (&out[l], &out[r])
+                        (&nodes[left], &nodes[right])
                     {
                         if *lv == sentinel && *rv == sentinel {
-                            out.truncate(out.len().saturating_sub(0));
-                            out.push(TreeNode::Leaf { value: sentinel });
-                            return out.len() - 1;
+                            nodes.push(TreeNode::Leaf { value: sentinel });
+                            results.push(nodes.len() - 1);
+                            continue;
                         }
                     }
-                    out.push(TreeNode::Branch {
-                        feature: *feature,
-                        threshold: *threshold,
-                        left: l,
-                        right: r,
+                    nodes.push(TreeNode::Branch {
+                        feature,
+                        threshold,
+                        left,
+                        right,
                     });
-                    out.len() - 1
+                    results.push(nodes.len() - 1);
                 }
             }
         }
-        let mut nodes = Vec::new();
-        let root = walk(self, self.root, keep, sentinel, &mut nodes);
+        let root = results.pop().expect("root emitted");
         Tree { nodes, root }
     }
 
@@ -259,31 +319,6 @@ impl Tree {
             nodes,
             root: self.root,
         })
-    }
-}
-
-fn copy_subtree(tree: &Tree, idx: usize, out: &mut Vec<TreeNode>) -> usize {
-    match &tree.nodes[idx] {
-        TreeNode::Leaf { value } => {
-            out.push(TreeNode::Leaf { value: *value });
-            out.len() - 1
-        }
-        TreeNode::Branch {
-            feature,
-            threshold,
-            left,
-            right,
-        } => {
-            let l = copy_subtree(tree, *left, out);
-            let r = copy_subtree(tree, *right, out);
-            out.push(TreeNode::Branch {
-                feature: *feature,
-                threshold: *threshold,
-                left: l,
-                right: r,
-            });
-            out.len() - 1
-        }
     }
 }
 
@@ -341,17 +376,40 @@ impl TreeEnsemble {
     }
 
     /// Check that every reachable branch node splits on a feature inside the
-    /// ensemble's declared width. An out-of-range index used to score
-    /// silently as NaN (`row.get(..).unwrap_or(NAN)` in the walker); model
+    /// ensemble's declared width, that every child index points into the
+    /// node arena, and that the node graph is a proper tree (acyclic, no
+    /// shared sub-trees). An out-of-range feature used to score silently as
+    /// NaN (`row.get(..).unwrap_or(NAN)` in the walker), and a cyclic or
+    /// dangling graph would hang or panic the query-path walkers; model
     /// registration ([`crate::Pipeline::validate`], run whenever a pipeline
     /// is built, registered, or evaluated) and flat compilation
-    /// ([`crate::ops::FlatEnsemble::compile`]) reject it with this typed
-    /// error instead. Not called per [`TreeEnsemble::predict`] — the check
-    /// is O(nodes) and belongs at registration, not in the scoring loop.
+    /// ([`crate::ops::FlatEnsemble::compile`]) reject all of them with this
+    /// typed error instead. Not called per [`TreeEnsemble::predict`] — the
+    /// check is O(nodes) and belongs at registration, not in the scoring
+    /// loop.
     pub fn validate_features(&self) -> Result<()> {
         for (t, tree) in self.trees.iter().enumerate() {
-            for &node in &tree.reachable() {
-                if let TreeNode::Branch { feature, .. } = &tree.nodes[node] {
+            let mut seen = vec![false; tree.nodes.len()];
+            let mut stack = vec![tree.root];
+            while let Some(idx) = stack.pop() {
+                let Some(node) = tree.nodes.get(idx) else {
+                    return Err(MlError::InvalidModel(format!(
+                        "tree {t} references node {idx}, arena has {}",
+                        tree.nodes.len()
+                    )));
+                };
+                if std::mem::replace(&mut seen[idx], true) {
+                    return Err(MlError::InvalidModel(format!(
+                        "tree {t} node graph is cyclic or shares node {idx}"
+                    )));
+                }
+                if let TreeNode::Branch {
+                    feature,
+                    left,
+                    right,
+                    ..
+                } = node
+                {
                     if *feature >= self.n_features {
                         return Err(MlError::InvalidModel(format!(
                             "tree {t} splits on feature {feature}, \
@@ -359,6 +417,8 @@ impl TreeEnsemble {
                             self.n_features
                         )));
                     }
+                    stack.push(*left);
+                    stack.push(*right);
                 }
             }
         }
@@ -584,6 +644,78 @@ mod tests {
                 assert_eq!(pruned.predict_row(&row), -1.0);
             }
         }
+    }
+
+    #[test]
+    fn validate_rejects_cyclic_and_dangling_graphs() {
+        let cyclic = Tree {
+            nodes: vec![TreeNode::Branch {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+            }],
+            root: 0,
+        };
+        let err = TreeEnsemble::single_tree(cyclic, 1)
+            .validate_features()
+            .unwrap_err();
+        assert!(matches!(err, MlError::InvalidModel(_)), "{err}");
+        let dangling = Tree {
+            nodes: vec![TreeNode::Branch {
+                feature: 0,
+                threshold: 0.0,
+                left: 5,
+                right: 5,
+            }],
+            root: 0,
+        };
+        let err = TreeEnsemble::single_tree(dangling, 1)
+            .validate_features()
+            .unwrap_err();
+        assert!(matches!(err, MlError::InvalidModel(_)), "{err}");
+        assert!(TreeEnsemble::single_tree(example_tree(), 4)
+            .validate_features()
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_chain_walkers_stay_iterative() {
+        // A chain deeper than any thread stack could absorb one recursion
+        // frame per level for: every walker on the validation, pruning, and
+        // stats paths must stay iterative (compile-side coverage lives in
+        // the flat-scorer tests).
+        let levels = 200_000usize;
+        let mut nodes = Vec::with_capacity(2 * levels + 1);
+        for i in 0..levels {
+            nodes.push(TreeNode::Branch {
+                feature: 0,
+                threshold: (levels - i) as f64,
+                left: i + 1,
+                right: levels + 1 + i,
+            });
+        }
+        nodes.push(TreeNode::Leaf { value: -1.0 });
+        for i in 0..levels {
+            nodes.push(TreeNode::Leaf { value: i as f64 });
+        }
+        let t = Tree { nodes, root: 0 };
+        assert_eq!(t.depth(), levels);
+        assert_eq!(t.node_count(), 2 * levels + 1);
+        let copy = t.compact();
+        for row in [[0.0], [levels as f64 - 2.5], [f64::NAN]] {
+            assert_eq!(t.predict_row(&row).to_bits(), copy.predict_row(&row).to_bits());
+        }
+        // the domain forces every split left: the chain collapses to a leaf
+        let mut domains = BTreeMap::new();
+        domains.insert(0usize, (0.0, 0.0));
+        let pruned = t.prune_with_domains(&domains);
+        assert_eq!(pruned.node_count(), 1);
+        assert_eq!(pruned.predict_row(&[0.0]), -1.0);
+        // rejecting every leaf collapses the whole chain into the sentinel
+        let sentinel = t.prune_by_output(&|_| false, -9.0).compact();
+        assert_eq!(sentinel.node_count(), 1);
+        assert_eq!(sentinel.predict_row(&[0.0]), -9.0);
     }
 
     #[test]

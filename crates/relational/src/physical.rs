@@ -64,9 +64,14 @@ impl Default for ExecutionContext {
 
 /// The process-wide default for selection-vector execution: on, unless
 /// `RAVEN_SELECTION=materialize` pins the copying baseline (mirroring the
-/// `RAVEN_POOL=scoped` / `RAVEN_SCORER=interpreted` conventions).
+/// `RAVEN_POOL=scoped` / `RAVEN_SCORER=interpreted` conventions). The env
+/// variable is read once — this runs per execution-context construction on
+/// the serving hot path, which must not take the process-wide environment
+/// lock (same rationale as `raven_ml`'s `scorer_mode`).
 pub fn selection_vectors_default() -> bool {
-    std::env::var("RAVEN_SELECTION").map(|v| v == "materialize") != Ok(true)
+    static ENV_MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_MODE
+        .get_or_init(|| std::env::var("RAVEN_SELECTION").map(|v| v == "materialize") != Ok(true))
 }
 
 impl ExecutionContext {
@@ -366,10 +371,7 @@ fn apply_filter(
     metrics: &ExecutionMetrics,
 ) -> Result<()> {
     let mask = evaluate_predicate(predicate, &item.batch)?;
-    if selection_vectors {
-        item.refine_selection(&mask)?;
-    } else {
-        item.batch = item.batch.filter(&mask)?;
+    if item.apply_mask(&mask, selection_vectors)? {
         metrics
             .intermediate_materializations
             .fetch_add(1, Ordering::Relaxed);
@@ -436,30 +438,7 @@ enum JoinKey {
 
 fn join_keys(batch: &Batch, key: &str) -> Result<Vec<Option<JoinKey>>> {
     let col = batch.column_by_name(key)?;
-    Ok(match col.as_ref() {
-        Column::Int64(v) => v.iter().map(|&x| Some(JoinKey::Int(x))).collect(),
-        Column::Utf8(v) => v
-            .iter()
-            .map(|s| {
-                if s.is_empty() {
-                    None
-                } else {
-                    Some(JoinKey::Str(s.clone()))
-                }
-            })
-            .collect(),
-        Column::Float64(v) => v
-            .iter()
-            .map(|&x| {
-                if x.is_nan() {
-                    None
-                } else {
-                    Some(JoinKey::Int(x.to_bits() as i64))
-                }
-            })
-            .collect(),
-        Column::Boolean(v) => v.iter().map(|&b| Some(JoinKey::Int(b as i64))).collect(),
-    })
+    Ok((0..col.len()).map(|i| join_key_at(&col, i)).collect())
 }
 
 fn build_hash_table(right: &Batch, right_key: &str) -> Result<HashMap<JoinKey, Vec<usize>>> {
