@@ -1,21 +1,39 @@
-//! Criterion micro-benchmark of the tree-scoring kernels: the interpreted
-//! enum-node row walker (`TreeEnsemble::predict`) vs the flattened
-//! struct-of-arrays block kernels (`FlatEnsemble::predict`), across the
-//! model shapes the paper's workloads use (single decision tree, random
-//! forest, gradient boosting). Feature rows are the Hospital dataset's
-//! actually-featurized columns, so both kernels traverse realistic splits.
+//! Criterion micro-benchmarks of the scoring kernels:
+//!
+//! * tree kernels — the interpreted enum-node row walker
+//!   (`TreeEnsemble::predict`) vs the flattened struct-of-arrays block
+//!   kernels (`FlatEnsemble::predict`), across the model shapes the paper's
+//!   workloads use (single decision tree, random forest, gradient
+//!   boosting), plus the AVX2 SIMD tier vs the scalar cursor groups on the
+//!   shallow shape it is dispatched for;
+//! * whole-pipeline kernels — the PR 4 per-operator compiled path
+//!   (interpreted featurizers + flat trees) vs the PR 5 fused
+//!   featurize→score pass, over tree *and* linear models, end to end from
+//!   the source batch.
+//!
+//! Feature rows are the Hospital dataset's actually-featurized columns, so
+//! every kernel traverses realistic splits and category distributions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use raven_ml::{FlatEnsemble, Matrix, ModelType};
+use raven_columnar::Batch;
+use raven_ml::{
+    force_fusion, force_simd, CompiledPipeline, FlatEnsemble, Matrix, MlRuntime, ModelType,
+    Pipeline,
+};
+
+fn trained(rows: usize, model: ModelType, name: &'static str) -> (Pipeline, Batch) {
+    let dataset = raven_datagen::hospital(rows, 11);
+    let pipeline = raven_bench::train_dataset_pipeline(&dataset, model, name);
+    let batch = dataset.tables[0].to_batch().expect("batch");
+    (pipeline, batch)
+}
 
 fn featurized(
     rows: usize,
     model: ModelType,
     name: &'static str,
 ) -> (Matrix, raven_ml::TreeEnsemble) {
-    let dataset = raven_datagen::hospital(rows, 11);
-    let pipeline = raven_bench::train_dataset_pipeline(&dataset, model, name);
-    let batch = dataset.tables[0].to_batch().expect("batch");
+    let (pipeline, batch) = trained(rows, model, name);
     // evaluate the featurizers (scaler + one-hot) once, keep the matrix
     raven_bench::featurize_for_model(&pipeline, &batch).expect("tree-model pipeline")
 }
@@ -51,8 +69,67 @@ fn bench_scoring_kernels(c: &mut Criterion) {
             b.iter(|| flat.predict(&features).expect("flattened"))
         });
     }
+    // SIMD tier A/B on the shallow boosted shape the AVX2 walker is
+    // dispatched for (deeper trees stay on the scalar groups by design).
+    let (features, ensemble) = featurized(
+        rows,
+        ModelType::GradientBoosting {
+            n_estimators: 60,
+            max_depth: 4,
+            learning_rate: 0.15,
+        },
+        "GB-60xd4",
+    );
+    let flat = FlatEnsemble::compile(&ensemble).expect("compile");
+    group.bench_function("scalar-tier/GB-60xd4", |b| {
+        force_simd(Some(false));
+        b.iter(|| flat.predict(&features).expect("scalar"));
+        force_simd(None);
+    });
+    group.bench_function("simd-tier/GB-60xd4", |b| {
+        force_simd(Some(true));
+        b.iter(|| flat.predict(&features).expect("simd"));
+        force_simd(None);
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_scoring_kernels);
+fn bench_fused_pipeline(c: &mut Criterion) {
+    let rows = 4_000;
+    let shapes: Vec<(&str, ModelType)> = vec![
+        (
+            "GB-60xd6",
+            ModelType::GradientBoosting {
+                n_estimators: 60,
+                max_depth: 6,
+                learning_rate: 0.15,
+            },
+        ),
+        ("LR", ModelType::LogisticRegression { l1_alpha: 0.001 }),
+    ];
+    let rt = MlRuntime::new();
+    let mut group = c.benchmark_group("fused_pipeline_4k_rows");
+    for (label, model) in shapes {
+        let (pipeline, batch) = trained(rows, model, label);
+        let compiled = CompiledPipeline::compile(&pipeline).expect("compile");
+        assert!(compiled.fused().is_some(), "{label} should fuse");
+        group.bench_function(format!("per-operator/{label}"), |b| {
+            force_fusion(Some(false));
+            b.iter(|| {
+                rt.run_batch_chunked_compiled(&compiled, &batch)
+                    .expect("per-operator scoring")
+            });
+            force_fusion(None);
+        });
+        group.bench_function(format!("fused/{label}"), |b| {
+            b.iter(|| {
+                rt.run_batch_chunked_compiled(&compiled, &batch)
+                    .expect("fused scoring")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring_kernels, bench_fused_pipeline);
 criterion_main!(benches);

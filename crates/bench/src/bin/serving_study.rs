@@ -48,6 +48,24 @@ fn main() {
         result.flattened_score_rows_per_sec,
         result.interpreted_score_rows_per_sec
     );
+    assert!(
+        result.fused_pipeline_speedup >= raven_bench::FUSED_PIPELINE_SPEEDUP_GATE,
+        "the fused featurize→score pass should be >= {}x the per-operator \
+         compiled path end to end on the one-hot + scaler → GB-60 pipeline, \
+         got {:.2}x ({:.0} vs {:.0} rows/s)",
+        raven_bench::FUSED_PIPELINE_SPEEDUP_GATE,
+        result.fused_pipeline_speedup,
+        result.fused_pipeline_rows_per_sec,
+        result.unfused_pipeline_rows_per_sec
+    );
+    assert!(
+        result.simd_study_speedup >= raven_bench::SIMD_NO_REGRESSION_GATE
+            && result.simd_shallow_speedup >= raven_bench::SIMD_NO_REGRESSION_GATE,
+        "the SIMD tree tier must never regress the scalar flat walker, got \
+         {:.2}x on the study ensemble and {:.2}x on the shallow ensemble",
+        result.simd_study_speedup,
+        result.simd_shallow_speedup
+    );
     assert_eq!(
         result.streaming_materializations,
         raven_bench::STREAMING_MATERIALIZATIONS_GATE,

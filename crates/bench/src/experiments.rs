@@ -612,6 +612,26 @@ pub struct ServingStudyResult {
     pub flattened_score_rows_per_sec: f64,
     /// `flattened / interpreted` (the PR 4 acceptance target is ≥ 3×).
     pub scoring_speedup: f64,
+    /// End-to-end prepared-scoring throughput of the study's featurized
+    /// (one-hot + scaler → GB-60) pipeline on the PR 4 per-operator compiled
+    /// path (rows/s).
+    pub unfused_pipeline_rows_per_sec: f64,
+    /// The same pipeline through the PR 5 fused featurize→score pass.
+    pub fused_pipeline_rows_per_sec: f64,
+    /// `fused / unfused` (the PR 5 acceptance target is ≥ 1.5×).
+    pub fused_pipeline_speedup: f64,
+    /// SIMD-tier vs forced-scalar flat-walker throughput ratio on the
+    /// study's GB-60 ensemble (depth 6: the shape-aware dispatch keeps the
+    /// scalar groups, so this is the no-regression probe).
+    pub simd_study_speedup: f64,
+    /// Forced-scalar flat-walker throughput on the shallow (depth-4) GB
+    /// ensemble the AVX2 walker is dispatched for (rows/s).
+    pub scalar_shallow_rows_per_sec: f64,
+    /// SIMD-tier throughput on the same shallow ensemble (rows/s).
+    pub simd_shallow_rows_per_sec: f64,
+    /// `simd / scalar` on the shallow ensemble — where the AVX2 gathers
+    /// actually engage (≈ 1.0 on non-AVX2 hardware).
+    pub simd_shallow_speedup: f64,
     /// Intermediate batch materializations performed by the filtered
     /// streaming plan (selection-vector execution ⇒ 0: filters are zero-copy
     /// views, surviving rows are gathered once at the output boundary).
@@ -639,6 +659,32 @@ pub struct ScoringKernelAb {
     pub flattened_rows_per_sec: f64,
     /// `flattened / interpreted`.
     pub speedup: f64,
+    /// Flat walker with the SIMD tier forced off (scalar cursor groups).
+    pub scalar_tree_rows_per_sec: f64,
+    /// Flat walker with the AVX2 tier forced on (same code as scalar on
+    /// non-AVX2 hardware).
+    pub simd_tree_rows_per_sec: f64,
+    /// `simd / scalar` (the PR 5 no-regression gate).
+    pub simd_speedup: f64,
+}
+
+/// Best-of-rounds throughput measurement: run `f` repeatedly for `min_secs`
+/// per round and report the best rows/s over `rounds` rounds (first call of
+/// each round is an unmeasured warm-up).
+fn measure_rows_per_sec(rows: usize, min_secs: f64, rounds: usize, f: &mut dyn FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        f(); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed().as_secs_f64() < min_secs {
+            f();
+            iters += 1;
+        }
+        let rps = (rows as f64 * iters as f64) / start.elapsed().as_secs_f64();
+        best = best.max(rps);
+    }
+    best
 }
 
 /// Run the scoring-kernel A/B for a trained pipeline over a raw input batch.
@@ -649,7 +695,7 @@ pub fn scoring_kernel_ab(
     batch: &raven_columnar::Batch,
     min_secs: f64,
 ) -> Option<ScoringKernelAb> {
-    use raven_ml::FlatEnsemble;
+    use raven_ml::{force_simd, FlatEnsemble};
     let (features, ensemble) = featurize_for_model(pipeline, batch)?;
     let flat = FlatEnsemble::compile(&ensemble).ok()?;
     // Tile small inputs to steady-state size so the A/B measures kernel
@@ -666,27 +712,26 @@ pub fn scoring_kernel_ab(
     };
     let rows = features.rows();
 
-    let measure = |f: &mut dyn FnMut()| -> f64 {
-        let mut best = 0.0f64;
-        for _ in 0..2 {
-            f(); // warm-up
-            let start = Instant::now();
-            let mut iters = 0u64;
-            while start.elapsed().as_secs_f64() < min_secs {
-                f();
-                iters += 1;
-            }
-            let rps = (rows as f64 * iters as f64) / start.elapsed().as_secs_f64();
-            best = best.max(rps);
-        }
-        best
-    };
+    let measure = |f: &mut dyn FnMut()| measure_rows_per_sec(rows, min_secs, 2, f);
     let interpreted_rows_per_sec = measure(&mut || {
         std::hint::black_box(ensemble.predict(&features).expect("interpreted predict"));
     });
     let flattened_rows_per_sec = measure(&mut || {
         std::hint::black_box(flat.predict(&features).expect("flattened predict"));
     });
+    // SIMD tier A/B over the same flat walker: forced AVX2 dispatch vs the
+    // forced scalar cursor groups (identical on non-AVX2 hardware). Three
+    // rounds each — this backs a "never a regression" assert, so single-run
+    // noise must not decide it.
+    force_simd(Some(false));
+    let scalar_tree_rows_per_sec = measure_rows_per_sec(rows, min_secs, 3, &mut || {
+        std::hint::black_box(flat.predict(&features).expect("scalar predict"));
+    });
+    force_simd(Some(true));
+    let simd_tree_rows_per_sec = measure_rows_per_sec(rows, min_secs, 3, &mut || {
+        std::hint::black_box(flat.predict(&features).expect("simd predict"));
+    });
+    force_simd(None);
     Some(ScoringKernelAb {
         rows,
         trees: ensemble.n_trees(),
@@ -694,6 +739,65 @@ pub fn scoring_kernel_ab(
         interpreted_rows_per_sec,
         flattened_rows_per_sec,
         speedup: flattened_rows_per_sec / interpreted_rows_per_sec.max(1e-9),
+        scalar_tree_rows_per_sec,
+        simd_tree_rows_per_sec,
+        simd_speedup: simd_tree_rows_per_sec / scalar_tree_rows_per_sec.max(1e-9),
+    })
+}
+
+/// Single-core A/B of the **whole prediction pipeline** (featurize → score)
+/// over a compiled pipeline: the PR 4 per-operator baseline (interpreted
+/// featurizers + intermediate matrices + flat tree kernels) vs the PR 5
+/// fused pass (featurizers folded into the feature-lane transpose, model
+/// kernel fed lanes in place). Both sides run the identical
+/// `run_batch_chunked_compiled` entry point; only the fusion override
+/// differs.
+pub struct FusedPipelineAb {
+    /// Rows scored per iteration.
+    pub rows: usize,
+    /// Per-operator (PR 4) compiled-path throughput (rows/s).
+    pub unfused_rows_per_sec: f64,
+    /// Fused-pipeline throughput (rows/s).
+    pub fused_rows_per_sec: f64,
+    /// `fused / unfused`.
+    pub speedup: f64,
+}
+
+/// Run the fused-pipeline A/B. Returns `None` when the pipeline does not
+/// fuse (the A/B would measure the same code twice).
+pub fn fused_pipeline_ab(
+    pipeline: &raven_ml::Pipeline,
+    batch: &raven_columnar::Batch,
+    min_secs: f64,
+) -> Option<FusedPipelineAb> {
+    use raven_ml::{force_fusion, CompiledPipeline, MlRuntime};
+    let compiled = CompiledPipeline::compile(pipeline).ok()?;
+    compiled.fused()?;
+    let rows = batch.num_rows();
+    if rows == 0 {
+        return None;
+    }
+    let rt = MlRuntime::new();
+    let measure = |f: &mut dyn FnMut()| measure_rows_per_sec(rows, min_secs, 3, f);
+    force_fusion(Some(false));
+    let unfused_rows_per_sec = measure(&mut || {
+        std::hint::black_box(
+            rt.run_batch_chunked_compiled(&compiled, batch)
+                .expect("unfused scoring"),
+        );
+    });
+    force_fusion(None);
+    let fused_rows_per_sec = measure(&mut || {
+        std::hint::black_box(
+            rt.run_batch_chunked_compiled(&compiled, batch)
+                .expect("fused scoring"),
+        );
+    });
+    Some(FusedPipelineAb {
+        rows,
+        unfused_rows_per_sec,
+        fused_rows_per_sec,
+        speedup: fused_rows_per_sec / unfused_rows_per_sec.max(1e-9),
     })
 }
 
@@ -705,6 +809,18 @@ pub const SCORING_SPEEDUP_GATE: f64 = 3.0;
 /// Smoke gate for selection-vector execution: a filtered streaming plan must
 /// perform exactly this many intermediate batch materializations.
 pub const STREAMING_MATERIALIZATIONS_GATE: usize = 0;
+
+/// Smoke gate for the fused featurize→score pipeline: end-to-end prepared
+/// scoring of the featurized (one-hot + scaler → GB-60) study pipeline must
+/// beat the PR 4 per-operator compiled path by this factor.
+pub const FUSED_PIPELINE_SPEEDUP_GATE: f64 = 1.5;
+
+/// Smoke gate for the SIMD tree tier: with the shape-aware dispatch, SIMD
+/// scoring must never regress the scalar flat walker. Ratios on identical
+/// code paths (deep trees, non-AVX2 hardware) measure ≈ 1.0; this small
+/// tolerance absorbs single-core timer/frequency noise, not a real
+/// regression.
+pub const SIMD_NO_REGRESSION_GATE: f64 = 0.95;
 
 /// Prediction serving study: repeated-query throughput of per-request
 /// optimization vs. prepared+cached execution, and sequential vs. concurrent
@@ -976,6 +1092,28 @@ fn serving_study_impl(
     let model_pipeline = session.registry().get(&model_name).expect("study model");
     let ab = scoring_kernel_ab(&model_pipeline, &base, 0.25).expect("tree-model scoring A/B");
 
+    // 8b. fused-pipeline A/B: the whole featurize→score pass (one-hot +
+    //     scaler folded into the feature-lane transpose, trees fed lanes in
+    //     place) vs the PR 4 per-operator compiled path, end to end over the
+    //     same prepared pipeline and source batch (the PR 5 tentpole
+    //     measurement)
+    let fab = fused_pipeline_ab(&model_pipeline, &base, 0.25).expect("study pipeline fuses");
+
+    // 8c. SIMD-tier A/B on a shallow (depth-4) GB ensemble — the shape the
+    //     AVX2 walker is dispatched for (the study's depth-6 trees stay on
+    //     the scalar groups by design; `ab` above pins that no-regression)
+    let shallow_pipeline = crate::workload::train_dataset_pipeline(
+        &dataset,
+        raven_ml::ModelType::GradientBoosting {
+            n_estimators: 60,
+            max_depth: 4,
+            learning_rate: 0.15,
+        },
+        "GB4",
+    );
+    let shallow_ab =
+        scoring_kernel_ab(&shallow_pipeline, &base, 0.25).expect("shallow scoring A/B");
+
     // 9. the filtered streaming plan must perform zero intermediate batch
     //    materializations: filters are selection-vector views and surviving
     //    rows are gathered exactly once, at the output boundary
@@ -993,6 +1131,9 @@ fn serving_study_impl(
     let artifact_valid = write_artifact
         && !cfg!(debug_assertions)
         && ab.speedup >= SCORING_SPEEDUP_GATE
+        && fab.speedup >= FUSED_PIPELINE_SPEEDUP_GATE
+        && ab.simd_speedup >= SIMD_NO_REGRESSION_GATE
+        && shallow_ab.simd_speedup >= SIMD_NO_REGRESSION_GATE
         && streaming_materializations == STREAMING_MATERIALIZATIONS_GATE;
     if artifact_valid {
         let unix_time = std::time::SystemTime::now()
@@ -1003,7 +1144,11 @@ fn serving_study_impl(
             "{{\n  \"bench\": \"scoring_kernels\",\n  \"workload\": \"{model_name}\",\n  \
              \"feature_rows\": {},\n  \"trees\": {},\n  \"total_nodes\": {},\n  \
              \"interpreted_rows_per_sec\": {:.0},\n  \"flattened_rows_per_sec\": {:.0},\n  \
-             \"speedup\": {:.2},\n  \"streaming_intermediate_materializations\": {},\n  \
+             \"speedup\": {:.2},\n  \"unfused_pipeline_rows_per_sec\": {:.0},\n  \
+             \"fused_pipeline_rows_per_sec\": {:.0},\n  \"fused_pipeline_speedup\": {:.2},\n  \
+             \"simd_study_speedup\": {:.2},\n  \"scalar_shallow_rows_per_sec\": {:.0},\n  \
+             \"simd_shallow_rows_per_sec\": {:.0},\n  \"simd_shallow_speedup\": {:.2},\n  \
+             \"streaming_intermediate_materializations\": {},\n  \
              \"unix_time\": {unix_time}\n}}\n",
             ab.rows,
             ab.trees,
@@ -1011,6 +1156,13 @@ fn serving_study_impl(
             ab.interpreted_rows_per_sec,
             ab.flattened_rows_per_sec,
             ab.speedup,
+            fab.unfused_rows_per_sec,
+            fab.fused_rows_per_sec,
+            fab.speedup,
+            ab.simd_speedup,
+            shallow_ab.scalar_tree_rows_per_sec,
+            shallow_ab.simd_tree_rows_per_sec,
+            shallow_ab.simd_speedup,
             streaming_materializations,
         );
         // anchored at the workspace root so binaries and tests agree on one path
@@ -1020,13 +1172,17 @@ fn serving_study_impl(
         }
     } else if write_artifact {
         eprintln!(
-            "skipping BENCH_scoring.json: {} (speedup {:.2}x, materializations {})",
+            "skipping BENCH_scoring.json: {} (scoring {:.2}x, fused {:.2}x, simd {:.2}x/{:.2}x, \
+             materializations {})",
             if cfg!(debug_assertions) {
                 "unoptimized (debug) build"
             } else {
                 "measurement fails the smoke gates"
             },
             ab.speedup,
+            fab.speedup,
+            ab.simd_speedup,
+            shallow_ab.simd_speedup,
             streaming_materializations,
         );
     }
@@ -1083,6 +1239,19 @@ fn serving_study_impl(
         ab.speedup
     );
     println!(
+        "fused featurize→score pipeline ({} rows): per-operator {:>9.0} rows/s, \
+         fused {:>9.0} rows/s — {:.2}x",
+        fab.rows, fab.unfused_rows_per_sec, fab.fused_rows_per_sec, fab.speedup
+    );
+    println!(
+        "SIMD tree tier: study GB-60/d6 {:.2}x (scalar dispatch by shape), \
+         shallow GB-60/d4 scalar {:>9.0} vs simd {:>9.0} rows/s — {:.2}x",
+        ab.simd_speedup,
+        shallow_ab.scalar_tree_rows_per_sec,
+        shallow_ab.simd_tree_rows_per_sec,
+        shallow_ab.simd_speedup
+    );
+    println!(
         "filtered streaming plan intermediate materializations: \
          {streaming_materializations}"
     );
@@ -1102,6 +1271,13 @@ fn serving_study_impl(
         interpreted_score_rows_per_sec: ab.interpreted_rows_per_sec,
         flattened_score_rows_per_sec: ab.flattened_rows_per_sec,
         scoring_speedup: ab.speedup,
+        unfused_pipeline_rows_per_sec: fab.unfused_rows_per_sec,
+        fused_pipeline_rows_per_sec: fab.fused_rows_per_sec,
+        fused_pipeline_speedup: fab.speedup,
+        simd_study_speedup: ab.simd_speedup,
+        scalar_shallow_rows_per_sec: shallow_ab.scalar_tree_rows_per_sec,
+        simd_shallow_rows_per_sec: shallow_ab.simd_tree_rows_per_sec,
+        simd_shallow_speedup: shallow_ab.simd_speedup,
         streaming_materializations,
         report,
     }
@@ -1478,6 +1654,75 @@ mod tests {
         );
         assert!(result.report.plan_cache_hit_rate() > 0.5);
         assert!(result.report.completed > 0);
+    }
+
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn perf_probe_trained_simd() {
+        use raven_ml::{force_simd, FlatEnsemble};
+        let dataset = hospital(4_000, 11);
+        for depth in [3usize, 4, 6] {
+            let pipeline = crate::workload::train_dataset_pipeline(
+                &dataset,
+                ModelType::GradientBoosting {
+                    n_estimators: 60,
+                    max_depth: depth,
+                    learning_rate: 0.15,
+                },
+                "GB",
+            );
+            let batch = dataset.tables[0].to_batch().unwrap();
+            let (features, ensemble) = featurize_for_model(&pipeline, &batch).unwrap();
+            let flat = FlatEnsemble::compile(&ensemble).unwrap();
+            let rows = features.rows();
+            let mut rates = [0.0f64; 2];
+            for (k, simd) in [false, true].into_iter().enumerate() {
+                force_simd(Some(simd));
+                rates[k] = measure_rows_per_sec(rows, 0.3, 3, &mut || {
+                    std::hint::black_box(flat.predict(&features).unwrap());
+                });
+            }
+            force_simd(None);
+            println!(
+                "trained GB-60 depth {depth} (mean {:.1}, feats {}): scalar {:.2}M simd {:.2}M ({:.2}x)",
+                ensemble.mean_depth(),
+                features.cols(),
+                rates[0] / 1e6,
+                rates[1] / 1e6,
+                rates[1] / rates[0]
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn perf_probe_fused_pipeline() {
+        let dataset = hospital(4_000, 11);
+        let pipeline = crate::workload::train_dataset_pipeline(
+            &dataset,
+            ModelType::GradientBoosting {
+                n_estimators: 60,
+                max_depth: 6,
+                learning_rate: 0.15,
+            },
+            "GB",
+        );
+        let batch = dataset.tables[0].to_batch().unwrap();
+        let ab = fused_pipeline_ab(&pipeline, &batch, 0.4).expect("pipeline fuses");
+        println!(
+            "fused pipeline: unfused {:.0} rows/s, fused {:.0} rows/s — {:.2}x",
+            ab.unfused_rows_per_sec, ab.fused_rows_per_sec, ab.speedup
+        );
+        let kab = scoring_kernel_ab(&pipeline, &batch, 0.3).expect("tree A/B");
+        println!(
+            "tree kernels: interpreted {:.0}, flattened {:.0} ({:.2}x), scalar {:.0}, simd {:.0} ({:.2}x)",
+            kab.interpreted_rows_per_sec,
+            kab.flattened_rows_per_sec,
+            kab.speedup,
+            kab.scalar_tree_rows_per_sec,
+            kab.simd_tree_rows_per_sec,
+            kab.simd_speedup
+        );
     }
 
     #[test]

@@ -222,11 +222,16 @@ pub struct PredictionOutput {
 
 /// Per-partition models compiled at prepare time (data-induced §4.2),
 /// packaged so a serving tier can cache them independently of (and with a
-/// longer lifetime than) the plan cache.
+/// longer lifetime than) the plan cache. Since PR 5 the cache entry carries
+/// the fully compiled [`CompiledPipeline`]s — flattened tree arenas *and*
+/// the fused featurizer plan (lane programs, category tables) — so a
+/// model-cache hit skips every per-partition compilation step, not just the
+/// statistics-driven pruning.
 #[derive(Debug, Clone)]
 pub struct CompiledModels {
-    /// One specialized pipeline per partition of the scanned table.
-    pub pipelines: Arc<Vec<Pipeline>>,
+    /// One specialized, fully compiled pipeline per partition of the
+    /// scanned table.
+    pub pipelines: Arc<Vec<CompiledPipeline>>,
     /// The compilation report (partition-model count, pruned columns).
     pub report: DataInducedReport,
 }
@@ -848,6 +853,16 @@ impl RavenSession {
         plan: &UnifiedPlan,
         hooks: &mut Option<&mut ModelCacheHooks<'_>>,
     ) -> Result<MlRuntimePlan> {
+        // Compile every scoring pipeline once, at prepare time — flattened
+        // tree arenas plus the fused featurizer plan: executions replay only
+        // the compiled block-at-a-time kernels.
+        let compile_all = |models: &[Pipeline]| -> Result<Arc<Vec<CompiledPipeline>>> {
+            models
+                .iter()
+                .map(|p| CompiledPipeline::compile(p).map_err(|e| RavenError::Ml(e.to_string())))
+                .collect::<Result<Vec<_>>>()
+                .map(Arc::new)
+        };
         let partition_models = if self.config.enable_partition_models {
             let key = hooks.as_ref().map(|_| self.model_cache_key(plan));
             let cached = match (hooks.as_mut(), key.as_deref()) {
@@ -855,12 +870,14 @@ impl RavenSession {
                 _ => None,
             };
             match cached {
+                // a hit reuses the fully compiled artifacts — pruned
+                // pipelines, flat ensembles, and fused featurizer plans
                 Some(c) if c.pipelines.len() > 1 => Some((c.pipelines, c.report)),
                 _ => {
                     let (models, report) = compile_partition_models(plan, &self.catalog)?;
                     if models.len() > 1 {
                         let compiled = CompiledModels {
-                            pipelines: Arc::new(models),
+                            pipelines: compile_all(&models)?,
                             report,
                         };
                         if let (Some(h), Some(k)) = (hooks.as_mut(), key.as_deref()) {
@@ -875,15 +892,6 @@ impl RavenSession {
         } else {
             None
         };
-        // Flatten every scoring pipeline's tree ensembles once, at prepare
-        // time: executions replay only the compiled struct-of-arrays kernels.
-        let compile_all = |models: &[Pipeline]| -> Result<Arc<Vec<CompiledPipeline>>> {
-            models
-                .iter()
-                .map(|p| CompiledPipeline::compile(p).map_err(|e| RavenError::Ml(e.to_string())))
-                .collect::<Result<Vec<_>>>()
-                .map(Arc::new)
-        };
         match partition_models {
             Some((models, report)) if matches!(plan.data, LogicalPlan::Scan { .. }) => {
                 // per-partition compiled models: the table is streamed
@@ -897,7 +905,7 @@ impl RavenSession {
                 Ok(MlRuntimePlan {
                     data: None,
                     scan_table: Some(table_name),
-                    models: compile_all(&models)?,
+                    models,
                     partition_report: Some(report),
                     schema,
                 })

@@ -1,26 +1,34 @@
 //! Pipelines with pre-compiled scoring kernels.
 //!
 //! A [`CompiledPipeline`] pairs a validated [`Pipeline`] with the flattened
-//! struct-of-arrays scorer ([`FlatEnsemble`]) of every tree-ensemble node,
+//! struct-of-arrays scorer ([`FlatEnsemble`]) of every tree-ensemble node
+//! **and**, whenever the pipeline's shape allows it, the fully fused
+//! featurize→score pass ([`FusedPipeline`]) — featurizer chain folded into
+//! the feature-lane transpose, model kernel fed finished lanes — all
 //! compiled once. This is the form a prepared statement carries: the
 //! expensive per-query-shape work (validation, feature-bound checking,
-//! arena flattening) happens at prepare time, and every execution runs only
-//! the tight block-at-a-time kernels. The interpreted operator graph remains
+//! arena flattening, lane-program resolution, category-table construction)
+//! happens at prepare time, and every execution runs only the tight
+//! block-at-a-time kernels. The interpreted operator graph remains
 //! available as the parity baseline (`RAVEN_SCORER=interpreted` /
-//! [`crate::ops::force_scorer`]).
+//! [`crate::ops::force_scorer`]), and the per-operator compiled path as the
+//! fusion baseline ([`crate::kernels::force_fusion`]).
 
 use crate::error::Result;
+use crate::kernels::FusedPipeline;
 use crate::ops::{FlatEnsemble, Operator};
 use crate::pipeline::Pipeline;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A pipeline plus the flattened scorer of each tree-ensemble node, keyed by
-/// node name. Cloning is cheap (everything is behind `Arc`s).
+/// A pipeline plus its compiled kernels: the flattened scorer of each
+/// tree-ensemble node (keyed by node name) and the optional fused
+/// featurize→score pass. Cloning is cheap (everything is behind `Arc`s).
 #[derive(Debug, Clone)]
 pub struct CompiledPipeline {
     pipeline: Arc<Pipeline>,
     flat: Arc<HashMap<String, Arc<FlatEnsemble>>>,
+    fused: Option<Arc<FusedPipeline>>,
 }
 
 impl CompiledPipeline {
@@ -38,9 +46,11 @@ impl CompiledPipeline {
                 flat.insert(node.name.clone(), Arc::new(FlatEnsemble::compile(e)?));
             }
         }
+        let fused = FusedPipeline::compile(&pipeline, &flat).map(Arc::new);
         Ok(CompiledPipeline {
             pipeline,
             flat: Arc::new(flat),
+            fused,
         })
     }
 
@@ -52,6 +62,11 @@ impl CompiledPipeline {
     /// The flattened scorers, keyed by node name.
     pub fn flat_scorers(&self) -> &HashMap<String, Arc<FlatEnsemble>> {
         &self.flat
+    }
+
+    /// The fused featurize→score pass, when the pipeline's shape fused.
+    pub fn fused(&self) -> Option<&Arc<FusedPipeline>> {
+        self.fused.as_ref()
     }
 
     /// How many nodes have a compiled kernel.

@@ -7,11 +7,21 @@
 //! on data exactly like the scikit-learn pipelines of §7), and a batch
 //! inference runtime standing in for ONNX Runtime behind the data engine's
 //! UDF boundary.
+//!
+//! Scoring runs compiled kernels by default: [`CompiledPipeline`] pairs a
+//! validated pipeline with flattened tree arenas ([`FlatEnsemble`], with an
+//! AVX2 tier runtime-dispatched per tree shape) and — whenever the shape
+//! allows — the fully fused featurize→score pass ([`FusedPipeline`], see
+//! [`kernels`]). The interpreted operator graph survives as the parity
+//! oracle (`RAVEN_SCORER=interpreted`), the per-operator compiled path as
+//! the fusion baseline ([`force_fusion`]), and the scalar cursor groups as
+//! the SIMD baseline (`RAVEN_SIMD=off` / [`force_simd`]).
 
 pub mod builder;
 pub mod compiled;
 pub mod error;
 pub mod frame;
+pub mod kernels;
 pub mod ops;
 pub mod pipeline;
 pub mod runtime;
@@ -21,11 +31,12 @@ pub use builder::{train_pipeline, ModelType, PipelineSpec};
 pub use compiled::CompiledPipeline;
 pub use error::{MlError, Result};
 pub use frame::{FrameValue, Matrix, StringMatrix};
+pub use kernels::{force_fusion, fusion_active, FusedPipeline};
 pub use ops::{
-    force_scorer, format_numeric_category, scorer_mode, sigmoid, Binarizer, ConstantNode,
-    EnsembleKind, FeatureExtractor, FlatEnsemble, Imputer, LabelEncoder, LinearRegressionModel,
-    LinearSvmModel, LogisticRegressionModel, Norm, Normalizer, OneHotEncoder, Operator,
-    OperatorCategory, Scaler, ScorerMode, Tree, TreeEnsemble, TreeNode,
+    force_scorer, force_simd, format_numeric_category, scorer_mode, sigmoid, simd_active,
+    Binarizer, CategoryTable, ConstantNode, EnsembleKind, FeatureExtractor, FlatEnsemble, Imputer,
+    LabelEncoder, LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm, Normalizer,
+    OneHotEncoder, Operator, OperatorCategory, Scaler, ScorerMode, Tree, TreeEnsemble, TreeNode,
 };
 pub use pipeline::{InputKind, Pipeline, PipelineInput, PipelineNode};
 pub use runtime::{

@@ -5,6 +5,7 @@
 use crate::error::{MlError, Result};
 use crate::frame::{FrameValue, Matrix};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Standard/affine scaler: `y = (x - offset) * scale` per feature column
 /// (ONNX `Scaler` semantics, matching the paper's §4.1 constant propagation).
@@ -34,15 +35,16 @@ impl Scaler {
                 input.cols()
             )));
         }
-        let mut out = input.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            for c in 0..cols {
-                let v = (input.get(r, c) - self.offsets[c]) * self.scales[c];
-                out.set(r, c, v);
+        let cols = input.cols();
+        let mut data = Vec::with_capacity(input.data().len());
+        if cols > 0 {
+            for row in input.data().chunks_exact(cols) {
+                for ((&v, &o), &s) in row.iter().zip(&self.offsets).zip(&self.scales) {
+                    data.push((v - o) * s);
+                }
             }
         }
-        Ok(out)
+        Matrix::new(input.rows(), cols, data)
     }
 
     /// Transform a single scalar for feature `col` (used when propagating
@@ -80,6 +82,96 @@ impl Scaler {
     }
 }
 
+/// Precomputed category → output-index lookup shared by the interpreted
+/// encoders and the fused featurization kernels.
+///
+/// The interpreted encoders used to do an O(#categories) linear scan per row,
+/// and — for numeric inputs — allocate a fresh `format!` String per row just
+/// to compare it against the category list. This table is built once (per
+/// `transform` call on the interpreted path, once at compile time on the
+/// fused path) and answers every lookup without allocating:
+///
+/// * strings hash straight into `by_string`;
+/// * numeric values compare **numerically**: a category string `c` matches a
+///   value `v` iff `format_numeric_category(v) == c`, which holds iff `c`
+///   parses to a float that round-trips through the formatter and equals `v`
+///   (`format_numeric_category` is value-faithful, so distinct values never
+///   share a rendering, and `-0.0` renders like `0.0`). The one value whose
+///   equality is not numeric is NaN (`format!` renders it `"NaN"`), kept as
+///   an explicit index;
+/// * `i64`/bool-sourced categorical columns (which the runtime renders via
+///   `to_string`) use an exact integer table.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryTable {
+    by_string: HashMap<String, usize>,
+    /// `(value, index)` for categories reachable from an `f64`, sorted by
+    /// value (no NaNs; `-0.0` never appears — it renders as `"0"`).
+    numeric: Vec<(f64, usize)>,
+    by_int: HashMap<i64, usize>,
+    nan_index: Option<usize>,
+}
+
+impl CategoryTable {
+    /// Build the lookup table. Duplicate category strings keep their first
+    /// index, matching `iter().position()` on the raw list.
+    pub fn build(categories: &[String]) -> CategoryTable {
+        let mut t = CategoryTable::default();
+        for (i, c) in categories.iter().enumerate() {
+            if t.by_string.contains_key(c) {
+                continue;
+            }
+            t.by_string.insert(c.clone(), i);
+            if c == "NaN" {
+                t.nan_index = Some(i);
+                continue;
+            }
+            if let Ok(v) = c.parse::<f64>() {
+                if format_numeric_category(v) == *c {
+                    t.numeric.push((v, i));
+                }
+            }
+            if let Ok(n) = c.parse::<i64>() {
+                if n.to_string() == *c {
+                    t.by_int.insert(n, i);
+                }
+            }
+        }
+        t.numeric
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN keys"));
+        t
+    }
+
+    /// Index of a category string.
+    pub fn index_of_str(&self, value: &str) -> Option<usize> {
+        self.by_string.get(value).copied()
+    }
+
+    /// Index of the category an `f64` value renders to
+    /// (`format_numeric_category`) — without rendering it.
+    pub fn index_of_f64(&self, value: f64) -> Option<usize> {
+        if value.is_nan() {
+            return self.nan_index;
+        }
+        // -0.0 renders as "0": compare as +0.0 (== treats them equal anyway,
+        // but binary search needs the canonical key ordering)
+        let key = if value == 0.0 { 0.0 } else { value };
+        self.numeric
+            .binary_search_by(|(k, _)| k.partial_cmp(&key).expect("no NaN keys"))
+            .ok()
+            .map(|pos| self.numeric[pos].1)
+    }
+
+    /// Index of the category an `i64` value renders to (`to_string`).
+    pub fn index_of_i64(&self, value: i64) -> Option<usize> {
+        self.by_int.get(&value).copied()
+    }
+
+    /// Index of the category a bool renders to (`0` / `1`).
+    pub fn index_of_bool(&self, value: bool) -> Option<usize> {
+        self.index_of_i64(value as i64)
+    }
+}
+
 /// One-hot encoder over a single categorical input column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OneHotEncoder {
@@ -97,19 +189,21 @@ impl OneHotEncoder {
                 input.cols()
             )));
         }
+        // category → index resolved once, not per row (and numeric inputs
+        // compare numerically instead of allocating a String per row)
+        let table = CategoryTable::build(&self.categories);
         let mut out = Matrix::zeros(rows, self.categories.len());
         match input {
             FrameValue::Strings(m) => {
                 for r in 0..rows {
-                    if let Some(idx) = self.category_index(m.get(r, 0)) {
+                    if let Some(idx) = table.index_of_str(m.get(r, 0)) {
                         out.set(r, idx, 1.0);
                     }
                 }
             }
             FrameValue::Numeric(m) => {
                 for r in 0..rows {
-                    let s = format_numeric_category(m.get(r, 0));
-                    if let Some(idx) = self.category_index(&s) {
+                    if let Some(idx) = table.index_of_f64(m.get(r, 0)) {
                         out.set(r, idx, 1.0);
                     }
                 }
@@ -165,12 +259,12 @@ impl LabelEncoder {
                 "label encoder expects a single column".into(),
             ));
         }
+        // class → index resolved once, not per row
+        let table = CategoryTable::build(&self.classes);
         let mut out = Matrix::zeros(strings.rows(), 1);
         for r in 0..strings.rows() {
-            let v = self
-                .classes
-                .iter()
-                .position(|c| c == strings.get(r, 0))
+            let v = table
+                .index_of_str(strings.get(r, 0))
                 .map(|i| i as f64)
                 .unwrap_or(-1.0);
             out.set(r, 0, v);
@@ -196,17 +290,16 @@ impl Imputer {
                 input.cols()
             )));
         }
-        let mut out = input.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            for c in 0..cols {
-                if out.get(r, c).is_nan() {
-                    out.set(r, c, self.fill[c]);
+        let cols = input.cols();
+        let mut data = Vec::with_capacity(input.data().len());
+        if cols > 0 {
+            for row in input.data().chunks_exact(cols) {
+                for (&v, &fill) in row.iter().zip(&self.fill) {
+                    data.push(if v.is_nan() { fill } else { v });
                 }
             }
         }
-        let _ = cols;
-        Ok(out)
+        Matrix::new(input.rows(), cols, data)
     }
 }
 
@@ -220,11 +313,12 @@ pub struct Binarizer {
 impl Binarizer {
     /// Apply to a numeric matrix.
     pub fn transform(&self, input: &Matrix) -> Matrix {
-        let mut out = input.clone();
-        for v in out.data_mut() {
-            *v = if *v > self.threshold { 1.0 } else { 0.0 };
-        }
-        out
+        let data = input
+            .data()
+            .iter()
+            .map(|&v| if v > self.threshold { 1.0 } else { 0.0 })
+            .collect();
+        Matrix::new(input.rows(), input.cols(), data).expect("same shape")
     }
 }
 
@@ -246,22 +340,23 @@ pub struct Normalizer {
 impl Normalizer {
     /// Apply to a numeric matrix.
     pub fn transform(&self, input: &Matrix) -> Matrix {
-        let mut out = input.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            let row = input.row(r);
-            let norm = match self.norm {
-                Norm::L1 => row.iter().map(|x| x.abs()).sum::<f64>(),
-                Norm::L2 => row.iter().map(|x| x * x).sum::<f64>().sqrt(),
-                Norm::Max => row.iter().fold(0.0f64, |a, &b| a.max(b.abs())),
-            };
-            if norm > 0.0 {
-                for c in 0..cols {
-                    out.set(r, c, input.get(r, c) / norm);
+        let cols = input.cols();
+        let mut data = Vec::with_capacity(input.data().len());
+        if cols > 0 {
+            for row in input.data().chunks_exact(cols) {
+                let norm = match self.norm {
+                    Norm::L1 => row.iter().map(|x| x.abs()).sum::<f64>(),
+                    Norm::L2 => row.iter().map(|x| x * x).sum::<f64>().sqrt(),
+                    Norm::Max => row.iter().fold(0.0f64, |a, &b| a.max(b.abs())),
+                };
+                if norm > 0.0 {
+                    data.extend(row.iter().map(|&v| v / norm));
+                } else {
+                    data.extend_from_slice(row);
                 }
             }
         }
-        out
+        Matrix::new(input.rows(), cols, data).expect("same shape")
     }
 }
 
@@ -292,13 +387,11 @@ pub struct ConstantNode {
 impl ConstantNode {
     /// Materialize `rows` copies of the constant vector.
     pub fn materialize(&self, rows: usize) -> Matrix {
-        let mut out = Matrix::zeros(rows, self.values.len());
-        for r in 0..rows {
-            for (c, &v) in self.values.iter().enumerate() {
-                out.set(r, c, v);
-            }
+        let mut data = Vec::with_capacity(rows * self.values.len());
+        for _ in 0..rows {
+            data.extend_from_slice(&self.values);
         }
-        out
+        Matrix::new(rows, self.values.len(), data).expect("constant shape")
     }
 }
 
@@ -373,6 +466,49 @@ mod tests {
         assert_eq!(out.row(1), &[0.0, 0.0, 1.0]);
         assert_eq!(format_numeric_category(3.0), "3");
         assert_eq!(format_numeric_category(3.5), "3.5");
+    }
+
+    #[test]
+    fn category_table_matches_string_semantics() {
+        let cats: Vec<String> = ["0", "1", "3.5", "no", "NaN", "3.0", "1", "-7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let t = CategoryTable::build(&cats);
+        // string lookups: first occurrence wins, like iter().position()
+        for (i, c) in cats.iter().enumerate() {
+            let expected = cats.iter().position(|x| x == c).unwrap();
+            assert_eq!(t.index_of_str(c), Some(expected), "category {i}");
+        }
+        assert_eq!(t.index_of_str("nope"), None);
+        // numeric lookups agree with format-then-match on every probe value
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            3.5,
+            3.0,
+            -7.0,
+            f64::NAN,
+            f64::INFINITY,
+            2.25,
+            1e16,
+        ] {
+            let via_format = cats.iter().position(|c| *c == format_numeric_category(v));
+            assert_eq!(t.index_of_f64(v), via_format, "value {v}");
+        }
+        // category "3.0" is unreachable from numeric input: 3.0 renders "3"
+        assert_eq!(t.index_of_f64(3.0), None);
+        assert_eq!(t.index_of_str("3.0"), Some(5));
+        // NaN matches only the literal "NaN" category
+        assert_eq!(t.index_of_f64(f64::NAN), Some(4));
+        // integer / bool lookups agree with to_string-then-match
+        for i in [-7i64, 0, 1, 3, 99] {
+            let via_format = cats.iter().position(|c| *c == i.to_string());
+            assert_eq!(t.index_of_i64(i), via_format, "int {i}");
+        }
+        assert_eq!(t.index_of_bool(true), Some(1));
+        assert_eq!(t.index_of_bool(false), Some(0));
     }
 
     #[test]

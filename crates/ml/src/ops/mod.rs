@@ -7,10 +7,12 @@ pub mod linear;
 pub mod tree;
 
 pub use featurizer::{
-    concat, format_numeric_category, Binarizer, ConstantNode, FeatureExtractor, Imputer,
-    LabelEncoder, Norm, Normalizer, OneHotEncoder, Scaler,
+    concat, format_numeric_category, Binarizer, CategoryTable, ConstantNode, FeatureExtractor,
+    Imputer, LabelEncoder, Norm, Normalizer, OneHotEncoder, Scaler,
 };
-pub use flat::{force_scorer, scorer_mode, FlatEnsemble, ScorerMode, BLOCK};
+pub use flat::{
+    force_scorer, force_simd, scorer_mode, simd_active, FlatEnsemble, ScorerMode, BLOCK,
+};
 pub use linear::{sigmoid, LinearRegressionModel, LinearSvmModel, LogisticRegressionModel};
 pub use tree::{EnsembleKind, Tree, TreeEnsemble, TreeNode};
 

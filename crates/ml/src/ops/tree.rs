@@ -704,7 +704,10 @@ mod tests {
         assert_eq!(t.node_count(), 2 * levels + 1);
         let copy = t.compact();
         for row in [[0.0], [levels as f64 - 2.5], [f64::NAN]] {
-            assert_eq!(t.predict_row(&row).to_bits(), copy.predict_row(&row).to_bits());
+            assert_eq!(
+                t.predict_row(&row).to_bits(),
+                copy.predict_row(&row).to_bits()
+            );
         }
         // the domain forces every split left: the chain collapses to a leaf
         let mut domains = BTreeMap::new();

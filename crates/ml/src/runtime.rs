@@ -9,6 +9,7 @@
 use crate::compiled::CompiledPipeline;
 use crate::error::{MlError, Result};
 use crate::frame::{FrameValue, Matrix, StringMatrix};
+use crate::kernels::{fusion_active, FusedPipeline};
 use crate::ops::{format_numeric_category, scorer_mode, FlatEnsemble, Operator, ScorerMode};
 use crate::pipeline::{InputKind, Pipeline};
 use raven_columnar::{
@@ -128,6 +129,9 @@ impl MlRuntime {
         compiled: &CompiledPipeline,
         batch: &Batch,
     ) -> Result<Vec<f64>> {
+        if let Some(fused) = self.fused_of(compiled) {
+            return self.fused_scores(fused, batch, None);
+        }
         self.chunked_scores(compiled.pipeline(), batch, self.flat_of(compiled))
     }
 
@@ -140,6 +144,57 @@ impl MlRuntime {
         match scorer_mode() {
             ScorerMode::Flattened => Some(compiled.flat_scorers()),
             ScorerMode::Interpreted => None,
+        }
+    }
+
+    /// The fused featurize→score pass to use, honoring both the scorer-mode
+    /// oracle (`RAVEN_SCORER=interpreted` disables every compiled kernel)
+    /// and the fusion A/B override ([`crate::kernels::force_fusion`] pins
+    /// the per-operator PR 4 baseline).
+    fn fused_of<'c>(&self, compiled: &'c CompiledPipeline) -> Option<&'c Arc<FusedPipeline>> {
+        if scorer_mode() == ScorerMode::Interpreted || !fusion_active() {
+            return None;
+        }
+        compiled.fused()
+    }
+
+    /// Score a batch (or its selected rows) through the fused pipeline: one
+    /// pass over the source columns per block produces feature-major lanes
+    /// the model kernel consumes in place. Chunked by `batch_size` with the
+    /// per-batch overhead charged per chunk, mirroring the per-operator
+    /// path's accounting.
+    fn fused_scores(
+        &self,
+        fused: &FusedPipeline,
+        batch: &Batch,
+        indices: Option<&[u32]>,
+    ) -> Result<Vec<f64>> {
+        if batch.num_rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let bound = fused.bind(batch)?;
+        let step = self.config.batch_size.max(1);
+        match indices {
+            None => {
+                let total = batch.num_rows();
+                let mut out = Vec::with_capacity(total);
+                let mut start = 0;
+                while start < total {
+                    let len = step.min(total - start);
+                    self.charge(self.config.per_batch_overhead);
+                    bound.score_range(start, len, &mut out)?;
+                    start += len;
+                }
+                Ok(out)
+            }
+            Some(indices) => {
+                let mut out = Vec::with_capacity(indices.len());
+                for chunk in indices.chunks(step) {
+                    self.charge(self.config.per_batch_overhead);
+                    bound.score_gathered(chunk, &mut out)?;
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -188,11 +243,25 @@ impl MlRuntime {
         selection: Option<&SelectionVector>,
         score_column: &str,
     ) -> Result<Batch> {
-        let flat = self.flat_of(compiled);
         let pipeline = compiled.pipeline();
         let scores = match selection.and_then(|s| s.indices()) {
-            None => self.chunked_scores(pipeline, batch, flat)?,
+            None => match self.fused_of(compiled) {
+                Some(fused) => self.fused_scores(fused, batch, None)?,
+                None => self.chunked_scores(pipeline, batch, self.flat_of(compiled))?,
+            },
+            Some(indices) if self.fused_of(compiled).is_some() => {
+                // fused gather: selected rows are read straight from the
+                // source columns into feature lanes, scores scatter back
+                let fused = self.fused_of(compiled).expect("checked above");
+                let packed = self.fused_scores(fused, batch, Some(indices))?;
+                let mut full = vec![f64::NAN; batch.num_rows()];
+                for (&row, &score) in indices.iter().zip(packed.iter()) {
+                    full[row as usize] = score;
+                }
+                full
+            }
             Some(indices) => {
+                let flat = self.flat_of(compiled);
                 let mut packed = Vec::with_capacity(indices.len());
                 for chunk in indices.chunks(self.config.batch_size.max(1)) {
                     self.charge(self.config.per_batch_overhead);

@@ -438,7 +438,7 @@ enum JoinKey {
 
 fn join_keys(batch: &Batch, key: &str) -> Result<Vec<Option<JoinKey>>> {
     let col = batch.column_by_name(key)?;
-    Ok((0..col.len()).map(|i| join_key_at(&col, i)).collect())
+    Ok((0..col.len()).map(|i| join_key_at(col, i)).collect())
 }
 
 fn build_hash_table(right: &Batch, right_key: &str) -> Result<HashMap<JoinKey, Vec<usize>>> {

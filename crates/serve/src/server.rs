@@ -190,6 +190,10 @@ struct Flight {
 struct ServerInner {
     session: RwLock<RavenSession>,
     plan_cache: Mutex<LruCache<String, Arc<PreparedStatement>>>,
+    /// Per-partition compiled artifacts, shared across prepared statements:
+    /// each entry carries fully compiled pipelines — flattened tree arenas
+    /// *and* fused featurizer plans — so a hit skips per-partition pruning
+    /// and kernel compilation entirely.
     model_cache: Mutex<LruCache<String, CompiledModels>>,
     /// Single-flight prepares in progress, keyed by
     /// `fingerprint @ (catalog epoch, registry epoch)`.

@@ -91,6 +91,30 @@
 //!   walker (`tests/scoring_parity.rs`); `RAVEN_SCORER=interpreted` pins
 //!   the baseline, and the `serving_study` smoke asserts ≥ 3× single-core
 //!   scoring throughput on the GB-60 workload (`BENCH_scoring.json`).
+//! * **Fused featurization (PR 5).** `ml::CompiledPipeline` additionally
+//!   compiles the whole featurize→score pass into one kernel
+//!   (`ml::FusedPipeline`) whenever the pipeline's shape allows: the
+//!   operator DAG resolves into per-lane programs (source column → scalar
+//!   stage chain: NaN-fill, affine `(x-offset)*scale`, thresholding),
+//!   one-hot encoders become lane scatters over precomputed
+//!   `ml::CategoryTable`s (numeric categories compare numerically — no
+//!   per-row `format!`), and one pass over the source columns per block
+//!   writes finished feature-major lanes the model kernel consumes in
+//!   place — tree ensembles via the flat walker, linear models via a dense
+//!   lane-major dot kernel. No intermediate `Matrix` exists per operator.
+//!   The per-operator compiled path survives as the A/B baseline
+//!   (`ml::force_fusion`); measured ≈ 5× end-to-end prepared scoring on
+//!   the one-hot + scaler → GB-60 workload (gate ≥ 1.5× in
+//!   `serving_study`).
+//! * **SIMD tree tier (PR 5).** On AVX2 hardware
+//!   (`is_x86_feature_detected!`, cached; `RAVEN_SIMD=off` or
+//!   `ml::force_simd` pin the portable scalar groups — the same knob
+//!   family as `RAVEN_SCORER` / `RAVEN_SELECTION` / `RAVEN_POOL`), the
+//!   perfect-tree walker runs 8 cursors per vector with gathered node
+//!   data, two vector groups interleaved to hide gather latency. Dispatch
+//!   is shape-aware: shallow padded trees (depth ≤ 4, where gathers beat
+//!   the scalar groups' cache locality by 1.2–1.6×) take the SIMD tier,
+//!   deeper trees stay scalar, so SIMD never regresses (asserted).
 //! * **Fused expression kernels.** `relational::eval` evaluates predicates
 //!   straight to masks (compare→mask, AND/OR/NOT/IS NULL fused, literal
 //!   operands kept scalar, thread-local scratch reuse), so a pushed-down

@@ -1,14 +1,19 @@
-//! Property tests for the vectorized scoring kernels (PR 4): the flattened
-//! struct-of-arrays scorer must be **bit-identical** to the interpreted
-//! row-walker across every ensemble kind, random tree shapes, NaN/missing
-//! feature values, and empty inputs — and selection-vector execution must
-//! produce row-identical results to the materializing baseline, with zero
-//! intermediate batch copies.
+//! Property tests for the vectorized scoring kernels (PR 4 + PR 5): the
+//! flattened struct-of-arrays scorer must be **bit-identical** to the
+//! interpreted row-walker across every ensemble kind, random tree shapes,
+//! NaN/missing feature values, and empty inputs; the fused featurize→score
+//! pass must be bit-identical to the per-operator interpreted path across
+//! featurizer stacks × unknown/NaN categories × empty batches × all three
+//! linear models; the AVX2 SIMD tier must agree bit-for-bit with the scalar
+//! cursor groups; and selection-vector execution must produce row-identical
+//! results to the materializing baseline, with zero intermediate batch
+//! copies.
 
 use proptest::prelude::*;
 use raven_columnar::TableBuilder;
 use raven_ml::{
-    force_scorer, EnsembleKind, FlatEnsemble, Matrix, ScorerMode, Tree, TreeEnsemble, TreeNode,
+    force_fusion, force_scorer, force_simd, EnsembleKind, FlatEnsemble, Matrix, ScorerMode, Tree,
+    TreeEnsemble, TreeNode,
 };
 use raven_relational::{col, lit, ExecutionContext, Executor, LogicalPlan};
 
@@ -183,6 +188,244 @@ proptest! {
             prop_assert_eq!(
                 format!("{:?}", sel_out.column(c).unwrap()),
                 format!("{:?}", mat_out.column(c).unwrap())
+            );
+        }
+    }
+
+    /// The fused featurize→score pass is bit-identical to the per-operator
+    /// interpreted path across random featurizer stacks (imputer / scaler /
+    /// binarizer chains, one-hot and label encoders over string-, integer-
+    /// and float-sourced categorical columns with unknown and NaN
+    /// categories), empty batches, all three linear models, and tree
+    /// ensembles — and the AVX2 SIMD tier agrees with the scalar groups on
+    /// the same corpus.
+    #[test]
+    fn fused_featurize_score_is_bit_identical(
+        seed in 0u64..0xffff_ffff,
+        rows in 0usize..150,
+        model_kind in 0usize..5,
+        featurizer_mask in 0usize..8,
+        label_encode in 0usize..2,
+        nan_stride in 2usize..6,
+        cat_source in 0usize..3,
+    ) {
+        let (use_imputer, use_scaler, use_binarizer) = (
+            featurizer_mask & 1 != 0,
+            featurizer_mask & 2 != 0,
+            featurizer_mask & 4 != 0,
+        );
+        let label_encode = label_encode == 1;
+        use raven_ml::{
+            CompiledPipeline, Imputer, InputKind, LabelEncoder, MlRuntime, OneHotEncoder,
+            Operator, Pipeline, PipelineInput, PipelineNode, Scaler,
+            LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Binarizer,
+        };
+        let mix = |k: u64| seed.rotate_left((k % 63) as u32).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // --- source batch: two numerics (NaN-laced) + one categorical ---
+        let a: Vec<f64> = (0..rows)
+            .map(|r| {
+                if r % nan_stride == 0 {
+                    f64::NAN
+                } else {
+                    ((mix(r as u64) % 97) as f64) - 48.0
+                }
+            })
+            .collect();
+        let b: Vec<i64> = (0..rows).map(|r| (mix(r as u64 + 7) % 13) as i64 - 6).collect();
+        let mut builder = TableBuilder::new("t").add_f64("a", a).add_i64("b", b);
+        builder = match cat_source {
+            // strings, incl. values outside the category list
+            0 => builder.add_utf8(
+                "cat",
+                (0..rows)
+                    .map(|r| ["x", "y", "z", "w", "NaN"][(mix(r as u64 + 13) % 5) as usize].into())
+                    .collect(),
+            ),
+            // integers (the runtime renders them via to_string)
+            1 => builder.add_i64(
+                "cat",
+                (0..rows).map(|r| (mix(r as u64 + 17) % 5) as i64 - 1).collect(),
+            ),
+            // floats incl. NaN / -0.0 (format_numeric_category semantics)
+            _ => builder.add_f64(
+                "cat",
+                (0..rows)
+                    .map(|r| [0.0, 1.0, 2.5, f64::NAN, -0.0, 7.0][(mix(r as u64 + 23) % 6) as usize])
+                    .collect(),
+            ),
+        };
+        let batch = builder.build_batch().unwrap();
+
+        // --- pipeline: numeric stack → concat with encoded categorical → model ---
+        let mut nodes = Vec::new();
+        let mut num_value = None;
+        let mut chain_input = vec!["a".to_string(), "b".to_string()];
+        if use_imputer {
+            nodes.push(PipelineNode {
+                name: "imputer".into(),
+                op: Operator::Imputer(Imputer {
+                    fill: vec![(mix(31) % 9) as f64, -1.5],
+                }),
+                inputs: chain_input.clone(),
+                output: "imputed".into(),
+            });
+            chain_input = vec!["imputed".into()];
+            num_value = Some("imputed".to_string());
+        }
+        if use_scaler {
+            nodes.push(PipelineNode {
+                name: "scaler".into(),
+                op: Operator::Scaler(Scaler {
+                    offsets: vec![(mix(37) % 11) as f64 - 5.0, 2.0],
+                    scales: vec![0.25, (mix(41) % 7) as f64 * 0.5 - 1.0],
+                }),
+                inputs: chain_input.clone(),
+                output: "scaled".into(),
+            });
+            chain_input = vec!["scaled".into()];
+            num_value = Some("scaled".to_string());
+        }
+        if use_binarizer {
+            nodes.push(PipelineNode {
+                name: "bin".into(),
+                op: Operator::Binarizer(Binarizer {
+                    threshold: (mix(43) % 9) as f64 - 4.0,
+                }),
+                inputs: chain_input.clone(),
+                output: "binned".into(),
+            });
+            num_value = Some("binned".to_string());
+        }
+        // untouched inputs feed the concat directly (implicit multi-input)
+        let num_inputs: Vec<String> = match num_value {
+            Some(v) => vec![v],
+            None => vec!["a".into(), "b".into()],
+        };
+        // category lists deliberately mix hits, misses, numeric-looking and
+        // literal-"NaN" entries
+        let cat_width = if label_encode {
+            nodes.push(PipelineNode {
+                name: "label".into(),
+                op: Operator::LabelEncoder(LabelEncoder {
+                    classes: vec!["x".into(), "1".into(), "-1".into(), "NaN".into()],
+                }),
+                inputs: vec!["cat".into()],
+                output: "enc".into(),
+            });
+            1
+        } else {
+            let categories: Vec<String> = ["0", "1", "2.5", "x", "y", "NaN", "3", "-1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let width = categories.len();
+            nodes.push(PipelineNode {
+                name: "ohe".into(),
+                op: Operator::OneHotEncoder(OneHotEncoder { categories }),
+                inputs: vec!["cat".into()],
+                output: "enc".into(),
+            });
+            width
+        };
+        let mut concat_inputs = num_inputs;
+        concat_inputs.push("enc".into());
+        nodes.push(PipelineNode {
+            name: "concat".into(),
+            op: Operator::Concat,
+            inputs: concat_inputs,
+            output: "features".into(),
+        });
+        let width = 2 + cat_width;
+        let weights: Vec<f64> = (0..width)
+            .map(|i| (mix(i as u64 + 51) % 21) as f64 * 0.1 - 1.0)
+            .collect();
+        let model_op = match model_kind {
+            0 => Operator::LinearRegression(LinearRegressionModel {
+                weights,
+                intercept: 0.5,
+            }),
+            1 => Operator::LogisticRegression(LogisticRegressionModel {
+                weights,
+                intercept: -0.25,
+            }),
+            2 => Operator::LinearSvm(LinearSvmModel {
+                weights,
+                intercept: 0.1,
+            }),
+            k => {
+                let trees: Vec<Tree> = (0..3)
+                    .map(|t| random_tree(mix(t as u64 + 61), width, if k == 3 { 3 } else { 5 }))
+                    .collect();
+                Operator::TreeEnsemble(TreeEnsemble {
+                    kind: EnsembleKind::GradientBoostingClassifier,
+                    trees,
+                    n_features: width,
+                    learning_rate: 0.3,
+                    base_score: 0.1,
+                })
+            }
+        };
+        nodes.push(PipelineNode {
+            name: "model".into(),
+            op: model_op,
+            inputs: vec!["features".into()],
+            output: "score".into(),
+        });
+        let pipeline = Pipeline::new(
+            "fused_parity",
+            vec![
+                PipelineInput { name: "a".into(), kind: InputKind::Numeric },
+                PipelineInput { name: "b".into(), kind: InputKind::Numeric },
+                // string-, integer- and float-backed columns all bind as
+                // categorical inputs (the runtime renders them to strings;
+                // the fused path must match without rendering)
+                PipelineInput {
+                    name: "cat".into(),
+                    kind: InputKind::Categorical,
+                },
+            ],
+            nodes,
+            "score",
+        )
+        .unwrap();
+
+        let compiled = CompiledPipeline::compile(&pipeline).unwrap();
+        prop_assert!(compiled.fused().is_some(), "stack should fuse");
+        let rt = MlRuntime::new();
+        // oracle: fully interpreted operator graph
+        force_scorer(Some(ScorerMode::Interpreted));
+        let interpreted = rt.run_batch_compiled(&compiled, &batch);
+        force_scorer(None);
+        // PR 4 baseline: per-operator featurizers + flat tree kernels
+        force_fusion(Some(false));
+        let per_op = rt.run_batch_compiled(&compiled, &batch);
+        force_fusion(None);
+        // PR 5: fused pass, with the SIMD tier both off and on
+        force_simd(Some(false));
+        let fused_scalar = rt.run_batch_compiled(&compiled, &batch);
+        force_simd(Some(true));
+        let fused_simd = rt.run_batch_compiled(&compiled, &batch);
+        force_simd(None);
+        let interpreted = interpreted.unwrap();
+        let per_op = per_op.unwrap();
+        let fused_scalar = fused_scalar.unwrap();
+        let fused_simd = fused_simd.unwrap();
+        prop_assert_eq!(interpreted.len(), rows);
+        prop_assert_eq!(per_op.len(), rows);
+        prop_assert_eq!(fused_scalar.len(), rows);
+        prop_assert_eq!(fused_simd.len(), rows);
+        for r in 0..rows {
+            prop_assert_eq!(
+                interpreted[r].to_bits(), per_op[r].to_bits(),
+                "row {}: interpreted {} vs per-op {}", r, interpreted[r], per_op[r]
+            );
+            prop_assert_eq!(
+                interpreted[r].to_bits(), fused_scalar[r].to_bits(),
+                "row {}: interpreted {} vs fused {}", r, interpreted[r], fused_scalar[r]
+            );
+            prop_assert_eq!(
+                fused_scalar[r].to_bits(), fused_simd[r].to_bits(),
+                "row {}: fused scalar {} vs fused simd {}", r, fused_scalar[r], fused_simd[r]
             );
         }
     }
