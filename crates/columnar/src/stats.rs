@@ -142,6 +142,33 @@ impl ColumnStatistics {
         self.distinct_count == 1 && self.null_count == 0
     }
 
+    /// Estimated fraction of rows matching `column = <literal>` under the
+    /// classical uniformity assumption: one out of `distinct_count` values.
+    /// `None` when the column has no distinct values (empty / all-missing).
+    pub fn equality_selectivity(&self) -> Option<f64> {
+        if self.distinct_count == 0 {
+            return None;
+        }
+        Some(1.0 / self.distinct_count as f64)
+    }
+
+    /// Estimated fraction of rows falling in `[lo, hi]`, interpolated
+    /// uniformly over the column's `[min, max]` range. `None` when the column
+    /// has no numeric range. Either bound may be infinite (one-sided
+    /// comparisons).
+    pub fn range_fraction(&self, lo: f64, hi: f64) -> Option<f64> {
+        let (min, max) = self.numeric_range()?;
+        if hi < lo || hi < min || lo > max {
+            return Some(0.0);
+        }
+        if max <= min {
+            // constant column: the range either covers the value or not
+            return Some(1.0);
+        }
+        let covered = hi.min(max) - lo.max(min);
+        Some((covered / (max - min)).clamp(0.0, 1.0))
+    }
+
     /// Merge statistics of two partitions of the same column.
     pub fn merge(&self, other: &ColumnStatistics) -> ColumnStatistics {
         use std::cmp::Ordering;
@@ -342,6 +369,25 @@ mod tests {
         let m = t1.merge(&t2);
         assert_eq!(m.row_count, 3);
         assert_eq!(m.column("x").unwrap().numeric_range(), Some((-2.0, 1.5)));
+    }
+
+    #[test]
+    fn selectivity_helpers() {
+        let s = ColumnStatistics::compute("x", &Column::Float64(vec![0.0, 10.0, 5.0])).unwrap();
+        assert_eq!(s.equality_selectivity(), Some(1.0 / 3.0));
+        assert_eq!(s.range_fraction(0.0, 5.0), Some(0.5));
+        assert_eq!(s.range_fraction(f64::NEG_INFINITY, 2.5), Some(0.25));
+        assert_eq!(s.range_fraction(8.0, f64::INFINITY), Some(0.2));
+        assert_eq!(s.range_fraction(20.0, 30.0), Some(0.0));
+        assert_eq!(s.range_fraction(-10.0, 30.0), Some(1.0));
+
+        let constant = ColumnStatistics::compute("c", &Column::Int64(vec![7, 7])).unwrap();
+        assert_eq!(constant.range_fraction(0.0, 10.0), Some(1.0));
+        assert_eq!(constant.range_fraction(8.0, 10.0), Some(0.0));
+
+        let empty = ColumnStatistics::compute("e", &Column::Float64(vec![])).unwrap();
+        assert_eq!(empty.equality_selectivity(), None);
+        assert_eq!(empty.range_fraction(0.0, 1.0), None);
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct RavenConfig {
     pub dnn_strategy: Strategy,
     /// Baseline execution mode for the ML-runtime path.
     pub baseline: BaselineMode,
+    /// Cost-based multi-join optimization on the data engine: statistics-
+    /// driven join reordering at prepare time plus hash-join build-side
+    /// selection at execution time. Defaults to on;
+    /// `RAVEN_JOIN_ORDER=asis` pins the as-written order process-wide as the
+    /// parity baseline. Harnesses toggle this field for in-process A/B runs
+    /// (the env knob is read once per process).
+    pub cost_based_joins: bool,
 }
 
 impl Default for RavenConfig {
@@ -108,6 +115,7 @@ impl Default for RavenConfig {
             device: Device::Cpu,
             dnn_strategy: Strategy::Gemm,
             baseline: BaselineMode::Vectorized,
+            cost_based_joins: raven_relational::cost_based_joins_default(),
         }
     }
 }
@@ -176,6 +184,13 @@ pub struct ExecutionReport {
     /// baseline (and `RAVEN_SELECTION=materialize`) reports its per-filter
     /// copies here.
     pub intermediate_materializations: usize,
+    /// Rows materialized into hash-join build tables across the data side.
+    /// With cost-based build-side selection this is the estimated-smaller
+    /// input of every join; under `RAVEN_JOIN_ORDER=asis` it is always the
+    /// right input as written.
+    pub join_build_rows: usize,
+    /// Partition batches that probed a join hash table on the data side.
+    pub join_probe_batches: usize,
 }
 
 /// Internal result of one execution path (ML runtime / MLtoSQL / MLtoDNN),
@@ -192,6 +207,8 @@ struct PathOutcome {
     pruned_partitions: usize,
     streamed_partitions: usize,
     intermediate_materializations: usize,
+    join_build_rows: usize,
+    join_probe_batches: usize,
 }
 
 impl PathOutcome {
@@ -207,6 +224,41 @@ impl PathOutcome {
             pruned_partitions: 0,
             streamed_partitions: 0,
             intermediate_materializations: 0,
+            join_build_rows: 0,
+            join_probe_batches: 0,
+        }
+    }
+
+    /// Fold one executor-counter snapshot into this outcome (additive, so
+    /// paths that run several relational plans accumulate).
+    fn apply_counters(&mut self, c: EngineCounters) {
+        self.pruned_partitions += c.pruned_partitions;
+        self.streamed_partitions += c.streamed_partitions;
+        self.intermediate_materializations += c.intermediate_materializations;
+        self.join_build_rows += c.join_build_rows;
+        self.join_probe_batches += c.join_probe_batches;
+    }
+}
+
+/// Snapshot of the relational executor's counters after one plan run, folded
+/// into the [`ExecutionReport`].
+#[derive(Debug, Default, Clone, Copy)]
+struct EngineCounters {
+    pruned_partitions: usize,
+    streamed_partitions: usize,
+    intermediate_materializations: usize,
+    join_build_rows: usize,
+    join_probe_batches: usize,
+}
+
+impl EngineCounters {
+    fn from_metrics(metrics: &raven_relational::ExecutionMetrics) -> Self {
+        EngineCounters {
+            pruned_partitions: metrics.partitions_pruned(),
+            streamed_partitions: metrics.partitions_scanned(),
+            intermediate_materializations: metrics.intermediate_materializations(),
+            join_build_rows: metrics.join_build_rows(),
+            join_probe_batches: metrics.join_probe_batches(),
         }
     }
 }
@@ -560,6 +612,26 @@ impl RavenSession {
         self.execute_prepared(&prepared)
     }
 
+    /// Render the prepared statement's relational data-side plan
+    /// EXPLAIN-style, annotating every node with the cost model's estimated
+    /// output cardinality (`rows≈`). The plan shown is exactly what executes:
+    /// after model-projection pushdown, PK-FK join elimination, and
+    /// cost-based join reordering, so dropped dimension joins and the chosen
+    /// join order are directly observable. Returns `None` for prepared
+    /// artifacts with no relational plan (per-partition compiled models
+    /// stream their table directly).
+    pub fn explain_prepared(&self, prepared: &PreparedStatement) -> Option<String> {
+        let plan = match &prepared.artifact {
+            PreparedArtifact::Sql { relational } => relational,
+            PreparedArtifact::Dnn { data, .. } => data,
+            PreparedArtifact::MlRuntime(lowered) => lowered.data.as_ref()?,
+        };
+        Some(raven_relational::explain_with_estimates(
+            plan,
+            &self.catalog,
+        ))
+    }
+
     /// Execute a prepared statement. Only the residual, data-dependent work
     /// runs: scans, filters, scoring, post-processing. The report's
     /// `optimization_time` is the statement's one-time prepare cost.
@@ -620,6 +692,8 @@ impl RavenSession {
             pruned_partitions: outcome.pruned_partitions,
             streamed_partitions: outcome.streamed_partitions,
             intermediate_materializations,
+            join_build_rows: outcome.join_build_rows,
+            join_probe_batches: outcome.join_probe_batches,
         };
         Ok(PredictionOutput {
             batch: outcome.batch,
@@ -744,6 +818,15 @@ impl RavenSession {
         data
     }
 
+    /// The relational optimizer configured per the session: join reordering
+    /// follows the `cost_based_joins` knob, every other rule stays on.
+    fn relational_optimizer(&self) -> Optimizer {
+        Optimizer::with_options(raven_relational::OptimizerOptions {
+            join_reordering: self.config.cost_based_joins,
+            ..Default::default()
+        })
+    }
+
     /// The execution context handed to the relational engine.
     /// `partition_pruning` distinguishes the streaming pipeline (which prunes
     /// via statistics) from the legacy materialized plan that models engines
@@ -756,30 +839,25 @@ impl RavenSession {
             batch_size: self.config.ml_runtime.batch_size.max(1),
             partition_pruning,
             selection_vectors: partition_pruning && selection_vectors_default(),
+            cost_based_build_side: self.config.cost_based_joins,
         }
     }
 
-    /// Run an already-optimized relational plan, returning the result plus
-    /// the executor's partition counters (pruned via statistics / scanned)
-    /// and intermediate-materialization count.
+    /// Run an already-optimized relational plan, returning the result plus a
+    /// snapshot of the executor's counters (partitions pruned via statistics
+    /// / scanned, intermediate materializations, join build/probe work).
     fn run_optimized(
         &self,
         plan: &LogicalPlan,
         partition_pruning: bool,
-    ) -> Result<(Batch, usize, usize, usize)> {
+    ) -> Result<(Batch, EngineCounters)> {
         let exec = Executor::new();
         let batch = exec.execute(
             plan,
             &self.catalog,
             &self.execution_context(partition_pruning),
         )?;
-        let metrics = exec.metrics();
-        Ok((
-            batch,
-            metrics.partitions_pruned(),
-            metrics.partitions_scanned(),
-            metrics.intermediate_materializations(),
-        ))
+        Ok((batch, EngineCounters::from_metrics(&exec.metrics())))
     }
 
     /// Execution mode for the fully-relational transform paths (MLtoSQL and
@@ -821,7 +899,7 @@ impl RavenSession {
         if let Some((group_by, aggs)) = &plan.aggregate {
             data = data.aggregate(group_by.clone(), aggs.clone());
         }
-        let optimized = Optimizer::new().optimize(&data, &self.catalog)?;
+        let optimized = self.relational_optimizer().optimize(&data, &self.catalog)?;
         Ok(PreparedArtifact::Sql {
             relational: Arc::new(optimized),
         })
@@ -833,12 +911,10 @@ impl RavenSession {
     fn run_ml_to_sql(&self, relational: &LogicalPlan) -> Result<PathOutcome> {
         let start = Instant::now();
         let (mode, pruning) = self.transform_path_mode();
-        let (batch, pruned, scanned, copies) = self.run_optimized(relational, pruning)?;
+        let (batch, counters) = self.run_optimized(relational, pruning)?;
         let mut outcome = PathOutcome::new(batch, mode);
         outcome.data_time = start.elapsed();
-        outcome.pruned_partitions = pruned;
-        outcome.streamed_partitions = scanned;
-        outcome.intermediate_materializations = copies;
+        outcome.apply_counters(counters);
         Ok(outcome)
     }
 
@@ -912,7 +988,9 @@ impl RavenSession {
             }
             _ => {
                 let data_plan = self.data_side_plan(plan);
-                let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
+                let optimized = self
+                    .relational_optimizer()
+                    .optimize(&data_plan, &self.catalog)?;
                 let schema = Arc::new(optimized.schema(&self.catalog)?);
                 Ok(MlRuntimePlan {
                     data: Some(Arc::new(optimized)),
@@ -1133,6 +1211,8 @@ impl RavenSession {
         outcome.streamed_partitions = streamed_partitions;
         outcome.intermediate_materializations =
             exec.metrics().intermediate_materializations() + manual_copies.load(Ordering::Relaxed);
+        outcome.join_build_rows = exec.metrics().join_build_rows();
+        outcome.join_probe_batches = exec.metrics().join_probe_batches();
         Ok(outcome)
     }
 
@@ -1154,6 +1234,7 @@ impl RavenSession {
         // filter; count the copies so the report contrasts with the
         // zero-materialization streaming path.
         let mut copies = 0usize;
+        let mut data_counters = EngineCounters::default();
         let mut scored = match (&lowered.data, &lowered.scan_table) {
             (None, Some(table_name)) => {
                 // execute partition by partition with its specialized model
@@ -1179,8 +1260,12 @@ impl RavenSession {
             (Some(data), _) => {
                 let d0 = Instant::now();
                 // the legacy plan scans every partition: no stats pruning
-                let (batch, _, _, data_copies) = self.run_optimized(data, false)?;
-                copies += data_copies;
+                let (batch, counters) = self.run_optimized(data, false)?;
+                copies += counters.intermediate_materializations;
+                // this path models engines with no streaming pipeline: only
+                // the join counters carry over, partitions stay unreported
+                data_counters.join_build_rows = counters.join_build_rows;
+                data_counters.join_probe_batches = counters.join_probe_batches;
                 data_time += d0.elapsed();
                 let m0 = Instant::now();
                 let scores = self.score_batch(&runtime, &lowered.models[0], &batch)?;
@@ -1203,6 +1288,7 @@ impl RavenSession {
         outcome.data_time = data_time;
         outcome.ml_time = ml_time;
         outcome.partition_report = partition_report;
+        outcome.apply_counters(data_counters);
         outcome.intermediate_materializations = copies;
         Ok(outcome)
     }
@@ -1271,7 +1357,9 @@ impl RavenSession {
             self.config.device.clone(),
         )?;
         let data_plan = self.data_side_plan(plan);
-        let optimized = Optimizer::new().optimize(&data_plan, &self.catalog)?;
+        let optimized = self
+            .relational_optimizer()
+            .optimize(&data_plan, &self.catalog)?;
         Ok(PreparedArtifact::Dnn {
             dnn: Arc::new(dnn),
             data: Arc::new(optimized),
@@ -1292,7 +1380,8 @@ impl RavenSession {
 
         let (mode, pruning) = self.transform_path_mode();
         let d0 = Instant::now();
-        let (batch, pruned, scanned, mut copies) = self.run_optimized(data, pruning)?;
+        let (batch, counters) = self.run_optimized(data, pruning)?;
+        let mut copies = counters.intermediate_materializations;
         let mut data_time = d0.elapsed();
 
         let m0 = Instant::now();
@@ -1316,8 +1405,7 @@ impl RavenSession {
         outcome.data_time = data_time;
         outcome.ml_time = ml_time;
         outcome.ml_time_modeled = modeled;
-        outcome.pruned_partitions = pruned;
-        outcome.streamed_partitions = scanned;
+        outcome.apply_counters(counters);
         outcome.intermediate_materializations = copies;
         Ok(outcome)
     }
@@ -1710,6 +1798,111 @@ mod tests {
         let err = session.execute_prepared(&prepared).unwrap_err();
         assert!(matches!(err, RavenError::Config(_)), "{err}");
         assert!(err.to_string().contains("stale"));
+    }
+
+    /// A star-shaped scenario: the model's declared inputs include a
+    /// dimension column it never actually uses. Model-projection pushdown
+    /// removes the input, the data side stops requiring the dimension table,
+    /// and the optimizer's PK-FK join elimination drops the dimension join
+    /// entirely — observable in the EXPLAIN output and the join counters.
+    #[test]
+    fn model_pruning_eliminates_dimension_join() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 240;
+        let age: Vec<f64> = (0..n).map(|_| rng.gen_range(20.0..90.0)).collect();
+        let bmi: Vec<f64> = (0..n).map(|_| rng.gen_range(15.0..45.0)).collect();
+        let label: Vec<f64> = (0..n)
+            .map(|i| {
+                if 0.04 * (age[i] - 55.0) + 0.08 * (bmi[i] - 30.0) > 0.2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let fact = TableBuilder::new("fact")
+            .add_i64("id", (0..n as i64).collect())
+            .add_f64("age", age)
+            .add_f64("bmi", bmi)
+            .add_i64("dim_id", (0..n as i64).map(|i| i % 8).collect())
+            .build()
+            .unwrap();
+        let dim = TableBuilder::new("dim")
+            .add_i64("did", (0..8).collect())
+            .add_f64("dim_val", (0..8).map(|i| i as f64 * 1.5).collect())
+            .build()
+            .unwrap();
+        let train_batch = fact
+            .to_batch()
+            .unwrap()
+            .with_column(
+                Field::new("dim_val", DataType::Float64),
+                Arc::new(Column::Float64(
+                    (0..n).map(|i| (i % 8) as f64 * 1.5).collect(),
+                )),
+            )
+            .unwrap()
+            .with_column(
+                Field::new("label", DataType::Float64),
+                Arc::new(Column::Float64(label)),
+            )
+            .unwrap();
+        let mut pipeline = train_pipeline(
+            &train_batch,
+            &PipelineSpec {
+                name: "star_model".into(),
+                numeric_inputs: vec!["age".into(), "bmi".into(), "dim_val".into()],
+                categorical_inputs: vec![],
+                label: "label".into(),
+                model: ModelType::LogisticRegression { l1_alpha: 0.01 },
+                seed: 11,
+            },
+        )
+        .unwrap();
+        // make the model provably ignore the dimension feature: zero its
+        // weight so `used_features` excludes it (model sparsity, §2.1)
+        for node in &mut pipeline.nodes {
+            if let raven_ml::Operator::LogisticRegression(m) = &mut node.op {
+                m.weights[2] = 0.0;
+            }
+        }
+
+        let mut session = RavenSession::new();
+        session.register_table(fact);
+        session.register_table(dim);
+        session.config_mut().runtime_policy = RuntimePolicy::NoTransform;
+        let data = LogicalPlan::scan("fact").join(LogicalPlan::scan("dim"), "dim_id", "did");
+        let mut plan =
+            raven_ir::UnifiedPlan::new(data, pipeline, "risk", session.catalog()).unwrap();
+        plan.projection = vec![col("id"), col("risk")];
+
+        // optimized: the unused dim_val input is pruned, so the dimension
+        // join disappears and no hash table is ever built
+        let prepared = session.prepare_plan(&plan).unwrap();
+        let explain = session.explain_prepared(&prepared).unwrap();
+        assert!(!explain.contains("Join:"), "join survived:\n{explain}");
+        assert!(explain.contains("rows≈"), "{explain}");
+        let out = session.execute_prepared(&prepared).unwrap();
+        assert!(out
+            .report
+            .cross
+            .removed_inputs
+            .iter()
+            .any(|i| i == "dim_val"));
+        assert_eq!(out.report.join_build_rows, 0);
+
+        // control: with projection pushdown disabled the dimension column
+        // stays required, the join executes, and the build side is the
+        // 8-row dimension table
+        session.config_mut().enable_projection_pushdown = false;
+        let prepared = session.prepare_plan(&plan).unwrap();
+        let explain = session.explain_prepared(&prepared).unwrap();
+        assert!(explain.contains("Join:"), "{explain}");
+        let control = session.execute_prepared(&prepared).unwrap();
+        assert_eq!(control.report.join_build_rows, 8);
+        assert!(control.report.join_probe_batches >= 1);
+        assert_eq!(ids(&out.batch), ids(&control.batch));
+        assert_eq!(out.batch.num_rows(), n);
     }
 
     #[test]

@@ -263,6 +263,61 @@ pub fn flights(rows: usize, seed: u64) -> Dataset {
     })
 }
 
+/// Five-table star schema for the join-optimizer study: a `sales` fact table
+/// joined against four dimensions declared **largest first** (customers,
+/// products, suppliers, promotions), so the as-written join order drags the
+/// full fact cardinality through every wide dimension before the selective
+/// one. The `promotions` dimension is tiny and carries the numeric column
+/// `promotions_num0` (uniform in `0..10`): filtering it below `0.5` keeps
+/// ~5% of promotions — and hence ~5% of fact rows — which a cost-based
+/// optimizer exploits by joining promotions first.
+pub fn five_table_star(rows: usize, seed: u64) -> Dataset {
+    star_schema(StarSpec {
+        name: "star5",
+        fact: "sales",
+        fact_rows: rows,
+        dims: vec![
+            DimSpec {
+                name: "customers",
+                key: "customer_id",
+                rows: (rows / 5).clamp(50, 20_000),
+                numeric: 2,
+                categorical: 2,
+                max_cardinality: 12,
+            },
+            DimSpec {
+                name: "products",
+                key: "product_id",
+                rows: (rows / 10).clamp(25, 10_000),
+                numeric: 2,
+                categorical: 2,
+                max_cardinality: 10,
+            },
+            DimSpec {
+                name: "suppliers",
+                key: "supplier_id",
+                rows: (rows / 20).clamp(12, 5_000),
+                numeric: 1,
+                categorical: 1,
+                max_cardinality: 8,
+            },
+            DimSpec {
+                name: "promotions",
+                key: "promo_id",
+                rows: (rows / 100).clamp(8, 1_000),
+                numeric: 1,
+                categorical: 1,
+                max_cardinality: 4,
+            },
+        ],
+        fact_numeric: 2,
+        fact_categorical: 2,
+        fact_max_cardinality: 8,
+        label: "big_ticket",
+        seed,
+    })
+}
+
 struct DimSpec {
     name: &'static str,
     key: &'static str,
@@ -434,6 +489,32 @@ mod tests {
         assert_eq!(d.joins.len(), 3);
         assert_eq!(d.n_inputs(), 37);
         assert!(d.n_features_after_encoding() > 100);
+    }
+
+    #[test]
+    fn five_table_star_shape() {
+        let d = five_table_star(2000, 5);
+        assert_eq!(d.tables.len(), 5);
+        assert_eq!(d.joins.len(), 4);
+        assert!(d.from_clause().contains("JOIN promotions"));
+        // dimensions are declared largest-first so the as-written join order
+        // is pessimal; promotions is the small selective one
+        let dim_rows: Vec<usize> = d.tables[1..].iter().map(|t| t.num_rows()).collect();
+        assert!(dim_rows.windows(2).all(|w| w[0] >= w[1]), "{dim_rows:?}");
+        let promos = d.tables.iter().find(|t| t.name() == "promotions").unwrap();
+        assert_eq!(promos.num_rows(), 20);
+        // the selective filter column spans 0..10 so `< 0.5` keeps ~5%
+        let stats = promos.statistics().column("promotions_num0").unwrap();
+        assert!(stats.numeric_range().is_some());
+        // both label classes present
+        let labels = d.tables[0]
+            .to_batch()
+            .unwrap()
+            .column_by_name("big_ticket")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap();
+        assert!(labels.contains(&1.0) && labels.contains(&0.0));
     }
 
     #[test]

@@ -9,5 +9,5 @@
 pub mod datasets;
 pub mod suite;
 
-pub use datasets::{credit_card, expedia, flights, hospital, Dataset};
+pub use datasets::{credit_card, expedia, five_table_star, flights, hospital, Dataset};
 pub use suite::{generate_suite, SuiteConfig, SuiteEntry};

@@ -26,6 +26,13 @@ pub struct OptimizerOptions {
     pub join_elimination: bool,
     /// Fold constant sub-expressions and simplify trivial boolean algebra.
     pub constant_folding: bool,
+    /// Reorder multi-way equi-join regions smallest-intermediate-first using
+    /// the statistics-driven [`crate::cost::CostModel`] (exhaustive DP for
+    /// ≤ 6 joined relations, greedy beyond). Defaults to on;
+    /// `RAVEN_JOIN_ORDER=asis` pins the as-written order as the parity
+    /// baseline. Runs after join elimination so model-projection pruning can
+    /// drop whole dimension joins before the order search sees them.
+    pub join_reordering: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -35,6 +42,7 @@ impl Default for OptimizerOptions {
             predicate_pushdown: true,
             join_elimination: true,
             constant_folding: true,
+            join_reordering: crate::cost::cost_based_joins_default(),
         }
     }
 }
@@ -67,6 +75,9 @@ impl Optimizer {
         }
         if self.options.join_elimination {
             plan = eliminate_joins(plan, catalog)?;
+        }
+        if self.options.join_reordering {
+            plan = crate::join_reorder::reorder_joins(plan, catalog)?;
         }
         if self.options.projection_pushdown {
             plan = push_projections(plan, catalog)?;
@@ -362,6 +373,28 @@ fn push_predicates_impl(
         } => {
             let left_schema = left.schema(catalog)?;
             let right_schema = right.schema(catalog)?;
+            // The join output renames right columns that collide with left
+            // ones ("r." prefixes, see Schema::merge). Replicate the rename so
+            // predicates phrased against merged names still push into the
+            // right side instead of staying above the join forever.
+            let mut renamed: Vec<(String, String)> = Vec::new(); // merged -> right name
+            {
+                let mut taken: BTreeSet<String> = left_schema
+                    .fields()
+                    .iter()
+                    .map(|f| f.name().to_string())
+                    .collect();
+                for f in right_schema.fields() {
+                    let mut name = f.name().to_string();
+                    while taken.contains(&name) {
+                        name = format!("r.{name}");
+                    }
+                    taken.insert(name.clone());
+                    if name != f.name() {
+                        renamed.push((name, f.name().to_string()));
+                    }
+                }
+            }
             let mut to_left = Vec::new();
             let mut to_right = Vec::new();
             let mut stay = Vec::new();
@@ -371,7 +404,22 @@ fn push_predicates_impl(
                     to_left.push(p);
                 } else if cols.iter().all(|c| right_schema.contains(c)) {
                     to_right.push(p);
+                } else if cols.iter().all(|c| {
+                    !left_schema.contains(c)
+                        && (right_schema.contains(c) || renamed.iter().any(|(m, _)| m == c))
+                }) {
+                    // right-side-only, some columns via merged names: rewrite
+                    // to the right input's own names and push
+                    to_right.push(rewrite_columns(&p, &|name| {
+                        renamed
+                            .iter()
+                            .find(|(m, _)| m == name)
+                            .map(|(_, r)| r.clone())
+                            .unwrap_or_else(|| name.to_string())
+                    }));
                 } else {
+                    // references both sides (or unresolvable names): must
+                    // remain a post-join filter — exactly once, never dropped
                     stay.push(p);
                 }
             }
@@ -551,9 +599,33 @@ fn eliminate_joins_impl(
                     return eliminate_joins_impl(*right, required, catalog);
                 }
             }
-            // Keep the join; descend with "everything" required (conservative).
-            let left = eliminate_joins_impl(*left, None, catalog)?;
-            let right = eliminate_joins_impl(*right, None, catalog)?;
+            // Keep the join; propagate the requirement set through it so
+            // eliminable joins nested below a kept one are still found.
+            // Duplicate-named columns resolve to the left side, mirroring the
+            // needs_left/needs_right checks above; each side additionally
+            // needs its own join key.
+            let (left_req, right_req) = match required {
+                Some(req) => {
+                    let left_schema = left.schema(catalog)?;
+                    let right_schema = right.schema(catalog)?;
+                    let mut lr: BTreeSet<String> = req
+                        .iter()
+                        .filter(|c| left_schema.contains(c))
+                        .cloned()
+                        .collect();
+                    lr.insert(left_key.clone());
+                    let mut rr: BTreeSet<String> = req
+                        .iter()
+                        .filter(|c| right_schema.contains(c) && !left_schema.contains(c))
+                        .cloned()
+                        .collect();
+                    rr.insert(right_key.clone());
+                    (Some(lr), Some(rr))
+                }
+                None => (None, None),
+            };
+            let left = eliminate_joins_impl(*left, left_req, catalog)?;
+            let right = eliminate_joins_impl(*right, right_req, catalog)?;
             Ok(LogicalPlan::Join {
                 left: Box::new(left),
                 right: Box::new(right),
@@ -814,6 +886,106 @@ mod tests {
         assert!(s.contains("Scan: blood_test") && s.contains("(bpm > 80)"));
     }
 
+    /// A predicate phrased against the join output's merged ("r."-prefixed)
+    /// name of a right column pushes into the right side under its own name.
+    #[test]
+    fn merged_name_predicate_pushes_to_right_scan() {
+        let c = catalog();
+        // "r.id" is the merged name of blood_test.id (patient_info.id wins "id")
+        let plan = LogicalPlan::scan("patient_info")
+            .join(LogicalPlan::scan("blood_test"), "id", "id")
+            .filter(col("r.id").gt(lit(1i64)));
+        let optimized = push_predicates(plan, &c).unwrap();
+        let s = optimized.display_indent();
+        assert!(
+            s.contains("Scan: blood_test filters=[(id > 1)]"),
+            "merged-name predicate should push right, rewritten:\n{s}"
+        );
+        assert!(!s.contains("Filter:"), "no residual filter expected:\n{s}");
+    }
+
+    /// A predicate referencing both sides of a join is kept as a post-join
+    /// filter — exactly once, never dropped and never duplicated.
+    #[test]
+    fn cross_side_predicate_stays_post_join_exactly_once() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .join(LogicalPlan::scan("blood_test"), "id", "id")
+            .filter(col("age").gt(col("bpm")));
+        let optimized = Optimizer::new().optimize(&plan, &c).unwrap();
+        let s = optimized.display_indent();
+        assert_eq!(
+            s.matches("Filter:").count(),
+            1,
+            "cross-side predicate must survive exactly once:\n{s}"
+        );
+        assert!(!s.contains("filters="), "nothing can push to a scan:\n{s}");
+        use crate::physical::{ExecutionContext, Executor};
+        let ctx = ExecutionContext::default();
+        let a = Executor::new().execute(&plan, &c, &ctx).unwrap();
+        let b = Executor::new().execute(&optimized, &c, &ctx).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+    }
+
+    /// Predicates survive (exactly once) when the join region around them is
+    /// reordered, and fold_constants never drops conjuncts along the way.
+    #[test]
+    fn predicates_survive_join_reordering() {
+        let mut c = catalog();
+        c.register(
+            raven_columnar::TableBuilder::new("visits")
+                .add_i64("pid", vec![1, 1, 2, 3, 3, 3])
+                .add_f64("cost", vec![10.0, 20.0, 30.0, 5.0, 7.0, 9.0])
+                .build()
+                .unwrap(),
+        );
+        // cross-side predicate over a 3-table region + a folded-true conjunct
+        // + a selective blood_test filter that makes the reorderer join
+        // blood_test before patient_info
+        let predicate = col("cost")
+            .lt(col("bpm"))
+            .and(lit(1.0).lt(lit(2.0)))
+            .and(col("age").gt(lit(20.0)))
+            .and(col("bpm").gt(lit(80.0)));
+        let plan = LogicalPlan::scan("visits")
+            .join(LogicalPlan::scan("patient_info"), "pid", "id")
+            .join(LogicalPlan::scan("blood_test"), "pid", "id")
+            .filter(predicate)
+            .project(vec![col("pid"), col("cost"), col("age"), col("bpm")]);
+        let reorder = Optimizer::with_options(OptimizerOptions {
+            join_reordering: true,
+            ..Default::default()
+        });
+        let asis = Optimizer::with_options(OptimizerOptions {
+            join_reordering: false,
+            ..Default::default()
+        });
+        let a_plan = asis.optimize(&plan, &c).unwrap();
+        let b_plan = reorder.optimize(&plan, &c).unwrap();
+        assert_ne!(a_plan, b_plan, "the selective blood_test join should move");
+        use crate::physical::{ExecutionContext, Executor};
+        let ctx = ExecutionContext::default();
+        let a = Executor::new().execute(&a_plan, &c, &ctx).unwrap();
+        let b = Executor::new().execute(&b_plan, &c, &ctx).unwrap();
+        assert_eq!(plan.schema(&c).unwrap().names(), a.schema().names());
+        assert_eq!(a.schema().names(), b.schema().names());
+        assert_eq!(a.num_rows(), b.num_rows());
+        let key = |batch: &raven_columnar::Batch| {
+            let mut v: Vec<(i64, u64)> = batch
+                .column_by_name("pid")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                .iter()
+                .zip(batch.column_by_name("cost").unwrap().as_f64().unwrap())
+                .map(|(p, x)| (*p, x.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
     #[test]
     fn projection_pushdown_prunes_scan_columns() {
         let c = catalog();
@@ -856,6 +1028,36 @@ mod tests {
         let s = optimized.display_indent();
         assert!(!s.contains("Join"), "join should be eliminated:\n{s}");
         assert!(s.contains("Scan: patient_info"));
+    }
+
+    #[test]
+    fn join_eliminated_below_a_kept_join() {
+        let mut c = catalog();
+        c.register(
+            TableBuilder::new("vitals")
+                .add_i64("id", vec![1, 2, 3])
+                .add_f64("temp", vec![36.5, 38.2, 37.0])
+                .build()
+                .unwrap(),
+        );
+        // blood_test (unused) is joined *below* vitals (used): the requirement
+        // set must flow through the kept vitals join so the inner join is
+        // still eliminated.
+        let plan = LogicalPlan::scan("patient_info")
+            .join(LogicalPlan::scan("blood_test"), "id", "id")
+            .join(LogicalPlan::scan("vitals"), "id", "id")
+            .project(vec![col("age"), col("temp")]);
+        let optimized = Optimizer::new().optimize(&plan, &c).unwrap();
+        let s = optimized.display_indent();
+        assert!(
+            !s.contains("blood_test"),
+            "inner unused join should be eliminated:\n{s}"
+        );
+        assert!(s.contains("Scan: vitals"), "{s}");
+        assert_eq!(
+            plan.schema(&c).unwrap().names(),
+            optimized.schema(&c).unwrap().names()
+        );
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct ExecutionContext {
     /// each copy is counted in
     /// [`ExecutionMetrics::intermediate_materializations`].
     pub selection_vectors: bool,
+    /// Hash joins build on the estimated-smaller input (per the
+    /// [`crate::cost::CostModel`]) instead of always on the right, and
+    /// pre-size their hash table from build-side NDV statistics. When
+    /// disabled (`RAVEN_JOIN_ORDER=asis`, the parity baseline), the right
+    /// input is always the build side, as written.
+    pub cost_based_build_side: bool,
 }
 
 impl Default for ExecutionContext {
@@ -58,6 +64,7 @@ impl Default for ExecutionContext {
             batch_size: 10_000,
             partition_pruning: true,
             selection_vectors: selection_vectors_default(),
+            cost_based_build_side: crate::cost::cost_based_joins_default(),
         }
     }
 }
@@ -101,6 +108,8 @@ pub struct ExecutionMetrics {
     partitions_scanned: AtomicUsize,
     partitions_pruned: AtomicUsize,
     intermediate_materializations: AtomicUsize,
+    join_build_rows: AtomicUsize,
+    join_probe_batches: AtomicUsize,
 }
 
 impl ExecutionMetrics {
@@ -142,6 +151,16 @@ impl ExecutionMetrics {
     pub fn record_intermediate_materializations(&self, n: usize) {
         self.intermediate_materializations
             .fetch_add(n, Ordering::Relaxed);
+    }
+    /// Rows materialized into hash-join build tables — the observable trace
+    /// of build-side selection (building on the estimated-smaller input makes
+    /// this drop).
+    pub fn join_build_rows(&self) -> usize {
+        self.join_build_rows.load(Ordering::Relaxed)
+    }
+    /// Probe-side batches streamed through hash joins.
+    pub fn join_probe_batches(&self) -> usize {
+        self.join_probe_batches.load(Ordering::Relaxed)
     }
 }
 
@@ -281,27 +300,50 @@ impl Executor {
             } => {
                 // Pipeline breaker: the build side materializes fully before
                 // the probe side streams through it partition by partition.
-                let right_all = self
-                    .execute_stream(right, catalog, ctx)?
+                // Cost-based build-side selection: build on the estimated-
+                // smaller input (strictly smaller, so the as-written right
+                // build is also the tie-break) instead of always the right.
+                let cost = crate::cost::CostModel::new(catalog);
+                let build_is_left = ctx.cost_based_build_side
+                    && cost.estimate_rows(left) < cost.estimate_rows(right);
+                let (build_plan, probe_plan, build_key, probe_key) = if build_is_left {
+                    (left, right, left_key, right_key)
+                } else {
+                    (right, left, right_key, left_key)
+                };
+                let build_all = self
+                    .execute_stream(build_plan, catalog, ctx)?
                     .concat(ctx.degree_of_parallelism)?;
                 let out_schema = Arc::new(plan.schema(catalog)?);
-                let build = Arc::new(build_hash_table(&right_all, right_key)?);
-                let right_all = Arc::new(right_all);
-                let left_key = left_key.clone();
+                // Pre-size the table from build-side NDV statistics: under
+                // duplicate keys the distinct count, not the row count,
+                // bounds the entry count.
+                let capacity = cost
+                    .key_ndv(build_plan, build_key)
+                    .map(|n| (n as usize).min(build_all.num_rows()))
+                    .unwrap_or_else(|| build_all.num_rows());
+                self.metrics
+                    .join_build_rows
+                    .fetch_add(build_all.num_rows(), Ordering::Relaxed);
+                let build = Arc::new(build_hash_table(&build_all, build_key, capacity)?);
+                let build_all = Arc::new(build_all);
+                let probe_key = probe_key.clone();
                 let metrics = self.metrics.clone();
                 let op_schema = out_schema.clone();
-                let stream = self.execute_stream(left, catalog, ctx)?;
+                let stream = self.execute_stream(probe_plan, catalog, ctx)?;
                 Ok(stream.with_schema(out_schema).map(move |mut item| {
                     // the probe gathers matching rows directly, so the probe
                     // side's selection composes for free (deselected rows
                     // are simply never probed)
+                    metrics.join_probe_batches.fetch_add(1, Ordering::Relaxed);
                     let joined = probe_hash_join(
                         &item.batch,
                         item.selection.as_ref(),
-                        &right_all,
+                        &build_all,
                         &build,
-                        &left_key,
+                        &probe_key,
                         op_schema.clone(),
+                        build_is_left,
                     )
                     .map_err(stream_err)?;
                     metrics
@@ -441,9 +483,15 @@ fn join_keys(batch: &Batch, key: &str) -> Result<Vec<Option<JoinKey>>> {
     Ok((0..col.len()).map(|i| join_key_at(col, i)).collect())
 }
 
-fn build_hash_table(right: &Batch, right_key: &str) -> Result<HashMap<JoinKey, Vec<usize>>> {
-    let keys = join_keys(right, right_key)?;
-    let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(keys.len());
+fn build_hash_table(
+    build: &Batch,
+    build_key: &str,
+    capacity: usize,
+) -> Result<HashMap<JoinKey, Vec<usize>>> {
+    let keys = join_keys(build, build_key)?;
+    // NDV-derived capacity: exact for unique keys, avoids over-allocating a
+    // row-count-sized table under duplicates — and never rehashes from empty.
+    let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(capacity.min(keys.len()));
     for (i, k) in keys.into_iter().enumerate() {
         if let Some(k) = k {
             table.entry(k).or_default().push(i);
@@ -476,45 +524,63 @@ fn join_key_at(col: &Column, i: usize) -> Option<JoinKey> {
     }
 }
 
+/// Probe one batch against the build table. `build_is_left` records which
+/// logical side the build input came from so output columns always assemble
+/// left-then-right regardless of build-side selection.
 fn probe_hash_join(
-    left: &Batch,
-    left_selection: Option<&SelectionVector>,
-    right: &Batch,
+    probe: &Batch,
+    probe_selection: Option<&SelectionVector>,
+    build_batch: &Batch,
     build: &HashMap<JoinKey, Vec<usize>>,
-    left_key: &str,
+    probe_key: &str,
     out_schema: Arc<Schema>,
+    build_is_left: bool,
 ) -> Result<Batch> {
-    let key_col = left.column_by_name(left_key)?;
-    let mut left_idx = Vec::new();
-    let mut right_idx = Vec::new();
-    let mut probe = |i: usize| {
-        if let Some(k) = join_key_at(key_col, i) {
-            if let Some(matches) = build.get(&k) {
-                for &j in matches {
-                    left_idx.push(i);
-                    right_idx.push(j);
+    let key_col = probe.column_by_name(probe_key)?;
+    // per-thread scratch: the match index vectors are reused across probe
+    // batches instead of growing from empty on every batch
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<(Vec<usize>, Vec<usize>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with(|scratch| {
+        let (probe_idx, build_idx) = &mut *scratch.borrow_mut();
+        probe_idx.clear();
+        build_idx.clear();
+        let mut probe_row = |i: usize| {
+            if let Some(k) = join_key_at(key_col, i) {
+                if let Some(matches) = build.get(&k) {
+                    for &j in matches {
+                        probe_idx.push(i);
+                        build_idx.push(j);
+                    }
+                }
+            }
+        };
+        match probe_selection {
+            None => {
+                for i in 0..probe.num_rows() {
+                    probe_row(i);
+                }
+            }
+            Some(sel) => {
+                for i in sel.iter() {
+                    probe_row(i);
                 }
             }
         }
-    };
-    match left_selection {
-        None => {
-            for i in 0..left.num_rows() {
-                probe(i);
-            }
+        let probe_out = probe.take(probe_idx)?;
+        let build_out = build_batch.take(build_idx)?;
+        let mut columns = Vec::with_capacity(out_schema.len());
+        if build_is_left {
+            columns.extend(build_out.columns().iter().cloned());
+            columns.extend(probe_out.columns().iter().cloned());
+        } else {
+            columns.extend(probe_out.columns().iter().cloned());
+            columns.extend(build_out.columns().iter().cloned());
         }
-        Some(sel) => {
-            for i in sel.iter() {
-                probe(i);
-            }
-        }
-    }
-    let left_out = left.take(&left_idx)?;
-    let right_out = right.take(&right_idx)?;
-    let mut columns = Vec::with_capacity(out_schema.len());
-    columns.extend(left_out.columns().iter().cloned());
-    columns.extend(right_out.columns().iter().cloned());
-    Ok(Batch::new(out_schema, columns)?)
+        Ok(Batch::new(out_schema, columns)?)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -993,6 +1059,67 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    /// Cost-based build-side selection builds on the estimated-smaller input
+    /// (observable via `join_build_rows`) and produces the same rows as the
+    /// as-written baseline that always builds right.
+    #[test]
+    fn build_side_selection_builds_on_smaller_input() {
+        let mut c = Catalog::new();
+        c.register(
+            TableBuilder::new("small_dim")
+                .add_i64("dim_id", (0..10).collect())
+                .add_f64("w", (0..10).map(|i| i as f64).collect())
+                .build()
+                .unwrap(),
+        );
+        c.register(
+            TableBuilder::new("big_fact")
+                .add_i64("dim_id", (0..1000).map(|i| i % 10).collect())
+                .add_f64("x", (0..1000).map(|i| i as f64).collect())
+                .build()
+                .unwrap(),
+        );
+        // the small dim is written on the LEFT, so the as-written baseline
+        // builds on the big right side
+        let plan =
+            LogicalPlan::scan("small_dim").join(LogicalPlan::scan("big_fact"), "dim_id", "dim_id");
+        let run_with = |cost_based: bool| {
+            let exec = Executor::new();
+            let ctx = ExecutionContext {
+                cost_based_build_side: cost_based,
+                ..ExecutionContext::default()
+            };
+            let out = exec.execute(&plan, &c, &ctx).unwrap();
+            let m = exec.metrics();
+            (out, m.join_build_rows(), m.join_probe_batches())
+        };
+        let (a, asis_build, asis_probes) = run_with(false);
+        let (b, cost_build, cost_probes) = run_with(true);
+        assert_eq!(asis_build, 1000, "as-written always builds the right side");
+        assert_eq!(
+            cost_build, 10,
+            "cost-based selection must build on the smaller side"
+        );
+        assert!(asis_probes >= 1 && cost_probes >= 1);
+        assert_eq!(a.num_rows(), 1000);
+        assert_eq!(b.num_rows(), 1000);
+        assert_eq!(a.schema().names(), b.schema().names());
+        let key = |batch: &Batch| {
+            let mut v: Vec<(u64, u64)> = batch
+                .column_by_name("x")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .iter()
+                .zip(batch.column_by_name("w").unwrap().as_f64().unwrap())
+                .map(|(x, w)| (x.to_bits(), w.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&a), key(&b), "both build sides join the same rows");
     }
 
     #[test]

@@ -120,6 +120,57 @@
 //!   operands kept scalar, thread-local scratch reuse), so a pushed-down
 //!   conjunction allocates one mask, not a column per operator.
 //!
+//! ## Architecture: the model-aware cost-based join optimizer (PR 6)
+//!
+//! Multi-table prediction queries (the paper's star-schema workloads, §7.2)
+//! are planned by a statistics-driven join optimizer in
+//! `relational::optimizer` + `relational::cost`:
+//!
+//! * **Cardinality estimation.** `relational::CostModel` estimates every
+//!   operator from catalog `ColumnStatistics`: scans from row counts, filters
+//!   via per-predicate selectivities (equality `1/NDV`, ranges from min/max
+//!   interpolation), and equi-joins with the NDV-containment rule
+//!   `|A ⋈ B| ≈ |A|·|B| / max(ndv_A, ndv_B)`.
+//! * **Join reordering.** Equi-join regions are reordered
+//!   smallest-intermediate-first — exhaustive Selinger-style DP for ≤ 6
+//!   relations, greedy beyond — with the as-written leftmost leaf pinned as
+//!   the probe root so the rewrite preserves row order. At execution time the
+//!   physical hash join picks its **build side** by estimated size
+//!   (pre-sizing the table from row/NDV stats and reusing key scratch across
+//!   batches), observable as `ExecutionReport::join_build_rows` /
+//!   `join_probe_batches`. `RAVEN_JOIN_ORDER=asis` pins the as-written
+//!   parity oracle (same knob family as `RAVEN_SCORER`), and
+//!   `RavenConfig::cost_based_joins` toggles it per session for in-process
+//!   A/B; `tests/join_parity.rs` proptests both modes bitwise-identical.
+//! * **Model-awareness.** Cross-optimizations run *before* join planning:
+//!   model-projection pushdown (`core::cross_opt`) drops pipeline inputs the
+//!   model never consumes, and PK-FK join elimination then removes dimension
+//!   joins that no longer contribute columns — requirement sets propagate
+//!   through kept joins, so a dimension nested below a needed join is still
+//!   eliminated. A pruned model observably loses whole joins in the prepared
+//!   plan.
+//! * **EXPLAIN.** `core::RavenSession::explain_prepared` renders the chosen
+//!   join order with estimated cardinalities
+//!   (`relational::explain_with_estimates`), e.g. for the 5-table star:
+//!
+//! ```text
+//! Join: supplier_id = supplier_id rows≈1955
+//!   Join: product_id = product_id rows≈1955
+//!     Join: customer_id = customer_id rows≈1955
+//!       Join: promo_id = promo_id rows≈1955
+//!         Scan: sales rows≈40000
+//!         Scan: promotions filters=[(promotions_num0 < 0.5)] rows≈20
+//!       Scan: customers rows≈8000
+//!     Scan: products rows≈4000
+//!   Scan: suppliers rows≈2000
+//! ```
+//!
+//! The `join_study` smoke (`datagen::five_table_star`, dimensions declared
+//! largest-first with a ~5% filter on the tiny `promotions` dimension)
+//! asserts the cost-based order ≥ 3× the as-written order end to end,
+//! bitwise-identical results, and the pruned-model join elimination
+//! (`BENCH_joins.json`).
+//!
 //! ## Architecture: the prediction-serving layer
 //!
 //! Above the session sits `raven_serve` — the concurrent serving tier that
