@@ -22,6 +22,9 @@ pub enum RavenError {
     RuleNotApplicable(String),
     /// The optimizer or session was configured inconsistently.
     Config(String),
+    /// Error from the durable-catalog layer (snapshot/journal I/O,
+    /// corruption, recovery).
+    Storage(String),
 }
 
 impl fmt::Display for RavenError {
@@ -34,6 +37,7 @@ impl fmt::Display for RavenError {
             RavenError::Ir(m) => write!(f, "ir error: {m}"),
             RavenError::RuleNotApplicable(m) => write!(f, "rule not applicable: {m}"),
             RavenError::Config(m) => write!(f, "configuration error: {m}"),
+            RavenError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -63,6 +67,11 @@ impl From<raven_tensor::TensorError> for RavenError {
 impl From<raven_ir::IrError> for RavenError {
     fn from(e: raven_ir::IrError) -> Self {
         RavenError::Ir(e.to_string())
+    }
+}
+impl From<raven_storage::StorageError> for RavenError {
+    fn from(e: raven_storage::StorageError) -> Self {
+        RavenError::Storage(e.to_string())
     }
 }
 

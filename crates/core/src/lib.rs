@@ -37,11 +37,12 @@ pub use mltodnn::{apply_ml_to_dnn, DnnPlan};
 pub use mltosql::{ensemble_to_sql, pipeline_to_sql, tree_to_sql};
 pub use session::{
     BaselineMode, CompiledModels, ExecutionReport, ModelCacheHooks, PredictionOutput,
-    PreparedStatement, RavenConfig, RavenSession, RuntimePolicy,
+    PreparedStatement, RavenConfig, RavenSession, RecoveryInfo, RuntimePolicy,
 };
 pub use stats::PipelineStats;
 pub use strategy::{
-    choose_execution_mode, estimate_mode_cost, evaluate_strategy, stratified_folds,
+    choose_execution_mode, choose_execution_mode_from_estimates, cost_based_mode_default,
+    estimate_mode_cost, estimate_mode_cost_from_estimates, evaluate_strategy, stratified_folds,
     ClassificationStrategy, ExecutionMode, OptimizationStrategy, RegressionStrategy,
     RuleBasedStrategy, StrategyCorpus, StrategyObservation, TransformChoice,
 };

@@ -13,7 +13,8 @@ use crate::mltodnn::apply_ml_to_dnn;
 use crate::mltosql::pipeline_to_sql;
 use crate::stats::PipelineStats;
 use crate::strategy::{
-    choose_execution_mode, ExecutionMode, OptimizationStrategy, TransformChoice,
+    choose_execution_mode, choose_execution_mode_from_estimates, cost_based_mode_default,
+    ExecutionMode, OptimizationStrategy, TransformChoice,
 };
 use raven_columnar::{
     Batch, BatchStream, Column, ColumnarError, DataType, Field, StreamBatch, Table,
@@ -22,8 +23,9 @@ use raven_ir::{parse_prediction_query, ModelRegistry, UnifiedPlan};
 use raven_ml::{bind_batch, CompiledPipeline, MlRuntime, Pipeline, RuntimeConfig};
 use raven_relational::{
     col, evaluate, evaluate_predicate, may_satisfy_all, selection_vectors_default, Catalog,
-    ExecutionContext, Executor, Expr, LogicalPlan, Optimizer,
+    CostModel, ExecutionContext, Executor, Expr, LogicalPlan, Optimizer,
 };
+use raven_storage::DurableStore;
 use raven_tensor::{Device, Strategy};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -99,6 +101,13 @@ pub struct RavenConfig {
     /// parity baseline. Harnesses toggle this field for in-process A/B runs
     /// (the env knob is read once per process).
     pub cost_based_joins: bool,
+    /// Cost-based execution-mode selection for `ExecutionMode::Auto`: feed
+    /// the join cost model's intermediate-size estimate into the streamed-vs-
+    /// materialized decision instead of assuming the first referenced table's
+    /// scan cardinality flows through scoring. Defaults to on;
+    /// `RAVEN_MODE_COST=legacy` pins the old single-table heuristic
+    /// process-wide as the A/B baseline.
+    pub cost_based_mode: bool,
 }
 
 impl Default for RavenConfig {
@@ -116,6 +125,7 @@ impl Default for RavenConfig {
             dnn_strategy: Strategy::Gemm,
             baseline: BaselineMode::Vectorized,
             cost_based_joins: raven_relational::cost_based_joins_default(),
+            cost_based_mode: cost_based_mode_default(),
         }
     }
 }
@@ -435,6 +445,26 @@ pub struct RavenSession {
     catalog: Arc<Catalog>,
     registry: Arc<ModelRegistry>,
     config: RavenConfig,
+    /// Durable-catalog backend. When set, every registration / drop is
+    /// journaled (fsync'd) *before* it is applied in memory, so a crash at
+    /// any point either replays the mutation or never acknowledged it.
+    store: Option<Arc<DurableStore>>,
+}
+
+/// What [`RavenSession::open_durable`] recovered from the data directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryInfo {
+    /// Whether a snapshot file existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Size of the loaded snapshot in bytes (0 without one).
+    pub snapshot_bytes: u64,
+    /// Journal records replayed over the snapshot.
+    pub journal_records_replayed: usize,
+    /// Whether a torn journal tail was found and truncated.
+    pub journal_tail_truncated: bool,
+    /// Hot plan fingerprints (canonical SQL, most-recently-used first)
+    /// persisted at snapshot time, for serving-tier cache pre-warm.
+    pub plan_fingerprints: Vec<String>,
 }
 
 impl RavenSession {
@@ -461,14 +491,119 @@ impl RavenSession {
         &self.config
     }
 
-    /// Register a table.
-    pub fn register_table(&mut self, table: Table) {
-        Arc::make_mut(&mut self.catalog).register(table);
+    /// Open a session backed by a durable data directory (`RAVEN_DATA_DIR`
+    /// in serving): recovers the catalog and model registry from the last
+    /// snapshot plus the journal (truncating any torn tail), resumes the
+    /// pre-crash epoch counters, and journals every subsequent mutation.
+    pub fn open_durable(
+        dir: impl Into<std::path::PathBuf>,
+        config: RavenConfig,
+    ) -> Result<(RavenSession, RecoveryInfo)> {
+        let (store, recovered) = DurableStore::open(dir)?;
+        let session = RavenSession {
+            catalog: Arc::new(recovered.catalog),
+            registry: Arc::new(recovered.registry),
+            config,
+            store: Some(Arc::new(store)),
+        };
+        let info = RecoveryInfo {
+            snapshot_loaded: recovered.snapshot_loaded,
+            snapshot_bytes: recovered.snapshot_bytes,
+            journal_records_replayed: recovered.journal_records_replayed,
+            journal_tail_truncated: recovered.journal_tail_truncated,
+            plan_fingerprints: recovered.plan_fingerprints,
+        };
+        Ok((session, info))
     }
 
-    /// Register a trained pipeline.
+    /// The durable store backing this session, if any.
+    pub fn durable_store(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
+    }
+
+    /// Register a table.
+    ///
+    /// On a durable session the registration is journaled first; a journal
+    /// failure here is fail-stop (the in-memory state must never run ahead
+    /// of what a restart would recover). Serving tiers use
+    /// [`RavenSession::try_register_table`] to surface the error instead.
+    pub fn register_table(&mut self, table: Table) {
+        self.try_register_table(table)
+            .expect("journal write failed; refusing to diverge from durable state");
+    }
+
+    /// Register a trained pipeline (fail-stop on journal errors, like
+    /// [`RavenSession::register_table`]).
     pub fn register_model(&mut self, pipeline: Pipeline) {
+        self.try_register_model(pipeline)
+            .expect("journal write failed; refusing to diverge from durable state");
+    }
+
+    /// Register a table, journaling it first when the session is durable.
+    pub fn try_register_table(&mut self, table: Table) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.log_register_table(
+                table.name(),
+                &table,
+                self.catalog.epoch() + 1,
+                self.registry.epoch(),
+            )?;
+        }
+        Arc::make_mut(&mut self.catalog).register(table);
+        Ok(())
+    }
+
+    /// Register a trained pipeline, journaling it first when durable.
+    pub fn try_register_model(&mut self, pipeline: Pipeline) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.log_register_model(
+                &pipeline.name,
+                &pipeline,
+                self.catalog.epoch(),
+                self.registry.epoch() + 1,
+            )?;
+        }
         Arc::make_mut(&mut self.registry).register(pipeline);
+        Ok(())
+    }
+
+    /// Drop a table (journaled first when durable; errors if missing).
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        if !self.catalog.contains(name) {
+            return Err(RavenError::Relational(format!("unknown table '{name}'")));
+        }
+        if let Some(store) = &self.store {
+            store.log_drop_table(name, self.catalog.epoch() + 1, self.registry.epoch())?;
+        }
+        Arc::make_mut(&mut self.catalog)
+            .drop_table(name)
+            .map_err(|e| RavenError::Relational(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Drop a model by its exact registered name (journaled first when
+    /// durable; errors if missing).
+    pub fn drop_model(&mut self, name: &str) -> Result<()> {
+        if !self.registry.model_names().iter().any(|n| n == name) {
+            return Err(RavenError::Ir(format!("unknown model '{name}'")));
+        }
+        if let Some(store) = &self.store {
+            store.log_drop_model(name, self.catalog.epoch(), self.registry.epoch() + 1)?;
+        }
+        Arc::make_mut(&mut self.registry)
+            .drop_model(name)
+            .map_err(|e| RavenError::Ir(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Snapshot the current catalog + registry (plus the given hot-plan
+    /// fingerprints for restart cache pre-warm) and compact the journal.
+    /// Returns the snapshot size in bytes; errors on a non-durable session.
+    pub fn snapshot_with_plans(&self, plan_fingerprints: &[String]) -> Result<u64> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            RavenError::Storage("session has no durable store (no data directory)".into())
+        })?;
+        Ok(store.snapshot(&self.catalog, &self.registry, plan_fingerprints)?)
     }
 
     /// The table catalog.
@@ -763,8 +898,10 @@ impl RavenSession {
     }
 
     /// Resolve the configured [`ExecutionMode`] for a plan: `Auto` costs the
-    /// streamed vs. materialized pipeline using the scanned table's partition
-    /// layout and how many partitions the input predicates can prune.
+    /// streamed vs. materialized pipeline using the scanned tables' partition
+    /// layout, how many partitions the input predicates can prune, and (when
+    /// `cost_based_mode` is on) the join cost model's estimate of how many
+    /// rows actually survive to scoring.
     fn resolve_execution_mode(&self, plan: &UnifiedPlan) -> ExecutionMode {
         match self.config.execution_mode {
             ExecutionMode::Streaming => ExecutionMode::Streaming,
@@ -782,12 +919,36 @@ impl RavenSession {
                     .filter(|stats| may_satisfy_all(&input_preds, stats))
                     .count();
                 let selectivity = surviving as f64 / partitions.max(1) as f64;
-                choose_execution_mode(
-                    table.num_rows(),
-                    partitions,
-                    self.config.degree_of_parallelism,
-                    selectivity,
-                )
+                if self.config.cost_based_mode {
+                    // total rows the plan reads across every referenced table,
+                    // vs. the cost model's estimate of rows surviving joins
+                    // and filters (the rows that are concatenated and scored).
+                    let scanned_rows: usize = tables
+                        .iter()
+                        .filter_map(|t| self.catalog.table(t).ok())
+                        .map(|t| t.num_rows())
+                        .sum();
+                    let estimated_out = CostModel::new(&self.catalog)
+                        .estimate_rows(&self.data_side_plan(plan))
+                        .max(0.0)
+                        .round() as usize;
+                    choose_execution_mode_from_estimates(
+                        scanned_rows,
+                        estimated_out,
+                        partitions,
+                        self.config.degree_of_parallelism,
+                        selectivity,
+                    )
+                } else {
+                    // legacy heuristic: first referenced table only, and every
+                    // scanned row is assumed to reach scoring.
+                    choose_execution_mode(
+                        table.num_rows(),
+                        partitions,
+                        self.config.degree_of_parallelism,
+                        selectivity,
+                    )
+                }
             }
         }
     }

@@ -255,6 +255,90 @@ pub fn choose_execution_mode(
     }
 }
 
+/// Abstract cost of a mode when the join optimizer's cardinality estimate for
+/// the data side is available (multi-join plans). Unlike
+/// [`estimate_mode_cost`], which assumes every scanned row reaches scoring,
+/// this separates `scanned_rows` (total base-table rows the plan reads) from
+/// `estimated_out_rows` (the cost model's estimate of rows surviving joins and
+/// filters, i.e. rows that are actually concatenated and scored).
+pub fn estimate_mode_cost_from_estimates(
+    mode: ExecutionMode,
+    scanned_rows: usize,
+    estimated_out_rows: usize,
+    partitions: usize,
+    dop: usize,
+    selectivity: f64,
+) -> f64 {
+    let scanned = scanned_rows as f64;
+    let out = estimated_out_rows as f64;
+    let partitions = partitions.max(1) as f64;
+    let selectivity = selectivity.clamp(0.0, 1.0);
+    match mode {
+        ExecutionMode::Materialized => {
+            // every base row is scanned once; only surviving rows pay the
+            // concat-into-one-batch and scoring costs.
+            scanned * mode_cost::SCAN_ROW + out * (mode_cost::CONCAT_ROW + mode_cost::SCORE_ROW)
+        }
+        _ => {
+            let workers = (dop.max(1) as f64).min(partitions);
+            // pruning skips whole partitions' worth of scanning; surviving
+            // rows are scored in-stream (no concat), but each partition pays
+            // a task-dispatch fee.
+            (scanned * selectivity * mode_cost::SCAN_ROW + out * mode_cost::SCORE_ROW) / workers
+                + partitions * mode_cost::TASK
+        }
+    }
+}
+
+/// Estimate-aware counterpart of [`choose_execution_mode`]: picks Streaming
+/// vs. Materialized from the join cost model's intermediate-size estimate
+/// instead of assuming the scan cardinality flows through scoring. Used for
+/// multi-join plans when cost-based mode selection is enabled (the default;
+/// pin `RAVEN_MODE_COST=legacy` to restore the single-table heuristic).
+pub fn choose_execution_mode_from_estimates(
+    scanned_rows: usize,
+    estimated_out_rows: usize,
+    partitions: usize,
+    dop: usize,
+    selectivity: f64,
+) -> ExecutionMode {
+    let streaming = estimate_mode_cost_from_estimates(
+        ExecutionMode::Streaming,
+        scanned_rows,
+        estimated_out_rows,
+        partitions,
+        dop,
+        selectivity,
+    );
+    let materialized = estimate_mode_cost_from_estimates(
+        ExecutionMode::Materialized,
+        scanned_rows,
+        estimated_out_rows,
+        partitions,
+        dop,
+        selectivity,
+    );
+    if streaming <= materialized {
+        ExecutionMode::Streaming
+    } else {
+        ExecutionMode::Materialized
+    }
+}
+
+/// Whether cost-based execution-mode selection is enabled by default, read
+/// once from the `RAVEN_MODE_COST` environment variable (same A/B-pin shape
+/// as `RAVEN_JOIN_ORDER` for join ordering). `legacy` (or `off`/`0`) pins the
+/// pre-cost-model heuristic that only looks at the first referenced table.
+pub fn cost_based_mode_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("RAVEN_MODE_COST").as_deref(),
+            Ok("legacy") | Ok("off") | Ok("0")
+        )
+    })
+}
+
 // ---------------------------------------------------------------------------
 // ML-informed rule-based strategy
 // ---------------------------------------------------------------------------
@@ -713,5 +797,36 @@ mod tests {
         );
         assert_eq!(auto, best);
         assert_eq!(ExecutionMode::Streaming.name(), "streaming");
+    }
+
+    #[test]
+    fn estimate_aware_mode_choice_uses_join_output_size() {
+        // Selective join: 100k rows scanned but only ~100 survive to scoring.
+        // The legacy chooser (which assumes all scanned rows are scored)
+        // prefers streaming on a large single-partition table, but with the
+        // output estimate the concat cost shrinks to ~nothing while streaming
+        // still pays the per-partition task fee: materialized wins.
+        assert_eq!(
+            choose_execution_mode(100_000, 1, 4, 1.0),
+            ExecutionMode::Streaming
+        );
+        assert_eq!(
+            choose_execution_mode_from_estimates(100_000, 100, 1, 4, 1.0),
+            ExecutionMode::Materialized
+        );
+        // Non-selective join over well-partitioned prunable data: streaming.
+        assert_eq!(
+            choose_execution_mode_from_estimates(100_000, 100_000, 16, 4, 0.25),
+            ExecutionMode::Streaming
+        );
+        // When the estimate says everything survives and there is one
+        // partition with one worker, the two cost models agree on ordering:
+        // streaming drops the concat term, so it still wins for big tables.
+        assert_eq!(
+            choose_execution_mode_from_estimates(1_000_000, 1_000_000, 1, 1, 1.0),
+            ExecutionMode::Streaming
+        );
+        // Degenerate empty estimate never panics.
+        let _ = choose_execution_mode_from_estimates(0, 0, 0, 0, f64::NAN);
     }
 }

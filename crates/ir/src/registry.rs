@@ -33,11 +33,32 @@ impl ModelRegistry {
         self.models.insert(name.into(), Arc::new(pipeline));
     }
 
+    /// Drop a model (exact name only — no `.onnx` fuzzing, so journal replay
+    /// is deterministic). Bumps the epoch, invalidating cached compiled
+    /// artifacts the same way a registration does.
+    pub fn drop_model(&mut self, name: &str) -> Result<()> {
+        match self.models.remove(name) {
+            Some(_) => {
+                self.epoch += 1;
+                Ok(())
+            }
+            None => Err(IrError::UnknownModel(name.to_string())),
+        }
+    }
+
     /// Monotonic version counter, bumped on every registration. Serving-side
     /// caches compare epochs to invalidate prepared plans and compiled models
     /// after a model is (re-)registered.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Restore the epoch counter during recovery (see
+    /// `Catalog::restore_epoch`): warm restart must resume at the pre-crash
+    /// epoch so epoch-tagged cache keys can never alias different model
+    /// content. Recovery-only.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Resolve a model name. Names are matched exactly, then with a `.onnx`
@@ -104,6 +125,28 @@ mod tests {
         assert_eq!(r.epoch(), 2);
         r.register_as("other", pipeline("m"));
         assert_eq!(r.epoch(), 3);
+    }
+
+    #[test]
+    fn drop_model_is_exact_name_and_bumps_epoch() {
+        let mut r = ModelRegistry::new();
+        r.register(pipeline("covid_risk.onnx"));
+        let before = r.epoch();
+        // exact-name only: the fuzzy-resolved alias must not drop
+        assert!(r.drop_model("covid_risk").is_err());
+        assert_eq!(r.epoch(), before);
+        r.drop_model("covid_risk.onnx").unwrap();
+        assert!(!r.contains("covid_risk.onnx"));
+        assert_eq!(r.epoch(), before + 1);
+    }
+
+    #[test]
+    fn restore_epoch_resumes_counter() {
+        let mut r = ModelRegistry::new();
+        r.restore_epoch(7);
+        assert_eq!(r.epoch(), 7);
+        r.register(pipeline("m"));
+        assert_eq!(r.epoch(), 8);
     }
 
     #[test]

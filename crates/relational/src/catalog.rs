@@ -31,11 +31,35 @@ impl Catalog {
         self.tables.insert(name.into(), Arc::new(table));
     }
 
+    /// Drop a table. Bumps the epoch (a drop invalidates cached plans exactly
+    /// like a registration does). Errors if the table does not exist so a
+    /// journaled drop can never silently no-op during replay.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        match self.tables.remove(name) {
+            Some(_) => {
+                self.epoch += 1;
+                Ok(())
+            }
+            None => Err(RelationalError::TableNotFound(name.to_string())),
+        }
+    }
+
     /// Monotonic version counter, bumped on every registration. Prepared-plan
     /// and compiled-model caches compare epochs to detect that a cached
     /// artifact was derived from a stale catalog.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Restore the epoch counter during recovery. Durable warm restart
+    /// (`raven-storage`) replays a snapshot + journal and must resume at the
+    /// pre-crash epoch: if a restarted catalog re-counted from zero, cache
+    /// keys minted before the crash (prepared plans, compiled models,
+    /// persisted plan fingerprints) could collide with *different* content at
+    /// the same epoch number. Recovery-only; never lower the epoch on a live
+    /// catalog.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Look up a table.
@@ -155,6 +179,34 @@ mod tests {
                 .unwrap(),
         );
         assert_eq!(c.epoch(), 3);
+    }
+
+    #[test]
+    fn drop_table_bumps_epoch_and_errors_on_missing() {
+        let mut c = catalog();
+        let before = c.epoch();
+        c.drop_table("patients").unwrap();
+        assert!(!c.contains("patients"));
+        assert_eq!(c.epoch(), before + 1);
+        assert!(matches!(
+            c.drop_table("patients").unwrap_err(),
+            RelationalError::TableNotFound(_)
+        ));
+        assert_eq!(c.epoch(), before + 1, "failed drop must not bump");
+    }
+
+    #[test]
+    fn restore_epoch_resumes_counter() {
+        let mut c = Catalog::new();
+        c.restore_epoch(41);
+        assert_eq!(c.epoch(), 41);
+        c.register(
+            TableBuilder::new("a")
+                .add_i64("x", vec![1])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.epoch(), 42);
     }
 
     #[test]

@@ -64,6 +64,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.entries.remove(key).map(|(v, _)| v)
     }
 
+    /// Every live key, most-recently-used first. Used to persist the hot
+    /// plan fingerprints at snapshot time so a warm restart can re-prepare
+    /// them in recency order.
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut keyed: Vec<(&K, u64)> = self
+            .entries
+            .iter()
+            .map(|(k, (_, touched))| (k, *touched))
+            .collect();
+        keyed.sort_by_key(|&(_, touched)| std::cmp::Reverse(touched));
+        keyed.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Whether a key is present (no recency touch).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// Drop every entry (bulk invalidation).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -109,6 +127,18 @@ mod tests {
         c.insert("x", 9);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn keys_by_recency_is_mru_first() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(&1)); // a becomes most recent
+        assert_eq!(c.keys_by_recency(), vec!["a", "c", "b"]);
+        assert!(c.contains_key(&"b"));
+        assert!(!c.contains_key(&"z"));
     }
 
     #[test]

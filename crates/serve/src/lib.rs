@@ -32,6 +32,19 @@
 //!   first-request → last-completion wall, p50/p95/p99 latency from an
 //!   Algorithm-R reservoir (a uniform sample of the full history), cache
 //!   hit/miss/single-flight counts, and micro-batches coalesced.
+//!
+//! With a data directory ([`ServerConfig::data_dir`] or `RAVEN_DATA_DIR`)
+//! the server runs on a **durable catalog** (`raven_storage`):
+//! registrations are journaled (write-ahead, CRC'd, fsync'd) before they
+//! apply, [`Server::open_durable`] restarts warm — snapshot load, journal
+//! replay, and re-preparing the persisted hottest plan SQL through the
+//! normal single-flight path — reported as
+//! [`ServingReport::warm_restart_ms`] / `journal_records_replayed` /
+//! `prewarmed_plans`, and background snapshot compaction
+//! ([`ServerConfig::compaction_threshold`]) runs off-thread without ever
+//! blocking serving reads. Because the journal carries the post-apply epoch
+//! counters, a warm restart resumes the pre-crash epochs and the
+//! epoch-keyed caches can never serve a stale compiled model.
 
 pub mod cache;
 pub mod error;

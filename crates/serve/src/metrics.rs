@@ -56,6 +56,14 @@ pub struct ServingMetrics {
     /// Completed requests (including any whose latency sample was evicted
     /// from the bounded reservoir).
     completed: AtomicU64,
+    /// Warm-restart duration in nanoseconds **plus 1** (0 = server started
+    /// cold, without a durable data directory).
+    warm_restart_ns: AtomicU64,
+    /// Journal records replayed over the snapshot at startup.
+    journal_records_replayed: AtomicU64,
+    /// Hot plans eagerly re-prepared at startup from the persisted
+    /// fingerprint list.
+    prewarmed_plans: AtomicU64,
     reservoir: Mutex<Reservoir>,
 }
 
@@ -112,6 +120,21 @@ impl ServingMetrics {
             self.coalesced_points
                 .fetch_add(coalesced_requests as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Record the outcome of a durable warm restart (snapshot load + journal
+    /// replay + cache pre-warm).
+    pub(crate) fn record_warm_restart(
+        &self,
+        elapsed: Duration,
+        journal_records: u64,
+        prewarmed: u64,
+    ) {
+        self.warm_restart_ns
+            .store(elapsed.as_nanos() as u64 + 1, Ordering::Relaxed);
+        self.journal_records_replayed
+            .store(journal_records, Ordering::Relaxed);
+        self.prewarmed_plans.store(prewarmed, Ordering::Relaxed);
     }
 
     pub(crate) fn record_latency(&self, latency: Duration) {
@@ -179,6 +202,12 @@ impl ServingMetrics {
             micro_batches: self.micro_batches.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             coalesced_points: self.coalesced_points.load(Ordering::Relaxed),
+            warm_restart_ms: match self.warm_restart_ns.load(Ordering::Relaxed) {
+                0 => None,
+                ns => Some((ns - 1) as f64 / 1e6),
+            },
+            journal_records_replayed: self.journal_records_replayed.load(Ordering::Relaxed),
+            prewarmed_plans: self.prewarmed_plans.load(Ordering::Relaxed),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -224,6 +253,14 @@ pub struct ServingReport {
     /// Point requests that shared a micro-batch with at least one other
     /// request.
     pub coalesced_points: u64,
+    /// Duration of the durable warm restart (snapshot load + journal
+    /// replay + cache pre-warm) in milliseconds; `None` when the server
+    /// started cold without a data directory.
+    pub warm_restart_ms: Option<f64>,
+    /// Journal records replayed over the snapshot at startup.
+    pub journal_records_replayed: u64,
+    /// Hot plans eagerly re-prepared at startup.
+    pub prewarmed_plans: u64,
     /// Median request latency (enqueue → response).
     pub p50: Duration,
     /// 95th-percentile request latency.
@@ -288,7 +325,15 @@ impl std::fmt::Display for ServingReport {
             f,
             "micro-batches: {} total, {} coalesced covering {} point requests",
             self.micro_batches, self.coalesced_batches, self.coalesced_points
-        )
+        )?;
+        if let Some(ms) = self.warm_restart_ms {
+            write!(
+                f,
+                "\nwarm restart: {:.2} ms ({} journal records replayed, {} plans pre-warmed)",
+                ms, self.journal_records_replayed, self.prewarmed_plans
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -37,12 +37,14 @@ use crate::error::{Result, ServeError};
 use crate::metrics::{ServingMetrics, ServingReport};
 use raven_columnar::{Batch, Field, Schema, Value};
 use raven_core::{
-    CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenSession,
+    CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenConfig,
+    RavenSession, RecoveryInfo,
 };
 use raven_ir::fingerprint_query;
 use raven_ml::MlRuntime;
 use raven_relational::evaluate_predicate;
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -65,6 +67,15 @@ pub struct ServerConfig {
     pub plan_cache_capacity: usize,
     /// Capacity of the compiled-model LRU cache.
     pub model_cache_capacity: usize,
+    /// Durable data directory for [`Server::open_durable`]. `None` falls
+    /// back to the `RAVEN_DATA_DIR` environment variable.
+    pub data_dir: Option<PathBuf>,
+    /// How many of the persisted hot plan fingerprints a warm restart
+    /// eagerly re-prepares (most-recently-used first).
+    pub prewarm_plans: usize,
+    /// Journal-record count above which a registration triggers a background
+    /// snapshot + journal compaction (0 disables automatic compaction).
+    pub compaction_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +87,9 @@ impl Default for ServerConfig {
             micro_batch_wait: Duration::from_micros(200),
             plan_cache_capacity: 64,
             model_cache_capacity: 128,
+            data_dir: None,
+            prewarm_plans: 16,
+            compaction_threshold: 512,
         }
     }
 }
@@ -198,6 +212,12 @@ struct ServerInner {
     /// Single-flight prepares in progress, keyed by
     /// `fingerprint @ (catalog epoch, registry epoch)`.
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Representative original SQL text per plan-cache fingerprint: the plan
+    /// cache keys on the canonical form, which is *not* re-parseable, so the
+    /// snapshot persists these SQL strings for warm-restart pre-warm.
+    plan_sql: Mutex<HashMap<String, String>>,
+    /// Background snapshot-compaction worker, at most one in flight.
+    compaction: Mutex<Option<JoinHandle<()>>>,
     queue: Mutex<Queue>,
     available: Condvar,
     in_flight: AtomicUsize,
@@ -229,6 +249,8 @@ impl Server {
             plan_cache: Mutex::new(LruCache::new(config.plan_cache_capacity)),
             model_cache: Mutex::new(LruCache::new(config.model_cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
+            plan_sql: Mutex::new(HashMap::new()),
+            compaction: Mutex::new(None),
             queue: Mutex::new(Queue::default()),
             available: Condvar::new(),
             in_flight: AtomicUsize::new(0),
@@ -252,6 +274,117 @@ impl Server {
     /// Start a server with the default configuration.
     pub fn with_defaults(session: RavenSession) -> Server {
         Server::new(session, ServerConfig::default())
+    }
+
+    /// Start a server over a **durable** session: recover the catalog and
+    /// model registry from the data directory (`config.data_dir`, falling
+    /// back to `RAVEN_DATA_DIR`), replay the journal over the last snapshot,
+    /// and eagerly re-prepare the hottest cached plans from the fingerprint
+    /// list persisted at snapshot time. The whole warm restart is timed into
+    /// [`ServingReport::warm_restart_ms`].
+    pub fn open_durable(config: ServerConfig, session_config: RavenConfig) -> Result<Server> {
+        let dir = config
+            .data_dir
+            .clone()
+            .or_else(|| std::env::var_os("RAVEN_DATA_DIR").map(PathBuf::from))
+            .ok_or_else(|| {
+                ServeError::InvalidRequest(
+                    "no data directory: set ServerConfig::data_dir or RAVEN_DATA_DIR".into(),
+                )
+            })?;
+        let start = Instant::now();
+        let (session, info) = RavenSession::open_durable(dir, session_config)?;
+        let server = Server::new(session, config);
+        let prewarmed = server.prewarm(&info);
+        server.inner.metrics.record_warm_restart(
+            start.elapsed(),
+            info.journal_records_replayed as u64,
+            prewarmed as u64,
+        );
+        Ok(server)
+    }
+
+    /// Re-prepare the persisted hot plans (most-recently-used first) so the
+    /// first requests after a restart hit a warm plan cache. Plans that no
+    /// longer prepare (their table or model was dropped after the snapshot
+    /// and before the crash) are skipped, not errors.
+    fn prewarm(&self, info: &RecoveryInfo) -> usize {
+        let mut prewarmed = 0;
+        for sql in info
+            .plan_fingerprints
+            .iter()
+            .take(self.inner.config.prewarm_plans)
+        {
+            let Ok(fp) = fingerprint_query(sql) else {
+                continue;
+            };
+            let session = self.inner.session.read().expect("session poisoned");
+            if get_prepared(&self.inner, &session, &fp.canonical, sql).is_ok() {
+                prewarmed += 1;
+            }
+        }
+        prewarmed
+    }
+
+    /// The original SQL of every live plan-cache entry, most-recently-used
+    /// first — what the snapshot persists for warm-restart pre-warm. Also
+    /// prunes the fingerprint → SQL side map down to live entries.
+    fn hot_plan_sqls(&self) -> Vec<String> {
+        let cache = self.inner.plan_cache.lock().expect("plan cache poisoned");
+        let keys = cache.keys_by_recency();
+        let mut plan_sql = self.inner.plan_sql.lock().expect("plan sql poisoned");
+        plan_sql.retain(|k, _| cache.contains_key(k));
+        keys.iter()
+            .filter_map(|k| plan_sql.get(k).cloned())
+            .collect()
+    }
+
+    /// Snapshot the current catalog + registry (with the hot plan list) and
+    /// compact the journal, synchronously. Errors when the underlying
+    /// session is not durable. Returns the snapshot size in bytes.
+    pub fn snapshot_now(&self) -> Result<u64> {
+        let plans = self.hot_plan_sqls();
+        // clone the session under the read lock (cheap Arc clones), snapshot
+        // outside it so readers are never blocked on snapshot encoding
+        let session = self.inner.session.read().expect("session poisoned").clone();
+        Ok(session.snapshot_with_plans(&plans)?)
+    }
+
+    /// Kick off a background snapshot + journal compaction when the journal
+    /// has grown past the configured threshold and no compaction is already
+    /// running. Serving reads are never blocked: the worker clones the
+    /// session state and only the final journal rewrite holds the store's
+    /// append lock.
+    fn maybe_compact(&self) {
+        let threshold = self.inner.config.compaction_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let records = {
+            let session = self.inner.session.read().expect("session poisoned");
+            match session.durable_store() {
+                Some(store) => store.journal_records(),
+                None => return,
+            }
+        };
+        if records < threshold {
+            return;
+        }
+        let mut slot = self.inner.compaction.lock().expect("compaction poisoned");
+        if let Some(handle) = slot.take() {
+            if !handle.is_finished() {
+                *slot = Some(handle); // one compaction at a time
+                return;
+            }
+            let _ = handle.join();
+        }
+        let plans = self.hot_plan_sqls();
+        let session = self.inner.session.read().expect("session poisoned").clone();
+        *slot = Some(std::thread::spawn(move || {
+            // failure here is non-fatal: the journal keeps the state safe,
+            // the next threshold crossing retries
+            let _ = session.snapshot_with_plans(&plans);
+        }));
     }
 
     /// Submit a request; fails fast when admission control is saturated.
@@ -357,25 +490,31 @@ impl Server {
         .wait_point()
     }
 
-    /// Register (or replace) a table: takes the session write lock, bumps the
-    /// catalog epoch, and clears both caches.
-    pub fn register_table(&self, table: raven_columnar::Table) {
+    /// Register (or replace) a table: takes the session write lock, journals
+    /// the registration on a durable session, bumps the catalog epoch, and
+    /// clears both caches.
+    pub fn register_table(&self, table: raven_columnar::Table) -> Result<()> {
         let mut s = self.inner.session.write().expect("session poisoned");
-        s.register_table(table);
+        s.try_register_table(table)?;
         // clear while still holding the write lock: no reader can slip a
         // fresh new-epoch entry in between the bump and the clear (which the
         // clear would wipe, forcing a second prepare for that epoch)
         self.invalidate_caches();
         drop(s);
+        self.maybe_compact();
+        Ok(())
     }
 
-    /// Register (or replace) a model: takes the session write lock, bumps the
-    /// registry epoch, and clears both caches.
-    pub fn register_model(&self, pipeline: raven_ml::Pipeline) {
+    /// Register (or replace) a model: takes the session write lock, journals
+    /// the registration on a durable session, bumps the registry epoch, and
+    /// clears both caches.
+    pub fn register_model(&self, pipeline: raven_ml::Pipeline) -> Result<()> {
         let mut s = self.inner.session.write().expect("session poisoned");
-        s.register_model(pipeline);
+        s.try_register_model(pipeline)?;
         self.invalidate_caches();
         drop(s);
+        self.maybe_compact();
+        Ok(())
     }
 
     fn invalidate_caches(&self) {
@@ -419,6 +558,15 @@ impl Server {
         self.inner.available.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(handle) = self
+            .inner
+            .compaction
+            .lock()
+            .expect("compaction poisoned")
+            .take()
+        {
+            let _ = handle.join();
         }
     }
 }
@@ -817,6 +965,13 @@ fn prepare_uncached(
         .lock()
         .expect("plan cache poisoned")
         .insert(canonical.to_string(), prepared.clone());
+    // remember a re-parseable SQL text for this fingerprint so a snapshot
+    // can persist it for warm-restart pre-warm
+    inner
+        .plan_sql
+        .lock()
+        .expect("plan sql poisoned")
+        .insert(canonical.to_string(), sql.to_string());
     Ok(prepared)
 }
 

@@ -177,7 +177,7 @@ fn register_table_invalidates_cached_plans() {
         .iter()
         .all(|r| *r < 0.9));
 
-    server.register_table(patients(100, 80.0, 95.0));
+    server.register_table(patients(100, 80.0, 95.0)).unwrap();
     let new = server.sql(QUERY).unwrap();
     // fresh session over the new data is the ground truth
     let expected = session(100, 80.0, 95.0).sql(QUERY).unwrap();
@@ -212,7 +212,9 @@ fn register_model_invalidates_cached_plans() {
     assert!(old.report.output_rows > 0);
     // replace the model with one whose high-age leaf scores 0.2: the same
     // query must now return zero rows
-    server.register_model(risk_pipeline("risk_model", 0.2));
+    server
+        .register_model(risk_pipeline("risk_model", 0.2))
+        .unwrap();
     let new = server.sql(q).unwrap();
     assert_eq!(new.report.output_rows, 0);
     assert_eq!(server.report().plan_cache_misses, 2);
@@ -460,9 +462,11 @@ fn register_while_serving_never_serves_stale_results() {
         std::thread::spawn(move || {
             for i in 0..registrations {
                 match i % 3 {
-                    0 => server.register_table(patients(60, 80.0, 95.0)),
-                    1 => server.register_table(patients(60, 20.0, 50.0)),
-                    _ => server.register_model(risk_pipeline("risk_model", 0.9)),
+                    0 => server.register_table(patients(60, 80.0, 95.0)).unwrap(),
+                    1 => server.register_table(patients(60, 20.0, 50.0)).unwrap(),
+                    _ => server
+                        .register_model(risk_pipeline("risk_model", 0.9))
+                        .unwrap(),
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }

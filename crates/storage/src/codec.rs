@@ -1,0 +1,266 @@
+//! Low-level binary encoding primitives shared by the snapshot and journal
+//! formats: little-endian fixed-width integers, length-prefixed strings and
+//! byte runs, and a bounds-checked reader that turns every malformed input
+//! into a typed [`StorageError::Corrupt`] instead of a panic.
+//!
+//! Floats are always moved through `f64::to_bits` / `from_bits`, so NaN
+//! payloads and `-0.0` survive a round trip bit-for-bit — the warm-restart
+//! oracle compares recovered query results bitwise against a never-restarted
+//! session.
+
+use crate::error::{Result, StorageError};
+
+/// Growable little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bit-exact float encoding (NaN payloads and `-0.0` preserved).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// `u32` length prefix + UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `0` tag for `None`, `1` tag + string for `Some`.
+    pub fn put_opt_str(&mut self, s: Option<&str>) {
+        match s {
+            None => self.put_u8(0),
+            Some(s) => {
+                self.put_u8(1);
+                self.put_str(s);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over an in-memory buffer. Every
+/// decode error carries `context` (the file being read) so corruption
+/// reports point at the artifact, not the parser.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from `buf`; `context` names the source (file name) for errors.
+    pub fn new(buf: &'a [u8], context: &'a str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> StorageError {
+        StorageError::Corrupt {
+            file: self.context.to_string(),
+            detail: format!("at byte {}: {}", self.pos, detail.into()),
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!("need {n} bytes, only {} remain", self.remaining())));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.corrupt(format!("invalid bool tag {other}"))),
+        }
+    }
+
+    /// A length, validated against the bytes actually remaining so a corrupt
+    /// prefix can never trigger a huge allocation.
+    pub fn get_len(&mut self, per_item_bytes: usize) -> Result<usize> {
+        let n = self.get_u32()? as usize;
+        if per_item_bytes > 0 && n > self.remaining() / per_item_bytes.max(1) + 1 {
+            return Err(self.corrupt(format!(
+                "length {n} x {per_item_bytes}B exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| self.corrupt(format!("invalid UTF-8 string: {e}")))
+    }
+
+    pub fn get_opt_str(&mut self) -> Result<Option<String>> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_str()?)),
+            other => Err(self.corrupt(format!("invalid Option tag {other}"))),
+        }
+    }
+
+    /// Error helper for enum-tag dispatch in higher-level codecs.
+    pub fn bad_tag(&self, what: &str, tag: u8) -> StorageError {
+        self.corrupt(format!("invalid {what} tag {tag}"))
+    }
+
+    /// Error helper for structural violations found mid-decode.
+    pub fn invalid(&self, detail: impl Into<String>) -> StorageError {
+        self.corrupt(detail)
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("héllo");
+        w.put_opt_str(None);
+        w.put_opt_str(Some("x"));
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_opt_str().unwrap(), None);
+        assert_eq!(r.get_opt_str().unwrap().as_deref(), Some("x"));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5], "test");
+        assert!(matches!(
+            r.get_u64().unwrap_err(),
+            StorageError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims a 4 GiB string in a 4-byte buffer
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert!(r.get_str().is_err());
+    }
+}

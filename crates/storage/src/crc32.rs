@@ -1,0 +1,103 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum the
+//! snapshot and journal formats use for every section, record, and file
+//! trailer. Implemented in-crate because the workspace is offline (no
+//! crates.io); a 256-entry table is built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC32 state, for checksumming data as it is written.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold more bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // the canonical CRC32 check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        data[17] = 0x42;
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

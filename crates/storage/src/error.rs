@@ -1,0 +1,84 @@
+//! Typed errors for the durable-catalog layer.
+
+use std::fmt;
+
+/// Errors raised by the snapshot codec, the mutation journal, and recovery.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A snapshot or journal failed structural validation (bad magic, CRC
+    /// mismatch, truncated section, invalid tag, ...). `file` names the
+    /// artifact; `detail` says where and why.
+    Corrupt { file: String, detail: String },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        file: String,
+        found: u32,
+        supported: u32,
+    },
+    /// Persisted `ColumnStatistics` disagree with statistics recomputed from
+    /// the loaded column data — the snapshot's derived state is stale
+    /// relative to its base data. Recovery recomputes stats from data (the
+    /// recomputed values win); this diagnostic is raised by the debug-build
+    /// recheck so a codec bug cannot silently ship wrong statistics.
+    StaleStats {
+        table: String,
+        column: String,
+        detail: String,
+    },
+    /// A structurally valid payload was rejected by domain validation when
+    /// rebuilding in-memory state (e.g. `Pipeline::new` refusing a malformed
+    /// tree graph, `Batch::new` refusing ragged columns). Journal replay
+    /// treats this as corruption of that record.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { file, detail } => {
+                write!(f, "corrupt storage file '{file}': {detail}")
+            }
+            StorageError::UnsupportedVersion {
+                file,
+                found,
+                supported,
+            } => write!(
+                f,
+                "storage file '{file}' has format version {found}, but this build supports \
+                 up to {supported}"
+            ),
+            StorageError::StaleStats {
+                table,
+                column,
+                detail,
+            } => write!(
+                f,
+                "stale persisted statistics for {table}.{column}: {detail}"
+            ),
+            StorageError::Invalid(detail) => {
+                write!(f, "decoded state failed domain validation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

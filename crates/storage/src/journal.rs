@@ -1,0 +1,519 @@
+//! The append-only mutation journal.
+//!
+//! ```text
+//! offset  field
+//! 0       magic  b"RVNJRNL1"
+//! 8       u32    format version (1)
+//! 12      u64    base catalog epoch   (epoch of the snapshot this journal
+//! 20      u64    base registry epoch   composes over; 0/0 for a fresh dir)
+//! 28      u32    CRC32 of bytes 0..28
+//! 32      records, each:
+//!           u32  payload length
+//!           ...  payload
+//!           u32  CRC32 of the payload
+//! ```
+//!
+//! Record payload: `u8` mutation kind, `u64` catalog epoch *after* applying
+//! the mutation, `u64` registry epoch after, then the kind-specific body
+//! (a name plus a table/pipeline record for registrations, a bare name for
+//! drops). Persisting the post-mutation epochs in every record — and the
+//! base epochs in the header — is what makes replay compose
+//! deterministically over the last snapshot: records at or below the
+//! recovered epochs are skipped (already in the snapshot), every applied
+//! record must advance exactly one epoch by exactly one, and the recovered
+//! session resumes at the true pre-crash epoch so no epoch-tagged cache key
+//! minted before the crash can alias different content after it.
+//!
+//! **Torn tails are expected**, not errors: a crash mid-append leaves a
+//! trailing record with too few bytes or a failing CRC. Reading stops
+//! cleanly at the last valid record and reports the valid byte length so
+//! the writer can physically truncate the tail before appending again. A
+//! record whose CRC *passes* but whose payload does not decode is different
+//! — those bytes were written intact, so the file is corrupt, and replay
+//! refuses to guess.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::crc32::crc32;
+use crate::error::{Result, StorageError};
+use crate::{model_codec, table_codec};
+use raven_ml::Pipeline;
+use raven_relational::Catalog;
+
+use raven_columnar::Table;
+use raven_ir::ModelRegistry;
+
+pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"RVNJRNL1";
+pub(crate) const JOURNAL_VERSION: u32 = 1;
+/// Fixed byte length of the journal header (magic + version + epochs + CRC).
+pub const JOURNAL_HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4;
+
+const KIND_REGISTER_TABLE: u8 = 1;
+const KIND_REGISTER_MODEL: u8 = 2;
+const KIND_DROP_TABLE: u8 = 3;
+const KIND_DROP_MODEL: u8 = 4;
+
+/// The journal header: which snapshot epochs this journal composes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// `Catalog::epoch()` of the snapshot taken when this journal started.
+    pub base_catalog_epoch: u64,
+    /// `ModelRegistry::epoch()` of that snapshot.
+    pub base_registry_epoch: u64,
+}
+
+/// One logged catalog/registry mutation.
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// `Catalog::register_as(name, table)`.
+    RegisterTable { name: String, table: Table },
+    /// `ModelRegistry::register_as(name, pipeline)`.
+    RegisterModel { name: String, pipeline: Pipeline },
+    /// `Catalog::drop_table(name)`.
+    DropTable { name: String },
+    /// `ModelRegistry::drop_model(name)`.
+    DropModel { name: String },
+}
+
+impl Mutation {
+    /// Short human tag, for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Mutation::RegisterTable { .. } => "register_table",
+            Mutation::RegisterModel { .. } => "register_model",
+            Mutation::DropTable { .. } => "drop_table",
+            Mutation::DropModel { .. } => "drop_model",
+        }
+    }
+}
+
+/// A decoded journal record: the mutation plus the epochs the state must
+/// hold *after* applying it.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    pub mutation: Mutation,
+    pub catalog_epoch_after: u64,
+    pub registry_epoch_after: u64,
+}
+
+/// Encode the fixed-size journal header.
+pub fn encode_header(header: JournalHeader) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(JOURNAL_MAGIC);
+    w.put_u32(JOURNAL_VERSION);
+    w.put_u64(header.base_catalog_epoch);
+    w.put_u64(header.base_registry_epoch);
+    let mut bytes = w.into_bytes();
+    let checksum = crc32(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    debug_assert_eq!(bytes.len(), JOURNAL_HEADER_LEN);
+    bytes
+}
+
+/// Validate and decode the journal header.
+pub fn decode_header(bytes: &[u8], file: &str) -> Result<JournalHeader> {
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: file.to_string(),
+        detail,
+    };
+    if bytes.len() < JOURNAL_HEADER_LEN {
+        return Err(corrupt(format!(
+            "journal shorter than its {JOURNAL_HEADER_LEN}-byte header ({}B)",
+            bytes.len()
+        )));
+    }
+    let header = &bytes[..JOURNAL_HEADER_LEN];
+    let (body, crc_bytes) = header.split_at(JOURNAL_HEADER_LEN - 4);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut r = ByteReader::new(body, file);
+    let magic = r.take(JOURNAL_MAGIC.len())?;
+    if magic != JOURNAL_MAGIC {
+        return Err(corrupt(format!("bad magic {magic:02x?}")));
+    }
+    let version = r.get_u32()?;
+    if version != JOURNAL_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            file: file.to_string(),
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    Ok(JournalHeader {
+        base_catalog_epoch: r.get_u64()?,
+        base_registry_epoch: r.get_u64()?,
+    })
+}
+
+/// Encode one framed record (length prefix + payload + CRC), ready to
+/// append to the journal file.
+pub fn encode_record(record: &JournalRecord) -> Vec<u8> {
+    let mut p = ByteWriter::new();
+    match &record.mutation {
+        Mutation::RegisterTable { name, table } => {
+            p.put_u8(KIND_REGISTER_TABLE);
+            p.put_u64(record.catalog_epoch_after);
+            p.put_u64(record.registry_epoch_after);
+            p.put_str(name);
+            table_codec::encode_table(&mut p, table);
+        }
+        Mutation::RegisterModel { name, pipeline } => {
+            p.put_u8(KIND_REGISTER_MODEL);
+            p.put_u64(record.catalog_epoch_after);
+            p.put_u64(record.registry_epoch_after);
+            p.put_str(name);
+            model_codec::encode_pipeline(&mut p, pipeline);
+        }
+        Mutation::DropTable { name } => {
+            p.put_u8(KIND_DROP_TABLE);
+            p.put_u64(record.catalog_epoch_after);
+            p.put_u64(record.registry_epoch_after);
+            p.put_str(name);
+        }
+        Mutation::DropModel { name } => {
+            p.put_u8(KIND_DROP_MODEL);
+            p.put_u64(record.catalog_epoch_after);
+            p.put_u64(record.registry_epoch_after);
+            p.put_str(name);
+        }
+    }
+    let payload = p.into_bytes();
+    let mut framed = ByteWriter::new();
+    framed.put_u32(payload.len() as u32);
+    let checksum = crc32(&payload);
+    framed.put_raw(&payload);
+    framed.put_u32(checksum);
+    framed.into_bytes()
+}
+
+fn decode_payload(payload: &[u8], file: &str) -> Result<JournalRecord> {
+    let mut r = ByteReader::new(payload, file);
+    let kind = r.get_u8()?;
+    let catalog_epoch_after = r.get_u64()?;
+    let registry_epoch_after = r.get_u64()?;
+    let mutation = match kind {
+        KIND_REGISTER_TABLE => {
+            let name = r.get_str()?;
+            let table = table_codec::decode_table(&mut r)?;
+            Mutation::RegisterTable { name, table }
+        }
+        KIND_REGISTER_MODEL => {
+            let name = r.get_str()?;
+            let pipeline = model_codec::decode_pipeline(&mut r)?;
+            Mutation::RegisterModel { name, pipeline }
+        }
+        KIND_DROP_TABLE => Mutation::DropTable { name: r.get_str()? },
+        KIND_DROP_MODEL => Mutation::DropModel { name: r.get_str()? },
+        other => return Err(r.bad_tag("journal record kind", other)),
+    };
+    r.expect_end()?;
+    Ok(JournalRecord {
+        mutation,
+        catalog_epoch_after,
+        registry_epoch_after,
+    })
+}
+
+/// Result of scanning a journal file.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// The validated header.
+    pub header: JournalHeader,
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (header + whole valid records). A
+    /// torn tail begins here; the writer truncates to this length before
+    /// appending again.
+    pub valid_len: u64,
+    /// Whether a torn tail was found (and ignored) after the valid prefix.
+    pub torn: bool,
+}
+
+/// Scan a journal: validate the header, then decode records until the first
+/// torn one (too few bytes, or CRC mismatch — stop cleanly, tolerate) or a
+/// CRC-valid record that fails to decode (hard [`StorageError::Corrupt`] —
+/// those bytes were written intact, so replay refuses to guess).
+pub fn scan_journal(bytes: &[u8], file: &str) -> Result<JournalScan> {
+    let header = decode_header(bytes, file)?;
+    let mut records = Vec::new();
+    let mut pos = JOURNAL_HEADER_LEN;
+    let mut torn = false;
+    while pos < bytes.len() {
+        let remaining = &bytes[pos..];
+        if remaining.len() < 4 {
+            torn = true;
+            break;
+        }
+        let len =
+            u32::from_le_bytes([remaining[0], remaining[1], remaining[2], remaining[3]]) as usize;
+        if remaining.len() < 4 + len + 4 {
+            torn = true;
+            break;
+        }
+        let payload = &remaining[4..4 + len];
+        let stored = u32::from_le_bytes([
+            remaining[4 + len],
+            remaining[4 + len + 1],
+            remaining[4 + len + 2],
+            remaining[4 + len + 3],
+        ]);
+        if crc32(payload) != stored {
+            torn = true;
+            break;
+        }
+        records.push(decode_payload(payload, file)?);
+        pos += 4 + len + 4;
+    }
+    Ok(JournalScan {
+        header,
+        records,
+        valid_len: pos as u64,
+        torn,
+    })
+}
+
+/// Replay scanned records over recovered state, composing deterministically
+/// via epochs: records already reflected in the state (epochs at or below
+/// the current ones) are skipped; every applied record must advance exactly
+/// one of the two epochs by exactly one, and the state's epoch counters
+/// follow the journal's. Returns the number of records actually applied.
+pub fn replay(
+    scan: &JournalScan,
+    catalog: &mut Catalog,
+    registry: &mut ModelRegistry,
+    file: &str,
+) -> Result<usize> {
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: file.to_string(),
+        detail,
+    };
+    let mut applied = 0usize;
+    for (i, rec) in scan.records.iter().enumerate() {
+        let (cat, reg) = (catalog.epoch(), registry.epoch());
+        if rec.catalog_epoch_after <= cat && rec.registry_epoch_after <= reg {
+            // already reflected in the snapshot this journal composes over
+            continue;
+        }
+        let advances_catalog =
+            rec.catalog_epoch_after == cat + 1 && rec.registry_epoch_after == reg;
+        let advances_registry =
+            rec.registry_epoch_after == reg + 1 && rec.catalog_epoch_after == cat;
+        if !(advances_catalog || advances_registry) {
+            return Err(corrupt(format!(
+                "record {i} ({}) has epochs {}/{} which do not compose over state at {}/{}",
+                rec.mutation.kind_name(),
+                rec.catalog_epoch_after,
+                rec.registry_epoch_after,
+                cat,
+                reg
+            )));
+        }
+        match &rec.mutation {
+            Mutation::RegisterTable { name, table } => {
+                if !advances_catalog {
+                    return Err(corrupt(format!(
+                        "record {i}: register_table must advance the catalog epoch"
+                    )));
+                }
+                catalog.register_as(name.clone(), table.clone());
+            }
+            Mutation::DropTable { name } => {
+                if !advances_catalog {
+                    return Err(corrupt(format!(
+                        "record {i}: drop_table must advance the catalog epoch"
+                    )));
+                }
+                catalog
+                    .drop_table(name)
+                    .map_err(|e| corrupt(format!("record {i}: drop of missing table: {e}")))?;
+            }
+            Mutation::RegisterModel { name, pipeline } => {
+                if !advances_registry {
+                    return Err(corrupt(format!(
+                        "record {i}: register_model must advance the registry epoch"
+                    )));
+                }
+                registry.register_as(name.clone(), pipeline.clone());
+            }
+            Mutation::DropModel { name } => {
+                if !advances_registry {
+                    return Err(corrupt(format!(
+                        "record {i}: drop_model must advance the registry epoch"
+                    )));
+                }
+                registry
+                    .drop_model(name)
+                    .map_err(|e| corrupt(format!("record {i}: drop of missing model: {e}")))?;
+            }
+        }
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+
+    fn table(name: &str, v: i64) -> Table {
+        TableBuilder::new(name)
+            .add_i64("x", vec![v])
+            .build()
+            .unwrap()
+    }
+
+    fn pipeline(name: &str) -> Pipeline {
+        Pipeline::new(
+            name,
+            vec![PipelineInput {
+                name: "x".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(1.0), 1)),
+                inputs: vec!["x".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap()
+    }
+
+    /// A 3-record journal; also returns each record's start offset.
+    fn sample_journal_with_offsets() -> (Vec<u8>, Vec<usize>) {
+        let mut bytes = encode_header(JournalHeader {
+            base_catalog_epoch: 0,
+            base_registry_epoch: 0,
+        });
+        let mut offsets = Vec::new();
+        let records = [
+            JournalRecord {
+                mutation: Mutation::RegisterTable {
+                    name: "t".into(),
+                    table: table("t", 1),
+                },
+                catalog_epoch_after: 1,
+                registry_epoch_after: 0,
+            },
+            JournalRecord {
+                mutation: Mutation::RegisterModel {
+                    name: "m".into(),
+                    pipeline: pipeline("m"),
+                },
+                catalog_epoch_after: 1,
+                registry_epoch_after: 1,
+            },
+            JournalRecord {
+                mutation: Mutation::DropTable { name: "t".into() },
+                catalog_epoch_after: 2,
+                registry_epoch_after: 1,
+            },
+        ];
+        for rec in &records {
+            offsets.push(bytes.len());
+            bytes.extend(encode_record(rec));
+        }
+        (bytes, offsets)
+    }
+
+    fn sample_journal() -> Vec<u8> {
+        sample_journal_with_offsets().0
+    }
+
+    #[test]
+    fn scan_and_replay_full_journal() {
+        let bytes = sample_journal();
+        let scan = scan_journal(&bytes, "test.rvj").unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+
+        let mut catalog = Catalog::new();
+        let mut registry = ModelRegistry::new();
+        let applied = replay(&scan, &mut catalog, &mut registry, "test.rvj").unwrap();
+        assert_eq!(applied, 3);
+        assert!(!catalog.contains("t"), "registered then dropped");
+        assert!(registry.contains("m"));
+        assert_eq!(catalog.epoch(), 2);
+        assert_eq!(registry.epoch(), 1);
+    }
+
+    #[test]
+    fn replay_skips_records_already_in_snapshot() {
+        let scan = scan_journal(&sample_journal(), "test.rvj").unwrap();
+        // state recovered from a snapshot taken after the first two records
+        let mut catalog = Catalog::new();
+        catalog.register(table("t", 1));
+        let mut registry = ModelRegistry::new();
+        registry.register(pipeline("m"));
+        assert_eq!((catalog.epoch(), registry.epoch()), (1, 1));
+        let applied = replay(&scan, &mut catalog, &mut registry, "test.rvj").unwrap();
+        assert_eq!(applied, 1, "only the drop composes over the snapshot");
+        assert!(!catalog.contains("t"));
+        assert_eq!(catalog.epoch(), 2);
+    }
+
+    #[test]
+    fn epoch_discontinuity_is_corrupt() {
+        let mut bytes = encode_header(JournalHeader {
+            base_catalog_epoch: 0,
+            base_registry_epoch: 0,
+        });
+        bytes.extend(encode_record(&JournalRecord {
+            mutation: Mutation::RegisterTable {
+                name: "t".into(),
+                table: table("t", 1),
+            },
+            catalog_epoch_after: 5, // skips epochs 1-4
+            registry_epoch_after: 0,
+        }));
+        let scan = scan_journal(&bytes, "test.rvj").unwrap();
+        let mut catalog = Catalog::new();
+        let mut registry = ModelRegistry::new();
+        assert!(matches!(
+            replay(&scan, &mut catalog, &mut registry, "test.rvj").unwrap_err(),
+            StorageError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_at_every_offset() {
+        let (full, offsets) = sample_journal_with_offsets();
+        let third_start = offsets[2];
+
+        // truncation at every byte offset inside the final record; cutting
+        // exactly at the record boundary is a *clean* 2-record journal
+        for cut in third_start..full.len() {
+            let scan = scan_journal(&full[..cut], "test.rvj").unwrap();
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert_eq!(scan.torn, cut > third_start, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, third_start);
+        }
+        // corruption of every byte inside the final record: the CRC rejects
+        // the record, replay never sees garbage
+        for i in third_start..full.len() {
+            let mut stomped = full.clone();
+            stomped[i] ^= 0xA5;
+            let scan = scan_journal(&stomped, "test.rvj").unwrap();
+            assert_eq!(scan.records.len(), 2, "stomp at {i}");
+            assert!(scan.torn);
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_a_hard_error() {
+        let bytes = sample_journal();
+        for i in 0..JOURNAL_HEADER_LEN {
+            let mut stomped = bytes.clone();
+            stomped[i] ^= 0xFF;
+            assert!(scan_journal(&stomped, "test.rvj").is_err(), "byte {i}");
+        }
+    }
+}

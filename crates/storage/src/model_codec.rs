@@ -1,0 +1,480 @@
+//! Binary codec for registered models: the featurizer DAG
+//! (`raven_ml::Pipeline`) with every trained operator's parameters —
+//! scalers, encoders, linear models, and full tree ensembles.
+//!
+//! Decoding rebuilds pipelines through [`Pipeline::new`], which re-runs the
+//! registration-time validation (DAG structure + operator parameter checks,
+//! including tree feature bounds), so a corrupt or adversarial snapshot can
+//! never smuggle a malformed model graph past the invariants live
+//! registration enforces.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::{Result, StorageError};
+use raven_ml::{
+    Binarizer, ConstantNode, EnsembleKind, FeatureExtractor, Imputer, InputKind, LabelEncoder,
+    LinearRegressionModel, LinearSvmModel, LogisticRegressionModel, Norm, Normalizer,
+    OneHotEncoder, Operator, Pipeline, PipelineInput, PipelineNode, Scaler, Tree, TreeEnsemble,
+    TreeNode,
+};
+
+fn put_f64s(w: &mut ByteWriter, vs: &[f64]) {
+    w.put_u32(vs.len() as u32);
+    for &v in vs {
+        w.put_f64(v);
+    }
+}
+
+fn get_f64s(r: &mut ByteReader<'_>) -> Result<Vec<f64>> {
+    let n = r.get_len(8)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(r.get_f64()?);
+    }
+    Ok(vs)
+}
+
+fn put_strs(w: &mut ByteWriter, vs: &[String]) {
+    w.put_u32(vs.len() as u32);
+    for v in vs {
+        w.put_str(v);
+    }
+}
+
+fn get_strs(r: &mut ByteReader<'_>) -> Result<Vec<String>> {
+    let n = r.get_len(4)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(r.get_str()?);
+    }
+    Ok(vs)
+}
+
+fn put_usizes(w: &mut ByteWriter, vs: &[usize]) {
+    w.put_u32(vs.len() as u32);
+    for &v in vs {
+        w.put_u64(v as u64);
+    }
+}
+
+fn get_usizes(r: &mut ByteReader<'_>) -> Result<Vec<usize>> {
+    let n = r.get_len(8)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(r.get_u64()? as usize);
+    }
+    Ok(vs)
+}
+
+fn encode_tree(w: &mut ByteWriter, tree: &Tree) {
+    w.put_u64(tree.root as u64);
+    w.put_u32(tree.nodes.len() as u32);
+    for node in &tree.nodes {
+        match node {
+            TreeNode::Branch {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*feature as u64);
+                w.put_f64(*threshold);
+                w.put_u64(*left as u64);
+                w.put_u64(*right as u64);
+            }
+            TreeNode::Leaf { value } => {
+                w.put_u8(1);
+                w.put_f64(*value);
+            }
+        }
+    }
+}
+
+fn decode_tree(r: &mut ByteReader<'_>) -> Result<Tree> {
+    let root = r.get_u64()? as usize;
+    let n = r.get_len(9)?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(match r.get_u8()? {
+            0 => TreeNode::Branch {
+                feature: r.get_u64()? as usize,
+                threshold: r.get_f64()?,
+                left: r.get_u64()? as usize,
+                right: r.get_u64()? as usize,
+            },
+            1 => TreeNode::Leaf {
+                value: r.get_f64()?,
+            },
+            other => return Err(r.bad_tag("TreeNode", other)),
+        });
+    }
+    Ok(Tree { nodes, root })
+}
+
+fn ensemble_kind_tag(kind: EnsembleKind) -> u8 {
+    match kind {
+        EnsembleKind::DecisionTreeClassifier => 0,
+        EnsembleKind::DecisionTreeRegressor => 1,
+        EnsembleKind::RandomForestClassifier => 2,
+        EnsembleKind::GradientBoostingClassifier => 3,
+        EnsembleKind::GradientBoostingRegressor => 4,
+    }
+}
+
+fn ensemble_kind_from_tag(r: &ByteReader<'_>, tag: u8) -> Result<EnsembleKind> {
+    Ok(match tag {
+        0 => EnsembleKind::DecisionTreeClassifier,
+        1 => EnsembleKind::DecisionTreeRegressor,
+        2 => EnsembleKind::RandomForestClassifier,
+        3 => EnsembleKind::GradientBoostingClassifier,
+        4 => EnsembleKind::GradientBoostingRegressor,
+        other => return Err(r.bad_tag("EnsembleKind", other)),
+    })
+}
+
+fn encode_operator(w: &mut ByteWriter, op: &Operator) {
+    match op {
+        Operator::Scaler(s) => {
+            w.put_u8(0);
+            put_f64s(w, &s.offsets);
+            put_f64s(w, &s.scales);
+        }
+        Operator::OneHotEncoder(e) => {
+            w.put_u8(1);
+            put_strs(w, &e.categories);
+        }
+        Operator::LabelEncoder(e) => {
+            w.put_u8(2);
+            put_strs(w, &e.classes);
+        }
+        Operator::Imputer(i) => {
+            w.put_u8(3);
+            put_f64s(w, &i.fill);
+        }
+        Operator::Binarizer(b) => {
+            w.put_u8(4);
+            w.put_f64(b.threshold);
+        }
+        Operator::Normalizer(n) => {
+            w.put_u8(5);
+            w.put_u8(match n.norm {
+                Norm::L1 => 0,
+                Norm::L2 => 1,
+                Norm::Max => 2,
+            });
+        }
+        Operator::Concat => w.put_u8(6),
+        Operator::FeatureExtractor(f) => {
+            w.put_u8(7);
+            put_usizes(w, &f.indices);
+        }
+        Operator::Constant(c) => {
+            w.put_u8(8);
+            put_f64s(w, &c.values);
+        }
+        Operator::LinearRegression(m) => {
+            w.put_u8(9);
+            put_f64s(w, &m.weights);
+            w.put_f64(m.intercept);
+        }
+        Operator::LogisticRegression(m) => {
+            w.put_u8(10);
+            put_f64s(w, &m.weights);
+            w.put_f64(m.intercept);
+        }
+        Operator::LinearSvm(m) => {
+            w.put_u8(11);
+            put_f64s(w, &m.weights);
+            w.put_f64(m.intercept);
+        }
+        Operator::TreeEnsemble(e) => {
+            w.put_u8(12);
+            w.put_u8(ensemble_kind_tag(e.kind));
+            w.put_u64(e.n_features as u64);
+            w.put_f64(e.learning_rate);
+            w.put_f64(e.base_score);
+            w.put_u32(e.trees.len() as u32);
+            for tree in &e.trees {
+                encode_tree(w, tree);
+            }
+        }
+    }
+}
+
+fn decode_operator(r: &mut ByteReader<'_>) -> Result<Operator> {
+    Ok(match r.get_u8()? {
+        0 => Operator::Scaler(Scaler {
+            offsets: get_f64s(r)?,
+            scales: get_f64s(r)?,
+        }),
+        1 => Operator::OneHotEncoder(OneHotEncoder {
+            categories: get_strs(r)?,
+        }),
+        2 => Operator::LabelEncoder(LabelEncoder {
+            classes: get_strs(r)?,
+        }),
+        3 => Operator::Imputer(Imputer { fill: get_f64s(r)? }),
+        4 => Operator::Binarizer(Binarizer {
+            threshold: r.get_f64()?,
+        }),
+        5 => Operator::Normalizer(Normalizer {
+            norm: match r.get_u8()? {
+                0 => Norm::L1,
+                1 => Norm::L2,
+                2 => Norm::Max,
+                other => return Err(r.bad_tag("Norm", other)),
+            },
+        }),
+        6 => Operator::Concat,
+        7 => Operator::FeatureExtractor(FeatureExtractor {
+            indices: get_usizes(r)?,
+        }),
+        8 => Operator::Constant(ConstantNode {
+            values: get_f64s(r)?,
+        }),
+        9 => Operator::LinearRegression(LinearRegressionModel {
+            weights: get_f64s(r)?,
+            intercept: r.get_f64()?,
+        }),
+        10 => Operator::LogisticRegression(LogisticRegressionModel {
+            weights: get_f64s(r)?,
+            intercept: r.get_f64()?,
+        }),
+        11 => Operator::LinearSvm(LinearSvmModel {
+            weights: get_f64s(r)?,
+            intercept: r.get_f64()?,
+        }),
+        12 => {
+            let kind_tag = r.get_u8()?;
+            let kind = ensemble_kind_from_tag(r, kind_tag)?;
+            let n_features = r.get_u64()? as usize;
+            let learning_rate = r.get_f64()?;
+            let base_score = r.get_f64()?;
+            let n_trees = r.get_len(10)?;
+            let mut trees = Vec::with_capacity(n_trees);
+            for _ in 0..n_trees {
+                trees.push(decode_tree(r)?);
+            }
+            Operator::TreeEnsemble(TreeEnsemble {
+                kind,
+                trees,
+                n_features,
+                learning_rate,
+                base_score,
+            })
+        }
+        other => return Err(r.bad_tag("Operator", other)),
+    })
+}
+
+/// Encode a full pipeline record: name, typed inputs, every DAG node with
+/// its operator parameters, and the output value name.
+pub fn encode_pipeline(w: &mut ByteWriter, p: &Pipeline) {
+    w.put_str(&p.name);
+    w.put_u32(p.inputs.len() as u32);
+    for input in &p.inputs {
+        w.put_str(&input.name);
+        w.put_u8(match input.kind {
+            InputKind::Numeric => 0,
+            InputKind::Categorical => 1,
+        });
+    }
+    w.put_u32(p.nodes.len() as u32);
+    for node in &p.nodes {
+        w.put_str(&node.name);
+        put_strs(w, &node.inputs);
+        w.put_str(&node.output);
+        encode_operator(w, &node.op);
+    }
+    w.put_str(&p.output);
+}
+
+/// Decode a pipeline record and rebuild it through [`Pipeline::new`], which
+/// re-runs full registration-time validation.
+pub fn decode_pipeline(r: &mut ByteReader<'_>) -> Result<Pipeline> {
+    let name = r.get_str()?;
+    let n_inputs = r.get_len(2)?;
+    let mut inputs = Vec::with_capacity(n_inputs);
+    for _ in 0..n_inputs {
+        inputs.push(PipelineInput {
+            name: r.get_str()?,
+            kind: match r.get_u8()? {
+                0 => InputKind::Numeric,
+                1 => InputKind::Categorical,
+                other => return Err(r.bad_tag("InputKind", other)),
+            },
+        });
+    }
+    let n_nodes = r.get_len(2)?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(PipelineNode {
+            name: r.get_str()?,
+            inputs: get_strs(r)?,
+            output: r.get_str()?,
+            op: decode_operator(r)?,
+        });
+    }
+    let output = r.get_str()?;
+    Pipeline::new(&name, inputs, nodes, output)
+        .map_err(|e| StorageError::Invalid(format!("pipeline '{name}': {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        Tree {
+            nodes: vec![
+                TreeNode::Branch {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: -1.25 },
+                TreeNode::Leaf { value: 2.5 },
+            ],
+            root: 0,
+        }
+    }
+
+    fn sample_pipeline() -> Pipeline {
+        Pipeline::new(
+            "fraud.onnx",
+            vec![
+                PipelineInput {
+                    name: "amount".into(),
+                    kind: InputKind::Numeric,
+                },
+                PipelineInput {
+                    name: "country".into(),
+                    kind: InputKind::Categorical,
+                },
+            ],
+            vec![
+                PipelineNode {
+                    name: "impute".into(),
+                    op: Operator::Imputer(Imputer { fill: vec![0.0] }),
+                    inputs: vec!["amount".into()],
+                    output: "amount_f".into(),
+                },
+                PipelineNode {
+                    name: "encode".into(),
+                    op: Operator::OneHotEncoder(OneHotEncoder {
+                        categories: vec!["US".into(), "DE".into(), String::new()],
+                    }),
+                    inputs: vec!["country".into()],
+                    output: "country_f".into(),
+                },
+                PipelineNode {
+                    name: "concat".into(),
+                    op: Operator::Concat,
+                    inputs: vec!["amount_f".into(), "country_f".into()],
+                    output: "features".into(),
+                },
+                PipelineNode {
+                    name: "model".into(),
+                    op: Operator::TreeEnsemble(TreeEnsemble {
+                        kind: EnsembleKind::GradientBoostingClassifier,
+                        trees: vec![tree(), tree()],
+                        n_features: 4,
+                        learning_rate: 0.1,
+                        base_score: 0.0,
+                    }),
+                    inputs: vec!["features".into()],
+                    output: "score".into(),
+                },
+            ],
+            "score",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_round_trip_exact() {
+        let p = sample_pipeline();
+        let mut w = ByteWriter::new();
+        encode_pipeline(&mut w, &p);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        let d = decode_pipeline(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(d, p);
+    }
+
+    #[test]
+    fn every_operator_round_trips() {
+        let ops = vec![
+            Operator::Scaler(Scaler {
+                offsets: vec![1.0, -0.0],
+                scales: vec![0.5, f64::INFINITY],
+            }),
+            Operator::OneHotEncoder(OneHotEncoder {
+                categories: vec!["x".into()],
+            }),
+            Operator::LabelEncoder(LabelEncoder {
+                classes: vec!["a".into(), "b".into()],
+            }),
+            Operator::Imputer(Imputer {
+                fill: vec![f64::NAN],
+            }),
+            Operator::Binarizer(Binarizer { threshold: 0.25 }),
+            Operator::Normalizer(Normalizer { norm: Norm::L2 }),
+            Operator::Concat,
+            Operator::FeatureExtractor(FeatureExtractor {
+                indices: vec![0, 3, 1],
+            }),
+            Operator::Constant(ConstantNode {
+                values: vec![1.0, 2.0],
+            }),
+            Operator::LinearRegression(LinearRegressionModel {
+                weights: vec![0.1],
+                intercept: -3.0,
+            }),
+            Operator::LogisticRegression(LogisticRegressionModel {
+                weights: vec![0.2, 0.3],
+                intercept: 0.0,
+            }),
+            Operator::LinearSvm(LinearSvmModel {
+                weights: vec![-0.5],
+                intercept: 1.0,
+            }),
+            Operator::TreeEnsemble(TreeEnsemble::single_tree(tree(), 1)),
+        ];
+        for op in ops {
+            let mut w = ByteWriter::new();
+            encode_operator(&mut w, &op);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes, "test");
+            let d = decode_operator(&mut r).unwrap();
+            r.expect_end().unwrap();
+            // NaN-bearing operators: PartialEq on f64 NaN is false, so
+            // compare through the encoder instead
+            let mut w2 = ByteWriter::new();
+            encode_operator(&mut w2, &d);
+            assert_eq!(w2.into_bytes(), {
+                let mut w3 = ByteWriter::new();
+                encode_operator(&mut w3, &op);
+                w3.into_bytes()
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_graph_rejected_by_validation() {
+        // encode a valid pipeline, then re-point the model's input at a
+        // value no node produces: decode must fail Pipeline::new validation
+        let mut p = sample_pipeline();
+        let mut w = ByteWriter::new();
+        p.nodes[3].inputs = vec!["missing_value".into()];
+        encode_pipeline(&mut w, &p);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert!(matches!(
+            decode_pipeline(&mut r).unwrap_err(),
+            StorageError::Invalid(_)
+        ));
+    }
+}

@@ -1,0 +1,345 @@
+//! The versioned snapshot file format.
+//!
+//! ```text
+//! offset  field
+//! 0       magic  b"RVNSNAP1"
+//! 8       u32    format version (1)
+//! 12      u64    catalog epoch at snapshot time
+//! 20      u64    registry epoch at snapshot time
+//! 28      u32    section count
+//! 32      sections:
+//!           u8   section kind (1 = tables, 2 = models, 3 = plan fingerprints)
+//!           u64  payload length
+//!           ...  payload (length-prefixed records, see table/model codecs)
+//!           u32  CRC32 of the payload
+//! end-4   u32    CRC32 of every preceding byte of the file
+//! ```
+//!
+//! Unknown section kinds are skipped (their CRC is still verified), so older
+//! builds can read snapshots written by newer ones as long as the format
+//! version matches. The per-file trailer catches truncation and any
+//! corruption the per-section CRCs happen to straddle.
+//!
+//! A snapshot is a *consistent cut*: the epochs in the header are exactly
+//! the `Catalog::epoch()` / `ModelRegistry::epoch()` of the state the
+//! sections encode, and journal replay composes over them (records at or
+//! below the snapshot epochs are skipped).
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::crc32::crc32;
+use crate::error::{Result, StorageError};
+use crate::{model_codec, table_codec};
+use raven_ir::ModelRegistry;
+use raven_ml::Pipeline;
+use raven_relational::Catalog;
+
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"RVNSNAP1";
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+
+const SECTION_TABLES: u8 = 1;
+const SECTION_MODELS: u8 = 2;
+const SECTION_PLANS: u8 = 3;
+
+/// A decoded snapshot: the recovered base state plus the persisted serving
+/// hints (hot plan fingerprints, hottest first).
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Recovered catalog, statistics recomputed from the loaded data, epoch
+    /// restored to the snapshot-time value.
+    pub catalog: Catalog,
+    /// Recovered model registry, epoch restored to the snapshot-time value.
+    pub registry: ModelRegistry,
+    /// Canonical SQL of the hottest prepared plans at snapshot time
+    /// (most-recently-used first), for warm-restart cache pre-warm.
+    pub plan_fingerprints: Vec<String>,
+}
+
+fn corrupt(file: &str, detail: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        file: file.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Serialize a consistent (catalog, registry, plans) cut into snapshot
+/// bytes. The caller is responsible for the cut's consistency (hold the
+/// registration write lock or clone the `Arc` state first).
+pub fn encode_snapshot(
+    catalog: &Catalog,
+    registry: &ModelRegistry,
+    plan_fingerprints: &[String],
+) -> Vec<u8> {
+    let mut tables = ByteWriter::new();
+    let names = catalog.table_names();
+    tables.put_u32(names.len() as u32);
+    for name in &names {
+        let table = catalog
+            .table(name)
+            .expect("table_names() returned a missing table");
+        // records are length-prefixed so a reader can skip them wholesale
+        let mut rec = ByteWriter::new();
+        table_codec::encode_table(&mut rec, &table);
+        let rec = rec.into_bytes();
+        tables.put_u64(rec.len() as u64);
+        tables.put_raw(&rec);
+    }
+
+    let mut models = ByteWriter::new();
+    let model_names = registry.model_names();
+    models.put_u32(model_names.len() as u32);
+    for name in &model_names {
+        let pipeline = registry
+            .get(name)
+            .expect("model_names() returned a missing model");
+        let mut rec = ByteWriter::new();
+        model_codec::encode_pipeline(&mut rec, &pipeline);
+        let rec = rec.into_bytes();
+        models.put_u64(rec.len() as u64);
+        models.put_raw(&rec);
+    }
+
+    let mut plans = ByteWriter::new();
+    plans.put_u32(plan_fingerprints.len() as u32);
+    for sql in plan_fingerprints {
+        plans.put_str(sql);
+    }
+
+    let mut file = ByteWriter::new();
+    file.put_raw(SNAPSHOT_MAGIC);
+    file.put_u32(SNAPSHOT_VERSION);
+    file.put_u64(catalog.epoch());
+    file.put_u64(registry.epoch());
+    file.put_u32(3);
+    for (kind, payload) in [
+        (SECTION_TABLES, tables.into_bytes()),
+        (SECTION_MODELS, models.into_bytes()),
+        (SECTION_PLANS, plans.into_bytes()),
+    ] {
+        file.put_u8(kind);
+        file.put_u64(payload.len() as u64);
+        let checksum = crc32(&payload);
+        file.put_raw(&payload);
+        file.put_u32(checksum);
+    }
+    let mut bytes = file.into_bytes();
+    let trailer = crc32(&bytes);
+    bytes.extend_from_slice(&trailer.to_le_bytes());
+    bytes
+}
+
+/// Validate and decode snapshot bytes. `file` names the source for error
+/// reporting. Statistics are recomputed from the decoded data; debug builds
+/// additionally recheck them against the persisted values
+/// ([`table_codec::verify_persisted_stats`]).
+pub fn decode_snapshot(bytes: &[u8], file: &str) -> Result<Snapshot> {
+    // file trailer first: catches truncation before any section parsing
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 + 8 + 4 + 4 {
+        return Err(corrupt(file, format!("file too short ({}B)", bytes.len())));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(corrupt(
+            file,
+            format!("file CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+        ));
+    }
+
+    let mut r = ByteReader::new(body, file);
+    let magic = r.take(SNAPSHOT_MAGIC.len())?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt(file, format!("bad magic {magic:02x?}")));
+    }
+    let version = r.get_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            file: file.to_string(),
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let catalog_epoch = r.get_u64()?;
+    let registry_epoch = r.get_u64()?;
+    let section_count = r.get_u32()?;
+
+    let mut catalog = Catalog::new();
+    let mut registry = ModelRegistry::new();
+    let mut plan_fingerprints = Vec::new();
+
+    for _ in 0..section_count {
+        let kind = r.get_u8()?;
+        let len = r.get_u64()? as usize;
+        let payload = r.take(len)?;
+        let stored = r.get_u32()?;
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(corrupt(
+                file,
+                format!(
+                    "section {kind} CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ),
+            ));
+        }
+        let mut sr = ByteReader::new(payload, file);
+        match kind {
+            SECTION_TABLES => {
+                let count = sr.get_len(4)?;
+                for _ in 0..count {
+                    let rec_len = sr.get_u64()? as usize;
+                    let rec = sr.take(rec_len)?;
+                    let mut rr = ByteReader::new(rec, file);
+                    let table = table_codec::decode_table(&mut rr)?;
+                    rr.expect_end()?;
+                    catalog.register(table);
+                }
+                sr.expect_end()?;
+            }
+            SECTION_MODELS => {
+                let count = sr.get_len(4)?;
+                for _ in 0..count {
+                    let rec_len = sr.get_u64()? as usize;
+                    let rec = sr.take(rec_len)?;
+                    let mut rr = ByteReader::new(rec, file);
+                    let pipeline: Pipeline = model_codec::decode_pipeline(&mut rr)?;
+                    rr.expect_end()?;
+                    registry.register(pipeline);
+                }
+                sr.expect_end()?;
+            }
+            SECTION_PLANS => {
+                let count = sr.get_len(4)?;
+                for _ in 0..count {
+                    plan_fingerprints.push(sr.get_str()?);
+                }
+                sr.expect_end()?;
+            }
+            // unknown section from a newer writer at the same format
+            // version: CRC already verified, payload skipped
+            _ => {}
+        }
+    }
+    r.expect_end()?;
+
+    // resume the pre-snapshot epochs: cache keys minted before the snapshot
+    // must never alias different content after a restart
+    catalog.restore_epoch(catalog_epoch);
+    registry.restore_epoch(registry_epoch);
+
+    Ok(Snapshot {
+        catalog,
+        registry,
+        plan_fingerprints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+
+    fn sample_state() -> (Catalog, ModelRegistry) {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new("patients")
+                .add_i64("id", vec![1, 2, 3])
+                .add_f64("age", vec![30.0, f64::NAN, -0.0])
+                .add_utf8("sex", vec!["F".into(), "M".into(), String::new()])
+                .build()
+                .unwrap(),
+        );
+        catalog.register(
+            TableBuilder::new("labs")
+                .add_i64("id", vec![1, 2])
+                .add_f64("value", vec![0.5, 0.75])
+                .build()
+                .unwrap(),
+        );
+        let mut registry = ModelRegistry::new();
+        registry.register(
+            Pipeline::new(
+                "risk.onnx",
+                vec![PipelineInput {
+                    name: "age".into(),
+                    kind: InputKind::Numeric,
+                }],
+                vec![PipelineNode {
+                    name: "model".into(),
+                    op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(0.5), 1)),
+                    inputs: vec!["age".into()],
+                    output: "score".into(),
+                }],
+                "score",
+            )
+            .unwrap(),
+        );
+        (catalog, registry)
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_state_and_epochs() {
+        let (catalog, registry) = sample_state();
+        let plans = vec!["SELECT 1".to_string(), "SELECT 2".to_string()];
+        let bytes = encode_snapshot(&catalog, &registry, &plans);
+        let snap = decode_snapshot(&bytes, "test.rvs").unwrap();
+        assert_eq!(snap.catalog.table_names(), catalog.table_names());
+        assert_eq!(snap.registry.model_names(), registry.model_names());
+        assert_eq!(snap.catalog.epoch(), catalog.epoch());
+        assert_eq!(snap.registry.epoch(), registry.epoch());
+        assert_eq!(snap.plan_fingerprints, plans);
+        // column bits survive: NaN and -0.0
+        let t = snap.catalog.table("patients").unwrap();
+        let age = t.partitions()[0].column_by_name("age").unwrap();
+        let vals = age.as_f64().unwrap();
+        assert!(vals[1].is_nan());
+        assert_eq!(vals[2].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let snap = decode_snapshot(
+            &encode_snapshot(&Catalog::new(), &ModelRegistry::new(), &[]),
+            "test.rvs",
+        )
+        .unwrap();
+        assert!(snap.catalog.table_names().is_empty());
+        assert!(snap.registry.model_names().is_empty());
+        assert!(snap.plan_fingerprints.is_empty());
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let (catalog, registry) = sample_state();
+        let bytes = encode_snapshot(&catalog, &registry, &["q".into()]);
+        // flip one bit at a sample of offsets spanning header, sections,
+        // and trailer: the file CRC (or a section CRC) must catch each
+        let step = (bytes.len() / 97).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut stomped = bytes.clone();
+            stomped[i] ^= 0x01;
+            assert!(
+                decode_snapshot(&stomped, "test.rvs").is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+        // truncation at any length must be detected
+        for len in [0, 7, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_snapshot(&bytes[..len], "test.rvs").is_err());
+        }
+    }
+
+    #[test]
+    fn future_version_rejected_with_typed_error() {
+        let (catalog, registry) = sample_state();
+        let mut bytes = encode_snapshot(&catalog, &registry, &[]);
+        bytes[8] = 99; // version field
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            decode_snapshot(&bytes, "test.rvs").unwrap_err(),
+            StorageError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+}

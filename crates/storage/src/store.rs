@@ -1,0 +1,494 @@
+//! The durable store: one data directory holding the current snapshot and
+//! the append-only journal, with crash-safe write protocols.
+//!
+//! ```text
+//! <dir>/snapshot.rvs      current snapshot (written to a temp file, fsynced,
+//!                         then atomically renamed into place)
+//! <dir>/journal.rvj       append-only mutation journal (each append fsyncs)
+//! ```
+//!
+//! ## Recovery protocol ([`DurableStore::open`])
+//!
+//! 1. Load and validate `snapshot.rvs` if present (CRC-checked sections +
+//!    file trailer; statistics recomputed from data).
+//! 2. Scan `journal.rvj`: validate the header, decode the valid record
+//!    prefix, and **physically truncate any torn tail** so the next append
+//!    never writes after garbage.
+//! 3. Replay the journal over the snapshot. Epochs compose: records already
+//!    reflected in the snapshot are skipped, each applied record advances
+//!    exactly one epoch by one, and the recovered state resumes at the true
+//!    pre-crash epochs.
+//!
+//! ## Compaction ([`DurableStore::snapshot`])
+//!
+//! A snapshot captures a consistent cut (the caller passes cloned handles,
+//! so serving reads are never blocked), writes it atomically, then rewrites
+//! the journal keeping only records *newer* than the cut — registrations
+//! that raced the snapshot write survive in the new journal and still
+//! compose by epoch.
+
+use crate::error::Result;
+use crate::journal::{
+    encode_header, encode_record, scan_journal, JournalHeader, JournalRecord, Mutation,
+};
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+use raven_columnar::Table;
+use raven_ir::ModelRegistry;
+use raven_ml::Pipeline;
+use raven_relational::Catalog;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the current snapshot inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.rvs";
+/// File name of the mutation journal inside a data directory.
+pub const JOURNAL_FILE: &str = "journal.rvj";
+
+/// State recovered by [`DurableStore::open`].
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The recovered catalog (snapshot + replayed journal), statistics
+    /// recomputed from data, epoch resumed at the pre-crash value.
+    pub catalog: Catalog,
+    /// The recovered model registry, epoch resumed likewise.
+    pub registry: ModelRegistry,
+    /// Hot plan fingerprints persisted at snapshot time (canonical SQL,
+    /// most-recently-used first) for cache pre-warm.
+    pub plan_fingerprints: Vec<String>,
+    /// Whether a snapshot file existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Size of the loaded snapshot in bytes (0 without one).
+    pub snapshot_bytes: u64,
+    /// Journal records replayed over the snapshot.
+    pub journal_records_replayed: usize,
+    /// Whether a torn journal tail was found and truncated.
+    pub journal_tail_truncated: bool,
+}
+
+struct StoreInner {
+    /// Open append handle on the journal.
+    journal: File,
+    /// Records currently in the journal file (valid ones only).
+    journal_records: usize,
+}
+
+/// Handle on a durable data directory. Clone-free by design: share it via
+/// `Arc`. Appends and compaction serialize on an internal lock; snapshot
+/// *encoding* runs outside it.
+pub struct DurableStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // make the rename itself durable
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+impl DurableStore {
+    /// Open (or initialize) a data directory, running full recovery:
+    /// snapshot load → torn-tail truncation → journal replay.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(DurableStore, RecoveredState)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let journal_path = dir.join(JOURNAL_FILE);
+
+        // 1. snapshot
+        let (mut catalog, mut registry, plan_fingerprints, snapshot_loaded, snapshot_bytes) =
+            if snapshot_path.exists() {
+                let bytes = fs::read(&snapshot_path)?;
+                let snap = decode_snapshot(&bytes, SNAPSHOT_FILE)?;
+                (
+                    snap.catalog,
+                    snap.registry,
+                    snap.plan_fingerprints,
+                    true,
+                    bytes.len() as u64,
+                )
+            } else {
+                (Catalog::new(), ModelRegistry::new(), Vec::new(), false, 0)
+            };
+
+        // 2. journal scan + torn-tail truncation
+        let mut journal_records_replayed = 0;
+        let mut journal_tail_truncated = false;
+        let mut journal_record_count = 0;
+        if journal_path.exists() {
+            let bytes = fs::read(&journal_path)?;
+            let scan = scan_journal(&bytes, JOURNAL_FILE)?;
+            if scan.torn {
+                let f = OpenOptions::new().write(true).open(&journal_path)?;
+                f.set_len(scan.valid_len)?;
+                f.sync_all()?;
+                journal_tail_truncated = true;
+            }
+            // 3. replay over the snapshot
+            journal_records_replayed =
+                crate::journal::replay(&scan, &mut catalog, &mut registry, JOURNAL_FILE)?;
+            journal_record_count = scan.records.len();
+        } else {
+            // fresh journal composing over whatever state we just recovered
+            let header = encode_header(JournalHeader {
+                base_catalog_epoch: catalog.epoch(),
+                base_registry_epoch: registry.epoch(),
+            });
+            write_atomic(&journal_path, &header)?;
+        }
+
+        let journal = OpenOptions::new().append(true).open(&journal_path)?;
+        let store = DurableStore {
+            dir,
+            inner: Mutex::new(StoreInner {
+                journal,
+                journal_records: journal_record_count,
+            }),
+        };
+        let recovered = RecoveredState {
+            catalog,
+            registry,
+            plan_fingerprints,
+            snapshot_loaded,
+            snapshot_bytes,
+            journal_records_replayed,
+            journal_tail_truncated,
+        };
+        Ok((store, recovered))
+    }
+
+    /// The data directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the current snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    /// Records currently in the journal (compaction-pressure signal).
+    pub fn journal_records(&self) -> usize {
+        self.inner.lock().expect("store lock").journal_records
+    }
+
+    fn append(&self, record: &JournalRecord) -> Result<()> {
+        let framed = encode_record(record);
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.journal.write_all(&framed)?;
+        // fsync before the registration is acknowledged: a crash after this
+        // point replays the mutation, a crash during it leaves a torn tail
+        // that recovery truncates
+        inner.journal.sync_data()?;
+        inner.journal_records += 1;
+        Ok(())
+    }
+
+    /// Journal a table registration. `catalog_epoch_after` is the catalog
+    /// epoch with the registration applied; the registry epoch is passed so
+    /// replay can order records across the two counters.
+    pub fn log_register_table(
+        &self,
+        name: &str,
+        table: &Table,
+        catalog_epoch_after: u64,
+        registry_epoch: u64,
+    ) -> Result<()> {
+        self.append(&JournalRecord {
+            mutation: Mutation::RegisterTable {
+                name: name.to_string(),
+                table: table.clone(),
+            },
+            catalog_epoch_after,
+            registry_epoch_after: registry_epoch,
+        })
+    }
+
+    /// Journal a model registration.
+    pub fn log_register_model(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        catalog_epoch: u64,
+        registry_epoch_after: u64,
+    ) -> Result<()> {
+        self.append(&JournalRecord {
+            mutation: Mutation::RegisterModel {
+                name: name.to_string(),
+                pipeline: pipeline.clone(),
+            },
+            catalog_epoch_after: catalog_epoch,
+            registry_epoch_after,
+        })
+    }
+
+    /// Journal a table drop.
+    pub fn log_drop_table(
+        &self,
+        name: &str,
+        catalog_epoch_after: u64,
+        registry_epoch: u64,
+    ) -> Result<()> {
+        self.append(&JournalRecord {
+            mutation: Mutation::DropTable {
+                name: name.to_string(),
+            },
+            catalog_epoch_after,
+            registry_epoch_after: registry_epoch,
+        })
+    }
+
+    /// Journal a model drop.
+    pub fn log_drop_model(
+        &self,
+        name: &str,
+        catalog_epoch: u64,
+        registry_epoch_after: u64,
+    ) -> Result<()> {
+        self.append(&JournalRecord {
+            mutation: Mutation::DropModel {
+                name: name.to_string(),
+            },
+            catalog_epoch_after: catalog_epoch,
+            registry_epoch_after,
+        })
+    }
+
+    /// Write a snapshot of the given consistent cut and compact the journal
+    /// down to the records newer than it. Returns the snapshot size in
+    /// bytes.
+    ///
+    /// The caller passes cloned (`Arc`-snapshotted) state, so this runs
+    /// without blocking readers; only the final journal rewrite holds the
+    /// append lock. Registrations that landed *after* the cut was taken are
+    /// preserved: their records have higher epochs and are carried into the
+    /// rewritten journal.
+    pub fn snapshot(
+        &self,
+        catalog: &Catalog,
+        registry: &ModelRegistry,
+        plan_fingerprints: &[String],
+    ) -> Result<u64> {
+        let bytes = encode_snapshot(catalog, registry, plan_fingerprints);
+        write_atomic(&self.snapshot_path(), &bytes)?;
+
+        // compact the journal: keep only records newer than the cut
+        let cut_cat = catalog.epoch();
+        let cut_reg = registry.epoch();
+        let mut inner = self.inner.lock().expect("store lock");
+        let journal_path = self.journal_path();
+        let existing = fs::read(&journal_path)?;
+        let scan = scan_journal(&existing, JOURNAL_FILE)?;
+        let mut rewritten = encode_header(JournalHeader {
+            base_catalog_epoch: cut_cat,
+            base_registry_epoch: cut_reg,
+        });
+        let mut kept = 0usize;
+        for rec in &scan.records {
+            if rec.catalog_epoch_after > cut_cat || rec.registry_epoch_after > cut_reg {
+                rewritten.extend(encode_record(rec));
+                kept += 1;
+            }
+        }
+        write_atomic(&journal_path, &rewritten)?;
+        inner.journal = OpenOptions::new().append(true).open(&journal_path)?;
+        inner.journal_records = kept;
+        Ok(bytes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+    use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("raven-storage-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(name: &str, vals: Vec<i64>) -> Table {
+        TableBuilder::new(name).add_i64("x", vals).build().unwrap()
+    }
+
+    fn pipeline(name: &str) -> Pipeline {
+        Pipeline::new(
+            name,
+            vec![PipelineInput {
+                name: "x".into(),
+                kind: InputKind::Numeric,
+            }],
+            vec![PipelineNode {
+                name: "model".into(),
+                op: Operator::TreeEnsemble(TreeEnsemble::single_tree(Tree::leaf(2.0), 1)),
+                inputs: vec!["x".into()],
+                output: "score".into(),
+            }],
+            "score",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_dir_then_journal_only_recovery() {
+        let dir = tmp_dir("journal-only");
+        {
+            let (store, rec) = DurableStore::open(&dir).unwrap();
+            assert!(!rec.snapshot_loaded);
+            assert_eq!(rec.journal_records_replayed, 0);
+            let mut catalog = Catalog::new();
+            catalog.register(table("t", vec![1, 2]));
+            store
+                .log_register_table("t", &catalog.table("t").unwrap(), catalog.epoch(), 0)
+                .unwrap();
+            let mut registry = ModelRegistry::new();
+            registry.register(pipeline("m"));
+            store
+                .log_register_model(
+                    "m",
+                    &registry.get("m").unwrap(),
+                    catalog.epoch(),
+                    registry.epoch(),
+                )
+                .unwrap();
+        }
+        // reopen: no snapshot, pure journal replay
+        let (_store, rec) = DurableStore::open(&dir).unwrap();
+        assert!(!rec.snapshot_loaded);
+        assert_eq!(rec.journal_records_replayed, 2);
+        assert!(rec.catalog.contains("t"));
+        assert!(rec.registry.contains("m"));
+        assert_eq!(rec.catalog.epoch(), 1);
+        assert_eq!(rec.registry.epoch(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_journal_and_preserves_newer_records() {
+        let dir = tmp_dir("compact");
+        let (store, _rec) = DurableStore::open(&dir).unwrap();
+
+        let mut catalog = Catalog::new();
+        let mut registry = ModelRegistry::new();
+        catalog.register(table("a", vec![1]));
+        store
+            .log_register_table("a", &catalog.table("a").unwrap(), catalog.epoch(), 0)
+            .unwrap();
+
+        // snapshot the cut at epoch (1, 0)
+        store.snapshot(&catalog, &registry, &[]).unwrap();
+        assert_eq!(store.journal_records(), 0, "journal compacted to the cut");
+
+        // a registration after the cut lands in the fresh journal
+        catalog.register(table("b", vec![2]));
+        store
+            .log_register_table(
+                "b",
+                &catalog.table("b").unwrap(),
+                catalog.epoch(),
+                registry.epoch(),
+            )
+            .unwrap();
+        registry.register(pipeline("m"));
+        store
+            .log_register_model(
+                "m",
+                &registry.get("m").unwrap(),
+                catalog.epoch(),
+                registry.epoch(),
+            )
+            .unwrap();
+        assert_eq!(store.journal_records(), 2);
+
+        let (_store2, rec) = DurableStore::open(&dir).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.journal_records_replayed, 2);
+        assert_eq!(rec.catalog.table_names(), vec!["a", "b"]);
+        assert!(rec.registry.contains("m"));
+        assert_eq!(rec.catalog.epoch(), 2);
+        assert_eq!(rec.registry.epoch(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_resumes() {
+        let dir = tmp_dir("torn");
+        {
+            let (store, _rec) = DurableStore::open(&dir).unwrap();
+            let mut catalog = Catalog::new();
+            catalog.register(table("a", vec![1]));
+            store
+                .log_register_table("a", &catalog.table("a").unwrap(), 1, 0)
+                .unwrap();
+            catalog.register(table("b", vec![2]));
+            store
+                .log_register_table("b", &catalog.table("b").unwrap(), 2, 0)
+                .unwrap();
+        }
+        // tear the last record: chop 3 bytes off the file
+        let journal_path = dir.join(JOURNAL_FILE);
+        let len = fs::metadata(&journal_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&journal_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (store, rec) = DurableStore::open(&dir).unwrap();
+        assert!(rec.journal_tail_truncated);
+        assert_eq!(rec.journal_records_replayed, 1);
+        assert!(rec.catalog.contains("a"));
+        assert!(!rec.catalog.contains("b"), "torn record must not replay");
+        assert_eq!(rec.catalog.epoch(), 1);
+
+        // appending after truncation produces a clean journal
+        let mut catalog = rec.catalog;
+        catalog.register(table("c", vec![3]));
+        store
+            .log_register_table("c", &catalog.table("c").unwrap(), catalog.epoch(), 0)
+            .unwrap();
+        let (_s, rec2) = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec2.catalog.table_names(), vec!["a", "c"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_fingerprints_persist_through_snapshot() {
+        let dir = tmp_dir("plans");
+        let (store, _rec) = DurableStore::open(&dir).unwrap();
+        let plans = vec!["SELECT a".to_string(), "SELECT b".to_string()];
+        store
+            .snapshot(&Catalog::new(), &ModelRegistry::new(), &plans)
+            .unwrap();
+        let (_s, rec) = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.plan_fingerprints, plans);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,456 @@
+//! Binary codec for catalog tables: schema, partitioned column data, the
+//! partitioning column, and persisted `ColumnStatistics`.
+//!
+//! ## Stored vs. derived state
+//!
+//! The *base* state of a table is its schema, its partition batches, and the
+//! partition column; everything else (per-partition and merged statistics)
+//! is derived. Decoding therefore rebuilds the table through
+//! [`Table::new`], which **recomputes all statistics from the loaded data**
+//! — the recomputed values are what the recovered catalog serves. Merged
+//! statistics are still persisted, but only as a cross-check: debug builds
+//! verify min/max/NDV/null counts of every column against the recomputed
+//! values and raise [`StorageError::StaleStats`] on any disagreement, so a
+//! codec regression can never silently ship wrong statistics into the cost
+//! model.
+//!
+//! Float payloads round-trip through `to_bits`/`from_bits`: NaN bit
+//! patterns and `-0.0` are preserved exactly, which the warm-restart parity
+//! oracle depends on.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::{Result, StorageError};
+use raven_columnar::{
+    Batch, Column, ColumnStatistics, DataType, Field, Schema, Table, TableStatistics, Value,
+};
+use std::sync::Arc;
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Float64 => 0,
+        DataType::Int64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Boolean => 3,
+    }
+}
+
+fn dtype_from_tag(r: &ByteReader<'_>, tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Float64,
+        1 => DataType::Int64,
+        2 => DataType::Utf8,
+        3 => DataType::Boolean,
+        other => return Err(r.bad_tag("DataType", other)),
+    })
+}
+
+/// Encode an optional statistics bound (`min`/`max`).
+fn encode_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Float64(x) => {
+            w.put_u8(0);
+            w.put_f64(*x);
+        }
+        Value::Int64(x) => {
+            w.put_u8(1);
+            w.put_i64(*x);
+        }
+        Value::Utf8(s) => {
+            w.put_u8(2);
+            w.put_str(s);
+        }
+        Value::Boolean(b) => {
+            w.put_u8(3);
+            w.put_bool(*b);
+        }
+        Value::Null => w.put_u8(4),
+    }
+}
+
+fn decode_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    Ok(match r.get_u8()? {
+        0 => Value::Float64(r.get_f64()?),
+        1 => Value::Int64(r.get_i64()?),
+        2 => Value::Utf8(r.get_str()?),
+        3 => Value::Boolean(r.get_bool()?),
+        4 => Value::Null,
+        other => return Err(r.bad_tag("Value", other)),
+    })
+}
+
+fn encode_opt_value(w: &mut ByteWriter, v: &Option<Value>) {
+    match v {
+        None => w.put_u8(0),
+        Some(v) => {
+            w.put_u8(1);
+            encode_value(w, v);
+        }
+    }
+}
+
+fn decode_opt_value(r: &mut ByteReader<'_>) -> Result<Option<Value>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_value(r)?)),
+        other => Err(r.bad_tag("Option<Value>", other)),
+    }
+}
+
+fn encode_column(w: &mut ByteWriter, col: &Column) {
+    match col {
+        Column::Float64(vs) => {
+            w.put_u8(0);
+            w.put_u32(vs.len() as u32);
+            for &v in vs {
+                w.put_f64(v);
+            }
+        }
+        Column::Int64(vs) => {
+            w.put_u8(1);
+            w.put_u32(vs.len() as u32);
+            for &v in vs {
+                w.put_i64(v);
+            }
+        }
+        Column::Utf8(vs) => {
+            w.put_u8(2);
+            w.put_u32(vs.len() as u32);
+            for v in vs {
+                w.put_str(v);
+            }
+        }
+        Column::Boolean(vs) => {
+            w.put_u8(3);
+            w.put_u32(vs.len() as u32);
+            for &v in vs {
+                w.put_bool(v);
+            }
+        }
+    }
+}
+
+fn decode_column(r: &mut ByteReader<'_>) -> Result<Column> {
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => {
+            let n = r.get_len(8)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(r.get_f64()?);
+            }
+            Column::Float64(vs)
+        }
+        1 => {
+            let n = r.get_len(8)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(r.get_i64()?);
+            }
+            Column::Int64(vs)
+        }
+        2 => {
+            let n = r.get_len(4)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(r.get_str()?);
+            }
+            Column::Utf8(vs)
+        }
+        3 => {
+            let n = r.get_len(1)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(r.get_bool()?);
+            }
+            Column::Boolean(vs)
+        }
+        other => return Err(r.bad_tag("Column", other)),
+    })
+}
+
+fn encode_column_statistics(w: &mut ByteWriter, s: &ColumnStatistics) {
+    w.put_str(&s.name);
+    encode_opt_value(w, &s.min);
+    encode_opt_value(w, &s.max);
+    w.put_u64(s.null_count as u64);
+    w.put_u64(s.distinct_count as u64);
+    w.put_u64(s.row_count as u64);
+}
+
+fn decode_column_statistics(r: &mut ByteReader<'_>) -> Result<ColumnStatistics> {
+    Ok(ColumnStatistics {
+        name: r.get_str()?,
+        min: decode_opt_value(r)?,
+        max: decode_opt_value(r)?,
+        null_count: r.get_u64()? as usize,
+        distinct_count: r.get_u64()? as usize,
+        row_count: r.get_u64()? as usize,
+    })
+}
+
+fn encode_table_statistics(w: &mut ByteWriter, s: &TableStatistics) {
+    w.put_u64(s.row_count as u64);
+    w.put_u32(s.columns.len() as u32);
+    for c in &s.columns {
+        encode_column_statistics(w, c);
+    }
+}
+
+fn decode_table_statistics(r: &mut ByteReader<'_>) -> Result<TableStatistics> {
+    let row_count = r.get_u64()? as usize;
+    let n = r.get_len(1)?;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        columns.push(decode_column_statistics(r)?);
+    }
+    Ok(TableStatistics { columns, row_count })
+}
+
+/// Encode a full table record: name, partition column, schema, every
+/// partition's column data, and the merged statistics (persisted for the
+/// stale-stats cross-check; decoding recomputes the authoritative ones).
+pub fn encode_table(w: &mut ByteWriter, table: &Table) {
+    w.put_str(table.name());
+    w.put_opt_str(table.partition_column());
+    let schema = table.schema();
+    w.put_u32(schema.len() as u32);
+    for f in schema.fields() {
+        w.put_str(f.name());
+        w.put_u8(dtype_tag(f.data_type()));
+    }
+    w.put_u32(table.partitions().len() as u32);
+    for batch in table.partitions() {
+        w.put_u32(batch.num_rows() as u32);
+        for col in batch.columns() {
+            encode_column(w, col);
+        }
+    }
+    encode_table_statistics(w, table.statistics());
+}
+
+/// Decode a table record and rebuild the in-memory [`Table`], recomputing
+/// all statistics from the loaded data. In debug builds the persisted
+/// statistics are rechecked against the recomputed ones
+/// ([`verify_persisted_stats`]).
+pub fn decode_table(r: &mut ByteReader<'_>) -> Result<Table> {
+    let name = r.get_str()?;
+    let partition_column = r.get_opt_str()?;
+
+    let n_fields = r.get_len(2)?;
+    let mut fields = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let fname = r.get_str()?;
+        let tag = r.get_u8()?;
+        fields.push(Field::new(fname, dtype_from_tag(r, tag)?));
+    }
+    let schema = Schema::new(fields)
+        .map_err(|e| StorageError::Invalid(format!("table '{name}': {e}")))?
+        .into_ref();
+
+    let n_parts = r.get_len(1)?;
+    let mut partitions = Vec::with_capacity(n_parts);
+    for p in 0..n_parts {
+        let rows = r.get_u32()? as usize;
+        let mut columns = Vec::with_capacity(schema.len());
+        for f in schema.fields() {
+            let col = decode_column(r)?;
+            if col.len() != rows {
+                return Err(r.invalid(format!(
+                    "table '{name}' partition {p}: column '{}' has {} rows, header says {rows}",
+                    f.name(),
+                    col.len()
+                )));
+            }
+            if col.data_type() != f.data_type() {
+                return Err(r.invalid(format!(
+                    "table '{name}' partition {p}: column '{}' decoded as {:?}, schema says {:?}",
+                    f.name(),
+                    col.data_type(),
+                    f.data_type()
+                )));
+            }
+            columns.push(Arc::new(col));
+        }
+        let batch = Batch::new(schema.clone(), columns)
+            .map_err(|e| StorageError::Invalid(format!("table '{name}' partition {p}: {e}")))?;
+        partitions.push(batch);
+    }
+
+    let persisted_stats = decode_table_statistics(r)?;
+
+    // Rebuild through the normal constructor: statistics are *derived* state
+    // and are recomputed from the data just loaded.
+    let mut table = Table::new(name.clone(), partitions)
+        .map_err(|e| StorageError::Invalid(format!("table '{name}': {e}")))?;
+    table.set_partition_column(partition_column);
+
+    if cfg!(debug_assertions) {
+        verify_persisted_stats(&table, &persisted_stats)?;
+    }
+    Ok(table)
+}
+
+fn values_bitwise_eq(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(Value::Float64(x)), Some(Value::Float64(y))) => x.to_bits() == y.to_bits(),
+        (Some(Value::Int64(x)), Some(Value::Int64(y))) => x == y,
+        (Some(Value::Utf8(x)), Some(Value::Utf8(y))) => x == y,
+        (Some(Value::Boolean(x)), Some(Value::Boolean(y))) => x == y,
+        (Some(Value::Null), Some(Value::Null)) => true,
+        _ => false,
+    }
+}
+
+/// Recheck persisted merged statistics against the statistics recomputed
+/// from the loaded data. Any disagreement on min/max (bitwise for floats),
+/// NDV, null count, or row count is a [`StorageError::StaleStats`]: the
+/// snapshot's derived state does not match its own base data.
+pub fn verify_persisted_stats(table: &Table, persisted: &TableStatistics) -> Result<()> {
+    let recomputed = table.statistics();
+    let stale = |column: &str, detail: String| StorageError::StaleStats {
+        table: table.name().to_string(),
+        column: column.to_string(),
+        detail,
+    };
+    if persisted.row_count != recomputed.row_count {
+        return Err(stale(
+            "<table>",
+            format!(
+                "persisted row_count {} vs recomputed {}",
+                persisted.row_count, recomputed.row_count
+            ),
+        ));
+    }
+    for p in &persisted.columns {
+        let rc = recomputed
+            .column(&p.name)
+            .ok_or_else(|| stale(&p.name, "column missing from recomputed stats".into()))?;
+        if !values_bitwise_eq(&p.min, &rc.min) || !values_bitwise_eq(&p.max, &rc.max) {
+            return Err(stale(
+                &p.name,
+                format!(
+                    "persisted min/max {:?}..{:?} vs recomputed {:?}..{:?}",
+                    p.min, p.max, rc.min, rc.max
+                ),
+            ));
+        }
+        if p.distinct_count != rc.distinct_count {
+            return Err(stale(
+                &p.name,
+                format!(
+                    "persisted NDV {} vs recomputed {}",
+                    p.distinct_count, rc.distinct_count
+                ),
+            ));
+        }
+        if p.null_count != rc.null_count || p.row_count != rc.row_count {
+            return Err(stale(
+                &p.name,
+                format!(
+                    "persisted nulls/rows {}/{} vs recomputed {}/{}",
+                    p.null_count, p.row_count, rc.null_count, rc.row_count
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_columnar::TableBuilder;
+
+    fn sample_table() -> Table {
+        let mut t = TableBuilder::new("events")
+            .add_i64("id", vec![1, 2, 3, 4])
+            .add_f64("score", vec![0.5, f64::NAN, -0.0, 1.25])
+            .add_utf8(
+                "kind",
+                vec!["a".into(), String::new(), "b".into(), "a".into()],
+            )
+            .add_bool("flag", vec![true, false, true, true])
+            .build()
+            .unwrap();
+        t.set_partition_column(Some("kind".into()));
+        t
+    }
+
+    fn round_trip(t: &Table) -> Table {
+        let mut w = ByteWriter::new();
+        encode_table(&mut w, t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        let decoded = decode_table(&mut r).unwrap();
+        r.expect_end().unwrap();
+        decoded
+    }
+
+    #[test]
+    fn table_round_trip_bitwise() {
+        let t = sample_table();
+        let d = round_trip(&t);
+        assert_eq!(d.name(), t.name());
+        assert_eq!(d.partition_column(), t.partition_column());
+        assert_eq!(d.schema(), t.schema());
+        assert_eq!(d.partitions().len(), t.partitions().len());
+        for (a, b) in t.partitions().iter().zip(d.partitions()) {
+            assert_eq!(a.num_rows(), b.num_rows());
+            for (ca, cb) in a.columns().iter().zip(b.columns()) {
+                match (ca.as_ref(), cb.as_ref()) {
+                    (Column::Float64(x), Column::Float64(y)) => {
+                        let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                        let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(xb, yb, "float columns must round-trip bitwise");
+                    }
+                    (ca, cb) => assert_eq!(ca, cb),
+                }
+            }
+        }
+        // statistics are recomputed from identical data, so they must agree
+        verify_persisted_stats(&d, t.statistics()).unwrap();
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = TableBuilder::new("empty")
+            .add_f64("x", vec![])
+            .build()
+            .unwrap();
+        let d = round_trip(&t);
+        assert_eq!(d.num_rows(), 0);
+        assert_eq!(d.schema(), t.schema());
+    }
+
+    #[test]
+    fn stale_stats_detected() {
+        let t = sample_table();
+        let mut stats = t.statistics().clone();
+        stats.columns[0].distinct_count += 1;
+        let err = verify_persisted_stats(&t, &stats).unwrap_err();
+        assert!(matches!(err, StorageError::StaleStats { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        // Structural corruption detection is the CRC layer's job (snapshot
+        // sections / journal records); the decoder's contract is only that
+        // arbitrary bytes produce a typed error or a decoded value — never a
+        // panic or an absurd allocation.
+        let mut w = ByteWriter::new();
+        encode_table(&mut w, &sample_table());
+        let bytes = w.into_bytes();
+        for i in 0..bytes.len() {
+            let mut stomped = bytes.clone();
+            stomped[i] ^= 0xFF;
+            let mut r = ByteReader::new(&stomped, "test");
+            let _ = decode_table(&mut r);
+        }
+        // truncation at every prefix length must also be panic-free
+        for len in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..len], "test");
+            assert!(decode_table(&mut r).is_err());
+        }
+    }
+}

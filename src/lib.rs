@@ -197,6 +197,45 @@
 //! (Algorithm-R reservoir over the full history), and cache hit rates via
 //! `serve::ServingReport`.
 //!
+//! ## Architecture: the durable catalog
+//!
+//! `raven_storage` makes the catalog survive a crash. A data directory
+//! (`ServerConfig::data_dir`, or the `RAVEN_DATA_DIR` environment variable)
+//! holds two files with hand-rolled little-endian binary formats:
+//!
+//! * **`snapshot.rvs`** — a full point-in-time image: magic/version header,
+//!   then length-prefixed sections (catalog tables, model registry, hot plan
+//!   SQL list), each section and the whole file guarded by CRC32. Column
+//!   data is written via `f64::to_bits`, so NaN payloads and `-0.0` survive
+//!   **bit for bit**. Derived state is *not* trusted: `ColumnStatistics` are
+//!   recomputed from the decoded column data on load, and debug builds
+//!   cross-check the persisted stats bitwise (`StorageError::StaleStats`).
+//! * **`journal.rvj`** — an append-only mutation log (register/drop table,
+//!   register/drop model), one CRC'd length-prefixed record per mutation,
+//!   fsync'd before the in-memory state changes (write-ahead discipline). A
+//!   torn tail from a mid-append crash is detected by length/CRC and
+//!   truncated at the first bad record — the half-written mutation simply
+//!   never happened.
+//!
+//! Every record carries the **epoch counters** (catalog, registry) that held
+//! *after* it applied; the snapshot header carries the counters at its cut.
+//! Replay skips records at or below the snapshot's counters and requires
+//! each applied record to advance exactly one counter by exactly one, so a
+//! reordered or duplicated journal is rejected rather than replayed. Because
+//! epochs resume at their pre-crash values, the serving tier's epoch-keyed
+//! caches can never resurrect a stale compiled-model entry after a warm
+//! restart. `core::RavenSession::open_durable` wires recovery into a session
+//! (load snapshot → replay journal → recompute stats) and
+//! `serve::Server::open_durable` adds **cache pre-warm**: the snapshot's
+//! hottest plan SQL (MRU-first) is re-fingerprinted and re-prepared through
+//! the normal single-flight path, reported as
+//! `ServingReport::{warm_restart_ms, journal_records_replayed,
+//! prewarmed_plans}`. Snapshot **compaction** runs on a background thread
+//! after registration bursts (`ServerConfig::compaction_threshold`) and
+//! never blocks serving reads: the session state is cloned (cheap `Arc`
+//! clones) under a read lock, encoded outside all locks, and only the final
+//! journal rewrite holds the store's append lock.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -240,6 +279,7 @@ pub use raven_ir as ir;
 pub use raven_ml as ml;
 pub use raven_relational as relational;
 pub use raven_serve as serve;
+pub use raven_storage as storage;
 pub use raven_tensor as tensor;
 
 /// The most commonly used types, re-exported for convenience.

@@ -1,0 +1,115 @@
+//! Satellite: cost-based execution-mode selection. For a multi-join plan the
+//! legacy `Auto` heuristic only sees the fact table's row count and picks
+//! streaming; the estimate-aware path feeds the optimizer's join-cardinality
+//! estimate through `choose_execution_mode_from_estimates`, sees that a
+//! selective dimension filter leaves only a few hundred output rows, and
+//! picks materialized (per-partition task overhead dominates at tiny
+//! outputs). Both modes must stay bitwise identical — the knob moves cost,
+//! never results.
+
+use raven::prelude::*;
+use raven_columnar::{partition_by_column, PartitionSpec};
+use raven_core::{ExecutionMode, RuntimePolicy};
+use raven_ml::{InputKind, Operator, PipelineInput, PipelineNode, Tree, TreeEnsemble, TreeNode};
+
+const QUERY: &str = "WITH data AS (SELECT * FROM orders JOIN customers ON cust_id = cust_key) \
+                     SELECT d.id, p.score FROM PREDICT(MODEL = amount_model, DATA = data AS d) \
+                     WITH (score float) AS p WHERE d.tier < 0.02";
+
+fn orders(rows: usize) -> Table {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let table = TableBuilder::new("orders")
+        .add_i64("id", (0..rows as i64).collect())
+        .add_f64(
+            "amount",
+            (0..rows).map(|_| rng.gen_range(1.0..500.0)).collect(),
+        )
+        .add_i64("cust_id", (0..rows).map(|i| (i % 50) as i64).collect())
+        .build()
+        .unwrap();
+    partition_by_column(
+        &table,
+        &PartitionSpec::ByRange {
+            column: "amount".into(),
+            partitions: 8,
+        },
+    )
+    .unwrap()
+}
+
+fn customers() -> Table {
+    TableBuilder::new("customers")
+        .add_i64("cust_key", (0..50).collect())
+        .add_f64("tier", (0..50).map(|i| i as f64 / 50.0).collect())
+        .build()
+        .unwrap()
+}
+
+fn amount_model() -> Pipeline {
+    let tree = Tree {
+        nodes: vec![
+            TreeNode::Branch {
+                feature: 0,
+                threshold: 250.0,
+                left: 1,
+                right: 2,
+            },
+            TreeNode::Leaf { value: 0.2 },
+            TreeNode::Leaf { value: 0.8 },
+        ],
+        root: 0,
+    };
+    Pipeline::new(
+        "amount_model",
+        vec![PipelineInput {
+            name: "amount".into(),
+            kind: InputKind::Numeric,
+        }],
+        vec![PipelineNode {
+            name: "model".into(),
+            op: Operator::TreeEnsemble(TreeEnsemble::single_tree(tree, 1)),
+            inputs: vec!["amount".into()],
+            output: "score".into(),
+        }],
+        "score",
+    )
+    .unwrap()
+}
+
+fn run(cost_based: bool) -> (ExecutionMode, Vec<(i64, u64)>) {
+    let mut session = RavenSession::with_config(RavenConfig {
+        execution_mode: ExecutionMode::Auto,
+        cost_based_mode: cost_based,
+        runtime_policy: RuntimePolicy::NoTransform,
+        degree_of_parallelism: 1,
+        ..Default::default()
+    });
+    session.register_table(orders(20_000));
+    session.register_table(customers());
+    session.register_model(amount_model());
+    let out = session.sql(QUERY).unwrap();
+    let ids = out.batch.column_by_name("id").unwrap().as_i64().unwrap();
+    let scores = out.batch.column_by_name("score").unwrap().as_f64().unwrap();
+    let mut rows: Vec<(i64, u64)> = ids
+        .iter()
+        .zip(scores)
+        .map(|(id, s)| (*id, s.to_bits()))
+        .collect();
+    rows.sort_unstable();
+    (out.report.execution_mode, rows)
+}
+
+/// The legacy heuristic streams the whole 20k-row fact scan; the
+/// estimate-aware path sees the ~2% dimension filter shrink the join output
+/// to a few hundred rows and materializes instead of paying per-partition
+/// streaming task overhead. Results are bitwise identical either way.
+#[test]
+fn join_estimates_flip_auto_mode_without_changing_results() {
+    let (legacy_mode, legacy_rows) = run(false);
+    let (cost_mode, cost_rows) = run(true);
+    assert_eq!(legacy_mode, ExecutionMode::Streaming);
+    assert_eq!(cost_mode, ExecutionMode::Materialized);
+    assert!(!legacy_rows.is_empty());
+    assert_eq!(legacy_rows, cost_rows);
+}
