@@ -1,0 +1,159 @@
+//! Central, cached accessors for every `RAVEN_*` environment variable.
+//!
+//! Reading the process environment takes a global lock (`std::env::var`
+//! serializes against `set_var`), so hot paths must never read a knob per
+//! call. Historically each crate cached its own knob in a local `OnceLock` —
+//! and some call sites drifted into re-reading the environment raw (the
+//! `cost.rs` / `pool.rs` double-read bugs PR 8 fixed). This module is the
+//! single place the environment is consulted: every knob has exactly one
+//! accessor, each backed by a `OnceLock` so the variable is read **once per
+//! process** and every caller observes the same pin.
+//!
+//! The repo lint (`cargo run -p xtask -- lint`) enforces the convention
+//! offline: any `std::env::var("RAVEN_*")` read in non-test code outside
+//! this file fails CI, and every `RAVEN_*` variable referenced anywhere in
+//! the sources must have a row in the facade crate's environment-variable
+//! table (`src/lib.rs`). Adding a knob therefore means adding an accessor
+//! here and documenting it there — the lint makes both mandatory.
+//!
+//! All of these are **pins for parity baselines** (see ROADMAP "Invariants
+//! to preserve"); the corresponding programmatic overrides
+//! (`force_scoped`, `force_scorer`, `force_simd`, `force_verify`, ...)
+//! remain the dynamic switches for benches and tests.
+
+use std::sync::OnceLock;
+
+/// `true` when `name` is set to exactly `value`. Reads the environment only
+/// on the first call per (accessor) call site — callers hold the result in
+/// their own `OnceLock`.
+fn env_is(name: &str, value: &str) -> bool {
+    std::env::var(name).map(|v| v == value) == Ok(true)
+}
+
+/// `RAVEN_JOIN_ORDER=asis` pins the as-written join order (disables
+/// cost-based join reordering and build-side selection) as the parity
+/// baseline. Read once per process.
+pub fn join_order_asis() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_JOIN_ORDER", "asis"))
+}
+
+/// `RAVEN_SELECTION=materialize` pins the copying `Batch::filter` baseline
+/// instead of zero-copy selection-vector execution. Read once per process.
+pub fn selection_materialize() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_SELECTION", "materialize"))
+}
+
+/// `RAVEN_SCORER=interpreted` pins the interpreted row-walking scorer
+/// baseline instead of the flattened SoA kernels. Read once per process.
+pub fn scorer_interpreted() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_SCORER", "interpreted"))
+}
+
+/// `RAVEN_SIMD=off` pins the portable scalar tree walker instead of the
+/// AVX2 tier. Read once per process.
+pub fn simd_off() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_SIMD", "off"))
+}
+
+/// `RAVEN_POOL=scoped` pins the legacy scoped-thread drive baseline instead
+/// of the shared work-stealing pool. Read once per process.
+pub fn pool_scoped() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_POOL", "scoped"))
+}
+
+/// `RAVEN_POOL_WORKERS=n` sizes the process-wide worker pool (positive
+/// integer; anything else falls back to the machine's available
+/// parallelism). Read once per process.
+pub fn pool_workers() -> Option<usize> {
+    static PIN: OnceLock<Option<usize>> = OnceLock::new();
+    *PIN.get_or_init(|| {
+        std::env::var("RAVEN_POOL_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|w| *w > 0)
+    })
+}
+
+/// `RAVEN_MODE_COST=legacy` (or `off` / `0`) pins the pre-cost-model
+/// execution-mode heuristic that only looks at the first referenced table.
+/// Read once per process.
+pub fn mode_cost_legacy() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| {
+        matches!(
+            std::env::var("RAVEN_MODE_COST").as_deref(),
+            Ok("legacy") | Ok("off") | Ok("0")
+        )
+    })
+}
+
+/// `RAVEN_VERIFY=strict` turns on rule-by-rule plan verification and
+/// compiled-artifact checking in **release** builds (debug builds always
+/// verify). Read once per process; `raven_relational::verify::force_verify`
+/// is the dynamic override for tests.
+pub fn verify_strict() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_VERIFY", "strict"))
+}
+
+/// `RAVEN_DATA_DIR=path` — the durable-catalog data directory fallback when
+/// no explicit `data_dir` is configured. Deliberately **not** cached: it is
+/// only consulted on the cold `open_durable` path (process startup), and
+/// harnesses point successive opens at fresh directories.
+pub fn data_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("RAVEN_DATA_DIR").map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each accessor is read-once: the cached value must stay consistent
+    /// with the live environment across calls (the environment does not
+    /// change mid-test-process).
+    #[test]
+    fn accessors_are_stable_and_match_environment() {
+        assert_eq!(
+            join_order_asis(),
+            std::env::var("RAVEN_JOIN_ORDER").map(|v| v == "asis") == Ok(true)
+        );
+        assert_eq!(join_order_asis(), join_order_asis());
+        assert_eq!(
+            selection_materialize(),
+            std::env::var("RAVEN_SELECTION").map(|v| v == "materialize") == Ok(true)
+        );
+        assert_eq!(
+            scorer_interpreted(),
+            std::env::var("RAVEN_SCORER").map(|v| v == "interpreted") == Ok(true)
+        );
+        assert_eq!(
+            simd_off(),
+            std::env::var("RAVEN_SIMD").map(|v| v == "off") == Ok(true)
+        );
+        assert_eq!(
+            pool_scoped(),
+            std::env::var("RAVEN_POOL").map(|v| v == "scoped") == Ok(true)
+        );
+        assert_eq!(
+            verify_strict(),
+            std::env::var("RAVEN_VERIFY").map(|v| v == "strict") == Ok(true)
+        );
+        assert_eq!(
+            pool_workers(),
+            std::env::var("RAVEN_POOL_WORKERS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|w| *w > 0)
+        );
+        // data_dir is uncached by design (cold path only)
+        assert_eq!(
+            data_dir(),
+            std::env::var_os("RAVEN_DATA_DIR").map(std::path::PathBuf::from)
+        );
+    }
+}

@@ -17,6 +17,7 @@
 //! (e.g. the `Imputer`) exercise the missing-data code paths.
 
 pub mod column;
+pub mod envcfg;
 pub mod error;
 pub mod partition;
 pub mod pool;

@@ -226,15 +226,11 @@ impl WorkerPool {
     pub fn global() -> &'static WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let workers = std::env::var("RAVEN_POOL_WORKERS")
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .filter(|w| *w > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                });
+            let workers = crate::envcfg::pool_workers().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
             WorkerPool::new(workers)
         })
     }
@@ -457,7 +453,7 @@ static FORCE_SCOPED_INIT: OnceLock<()> = OnceLock::new();
 
 fn scoped_forced() -> bool {
     FORCE_SCOPED_INIT.get_or_init(|| {
-        if std::env::var("RAVEN_POOL").map(|v| v == "scoped") == Ok(true) {
+        if crate::envcfg::pool_scoped() {
             FORCE_SCOPED.store(true, Ordering::Relaxed);
         }
     });

@@ -330,13 +330,7 @@ pub fn choose_execution_mode_from_estimates(
 /// as `RAVEN_JOIN_ORDER` for join ordering). `legacy` (or `off`/`0`) pins the
 /// pre-cost-model heuristic that only looks at the first referenced table.
 pub fn cost_based_mode_default() -> bool {
-    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        !matches!(
-            std::env::var("RAVEN_MODE_COST").as_deref(),
-            Ok("legacy") | Ok("off") | Ok("0")
-        )
-    })
+    !raven_columnar::envcfg::mode_cost_legacy()
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,15 @@ impl CompiledPipeline {
             }
         }
         let fused = FusedPipeline::compile(&pipeline, &flat).map(Arc::new);
+        // Artifact verification (debug builds / RAVEN_VERIFY=strict): the
+        // fused lane programs must reference only real source inputs and
+        // lanes — see FusedPipeline::verify. FlatEnsemble::compile already
+        // self-checked each scorer above.
+        if let Some(f) = &fused {
+            if cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict() {
+                f.verify()?;
+            }
+        }
         Ok(CompiledPipeline {
             pipeline,
             flat: Arc::new(flat),

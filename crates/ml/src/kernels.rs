@@ -367,6 +367,86 @@ impl FusedPipeline {
         self.n_lanes
     }
 
+    /// Compiled-artifact validation: every lane program must reference only
+    /// real source inputs (`input < inputs.len()`) and write only real lanes
+    /// (`lane < n_lanes`), including the one-hot fill/scatter writes, and
+    /// the model kernel must agree with the lane count (tree ensembles read
+    /// at most `n_lanes` features — and pass their own arena checks — and
+    /// linear weights match the lane width exactly).
+    ///
+    /// [`compile`](FusedPipeline::compile) establishes all of this by
+    /// construction; `verify` re-checks it in debug builds and under
+    /// `RAVEN_VERIFY=strict` so a miscompiled pipeline fails at prepare time
+    /// instead of reading a stranger's lane at serve time.
+    pub fn verify(&self) -> Result<()> {
+        let bad = |msg: String| Err(MlError::InvalidModel(format!("fused pipeline: {msg}")));
+        let n_inputs = self.inputs.len();
+        let check_input = |i: u32, what: &str| -> Result<()> {
+            if i as usize >= n_inputs {
+                return bad(format!("{what} reads input {i}, pipeline has {n_inputs}"));
+            }
+            Ok(())
+        };
+        let check_lane = |l: u32, what: &str| -> Result<()> {
+            if l as usize >= self.n_lanes {
+                return bad(format!("{what} writes lane {l} of {}", self.n_lanes));
+            }
+            Ok(())
+        };
+        for op in self.ops.iter() {
+            match op {
+                FusedOp::Numeric { input, lane, .. } => {
+                    check_input(*input, "numeric op")?;
+                    check_lane(*lane, "numeric op")?;
+                }
+                FusedOp::Const { lane, .. } => check_lane(*lane, "const op")?,
+                FusedOp::Label { input, lane, .. } => {
+                    check_input(*input, "label op")?;
+                    check_lane(*lane, "label op")?;
+                }
+                FusedOp::OneHot {
+                    source, fill, set, ..
+                } => {
+                    match source {
+                        CatSource::Categorical { input } | CatSource::Numeric { input, .. } => {
+                            check_input(*input, "one-hot source")?
+                        }
+                    }
+                    for (lane, _) in fill.iter() {
+                        check_lane(*lane, "one-hot fill")?;
+                    }
+                    for writes in set.iter() {
+                        for (lane, _) in writes.iter() {
+                            check_lane(*lane, "one-hot scatter")?;
+                        }
+                    }
+                }
+            }
+        }
+        match &self.model {
+            FusedModel::Trees(scorer) => {
+                if scorer.n_features() > self.n_lanes {
+                    return bad(format!(
+                        "tree model reads {} features from {} lanes",
+                        scorer.n_features(),
+                        self.n_lanes
+                    ));
+                }
+                scorer.verify()?;
+            }
+            FusedModel::Linear { weights, .. } => {
+                if weights.len() != self.n_lanes {
+                    return bad(format!(
+                        "linear model has {} weights for {} lanes",
+                        weights.len(),
+                        self.n_lanes
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Resolve the batch columns every pipeline input binds to (by name,
     /// with `bind_batch`-compatible missing-column errors).
     pub(crate) fn bind<'a>(&'a self, batch: &'a Batch) -> Result<BoundFused<'a>> {

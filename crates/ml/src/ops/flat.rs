@@ -266,6 +266,12 @@ impl FlatEnsemble {
             out.children = Vec::new();
             out.value = Vec::new();
         }
+        // Artifact verification (debug builds / RAVEN_VERIFY=strict): the
+        // flatten above is supposed to establish every invariant `verify`
+        // checks, so this is a self-check on the compiler, not the model.
+        if cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict() {
+            out.verify()?;
+        }
         Ok(out)
     }
 
@@ -365,6 +371,133 @@ impl FlatEnsemble {
     /// Total reachable nodes across the compiled trees (before any padding).
     pub fn arena_len(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Post-flatten artifact validation: the structural invariants the
+    /// scoring loops index by without bounds checks. For the perfect layout,
+    /// every tree's `2^d - 1` internal and `2^d` leaf slots must lie inside
+    /// the shared arrays and every lane offset must be a `BLOCK`-aligned
+    /// scaled feature index below `n_features`. For the pointer-arena
+    /// fallback, all four node arrays must agree on length, every root and
+    /// child pointer must be in bounds, branch features must be below
+    /// `n_features`, and each tree must be acyclic with its recorded depth
+    /// an upper bound on the true walk depth (the traversal runs exactly
+    /// `depth[t]` iterations, so an understated depth would return branch
+    /// garbage and a cycle would never self-loop).
+    ///
+    /// [`compile`](FlatEnsemble::compile) establishes all of this; `verify`
+    /// re-checks it in debug builds and under `RAVEN_VERIFY=strict` so a
+    /// corrupted or hand-built artifact fails loudly instead of scoring
+    /// garbage.
+    pub fn verify(&self) -> Result<()> {
+        let bad = |msg: String| Err(MlError::InvalidModel(format!("flat ensemble: {msg}")));
+        let nt = self.roots.len();
+        if self.depth.len() != nt {
+            return bad(format!("{} roots but {} depths", nt, self.depth.len()));
+        }
+        if let Some(p) = &self.perfect {
+            if p.depth != self.depth {
+                return bad("perfect layout depths disagree with tree depths".into());
+            }
+            if p.node_offset.len() != nt || p.leaf_offset.len() != nt {
+                return bad("perfect layout offset arrays disagree with tree count".into());
+            }
+            if p.lane_off.len() != p.threshold.len() {
+                return bad("perfect layout lane/threshold arrays disagree".into());
+            }
+            for t in 0..nt {
+                let d = p.depth[t];
+                if d > PERFECT_DEPTH_CAP {
+                    return bad(format!("tree {t} depth {d} exceeds the perfect cap"));
+                }
+                let internal = (1usize << d) - 1;
+                let node_end = p.node_offset[t] as usize + internal;
+                if node_end > p.lane_off.len() {
+                    return bad(format!("tree {t} internal slots overrun the node arena"));
+                }
+                let leaf_end = p.leaf_offset[t] as usize + (1usize << d);
+                if leaf_end > p.leaf_value.len() {
+                    return bad(format!("tree {t} leaf slots overrun the leaf arena"));
+                }
+                for (i, &lo) in p.lane_off[p.node_offset[t] as usize..node_end]
+                    .iter()
+                    .enumerate()
+                {
+                    let lo = lo as usize;
+                    if !lo.is_multiple_of(BLOCK) || lo / BLOCK >= self.n_features {
+                        return bad(format!(
+                            "tree {t} slot {i} lane offset {lo} is not a scaled feature \
+                             below {}",
+                            self.n_features
+                        ));
+                    }
+                }
+            }
+        } else {
+            let n = self.n_nodes;
+            if self.feature.len() != n
+                || self.threshold.len() != n
+                || self.children.len() != n
+                || self.value.len() != n
+            {
+                return bad("node arrays disagree with n_nodes".into());
+            }
+            // Memoized per-node walk depth; an in-progress marker catches
+            // cycles in O(nodes).
+            const UNSEEN: u32 = u32::MAX;
+            const IN_PROGRESS: u32 = u32::MAX - 1;
+            let mut memo = vec![UNSEEN; n];
+            for (t, &root) in self.roots.iter().enumerate() {
+                if root as usize >= n {
+                    return bad(format!("tree {t} root {root} out of bounds ({n} nodes)"));
+                }
+                let mut stack = vec![root as usize];
+                while let Some(&i) = stack.last() {
+                    let l = (self.children[i] & 0xffff_ffff) as usize;
+                    let r = (self.children[i] >> 32) as usize;
+                    if l >= n || r >= n {
+                        return bad(format!("node {i} child pointer out of bounds"));
+                    }
+                    if l == i && r == i {
+                        memo[i] = 0; // leaf self-loop
+                        stack.pop();
+                        continue;
+                    }
+                    if self.feature[i] as usize >= self.n_features {
+                        return bad(format!(
+                            "node {i} splits on feature {} of {}",
+                            self.feature[i], self.n_features
+                        ));
+                    }
+                    let (dl, dr) = (memo[l], memo[r]);
+                    let resolved = |d: u32| d != UNSEEN && d != IN_PROGRESS;
+                    if resolved(dl) && resolved(dr) {
+                        memo[i] = 1 + dl.max(dr);
+                        stack.pop();
+                    } else {
+                        // A child still in progress means this branch is
+                        // reachable from inside its own subtree — a cycle.
+                        if memo[i] == IN_PROGRESS || dl == IN_PROGRESS || dr == IN_PROGRESS {
+                            return bad(format!("tree {t} is cyclic at node {i}"));
+                        }
+                        memo[i] = IN_PROGRESS;
+                        if dl == UNSEEN {
+                            stack.push(l);
+                        }
+                        if dr == UNSEEN {
+                            stack.push(r);
+                        }
+                    }
+                }
+                if memo[root as usize] > self.depth[t] {
+                    return bad(format!(
+                        "tree {t} records depth {} but walks {} levels",
+                        self.depth[t], memo[root as usize]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Score every row of `x`, appending one score per row to `out`.
@@ -721,14 +854,11 @@ pub fn scorer_mode() -> ScorerMode {
         2 => return ScorerMode::Interpreted,
         _ => {}
     }
-    static ENV_MODE: std::sync::OnceLock<ScorerMode> = std::sync::OnceLock::new();
-    *ENV_MODE.get_or_init(|| {
-        if std::env::var("RAVEN_SCORER").map(|v| v == "interpreted") == Ok(true) {
-            ScorerMode::Interpreted
-        } else {
-            ScorerMode::Flattened
-        }
-    })
+    if raven_columnar::envcfg::scorer_interpreted() {
+        ScorerMode::Interpreted
+    } else {
+        ScorerMode::Flattened
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -772,8 +902,7 @@ pub fn simd_active() -> bool {
             2 => return false,
             _ => {}
         }
-        static ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        *ENV.get_or_init(|| std::env::var("RAVEN_SIMD").map(|v| v == "off") != Ok(true))
+        !raven_columnar::envcfg::simd_off()
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

@@ -27,12 +27,12 @@ const DEFAULT_TABLE_ROWS: f64 = 1_000.0;
 /// reordering and physical build-side selection): on, unless
 /// `RAVEN_JOIN_ORDER=asis` pins the as-written join order as the parity
 /// baseline (mirroring the `RAVEN_SCORER` / `RAVEN_SELECTION` / `RAVEN_POOL`
-/// conventions). The env variable is read once — this runs per
-/// optimizer/execution-context construction on the serving hot path, which
-/// must not take the process-wide environment lock.
+/// conventions). The env variable is read once via the central
+/// [`raven_columnar::envcfg`] registry — this runs per optimizer/execution-
+/// context construction on the serving hot path, which must not take the
+/// process-wide environment lock.
 pub fn cost_based_joins_default() -> bool {
-    static ENV_MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENV_MODE.get_or_init(|| std::env::var("RAVEN_JOIN_ORDER").map(|v| v == "asis") != Ok(true))
+    !raven_columnar::envcfg::join_order_asis()
 }
 
 /// Cardinality estimator over catalog statistics.
@@ -331,9 +331,9 @@ mod tests {
 
     #[test]
     fn default_mode_is_cost_based_unless_pinned() {
-        // the env var is read once per process; the test only checks the
-        // parsed default is consistent with the current environment
-        let pinned = std::env::var("RAVEN_JOIN_ORDER").map(|v| v == "asis") == Ok(true);
+        // the env var is read once per process through the envcfg registry;
+        // the test only checks the default mirrors the cached pin
+        let pinned = raven_columnar::envcfg::join_order_asis();
         assert_eq!(cost_based_joins_default(), !pinned);
     }
 }

@@ -21,6 +21,8 @@ pub enum RelationalError {
     Plan(String),
     /// Feature not supported by the engine.
     Unsupported(String),
+    /// The static plan verifier rejected a rewrite (see [`crate::verify`]).
+    Verify(Box<crate::verify::VerifyError>),
 }
 
 impl fmt::Display for RelationalError {
@@ -32,6 +34,7 @@ impl fmt::Display for RelationalError {
             RelationalError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
             RelationalError::Plan(msg) => write!(f, "plan error: {msg}"),
             RelationalError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RelationalError::Verify(e) => write!(f, "{e}"),
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod prune;
+pub mod verify;
 
 pub use catalog::Catalog;
 pub use cost::{cost_based_joins_default, explain_with_estimates, CostModel};
@@ -41,3 +42,7 @@ pub use logical::{AggregateExpr, LogicalPlan};
 pub use optimizer::{fold_expr, Optimizer, OptimizerOptions};
 pub use physical::{selection_vectors_default, ExecutionContext, ExecutionMetrics, Executor};
 pub use prune::{may_satisfy, may_satisfy_all};
+pub use verify::{
+    baseline, check_plan, check_rewrite, conjunct_count, force_verify, verify_enabled, Baseline,
+    VerifyError,
+};

@@ -65,22 +65,34 @@ impl Optimizer {
     }
 
     /// Optimize a plan against a catalog.
+    ///
+    /// In debug builds (and under `RAVEN_VERIFY=strict` in release), every
+    /// rule's output is checked by the static verifier ([`crate::verify`]):
+    /// well-formed references, root schema preserved, no new relations, and
+    /// conjunct conservation. A violation aborts optimization with a
+    /// [`crate::verify::VerifyError`] naming the offending rule.
     pub fn optimize(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+        let mut verifier = crate::verify::Verifier::capture(plan, catalog);
         let mut plan = plan.clone();
         if self.options.constant_folding {
             plan = fold_constants(&plan);
+            verifier.check("fold_constants", &plan, catalog)?;
         }
         if self.options.predicate_pushdown {
             plan = push_predicates(plan, catalog)?;
+            verifier.check("push_predicates", &plan, catalog)?;
         }
         if self.options.join_elimination {
             plan = eliminate_joins(plan, catalog)?;
+            verifier.check("eliminate_joins", &plan, catalog)?;
         }
         if self.options.join_reordering {
             plan = crate::join_reorder::reorder_joins(plan, catalog)?;
+            verifier.check("reorder_joins", &plan, catalog)?;
         }
         if self.options.projection_pushdown {
             plan = push_projections(plan, catalog)?;
+            verifier.check("push_projections", &plan, catalog)?;
         }
         Ok(plan)
     }
@@ -209,6 +221,20 @@ fn eval_literal_binary(a: &Value, op: BinaryOp, b: &Value) -> Option<Value> {
         BinaryOp::And => Some(Value::Boolean(a.as_bool()? && b.as_bool()?)),
         BinaryOp::Or => Some(Value::Boolean(a.as_bool()? || b.as_bool()?)),
         BinaryOp::Add | BinaryOp::Subtract | BinaryOp::Multiply | BinaryOp::Divide => {
+            // Integer arithmetic folds to an integer (matching both the
+            // runtime evaluator and `expr_data_type`, so folding never
+            // changes a plan's schema); overflow skips the fold. Division
+            // always widens to float, as at runtime.
+            if let (Value::Int64(x), Value::Int64(y)) = (a, b) {
+                if op != BinaryOp::Divide {
+                    let v = match op {
+                        BinaryOp::Add => x.checked_add(*y),
+                        BinaryOp::Subtract => x.checked_sub(*y),
+                        _ => x.checked_mul(*y),
+                    };
+                    return v.map(Value::Int64);
+                }
+            }
             let x = a.as_f64()?;
             let y = b.as_f64()?;
             let v = match op {

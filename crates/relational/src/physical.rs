@@ -72,13 +72,12 @@ impl Default for ExecutionContext {
 /// The process-wide default for selection-vector execution: on, unless
 /// `RAVEN_SELECTION=materialize` pins the copying baseline (mirroring the
 /// `RAVEN_POOL=scoped` / `RAVEN_SCORER=interpreted` conventions). The env
-/// variable is read once — this runs per execution-context construction on
-/// the serving hot path, which must not take the process-wide environment
-/// lock (same rationale as `raven_ml`'s `scorer_mode`).
+/// variable is read once via the central [`raven_columnar::envcfg`] registry —
+/// this runs per execution-context construction on the serving hot path,
+/// which must not take the process-wide environment lock (same rationale as
+/// `raven_ml`'s `scorer_mode`).
 pub fn selection_vectors_default() -> bool {
-    static ENV_MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENV_MODE
-        .get_or_init(|| std::env::var("RAVEN_SELECTION").map(|v| v == "materialize") != Ok(true))
+    !raven_columnar::envcfg::selection_materialize()
 }
 
 impl ExecutionContext {

@@ -1,0 +1,520 @@
+//! Static plan verifier: machine-checked invariants for every optimizer
+//! rewrite.
+//!
+//! Each of the optimizer's rules (`fold_constants → push_predicates →
+//! eliminate_joins → reorder_joins → push_projections`) has already needed a
+//! correctness audit; this module turns the prose invariants in ROADMAP's
+//! "Invariants to preserve" into checks that run between every rule. In the
+//! spirit of black-box invariant checking for database internals, the
+//! verifier treats each rule as opaque and compares only observable
+//! properties of its input and output plans:
+//!
+//! 1. **Well-formedness** ([`check_plan`]): every column reference resolves
+//!    in its child's schema — filter predicates, projection expressions,
+//!    aggregate group-by *and* aggregate arguments, join keys, and the
+//!    pushed-down `Scan` filters (which execute against the base table
+//!    before the scan projection applies, so they resolve in the *table*
+//!    schema); join keys type-agree exactly; no duplicate/ambiguous output
+//!    names anywhere (via `Schema::new`'s duplicate rejection).
+//! 2. **Schema preservation**: the root schema (names *and* types) is
+//!    identical before and after each rewrite. `reorder_joins` may reshuffle
+//!    interior join outputs, but its documented restore-projection re-emits
+//!    the original merged names, so the invariant holds at the root.
+//! 3. **Relation soundness**: a rewrite never introduces a table the input
+//!    plan did not reference — in particular `eliminate_joins`' requirement
+//!    sets are sound: once a relation is dropped, no surviving node may
+//!    reference it (any leftover reference fails check 1, and the table set
+//!    can only shrink).
+//! 4. **Conjunct conservation**: the total number of atomic conjuncts across
+//!    all `Filter` predicates and `Scan` filters is preserved by every rule
+//!    except `fold_constants` (whose boolean identities legitimately drop
+//!    them). This is precisely the net that would have caught PR 6's
+//!    both-sides-predicate leak.
+//!
+//! The verifier runs after **each** rule inside [`crate::Optimizer::optimize`]
+//! in debug builds, and in release builds when `RAVEN_VERIFY=strict` is set
+//! (the CI parity suites run strict). A violation surfaces as a typed
+//! [`VerifyError`] naming the offending rule and dumping the plan.
+//! [`force_verify`] is the programmatic override for tests and benches.
+//!
+//! The same discipline extends to compiled artifacts outside this crate:
+//! `raven_ml::FlatEnsemble::verify` (arena bounds + acyclicity post-flatten),
+//! `raven_ml::FusedPipeline::verify` (lane programs reference only real
+//! source inputs), and the serve tier's epoch-coherence check between cached
+//! compiled models and the live catalog/registry epochs.
+
+use crate::catalog::Catalog;
+use crate::error::{RelationalError, Result};
+use crate::expr::{BinaryOp, Expr};
+use crate::logical::LogicalPlan;
+use raven_columnar::Schema;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A rewrite invariant violation: which rule produced the bad plan, what was
+/// wrong, and the offending plan rendered for the error report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// The optimizer rule (or artifact stage) whose output failed.
+    pub rule: String,
+    /// Human-readable description of the violated invariant.
+    pub violation: String,
+    /// The rejected plan, rendered with `display_indent`.
+    pub plan: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verifier rejected `{}`: {}\nplan:\n{}",
+            self.rule, self.violation, self.plan
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn reject(rule: &str, plan: &LogicalPlan, violation: String) -> RelationalError {
+    RelationalError::Verify(Box::new(VerifyError {
+        rule: rule.to_string(),
+        violation,
+        plan: plan.display_indent(),
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// gating
+// ---------------------------------------------------------------------------
+
+/// 0 = no override, 1 = force verification on, 2 = force it off.
+static FORCE_VERIFY: AtomicU8 = AtomicU8::new(0);
+
+/// Programmatically pin rule-by-rule verification on or off, overriding both
+/// the build profile and `RAVEN_VERIFY`. `None` restores the default
+/// (always-on in debug builds, `RAVEN_VERIFY=strict` in release).
+pub fn force_verify(mode: Option<bool>) {
+    FORCE_VERIFY.store(
+        match mode {
+            None => 0,
+            Some(true) => 1,
+            Some(false) => 2,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// Whether rewrite verification is active: [`force_verify`] override first,
+/// then always-on in debug builds, then `RAVEN_VERIFY=strict` (read once via
+/// `raven_columnar::envcfg`) for release parity runs.
+pub fn verify_enabled() -> bool {
+    match FORCE_VERIFY.load(Ordering::SeqCst) {
+        1 => true,
+        2 => false,
+        _ => cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// well-formedness
+// ---------------------------------------------------------------------------
+
+/// Check that `plan` is well-formed against `catalog` (invariant 1 in the
+/// module docs). `rule` names the rewrite being blamed in the error.
+pub fn check_plan(rule: &str, plan: &LogicalPlan, catalog: &Catalog) -> Result<()> {
+    walk(plan, catalog)
+        .map(|_| ())
+        .map_err(|v| reject(rule, plan, v))
+}
+
+/// Recursive well-formedness walk. Returns the node's output schema so
+/// parents can resolve their own references; the checks that
+/// `LogicalPlan::schema` already performs (projection/group-by resolution,
+/// duplicate output names) are inherited by computing each node's schema
+/// through it.
+fn walk(plan: &LogicalPlan, catalog: &Catalog) -> std::result::Result<Schema, String> {
+    let own_schema = |p: &LogicalPlan| p.schema(catalog).map_err(|e| e.to_string());
+    match plan {
+        LogicalPlan::Scan { table, filters, .. } => {
+            // Scan filters execute against the base table before the scan
+            // projection applies, so they resolve in the table schema.
+            let t = catalog.table(table).map_err(|e| e.to_string())?;
+            let ts = t.schema();
+            for f in filters {
+                for c in f.referenced_columns() {
+                    if !ts.contains(&c) {
+                        return Err(format!(
+                            "scan filter on `{table}` references unknown column `{c}`"
+                        ));
+                    }
+                }
+            }
+            own_schema(plan)
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let s = walk(input, catalog)?;
+            for c in predicate.referenced_columns() {
+                if !s.contains(&c) {
+                    return Err(format!("filter references unresolved column `{c}`"));
+                }
+            }
+            Ok(s)
+        }
+        LogicalPlan::Projection { input, exprs } => {
+            let s = walk(input, catalog)?;
+            for e in exprs {
+                for c in e.referenced_columns() {
+                    if !s.contains(&c) {
+                        return Err(format!("projection references unresolved column `{c}`"));
+                    }
+                }
+            }
+            own_schema(plan)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let ls = walk(left, catalog)?;
+            let rs = walk(right, catalog)?;
+            let lf = ls
+                .field_by_name(left_key)
+                .map_err(|_| format!("join left key `{left_key}` unresolved in left input"))?;
+            let rf = rs
+                .field_by_name(right_key)
+                .map_err(|_| format!("join right key `{right_key}` unresolved in right input"))?;
+            if lf.data_type() != rf.data_type() {
+                return Err(format!(
+                    "join keys type-disagree: `{left_key}` is {:?} but `{right_key}` is {:?}",
+                    lf.data_type(),
+                    rf.data_type()
+                ));
+            }
+            own_schema(plan)
+        }
+        LogicalPlan::Aggregate {
+            aggregates, input, ..
+        } => {
+            let s = walk(input, catalog)?;
+            for a in aggregates {
+                for c in a.arg.referenced_columns() {
+                    if !s.contains(&c) {
+                        return Err(format!(
+                            "aggregate `{}` references unresolved column `{c}`",
+                            a.alias
+                        ));
+                    }
+                }
+            }
+            own_schema(plan)
+        }
+        LogicalPlan::Limit { input, .. } => walk(input, catalog),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rewrite baseline + per-rule check
+// ---------------------------------------------------------------------------
+
+/// Observable properties of the plan *before* any rewrite, captured once and
+/// compared against each rule's output.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    schema: Schema,
+    tables: BTreeSet<String>,
+    conjuncts: usize,
+}
+
+/// Capture a rewrite baseline. Returns `None` when the input plan itself
+/// fails to produce a schema — the plan was broken before any rule ran, so
+/// blaming a rule would misattribute the bug (the failure surfaces later
+/// through the normal planning path instead).
+pub fn baseline(plan: &LogicalPlan, catalog: &Catalog) -> Option<Baseline> {
+    let schema = plan.schema(catalog).ok()?;
+    Some(Baseline {
+        schema,
+        tables: plan.referenced_tables().into_iter().collect(),
+        conjuncts: conjunct_count(plan),
+    })
+}
+
+/// Check one rule's output against the pre-rewrite [`Baseline`]: plan
+/// well-formedness, root-schema preservation, relation soundness, and
+/// conjunct conservation (skipped for `fold_constants`, whose boolean
+/// identities legitimately drop conjuncts). Always checks, regardless of
+/// [`verify_enabled`] — gating is the caller's job.
+pub fn check_rewrite(
+    rule: &str,
+    base: &Baseline,
+    after: &LogicalPlan,
+    catalog: &Catalog,
+) -> Result<()> {
+    check_plan(rule, after, catalog)?;
+    let schema = after
+        .schema(catalog)
+        .map_err(|e| reject(rule, after, format!("output plan has no schema: {e}")))?;
+    if !schemas_equal(&base.schema, &schema) {
+        return Err(reject(
+            rule,
+            after,
+            format!(
+                "root schema changed: before [{}], after [{}]",
+                render_schema(&base.schema),
+                render_schema(&schema)
+            ),
+        ));
+    }
+    let tables: BTreeSet<String> = after.referenced_tables().into_iter().collect();
+    if let Some(extra) = tables.difference(&base.tables).next() {
+        return Err(reject(
+            rule,
+            after,
+            format!("rewrite introduced a relation the input never referenced: `{extra}`"),
+        ));
+    }
+    if rule != "fold_constants" {
+        let conjuncts = conjunct_count(after);
+        if conjuncts != base.conjuncts {
+            return Err(reject(
+                rule,
+                after,
+                format!(
+                    "conjunct count changed: {} before, {} after (a predicate was dropped or duplicated)",
+                    base.conjuncts, conjuncts
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn schemas_equal(a: &Schema, b: &Schema) -> bool {
+    a.fields().len() == b.fields().len()
+        && a.fields()
+            .iter()
+            .zip(b.fields())
+            .all(|(x, y)| x.name() == y.name() && x.data_type() == y.data_type())
+}
+
+fn render_schema(s: &Schema) -> String {
+    s.fields()
+        .iter()
+        .map(|f| format!("{}:{:?}", f.name(), f.data_type()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Total atomic conjuncts across every `Filter` predicate and `Scan` filter
+/// in the plan (an `AND` tree of *n* leaves counts *n*; any other expression
+/// counts 1).
+pub fn conjunct_count(plan: &LogicalPlan) -> usize {
+    fn expr_conjuncts(e: &Expr) -> usize {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => expr_conjuncts(left) + expr_conjuncts(right),
+            _ => 1,
+        }
+    }
+    match plan {
+        LogicalPlan::Scan { filters, .. } => filters.iter().map(expr_conjuncts).sum(),
+        LogicalPlan::Filter { predicate, input } => {
+            expr_conjuncts(predicate) + conjunct_count(input)
+        }
+        LogicalPlan::Projection { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Limit { input, .. } => conjunct_count(input),
+        LogicalPlan::Join { left, right, .. } => conjunct_count(left) + conjunct_count(right),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// optimizer integration
+// ---------------------------------------------------------------------------
+
+/// Per-`optimize` verifier handle: captures the baseline once (when
+/// verification is active and the input plan is schema-clean) and checks each
+/// rule's output against it. When inactive every check is a no-op, so release
+/// builds without `RAVEN_VERIFY=strict` pay one atomic load per optimize.
+pub struct Verifier {
+    base: Option<Baseline>,
+}
+
+impl Verifier {
+    /// Capture the baseline for `plan` if verification is enabled. A plan
+    /// that is already schema-broken yields an inert verifier (misattribution
+    /// guard — see [`baseline`]).
+    pub fn capture(plan: &LogicalPlan, catalog: &Catalog) -> Verifier {
+        let base = if verify_enabled() {
+            baseline(plan, catalog)
+        } else {
+            None
+        };
+        Verifier { base }
+    }
+
+    /// Verify one rule's output; no-op when the verifier is inert. On
+    /// success the conjunct baseline rolls forward to the checked plan, so
+    /// each rule is compared against its *own* input — `fold_constants` may
+    /// legitimately shrink the count (it is exempt), and later rules must
+    /// then conserve the post-fold count, not the original.
+    pub fn check(&mut self, rule: &str, after: &LogicalPlan, catalog: &Catalog) -> Result<()> {
+        match &mut self.base {
+            Some(base) => {
+                check_rewrite(rule, base, after, catalog)?;
+                base.conjuncts = conjunct_count(after);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use raven_columnar::{Table, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(small_table("patient_info", &["id", "age", "bmi"]));
+        c.register(small_table("blood_test", &["id", "bpm"]));
+        c
+    }
+
+    fn small_table(name: &str, cols: &[&str]) -> Table {
+        let mut b = TableBuilder::new(name);
+        for col in cols {
+            b = b.add_f64(col, vec![1.0, 2.0, 3.0]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_plan_passes_and_conjuncts_counted() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .filter(col("age").gt(lit(40.0)).and(col("bmi").lt(lit(30.0))))
+            .project(vec![col("id"), col("age")]);
+        check_plan("test", &plan, &c).unwrap();
+        assert_eq!(conjunct_count(&plan), 2);
+        let base = baseline(&plan, &c).unwrap();
+        check_rewrite("test", &base, &plan, &c).unwrap();
+    }
+
+    #[test]
+    fn unresolved_filter_column_is_rejected() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info").filter(col("nope").gt(lit(1.0)));
+        let err = check_plan("push_predicates", &plan, &c).unwrap_err();
+        match err {
+            RelationalError::Verify(v) => {
+                assert_eq!(v.rule, "push_predicates");
+                assert!(v.violation.contains("nope"), "{}", v.violation);
+                assert!(v.plan.contains("Scan"), "{}", v.plan);
+            }
+            other => panic!("expected Verify error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_filters_resolve_in_table_schema() {
+        let c = catalog();
+        // filter on a non-projected column is fine (executes pre-projection)
+        let ok = LogicalPlan::Scan {
+            table: "patient_info".into(),
+            projection: Some(vec!["id".into()]),
+            filters: vec![col("age").gt(lit(40.0))],
+        };
+        check_plan("push_projections", &ok, &c).unwrap();
+        // filter on a column the table doesn't have is not
+        let bad = LogicalPlan::Scan {
+            table: "patient_info".into(),
+            projection: Some(vec!["id".into()]),
+            filters: vec![col("bpm").gt(lit(40.0))],
+        };
+        assert!(check_plan("push_projections", &bad, &c).is_err());
+    }
+
+    #[test]
+    fn join_key_type_disagreement_is_rejected() {
+        let mut c = catalog();
+        let strs = TableBuilder::new("tags")
+            .add_utf8("id", vec!["a".into(), "b".into(), "c".into()])
+            .build()
+            .unwrap();
+        c.register(strs);
+        let plan = LogicalPlan::scan("patient_info").join(LogicalPlan::scan("tags"), "id", "id");
+        let err = check_plan("input", &plan, &c).unwrap_err();
+        assert!(err.to_string().contains("type-disagree"), "{err}");
+    }
+
+    #[test]
+    fn root_schema_change_and_new_relation_are_rejected() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info").project(vec![col("id"), col("age")]);
+        let base = baseline(&plan, &c).unwrap();
+        let reshaped = LogicalPlan::scan("patient_info").project(vec![col("id")]);
+        let err = check_rewrite("push_projections", &base, &reshaped, &c).unwrap_err();
+        assert!(err.to_string().contains("root schema changed"), "{err}");
+
+        let other_table = LogicalPlan::scan("blood_test")
+            .project(vec![col("id").alias("id"), col("bpm").alias("age")]);
+        let err = check_rewrite("reorder_joins", &base, &other_table, &c).unwrap_err();
+        assert!(err.to_string().contains("never referenced"), "{err}");
+    }
+
+    #[test]
+    fn conjunct_drop_is_rejected_except_for_fold() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("patient_info")
+            .filter(col("age").gt(lit(40.0)).and(col("bmi").lt(lit(30.0))));
+        let base = baseline(&plan, &c).unwrap();
+        let dropped = LogicalPlan::scan("patient_info").filter(col("age").gt(lit(40.0)));
+        let err = check_rewrite("push_predicates", &base, &dropped, &c).unwrap_err();
+        assert!(err.to_string().contains("conjunct count"), "{err}");
+        // fold_constants is exempt but still schema-checked: same drop passes
+        // only because filters don't change the schema
+        check_rewrite("fold_constants", &base, &dropped, &c).unwrap();
+    }
+
+    #[test]
+    fn baseline_is_none_for_broken_input() {
+        let c = catalog();
+        let broken = LogicalPlan::scan("no_such_table");
+        assert!(baseline(&broken, &c).is_none());
+        // and the Verifier built from it is inert
+        let mut v = Verifier::capture(&broken, &c);
+        let still_broken = LogicalPlan::scan("also_missing");
+        v.check("fold_constants", &still_broken, &c).unwrap();
+    }
+
+    #[test]
+    fn force_verify_overrides_gate() {
+        force_verify(Some(false));
+        assert!(!verify_enabled());
+        force_verify(Some(true));
+        assert!(verify_enabled());
+        force_verify(None);
+        assert_eq!(verify_enabled(), {
+            cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict()
+        });
+    }
+
+    #[test]
+    fn verify_error_display_names_rule_and_dumps_plan() {
+        let e = VerifyError {
+            rule: "reorder_joins".into(),
+            violation: "root schema changed".into(),
+            plan: "Scan: t".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("reorder_joins") && s.contains("Scan: t"), "{s}");
+    }
+}

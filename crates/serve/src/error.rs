@@ -23,6 +23,11 @@ pub enum ServeError {
     InvalidRequest(String),
     /// The underlying session failed to prepare or execute the query.
     Session(RavenError),
+    /// Epoch-coherence verification caught a cached compiled artifact whose
+    /// catalog/registry epochs disagree with the live session — serving it
+    /// could score against a stale model or schema. Raised only when
+    /// verification is active (debug builds / `RAVEN_VERIFY=strict`).
+    StaleArtifact(String),
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +39,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServeError::Session(e) => write!(f, "session error: {e}"),
+            ServeError::StaleArtifact(m) => write!(f, "stale compiled artifact: {m}"),
         }
     }
 }

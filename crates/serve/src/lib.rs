@@ -50,6 +50,7 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod server;
+mod sync;
 
 pub use cache::LruCache;
 pub use error::{Result, ServeError};

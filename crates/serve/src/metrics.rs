@@ -2,6 +2,7 @@
 //! and micro-batching behaviour, collected lock-cheaply while the scheduler
 //! runs and snapshotted into a [`ServingReport`].
 
+use crate::sync::MutexExt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -144,7 +145,7 @@ impl ServingMetrics {
             let ns = started.elapsed().as_nanos() as u64 + 1;
             self.last_completed_ns.fetch_max(ns, Ordering::Relaxed);
         }
-        let res = &mut *self.reservoir.lock().expect("metrics poisoned");
+        let res = &mut *self.reservoir.plock();
         if res.samples.len() < RESERVOIR {
             res.samples.push(latency.as_nanos() as u64);
         } else {
@@ -171,12 +172,7 @@ impl ServingMetrics {
             (Some(s), _) => s.elapsed(),
             _ => Duration::ZERO,
         };
-        let mut lat: Vec<u64> = self
-            .reservoir
-            .lock()
-            .expect("metrics poisoned")
-            .samples
-            .clone();
+        let mut lat: Vec<u64> = self.reservoir.plock().samples.clone();
         lat.sort_unstable();
         let pct = |p: f64| -> Duration {
             if lat.is_empty() {

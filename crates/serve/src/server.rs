@@ -35,6 +35,7 @@
 use crate::cache::LruCache;
 use crate::error::{Result, ServeError};
 use crate::metrics::{ServingMetrics, ServingReport};
+use crate::sync::{self, MutexExt, RwLockExt};
 use raven_columnar::{Batch, Field, Schema, Value};
 use raven_core::{
     CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenConfig,
@@ -286,7 +287,7 @@ impl Server {
         let dir = config
             .data_dir
             .clone()
-            .or_else(|| std::env::var_os("RAVEN_DATA_DIR").map(PathBuf::from))
+            .or_else(raven_columnar::envcfg::data_dir)
             .ok_or_else(|| {
                 ServeError::InvalidRequest(
                     "no data directory: set ServerConfig::data_dir or RAVEN_DATA_DIR".into(),
@@ -318,7 +319,7 @@ impl Server {
             let Ok(fp) = fingerprint_query(sql) else {
                 continue;
             };
-            let session = self.inner.session.read().expect("session poisoned");
+            let session = self.inner.session.pread();
             if get_prepared(&self.inner, &session, &fp.canonical, sql).is_ok() {
                 prewarmed += 1;
             }
@@ -330,9 +331,9 @@ impl Server {
     /// first — what the snapshot persists for warm-restart pre-warm. Also
     /// prunes the fingerprint → SQL side map down to live entries.
     fn hot_plan_sqls(&self) -> Vec<String> {
-        let cache = self.inner.plan_cache.lock().expect("plan cache poisoned");
+        let cache = self.inner.plan_cache.plock();
         let keys = cache.keys_by_recency();
-        let mut plan_sql = self.inner.plan_sql.lock().expect("plan sql poisoned");
+        let mut plan_sql = self.inner.plan_sql.plock();
         plan_sql.retain(|k, _| cache.contains_key(k));
         keys.iter()
             .filter_map(|k| plan_sql.get(k).cloned())
@@ -346,7 +347,7 @@ impl Server {
         let plans = self.hot_plan_sqls();
         // clone the session under the read lock (cheap Arc clones), snapshot
         // outside it so readers are never blocked on snapshot encoding
-        let session = self.inner.session.read().expect("session poisoned").clone();
+        let session = self.inner.session.pread().clone();
         Ok(session.snapshot_with_plans(&plans)?)
     }
 
@@ -361,7 +362,7 @@ impl Server {
             return;
         }
         let records = {
-            let session = self.inner.session.read().expect("session poisoned");
+            let session = self.inner.session.pread();
             match session.durable_store() {
                 Some(store) => store.journal_records(),
                 None => return,
@@ -370,7 +371,7 @@ impl Server {
         if records < threshold {
             return;
         }
-        let mut slot = self.inner.compaction.lock().expect("compaction poisoned");
+        let mut slot = self.inner.compaction.plock();
         if let Some(handle) = slot.take() {
             if !handle.is_finished() {
                 *slot = Some(handle); // one compaction at a time
@@ -379,7 +380,7 @@ impl Server {
             let _ = handle.join();
         }
         let plans = self.hot_plan_sqls();
-        let session = self.inner.session.read().expect("session poisoned").clone();
+        let session = self.inner.session.pread().clone();
         *slot = Some(std::thread::spawn(move || {
             // failure here is non-fatal: the journal keeps the state safe,
             // the next threshold crossing retries
@@ -418,7 +419,7 @@ impl Server {
         };
         let ticket = Ticket { rx: job.1 };
         {
-            let mut q = inner.queue.lock().expect("queue poisoned");
+            let mut q = inner.queue.plock();
             if q.shutdown {
                 inner.in_flight.fetch_sub(1, Ordering::AcqRel);
                 return Err(ServeError::ShuttingDown);
@@ -494,7 +495,7 @@ impl Server {
     /// the registration on a durable session, bumps the catalog epoch, and
     /// clears both caches.
     pub fn register_table(&self, table: raven_columnar::Table) -> Result<()> {
-        let mut s = self.inner.session.write().expect("session poisoned");
+        let mut s = self.inner.session.pwrite();
         s.try_register_table(table)?;
         // clear while still holding the write lock: no reader can slip a
         // fresh new-epoch entry in between the bump and the clear (which the
@@ -509,7 +510,7 @@ impl Server {
     /// the registration on a durable session, bumps the registry epoch, and
     /// clears both caches.
     pub fn register_model(&self, pipeline: raven_ml::Pipeline) -> Result<()> {
-        let mut s = self.inner.session.write().expect("session poisoned");
+        let mut s = self.inner.session.pwrite();
         s.try_register_model(pipeline)?;
         self.invalidate_caches();
         drop(s);
@@ -518,21 +519,13 @@ impl Server {
     }
 
     fn invalidate_caches(&self) {
-        self.inner
-            .plan_cache
-            .lock()
-            .expect("plan cache poisoned")
-            .clear();
-        self.inner
-            .model_cache
-            .lock()
-            .expect("model cache poisoned")
-            .clear();
+        self.inner.plan_cache.plock().clear();
+        self.inner.model_cache.plock().clear();
     }
 
     /// Read access to the underlying session (for harnesses and tests).
     pub fn with_session<R>(&self, f: impl FnOnce(&RavenSession) -> R) -> R {
-        f(&self.inner.session.read().expect("session poisoned"))
+        f(&self.inner.session.pread())
     }
 
     /// Snapshot the serving metrics.
@@ -552,20 +545,14 @@ impl Server {
             return;
         }
         {
-            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            let mut q = self.inner.queue.plock();
             q.shutdown = true;
         }
         self.inner.available.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        if let Some(handle) = self
-            .inner
-            .compaction
-            .lock()
-            .expect("compaction poisoned")
-            .take()
-        {
+        if let Some(handle) = self.inner.compaction.plock().take() {
             let _ = handle.join();
         }
     }
@@ -587,7 +574,7 @@ fn worker_loop(inner: Arc<ServerInner>) {
         //    documented contract: pending requests get `ShuttingDown`) and
         //    exit
         let job = {
-            let mut q = inner.queue.lock().expect("queue poisoned");
+            let mut q = inner.queue.plock();
             loop {
                 if q.shutdown {
                     let orphans: Vec<Job> = q.jobs.drain(..).collect();
@@ -600,7 +587,7 @@ fn worker_loop(inner: Arc<ServerInner>) {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
                 }
-                q = inner.available.wait(q).expect("queue poisoned");
+                q = sync::wait(&inner.available, q);
             }
         };
 
@@ -609,15 +596,11 @@ fn worker_loop(inner: Arc<ServerInner>) {
         if let Some(key) = group[0].group.clone() {
             let cap = inner.config.micro_batch_size.max(1);
             let wait = inner.config.micro_batch_wait;
-            let mut q = inner.queue.lock().expect("queue poisoned");
+            let mut q = inner.queue.plock();
             drain_compatible(&mut q.jobs, &key, cap, &mut group);
             if group.len() < cap && !wait.is_zero() && !q.shutdown {
                 // one bounded wait for stragglers, then drain again
-                let (guard, _) = inner
-                    .available
-                    .wait_timeout(q, wait)
-                    .expect("queue poisoned");
-                q = guard;
+                q = sync::wait_timeout(&inner.available, q, wait);
                 drain_compatible(&mut q.jobs, &key, cap, &mut group);
             }
             // the straggler wait may have consumed a notify_one meant for an
@@ -668,7 +651,7 @@ fn run_sql(inner: &ServerInner, job: &Job) -> Result<PredictionOutput> {
     // register_model (write lock) can never land between the freshness check
     // and execute_prepared, so a statement can never run against a catalog
     // newer than the one it was prepared for.
-    let session = inner.session.read().expect("session poisoned");
+    let session = inner.session.pread();
     let prepared = get_prepared(inner, &session, &job.canonical, sql)?;
     Ok(session.execute_prepared(&prepared)?)
 }
@@ -717,7 +700,7 @@ fn score_rows(
     group: &[Job],
 ) -> Result<Vec<Result<f64>>> {
     let (prepared, runtime) = {
-        let session = inner.session.read().expect("session poisoned");
+        let session = inner.session.pread();
         (
             get_prepared(inner, &session, canonical, sql)?,
             MlRuntime::with_config(session.config().ml_runtime.clone()),
@@ -840,7 +823,7 @@ fn get_prepared(
     }
     let key = format!("{canonical}@c{cat_epoch}r{reg_epoch}");
     let (flight, leader) = {
-        let mut inflight = inner.inflight.lock().expect("inflight map poisoned");
+        let mut inflight = inner.inflight.plock();
         match inflight.get(&key) {
             Some(flight) => (flight.clone(), false),
             None => {
@@ -853,11 +836,19 @@ fn get_prepared(
     if !leader {
         // follower: wait for the leader's outcome and share it
         inner.metrics.record_single_flight_wait();
-        let mut done = flight.done.lock().expect("flight latch poisoned");
-        while done.is_none() {
-            done = flight.ready.wait(done).expect("flight latch poisoned");
+        let mut done = flight.done.plock();
+        loop {
+            if let Some(result) = done.clone() {
+                // Epoch coherence (debug / RAVEN_VERIFY=strict): the latch
+                // key pinned the epochs, so the shared statement must carry
+                // exactly them — anything else is a single-flight bug.
+                return result.and_then(|entry| {
+                    check_epoch_coherence(&entry, cat_epoch, reg_epoch, "single-flight")?;
+                    Ok(entry)
+                });
+            }
+            done = sync::wait(&flight.ready, done);
         }
-        return done.clone().expect("latch checked non-empty");
     }
     // If the prepare unwinds, still resolve the latch so followers are not
     // stranded: they get an error instead of waiting on a dead leader.
@@ -868,7 +859,7 @@ fn get_prepared(
     }
     impl Drop for ResolveOnDrop<'_> {
         fn drop(&mut self) {
-            let mut done = self.flight.done.lock().expect("flight latch poisoned");
+            let mut done = self.flight.done.plock();
             if done.is_none() {
                 *done = Some(Err(ServeError::InvalidRequest(
                     "prepare aborted before completing".into(),
@@ -876,11 +867,7 @@ fn get_prepared(
                 self.flight.ready.notify_all();
             }
             drop(done);
-            self.inner
-                .inflight
-                .lock()
-                .expect("inflight map poisoned")
-                .remove(self.key);
+            self.inner.inflight.plock().remove(self.key);
         }
     }
     let guard = ResolveOnDrop {
@@ -904,13 +891,57 @@ fn get_prepared(
             prepare_uncached(inner, session, canonical, sql)
         }
     };
+    // Epoch coherence (debug / RAVEN_VERIFY=strict) before the result is
+    // published to followers and the caller: the statement was prepared
+    // under the session read lock, so its recorded epochs must equal the
+    // epochs this flight was keyed by.
+    let result = result.and_then(|entry| {
+        check_epoch_coherence(&entry, cat_epoch, reg_epoch, "prepared")?;
+        Ok(entry)
+    });
     {
-        let mut done = flight.done.lock().expect("flight latch poisoned");
+        let mut done = flight.done.plock();
         *done = Some(result.clone());
         flight.ready.notify_all();
     }
     drop(guard);
     result
+}
+
+/// Epoch-coherence verification (debug builds / `RAVEN_VERIFY=strict`): a
+/// statement about to be served must have been prepared at exactly the live
+/// catalog/registry epochs. `cached_fresh` guarantees this for plan-cache
+/// hits by construction; this check covers the paths where the statement
+/// arrives indirectly (a single-flight latch, a fresh prepare) and would
+/// otherwise be trusted blindly.
+fn check_epoch_coherence(
+    entry: &PreparedStatement,
+    cat_epoch: u64,
+    reg_epoch: u64,
+    source: &str,
+) -> Result<()> {
+    if (cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict())
+        && (entry.catalog_epoch() != cat_epoch || entry.registry_epoch() != reg_epoch)
+    {
+        return Err(ServeError::StaleArtifact(format!(
+            "{source} statement carries epochs c{}r{}, live session is c{cat_epoch}r{reg_epoch}",
+            entry.catalog_epoch(),
+            entry.registry_epoch()
+        )));
+    }
+    Ok(())
+}
+
+/// Parse the `@c<cat>r<reg>#` epoch segment of a compiled-model cache key
+/// (format `{tables}@c{cat}r{reg}#p{hash}`, minted by the session's model
+/// lowering). `None` for keys without the segment.
+fn parse_key_epochs(key: &str) -> Option<(u64, u64)> {
+    let rest = &key[key.rfind("@c")? + 2..];
+    let r = rest.find('r')?;
+    let hash = rest.find('#')?;
+    let cat = rest[..r].parse().ok()?;
+    let reg = rest[r + 1..hash].parse().ok()?;
+    Some((cat, reg))
 }
 
 /// Probe the plan cache for an entry prepared at exactly the given epochs;
@@ -922,7 +953,7 @@ fn cached_fresh(
     cat_epoch: u64,
     reg_epoch: u64,
 ) -> Option<Arc<PreparedStatement>> {
-    let mut cache = inner.plan_cache.lock().expect("plan cache poisoned");
+    let mut cache = inner.plan_cache.plock();
     if let Some(entry) = cache.get(&canonical.to_string()) {
         if entry.catalog_epoch() == cat_epoch && entry.registry_epoch() == reg_epoch {
             return Some(entry.clone());
@@ -942,17 +973,35 @@ fn prepare_uncached(
     canonical: &str,
     sql: &str,
 ) -> Result<Arc<PreparedStatement>> {
+    let (cat_epoch, reg_epoch) = (session.catalog().epoch(), session.registry().epoch());
     let mut lookup = |key: &str| {
-        let mut cache = inner.model_cache.lock().expect("model cache poisoned");
-        let hit = cache.get(&key.to_string()).cloned();
+        let hit = inner.model_cache.plock().get(&key.to_string()).cloned();
+        // Epoch coherence (debug / RAVEN_VERIFY=strict): the key's minted
+        // epochs must match the live session, or the hit would hand back
+        // models compiled against a dropped table/model version. The hooks
+        // cannot error, so a stale hit degrades to a miss (recompile fresh)
+        // after tripping the debug assertion.
+        let hit = match hit {
+            Some(_)
+                if (cfg!(debug_assertions) || raven_columnar::envcfg::verify_strict())
+                    && parse_key_epochs(key)
+                        .is_some_and(|(c, r)| c != cat_epoch || r != reg_epoch) =>
+            {
+                debug_assert!(
+                    false,
+                    "model-cache hit at stale epochs: {key} vs live c{cat_epoch}r{reg_epoch}"
+                );
+                None
+            }
+            other => other,
+        };
         inner.metrics.record_model_cache(hit.is_some());
         hit
     };
     let mut store = |key: &str, models: &CompiledModels| {
         inner
             .model_cache
-            .lock()
-            .expect("model cache poisoned")
+            .plock()
             .insert(key.to_string(), models.clone());
     };
     let mut hooks = ModelCacheHooks {
@@ -962,15 +1011,13 @@ fn prepare_uncached(
     let prepared = Arc::new(session.prepare_hooked(sql, Some(&mut hooks))?);
     inner
         .plan_cache
-        .lock()
-        .expect("plan cache poisoned")
+        .plock()
         .insert(canonical.to_string(), prepared.clone());
     // remember a re-parseable SQL text for this fingerprint so a snapshot
     // can persist it for warm-restart pre-warm
     inner
         .plan_sql
-        .lock()
-        .expect("plan sql poisoned")
+        .plock()
         .insert(canonical.to_string(), sql.to_string());
     Ok(prepared)
 }

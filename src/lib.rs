@@ -236,6 +236,61 @@
 //! clones) under a read lock, encoded outside all locks, and only the final
 //! journal rewrite holds the store's append lock.
 //!
+//! ## Static verification (PR 8)
+//!
+//! Correctness of the rewrite pipeline is checked, not assumed. A plan
+//! verifier (`relational::verify`) runs after **every** optimizer rule in
+//! debug builds (and in release under `RAVEN_VERIFY=strict`), checking each
+//! rewritten plan against the catalog:
+//!
+//! * every column reference resolves in its child's schema (scan filters
+//!   resolve against the *table* schema, since the executor applies filters
+//!   before projection);
+//! * join keys exist on both sides and agree exactly on `DataType`;
+//! * no operator emits duplicate output column names;
+//! * the plan-root schema (names *and* types) is preserved across each
+//!   rule, the set of scanned tables never grows, and the number of
+//!   predicate conjuncts is conserved (only `fold_constants` may change
+//!   it — and after each rule the baseline rolls forward, so every rule is
+//!   judged against its own input).
+//!
+//! A violation is a typed `relational::VerifyError` naming the offending
+//! rule and carrying the rejected plan's rendering. The same gate extends
+//! to compiled artifacts: `ml::FlatEnsemble::verify` (arena bounds,
+//! feature-index ranges, acyclicity of pointer-arena trees),
+//! `ml::FusedPipeline::verify` (lane programs reference only real source
+//! columns and in-range lanes), and the serving tier's epoch-coherence
+//! check (a cached compiled artifact whose catalog/registry epochs
+//! disagree with the live session is a `serve::ServeError::StaleArtifact`,
+//! never served). `tests/verify_invariants.rs` seeds a deliberate bug into
+//! each rule and asserts the verifier rejects it by name.
+//!
+//! Repo-level invariants are linted offline by the dependency-free
+//! `cargo run -p xtask -- lint` (wired into CI): no raw `RAVEN_*`
+//! environment reads outside the `columnar::envcfg` registry, no
+//! `.unwrap()`/`.expect(` in non-test serving code, and every `RAVEN_*`
+//! variable documented in the table below.
+//!
+//! ## Environment variables
+//!
+//! All runtime knobs are read **once** through cached accessors in
+//! `columnar::envcfg` (enforced by `xtask lint`); this table is the
+//! authoritative registry — the lint fails if a `RAVEN_*` variable appears
+//! in the sources without a row here.
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `RAVEN_SCORER=interpreted` | Pin the interpreted tree walker (A/B baseline for `ml::FlatEnsemble`). |
+//! | `RAVEN_SELECTION=materialize` | Pin copying `Batch::filter` instead of zero-copy selection vectors. |
+//! | `RAVEN_SIMD=off` | Disable the AVX2 tree-scoring tier; portable scalar groups only. |
+//! | `RAVEN_POOL=scoped` | Pin the legacy scoped thread-per-job pool instead of the shared work-stealing pool. |
+//! | `RAVEN_POOL_WORKERS=<n>` | Size the shared worker pool (default: machine parallelism). |
+//! | `RAVEN_JOIN_ORDER=asis` | Pin as-written join order (disable the cost-based join optimizer). |
+//! | `RAVEN_MODE_COST=legacy`&nbsp;/&nbsp;`off` | Disable cost-based execution-mode choice in `core::choose_execution_mode`. |
+//! | `RAVEN_DATA_DIR=<path>` | Durable-catalog data directory fallback when `ServerConfig::data_dir` is unset (uncached: read per `open_durable`). |
+//! | `RAVEN_VERIFY=strict` | Enable the plan/artifact verifier in release builds (always on in debug). |
+//! | `RAVEN_TEST_DOP=<n>` | Test-only: degree of parallelism used by the serving integration tests. |
+//!
 //! ## Quickstart
 //!
 //! ```
