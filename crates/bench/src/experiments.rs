@@ -1284,6 +1284,347 @@ fn serving_study_impl(
     }
 }
 
+/// Smoke gate for cross-request SQL fusion: on the duplicate-heavy
+/// mixed-tenant mix, the fusing scheduler must deliver at least this many
+/// times the fusion-off (one-drive-per-request) throughput.
+pub const FUSION_QPS_GATE: f64 = 2.0;
+
+/// Smoke gate for tail latency under fusion: the fused run's p99 must not
+/// exceed the fusion-off p99 by more than this factor (fusion shrinks the
+/// queue, so it should *improve* the tail; the slack absorbs timer noise).
+pub const HEAVY_P99_RATIO_GATE: f64 = 1.25;
+
+/// Smoke gate for tenant QoS: no tenant's p99 latency may exceed the overall
+/// p99 by more than this factor — deficit round-robin must keep even the
+/// lightest-weight tenant inside a bounded band, never starved behind the
+/// heavy tenants' backlog.
+pub const STARVATION_RATIO_GATE: f64 = 4.0;
+
+/// Results of [`heavy_traffic_study`].
+#[derive(Debug, Clone)]
+pub struct HeavyTrafficResult {
+    /// Total requests driven through each server.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Mixed-tenant throughput with `sql_fusion: false` (the
+    /// one-drive-per-request oracle).
+    pub unfused_qps: f64,
+    /// The same schedule with cross-request fusion on.
+    pub fused_qps: f64,
+    /// `fused_qps / unfused_qps`.
+    pub fusion_gain: f64,
+    /// Overall p99 latency of the fusion-off run (ms).
+    pub unfused_p99_ms: f64,
+    /// Overall p99 latency of the fused run (ms).
+    pub fused_p99_ms: f64,
+    /// Worst per-tenant p99 ÷ overall p99 in the fused run (1.0 = perfectly
+    /// even; large = somebody waited far longer than the crowd).
+    pub starvation_ratio: f64,
+    /// Per-tenant p99 latency (ms) in the fused run, schedule order.
+    pub tenant_p99_ms: Vec<(String, f64)>,
+    /// Serving report of the fused run (fused-group stats, queue waits,
+    /// per-tenant accounting).
+    pub report: raven_serve::ServingReport,
+}
+
+/// Heavy-traffic mixed-tenant serving study (the PR 9 tentpole measurement):
+/// `clients` concurrent clients drive one deterministic mixed-tenant
+/// schedule — a duplicate-heavy dashboard tenant, an all-distinct analyst
+/// tenant, and a light mixed batch tenant — against two identically
+/// configured servers, one with cross-request SQL fusion, one pinned to the
+/// one-drive-per-request oracle. Every response is checked bitwise against
+/// the sequential ground truth, so the A/B also proves fusion changes only
+/// the schedule, never the bytes.
+pub fn heavy_traffic_study(rows: usize, requests: usize, clients: usize) -> HeavyTrafficResult {
+    heavy_traffic_study_impl(rows, requests, clients, false)
+}
+
+/// [`heavy_traffic_study`] for the smoke binary: additionally persists the
+/// `BENCH_serving.json` artifact (optimized builds whose measurements pass
+/// the smoke gates only — a debug or regressing run never clobbers it).
+pub fn heavy_traffic_study_recording(
+    rows: usize,
+    requests: usize,
+    clients: usize,
+) -> HeavyTrafficResult {
+    heavy_traffic_study_impl(rows, requests, clients, true)
+}
+
+fn heavy_traffic_study_impl(
+    rows: usize,
+    requests: usize,
+    clients: usize,
+    write_artifact: bool,
+) -> HeavyTrafficResult {
+    use raven_datagen::{tenant_schedule, TenantProfile};
+    use raven_serve::{QosConfig, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let clients = clients.max(4);
+    let requests = requests.max(clients);
+    let workers = clients.clamp(2, 8);
+    let partitions = 32.min(rows / 16).max(2);
+    println!(
+        "# Heavy-traffic study — Hospital {rows} rows / {partitions} partitions, \
+         {requests} requests, {clients} clients, {workers} workers, 3 tenants"
+    );
+
+    let dataset = hospital(rows, 2);
+    let partitioned = partition_by_column(
+        &dataset.tables[0],
+        &PartitionSpec::ByRange {
+            column: "id".into(),
+            partitions,
+        },
+    )
+    .expect("partitioning");
+    let id_threshold = rows * 19 / 20;
+    let mut scenario = build_scenario(
+        &dataset,
+        raven_ml::ModelType::GradientBoosting {
+            n_estimators: 60,
+            max_depth: 6,
+            learning_rate: 0.15,
+        },
+        "GB",
+        Some(&format!("d.id >= {id_threshold}")),
+    );
+    scenario.session.register_table(partitioned);
+    *scenario.session.config_mut() = RavenConfig {
+        runtime_policy: RuntimePolicy::NoTransform,
+        enable_partition_models: true,
+        degree_of_parallelism: 4,
+        ..Default::default()
+    };
+    let session = scenario.session;
+    let hot_query = scenario.query;
+
+    // The deterministic mixed-tenant schedule: 60% dashboard traffic that
+    // repeats one hot query (maximally fusable), 30% analyst traffic with
+    // distinct literals (never fuses), 10% batch at half-and-half — and the
+    // batch tenant gets the *lowest* DRR weight, so the starvation gate
+    // checks the worst case.
+    let profiles = vec![
+        TenantProfile {
+            name: "dashboard".into(),
+            weight: 4,
+            share: 6,
+            duplicate_pct: 100,
+        },
+        TenantProfile {
+            name: "analyst".into(),
+            weight: 2,
+            share: 3,
+            duplicate_pct: 0,
+        },
+        TenantProfile {
+            name: "batch".into(),
+            weight: 1,
+            share: 1,
+            duplicate_pct: 50,
+        },
+    ];
+    let schedule = tenant_schedule(requests, &profiles, 0x9A7E);
+    // distinct variants cycle through a bounded literal pool, so the prepare
+    // cost stays fixed while fingerprints differ request to request
+    const VARIANT_POOL: usize = 8;
+    let variant_query = |k: usize| {
+        hot_query.replace(
+            &format!("d.id >= {id_threshold}"),
+            &format!("d.id >= {}", rows * 90 / 100 + (k % VARIANT_POOL)),
+        )
+    };
+    let canonical =
+        |b: &raven_columnar::Batch| format!("{:?} {:?}", b.schema().names(), b.columns());
+    let expected_hot = canonical(&session.sql(&hot_query).expect("oracle hot").batch);
+    let expected_variant: Vec<String> = (0..VARIANT_POOL)
+        .map(|k| {
+            canonical(
+                &session
+                    .sql(&variant_query(k))
+                    .expect("oracle variant")
+                    .batch,
+            )
+        })
+        .collect();
+
+    let qos = QosConfig {
+        tenant_weights: profiles
+            .iter()
+            .map(|p| (p.name.clone(), p.weight))
+            .collect(),
+        ..Default::default()
+    };
+    let run = |sql_fusion: bool| {
+        let server = Arc::new(Server::new(
+            session.clone(),
+            ServerConfig {
+                worker_threads: workers,
+                max_in_flight: requests.max(1024),
+                sql_fusion,
+                qos: qos.clone(),
+                ..Default::default()
+            },
+        ));
+        // warm the plan cache so the A/B measures drives, not prepares
+        server.sql(&hot_query).expect("warmup");
+        for k in 0..VARIANT_POOL {
+            server.sql(&variant_query(k)).expect("warmup variant");
+        }
+
+        let t = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = server.clone();
+                let profiles = profiles.clone();
+                let schedule = schedule.clone();
+                let hot_query = hot_query.clone();
+                let expected_hot = expected_hot.clone();
+                let expected_variant = expected_variant.clone();
+                std::thread::spawn(move || {
+                    let mut lat: Vec<(usize, f64)> = Vec::new();
+                    for slot in schedule.iter().skip(c).step_by(clients) {
+                        let (query, want) = match slot.variant {
+                            None => (hot_query.clone(), &expected_hot),
+                            Some(k) => (
+                                hot_query.replace(
+                                    &format!("d.id >= {id_threshold}"),
+                                    &format!("d.id >= {}", rows * 90 / 100 + (k % VARIANT_POOL)),
+                                ),
+                                &expected_variant[k % VARIANT_POOL],
+                            ),
+                        };
+                        let t = Instant::now();
+                        let out = server
+                            .sql_as(&profiles[slot.tenant].name, &query)
+                            .expect("heavy request");
+                        lat.push((slot.tenant, t.elapsed().as_secs_f64() * 1e3));
+                        assert_eq!(
+                            &canonical(&out.batch),
+                            want,
+                            "response diverged from the sequential oracle \
+                             (fusion={sql_fusion}, tenant={})",
+                            profiles[slot.tenant].name
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut latencies: Vec<(usize, f64)> = Vec::new();
+        for h in handles {
+            latencies.extend(h.join().expect("heavy client"));
+        }
+        let qps = requests as f64 / t.elapsed().as_secs_f64();
+        (qps, latencies, server.report())
+    };
+
+    let (unfused_qps, unfused_lat, _report_off) = run(false);
+    let (fused_qps, fused_lat, report) = run(true);
+
+    let p99 = |lat: &[(usize, f64)], tenant: Option<usize>| {
+        let mut v: Vec<f64> = lat
+            .iter()
+            .filter(|(t, _)| tenant.is_none_or(|want| *t == want))
+            .map(|(_, ms)| *ms)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        percentile(&v, 0.99)
+    };
+    let unfused_p99_ms = p99(&unfused_lat, None);
+    let fused_p99_ms = p99(&fused_lat, None);
+    let tenant_p99_ms: Vec<(String, f64)> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), p99(&fused_lat, Some(i))))
+        .collect();
+    let starvation_ratio = tenant_p99_ms
+        .iter()
+        .map(|(_, ms)| ms / fused_p99_ms.max(1e-9))
+        .fold(0.0f64, f64::max);
+    let fusion_gain = fused_qps / unfused_qps.max(1e-9);
+
+    println!(
+        "| {:<34} | {:>10} | {:>9} |",
+        "configuration", "qps", "p99 ms"
+    );
+    println!(
+        "| {:<34} | {unfused_qps:>10.0} | {unfused_p99_ms:>9.2} |",
+        "fusion off (oracle)"
+    );
+    println!(
+        "| {:<34} | {fused_qps:>10.0} | {fused_p99_ms:>9.2} |",
+        "fusion on"
+    );
+    println!("fusion gain: {fusion_gain:.2}x");
+    for (name, ms) in &tenant_p99_ms {
+        println!("tenant {name:<10} p99 {ms:>9.2} ms");
+    }
+    println!("starvation ratio (worst tenant p99 / overall p99): {starvation_ratio:.2}");
+    println!("{report}");
+
+    let artifact_valid = write_artifact
+        && !cfg!(debug_assertions)
+        && fusion_gain >= FUSION_QPS_GATE
+        && fused_p99_ms <= unfused_p99_ms * HEAVY_P99_RATIO_GATE
+        && starvation_ratio <= STARVATION_RATIO_GATE;
+    if artifact_valid {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let tenants_json: Vec<String> = tenant_p99_ms
+            .iter()
+            .map(|(name, ms)| format!("{{\"tenant\": \"{name}\", \"p99_ms\": {ms:.3}}}"))
+            .collect();
+        let artifact = format!(
+            "{{\n  \"bench\": \"heavy_serving\",\n  \"rows\": {rows},\n  \
+             \"requests\": {requests},\n  \"clients\": {clients},\n  \
+             \"workers\": {workers},\n  \"unfused_qps\": {unfused_qps:.0},\n  \
+             \"fused_qps\": {fused_qps:.0},\n  \"fusion_gain\": {fusion_gain:.2},\n  \
+             \"unfused_p99_ms\": {unfused_p99_ms:.3},\n  \
+             \"fused_p99_ms\": {fused_p99_ms:.3},\n  \
+             \"queue_wait_p95_us\": {},\n  \"sql_requests_fused\": {},\n  \
+             \"fused_groups\": {},\n  \"fused_group_size_p95\": {},\n  \
+             \"starvation_ratio\": {starvation_ratio:.2},\n  \
+             \"tenants\": [{}],\n  \"unix_time\": {unix_time}\n}}\n",
+            report.queue_wait_p95.as_micros(),
+            report.sql_requests_fused,
+            report.fused_groups,
+            report.fused_group_size_p95,
+            tenants_json.join(", "),
+        );
+        let artifact_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+        if let Err(e) = std::fs::write(artifact_path, &artifact) {
+            eprintln!("warning: could not write BENCH_serving.json: {e}");
+        }
+    } else if write_artifact {
+        eprintln!(
+            "skipping BENCH_serving.json: {} (gain {fusion_gain:.2}x, p99 {fused_p99_ms:.2}ms \
+             vs {unfused_p99_ms:.2}ms, starvation {starvation_ratio:.2})",
+            if cfg!(debug_assertions) {
+                "unoptimized (debug) build"
+            } else {
+                "measurement fails the smoke gates"
+            },
+        );
+    }
+
+    HeavyTrafficResult {
+        requests,
+        clients,
+        unfused_qps,
+        fused_qps,
+        fusion_gain,
+        unfused_p99_ms,
+        fused_p99_ms,
+        starvation_ratio,
+        tenant_p99_ms,
+        report,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Join-optimizer study — cost-based reordering + build-side selection (PR 6)
 // ---------------------------------------------------------------------------
@@ -2223,6 +2564,25 @@ mod tests {
         );
         assert!(result.report.plan_cache_hit_rate() > 0.5);
         assert!(result.report.completed > 0);
+    }
+
+    #[test]
+    fn heavy_traffic_study_fuses_and_serves_every_tenant() {
+        // correctness-scale probe: throughput gates belong to the release
+        // smoke, but fusion must happen, every response must match the
+        // oracle (asserted inside), and every tenant must complete. Clients
+        // must outnumber the (capped) workers or no backlog ever forms and
+        // there is nothing to fuse.
+        let result = heavy_traffic_study(600, 96, 24);
+        assert!(
+            result.report.sql_requests_fused > 0,
+            "duplicate-heavy traffic should fuse: {}",
+            result.report
+        );
+        for (name, _) in &result.tenant_p99_ms {
+            let stats = result.report.tenant(name).expect("tenant tracked");
+            assert_eq!(stats.completed, stats.submitted, "tenant {name}");
+        }
     }
 
     #[test]

@@ -79,6 +79,24 @@ pub fn pool_workers() -> Option<usize> {
     })
 }
 
+/// `RAVEN_FUSION=off` pins the one-drive-per-request serving baseline
+/// instead of cross-request SQL fusion (identical concurrent requests
+/// sharing a single prepared-plan drive). Read once per process;
+/// `ServerConfig::sql_fusion` is the programmatic override for benches and
+/// tests.
+pub fn fusion_off() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_FUSION", "off"))
+}
+
+/// `RAVEN_CACHE_POLICY=lru` pins the plain recency-only cache eviction
+/// baseline instead of TinyLFU-style frequency-aware admission. Read once
+/// per process; `LruCache::with_policy` is the programmatic override.
+pub fn cache_policy_lru() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| env_is("RAVEN_CACHE_POLICY", "lru"))
+}
+
 /// `RAVEN_MODE_COST=legacy` (or `off` / `0`) pins the pre-cost-model
 /// execution-mode heuristic that only looks at the first referenced table.
 /// Read once per process.
@@ -138,6 +156,14 @@ mod tests {
         assert_eq!(
             pool_scoped(),
             std::env::var("RAVEN_POOL").map(|v| v == "scoped") == Ok(true)
+        );
+        assert_eq!(
+            fusion_off(),
+            std::env::var("RAVEN_FUSION").map(|v| v == "off") == Ok(true)
+        );
+        assert_eq!(
+            cache_policy_lru(),
+            std::env::var("RAVEN_CACHE_POLICY").map(|v| v == "lru") == Ok(true)
         );
         assert_eq!(
             verify_strict(),

@@ -41,6 +41,20 @@
 //! before surfacing. Panics are caught per item and re-raised on the
 //! submitting thread after the helpers have quiesced.
 //!
+//! ## Parked drives (serving tier)
+//!
+//! The participating protocol above is right for batch work but wrong for a
+//! serving worker: a thread that drives a query by *helping* can pick up an
+//! arbitrary other query's partition task while it waits, so one long drive
+//! holds a scheduler thread hostage for the duration of someone else's work.
+//! [`with_parked_drive`] flips a thread-local that routes [`parallel_map`]
+//! through [`WorkerPool::map_parked`] instead: every per-partition item is
+//! submitted to the pool as its own poll-able task and the submitter **parks
+//! on a completion latch** — it executes nothing itself and wakes the moment
+//! its own job is done. Pool workers never park (a nested drive from a pool
+//! worker falls back to the participating protocol via a second
+//! thread-local), so parked submitters always make progress.
+//!
 //! The previous scoped-thread driver survives as [`parallel_map_scoped`] —
 //! it is the measured baseline of `serving_study` and can be forced
 //! process-wide with [`force_scoped`] or `RAVEN_POOL=scoped`.
@@ -143,7 +157,45 @@ impl PoolShared {
     }
 }
 
+thread_local! {
+    /// `true` on pool worker threads. A nested drive on a worker must use
+    /// the participating protocol — a worker parked on a latch would strand
+    /// the very pool its job needs.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// `true` inside a [`with_parked_drive`] scope on a non-worker thread.
+    static PARKED_DRIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with parked drives enabled on this thread: every
+/// [`parallel_map`] in the scope submits its per-partition items to the
+/// shared pool and parks on a completion latch instead of executing items
+/// (or other jobs' tasks) itself. No-op on pool worker threads and under
+/// the scoped baseline. Restores the previous routing on exit, so scopes
+/// nest.
+pub fn with_parked_drive<R>(f: impl FnOnce() -> R) -> R {
+    if IS_POOL_WORKER.with(|w| w.get()) {
+        return f();
+    }
+    let prev = PARKED_DRIVE.with(|p| p.replace(true));
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PARKED_DRIVE.with(|p| p.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// `true` when the current thread would route [`parallel_map`] through the
+/// parked-latch driver (inside [`with_parked_drive`], not a pool worker,
+/// scoped baseline not forced).
+pub fn parked_drive_active() -> bool {
+    !scoped_forced() && PARKED_DRIVE.with(|p| p.get()) && !IS_POOL_WORKER.with(|w| w.get())
+}
+
 fn worker_loop(shared: std::sync::Arc<PoolShared>, me: usize) {
+    IS_POOL_WORKER.with(|w| w.set(true));
     loop {
         if let Some(task) = shared.take(me) {
             shared.run(task);
@@ -266,6 +318,69 @@ impl WorkerPool {
             return items.into_iter().map(f).collect();
         }
         self.map_inner(items, dop, &f)
+    }
+
+    /// Like [`WorkerPool::map`], but the submitting thread does not execute
+    /// items (or anyone else's tasks): every item is submitted to the pool
+    /// as a poll-able per-partition task and the submitter parks on the
+    /// job's completion latch. Falls back to the participating protocol when
+    /// called from a pool worker thread — a parked worker would strand the
+    /// pool its own job needs.
+    pub fn map_parked<T, U, F>(&self, items: Vec<T>, dop: usize, f: F) -> Result<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> Result<U> + Send + Sync,
+    {
+        let dop = dop.max(1);
+        if dop == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        if IS_POOL_WORKER.with(|w| w.get()) {
+            return self.map_inner(items, dop, &f);
+        }
+        let n = items.len();
+        let f = &f;
+        let job = Job {
+            queue: Mutex::new(items.into_iter().enumerate().rev().collect()),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            error: Mutex::new(None),
+            panic: Mutex::new(None),
+            abort: AtomicBool::new(false),
+            f,
+            helpers: Mutex::new(HelperCount {
+                spawned: 0,
+                finished: 0,
+            }),
+            done: Condvar::new(),
+        };
+        // the submitter is not an executor here, so at least one pool task
+        // must exist; pool workers never park, so every task finishes
+        let helpers = dop.min(n).min(self.worker_count()).max(1);
+        job.helpers.lock().expect("job state poisoned").spawned = helpers;
+        for _ in 0..helpers {
+            self.shared.submit(RawTask {
+                data: (&job as *const Job<'_, T, U, F>).cast(),
+                run: helper_entry::<T, U, F>,
+            });
+        }
+        job.wait_parked();
+        if let Some(payload) = job.panic.lock().expect("job state poisoned").take() {
+            resume_unwind(payload);
+        }
+        if let Some(e) = job.error.lock().expect("job state poisoned").take() {
+            return Err(e);
+        }
+        job.results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .ok_or_else(|| {
+                        ColumnarError::InvalidArgument("worker did not produce a result".into())
+                    })
+            })
+            .collect()
     }
 
     fn map_inner<T, U, F>(&self, items: Vec<T>, dop: usize, f: &F) -> Result<Vec<U>>
@@ -425,6 +540,23 @@ where
                 .expect("job state poisoned");
         }
     }
+
+    /// Park on the completion latch until every spawned helper has finished,
+    /// executing nothing while waiting. Only used by
+    /// [`WorkerPool::map_parked`] from non-worker threads, so the pool stays
+    /// fully staffed while this thread sleeps.
+    fn wait_parked(&self) {
+        let mut g = self.helpers.lock().expect("job state poisoned");
+        while g.finished < g.spawned {
+            // helpers notify `done` as their last touch of the job; the
+            // timeout is a belt-and-braces backstop
+            g = self
+                .done
+                .wait_timeout(g, Duration::from_millis(10))
+                .expect("job state poisoned")
+                .0;
+        }
+    }
 }
 
 /// Monomorphized helper entry point: reconstruct the job's type, drain its
@@ -483,6 +615,9 @@ where
 {
     if scoped_forced() {
         return parallel_map_scoped(items, dop, f);
+    }
+    if parked_drive_active() {
+        return WorkerPool::global().map_parked(items, dop, f);
     }
     WorkerPool::global().map(items, dop, f)
 }
@@ -651,6 +786,81 @@ mod tests {
         // the pool is still usable afterwards
         let ok = pool.map((0..8).collect::<Vec<usize>>(), 2, Ok).unwrap();
         assert_eq!(ok.len(), 8);
+    }
+
+    #[test]
+    fn parked_map_matches_participating_and_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..97).collect();
+        let serial: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for dop in [2, 4, 8] {
+            let out = pool.map_parked(items.clone(), dop, |x| Ok(x * 3)).unwrap();
+            assert_eq!(out, serial);
+        }
+    }
+
+    #[test]
+    fn parked_map_propagates_errors_and_panics() {
+        let pool = WorkerPool::new(4);
+        let err = pool.map_parked((0..64).collect::<Vec<usize>>(), 4, |x| {
+            if x == 5 {
+                Err(ColumnarError::InvalidArgument("boom".into()))
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(err.is_err());
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.map_parked((0..16).collect::<Vec<usize>>(), 4, |x| {
+                if x == 3 {
+                    panic!("kaboom");
+                }
+                Ok(x)
+            });
+        }));
+        assert!(res.is_err(), "panic must surface on the submitting thread");
+        let ok = pool
+            .map_parked((0..8).collect::<Vec<usize>>(), 2, Ok)
+            .unwrap();
+        assert_eq!(ok.len(), 8);
+    }
+
+    #[test]
+    fn with_parked_drive_scopes_and_restores_routing() {
+        assert!(!parked_drive_active());
+        let inner = with_parked_drive(|| {
+            let active = parked_drive_active();
+            // nesting keeps the flag set and restores it pairwise
+            with_parked_drive(|| assert_eq!(parked_drive_active(), active));
+            active
+        });
+        // active unless the scoped baseline is pinned for this process
+        assert_eq!(inner, !scoped_forced());
+        assert!(!parked_drive_active());
+        // results are identical either way
+        let out = with_parked_drive(|| {
+            parallel_map((0..64).collect::<Vec<usize>>(), 4, |x| Ok(x + 1)).unwrap()
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn parked_drive_from_a_pool_worker_falls_back_and_completes() {
+        // a nested parked request on a tiny, saturated pool must not park
+        // the workers themselves (that would deadlock); the IS_POOL_WORKER
+        // guard routes nested drives through the participating protocol
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let p = pool.clone();
+        let out = pool
+            .map_parked((0..8).collect::<Vec<usize>>(), 4, move |i| {
+                let inner = with_parked_drive(|| {
+                    p.map_parked((0..16).collect::<Vec<usize>>(), 4, |x| Ok(x * 2))
+                })?;
+                Ok(inner.into_iter().sum::<usize>() + i)
+            })
+            .unwrap();
+        assert_eq!(out[0], 240);
+        assert_eq!(out.len(), 8);
     }
 
     #[test]

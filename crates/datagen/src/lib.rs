@@ -4,10 +4,13 @@
 //! evaluation datasets of the paper's Table 1 (Credit Card, Hospital,
 //! Expedia, Flights) with matching shapes and join structures, and an
 //! OpenML-CC18-like suite of trained pipelines used for the Fig. 1 study and
-//! the strategy training of §5.2.
+//! the strategy training of §5.2, plus deterministic mixed-tenant traffic
+//! schedules for the serving benchmarks.
 
 pub mod datasets;
 pub mod suite;
+pub mod traffic;
 
 pub use datasets::{credit_card, expedia, five_table_star, flights, hospital, Dataset};
 pub use suite::{generate_suite, SuiteConfig, SuiteEntry};
+pub use traffic::{tenant_schedule, ScheduledRequest, TenantProfile};

@@ -1,0 +1,172 @@
+//! Deterministic mixed-tenant request schedules for serving benchmarks.
+//!
+//! A serving study needs traffic that is (a) reproducible run-to-run so A/B
+//! comparisons (fusion on/off, cache policies) see the *same* request
+//! sequence, and (b) shaped like real multi-tenant load: tenants with
+//! different volumes, different duplicate rates (dashboards refresh one hot
+//! query; analysts fire distinct literals), and different QoS weights. This
+//! module turns a set of [`TenantProfile`]s into one interleaved
+//! [`ScheduledRequest`] list, seeded, with no global randomness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One tenant's traffic shape in a generated schedule.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Tenant id, as passed to `Server::submit_as`.
+    pub name: String,
+    /// Deficit-round-robin weight for the server's QoS config (not used by
+    /// the generator itself; carried so benches build both the schedule and
+    /// the `QosConfig` from one source of truth).
+    pub weight: u64,
+    /// Relative share of total request volume (2 = twice as many requests
+    /// as a share-1 tenant).
+    pub share: u32,
+    /// Percentage (0..=100) of this tenant's requests that repeat the hot
+    /// query (`variant: None`) instead of using a distinct literal.
+    pub duplicate_pct: u32,
+}
+
+/// One request slot in a generated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Index into the profile slice the schedule was built from.
+    pub tenant: usize,
+    /// `None` = the shared hot query (fusable duplicate); `Some(k)` = the
+    /// tenant's k-th distinct query variant (a distinct fingerprint).
+    pub variant: Option<usize>,
+}
+
+/// Build a deterministic interleaved schedule of `requests` slots across
+/// `profiles`, proportional to each profile's `share`, with each slot marked
+/// duplicate/distinct by the profile's `duplicate_pct`.
+///
+/// Interleaving uses smooth weighted round-robin over shares, so tenants mix
+/// at fine grain (no long single-tenant bursts that would understate queue
+/// contention). Same inputs → same schedule, bit for bit.
+pub fn tenant_schedule(
+    requests: usize,
+    profiles: &[TenantProfile],
+    seed: u64,
+) -> Vec<ScheduledRequest> {
+    assert!(!profiles.is_empty(), "schedule needs at least one tenant");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current: Vec<i64> = vec![0; profiles.len()];
+    let total_share: i64 = profiles.iter().map(|p| p.share.max(1) as i64).sum();
+    let mut next_variant: Vec<usize> = vec![0; profiles.len()];
+    let mut out = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        // smooth weighted round-robin: bump every tenant by its share, pick
+        // the largest accumulator, charge it the total
+        for (c, p) in current.iter_mut().zip(profiles) {
+            *c += p.share.max(1) as i64;
+        }
+        let tenant = current
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        current[tenant] -= total_share;
+
+        let variant = if rng.gen_range(0..100u32) < profiles[tenant].duplicate_pct {
+            None
+        } else {
+            let k = next_variant[tenant];
+            next_variant[tenant] += 1;
+            Some(k)
+        };
+        out.push(ScheduledRequest { tenant, variant });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<TenantProfile> {
+        vec![
+            TenantProfile {
+                name: "dashboard".into(),
+                weight: 2,
+                share: 6,
+                duplicate_pct: 100,
+            },
+            TenantProfile {
+                name: "analyst".into(),
+                weight: 1,
+                share: 3,
+                duplicate_pct: 0,
+            },
+            TenantProfile {
+                name: "batch".into(),
+                weight: 1,
+                share: 1,
+                duplicate_pct: 50,
+            },
+        ]
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let a = tenant_schedule(500, &profiles(), 42);
+        let b = tenant_schedule(500, &profiles(), 42);
+        assert_eq!(a, b);
+        let c = tenant_schedule(500, &profiles(), 43);
+        assert_ne!(a, c, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn volume_tracks_shares_and_interleaving_is_fine_grained() {
+        let schedule = tenant_schedule(1000, &profiles(), 7);
+        let counts = [0usize, 1, 2].map(|t| schedule.iter().filter(|r| r.tenant == t).count());
+        assert_eq!(counts, [600, 300, 100], "6:3:1 shares over 1000 slots");
+        // smooth WRR: the share-6 tenant never waits more than a couple of
+        // slots between turns, so there are no long single-tenant bursts
+        let max_gap = schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.tenant == 0)
+            .map(|(i, _)| i)
+            .scan(None, |prev, i| {
+                let gap = prev.map(|p: usize| i - p).unwrap_or(0);
+                *prev = Some(i);
+                Some(gap)
+            })
+            .max()
+            .unwrap();
+        assert!(max_gap <= 3, "dashboard gap {max_gap} slots");
+    }
+
+    #[test]
+    fn duplicate_rates_follow_profiles_and_variants_are_distinct() {
+        let schedule = tenant_schedule(1000, &profiles(), 11);
+        let dup = |t: usize| {
+            let (d, n) = schedule
+                .iter()
+                .filter(|r| r.tenant == t)
+                .fold((0usize, 0usize), |(d, n), r| {
+                    (d + r.variant.is_none() as usize, n + 1)
+                });
+            (d, n)
+        };
+        let (d0, n0) = dup(0);
+        assert_eq!(d0, n0, "100% duplicate tenant");
+        let (d1, _) = dup(1);
+        assert_eq!(d1, 0, "0% duplicate tenant");
+        let (d2, n2) = dup(2);
+        let pct = d2 * 100 / n2;
+        assert!((30..=70).contains(&pct), "~50% duplicates, got {pct}%");
+        // distinct variants within a tenant never repeat
+        let mut analyst: Vec<usize> = schedule
+            .iter()
+            .filter(|r| r.tenant == 1)
+            .filter_map(|r| r.variant)
+            .collect();
+        let len = analyst.len();
+        analyst.dedup();
+        assert_eq!(analyst.len(), len);
+    }
+}

@@ -109,6 +109,7 @@ pub struct ExecutionMetrics {
     intermediate_materializations: AtomicUsize,
     join_build_rows: AtomicUsize,
     join_probe_batches: AtomicUsize,
+    parked_drives: AtomicUsize,
 }
 
 impl ExecutionMetrics {
@@ -161,6 +162,13 @@ impl ExecutionMetrics {
     pub fn join_probe_batches(&self) -> usize {
         self.join_probe_batches.load(Ordering::Relaxed)
     }
+    /// Top-level drives that ran in parked mode (the calling thread slept on
+    /// a completion latch while the shared pool executed every partition —
+    /// the serving tier's non-blocking scheduler path). Participating and
+    /// scoped drives leave this at zero.
+    pub fn parked_drives(&self) -> usize {
+        self.parked_drives.load(Ordering::Relaxed)
+    }
 }
 
 /// The physical executor.
@@ -191,6 +199,9 @@ impl Executor {
         ctx: &ExecutionContext,
     ) -> Result<Batch> {
         let stream = self.execute_stream(plan, catalog, ctx)?;
+        if raven_columnar::pool::parked_drive_active() {
+            self.metrics.parked_drives.fetch_add(1, Ordering::Relaxed);
+        }
         let out = stream.concat(ctx.degree_of_parallelism)?;
         self.metrics
             .output_rows
@@ -209,6 +220,9 @@ impl Executor {
         ctx: &ExecutionContext,
     ) -> Result<Vec<Batch>> {
         let stream = self.execute_stream(plan, catalog, ctx)?;
+        if raven_columnar::pool::parked_drive_active() {
+            self.metrics.parked_drives.fetch_add(1, Ordering::Relaxed);
+        }
         let items = stream.collect(ctx.degree_of_parallelism)?;
         items.into_iter().map(|i| Ok(i.compact()?.batch)).collect()
     }

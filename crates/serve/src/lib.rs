@@ -19,19 +19,29 @@
 //!   for one `(fingerprint, epoch)` elect a leader to prepare while the rest
 //!   wait on a per-key latch and share the result — a cold-miss stampede
 //!   performs exactly one prepare.
-//! * **A micro-batching request scheduler** ([`Server`]): N worker threads
-//!   pull SQL and point-prediction requests from a shared queue; compatible
-//!   point requests (same fingerprint, same provided columns) are coalesced
-//!   into one columnar [`raven_columnar::Batch`] per tick before driving the
-//!   pipeline once. The partition-parallel work inside each execution runs
-//!   on the process-wide work-stealing pool (`raven_columnar::pool`), so
-//!   concurrent requests interleave on one fixed thread set. Admission
-//!   control caps in-flight work and sheds load with
-//!   [`ServeError::Overloaded`].
+//! * **A fusing, micro-batching request scheduler** ([`Server`]): N worker
+//!   threads pull SQL and point-prediction requests from a per-tenant
+//!   deficit-round-robin queue ([`QosConfig`]); compatible point requests
+//!   (same fingerprint, same provided columns) are coalesced into one
+//!   columnar [`raven_columnar::Batch`] per tick, and queued SQL requests
+//!   with the same canonical fingerprint are **fused** — one worker drives
+//!   the prepared plan once and fans the `Arc`-shared result out to every
+//!   member ([`crate::fusion`]; `RAVEN_FUSION=off` pins the
+//!   one-drive-per-request oracle). The partition-parallel work inside each
+//!   execution runs on the process-wide work-stealing pool
+//!   (`raven_columnar::pool`) in *parked-drive* mode: the serving worker
+//!   sleeps on a completion latch instead of stealing other queries'
+//!   partition tasks, so its latency is not inflated by unrelated work.
+//!   Admission control caps in-flight work (queued requests count against
+//!   the cap), bounds per-tenant queue depth, sheds load with
+//!   [`ServeError::Overloaded`] when the EMA-projected queue wait exceeds
+//!   [`QosConfig::shed_deadline`].
 //! * **Serving metrics** ([`ServingReport`]): throughput over the
-//!   first-request → last-completion wall, p50/p95/p99 latency from an
-//!   Algorithm-R reservoir (a uniform sample of the full history), cache
-//!   hit/miss/single-flight counts, and micro-batches coalesced.
+//!   first-request → last-completion wall, p50/p95/p99 latency and
+//!   queue-wait percentiles from Algorithm-R reservoirs (uniform samples of
+//!   the full history), cache hit/miss/single-flight counts, micro-batches
+//!   coalesced, fused-group stats, sheds, and per-tenant
+//!   submitted/completed/rejected counts ([`TenantStats`]).
 //!
 //! With a data directory ([`ServerConfig::data_dir`] or `RAVEN_DATA_DIR`)
 //! the server runs on a **durable catalog** (`raven_storage`):
@@ -48,11 +58,16 @@
 
 pub mod cache;
 pub mod error;
+pub mod fusion;
 pub mod metrics;
+pub mod qos;
 pub mod server;
 mod sync;
 
-pub use cache::LruCache;
+pub use cache::{CachePolicy, LruCache};
 pub use error::{Result, ServeError};
-pub use metrics::{ServingMetrics, ServingReport};
-pub use server::{PointPrediction, Request, Response, Server, ServerConfig, Ticket};
+pub use metrics::{ServingMetrics, ServingReport, TenantStats};
+pub use qos::QosConfig;
+pub use server::{
+    PointPrediction, Request, Response, Server, ServerConfig, Ticket, DEFAULT_TENANT,
+};

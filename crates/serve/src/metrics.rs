@@ -9,17 +9,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// The bounded latency sample set and the RNG that maintains it, behind one
-/// lock so a completion takes a single mutex on the hot path.
+/// A bounded sample set and the RNG that maintains it, behind one lock so a
+/// recording takes a single mutex on the hot path. Used for request
+/// latencies, queue waits, and fused-group sizes.
 #[derive(Debug)]
 struct Reservoir {
-    /// Completed-request latencies in nanoseconds (enqueue → response),
-    /// bounded by Algorithm-R reservoir sampling: sample `n` is kept with
-    /// probability `RESERVOIR / n`, so memory stays O(RESERVOIR) on
-    /// long-lived servers while the retained set remains a uniform sample of
-    /// the **full history** (not a sliding recency window) and percentiles
-    /// are unbiased estimates over every completed request.
+    /// Recorded values, bounded by Algorithm-R reservoir sampling: sample
+    /// `n` is kept with probability `RESERVOIR / n`, so memory stays
+    /// O(RESERVOIR) on long-lived servers while the retained set remains a
+    /// uniform sample of the **full history** (not a sliding recency window)
+    /// and percentiles are unbiased estimates over every recorded value.
     samples: Vec<u64>,
+    /// Values recorded so far (1-based sample count for Algorithm R).
+    seen: u64,
     /// RNG for the reservoir's keep/evict draws.
     rng: StdRng,
 }
@@ -28,9 +30,55 @@ impl Default for Reservoir {
     fn default() -> Self {
         Reservoir {
             samples: Vec::new(),
+            seen: 0,
             rng: StdRng::seed_from_u64(0x5EED_1A7E),
         }
     }
+}
+
+impl Reservoir {
+    fn record(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR {
+            self.samples.push(value);
+        } else {
+            // Algorithm R (Vitter): keep sample n with probability
+            // RESERVOIR / n by drawing a slot uniformly from 0..n and
+            // overwriting only when it lands inside the reservoir. The
+            // retained set stays a uniform sample of all n samples seen.
+            let slot = self.rng.gen_range(0..self.seen as usize);
+            if slot < RESERVOIR {
+                self.samples[slot] = value;
+            }
+        }
+    }
+
+    /// Sorted copy of the retained samples.
+    fn sorted(&self) -> Vec<u64> {
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample set (0 when empty).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * sorted.len() as f64).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-tenant request accounting (QoS observability).
+#[derive(Debug, Default, Clone)]
+pub struct TenantStats {
+    /// Requests this tenant submitted (accepted or not).
+    pub submitted: u64,
+    /// Requests completed (a response was delivered, success or error).
+    pub completed: u64,
+    /// Requests rejected by admission control, backpressure, or shedding.
+    pub rejected: u64,
 }
 
 /// Shared counters updated by the scheduler workers.
@@ -65,7 +113,31 @@ pub struct ServingMetrics {
     /// Hot plans eagerly re-prepared at startup from the persisted
     /// fingerprint list.
     prewarmed_plans: AtomicU64,
+    /// SQL drives whose fused group coalesced ≥ 2 requests.
+    fused_groups: AtomicU64,
+    /// SQL requests served from a fused drive they shared with at least one
+    /// other request (members of groups ≥ 2, leaders included).
+    sql_requests_fused: AtomicU64,
+    /// Requests rejected by QoS (per-tenant backpressure or projected-wait
+    /// load shedding) — disjoint from `rejected`, which counts the global
+    /// in-flight admission limit.
+    shed: AtomicU64,
+    /// Exponential moving average of per-drive execution time in
+    /// nanoseconds (α = 1/8), feeding the projected-wait shedding policy.
+    /// Updated with a racy read-modify-write: it is a smoothing heuristic,
+    /// a lost update just weights one sample differently.
+    ema_exec_ns: AtomicU64,
+    /// Request latency (enqueue → response), per request even when requests
+    /// share a fused or micro-batched drive.
     reservoir: Mutex<Reservoir>,
+    /// Queue wait (enqueue → dequeue by a scheduler worker), per request.
+    queue_wait: Mutex<Reservoir>,
+    /// Fused-group sizes, one sample per SQL drive (singletons included, so
+    /// the distribution reflects actual fusion behaviour: all-1s when
+    /// fusion is off or traffic has no duplicates).
+    group_sizes: Mutex<Reservoir>,
+    /// Per-tenant accounting.
+    tenants: Mutex<std::collections::HashMap<String, TenantStats>>,
 }
 
 /// Maximum retained latency samples.
@@ -139,25 +211,82 @@ impl ServingMetrics {
     }
 
     pub(crate) fn record_latency(&self, latency: Duration) {
-        let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1; // 1-based sample count
+        self.completed.fetch_add(1, Ordering::Relaxed);
         if let Some(started) = self.started.get() {
             // monotonic under concurrent completions (+1 so 0 means "none")
             let ns = started.elapsed().as_nanos() as u64 + 1;
             self.last_completed_ns.fetch_max(ns, Ordering::Relaxed);
         }
-        let res = &mut *self.reservoir.plock();
-        if res.samples.len() < RESERVOIR {
-            res.samples.push(latency.as_nanos() as u64);
-        } else {
-            // Algorithm R (Vitter): keep sample n with probability
-            // RESERVOIR / n by drawing a slot uniformly from 0..n and
-            // overwriting only when it lands inside the reservoir. The
-            // retained set stays a uniform sample of all n samples seen.
-            let slot = res.rng.gen_range(0..n as usize);
-            if slot < RESERVOIR {
-                res.samples[slot] = latency.as_nanos() as u64;
-            }
+        self.reservoir.plock().record(latency.as_nanos() as u64);
+    }
+
+    /// One request left the queue for a scheduler worker after waiting
+    /// `wait` — recorded per request, including fused / micro-batched group
+    /// members drained by an already-running worker.
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.plock().record(wait.as_nanos() as u64);
+    }
+
+    /// One SQL drive served a fused group of `size` requests (1 = ran
+    /// alone).
+    pub(crate) fn record_fused_group(&self, size: usize) {
+        self.group_sizes.plock().record(size as u64);
+        if size > 1 {
+            self.fused_groups.fetch_add(1, Ordering::Relaxed);
+            self.sql_requests_fused
+                .fetch_add(size as u64, Ordering::Relaxed);
         }
+    }
+
+    /// A request was rejected by QoS (tenant backpressure or projected-wait
+    /// shedding).
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one drive's execution time into the EMA the shedding policy
+    /// projects queue wait from.
+    pub(crate) fn record_exec(&self, exec: Duration) {
+        let sample = exec.as_nanos() as u64;
+        let old = self.ema_exec_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.ema_exec_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Projected wait for a request entering a queue of `queued` requests
+    /// served by `workers` threads, from the execution-time EMA. Zero until
+    /// the first drive completes (no shedding before there is evidence).
+    pub(crate) fn projected_wait(&self, queued: usize, workers: usize) -> Duration {
+        let ema = self.ema_exec_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(ema.saturating_mul(queued as u64) / workers.max(1) as u64)
+    }
+
+    pub(crate) fn record_tenant_submitted(&self, tenant: &str) {
+        self.tenants
+            .plock()
+            .entry(tenant.to_string())
+            .or_default()
+            .submitted += 1;
+    }
+
+    pub(crate) fn record_tenant_completed(&self, tenant: &str) {
+        self.tenants
+            .plock()
+            .entry(tenant.to_string())
+            .or_default()
+            .completed += 1;
+    }
+
+    pub(crate) fn record_tenant_rejected(&self, tenant: &str) {
+        self.tenants
+            .plock()
+            .entry(tenant.to_string())
+            .or_default()
+            .rejected += 1;
     }
 
     /// Snapshot the counters into a report.
@@ -172,16 +301,17 @@ impl ServingMetrics {
             (Some(s), _) => s.elapsed(),
             _ => Duration::ZERO,
         };
-        let mut lat: Vec<u64> = self.reservoir.plock().samples.clone();
-        lat.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if lat.is_empty() {
-                return Duration::ZERO;
-            }
-            // nearest-rank percentile
-            let idx = (p * lat.len() as f64).ceil() as usize;
-            Duration::from_nanos(lat[idx.clamp(1, lat.len()) - 1])
-        };
+        let lat = self.reservoir.plock().sorted();
+        let pct = |p: f64| Duration::from_nanos(percentile(&lat, p));
+        let waits = self.queue_wait.plock().sorted();
+        let sizes = self.group_sizes.plock().sorted();
+        let mut tenants: Vec<(String, TenantStats)> = self
+            .tenants
+            .plock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
         let completed = self.completed.load(Ordering::Relaxed);
         ServingReport {
             wall,
@@ -204,6 +334,13 @@ impl ServingMetrics {
             },
             journal_records_replayed: self.journal_records_replayed.load(Ordering::Relaxed),
             prewarmed_plans: self.prewarmed_plans.load(Ordering::Relaxed),
+            fused_groups: self.fused_groups.load(Ordering::Relaxed),
+            sql_requests_fused: self.sql_requests_fused.load(Ordering::Relaxed),
+            fused_group_size_p95: percentile(&sizes, 0.95),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_wait_p50: Duration::from_nanos(percentile(&waits, 0.50)),
+            queue_wait_p95: Duration::from_nanos(percentile(&waits, 0.95)),
+            tenants,
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
@@ -257,6 +394,25 @@ pub struct ServingReport {
     pub journal_records_replayed: u64,
     /// Hot plans eagerly re-prepared at startup.
     pub prewarmed_plans: u64,
+    /// SQL drives that coalesced ≥ 2 identical concurrent requests into one
+    /// shared execution.
+    pub fused_groups: u64,
+    /// SQL requests served from a drive shared with at least one other
+    /// request (members of fused groups, leaders included).
+    pub sql_requests_fused: u64,
+    /// 95th-percentile fused-group size over every SQL drive (singletons
+    /// included; 1 when fusion is off or traffic has no duplicates).
+    pub fused_group_size_p95: u64,
+    /// Requests rejected by QoS — per-tenant backpressure or projected-wait
+    /// load shedding (disjoint from `rejected`).
+    pub shed: u64,
+    /// Median queue wait (enqueue → dequeue by a worker).
+    pub queue_wait_p50: Duration,
+    /// 95th-percentile queue wait — execution time excluded, so QoS queueing
+    /// effects are observable separately from drive cost.
+    pub queue_wait_p95: Duration,
+    /// Per-tenant accounting, sorted by tenant name.
+    pub tenants: Vec<(String, TenantStats)>,
     /// Median request latency (enqueue → response).
     pub p50: Duration,
     /// 95th-percentile request latency.
@@ -283,6 +439,11 @@ impl ServingReport {
         }
         self.plan_cache_hits as f64 / total as f64
     }
+
+    /// Accounting for one tenant, if it ever submitted a request.
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
 }
 
 impl std::fmt::Display for ServingReport {
@@ -301,10 +462,19 @@ impl std::fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms \
+             (queue wait p50 {:.2} ms, p95 {:.2} ms)",
             ms(self.p50),
             ms(self.p95),
-            ms(self.p99)
+            ms(self.p99),
+            ms(self.queue_wait_p50),
+            ms(self.queue_wait_p95)
+        )?;
+        writeln!(
+            f,
+            "sql fusion: {} requests shared {} fused drives (group-size p95 {}); \
+             {} requests shed by QoS",
+            self.sql_requests_fused, self.fused_groups, self.fused_group_size_p95, self.shed
         )?;
         writeln!(
             f,
@@ -327,6 +497,13 @@ impl std::fmt::Display for ServingReport {
                 f,
                 "\nwarm restart: {:.2} ms ({} journal records replayed, {} plans pre-warmed)",
                 ms, self.journal_records_replayed, self.prewarmed_plans
+            )?;
+        }
+        for (name, t) in &self.tenants {
+            write!(
+                f,
+                "\ntenant {name}: {} submitted, {} completed, {} rejected",
+                t.submitted, t.completed, t.rejected
             )?;
         }
         Ok(())
@@ -401,6 +578,59 @@ mod tests {
         // burst must not stretch it (and must not shrink throughput)
         assert_eq!(burst.wall, idle.wall);
         assert_eq!(burst.throughput_qps(), idle.throughput_qps());
+    }
+
+    #[test]
+    fn queue_wait_fusion_and_tenant_accounting() {
+        let m = ServingMetrics::default();
+        m.mark_started();
+        for i in 1..=100u64 {
+            m.record_queue_wait(Duration::from_millis(i));
+        }
+        // 20 fused drives of size 5 and 80 singleton drives
+        for _ in 0..20 {
+            m.record_fused_group(5);
+        }
+        for _ in 0..80 {
+            m.record_fused_group(1);
+        }
+        m.record_shed();
+        m.record_tenant_submitted("a");
+        m.record_tenant_submitted("a");
+        m.record_tenant_completed("a");
+        m.record_tenant_rejected("b");
+        let r = m.report();
+        assert_eq!(r.queue_wait_p50, Duration::from_millis(50));
+        assert_eq!(r.queue_wait_p95, Duration::from_millis(95));
+        assert_eq!(r.fused_groups, 20);
+        assert_eq!(r.sql_requests_fused, 100);
+        // group sizes sorted: 80×1 then 20×5 — the p95 rank lands in the 5s
+        assert_eq!(r.fused_group_size_p95, 5);
+        assert_eq!(r.shed, 1);
+        let a = r.tenant("a").cloned().unwrap_or_default();
+        assert_eq!((a.submitted, a.completed, a.rejected), (2, 1, 0));
+        let b = r.tenant("b").cloned().unwrap_or_default();
+        assert_eq!((b.submitted, b.completed, b.rejected), (0, 0, 1));
+        assert!(r.tenant("zzz").is_none());
+        let text = r.to_string();
+        assert!(text.contains("queue wait"));
+        assert!(text.contains("fused"));
+        assert!(text.contains("tenant a"));
+    }
+
+    #[test]
+    fn exec_ema_drives_projected_wait() {
+        let m = ServingMetrics::default();
+        // no evidence yet: nothing projected, nothing shed
+        assert_eq!(m.projected_wait(100, 4), Duration::ZERO);
+        m.record_exec(Duration::from_millis(8));
+        assert_eq!(m.projected_wait(4, 4), Duration::from_millis(8));
+        // EMA smooths: one fast drive doesn't erase the history
+        m.record_exec(Duration::ZERO);
+        let w = m.projected_wait(4, 4);
+        assert!(w > Duration::from_millis(6) && w < Duration::from_millis(8));
+        // more workers → proportionally less projected wait
+        assert!(m.projected_wait(8, 8) < m.projected_wait(8, 2));
     }
 
     #[test]

@@ -1,41 +1,61 @@
 //! The prediction server: a multi-threaded request scheduler over a shared
-//! [`RavenSession`], with a prepared-plan cache, a compiled-model cache, point
-//! request micro-batching, and admission control.
+//! [`RavenSession`], with a prepared-plan cache, a compiled-model cache,
+//! cross-request SQL fusion, point request micro-batching, tenant QoS, and
+//! admission control.
 //!
 //! ## Concurrency model
 //!
-//! Clients [`Server::submit`] requests from any number of threads; each
-//! request gets a [`Ticket`] resolving to its response. `worker_threads`
-//! scheduler workers pull from a shared queue and execute concurrently — the
-//! session's catalog/registry live behind `Arc`s, so executions share one
-//! immutable snapshot without copying. The partition-parallel work inside
-//! each execution runs on the **process-wide work-stealing pool**
-//! (`raven_columnar::pool`): scheduler workers only sequence requests, so N
-//! concurrent queries interleave their partition tasks on one fixed set of
-//! OS threads instead of spawning N×DOP transient ones. Registration takes
-//! the write lock, bumps the epoch counters, and clears both caches;
-//! statements prepared against an older epoch are discarded on lookup even
-//! if they survived the clear (cache entries are validated against the live
-//! epochs on every hit).
+//! Clients [`Server::submit`] (or [`Server::submit_as`], carrying a tenant
+//! id) requests from any number of threads; each request gets a [`Ticket`]
+//! resolving to its response. `worker_threads` scheduler workers pull from a
+//! per-tenant weighted deficit-round-robin queue ([`crate::qos::QosQueue`])
+//! and execute concurrently — the session's catalog/registry live behind
+//! `Arc`s, so executions share one immutable snapshot without copying. The
+//! partition-parallel work inside each execution runs on the **process-wide
+//! work-stealing pool** (`raven_columnar::pool`) in **parked-drive mode**
+//! (`pool::with_parked_drive`): the scheduler worker submits the drive's
+//! per-partition jobs to the pool and sleeps on a completion latch instead
+//! of help-while-waiting on other queries' partition tasks, so scheduler
+//! threads stay available to admit, coalesce, and fuse while long queries
+//! are in flight. Registration takes the write lock, bumps the epoch
+//! counters, and clears both caches; statements prepared against an older
+//! epoch are discarded on lookup even if they survived the clear (cache
+//! entries are validated against the live epochs on every hit).
 //!
 //! Cold plan-cache misses are **single-flight**: concurrent requests for the
 //! same `(fingerprint, epoch)` elect one leader to prepare while the rest
 //! wait on a per-key latch and share the result, so a cold-miss stampede
 //! performs exactly one prepare (see `get_prepared`).
 //!
-//! ## Micro-batching
+//! ## Fusion and micro-batching
 //!
+//! SQL requests with the same canonical fingerprint that are queued at the
+//! same scheduler tick are **fused** (see [`crate::fusion`]): one member
+//! drives the prepared plan once and all of them receive the shared result.
 //! Point requests (single rows for the same prepared query) are coalesced:
 //! when a worker dequeues a point request, it drains every queued compatible
 //! request (same fingerprint and provided columns) up to
 //! `micro_batch_size`, optionally waiting `micro_batch_wait` for stragglers,
 //! assembles one columnar batch via [`Batch::from_rows`], drives the model
 //! once, and fans the scores back out to the individual tickets.
+//!
+//! ## Admission and QoS
+//!
+//! Three rejection layers, all surfacing [`ServeError::Overloaded`]:
+//! a global in-flight cap counting **queued and executing** requests
+//! (`max_in_flight`, counted before enqueue so a burst cannot overshoot),
+//! per-tenant queue-depth backpressure
+//! ([`crate::qos::QosConfig::max_tenant_queue`]), and projected-wait load
+//! shedding ([`crate::qos::QosConfig::shed_deadline`], projecting from the
+//! execution-time EMA).
 
 use crate::cache::LruCache;
 use crate::error::{Result, ServeError};
+use crate::fusion;
 use crate::metrics::{ServingMetrics, ServingReport};
+use crate::qos::{QosConfig, QosQueue};
 use crate::sync::{self, MutexExt, RwLockExt};
+use raven_columnar::pool;
 use raven_columnar::{Batch, Field, Schema, Value};
 use raven_core::{
     CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenConfig,
@@ -44,17 +64,24 @@ use raven_core::{
 use raven_ir::fingerprint_query;
 use raven_ml::MlRuntime;
 use raven_relational::evaluate_predicate;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The tenant requests are attributed to when the caller does not name one
+/// ([`Server::submit`] vs [`Server::submit_as`]).
+pub const DEFAULT_TENANT: &str = "default";
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Scheduler worker threads executing requests concurrently.
+    /// Scheduler worker threads executing requests concurrently. `0` spawns
+    /// none — a **paused-scheduler harness**: requests are admitted and
+    /// queued but never executed, which tests use to observe admission
+    /// control without execution racing the observation.
     pub worker_threads: usize,
     /// Admission-control limit on requests in flight (queued + executing).
     /// Submissions beyond it fail fast with [`ServeError::Overloaded`].
@@ -77,6 +104,16 @@ pub struct ServerConfig {
     /// Journal-record count above which a registration triggers a background
     /// snapshot + journal compaction (0 disables automatic compaction).
     pub compaction_threshold: usize,
+    /// Cross-request SQL fusion: queued SQL requests with the same canonical
+    /// fingerprint share one drive per scheduler tick. Defaults to on unless
+    /// `RAVEN_FUSION=off` pins the one-drive-per-request oracle.
+    pub sql_fusion: bool,
+    /// Maximum requests one fused SQL drive may serve (1 disables fusion at
+    /// the tick level even when `sql_fusion` is on).
+    pub fusion_max_group: usize,
+    /// Tenant QoS policy: deficit-round-robin weights, per-tenant queue
+    /// bounds, and the load-shedding deadline.
+    pub qos: QosConfig,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +128,9 @@ impl Default for ServerConfig {
             data_dir: None,
             prewarm_plans: 16,
             compaction_threshold: 512,
+            sql_fusion: !raven_columnar::envcfg::fusion_off(),
+            fusion_max_group: 64,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -166,18 +206,20 @@ impl Ticket {
 }
 
 /// One queued unit of work.
-struct Job {
-    kind: JobKind,
+pub(crate) struct Job {
+    pub(crate) kind: JobKind,
     /// Canonical fingerprint of the query (computed at submission).
-    canonical: Arc<String>,
+    pub(crate) canonical: Arc<String>,
     /// Group key for micro-batching (fingerprint + provided columns); `None`
-    /// for SQL jobs, which never coalesce.
-    group: Option<Arc<String>>,
-    enqueued: Instant,
-    tx: mpsc::Sender<Result<Response>>,
+    /// for SQL jobs, which fuse on the canonical fingerprint instead.
+    pub(crate) group: Option<Arc<String>>,
+    /// The tenant this request is scheduled and accounted under.
+    pub(crate) tenant: Arc<str>,
+    pub(crate) enqueued: Instant,
+    pub(crate) tx: mpsc::Sender<Result<Response>>,
 }
 
-enum JobKind {
+pub(crate) enum JobKind {
     Sql {
         sql: String,
     },
@@ -187,9 +229,8 @@ enum JobKind {
     },
 }
 
-#[derive(Default)]
 struct Queue {
-    jobs: VecDeque<Job>,
+    jobs: QosQueue<Job>,
     shutdown: bool,
 }
 
@@ -202,7 +243,7 @@ struct Flight {
     ready: Condvar,
 }
 
-struct ServerInner {
+pub(crate) struct ServerInner {
     session: RwLock<RavenSession>,
     plan_cache: Mutex<LruCache<String, Arc<PreparedStatement>>>,
     /// Per-partition compiled artifacts, shared across prepared statements:
@@ -222,7 +263,7 @@ struct ServerInner {
     queue: Mutex<Queue>,
     available: Condvar,
     in_flight: AtomicUsize,
-    metrics: ServingMetrics,
+    pub(crate) metrics: ServingMetrics,
     config: ServerConfig,
 }
 
@@ -252,14 +293,19 @@ impl Server {
             inflight: Mutex::new(HashMap::new()),
             plan_sql: Mutex::new(HashMap::new()),
             compaction: Mutex::new(None),
-            queue: Mutex::new(Queue::default()),
+            queue: Mutex::new(Queue {
+                jobs: QosQueue::new(&config.qos),
+                shutdown: false,
+            }),
             available: Condvar::new(),
             in_flight: AtomicUsize::new(0),
             metrics: ServingMetrics::default(),
             config: config.clone(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.worker_threads.max(1))
+        // worker_threads == 0 is the documented paused-scheduler harness:
+        // requests are admitted and queued, nothing executes
+        let workers = (0..config.worker_threads)
             .map(|_| {
                 let inner = inner.clone();
                 std::thread::spawn(move || worker_loop(inner))
@@ -388,10 +434,21 @@ impl Server {
         }));
     }
 
-    /// Submit a request; fails fast when admission control is saturated.
+    /// Submit a request under the default tenant; fails fast when admission
+    /// control is saturated.
     pub fn submit(&self, request: Request) -> Result<Ticket> {
+        self.submit_as(DEFAULT_TENANT, request)
+    }
+
+    /// Submit a request attributed to a tenant. Three rejection layers, all
+    /// typed [`ServeError::Overloaded`]: the global in-flight cap (counted
+    /// **before** enqueue, covering queued-but-not-admitted requests so a
+    /// burst cannot overshoot `max_in_flight`), the tenant's queue-depth
+    /// bound (backpressure), and projected-wait load shedding.
+    pub fn submit_as(&self, tenant: &str, request: Request) -> Result<Ticket> {
         let inner = &self.inner;
         inner.metrics.mark_started();
+        inner.metrics.record_tenant_submitted(tenant);
         // admission control: count the request before enqueueing so a burst
         // cannot overshoot the limit
         let admitted = inner
@@ -406,11 +463,12 @@ impl Server {
             .is_ok();
         if !admitted {
             inner.metrics.record_rejected();
+            inner.metrics.record_tenant_rejected(tenant);
             return Err(ServeError::Overloaded {
                 limit: inner.config.max_in_flight,
             });
         }
-        let job = match self.make_job(request) {
+        let job = match self.make_job(tenant, request) {
             Ok(job) => job,
             Err(e) => {
                 inner.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -424,13 +482,46 @@ impl Server {
                 inner.in_flight.fetch_sub(1, Ordering::AcqRel);
                 return Err(ServeError::ShuttingDown);
             }
-            q.jobs.push_back(job.0);
+            // load shedding: reject while the projected wait for the whole
+            // queue (execution-time EMA × queued ÷ workers) already blows
+            // the deadline — a request that would time out anyway only adds
+            // queue wait for everyone behind it
+            let deadline = inner.config.qos.shed_deadline;
+            if !deadline.is_zero()
+                && inner
+                    .metrics
+                    .projected_wait(q.jobs.len(), inner.config.worker_threads)
+                    > deadline
+            {
+                drop(q);
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                inner.metrics.record_shed();
+                inner.metrics.record_tenant_rejected(tenant);
+                return Err(ServeError::Overloaded {
+                    limit: inner.config.max_in_flight,
+                });
+            }
+            // per-tenant backpressure: the greedy tenant's own lane fills up
+            let tenant_key = job.0.tenant.clone();
+            if q.jobs.push(&tenant_key, job.0).is_err() {
+                drop(q);
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                inner.metrics.record_shed();
+                inner.metrics.record_tenant_rejected(tenant);
+                return Err(ServeError::Overloaded {
+                    limit: inner.config.qos.max_tenant_queue,
+                });
+            }
         }
         inner.available.notify_one();
         Ok(ticket)
     }
 
-    fn make_job(&self, request: Request) -> Result<(Job, mpsc::Receiver<Result<Response>>)> {
+    fn make_job(
+        &self,
+        tenant: &str,
+        request: Request,
+    ) -> Result<(Job, mpsc::Receiver<Result<Response>>)> {
         let (tx, rx) = mpsc::channel();
         let job = match request {
             Request::Sql(sql) => {
@@ -441,6 +532,7 @@ impl Server {
                     kind: JobKind::Sql { sql },
                     canonical: Arc::new(fp.canonical),
                     group: None,
+                    tenant: Arc::from(tenant),
                     enqueued: Instant::now(),
                     tx,
                 }
@@ -469,6 +561,7 @@ impl Server {
                     kind: JobKind::Point { sql, row },
                     canonical: Arc::new(fp.canonical),
                     group: Some(Arc::new(group)),
+                    tenant: Arc::from(tenant),
                     enqueued: Instant::now(),
                     tx,
                 }
@@ -482,12 +575,35 @@ impl Server {
         self.submit(Request::Sql(query.to_string()))?.wait_sql()
     }
 
+    /// Run a SQL request under a tenant and wait for its result.
+    pub fn sql_as(&self, tenant: &str, query: &str) -> Result<PredictionOutput> {
+        self.submit_as(tenant, Request::Sql(query.to_string()))?
+            .wait_sql()
+    }
+
     /// Score one row against a prepared query's model and wait.
     pub fn point(&self, query: &str, row: Vec<(String, Value)>) -> Result<PointPrediction> {
         self.submit(Request::Point {
             sql: query.to_string(),
             row,
         })?
+        .wait_point()
+    }
+
+    /// Score one row under a tenant and wait.
+    pub fn point_as(
+        &self,
+        tenant: &str,
+        query: &str,
+        row: Vec<(String, Value)>,
+    ) -> Result<PointPrediction> {
+        self.submit_as(
+            tenant,
+            Request::Point {
+                sql: query.to_string(),
+                row,
+            },
+        )?
         .wait_point()
     }
 
@@ -552,6 +668,13 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // with workers the backlog is already failed by the first worker to
+        // observe shutdown; a paused (0-worker) server drains it here so
+        // queued tickets resolve to ShuttingDown instead of hanging
+        let orphans = self.inner.queue.plock().jobs.drain_all();
+        for job in orphans {
+            respond(&self.inner, job, Err(ServeError::ShuttingDown));
+        }
         if let Some(handle) = self.inner.compaction.plock().take() {
             let _ = handle.join();
         }
@@ -570,74 +693,80 @@ impl Drop for Server {
 
 fn worker_loop(inner: Arc<ServerInner>) {
     loop {
-        // 1. take one job; on shutdown, fail the remaining backlog fast (the
-        //    documented contract: pending requests get `ShuttingDown`) and
-        //    exit
+        // 1. take one job under deficit round-robin; on shutdown, fail the
+        //    remaining backlog fast (the documented contract: pending
+        //    requests get `ShuttingDown`) and exit
         let job = {
             let mut q = inner.queue.plock();
             loop {
                 if q.shutdown {
-                    let orphans: Vec<Job> = q.jobs.drain(..).collect();
+                    let orphans = q.jobs.drain_all();
                     drop(q);
                     for job in orphans {
                         respond(&inner, job, Err(ServeError::ShuttingDown));
                     }
                     return;
                 }
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some(job) = q.jobs.pop() {
                     break job;
                 }
                 q = sync::wait(&inner.available, q);
             }
         };
 
-        // 2. coalesce compatible point requests into a micro-batch
+        // 2. coalesce: compatible point requests into a micro-batch, or
+        //    same-fingerprint SQL requests into a fused group (no straggler
+        //    wait for fusion — only this tick's queued duplicates join)
         let mut group = vec![job];
         if let Some(key) = group[0].group.clone() {
             let cap = inner.config.micro_batch_size.max(1);
             let wait = inner.config.micro_batch_wait;
             let mut q = inner.queue.plock();
-            drain_compatible(&mut q.jobs, &key, cap, &mut group);
+            q.jobs
+                .drain_matching(cap, |j| j.group.as_ref() == Some(&key), &mut group);
             if group.len() < cap && !wait.is_zero() && !q.shutdown {
                 // one bounded wait for stragglers, then drain again
                 q = sync::wait_timeout(&inner.available, q, wait);
-                drain_compatible(&mut q.jobs, &key, cap, &mut group);
+                q.jobs
+                    .drain_matching(cap, |j| j.group.as_ref() == Some(&key), &mut group);
             }
             // the straggler wait may have consumed a notify_one meant for an
             // idle worker; hand the wakeup on if incompatible jobs remain
             if !q.jobs.is_empty() {
                 inner.available.notify_one();
             }
-        }
-
-        // 3. execute outside any queue lock
-        execute_group(&inner, group);
-    }
-}
-
-/// Move every job with the given group key (up to `cap` total) from the
-/// queue into `group`, preserving arrival order of the rest.
-fn drain_compatible(jobs: &mut VecDeque<Job>, key: &Arc<String>, cap: usize, group: &mut Vec<Job>) {
-    let mut i = 0;
-    while i < jobs.len() && group.len() < cap {
-        if jobs[i].group.as_ref() == Some(key) {
-            if let Some(job) = jobs.remove(i) {
-                group.push(job);
+        } else if inner.config.sql_fusion {
+            let cap = inner.config.fusion_max_group.max(1);
+            if cap > 1 {
+                let canonical = group[0].canonical.clone();
+                let mut q = inner.queue.plock();
+                fusion::drain_duplicates(&mut q.jobs, canonical, cap, &mut group);
             }
-        } else {
-            i += 1;
         }
+
+        // 3. queue wait ends here, per request — group members drained by
+        //    this worker get their own samples
+        for j in &group {
+            inner.metrics.record_queue_wait(j.enqueued.elapsed());
+        }
+
+        // 4. execute outside any queue lock, in parked-drive mode: the
+        //    drive's per-partition jobs go to the shared pool and this
+        //    thread sleeps on the completion latch instead of picking up
+        //    other queries' partition tasks while it waits
+        pool::with_parked_drive(|| execute_group(&inner, group));
     }
 }
 
 fn execute_group(inner: &ServerInner, group: Vec<Job>) {
     match &group[0].kind {
         JobKind::Sql { .. } => {
-            debug_assert_eq!(group.len(), 1);
-            for job in group {
-                let result = run_sql(inner, &job);
-                respond(inner, job, result.map(|out| Response::Sql(Box::new(out))));
-            }
+            // one drive for the whole fused group (singleton when fusion is
+            // off or no duplicate was queued this tick)
+            let exec = Instant::now();
+            let result = run_sql(inner, &group[0]);
+            inner.metrics.record_exec(exec.elapsed());
+            fusion::fan_out(inner, group, result);
         }
         JobKind::Point { .. } => run_point_batch(inner, group),
     }
@@ -668,7 +797,10 @@ fn run_point_batch(inner: &ServerInner, group: Vec<Job>) {
         } => (canonical.clone(), sql.clone()),
         _ => unreachable!("point batch always starts with a point job"),
     };
-    match score_rows(inner, &canonical, &sql, &group) {
+    let exec = Instant::now();
+    let scored = score_rows(inner, &canonical, &sql, &group);
+    inner.metrics.record_exec(exec.elapsed());
+    match scored {
         Ok(results) => {
             for (job, result) in group.into_iter().zip(results) {
                 respond(
@@ -1023,12 +1155,88 @@ fn prepare_uncached(
 }
 
 /// Deliver a result to a ticket and settle the request's accounting.
-fn respond(inner: &ServerInner, job: Job, result: Result<Response>) {
+pub(crate) fn respond(inner: &ServerInner, job: Job, result: Result<Response>) {
     if result.is_err() {
         inner.metrics.record_failed();
     }
     inner.metrics.record_latency(job.enqueued.elapsed());
+    inner.metrics.record_tenant_completed(&job.tenant);
     // the client may have dropped its ticket; delivery failure is fine
     let _ = job.tx.send(result);
     inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosConfig;
+
+    /// A paused server: 0 workers, an empty session. Jobs queue but never
+    /// execute, which makes admission decisions observable race-free.
+    fn paused(config: ServerConfig) -> Server {
+        Server::new(RavenSession::new(), config)
+    }
+
+    const SQL: &str = "SELECT a FROM t";
+
+    #[test]
+    fn projected_wait_shedding_rejects_when_the_queue_is_already_deep() {
+        let server = paused(ServerConfig {
+            worker_threads: 0,
+            qos: QosConfig {
+                shed_deadline: Duration::from_millis(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // seed the execution-time EMA the projection multiplies by
+        server.inner.metrics.record_exec(Duration::from_millis(10));
+
+        // empty queue → projected wait 0 → admitted (and stays queued)
+        let first = server.submit(Request::Sql(SQL.into()));
+        assert!(first.is_ok());
+        // one queued job → projected wait 10ms > 1ms deadline → shed
+        let err = server.submit(Request::Sql(SQL.into())).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+
+        let report = server.shutdown();
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.sql_requests, 2);
+        let stats = report.tenant(DEFAULT_TENANT).unwrap();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn shedding_is_disabled_while_the_ema_is_cold() {
+        let server = paused(ServerConfig {
+            worker_threads: 0,
+            qos: QosConfig {
+                shed_deadline: Duration::from_nanos(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // no execution has ever completed: projecting from a cold EMA would
+        // be guessing, so everything is admitted
+        for _ in 0..8 {
+            assert!(server.submit(Request::Sql(SQL.into())).is_ok());
+        }
+        assert_eq!(server.report().shed, 0);
+    }
+
+    #[test]
+    fn paused_server_drains_queued_tickets_on_shutdown() {
+        let server = paused(ServerConfig {
+            worker_threads: 0,
+            ..Default::default()
+        });
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| server.submit(Request::Sql(SQL.into())).expect("admitted"))
+            .collect();
+        drop(server);
+        for t in tickets {
+            assert!(matches!(t.wait(), Err(ServeError::ShuttingDown)));
+        }
+    }
 }

@@ -8,7 +8,7 @@ use raven_ml::{
     InputKind, MlRuntime, Operator, Pipeline, PipelineInput, PipelineNode, Tree, TreeEnsemble,
     TreeNode,
 };
-use raven_serve::{Request, ServeError, Server, ServerConfig};
+use raven_serve::{QosConfig, Request, ServeError, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -380,9 +380,13 @@ fn concurrent_clients_match_sequential_session() {
     // single-flight prepare: workers racing on a cold fingerprint share one
     // prepare, so the miss count is exactly one per distinct query
     assert_eq!(report.plan_cache_misses as usize, queries.len());
+    // every *drive* consults the plan cache exactly once; fused members ride
+    // the leader's drive and never touch the cache, so the identity is over
+    // drives = requests - (fused members - fused groups)
+    let drives = report.sql_requests - report.sql_requests_fused + report.fused_groups;
     assert_eq!(
-        (report.plan_cache_hits + report.single_flight_waits + report.plan_cache_misses) as usize,
-        20
+        report.plan_cache_hits + report.single_flight_waits + report.plan_cache_misses,
+        drives
     );
 }
 
@@ -422,9 +426,12 @@ fn cold_miss_stampede_prepares_once() {
         report.plan_cache_misses, 1,
         "stampede must be single-flight; report:\n{report}"
     );
+    // identical concurrent requests may also fuse onto one drive; whatever
+    // does not fuse must resolve through the cache or the single-flight latch
+    let drives = report.sql_requests - report.sql_requests_fused + report.fused_groups;
     assert_eq!(
         report.plan_cache_hits + report.single_flight_waits,
-        clients as u64 - 1
+        drives - 1
     );
 }
 
@@ -510,8 +517,152 @@ fn register_while_serving_never_serves_stale_results() {
         report.plan_cache_misses <= registrations + 2,
         "more prepares than (fingerprint, epoch) pairs; report:\n{report}"
     );
+    // cache accounting is per drive, not per request: fused members share the
+    // leader's single cache consultation
+    let drives = report.sql_requests - report.sql_requests_fused + report.fused_groups;
     assert_eq!(
         report.plan_cache_hits + report.single_flight_waits + report.plan_cache_misses,
-        total + 1
+        drives
     );
+}
+
+/// The in-flight cap covers queued-but-not-yet-executing requests: with a
+/// paused scheduler (0 workers) every accepted request stays queued, so the
+/// cap must bite at exactly `max_in_flight` submissions.
+#[test]
+fn queued_requests_count_against_the_in_flight_cap() {
+    let server = Server::new(
+        session(50, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 0,
+            max_in_flight: 4,
+            ..Default::default()
+        },
+    );
+    let tickets: Vec<_> = (0..4)
+        .map(|_| server.submit(Request::Sql(QUERY.to_string())).unwrap())
+        .collect();
+    let err = server.submit(Request::Sql(QUERY.to_string())).unwrap_err();
+    assert!(matches!(err, ServeError::Overloaded { limit: 4 }), "{err}");
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1);
+    // the queued tickets resolve (to ShuttingDown) rather than hanging
+    for t in tickets {
+        assert!(matches!(t.wait_sql(), Err(ServeError::ShuttingDown)));
+    }
+}
+
+/// Per-tenant queue-depth backpressure: a greedy tenant fills its own lane
+/// and gets `Overloaded { limit: max_tenant_queue }`; other tenants are
+/// unaffected.
+#[test]
+fn tenant_queue_depth_backpressure_is_per_tenant() {
+    let server = Server::new(
+        session(50, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 0,
+            qos: QosConfig {
+                max_tenant_queue: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sql = || Request::Sql(QUERY.to_string());
+    let _g1 = server.submit_as("greedy", sql()).unwrap();
+    let _g2 = server.submit_as("greedy", sql()).unwrap();
+    let err = server.submit_as("greedy", sql()).unwrap_err();
+    assert!(matches!(err, ServeError::Overloaded { limit: 2 }), "{err}");
+    // the bound is per tenant, not global
+    let _p = server.submit_as("patient", sql()).unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.shed, 1);
+    let greedy = report.tenant("greedy").unwrap();
+    assert_eq!((greedy.submitted, greedy.rejected), (3, 1));
+    let patient = report.tenant("patient").unwrap();
+    assert_eq!((patient.submitted, patient.rejected), (1, 0));
+}
+
+/// Identical SQL requests queued while the lone worker is busy fuse onto one
+/// drive, and every member receives the full (correct) result.
+#[test]
+fn queued_duplicates_fuse_onto_one_drive() {
+    let server = Server::new(
+        session(200, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            // a generous straggler window parks the lone worker on the point
+            // micro-batch below, guaranteeing the SQL duplicates queue up
+            // behind it and fuse on the next tick even on a loaded machine
+            micro_batch_wait: Duration::from_millis(2_000),
+            // force fusion on so this test still tests it when the suite
+            // runs under the RAVEN_FUSION=off oracle pass
+            sql_fusion: true,
+            ..Default::default()
+        },
+    );
+    let expected = sorted_ids(&session(200, 20.0, 80.0).sql(QUERY).unwrap().batch);
+
+    let point = server
+        .submit(Request::Point {
+            sql: QUERY.to_string(),
+            row: vec![
+                ("age".to_string(), Value::Float64(65.0)),
+                ("rcount".to_string(), Value::Float64(1.0)),
+            ],
+        })
+        .unwrap();
+    // let the worker dequeue the point request and park in its straggler wait
+    std::thread::sleep(Duration::from_millis(100));
+    let dups: Vec<_> = (0..4)
+        .map(|_| server.submit(Request::Sql(QUERY.to_string())).unwrap())
+        .collect();
+
+    assert_eq!(point.wait_point().unwrap().score, 0.9);
+    for t in dups {
+        assert_eq!(sorted_ids(&t.wait_sql().unwrap().batch), expected);
+    }
+    let report = server.report();
+    assert_eq!(report.fused_groups, 1, "{report}");
+    assert_eq!(report.sql_requests_fused, 4);
+    assert!(report.fused_group_size_p95 >= 4, "{report}");
+}
+
+/// `sql_fusion: false` (the `RAVEN_FUSION=off` oracle) pins one drive per
+/// request: same scenario as above, but nothing fuses.
+#[test]
+fn fusion_off_pins_one_drive_per_request() {
+    let server = Server::new(
+        session(200, 20.0, 80.0),
+        ServerConfig {
+            worker_threads: 1,
+            micro_batch_wait: Duration::from_millis(2_000),
+            sql_fusion: false,
+            ..Default::default()
+        },
+    );
+    let expected = sorted_ids(&session(200, 20.0, 80.0).sql(QUERY).unwrap().batch);
+
+    let point = server
+        .submit(Request::Point {
+            sql: QUERY.to_string(),
+            row: vec![
+                ("age".to_string(), Value::Float64(65.0)),
+                ("rcount".to_string(), Value::Float64(1.0)),
+            ],
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let dups: Vec<_> = (0..4)
+        .map(|_| server.submit(Request::Sql(QUERY.to_string())).unwrap())
+        .collect();
+
+    assert_eq!(point.wait_point().unwrap().score, 0.9);
+    for t in dups {
+        assert_eq!(sorted_ids(&t.wait_sql().unwrap().batch), expected);
+    }
+    let report = server.report();
+    assert_eq!(report.fused_groups, 0, "{report}");
+    assert_eq!(report.sql_requests_fused, 0);
 }

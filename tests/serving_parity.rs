@@ -102,8 +102,12 @@ fn risk_pipeline() -> Pipeline {
     .unwrap()
 }
 
-fn build_session(rows: usize, seed: u64, partitions: usize) -> RavenSession {
-    let table = if partitions > 1 {
+/// The `patients` table for a given seed, partitioned the same way the
+/// session under test partitions it — re-registrations must use the exact
+/// same layout or "matches a consistent snapshot" checks compare against the
+/// wrong row order.
+fn snapshot_table(rows: usize, seed: u64, partitions: usize) -> Table {
+    if partitions > 1 {
         partition_by_column(
             &patient_table(rows, seed),
             &PartitionSpec::ByRange {
@@ -114,7 +118,11 @@ fn build_session(rows: usize, seed: u64, partitions: usize) -> RavenSession {
         .unwrap()
     } else {
         patient_table(rows, seed)
-    };
+    }
+}
+
+fn build_session(rows: usize, seed: u64, partitions: usize) -> RavenSession {
+    let table = snapshot_table(rows, seed, partitions);
     let mut session = RavenSession::new();
     session.register_table(table);
     session.register_model(risk_pipeline());
@@ -261,4 +269,194 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Fusion parity: for any workload and any duplicate/distinct request
+    /// mix, concurrent clients through a fusing scheduler produce outputs
+    /// bitwise-identical to the fusion-off (one-drive-per-request) oracle —
+    /// both must equal sequential `session.sql` — across workers {1, 4}.
+    #[test]
+    fn fused_execution_is_bitwise_identical_to_fusion_off(
+        (rows, seed, partitions, threshold) in workload(),
+        dup_share in 0usize..101,
+    ) {
+        let session = build_session(rows, seed, partitions);
+        let queries: Vec<String> = [threshold, 30.0]
+            .iter()
+            .map(|t| {
+                format!(
+                    "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, \
+                     DATA = patients AS d) WITH (risk float) AS p \
+                     WHERE d.age >= {t:.3} AND p.risk >= 0.2"
+                )
+            })
+            .collect();
+        let expected: Vec<String> = queries
+            .iter()
+            .map(|q| canonical(&session.sql(q).unwrap().batch))
+            .collect();
+
+        for workers in [1usize, 4] {
+            for fusion in [true, false] {
+                let server = Arc::new(Server::new(
+                    session.clone(),
+                    ServerConfig {
+                        worker_threads: workers,
+                        sql_fusion: fusion,
+                        ..Default::default()
+                    },
+                ));
+                let handles: Vec<_> = (0..4usize)
+                    .map(|client| {
+                        let server = server.clone();
+                        let queries = queries.clone();
+                        let expected = expected.clone();
+                        std::thread::spawn(move || {
+                            for round in 0..6usize {
+                                // dup_share percent of requests repeat query
+                                // 0 (fusable duplicates); the rest alternate
+                                let idx = if (client * 31 + round * 17) % 100 < dup_share {
+                                    0
+                                } else {
+                                    (client + round) % 2
+                                };
+                                let got = canonical(&server.sql(&queries[idx]).unwrap().batch);
+                                assert_eq!(
+                                    got, expected[idx],
+                                    "client {client} round {round} diverged \
+                                     (workers={workers}, fusion={fusion})"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    prop_assert!(h.join().is_ok(), "workers={workers} fusion={fusion}");
+                }
+            }
+        }
+    }
+
+    /// A fused group never spans a re-registration: while a writer swaps the
+    /// table between two snapshots, every fused response must match one of
+    /// the two consistent ground truths exactly — a group that straddled an
+    /// epoch change would hand at least one member a result from the wrong
+    /// snapshot's plan (e.g. a model pruned with the other snapshot's
+    /// data-induced bounds).
+    #[test]
+    fn fused_groups_never_span_a_reregistration(
+        (rows, seed, partitions, threshold) in workload(),
+    ) {
+        let session = build_session(rows, seed, partitions);
+        let query = format!(
+            "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, \
+             DATA = patients AS d) WITH (risk float) AS p \
+             WHERE d.age >= {threshold:.3} AND p.risk >= 0.2"
+        );
+        let canon_a = canonical(&session.sql(&query).unwrap().batch);
+        let canon_b = {
+            let mut oracle = session.clone();
+            oracle.register_table(snapshot_table(rows, seed + 1, partitions));
+            canonical(&oracle.sql(&query).unwrap().batch)
+        };
+
+        let server = Arc::new(Server::new(
+            session.clone(),
+            ServerConfig {
+                worker_threads: 4,
+                ..Default::default()
+            },
+        ));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let server = server.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    let table = snapshot_table(rows, seed + (i % 2 != 0) as u64, partitions);
+                    server.register_table(table).unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            })
+        };
+        let clients: Vec<_> = (0..4usize)
+            .map(|_| {
+                let server = server.clone();
+                let stop = stop.clone();
+                let query = query.clone();
+                let canon_a = canon_a.clone();
+                let canon_b = canon_b.clone();
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) || served == 0 {
+                        let got = canonical(&server.sql(&query).unwrap().batch);
+                        assert!(
+                            got == canon_a || got == canon_b,
+                            "a response matched neither snapshot: torn fusion group"
+                        );
+                        served += 1;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for c in clients {
+            prop_assert!(c.join().is_ok());
+        }
+    }
+}
+
+/// Deficit round-robin admission: a saturating adversary (heavier weight,
+/// dozens of distinct queued queries) cannot starve a light tenant — the
+/// light tenant's single request is served after at most a few adversary
+/// completions, not after the whole backlog.
+#[test]
+fn no_tenant_starves_under_a_saturating_adversary() {
+    let session = build_session(60, 7, 2);
+    let server = Arc::new(Server::new(
+        session,
+        ServerConfig {
+            worker_threads: 1,
+            qos: raven_serve::QosConfig {
+                // even a *heavier* adversary only gets proportionally more
+                // turns; it can never monopolize the ring
+                tenant_weights: vec![("adversary".to_string(), 4)],
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+    let adversary_query = |i: usize| {
+        format!(
+            "SELECT d.id, p.risk FROM PREDICT(MODEL = risk_model, \
+             DATA = patients AS d) WITH (risk float) AS p \
+             WHERE d.age >= {}.0 AND p.risk >= 0.0",
+            20 + i // distinct literals: no fusion, every request is a drive
+        )
+    };
+    // saturate: the lone worker executes one adversary query while 59 more
+    // pile up in the adversary's lane
+    let _backlog: Vec<_> = (0..60usize)
+        .map(|i| {
+            server
+                .submit_as("adversary", Request::Sql(adversary_query(i)))
+                .unwrap()
+        })
+        .collect();
+    let light = server
+        .submit_as("light", Request::Sql(adversary_query(0)))
+        .unwrap();
+    assert!(light.wait_sql().is_ok(), "light tenant must be served");
+    let report = server.report();
+    let done = report.tenant("adversary").unwrap().completed;
+    assert!(
+        done < 20,
+        "light tenant waited behind {done} adversary completions — starved; \
+         report:\n{report}"
+    );
+    assert_eq!(report.tenant("light").unwrap().completed, 1);
 }
