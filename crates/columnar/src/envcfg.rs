@@ -119,6 +119,44 @@ pub fn verify_strict() -> bool {
     *PIN.get_or_init(|| env_is("RAVEN_VERIFY", "strict"))
 }
 
+/// `RAVEN_FAULTS=schedule` installs a seeded deterministic fault schedule in
+/// the process-wide failpoint registry (see `crate::failpoint` for the
+/// grammar). Unset (the production default) leaves every failpoint compiled
+/// down to a single cached-atomic check that injects nothing. Read once per
+/// process.
+pub fn faults() -> Option<&'static str> {
+    static PIN: OnceLock<Option<String>> = OnceLock::new();
+    PIN.get_or_init(|| std::env::var("RAVEN_FAULTS").ok())
+        .as_deref()
+}
+
+/// `RAVEN_RETRY_MAX=n` bounds how many times the serving tier retries a
+/// transiently-failed prepare/execute before surfacing the error (0 disables
+/// retries). Default 2. Read once per process.
+pub fn retry_max() -> u32 {
+    static PIN: OnceLock<u32> = OnceLock::new();
+    *PIN.get_or_init(|| {
+        std::env::var("RAVEN_RETRY_MAX")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(2)
+    })
+}
+
+/// `RAVEN_REQUEST_DEADLINE_MS=n` gives every serving request a deadline of
+/// `n` milliseconds from enqueue (positive integer); requests still queued
+/// past it fail fast with `ServeError::Timeout`. Unset disables deadlines.
+/// Read once per process.
+pub fn request_deadline_ms() -> Option<u64> {
+    static PIN: OnceLock<Option<u64>> = OnceLock::new();
+    *PIN.get_or_init(|| {
+        std::env::var("RAVEN_REQUEST_DEADLINE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|ms| *ms > 0)
+    })
+}
+
 /// `RAVEN_DATA_DIR=path` — the durable-catalog data directory fallback when
 /// no explicit `data_dir` is configured. Deliberately **not** cached: it is
 /// only consulted on the cold `open_durable` path (process startup), and
@@ -175,6 +213,21 @@ mod tests {
                 .ok()
                 .and_then(|s| s.parse::<usize>().ok())
                 .filter(|w| *w > 0)
+        );
+        assert_eq!(faults(), std::env::var("RAVEN_FAULTS").ok().as_deref());
+        assert_eq!(
+            retry_max(),
+            std::env::var("RAVEN_RETRY_MAX")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(2)
+        );
+        assert_eq!(
+            request_deadline_ms(),
+            std::env::var("RAVEN_REQUEST_DEADLINE_MS")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .filter(|ms| *ms > 0)
         );
         // data_dir is uncached by design (cold path only)
         assert_eq!(

@@ -1,0 +1,477 @@
+//! Deterministic, seeded fault injection: the substrate of the chaos
+//! harness (`chaos_study`) and the storage/serving fault tests.
+//!
+//! A **failpoint** is a named site in production code (e.g.
+//! `storage.journal.sync`, `serve.prepare`) that asks this module whether a
+//! fault should fire *right now*. Faults come from a [`Schedule`]: a parsed,
+//! seeded description of *which* failpoints fail, *when* (by per-point hit
+//! index), *how often*, and *how* ([`Fault`]). Schedules are fully
+//! deterministic — the same spec and the same sequence of hits always
+//! injects the same faults with the same entropy, so a chaos run reproduces
+//! bit for bit from its spec string.
+//!
+//! ## Zero cost when disabled
+//!
+//! The process-wide registry is gated on a single atomic: when no schedule
+//! is installed (the default — `RAVEN_FAULTS` unset and nothing configured
+//! programmatically), [`check`] is one relaxed `AtomicU8` load and an
+//! immediate `None`. No lock, no map lookup, no string hash. The accounting
+//! counters stay at zero, which the smoke binaries assert (failpoints are
+//! provably inert in production configurations).
+//!
+//! ## Schedule grammar
+//!
+//! `RAVEN_FAULTS` (or a [`configure`] / [`Schedule::parse`] spec) is a
+//! `;`-separated list of entries:
+//!
+//! ```text
+//! seed=42 ; storage.journal.sync=3+fail*2 ; serve.prepare=delay(5) ; io.read=corrupt*inf
+//! ```
+//!
+//! * `seed=<n>` — seeds the entropy stream (default 0).
+//! * `<point>=[<start>+]<kind>[*<count>]` — starting at the `start`-th hit
+//!   of `<point>` (1-based, default 1), inject `count` consecutive faults
+//!   (default 1; `*inf` = every hit from `start` on).
+//! * `<kind>` is one of `fail` (generic injected I/O error), `enospc`
+//!   (storage-full), `torn` (short write: a deterministic prefix is written,
+//!   then the op errors), `corrupt` (read corruption: one byte flipped at a
+//!   seeded offset), or `delay(<ms>)` (latency spike; the op then succeeds).
+//!
+//! Multiple entries for one point compose (each hit fires the first entry
+//! whose window covers it).
+//!
+//! ## Global vs. scoped schedules
+//!
+//! Tests that need isolation (parallel proptests) construct their own
+//! [`Schedule`] and consult it directly (see `raven_storage`'s
+//! `ScriptedIo`); the process-wide registry is for end-to-end chaos runs
+//! and is installed from `RAVEN_FAULTS` on first use or via [`configure`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// How an injected fault manifests at the failpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Generic injected failure (an `io::Error` / typed error at the site).
+    Fail,
+    /// Storage-full: the site surfaces an out-of-space error.
+    Enospc,
+    /// Short (torn) write: a deterministic prefix of the buffer is written
+    /// before the operation errors, modeling a crash mid-write.
+    Torn,
+    /// Read corruption: one byte of the returned data is flipped at a
+    /// seeded offset, which CRC validation downstream must catch.
+    Corrupt,
+    /// Latency spike of the given milliseconds; the operation then
+    /// proceeds normally.
+    Delay(u64),
+}
+
+/// One injected fault: the kind plus a deterministic entropy word the site
+/// uses for data-dependent choices (torn-write prefix length, corruption
+/// offset) so runs reproduce exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Injected {
+    /// What to do at the site.
+    pub fault: Fault,
+    /// Seeded pseudo-random word, unique per (schedule seed, point, hit).
+    pub entropy: u64,
+}
+
+/// SplitMix64: the deterministic mixer behind schedule entropy. Public so
+/// consumers (backoff jitter, scripted I/O) can derive reproducible
+/// pseudo-randomness without a vendored RNG dependency.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string — stable point-name hashing for entropy derivation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One `[start+]kind[*count]` window for a failpoint.
+#[derive(Debug, Clone, Copy)]
+struct Action {
+    /// 1-based hit index at which the window opens.
+    start: u64,
+    /// Number of consecutive faulting hits; `u64::MAX` = forever.
+    count: u64,
+    fault: Fault,
+}
+
+impl Action {
+    fn covers(&self, hit: u64) -> bool {
+        hit >= self.start && (self.count == u64::MAX || hit < self.start.saturating_add(self.count))
+    }
+}
+
+/// A parsed, seeded fault schedule. Interior-mutable: [`Schedule::check`]
+/// advances per-point hit counters, so a shared `&Schedule` is all a
+/// consumer needs. Independent instances are fully isolated (parallel
+/// tests never cross-talk).
+#[derive(Debug, Default)]
+pub struct Schedule {
+    seed: u64,
+    points: HashMap<String, Vec<Action>>,
+    /// Per-point hit counters (every check counts, faulted or not).
+    hits: Mutex<HashMap<String, u64>>,
+    /// Per-point injected-fault counters (accounting).
+    injected: Mutex<HashMap<String, u64>>,
+}
+
+impl Schedule {
+    /// Parse a schedule spec (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<Schedule, String> {
+        let mut seed = 0u64;
+        let mut points: HashMap<String, Vec<Action>> = HashMap::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, action) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry without '=': `{entry}`"))?;
+            let (name, action) = (name.trim(), action.trim());
+            if name == "seed" {
+                seed = action
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed `{action}`"))?;
+                continue;
+            }
+            points
+                .entry(name.to_string())
+                .or_default()
+                .push(parse_action(action)?);
+        }
+        Ok(Schedule {
+            seed,
+            points,
+            hits: Mutex::new(HashMap::new()),
+            injected: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// No entries — checking can never inject.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Record one hit of `point` and return the fault scheduled for it, if
+    /// any. Deterministic: the n-th call for a given point always yields
+    /// the same outcome for the same spec.
+    pub fn check(&self, point: &str) -> Option<Injected> {
+        let actions = self.points.get(point)?;
+        let hit = {
+            let mut hits = plock(&self.hits);
+            let h = hits.entry(point.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        let action = actions.iter().find(|a| a.covers(hit))?;
+        *plock(&self.injected).entry(point.to_string()).or_insert(0) += 1;
+        Some(Injected {
+            fault: action.fault,
+            entropy: splitmix64(self.seed ^ fnv1a(point) ^ hit.wrapping_mul(0xA076_1D64_78BD_642F)),
+        })
+    }
+
+    /// Injected-fault counts per point, sorted by point name.
+    pub fn injected_counts(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = plock(&self.injected)
+            .iter()
+            .map(|(k, n)| (k.clone(), *n))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total faults injected across all points.
+    pub fn injected_total(&self) -> u64 {
+        plock(&self.injected).values().sum()
+    }
+}
+
+fn parse_action(action: &str) -> Result<Action, String> {
+    let (start, rest) = match action.split_once('+') {
+        Some((s, rest)) => (
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad start in `{action}`"))?
+                .max(1),
+            rest.trim(),
+        ),
+        None => (1, action),
+    };
+    let (kind, count) = match rest.split_once('*') {
+        Some((k, c)) => {
+            let c = c.trim();
+            let count = if c == "inf" {
+                u64::MAX
+            } else {
+                c.parse::<u64>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("bad count in `{action}`"))?
+            };
+            (k.trim(), count)
+        }
+        None => (rest, 1),
+    };
+    let fault = if let Some(ms) = kind
+        .strip_prefix("delay(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        Fault::Delay(
+            ms.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad delay in `{action}`"))?,
+        )
+    } else {
+        match kind {
+            "fail" => Fault::Fail,
+            "enospc" => Fault::Enospc,
+            "torn" => Fault::Torn,
+            "corrupt" => Fault::Corrupt,
+            other => return Err(format!("unknown fault kind `{other}`")),
+        }
+    };
+    Ok(Action {
+        start,
+        count,
+        fault,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the process-wide registry
+// ---------------------------------------------------------------------------
+
+const STATE_UNINIT: u8 = 0;
+const STATE_DISABLED: u8 = 1;
+const STATE_ACTIVE: u8 = 2;
+
+/// Tri-state gate: uninitialized → (disabled | active). The disabled fast
+/// path is a single relaxed load.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static GLOBAL: Mutex<Option<Schedule>> = Mutex::new(None);
+/// Cumulative faults injected by the *global* registry over the process
+/// lifetime (survives [`clear`], so inertness checks see every injection).
+static INJECTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+fn init_from_env() {
+    let mut global = plock(&GLOBAL);
+    if STATE.load(Ordering::Acquire) != STATE_UNINIT {
+        return; // raced: another thread initialized while we waited
+    }
+    let state = match crate::envcfg::faults() {
+        Some(spec) => match Schedule::parse(spec) {
+            Ok(s) if !s.is_empty() => {
+                *global = Some(s);
+                STATE_ACTIVE
+            }
+            Ok(_) => STATE_DISABLED,
+            Err(e) => {
+                eprintln!("RAVEN_FAULTS ignored (parse error): {e}");
+                STATE_DISABLED
+            }
+        },
+        None => STATE_DISABLED,
+    };
+    STATE.store(state, Ordering::Release);
+}
+
+/// Whether a global fault schedule is active. Initializes from
+/// `RAVEN_FAULTS` on first call.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Acquire) {
+        STATE_DISABLED => false,
+        STATE_ACTIVE => true,
+        _ => {
+            init_from_env();
+            STATE.load(Ordering::Acquire) == STATE_ACTIVE
+        }
+    }
+}
+
+/// Hit the named failpoint against the process-wide schedule. The disabled
+/// path (the production default) is one atomic load and `None` — callers
+/// may leave this on their hot paths.
+#[inline]
+pub fn check(point: &str) -> Option<Injected> {
+    match STATE.load(Ordering::Acquire) {
+        STATE_DISABLED => None,
+        STATE_ACTIVE => check_active(point),
+        _ => {
+            init_from_env();
+            if STATE.load(Ordering::Acquire) == STATE_ACTIVE {
+                check_active(point)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cold]
+fn check_active(point: &str) -> Option<Injected> {
+    let global = plock(&GLOBAL);
+    let injected = global.as_ref()?.check(point);
+    if injected.is_some() {
+        INJECTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+    }
+    injected
+}
+
+/// Install a schedule process-wide (chaos harnesses and serialized tests;
+/// production schedules come from `RAVEN_FAULTS`). Replaces any previous
+/// schedule and resets its per-point counters; the process-lifetime
+/// [`injected_total`] keeps accumulating.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let schedule = Schedule::parse(spec)?;
+    let mut global = plock(&GLOBAL);
+    let state = if schedule.is_empty() {
+        *global = None;
+        STATE_DISABLED
+    } else {
+        *global = Some(schedule);
+        STATE_ACTIVE
+    };
+    STATE.store(state, Ordering::Release);
+    Ok(())
+}
+
+/// Remove the process-wide schedule: every subsequent [`check`] is the
+/// single-atomic-load disabled path.
+pub fn clear() {
+    let mut global = plock(&GLOBAL);
+    *global = None;
+    STATE.store(STATE_DISABLED, Ordering::Release);
+}
+
+/// Faults injected by the global registry over the whole process lifetime
+/// (not reset by [`configure`]/[`clear`]). Zero in any run that never
+/// activated a schedule — the inertness invariant the smokes assert.
+pub fn injected_total() -> u64 {
+    INJECTED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Per-point injected counts of the currently installed global schedule
+/// (empty when disabled).
+pub fn injected_counts() -> Vec<(String, u64)> {
+    plock(&GLOBAL)
+        .as_ref()
+        .map(|s| s.injected_counts())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_seed_only_schedules_are_inert() {
+        for spec in ["", "  ", "seed=7", "seed=7 ; ; "] {
+            let s = Schedule::parse(spec).unwrap();
+            assert!(s.is_empty(), "`{spec}` should be empty");
+            assert_eq!(s.check("storage.journal.sync").map(|i| i.fault), None);
+            assert_eq!(s.injected_total(), 0);
+        }
+    }
+
+    #[test]
+    fn windows_fire_at_the_scheduled_hits() {
+        let s = Schedule::parse("a=3+fail*2; b=torn; c=2+delay(7)*inf").unwrap();
+        let faults: Vec<Option<Fault>> = (0..6).map(|_| s.check("a").map(|i| i.fault)).collect();
+        assert_eq!(
+            faults,
+            vec![None, None, Some(Fault::Fail), Some(Fault::Fail), None, None]
+        );
+        assert_eq!(s.check("b").map(|i| i.fault), Some(Fault::Torn));
+        assert_eq!(s.check("b").map(|i| i.fault), None);
+        assert_eq!(s.check("c").map(|i| i.fault), None);
+        for _ in 0..10 {
+            assert_eq!(s.check("c").map(|i| i.fault), Some(Fault::Delay(7)));
+        }
+        assert!(s.check("unknown").is_none());
+        assert_eq!(s.injected_total(), 2 + 1 + 10);
+        assert_eq!(
+            s.injected_counts(),
+            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 10)]
+        );
+    }
+
+    #[test]
+    fn multiple_entries_for_one_point_compose() {
+        let s = Schedule::parse("p=1+fail; p=3+enospc*inf").unwrap();
+        assert_eq!(s.check("p").map(|i| i.fault), Some(Fault::Fail));
+        assert_eq!(s.check("p").map(|i| i.fault), None);
+        assert_eq!(s.check("p").map(|i| i.fault), Some(Fault::Enospc));
+        assert_eq!(s.check("p").map(|i| i.fault), Some(Fault::Enospc));
+    }
+
+    #[test]
+    fn entropy_is_deterministic_per_seed_point_and_hit() {
+        let run = |spec: &str| -> Vec<u64> {
+            let s = Schedule::parse(spec).unwrap();
+            (0..4)
+                .filter_map(|_| s.check("x").map(|i| i.entropy))
+                .collect()
+        };
+        let a = run("seed=9;x=corrupt*4");
+        let b = run("seed=9;x=corrupt*4");
+        let c = run("seed=10;x=corrupt*4");
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        assert_ne!(a, c, "different seed must diverge");
+        assert_eq!(a.len(), 4);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "per-hit entropy must differ");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "nokind",
+            "p=flaky",
+            "p=fail*0",
+            "p=fail*abc",
+            "p=x+fail",
+            "p=delay(ms)",
+            "seed=abc",
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn disabled_registry_is_inert_without_raven_faults() {
+        // Tier-1 runs with RAVEN_FAULTS unset: the global gate must resolve
+        // to disabled and never count an injection. (Tests that install a
+        // global schedule live in their own integration binaries, so this
+        // process observes the pristine default.)
+        assert!(!enabled());
+        for _ in 0..3 {
+            assert!(check("storage.journal.sync").is_none());
+            assert!(check("serve.prepare").is_none());
+        }
+        assert_eq!(injected_total(), 0);
+        assert!(injected_counts().is_empty());
+    }
+}

@@ -19,6 +19,7 @@
 pub mod column;
 pub mod envcfg;
 pub mod error;
+pub mod failpoint;
 pub mod partition;
 pub mod pool;
 pub mod schema;

@@ -28,6 +28,27 @@ pub enum ServeError {
     /// could score against a stale model or schema. Raised only when
     /// verification is active (debug builds / `RAVEN_VERIFY=strict`).
     StaleArtifact(String),
+    /// The request's deadline (`RAVEN_REQUEST_DEADLINE_MS` /
+    /// `ServerConfig::request_deadline`) elapsed before a worker could run
+    /// it. The query was **not** executed.
+    Timeout {
+        /// The deadline that elapsed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The per-fingerprint circuit breaker is open: this exact query failed
+    /// repeatedly just now, so it fast-fails for a cooldown instead of
+    /// burning a worker on another doomed attempt. Clients should back off.
+    CircuitOpen {
+        /// Canonical SQL of the tripped fingerprint.
+        canonical: String,
+    },
+    /// The server is in degraded read-only mode (persistent journal
+    /// failure): queries keep serving from the in-memory catalog, but this
+    /// mutation was rejected rather than risk diverging from durable state.
+    ReadOnly {
+        /// Why the server degraded (the original storage failure).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -40,6 +61,21 @@ impl fmt::Display for ServeError {
             ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServeError::Session(e) => write!(f, "session error: {e}"),
             ServeError::StaleArtifact(m) => write!(f, "stale compiled artifact: {m}"),
+            ServeError::Timeout { deadline_ms } => {
+                write!(
+                    f,
+                    "request deadline of {deadline_ms}ms elapsed before execution"
+                )
+            }
+            ServeError::CircuitOpen { canonical } => {
+                write!(
+                    f,
+                    "circuit breaker open for repeatedly failing query: {canonical}"
+                )
+            }
+            ServeError::ReadOnly { reason } => {
+                write!(f, "server is in degraded read-only mode: {reason}")
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 use crate::sync::MutexExt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -127,6 +127,22 @@ pub struct ServingMetrics {
     /// Updated with a racy read-modify-write: it is a smoothing heuristic,
     /// a lost update just weights one sample differently.
     ema_exec_ns: AtomicU64,
+    /// Requests whose deadline elapsed in the queue before a worker could
+    /// run them (responded with [`crate::ServeError::Timeout`], never
+    /// executed).
+    timeouts: AtomicU64,
+    /// Transparent retries of transient prepare/execute failures (each retry
+    /// counted, not each retried request).
+    retries: AtomicU64,
+    /// Requests fast-failed because their fingerprint's circuit breaker was
+    /// open.
+    circuit_open_rejections: AtomicU64,
+    /// Mutations rejected while the server was in degraded read-only mode.
+    mutations_rejected: AtomicU64,
+    /// Whether the server is currently in degraded read-only mode.
+    degraded: AtomicBool,
+    /// Times the server entered degraded read-only mode.
+    degraded_entries: AtomicU64,
     /// Request latency (enqueue → response), per request even when requests
     /// share a fused or micro-batched drive.
     reservoir: Mutex<Reservoir>,
@@ -265,6 +281,35 @@ impl ServingMetrics {
         Duration::from_nanos(ema.saturating_mul(queued as u64) / workers.max(1) as u64)
     }
 
+    /// A queued request's deadline elapsed before execution.
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One transparent retry of a transient prepare/execute failure.
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was fast-failed by an open circuit breaker.
+    pub(crate) fn record_circuit_open(&self) {
+        self.circuit_open_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A mutation was rejected while in degraded read-only mode.
+    pub(crate) fn record_mutation_rejected(&self) {
+        self.mutations_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The server entered (`true`) or left (`false`) degraded read-only
+    /// mode.
+    pub(crate) fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
+        if degraded {
+            self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn record_tenant_submitted(&self, tenant: &str) {
         self.tenants
             .plock()
@@ -338,6 +383,12 @@ impl ServingMetrics {
             sql_requests_fused: self.sql_requests_fused.load(Ordering::Relaxed),
             fused_group_size_p95: percentile(&sizes, 0.95),
             shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            circuit_open_rejections: self.circuit_open_rejections.load(Ordering::Relaxed),
+            mutations_rejected: self.mutations_rejected.load(Ordering::Relaxed),
+            degraded_mode: self.degraded.load(Ordering::Relaxed),
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
             queue_wait_p50: Duration::from_nanos(percentile(&waits, 0.50)),
             queue_wait_p95: Duration::from_nanos(percentile(&waits, 0.95)),
             tenants,
@@ -406,6 +457,18 @@ pub struct ServingReport {
     /// Requests rejected by QoS — per-tenant backpressure or projected-wait
     /// load shedding (disjoint from `rejected`).
     pub shed: u64,
+    /// Requests whose deadline elapsed in the queue before execution.
+    pub timeouts: u64,
+    /// Transparent retries of transient prepare/execute failures.
+    pub retries: u64,
+    /// Requests fast-failed by an open per-fingerprint circuit breaker.
+    pub circuit_open_rejections: u64,
+    /// Mutations rejected while in degraded read-only mode.
+    pub mutations_rejected: u64,
+    /// Whether the server was in degraded read-only mode at snapshot time.
+    pub degraded_mode: bool,
+    /// Times the server entered degraded read-only mode.
+    pub degraded_entries: u64,
     /// Median queue wait (enqueue → dequeue by a worker).
     pub queue_wait_p50: Duration,
     /// 95th-percentile queue wait — execution time excluded, so QoS queueing
@@ -497,6 +560,30 @@ impl std::fmt::Display for ServingReport {
                 f,
                 "\nwarm restart: {:.2} ms ({} journal records replayed, {} plans pre-warmed)",
                 ms, self.journal_records_replayed, self.prewarmed_plans
+            )?;
+        }
+        // Fault-handling lines are emitted only when something fired, so
+        // fault-free runs keep their historical output bitwise-unchanged.
+        if self.timeouts + self.retries + self.circuit_open_rejections > 0 {
+            write!(
+                f,
+                "\nfaults: {} deadline timeouts, {} transient retries, \
+                 {} circuit-breaker rejections",
+                self.timeouts, self.retries, self.circuit_open_rejections
+            )?;
+        }
+        if self.degraded_entries > 0 {
+            write!(
+                f,
+                "\ndegraded read-only mode: {} (entered {} time(s), \
+                 {} mutations rejected)",
+                if self.degraded_mode {
+                    "active"
+                } else {
+                    "recovered"
+                },
+                self.degraded_entries,
+                self.mutations_rejected
             )?;
         }
         for (name, t) in &self.tenants {
@@ -631,6 +718,45 @@ mod tests {
         assert!(w > Duration::from_millis(6) && w < Duration::from_millis(8));
         // more workers → proportionally less projected wait
         assert!(m.projected_wait(8, 8) < m.projected_wait(8, 2));
+    }
+
+    #[test]
+    fn fault_counters_and_degraded_display() {
+        let m = ServingMetrics::default();
+        let quiet = m.report();
+        assert!(!quiet.degraded_mode);
+        assert_eq!(
+            (quiet.timeouts, quiet.retries, quiet.circuit_open_rejections),
+            (0, 0, 0)
+        );
+        // fault-free reports must not grow new lines (bitwise-stable output)
+        let text = quiet.to_string();
+        assert!(!text.contains("faults:"));
+        assert!(!text.contains("degraded"));
+        m.record_timeout();
+        m.record_retry();
+        m.record_retry();
+        m.record_circuit_open();
+        m.record_mutation_rejected();
+        m.set_degraded(true);
+        let r = m.report();
+        assert!(r.degraded_mode);
+        assert_eq!(r.degraded_entries, 1);
+        assert_eq!(
+            (
+                r.timeouts,
+                r.retries,
+                r.circuit_open_rejections,
+                r.mutations_rejected
+            ),
+            (1, 2, 1, 1)
+        );
+        let text = r.to_string();
+        assert!(text.contains("faults: 1 deadline timeouts, 2 transient retries"));
+        assert!(text.contains("degraded read-only mode: active"));
+        m.set_degraded(false);
+        let text = m.report().to_string();
+        assert!(text.contains("degraded read-only mode: recovered"));
     }
 
     #[test]

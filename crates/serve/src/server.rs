@@ -58,7 +58,7 @@ use crate::sync::{self, MutexExt, RwLockExt};
 use raven_columnar::pool;
 use raven_columnar::{Batch, Field, Schema, Value};
 use raven_core::{
-    CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenConfig,
+    CompiledModels, ModelCacheHooks, PredictionOutput, PreparedStatement, RavenConfig, RavenError,
     RavenSession, RecoveryInfo,
 };
 use raven_ir::fingerprint_query;
@@ -114,6 +114,27 @@ pub struct ServerConfig {
     /// Tenant QoS policy: deficit-round-robin weights, per-tenant queue
     /// bounds, and the load-shedding deadline.
     pub qos: QosConfig,
+    /// Per-request deadline, measured from submission: a request still
+    /// queued when it elapses is answered with [`ServeError::Timeout`]
+    /// instead of executing. `None` (the default unless
+    /// `RAVEN_REQUEST_DEADLINE_MS` is set) disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// Maximum transparent retries of a transiently failing prepare/execute
+    /// (storage-classed session errors) before the error surfaces to the
+    /// client. Defaults to `RAVEN_RETRY_MAX` (2).
+    pub retry_max: u32,
+    /// Base step of the jittered exponential backoff between retries
+    /// (attempt `n` sleeps a seeded fraction of `retry_base << n`).
+    pub retry_base: Duration,
+    /// Consecutive engine-side failures of one query fingerprint that trip
+    /// its circuit breaker (0 disables circuit breaking).
+    pub circuit_threshold: u32,
+    /// How long a tripped breaker fast-fails with
+    /// [`ServeError::CircuitOpen`] before admitting a half-open trial.
+    pub circuit_cooldown: Duration,
+    /// How often the degraded-mode recovery probe re-checks the durable
+    /// store after a persistent journal failure.
+    pub probe_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +152,13 @@ impl Default for ServerConfig {
             sql_fusion: !raven_columnar::envcfg::fusion_off(),
             fusion_max_group: 64,
             qos: QosConfig::default(),
+            request_deadline: raven_columnar::envcfg::request_deadline_ms()
+                .map(Duration::from_millis),
+            retry_max: raven_columnar::envcfg::retry_max(),
+            retry_base: Duration::from_millis(1),
+            circuit_threshold: 8,
+            circuit_cooldown: Duration::from_millis(250),
+            probe_interval: Duration::from_millis(50),
         }
     }
 }
@@ -243,6 +271,16 @@ struct Flight {
     ready: Condvar,
 }
 
+/// Per-fingerprint circuit-breaker state.
+struct Breaker {
+    /// Consecutive breaker-counted failures. Saturates at the threshold and
+    /// stays there through the open window, so a failed half-open trial
+    /// re-trips immediately while one success closes the breaker fully.
+    consecutive: u32,
+    /// Fast-fail until this instant; `None` = closed (or half-open trial).
+    open_until: Option<Instant>,
+}
+
 pub(crate) struct ServerInner {
     session: RwLock<RavenSession>,
     plan_cache: Mutex<LruCache<String, Arc<PreparedStatement>>>,
@@ -260,6 +298,18 @@ pub(crate) struct ServerInner {
     plan_sql: Mutex<HashMap<String, String>>,
     /// Background snapshot-compaction worker, at most one in flight.
     compaction: Mutex<Option<JoinHandle<()>>>,
+    /// Per-fingerprint circuit breakers: repeatedly failing queries
+    /// fast-fail for a cooldown instead of burning workers.
+    breakers: Mutex<HashMap<String, Breaker>>,
+    /// Degraded read-only mode: `Some(reason)` after a persistent journal
+    /// failure. Queries keep serving from the in-memory catalog; mutations
+    /// are rejected with [`ServeError::ReadOnly`] until the recovery probe
+    /// clears it.
+    degraded: Mutex<Option<String>>,
+    /// Background degraded-mode recovery probe, at most one alive.
+    probe: Mutex<Option<JoinHandle<()>>>,
+    /// Set by shutdown so the recovery probe exits promptly.
+    stopping: AtomicBool,
     queue: Mutex<Queue>,
     available: Condvar,
     in_flight: AtomicUsize,
@@ -293,6 +343,10 @@ impl Server {
             inflight: Mutex::new(HashMap::new()),
             plan_sql: Mutex::new(HashMap::new()),
             compaction: Mutex::new(None),
+            breakers: Mutex::new(HashMap::new()),
+            degraded: Mutex::new(None),
+            probe: Mutex::new(None),
+            stopping: AtomicBool::new(false),
             queue: Mutex::new(Queue {
                 jobs: QosQueue::new(&config.qos),
                 shutdown: false,
@@ -405,6 +459,11 @@ impl Server {
     fn maybe_compact(&self) {
         let threshold = self.inner.config.compaction_threshold;
         if threshold == 0 {
+            return;
+        }
+        // never compact while degraded: a journal that cannot even append
+        // has no business being rewritten until the probe sees it heal
+        if self.inner.degraded.plock().is_some() {
             return;
         }
         let records = {
@@ -611,8 +670,12 @@ impl Server {
     /// the registration on a durable session, bumps the catalog epoch, and
     /// clears both caches.
     pub fn register_table(&self, table: raven_columnar::Table) -> Result<()> {
+        self.check_writable()?;
         let mut s = self.inner.session.pwrite();
-        s.try_register_table(table)?;
+        if let Err(e) = s.try_register_table(table) {
+            drop(s);
+            return Err(self.mutation_failed(e));
+        }
         // clear while still holding the write lock: no reader can slip a
         // fresh new-epoch entry in between the bump and the clear (which the
         // clear would wipe, forcing a second prepare for that epoch)
@@ -626,12 +689,60 @@ impl Server {
     /// the registration on a durable session, bumps the registry epoch, and
     /// clears both caches.
     pub fn register_model(&self, pipeline: raven_ml::Pipeline) -> Result<()> {
+        self.check_writable()?;
         let mut s = self.inner.session.pwrite();
-        s.try_register_model(pipeline)?;
+        if let Err(e) = s.try_register_model(pipeline) {
+            drop(s);
+            return Err(self.mutation_failed(e));
+        }
         self.invalidate_caches();
         drop(s);
         self.maybe_compact();
         Ok(())
+    }
+
+    /// Reject mutations (with [`ServeError::ReadOnly`]) while the server is
+    /// in degraded read-only mode.
+    fn check_writable(&self) -> Result<()> {
+        if let Some(reason) = self.inner.degraded.plock().clone() {
+            self.inner.metrics.record_mutation_rejected();
+            return Err(ServeError::ReadOnly { reason });
+        }
+        Ok(())
+    }
+
+    /// Classify a failed mutation: a storage-classed error means the durable
+    /// journal could not record it (the in-memory catalog was left
+    /// untouched — registrations journal **first**), so the server enters
+    /// degraded read-only mode and starts the background recovery probe.
+    /// Queries keep serving the consistent pre-failure state either way.
+    fn mutation_failed(&self, e: RavenError) -> ServeError {
+        if matches!(e, RavenError::Storage(_)) {
+            self.enter_degraded(e.to_string());
+        }
+        ServeError::Session(e)
+    }
+
+    /// Enter degraded read-only mode (idempotent) and ensure one background
+    /// probe is re-checking the durable store every `probe_interval`.
+    fn enter_degraded(&self, reason: String) {
+        {
+            let mut slot = self.inner.degraded.plock();
+            if slot.is_some() {
+                return; // already degraded; the probe is already running
+            }
+            *slot = Some(reason);
+        }
+        self.inner.metrics.set_degraded(true);
+        let mut probe = self.inner.probe.plock();
+        if probe.as_ref().is_some_and(|h| !h.is_finished()) {
+            return;
+        }
+        if let Some(h) = probe.take() {
+            let _ = h.join();
+        }
+        let inner = self.inner.clone();
+        *probe = Some(std::thread::spawn(move || probe_loop(inner)));
     }
 
     fn invalidate_caches(&self) {
@@ -678,12 +789,46 @@ impl Server {
         if let Some(handle) = self.inner.compaction.plock().take() {
             let _ = handle.join();
         }
+        self.inner.stopping.store(true, Ordering::Release);
+        if let Some(handle) = self.inner.probe.plock().take() {
+            let _ = handle.join();
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// The degraded-mode recovery probe: every `probe_interval`, ask the durable
+/// store to retry its pending repair and fsync the journal handle
+/// (`DurableStore::probe`). The first success clears degraded mode and ends
+/// the thread; a re-entry into degraded mode spawns a fresh one.
+fn probe_loop(inner: Arc<ServerInner>) {
+    loop {
+        std::thread::sleep(inner.config.probe_interval);
+        if inner.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        if inner.degraded.plock().is_none() {
+            return; // cleared concurrently
+        }
+        let healthy = {
+            let session = inner.session.pread();
+            match session.durable_store() {
+                Some(store) => store.probe().is_ok(),
+                // a non-durable session cannot heal by probing; stay
+                // degraded until shutdown
+                None => false,
+            }
+        };
+        if healthy {
+            *inner.degraded.plock() = None;
+            inner.metrics.set_degraded(false);
+            return;
+        }
     }
 }
 
@@ -750,6 +895,29 @@ fn worker_loop(inner: Arc<ServerInner>) {
             inner.metrics.record_queue_wait(j.enqueued.elapsed());
         }
 
+        // 3½. deadline enforcement: a request whose deadline elapsed while
+        //     queued gets a typed `Timeout` instead of burning a drive on a
+        //     response the client has already written off
+        if let Some(deadline) = inner.config.request_deadline {
+            let (live, expired): (Vec<Job>, Vec<Job>) = group
+                .into_iter()
+                .partition(|j| j.enqueued.elapsed() <= deadline);
+            for job in expired {
+                inner.metrics.record_timeout();
+                respond(
+                    &inner,
+                    job,
+                    Err(ServeError::Timeout {
+                        deadline_ms: deadline.as_millis() as u64,
+                    }),
+                );
+            }
+            if live.is_empty() {
+                continue;
+            }
+            group = live;
+        }
+
         // 4. execute outside any queue lock, in parked-drive mode: the
         //    drive's per-partition jobs go to the shared pool and this
         //    thread sleeps on the completion latch instead of picking up
@@ -761,28 +929,173 @@ fn worker_loop(inner: Arc<ServerInner>) {
 fn execute_group(inner: &ServerInner, group: Vec<Job>) {
     match &group[0].kind {
         JobKind::Sql { .. } => {
+            let canonical = group[0].canonical.clone();
+            if breaker_open(inner, &canonical) {
+                fail_group_circuit_open(inner, group, &canonical);
+                return;
+            }
             // one drive for the whole fused group (singleton when fusion is
             // off or no duplicate was queued this tick)
             let exec = Instant::now();
             let result = run_sql(inner, &group[0]);
             inner.metrics.record_exec(exec.elapsed());
+            breaker_record(
+                inner,
+                &canonical,
+                result.as_ref().err().is_some_and(breaker_counts),
+            );
             fusion::fan_out(inner, group, result);
         }
         JobKind::Point { .. } => run_point_batch(inner, group),
     }
 }
 
+/// Fast-fail a whole group because its fingerprint's breaker is open.
+fn fail_group_circuit_open(inner: &ServerInner, group: Vec<Job>, canonical: &str) {
+    for job in group {
+        inner.metrics.record_circuit_open();
+        respond(
+            inner,
+            job,
+            Err(ServeError::CircuitOpen {
+                canonical: canonical.to_string(),
+            }),
+        );
+    }
+}
+
+/// Whether the fingerprint's breaker is currently fast-failing. An elapsed
+/// cooldown flips the breaker into a **half-open trial**: the caller's
+/// request runs, but `consecutive` is still saturated at the threshold so a
+/// single counted failure re-opens immediately while a success closes it.
+fn breaker_open(inner: &ServerInner, canonical: &str) -> bool {
+    if inner.config.circuit_threshold == 0 {
+        return false;
+    }
+    let mut breakers = inner.breakers.plock();
+    let Some(b) = breakers.get_mut(canonical) else {
+        return false;
+    };
+    match b.open_until {
+        Some(until) if Instant::now() < until => true,
+        Some(_) => {
+            b.open_until = None; // cooldown over: admit a half-open trial
+            false
+        }
+        None => false,
+    }
+}
+
+/// Fold one drive outcome into the fingerprint's breaker: a success closes
+/// it (the entry is dropped), `threshold` consecutive counted failures open
+/// it for `circuit_cooldown`.
+fn breaker_record(inner: &ServerInner, canonical: &str, failed: bool) {
+    let threshold = inner.config.circuit_threshold;
+    if threshold == 0 {
+        return;
+    }
+    let mut breakers = inner.breakers.plock();
+    if !failed {
+        breakers.remove(canonical);
+        return;
+    }
+    let b = breakers.entry(canonical.to_string()).or_insert(Breaker {
+        consecutive: 0,
+        open_until: None,
+    });
+    b.consecutive = (b.consecutive + 1).min(threshold);
+    if b.consecutive >= threshold {
+        b.open_until = Some(Instant::now() + inner.config.circuit_cooldown);
+    }
+}
+
+/// Failures that count toward a fingerprint's circuit breaker: engine-side
+/// errors, surfaced after the retry budget was exhausted. Client-side
+/// `InvalidRequest`s say nothing about the plan's health and never trip it.
+fn breaker_counts(e: &ServeError) -> bool {
+    matches!(e, ServeError::Session(_) | ServeError::StaleArtifact(_))
+}
+
 fn run_sql(inner: &ServerInner, job: &Job) -> Result<PredictionOutput> {
     let JobKind::Sql { sql } = &job.kind else {
         unreachable!("execute_group routes only SQL jobs to run_sql")
     };
-    // One read lock spans plan lookup AND execution: a register_table /
-    // register_model (write lock) can never land between the freshness check
-    // and execute_prepared, so a statement can never run against a catalog
-    // newer than the one it was prepared for.
-    let session = inner.session.pread();
-    let prepared = get_prepared(inner, &session, &job.canonical, sql)?;
-    Ok(session.execute_prepared(&prepared)?)
+    retry_transient(inner, &job.canonical, || {
+        // One read lock spans plan lookup AND execution: a register_table /
+        // register_model (write lock) can never land between the freshness
+        // check and execute_prepared, so a statement can never run against a
+        // catalog newer than the one it was prepared for. The lock is
+        // re-acquired per attempt — backoff sleeps never hold it.
+        let session = inner.session.pread();
+        let prepared = get_prepared(inner, &session, &job.canonical, sql)?;
+        serve_fault("serve.execute")?;
+        Ok(session.execute_prepared(&prepared)?)
+    })
+}
+
+/// Run `attempt_fn` with bounded transparent retries: transient failures
+/// (storage-classed session errors — flaky durable I/O, injected faults)
+/// sleep a deterministic jittered exponential backoff and try again, up to
+/// `retry_max` retries. Every other error, and exhaustion, surfaces to the
+/// caller. Single-flight composes with this: a leader whose prepare failed
+/// publishes the error and vacates the latch, so each retrying waiter
+/// re-elects — the next attempt goes through a **new** leader.
+fn retry_transient<T>(
+    inner: &ServerInner,
+    canonical: &str,
+    mut attempt_fn: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn() {
+            Err(e) if attempt < inner.config.retry_max && is_transient(&e) => {
+                inner.metrics.record_retry();
+                std::thread::sleep(backoff_delay(canonical, attempt, inner.config.retry_base));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Transient = worth retrying: the session surfaced a storage-classed error
+/// (durable I/O hiccup), which retrying can genuinely outlive. Plan errors,
+/// invalid requests, and stale-artifact trips are deterministic and retry
+/// would only repeat them.
+fn is_transient(e: &ServeError) -> bool {
+    matches!(e, ServeError::Session(RavenError::Storage(_)))
+}
+
+/// Deterministic jittered exponential backoff: attempt `n` sleeps in
+/// `[step/2, step)` where `step = retry_base << n`, the jitter drawn from
+/// splitmix64 keyed by `(fingerprint, attempt)` — colliding retriers of the
+/// same query spread out, and a rerun reproduces the exact same delays.
+fn backoff_delay(canonical: &str, attempt: u32, base: Duration) -> Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let step = base.saturating_mul(1u32 << attempt.min(16));
+    let half = (step.as_nanos() as u64 / 2).max(1);
+    let jitter = raven_columnar::failpoint::splitmix64(h ^ attempt as u64) % half;
+    step / 2 + Duration::from_nanos(jitter)
+}
+
+/// Hit a serving-tier failpoint (`serve.prepare`, `serve.execute`): delays
+/// sleep in place and proceed; every other kind surfaces as a
+/// storage-classed session error, i.e. exactly the transient shape the
+/// retry/backoff path handles — a fault-free run pays one atomic load.
+fn serve_fault(point: &str) -> Result<()> {
+    if let Some(injected) = raven_columnar::failpoint::check(point) {
+        if let raven_columnar::failpoint::Fault::Delay(ms) = injected.fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        } else {
+            return Err(ServeError::Session(RavenError::Storage(format!(
+                "injected fault: {point}"
+            ))));
+        }
+    }
+    Ok(())
 }
 
 /// Score a micro-batch of compatible point requests with one pipeline drive.
@@ -797,9 +1110,18 @@ fn run_point_batch(inner: &ServerInner, group: Vec<Job>) {
         } => (canonical.clone(), sql.clone()),
         _ => unreachable!("point batch always starts with a point job"),
     };
+    if breaker_open(inner, &canonical) {
+        fail_group_circuit_open(inner, group, &canonical);
+        return;
+    }
     let exec = Instant::now();
     let scored = score_rows(inner, &canonical, &sql, &group);
     inner.metrics.record_exec(exec.elapsed());
+    breaker_record(
+        inner,
+        &canonical,
+        scored.as_ref().err().is_some_and(breaker_counts),
+    );
     match scored {
         Ok(results) => {
             for (job, result) in group.into_iter().zip(results) {
@@ -831,13 +1153,14 @@ fn score_rows(
     sql: &str,
     group: &[Job],
 ) -> Result<Vec<Result<f64>>> {
-    let (prepared, runtime) = {
+    let (prepared, runtime) = retry_transient(inner, canonical, || {
+        // lock scope is one attempt: backoff sleeps never hold the session
         let session = inner.session.pread();
-        (
+        Ok((
             get_prepared(inner, &session, canonical, sql)?,
             MlRuntime::with_config(session.config().ml_runtime.clone()),
-        )
-    };
+        ))
+    })?;
     let plan = prepared.plan();
 
     // columns = the union the group key fixed (identical for every job)
@@ -957,6 +1280,22 @@ fn get_prepared(
     let (flight, leader) = {
         let mut inflight = inner.inflight.plock();
         match inflight.get(&key) {
+            // Joining a flight whose leader already failed would only hand
+            // back the stale error: replace it and elect ourselves, so the
+            // next request after a failed prepare goes through a NEW leader
+            // (the retry path depends on this). A *successful* resolved
+            // flight is still joinable — its result is fresh and shared.
+            Some(flight)
+                if flight
+                    .done
+                    .plock()
+                    .as_ref()
+                    .is_some_and(|done| done.is_err()) =>
+            {
+                let fresh = Arc::new(Flight::default());
+                inflight.insert(key.clone(), fresh.clone());
+                (fresh, true)
+            }
             Some(flight) => (flight.clone(), false),
             None => {
                 let flight = Arc::new(Flight::default());
@@ -986,7 +1325,7 @@ fn get_prepared(
     // stranded: they get an error instead of waiting on a dead leader.
     struct ResolveOnDrop<'a> {
         inner: &'a ServerInner,
-        flight: &'a Flight,
+        flight: &'a Arc<Flight>,
         key: &'a str,
     }
     impl Drop for ResolveOnDrop<'_> {
@@ -999,7 +1338,16 @@ fn get_prepared(
                 self.flight.ready.notify_all();
             }
             drop(done);
-            self.inner.inflight.plock().remove(self.key);
+            // remove only OUR flight: a failed-leader replacement may have
+            // already installed a fresh one under the same key, and evicting
+            // it would orphan the new leader's followers into re-elections
+            let mut inflight = self.inner.inflight.plock();
+            if inflight
+                .get(self.key)
+                .is_some_and(|f| Arc::ptr_eq(f, self.flight))
+            {
+                inflight.remove(self.key);
+            }
         }
     }
     let guard = ResolveOnDrop {
@@ -1140,6 +1488,7 @@ fn prepare_uncached(
         lookup: &mut lookup,
         store: &mut store,
     };
+    serve_fault("serve.prepare")?;
     let prepared = Arc::new(session.prepare_hooked(sql, Some(&mut hooks))?);
     inner
         .plan_cache

@@ -1,0 +1,255 @@
+//! Injectable file I/O: every byte the durable store reads or writes goes
+//! through an [`Io`] implementation, so fault schedules (see
+//! `raven_columnar::failpoint`) can turn fsync failures, short/torn writes,
+//! ENOSPC, read corruption, and latency spikes into deterministic,
+//! reproducible events.
+//!
+//! Two implementations:
+//!
+//! * [`RealIo`] — production. Each operation consults the **process-wide**
+//!   failpoint registry; with `RAVEN_FAULTS` unset that is a single cached
+//!   atomic load per call and the operation is plain `std::fs`.
+//! * [`ScriptedIo`] — tests. Owns its own [`Schedule`], so parallel tests
+//!   inject faults without any process-global state or cross-talk.
+//!
+//! ## Failpoint names
+//!
+//! | point                     | operation                                   |
+//! |---------------------------|---------------------------------------------|
+//! | `storage.snapshot.read`   | reading `snapshot.rvs` at open               |
+//! | `storage.journal.read`    | reading `journal.rvj` (open, compaction)     |
+//! | `storage.journal.append`  | appending a framed record to the journal     |
+//! | `storage.journal.sync`    | fsyncing the journal (append ack, probe)     |
+//! | `storage.atomic.write`    | writing a temp file in `write_atomic`        |
+//! | `storage.atomic.sync`     | fsyncing the temp file in `write_atomic`     |
+//! | `storage.rename`          | renaming the temp file into place            |
+//! | `storage.truncate`        | `set_len` (torn-tail cut, append rollback)   |
+//!
+//! ## Fault semantics
+//!
+//! `fail` / `enospc` error the operation without touching the file; `torn`
+//! writes a deterministic prefix of the buffer and then errors (a crash
+//! mid-write); `corrupt` completes a read but flips one seeded bit (CRC
+//! validation downstream must catch it); `delay(ms)` sleeps and then
+//! performs the operation normally.
+
+use raven_columnar::failpoint::{self, Fault, Injected, Schedule};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The durable store's window onto the filesystem. Implementors only decide
+/// *whether a fault fires* ([`Io::fault`]); the default methods implement
+/// the actual I/O plus the fault semantics exactly once, so scripted and
+/// production I/O can never drift.
+pub trait Io: Send + Sync + std::fmt::Debug {
+    /// The fault (if any) scheduled for this hit of `point`.
+    fn fault(&self, point: &str) -> Option<Injected>;
+
+    /// Read an entire file. `corrupt` flips one seeded bit of the result.
+    fn read(&self, path: &Path, point: &str) -> io::Result<Vec<u8>> {
+        match self.fault(point) {
+            None => std::fs::read(path),
+            Some(inj) => match inj.fault {
+                Fault::Delay(ms) => {
+                    sleep_ms(ms);
+                    std::fs::read(path)
+                }
+                Fault::Corrupt => {
+                    let mut bytes = std::fs::read(path)?;
+                    if !bytes.is_empty() {
+                        let off = (inj.entropy as usize) % bytes.len();
+                        bytes[off] ^= 1 << ((inj.entropy >> 56) % 8);
+                    }
+                    Ok(bytes)
+                }
+                fault => Err(injected_err(point, fault)),
+            },
+        }
+    }
+
+    /// Write a full buffer. `torn` writes a seeded prefix, then errors.
+    fn write_all(&self, file: &mut File, buf: &[u8], point: &str) -> io::Result<()> {
+        match self.fault(point) {
+            None => file.write_all(buf),
+            Some(inj) => match inj.fault {
+                Fault::Delay(ms) => {
+                    sleep_ms(ms);
+                    file.write_all(buf)
+                }
+                Fault::Torn => {
+                    if !buf.is_empty() {
+                        let n = (inj.entropy as usize) % buf.len();
+                        file.write_all(&buf[..n])?;
+                    }
+                    Err(injected_err(point, Fault::Torn))
+                }
+                fault => Err(injected_err(point, fault)),
+            },
+        }
+    }
+
+    /// Flush file data (and metadata) to stable storage.
+    fn sync(&self, file: &File, point: &str) -> io::Result<()> {
+        match self.fault(point) {
+            None => file.sync_all(),
+            Some(inj) => match inj.fault {
+                Fault::Delay(ms) => {
+                    sleep_ms(ms);
+                    file.sync_all()
+                }
+                fault => Err(injected_err(point, fault)),
+            },
+        }
+    }
+
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path, point: &str) -> io::Result<()> {
+        match self.fault(point) {
+            None => std::fs::rename(from, to),
+            Some(inj) => match inj.fault {
+                Fault::Delay(ms) => {
+                    sleep_ms(ms);
+                    std::fs::rename(from, to)
+                }
+                fault => Err(injected_err(point, fault)),
+            },
+        }
+    }
+
+    /// Truncate (or extend) a file to `len` bytes.
+    fn set_len(&self, file: &File, len: u64, point: &str) -> io::Result<()> {
+        match self.fault(point) {
+            None => file.set_len(len),
+            Some(inj) => match inj.fault {
+                Fault::Delay(ms) => {
+                    sleep_ms(ms);
+                    file.set_len(len)
+                }
+                fault => Err(injected_err(point, fault)),
+            },
+        }
+    }
+}
+
+fn sleep_ms(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
+fn injected_err(point: &str, fault: Fault) -> io::Error {
+    match fault {
+        Fault::Enospc => {
+            io::Error::other(format!("injected fault: {point} (no space left on device)"))
+        }
+        _ => io::Error::other(format!("injected fault: {point}")),
+    }
+}
+
+/// Production I/O: faults come from the process-wide failpoint registry.
+/// With no schedule installed every call is one cached atomic load plus the
+/// plain `std::fs` operation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl Io for RealIo {
+    fn fault(&self, point: &str) -> Option<Injected> {
+        failpoint::check(point)
+    }
+}
+
+/// Test I/O with an instance-local fault [`Schedule`]: parallel tests each
+/// script their own faults with zero process-global state.
+#[derive(Debug)]
+pub struct ScriptedIo {
+    schedule: Schedule,
+}
+
+impl ScriptedIo {
+    /// Parse a schedule spec (same grammar as `RAVEN_FAULTS`).
+    pub fn new(spec: &str) -> Result<ScriptedIo, String> {
+        Ok(ScriptedIo {
+            schedule: Schedule::parse(spec)?,
+        })
+    }
+
+    /// The underlying schedule (hit/injection accounting).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+impl Io for ScriptedIo {
+    fn fault(&self, point: &str) -> Option<Injected> {
+        self.schedule.check(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("raven-io-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn scripted_faults_fire_per_schedule_and_real_ops_pass_through() {
+        let path = tmp("rw");
+        let io = ScriptedIo::new("w=2+fail").unwrap();
+        let mut f = File::create(&path).unwrap();
+        io.write_all(&mut f, b"hello", "w").unwrap();
+        let err = io.write_all(&mut f, b" world", "w").unwrap_err();
+        assert!(err.to_string().contains("injected fault: w"), "{err}");
+        io.write_all(&mut f, b" again", "w").unwrap();
+        io.sync(&f, "s").unwrap();
+        assert_eq!(io.read(&path, "r").unwrap(), b"hello again");
+        assert_eq!(io.schedule().injected_total(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix() {
+        let path = tmp("torn");
+        let io = ScriptedIo::new("seed=3;w=torn").unwrap();
+        let payload = vec![0xABu8; 64];
+        let mut f = File::create(&path).unwrap();
+        let err = io.write_all(&mut f, &payload, "w").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        drop(f);
+        let mut written = Vec::new();
+        File::open(&path)
+            .unwrap()
+            .read_to_end(&mut written)
+            .unwrap();
+        assert!(written.len() < payload.len(), "must be short");
+        assert_eq!(written, payload[..written.len()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_read_flips_exactly_one_bit_deterministically() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, vec![0u8; 256]).unwrap();
+        let read_once = || {
+            let io = ScriptedIo::new("seed=9;r=corrupt").unwrap();
+            io.read(&path, "r").unwrap()
+        };
+        let a = read_once();
+        let b = read_once();
+        assert_eq!(a, b, "corruption must be deterministic for a seed");
+        let flipped: u32 = a.iter().map(|byte| byte.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enospc_is_distinguishable_in_the_message() {
+        let io = ScriptedIo::new("s=enospc").unwrap();
+        let f = File::open(std::env::temp_dir()).unwrap();
+        let err = io.sync(&f, "s").unwrap_err();
+        assert!(err.to_string().contains("no space left"), "{err}");
+    }
+}

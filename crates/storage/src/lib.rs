@@ -53,6 +53,7 @@
 pub mod codec;
 pub mod crc32;
 pub mod error;
+pub mod io;
 pub mod journal;
 pub mod model_codec;
 pub mod snapshot;
@@ -61,6 +62,7 @@ pub mod table_codec;
 
 pub use crc32::{crc32, Crc32};
 pub use error::{Result, StorageError};
+pub use io::{Io, RealIo, ScriptedIo};
 pub use journal::{JournalHeader, JournalRecord, JournalScan, Mutation};
 pub use snapshot::{decode_snapshot, encode_snapshot, Snapshot};
 pub use store::{DurableStore, RecoveredState, JOURNAL_FILE, SNAPSHOT_FILE};

@@ -63,19 +63,23 @@ fn corrupt(file: &str, detail: impl Into<String>) -> StorageError {
 
 /// Serialize a consistent (catalog, registry, plans) cut into snapshot
 /// bytes. The caller is responsible for the cut's consistency (hold the
-/// registration write lock or clone the `Arc` state first).
+/// registration write lock or clone the `Arc` state first); an
+/// inconsistent cut (a listed name missing from its container) is a typed
+/// [`StorageError::Invalid`], never a panic.
 pub fn encode_snapshot(
     catalog: &Catalog,
     registry: &ModelRegistry,
     plan_fingerprints: &[String],
-) -> Vec<u8> {
+) -> Result<Vec<u8>> {
     let mut tables = ByteWriter::new();
     let names = catalog.table_names();
     tables.put_u32(names.len() as u32);
     for name in &names {
-        let table = catalog
-            .table(name)
-            .expect("table_names() returned a missing table");
+        let table = catalog.table(name).map_err(|e| {
+            StorageError::Invalid(format!(
+                "inconsistent snapshot cut: table_names() listed missing table `{name}`: {e}"
+            ))
+        })?;
         // records are length-prefixed so a reader can skip them wholesale
         let mut rec = ByteWriter::new();
         table_codec::encode_table(&mut rec, &table);
@@ -88,9 +92,11 @@ pub fn encode_snapshot(
     let model_names = registry.model_names();
     models.put_u32(model_names.len() as u32);
     for name in &model_names {
-        let pipeline = registry
-            .get(name)
-            .expect("model_names() returned a missing model");
+        let pipeline = registry.get(name).map_err(|e| {
+            StorageError::Invalid(format!(
+                "inconsistent snapshot cut: model_names() listed missing model `{name}`: {e}"
+            ))
+        })?;
         let mut rec = ByteWriter::new();
         model_codec::encode_pipeline(&mut rec, &pipeline);
         let rec = rec.into_bytes();
@@ -124,7 +130,7 @@ pub fn encode_snapshot(
     let mut bytes = file.into_bytes();
     let trailer = crc32(&bytes);
     bytes.extend_from_slice(&trailer.to_le_bytes());
-    bytes
+    Ok(bytes)
 }
 
 /// Validate and decode snapshot bytes. `file` names the source for error
@@ -281,7 +287,7 @@ mod tests {
     fn snapshot_round_trip_preserves_state_and_epochs() {
         let (catalog, registry) = sample_state();
         let plans = vec!["SELECT 1".to_string(), "SELECT 2".to_string()];
-        let bytes = encode_snapshot(&catalog, &registry, &plans);
+        let bytes = encode_snapshot(&catalog, &registry, &plans).unwrap();
         let snap = decode_snapshot(&bytes, "test.rvs").unwrap();
         assert_eq!(snap.catalog.table_names(), catalog.table_names());
         assert_eq!(snap.registry.model_names(), registry.model_names());
@@ -299,7 +305,7 @@ mod tests {
     #[test]
     fn empty_state_round_trips() {
         let snap = decode_snapshot(
-            &encode_snapshot(&Catalog::new(), &ModelRegistry::new(), &[]),
+            &encode_snapshot(&Catalog::new(), &ModelRegistry::new(), &[]).unwrap(),
             "test.rvs",
         )
         .unwrap();
@@ -311,7 +317,7 @@ mod tests {
     #[test]
     fn every_corruption_is_detected() {
         let (catalog, registry) = sample_state();
-        let bytes = encode_snapshot(&catalog, &registry, &["q".into()]);
+        let bytes = encode_snapshot(&catalog, &registry, &["q".into()]).unwrap();
         // flip one bit at a sample of offsets spanning header, sections,
         // and trailer: the file CRC (or a section CRC) must catch each
         let step = (bytes.len() / 97).max(1);
@@ -332,7 +338,7 @@ mod tests {
     #[test]
     fn future_version_rejected_with_typed_error() {
         let (catalog, registry) = sample_state();
-        let mut bytes = encode_snapshot(&catalog, &registry, &[]);
+        let mut bytes = encode_snapshot(&catalog, &registry, &[]).unwrap();
         bytes[8] = 99; // version field
         let body_len = bytes.len() - 4;
         let crc = crc32(&bytes[..body_len]).to_le_bytes();

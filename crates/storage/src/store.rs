@@ -28,6 +28,7 @@
 //! compose by epoch.
 
 use crate::error::Result;
+use crate::io::{Io, RealIo};
 use crate::journal::{
     encode_header, encode_record, scan_journal, JournalHeader, JournalRecord, Mutation,
 };
@@ -37,9 +38,15 @@ use raven_ir::ModelRegistry;
 use raven_ml::Pipeline;
 use raven_relational::Catalog;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Lock the store mutex, recovering from poison: the guarded state is a
+/// file handle plus counters that stay consistent across an unwinding
+/// appender (a failed append rolls itself back), so continuing is safe.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// File name of the current snapshot inside a data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.rvs";
@@ -72,6 +79,12 @@ struct StoreInner {
     journal: File,
     /// Records currently in the journal file (valid ones only).
     journal_records: usize,
+    /// Journal length a failed append could not roll back to (the truncate
+    /// itself failed). Until this truncation lands, the file tail holds
+    /// bytes of an **unacknowledged** mutation — every subsequent append
+    /// and [`DurableStore::probe`] retries it first, so acked state and
+    /// recovered state can never diverge.
+    pending_truncate: Option<u64>,
 }
 
 /// Handle on a durable data directory. Clone-free by design: share it via
@@ -79,6 +92,7 @@ struct StoreInner {
 /// *encoding* runs outside it.
 pub struct DurableStore {
     dir: PathBuf,
+    io: Arc<dyn Io>,
     inner: Mutex<StoreInner>,
 }
 
@@ -90,14 +104,14 @@ impl std::fmt::Debug for DurableStore {
     }
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+fn write_atomic(io: &dyn Io, path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        io.write_all(&mut f, bytes, "storage.atomic.write")?;
+        io.sync(&f, "storage.atomic.sync")?;
     }
-    fs::rename(&tmp, path)?;
+    io.rename(&tmp, path, "storage.rename")?;
     // make the rename itself durable
     if let Some(parent) = path.parent() {
         if let Ok(d) = File::open(parent) {
@@ -109,8 +123,19 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
 
 impl DurableStore {
     /// Open (or initialize) a data directory, running full recovery:
-    /// snapshot load → torn-tail truncation → journal replay.
+    /// snapshot load → torn-tail truncation → journal replay. Production
+    /// I/O ([`RealIo`]: plain `std::fs`, process-wide failpoints).
     pub fn open(dir: impl Into<PathBuf>) -> Result<(DurableStore, RecoveredState)> {
+        Self::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// [`DurableStore::open`] with an explicit [`Io`] implementation —
+    /// tests script per-instance fault schedules through
+    /// [`crate::io::ScriptedIo`].
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn Io>,
+    ) -> Result<(DurableStore, RecoveredState)> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let snapshot_path = dir.join(SNAPSHOT_FILE);
@@ -119,7 +144,7 @@ impl DurableStore {
         // 1. snapshot
         let (mut catalog, mut registry, plan_fingerprints, snapshot_loaded, snapshot_bytes) =
             if snapshot_path.exists() {
-                let bytes = fs::read(&snapshot_path)?;
+                let bytes = io.read(&snapshot_path, "storage.snapshot.read")?;
                 let snap = decode_snapshot(&bytes, SNAPSHOT_FILE)?;
                 (
                     snap.catalog,
@@ -137,12 +162,12 @@ impl DurableStore {
         let mut journal_tail_truncated = false;
         let mut journal_record_count = 0;
         if journal_path.exists() {
-            let bytes = fs::read(&journal_path)?;
+            let bytes = io.read(&journal_path, "storage.journal.read")?;
             let scan = scan_journal(&bytes, JOURNAL_FILE)?;
             if scan.torn {
                 let f = OpenOptions::new().write(true).open(&journal_path)?;
-                f.set_len(scan.valid_len)?;
-                f.sync_all()?;
+                io.set_len(&f, scan.valid_len, "storage.truncate")?;
+                io.sync(&f, "storage.journal.sync")?;
                 journal_tail_truncated = true;
             }
             // 3. replay over the snapshot
@@ -155,15 +180,17 @@ impl DurableStore {
                 base_catalog_epoch: catalog.epoch(),
                 base_registry_epoch: registry.epoch(),
             });
-            write_atomic(&journal_path, &header)?;
+            write_atomic(io.as_ref(), &journal_path, &header)?;
         }
 
         let journal = OpenOptions::new().append(true).open(&journal_path)?;
         let store = DurableStore {
             dir,
+            io,
             inner: Mutex::new(StoreInner {
                 journal,
                 journal_records: journal_record_count,
+                pending_truncate: None,
             }),
         };
         let recovered = RecoveredState {
@@ -195,19 +222,63 @@ impl DurableStore {
 
     /// Records currently in the journal (compaction-pressure signal).
     pub fn journal_records(&self) -> usize {
-        self.inner.lock().expect("store lock").journal_records
+        plock(&self.inner).journal_records
+    }
+
+    /// Retry a rollback truncation a previous failed append left behind.
+    /// Nothing may be appended (and no compaction scan trusted) while the
+    /// tail still holds unacknowledged bytes.
+    fn retry_pending_truncate(&self, inner: &mut StoreInner) -> Result<()> {
+        if let Some(len) = inner.pending_truncate {
+            self.io.set_len(&inner.journal, len, "storage.truncate")?;
+            self.io.sync(&inner.journal, "storage.journal.sync")?;
+            inner.pending_truncate = None;
+        }
+        Ok(())
+    }
+
+    /// Health probe for degraded-mode recovery: retries any pending
+    /// rollback truncation, then fsyncs the journal handle. `Ok` means the
+    /// journal is append-ready again.
+    pub fn probe(&self) -> Result<()> {
+        let mut inner = plock(&self.inner);
+        self.retry_pending_truncate(&mut inner)?;
+        self.io.sync(&inner.journal, "storage.journal.sync")?;
+        Ok(())
     }
 
     fn append(&self, record: &JournalRecord) -> Result<()> {
         let framed = encode_record(record);
-        let mut inner = self.inner.lock().expect("store lock");
-        inner.journal.write_all(&framed)?;
+        let mut inner = plock(&self.inner);
+        self.retry_pending_truncate(&mut inner)?;
+        let pre_len = inner.journal.metadata()?.len();
         // fsync before the registration is acknowledged: a crash after this
         // point replays the mutation, a crash during it leaves a torn tail
         // that recovery truncates
-        inner.journal.sync_data()?;
-        inner.journal_records += 1;
-        Ok(())
+        let written = self
+            .io
+            .write_all(&mut inner.journal, &framed, "storage.journal.append")
+            .and_then(|()| self.io.sync(&inner.journal, "storage.journal.sync"));
+        match written {
+            Ok(()) => {
+                inner.journal_records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // The mutation was NOT acknowledged, so its bytes must not
+                // survive into recovery or a later scan: roll the file back
+                // to the pre-append length. If even that fails, remember
+                // the target length and retry before any further append.
+                let rolled_back = self
+                    .io
+                    .set_len(&inner.journal, pre_len, "storage.truncate")
+                    .and_then(|()| self.io.sync(&inner.journal, "storage.journal.sync"));
+                if rolled_back.is_err() {
+                    inner.pending_truncate = Some(pre_len);
+                }
+                Err(e.into())
+            }
+        }
     }
 
     /// Journal a table registration. `catalog_epoch_after` is the catalog
@@ -295,15 +366,18 @@ impl DurableStore {
         registry: &ModelRegistry,
         plan_fingerprints: &[String],
     ) -> Result<u64> {
-        let bytes = encode_snapshot(catalog, registry, plan_fingerprints);
-        write_atomic(&self.snapshot_path(), &bytes)?;
+        let bytes = encode_snapshot(catalog, registry, plan_fingerprints)?;
+        write_atomic(self.io.as_ref(), &self.snapshot_path(), &bytes)?;
 
         // compact the journal: keep only records newer than the cut
         let cut_cat = catalog.epoch();
         let cut_reg = registry.epoch();
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = plock(&self.inner);
+        // unacknowledged tail bytes must be gone before the scan below can
+        // be trusted to contain acked records only
+        self.retry_pending_truncate(&mut inner)?;
         let journal_path = self.journal_path();
-        let existing = fs::read(&journal_path)?;
+        let existing = self.io.read(&journal_path, "storage.journal.read")?;
         let scan = scan_journal(&existing, JOURNAL_FILE)?;
         let mut rewritten = encode_header(JournalHeader {
             base_catalog_epoch: cut_cat,
@@ -316,9 +390,10 @@ impl DurableStore {
                 kept += 1;
             }
         }
-        write_atomic(&journal_path, &rewritten)?;
+        write_atomic(self.io.as_ref(), &journal_path, &rewritten)?;
         inner.journal = OpenOptions::new().append(true).open(&journal_path)?;
         inner.journal_records = kept;
+        inner.pending_truncate = None;
         Ok(bytes.len() as u64)
     }
 }

@@ -1,0 +1,325 @@
+//! Seeded fault-schedule tests for the durable catalog (ISSUE 10
+//! satellite 3): every scripted I/O failure — fsync errors, torn writes,
+//! ENOSPC, read corruption at arbitrary offsets — must surface as a typed
+//! `StorageError` or a correct recovery. Never a panic, never a silently
+//! wrong catalog.
+//!
+//! The oracle discipline: drive a `DurableStore` through a sequence of
+//! registrations under a fault schedule, remember exactly which appends
+//! were **acknowledged** (returned `Ok`), then reopen with clean I/O and
+//! require the recovered catalog to contain exactly the acked tables —
+//! the write-ahead contract (`fsync` before ack, roll back on failure)
+//! stated in `store.rs`.
+//!
+//! Faults are scripted per-instance (`ScriptedIo` owns its own schedule),
+//! so these property tests run in parallel with zero cross-talk and no
+//! process-global failpoint state.
+
+use proptest::prelude::*;
+use raven_columnar::{Table, TableBuilder};
+use raven_storage::{Catalog, DurableStore, ScriptedIo};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "raven-fault-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table(name: &str, v: i64) -> Table {
+    TableBuilder::new(name)
+        .add_i64("x", vec![v, v + 1])
+        .build()
+        .unwrap()
+}
+
+/// Register `total` tables through a store opened with `spec`-scripted I/O
+/// and return the names whose registration was acknowledged. Asserts the
+/// write-ahead invariant on clean reopen: recovered tables == acked tables,
+/// in order, with the epoch advanced exactly once per acked mutation.
+fn drive_and_check(dir: &PathBuf, spec: &str, total: usize) {
+    let io = Arc::new(ScriptedIo::new(spec).unwrap());
+    let mut acked: Vec<String> = Vec::new();
+    {
+        let (store, rec) = match DurableStore::open_with_io(dir, io) {
+            Ok(opened) => opened,
+            // an open-time fault is a typed error; nothing was acked
+            Err(_) => return,
+        };
+        assert!(rec.catalog.table_names().is_empty());
+        let mut catalog = Catalog::new();
+        for i in 0..total {
+            let name = format!("t{i}");
+            catalog.register(table(&name, i as i64));
+            let res = store.log_register_table(
+                &name,
+                &catalog.table(&name).unwrap(),
+                acked.len() as u64 + 1,
+                0,
+            );
+            if res.is_ok() {
+                acked.push(name);
+            }
+        }
+    }
+    // clean reopen: recovery must reflect exactly the acked prefix-set
+    let (_store, rec) = DurableStore::open(dir).unwrap();
+    assert_eq!(
+        rec.catalog.table_names(),
+        acked,
+        "recovered tables must be exactly the acknowledged registrations (spec `{spec}`)"
+    );
+    assert_eq!(rec.catalog.epoch(), acked.len() as u64);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// fsync failures at an arbitrary append, one-shot or persistent: the
+    /// failed (and every subsequently failed) registration must not
+    /// survive into recovery.
+    #[test]
+    fn fsync_failures_never_leak_unacked_records(at in 1u64..12, persistent in 0u32..2, seed in 0u64..1000) {
+        let stretch = if persistent == 1 { "*inf" } else { "" };
+        let spec = format!("seed={seed};storage.journal.sync={at}+fail{stretch}");
+        drive_and_check(&tmp_dir("fsync"), &spec, 8);
+    }
+
+    /// Torn journal appends (a seeded prefix of the framed record reaches
+    /// the file, then the write errors): rollback truncation must erase
+    /// the torn bytes so recovery sees only acked records.
+    #[test]
+    fn torn_appends_roll_back_cleanly(at in 1u64..10, count in 1u64..4, seed in 0u64..1000) {
+        let spec = format!("seed={seed};storage.journal.append={at}+torn*{count}");
+        drive_and_check(&tmp_dir("torn"), &spec, 8);
+    }
+
+    /// ENOSPC during append or sync behaves like any other append failure:
+    /// typed error out, nothing unacked recovered.
+    #[test]
+    fn enospc_is_a_typed_error_with_clean_rollback(at in 1u64..10, on_sync in 0u32..2, seed in 0u64..1000) {
+        let point = if on_sync == 1 { "storage.journal.sync" } else { "storage.journal.append" };
+        let spec = format!("seed={seed};{point}={at}+enospc");
+        drive_and_check(&tmp_dir("enospc"), &spec, 8);
+    }
+
+    /// Even when the rollback truncation itself fails, the pending
+    /// truncation is retried before any later append — unacked bytes can
+    /// never precede acked ones in the journal.
+    #[test]
+    fn failed_rollback_is_retried_before_the_next_append(at in 1u64..8, trunc_fails in 1u64..4, seed in 0u64..1000) {
+        let spec = format!(
+            "seed={seed};storage.journal.append={at}+fail;storage.truncate=1+fail*{trunc_fails}"
+        );
+        drive_and_check(&tmp_dir("rollback"), &spec, 8);
+    }
+
+    /// Read corruption at a seeded offset while reopening: the CRC layers
+    /// must catch the flip — open returns a typed error, or (when the flip
+    /// lands in a record frame, making it look like a torn tail) recovers
+    /// a strict prefix of the acked mutations. Never a panic, never an
+    /// altered table.
+    #[test]
+    fn corrupt_journal_reads_never_yield_wrong_state(seed in 0u64..4000) {
+        let dir = tmp_dir("corrupt");
+        let mut acked: Vec<String> = Vec::new();
+        {
+            let (store, _rec) = DurableStore::open(&dir).unwrap();
+            let mut catalog = Catalog::new();
+            for i in 0..6i64 {
+                let name = format!("t{i}");
+                catalog.register(table(&name, i));
+                store
+                    .log_register_table(&name, &catalog.table(&name).unwrap(), (i + 1) as u64, 0)
+                    .unwrap();
+                acked.push(name);
+            }
+        }
+        let io = Arc::new(ScriptedIo::new(&format!("seed={seed};storage.journal.read=corrupt")).unwrap());
+        match DurableStore::open_with_io(&dir, io) {
+            Err(_) => {} // typed corruption error: fine
+            Ok((_store, rec)) => {
+                let names = rec.catalog.table_names();
+                prop_assert_eq!(
+                    &acked[..names.len()],
+                    &names[..],
+                    "recovered state must be a strict prefix of acked mutations"
+                );
+                for name in &names {
+                    let t = rec.catalog.table(name).unwrap();
+                    prop_assert_eq!(t.num_rows(), 2, "recovered table data must be intact");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Read corruption on the snapshot file: the section/file CRCs must
+    /// reject the bytes with a typed error — a flipped snapshot bit can
+    /// never load.
+    #[test]
+    fn corrupt_snapshot_reads_are_rejected(seed in 0u64..4000) {
+        let dir = tmp_dir("snapcorrupt");
+        {
+            let (store, _rec) = DurableStore::open(&dir).unwrap();
+            let mut catalog = Catalog::new();
+            catalog.register(table("t", 1));
+            store
+                .log_register_table("t", &catalog.table("t").unwrap(), 1, 0)
+                .unwrap();
+            store
+                .snapshot(&catalog, &raven_storage::ModelRegistry::new(), &[])
+                .unwrap();
+        }
+        let io = Arc::new(ScriptedIo::new(&format!("seed={seed};storage.snapshot.read=corrupt")).unwrap());
+        match DurableStore::open_with_io(&dir, io) {
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(
+                    msg.contains("corrupt") || msg.contains("version"),
+                    "unexpected error kind: {msg}"
+                );
+            }
+            Ok(_) => prop_assert!(false, "a flipped snapshot bit must not decode"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Deterministic sweep extending the roundtrip.rs truncation sweep: fail
+/// the fsync of *every* append position in turn, then reopen cleanly. Each
+/// position must ack all other appends and recover exactly those.
+#[test]
+fn fsync_failure_then_reopen_sweep() {
+    const TOTAL: usize = 6;
+    for at in 1..=TOTAL as u64 {
+        drive_and_check(
+            &tmp_dir(&format!("sweep{at}")),
+            &format!("storage.journal.sync={at}+fail"),
+            TOTAL,
+        );
+    }
+}
+
+/// `probe()` is the degraded-mode recovery check: it fails while the
+/// journal fsync keeps failing, retries a pending rollback truncation, and
+/// succeeds once the fault clears — after which appends flow again.
+#[test]
+fn probe_recovers_after_persistent_sync_failure() {
+    let dir = tmp_dir("probe");
+    // sync fails from hit 1 through 4 (append #1's ack-sync, its rollback
+    // sync, then two failed probes), clears afterwards
+    let io = Arc::new(ScriptedIo::new("storage.journal.sync=1+fail*4").unwrap());
+    let (store, _rec) = DurableStore::open_with_io(&dir, io).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register(table("a", 1));
+    assert!(
+        store
+            .log_register_table("a", &catalog.table("a").unwrap(), 1, 0)
+            .is_err(),
+        "append under failing fsync must error"
+    );
+    assert!(store.probe().is_err(), "probe fails while the fault holds");
+    assert!(store.probe().is_err());
+    assert!(
+        store.probe().is_ok(),
+        "probe succeeds once the fault clears"
+    );
+    store
+        .log_register_table("a", &catalog.table("a").unwrap(), 1, 0)
+        .unwrap();
+    let (_s, rec) = DurableStore::open(&dir).unwrap();
+    assert_eq!(rec.catalog.table_names(), vec!["a"]);
+    assert_eq!(rec.catalog.epoch(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Faults during snapshot compaction must leave the store recoverable:
+/// either the new snapshot landed (typed success) or the old state is
+/// still intact — never a half-written artifact that loads wrong.
+#[test]
+fn snapshot_write_faults_leave_prior_state_recoverable() {
+    for point in [
+        "storage.atomic.write",
+        "storage.atomic.sync",
+        "storage.rename",
+    ] {
+        let dir = tmp_dir(&format!("snapfault-{}", point.replace('.', "-")));
+        // hit 1 of each atomic point is the fresh journal header written at
+        // open; the snapshot write is hit 2
+        let io = Arc::new(ScriptedIo::new(&format!("seed=5;{point}=2+fail")).unwrap());
+        let (store, _rec) = DurableStore::open_with_io(&dir, io).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(table("t", 7));
+        store
+            .log_register_table("t", &catalog.table("t").unwrap(), 1, 0)
+            .unwrap();
+        assert!(
+            store
+                .snapshot(&catalog, &raven_storage::ModelRegistry::new(), &[])
+                .is_err(),
+            "snapshot under {point} fault must error"
+        );
+        // journal still has the acked record; clean reopen recovers it
+        let (_s, rec) = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.catalog.table_names(), vec!["t"]);
+        assert_eq!(rec.catalog.epoch(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Delay faults are latency-only: everything acks and recovers.
+#[test]
+fn delay_faults_change_timing_not_outcomes() {
+    let dir = tmp_dir("delay");
+    let spec = "storage.journal.append=delay(1)*inf;storage.journal.sync=delay(1)*inf";
+    let io = Arc::new(ScriptedIo::new(spec).unwrap());
+    {
+        let (store, _rec) = DurableStore::open_with_io(&dir, io.clone()).unwrap();
+        let mut catalog = Catalog::new();
+        for i in 0..3i64 {
+            let name = format!("t{i}");
+            catalog.register(table(&name, i));
+            store
+                .log_register_table(&name, &catalog.table(&name).unwrap(), (i + 1) as u64, 0)
+                .unwrap();
+        }
+    }
+    assert!(io.schedule().injected_total() >= 6);
+    let (_s, rec) = DurableStore::open(&dir).unwrap();
+    assert_eq!(rec.catalog.table_names(), vec!["t0", "t1", "t2"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal whose tail was *persistently* unappendable still opens: the
+/// open path only reads, and the recovered state is the acked set.
+#[test]
+fn open_is_unaffected_by_append_only_schedules() {
+    let dir = tmp_dir("openok");
+    {
+        let (store, _rec) = DurableStore::open(&dir).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(table("t", 1));
+        store
+            .log_register_table("t", &catalog.table("t").unwrap(), 1, 0)
+            .unwrap();
+    }
+    let io = Arc::new(ScriptedIo::new("storage.journal.append=fail*inf").unwrap());
+    let (store, rec) = DurableStore::open_with_io(&dir, io).unwrap();
+    assert_eq!(rec.catalog.table_names(), vec!["t"]);
+    // mutations fail typed, reads of recovered state are unaffected
+    let mut catalog = rec.catalog;
+    catalog.register(table("u", 2));
+    assert!(store
+        .log_register_table("u", &catalog.table("u").unwrap(), 2, 0)
+        .is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -184,7 +184,7 @@ proptest! {
     /// Snapshot round-trip is bitwise lossless for arbitrary state.
     #[test]
     fn snapshot_round_trip_is_bitwise((catalog, registry, plans) in arb_state()) {
-        let bytes = encode_snapshot(&catalog, &registry, &plans);
+        let bytes = encode_snapshot(&catalog, &registry, &plans).unwrap();
         let snap = decode_snapshot(&bytes, "snapshot.rvs").unwrap();
 
         // structural spot checks
@@ -202,7 +202,7 @@ proptest! {
         }
 
         // the bitwise oracle: deterministic codec ⇒ identical re-encoding
-        let re = encode_snapshot(&snap.catalog, &snap.registry, &snap.plan_fingerprints);
+        let re = encode_snapshot(&snap.catalog, &snap.registry, &snap.plan_fingerprints).unwrap();
         prop_assert_eq!(bytes, re, "decoded state re-encodes to different bytes");
     }
 }

@@ -283,6 +283,48 @@
 //! clones) under a read lock, encoded outside all locks, and only the final
 //! journal rewrite holds the store's append lock.
 //!
+//! ## Architecture: fault injection & degraded mode
+//!
+//! Robustness is tested the same way performance is: against a pinned,
+//! reproducible oracle. `columnar::failpoint` is a process-wide,
+//! **deterministic, seeded** fault-injection registry: named failpoints in
+//! production code (`storage.journal.sync`, `serve.prepare`, ...) consult a
+//! schedule parsed from `RAVEN_FAULTS` (or installed programmatically) that
+//! says *which* points fail, at *which* hit indices, and *how* — `fail`,
+//! `enospc`, `torn` (short write), `corrupt` (bit-flipped read), or
+//! `delay(ms)`. Entropy for data-dependent choices (torn-prefix length,
+//! corruption offset) is SplitMix64 over `(seed, point, hit)`, so a chaos
+//! run reproduces bit for bit from its spec string. When no schedule is
+//! installed — the production default — every check is a single atomic
+//! load, and the injection counters stay at zero (asserted by the smokes:
+//! failpoints are provably inert unless asked for).
+//!
+//! All storage I/O routes through an injectable `storage::Io` layer
+//! (`RealIo` consults the global registry; `ScriptedIo` carries an isolated
+//! schedule for parallel tests). The journal append rolls back its
+//! write-ahead bytes when the fsync fails, and if even the rollback fails
+//! the truncation is re-tried before any later append, probe, or compaction
+//! scan — so "acked exactly" survives composed faults: a clean reopen
+//! recovers precisely the registrations that returned `Ok`, in order.
+//!
+//! The serving tier turns injected (or real) storage trouble into typed
+//! behavior instead of panics: **transparent bounded retry** with
+//! deterministic jittered exponential backoff for transient storage-classed
+//! errors (`RAVEN_RETRY_MAX`; a failed single-flight prepare wakes its
+//! followers with the error and the next attempt elects a *new* leader),
+//! **per-request deadlines** (`RAVEN_REQUEST_DEADLINE_MS` →
+//! `ServeError::Timeout` for requests that expire while queued), a
+//! **per-fingerprint circuit breaker** (`ServeError::CircuitOpen` fast-fail
+//! after repeated engine-side failures, half-open trial after a cooldown),
+//! and **degraded read-only mode**: when a mutation's journal append fails
+//! persistently, queries keep serving the consistent in-memory catalog,
+//! mutations are rejected with `ServeError::ReadOnly`, and a background
+//! probe repairs the store and lifts the mode
+//! (`ServingReport::degraded_mode`). The `chaos_study` smoke replays the
+//! mixed-tenant serving workload under seeded fault schedules and gates on
+//! zero panics, bitwise-identical successful responses against the
+//! fault-free oracle, and post-fault throughput recovery.
+//!
 //! ## Static verification (PR 8)
 //!
 //! Correctness of the rewrite pipeline is checked, not assumed. A plan
@@ -338,6 +380,9 @@
 //! | `RAVEN_MODE_COST=legacy`&nbsp;/&nbsp;`off` | Disable cost-based execution-mode choice in `core::choose_execution_mode`. |
 //! | `RAVEN_DATA_DIR=<path>` | Durable-catalog data directory fallback when `ServerConfig::data_dir` is unset (uncached: read per `open_durable`). |
 //! | `RAVEN_VERIFY=strict` | Enable the plan/artifact verifier in release builds (always on in debug). |
+//! | `RAVEN_FAULTS=<schedule>` | Install a seeded fault-injection schedule (e.g. `seed=7;storage.journal.sync=3+fail*2`); unset = failpoints are inert single atomic loads. |
+//! | `RAVEN_RETRY_MAX=<n>` | Serving-tier retry budget for transient storage-classed failures (default 2; 0 disables). |
+//! | `RAVEN_REQUEST_DEADLINE_MS=<ms>` | Per-request deadline; requests still queued when it elapses get a typed `Timeout` (unset/0 disables). |
 //! | `RAVEN_TEST_DOP=<n>` | Test-only: degree of parallelism used by the serving integration tests. |
 //!
 //! ## Quickstart

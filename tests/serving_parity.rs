@@ -416,7 +416,11 @@ proptest! {
 /// completions, not after the whole backlog.
 #[test]
 fn no_tenant_starves_under_a_saturating_adversary() {
-    let session = build_session(60, 7, 2);
+    // enough rows that one drive takes a measurable slice of wall time: the
+    // fairness check below compares the light tenant's latency against the
+    // whole backlog's drain time, and both need to dwarf OS scheduling
+    // noise for the ratio to mean anything
+    let session = build_session(20_000, 7, 2);
     let server = Arc::new(Server::new(
         session,
         ServerConfig {
@@ -440,23 +444,38 @@ fn no_tenant_starves_under_a_saturating_adversary() {
     };
     // saturate: the lone worker executes one adversary query while 59 more
     // pile up in the adversary's lane
-    let _backlog: Vec<_> = (0..60usize)
+    let backlog: Vec<_> = (0..60usize)
         .map(|i| {
             server
                 .submit_as("adversary", Request::Sql(adversary_query(i)))
                 .unwrap()
         })
         .collect();
+    // a literal outside the adversary's pool: the light request must win a
+    // round-robin turn of its own, not piggyback on a fused duplicate
+    let start = std::time::Instant::now();
     let light = server
-        .submit_as("light", Request::Sql(adversary_query(0)))
+        .submit_as("light", Request::Sql(adversary_query(1_000)))
         .unwrap();
     assert!(light.wait_sql().is_ok(), "light tenant must be served");
-    let report = server.report();
-    let done = report.tenant("adversary").unwrap().completed;
+    let light_wait = start.elapsed();
+    for t in backlog {
+        assert!(t.wait_sql().is_ok(), "adversary request failed");
+    }
+    let full_drain = start.elapsed();
+    // DRR with weights 4:1 serves the light request within ~5 adversary
+    // turns of the ~60 queued, i.e. well inside the first third of the
+    // drain. A starved light tenant (served FIFO behind the backlog) waits
+    // ~the whole drain. Comparing the two latencies is race-free: unlike a
+    // completed-count snapshot, neither side can be inflated by the worker
+    // racing ahead between the light tenant's completion and the read.
     assert!(
-        done < 20,
-        "light tenant waited behind {done} adversary completions — starved; \
-         report:\n{report}"
+        light_wait < full_drain / 3,
+        "light tenant waited {light_wait:?} of the {full_drain:?} backlog \
+         drain — starved; report:\n{}",
+        server.report()
     );
+    let report = server.report();
     assert_eq!(report.tenant("light").unwrap().completed, 1);
+    assert_eq!(report.tenant("adversary").unwrap().completed, 60);
 }

@@ -168,7 +168,10 @@ fn rule_env_read(rel: &Path, text: &str, code: &str, out: &mut Vec<Violation>) {
 }
 
 fn rule_serve_panic(rel: &Path, code: &str, out: &mut Vec<Violation>) {
-    if !rel.starts_with("crates/serve/src") {
+    // the crates on the serving path: a panic inside them poisons shared
+    // locks (serve) or turns an injectable I/O fault into a process abort
+    // instead of a typed error (storage)
+    if !rel.starts_with("crates/serve/src") && !rel.starts_with("crates/storage/src") {
         return;
     }
     for needle in [".unwrap()", ".expect("] {
@@ -181,8 +184,9 @@ fn rule_serve_panic(rel: &Path, code: &str, out: &mut Vec<Violation>) {
                 line: line_of(code, pos),
                 rule: "serve-panic",
                 message: format!(
-                    "`{needle}` in non-test serve code; a panic here poisons shared \
-                     locks — use crate::sync (plock/pread/pwrite/wait) or handle the error"
+                    "`{needle}` in non-test serving-path code; a panic here poisons \
+                     shared locks or escalates injectable I/O faults to aborts — \
+                     use plock-style helpers or surface a typed error"
                 ),
             });
         }
@@ -467,6 +471,10 @@ mod tests {
         let v = lint_file(Path::new("crates/serve/src/server.rs"), bad, &[]);
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|v| v.rule == "serve-panic"));
+        // the durable-storage crate is on the serving path too: every I/O
+        // fault must surface as a typed error, never a panic
+        let sv = lint_file(Path::new("crates/storage/src/store.rs"), bad, &[]);
+        assert_eq!(sv.len(), 2, "{sv:?}");
         // other crates may unwrap
         assert!(lint_file(Path::new("crates/ml/src/x.rs"), bad, &[]).is_empty());
         // unwrap_or / unreachable are allowed in serve
